@@ -1,0 +1,81 @@
+"""Ablation A1 — the daemon's priority-worker lane.
+
+Design choice under test: libvirt splits the workerpool into ordinary
+workers plus a constant set of *priority* workers restricted to
+guaranteed-finish operations, so a critical ``destroy`` still runs
+when every ordinary worker is blocked on an unresponsive hypervisor.
+
+The ablation removes the priority lane and injects hung calls that
+occupy the whole pool, then measures the latency of a destroy issued
+during the outage.
+
+Expected shape: with the lane, destroy latency stays at its normal
+cost; without it, destroy waits for the full outage duration
+(head-of-line blocking).
+"""
+
+import threading
+import time
+
+from repro.bench.tables import emit, format_table
+from repro.util.threadpool import WorkerPool
+
+OUTAGE_S = 0.4  # how long the injected hung calls block (real time)
+ORDINARY_WORKERS = 3
+
+
+def destroy_latency_during_outage(prio_workers):
+    """Wall seconds for a priority job while all ordinary workers hang."""
+    pool = WorkerPool(
+        min_workers=ORDINARY_WORKERS,
+        max_workers=ORDINARY_WORKERS,
+        prio_workers=prio_workers,
+        name="a1",
+    )
+    gate = threading.Event()
+    hung = [pool.submit(gate.wait) for _ in range(ORDINARY_WORKERS * 2)]
+    deadline = time.monotonic() + 5
+    while pool.stats()["freeWorkers"] > 0 and time.monotonic() < deadline:
+        time.sleep(0.002)
+
+    releaser = threading.Timer(OUTAGE_S, gate.set)
+    releaser.start()
+    start = time.monotonic()
+    future = pool.submit(lambda: "destroyed", priority=True)
+    future.result(timeout=30)
+    latency = time.monotonic() - start
+    gate.set()
+    for job in hung:
+        job.result(timeout=30)
+    pool.shutdown()
+    releaser.cancel()
+    return latency
+
+
+def collect():
+    with_lane = destroy_latency_during_outage(prio_workers=2)
+    without_lane = destroy_latency_during_outage(prio_workers=0)
+    return with_lane, without_lane
+
+
+def render(with_lane, without_lane):
+    return format_table(
+        "Ablation A1: destroy latency while every ordinary worker hangs "
+        f"({OUTAGE_S * 1e3:.0f} ms outage)",
+        ["configuration", "destroy latency"],
+        [
+            ["priority lane (libvirt design)", f"{with_lane * 1e3:.1f} ms"],
+            ["no priority lane (ablation)", f"{without_lane * 1e3:.1f} ms"],
+        ],
+    )
+
+
+def test_a1_priority_lane(benchmark):
+    with_lane, without_lane = benchmark.pedantic(collect, rounds=1, iterations=1)
+    emit("a1_priority_workers", render(with_lane, without_lane))
+
+    # with the lane: effectively immediate (well under the outage)
+    assert with_lane < OUTAGE_S / 2
+    # without it: head-of-line blocked for roughly the outage duration
+    assert without_lane >= OUTAGE_S * 0.8
+    assert without_lane > 5 * with_lane

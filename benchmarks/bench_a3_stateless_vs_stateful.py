@@ -1,0 +1,107 @@
+"""Ablation A3 — stateless (client-side) vs daemon-routed drivers.
+
+Design choice under test: libvirt runs the ESX driver *client-side*
+because the hypervisor already exposes a remote API and persists its
+own state — routing it through libvirtd would add a pointless second
+network hop.  The ablation does exactly that: the same ESX backend is
+also served through a daemon, and we measure per-operation modelled
+latency both ways.
+
+Expected shape: the daemon route costs strictly more on every
+operation (one extra RPC round trip each), with no functional gain.
+"""
+
+import repro
+from repro.bench.tables import emit, format_table
+from repro.daemon import Libvirtd
+from repro.drivers import nodes
+from repro.drivers.esx import EsxDriver
+from repro.hypervisors.esx_backend import EsxBackend
+from repro.hypervisors.host import SimHost
+from repro.util.clock import VirtualClock
+from repro.xmlconfig.domain import DomainConfig
+
+GiB_KIB = 1024 * 1024
+OPS = ("define", "start", "suspend", "resume", "destroy", "undefine")
+
+
+def esx_config(name):
+    return DomainConfig(
+        name=name, domain_type="esx", memory_kib=GiB_KIB, vcpus=1
+    )
+
+
+def run_sequence(conn, clock, name):
+    """Per-op modelled latency for the canonical sequence."""
+    times = {}
+
+    def timed(op, fn):
+        t0 = clock.now()
+        fn()
+        times[op] = clock.now() - t0
+
+    holder = {}
+    timed("define", lambda: holder.update(dom=conn.define_domain(esx_config(name))))
+    dom = holder["dom"]
+    timed("start", dom.start)
+    timed("suspend", dom.suspend)
+    timed("resume", dom.resume)
+    timed("destroy", dom.destroy)
+    timed("undefine", dom.undefine)
+    return times
+
+
+def collect():
+    clock = VirtualClock()
+    backend = EsxBackend(host=SimHost(hostname="esx-a3", clock=clock), clock=clock)
+
+    # the real design: client-side stateless driver
+    nodes.register_esx_host("esx-a3", backend)
+    direct = repro.open_connection("esx://root@esx-a3/", {"password": "vmware"})
+    direct_times = run_sequence(direct, clock, "vm-direct")
+    direct.close()
+
+    # the ablation: the very same backend behind a daemon
+    daemon = Libvirtd(
+        hostname="esx-proxy",
+        clock=clock,
+        drivers={"esx": EsxDriver(backend)},
+    )
+    daemon.listen("tcp")
+    routed = repro.open_connection("esx+tcp://esx-proxy/")
+    routed_times = run_sequence(routed, clock, "vm-routed")
+    routed.close()
+    daemon.shutdown()
+    return direct_times, routed_times
+
+
+def render(direct_times, routed_times):
+    rows = []
+    for op in OPS:
+        direct = direct_times[op]
+        routed = routed_times[op]
+        rows.append(
+            [
+                op,
+                f"{direct * 1e3:.1f} ms",
+                f"{routed * 1e3:.1f} ms",
+                f"+{(routed - direct) * 1e6:.0f} us",
+            ]
+        )
+    return format_table(
+        "Ablation A3: ESX driven client-side vs routed through a daemon",
+        ["operation", "client-side (design)", "via daemon (ablation)", "extra hop"],
+        rows,
+    )
+
+
+def test_a3_stateless_vs_stateful(benchmark):
+    direct_times, routed_times = benchmark.pedantic(collect, rounds=1, iterations=1)
+    emit("a3_stateless_vs_stateful", render(direct_times, routed_times))
+
+    # the daemon hop costs strictly more on every operation
+    for op in OPS:
+        assert routed_times[op] > direct_times[op], op
+    # ... but only by the RPC round trip, not by orders of magnitude
+    for op in ("suspend", "resume"):
+        assert routed_times[op] < 2.0 * direct_times[op]

@@ -1,0 +1,121 @@
+"""E6 / Fig. 6 — live migration: total time, downtime, convergence.
+
+Reproduces the migration figure: pre-copy total migration time and
+guest downtime as functions of (a) guest memory size and (b) the
+guest's dirty-page rate relative to link bandwidth — including the
+non-convergence cliff — measured end to end through the uniform API
+(begin/prepare/perform/finish across two hosts), with the analytic
+model cross-checked underneath.
+
+Expected shape: total time grows linearly in memory; downtime stays
+under the configured bound while dirty rate < bandwidth; at the
+crossover, total time diverges and the forced final stop-and-copy
+blows through the downtime budget.
+"""
+
+import pytest
+
+from repro.bench.tables import emit, format_series
+from repro.bench.workloads import build_local_connection, guest_config
+from repro.migration.precopy import MIB, run_precopy
+from repro.util.clock import VirtualClock
+
+BANDWIDTH_MIB_S = 1024.0
+MEMORY_SWEEP_GIB = (0.5, 1, 2, 4, 8)
+DIRTY_SWEEP_FRACTION = (0.0, 0.25, 0.5, 0.75, 0.9, 1.1, 1.5, 2.0)
+MAX_DOWNTIME_S = 0.3
+
+
+def migrate_once(memory_gib, dirty_rate_mib_s):
+    """One real end-to-end migration between two simulated KVM hosts."""
+    clock = VirtualClock()
+    src_conn, src_backend = build_local_connection("kvm", clock=clock)
+    dst_conn, _ = build_local_connection("kvm", clock=clock)
+    dom = src_conn.define_domain(
+        guest_config("kvm", "migrant", memory_gib=memory_gib)
+    ).start()
+    src_backend._get("migrant").dirty_rate_mib_s = dirty_rate_mib_s
+    moved = dom.migrate(
+        dst_conn, max_downtime_s=MAX_DOWNTIME_S, bandwidth_mib_s=BANDWIDTH_MIB_S
+    )
+    stats = moved.last_migration_stats
+    src_conn.close()
+    dst_conn.close()
+    return stats
+
+
+def collect():
+    by_memory = [migrate_once(gib, 64.0) for gib in MEMORY_SWEEP_GIB]
+    by_dirty = [
+        migrate_once(2, fraction * BANDWIDTH_MIB_S)
+        for fraction in DIRTY_SWEEP_FRACTION
+    ]
+    return by_memory, by_dirty
+
+
+def render(by_memory, by_dirty):
+    text_a = format_series(
+        "Fig. 6a (reconstructed): migration vs guest memory "
+        f"(dirty 64 MiB/s, link {BANDWIDTH_MIB_S:.0f} MiB/s)",
+        "memory (GiB)",
+        list(MEMORY_SWEEP_GIB),
+        {
+            "total": [f"{s['total_time_s']:.2f} s" for s in by_memory],
+            "downtime": [f"{s['downtime_s'] * 1e3:.1f} ms" for s in by_memory],
+            "rounds": [s["rounds"] for s in by_memory],
+        },
+    )
+    text_b = format_series(
+        "Fig. 6b (reconstructed): migration vs dirty rate (2 GiB guest)",
+        "dirty/bw",
+        [f"{f:.2f}" for f in DIRTY_SWEEP_FRACTION],
+        {
+            "total": [f"{s['total_time_s']:.2f} s" for s in by_dirty],
+            "downtime": [f"{s['downtime_s'] * 1e3:.0f} ms" for s in by_dirty],
+            "converged": ["yes" if s["converged"] else "NO" for s in by_dirty],
+        },
+    )
+    return text_a + "\n\n" + text_b
+
+
+def test_e6_migration(benchmark):
+    by_memory, by_dirty = benchmark.pedantic(collect, rounds=1, iterations=1)
+    emit("e6_migration", render(by_memory, by_dirty))
+
+    # -- shape: total time ~linear in memory, downtime bounded ------------
+    totals = [s["total_time_s"] for s in by_memory]
+    assert totals == sorted(totals)
+    ratio = totals[-1] / totals[0]  # 8 GiB vs 0.5 GiB
+    assert 10 < ratio < 24  # ~16x memory → ~16x time
+    for stats in by_memory:
+        assert stats["converged"]
+        assert stats["downtime_s"] <= MAX_DOWNTIME_S + 1e-9
+
+    # -- shape: the convergence cliff at dirty rate = bandwidth ------------
+    below = [s for f, s in zip(DIRTY_SWEEP_FRACTION, by_dirty) if f < 1.0]
+    above = [s for f, s in zip(DIRTY_SWEEP_FRACTION, by_dirty) if f > 1.0]
+    assert all(s["converged"] for s in below)
+    assert all(not s["converged"] for s in above)
+    assert all(s["downtime_s"] <= MAX_DOWNTIME_S + 1e-9 for s in below)
+    assert all(s["downtime_s"] > MAX_DOWNTIME_S for s in above)
+    # approaching the cliff from below, total time blows up
+    assert by_dirty[4]["total_time_s"] > 3 * by_dirty[1]["total_time_s"]
+
+
+def test_e6_model_agrees_with_end_to_end(benchmark):
+    """The driver's migrate_perform must agree with the analytic model."""
+
+    def run():
+        stats = migrate_once(2, 128.0)
+        model = run_precopy(
+            memory_bytes=2 * 1024**3,
+            dirty_rate_bytes_s=128.0 * MIB,
+            bandwidth_bytes_s=BANDWIDTH_MIB_S * MIB,
+            max_downtime_s=MAX_DOWNTIME_S,
+        )
+        return stats, model
+
+    stats, model = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats["total_time_s"] == pytest.approx(model.total_time_s)
+    assert stats["downtime_s"] == pytest.approx(model.downtime_s)
+    assert stats["rounds"] == model.rounds

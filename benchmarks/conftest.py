@@ -1,0 +1,15 @@
+"""Benchmark-suite fixtures: registry isolation, shared helpers."""
+
+import pytest
+
+from repro.daemon.registry import reset_daemons
+from repro.drivers import nodes
+
+
+@pytest.fixture(autouse=True)
+def _isolate_registries():
+    reset_daemons()
+    nodes.reset_nodes()
+    yield
+    reset_daemons()
+    nodes.reset_nodes()

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Server consolidation via live migration — the intro's motivating case.
+
+A small data centre runs guests spread across four hosts at low
+utilization.  The consolidation loop live-migrates guests onto as few
+hosts as possible (first-fit decreasing by memory), then reports how
+many hosts were freed and what each migration cost in total time and
+guest downtime.
+
+Run:  python examples/consolidation.py
+"""
+
+import random
+from typing import Dict, List
+
+import repro
+from repro.core.connection import Connection
+from repro.core.uri import ConnectionURI
+from repro.drivers.qemu import QemuDriver
+from repro.hypervisors.host import SimHost
+from repro.hypervisors.qemu_backend import QemuBackend
+from repro.util.clock import VirtualClock
+
+GiB_KIB = 1024 * 1024
+HOST_MEMORY_KIB = 24 * GiB_KIB
+
+
+def build_datacentre(clock: VirtualClock) -> Dict[str, Connection]:
+    """Four identical hosts, each with its own qemu driver."""
+    connections = {}
+    for index in range(4):
+        hostname = f"host{index}"
+        host = SimHost(hostname=hostname, cpus=16, memory_kib=HOST_MEMORY_KIB, clock=clock)
+        driver = QemuDriver(QemuBackend(host=host, clock=clock))
+        connections[hostname] = Connection(
+            driver, ConnectionURI.parse(f"qemu://{hostname}/system")
+        )
+    return connections
+
+
+def deploy_guests(connections: Dict[str, Connection], rng: random.Random) -> None:
+    """Scatter 10 guests round-robin: the fragmented starting point."""
+    hosts = list(connections)
+    sizes_gib = [4, 2, 2, 1, 1, 4, 2, 1, 2, 1]
+    for index, size in enumerate(sizes_gib):
+        hostname = hosts[index % len(hosts)]
+        config = repro.DomainConfig(
+            name=f"vm{index:02d}",
+            domain_type="kvm",
+            memory_kib=size * GiB_KIB,
+            vcpus=max(1, size // 2),
+        )
+        domain = connections[hostname].define_domain(config)
+        domain.start()
+        # deterministic per-guest dirty rates: busier guests migrate slower
+        runtime = connections[hostname]._driver.backend._get(config.name)
+        runtime.dirty_rate_mib_s = rng.choice([16.0, 32.0, 64.0, 128.0])
+
+
+def utilization(connections: Dict[str, Connection]) -> Dict[str, float]:
+    result = {}
+    for hostname, conn in connections.items():
+        host = conn._driver.backend.host
+        result[hostname] = host.used_memory_kib / host.allocatable_kib
+    return result
+
+
+def print_layout(connections: Dict[str, Connection], title: str) -> None:
+    print(f"\n{title}")
+    for hostname, conn in sorted(connections.items()):
+        names = [d.name for d in conn.list_domains(active=True)]
+        host = conn._driver.backend.host
+        used_gib = host.used_memory_kib / GiB_KIB
+        bar = "#" * int(20 * used_gib * GiB_KIB / host.allocatable_kib)
+        print(f"  {hostname}: [{bar:<20}] {used_gib:4.1f} GiB  {names}")
+
+
+def consolidate(connections: Dict[str, Connection]) -> List[dict]:
+    """First-fit decreasing: move guests off the emptiest hosts."""
+    migrations = []
+    # order hosts by current load, descending — fill the fullest first
+    ordered = sorted(
+        connections, key=lambda h: connections[h]._driver.backend.host.used_memory_kib,
+        reverse=True,
+    )
+    targets, sources = ordered[:2], ordered[2:]
+    for source_name in sources:
+        source = connections[source_name]
+        for domain in list(source.list_domains(active=True)):
+            info = domain.info()
+            for target_name in targets:
+                target_host = connections[target_name]._driver.backend.host
+                if target_host.free_memory_kib >= info.memory_kib:
+                    moved = domain.migrate(connections[target_name])
+                    stats = moved.last_migration_stats
+                    migrations.append(
+                        {
+                            "guest": moved.name,
+                            "from": source_name,
+                            "to": target_name,
+                            "total_s": stats["total_time_s"],
+                            "downtime_ms": stats["downtime_s"] * 1000,
+                            "rounds": stats["rounds"],
+                        }
+                    )
+                    break
+    return migrations
+
+
+def main() -> None:
+    clock = VirtualClock()
+    rng = random.Random(2010)
+    connections = build_datacentre(clock)
+    deploy_guests(connections, rng)
+    print_layout(connections, "before consolidation:")
+
+    migrations = consolidate(connections)
+    print_layout(connections, "after consolidation:")
+
+    print(f"\n{len(migrations)} live migrations:")
+    print(f"  {'guest':<8}{'route':<18}{'total':>9}{'downtime':>11}{'rounds':>8}")
+    for mig in migrations:
+        route = f"{mig['from']}->{mig['to']}"
+        print(
+            f"  {mig['guest']:<8}{route:<18}{mig['total_s']:>8.2f}s"
+            f"{mig['downtime_ms']:>9.1f}ms{mig['rounds']:>8}"
+        )
+
+    empty = [h for h, u in utilization(connections).items() if u == 0.0]
+    print(f"\nhosts freed and ready to power off: {sorted(empty)}")
+    total_downtime = sum(m["downtime_ms"] for m in migrations)
+    print(f"cumulative guest downtime across the whole operation: {total_downtime:.1f} ms")
+
+    for conn in connections.values():
+        conn.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: the uniform API in five minutes.
+
+Connects to the built-in mock node (``test:///default``), defines a
+domain from a config object, walks it through its lifecycle, resizes
+it, snapshots it, and watches lifecycle events arrive — everything a
+management application does, with no hypervisor required.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+
+
+def main() -> None:
+    # 1. open a connection — the URI picks the driver
+    conn = repro.open_connection("test:///default")
+    print(f"connected to {conn.uri} (host {conn.hostname()})")
+
+    # 2. subscribe to lifecycle events before doing anything
+    events = []
+    conn.register_domain_event(
+        lambda name, event, detail: events.append(f"{name}: {event.name.lower()}")
+    )
+
+    # 3. describe a guest as a config document
+    config = repro.DomainConfig(
+        name="web1",
+        domain_type="test",
+        memory_kib=2 * 1024 * 1024,  # 2 GiB
+        vcpus=2,
+        disks=[repro.DiskDevice("/img/web1.qcow2", "vda", capacity_bytes=10 * 1024**3)],
+        interfaces=[repro.InterfaceDevice("network", "default")],
+    )
+
+    # 4. define (persist) and start it
+    domain = conn.define_domain(config)
+    domain.start()
+    info = domain.info()
+    print(f"web1 is {domain.state_text()}: {info.vcpus} vCPUs, {info.memory_kib} KiB")
+
+    # 5. live management: balloon the memory down, take a snapshot
+    domain.set_memory(1024 * 1024)
+    print(f"ballooned to {domain.info().memory_kib} KiB")
+    domain.create_snapshot("before-maintenance")
+    print(f"snapshots: {domain.list_snapshots()}")
+
+    # 6. pause/resume and a clean shutdown
+    domain.suspend()
+    print(f"paused: {domain.state_text()}")
+    domain.resume()
+    domain.shutdown()
+    print(f"after shutdown: {domain.state_text()}")
+
+    # 7. the event stream saw it all
+    print("events observed:")
+    for line in events:
+        print(f"  {line}")
+
+    domain.undefine()
+    conn.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Remote fleet management through simulated libvirtd daemons.
+
+Three hosts run daemons; a management station connects to each over a
+different transport (unix for the local box, tcp and tls for the
+remote ones), deploys a small fleet, subscribes to lifecycle events,
+and exercises the daemon-side client controls (connection limits,
+forced disconnect).
+
+Run:  python examples/remote_management.py
+"""
+
+from typing import Dict
+
+import repro
+from repro.daemon import Libvirtd
+from repro.errors import OperationFailedError
+from repro.util.clock import VirtualClock
+
+GiB_KIB = 1024 * 1024
+
+FLEET = {
+    "db1": ("hostA", 4 * GiB_KIB, 4),
+    "web1": ("hostB", 1 * GiB_KIB, 2),
+    "web2": ("hostB", 1 * GiB_KIB, 2),
+    "cache1": ("hostC", 2 * GiB_KIB, 2),
+}
+
+TRANSPORT = {"hostA": "unix", "hostB": "tcp", "hostC": "tls"}
+
+
+def main() -> None:
+    clock = VirtualClock()
+    daemons: Dict[str, Libvirtd] = {}
+    for hostname in ("hostA", "hostB", "hostC"):
+        daemon = Libvirtd(hostname=hostname, clock=clock, max_clients=8)
+        daemon.listen(TRANSPORT[hostname])
+        daemons[hostname] = daemon
+        print(f"daemon up on {hostname} ({TRANSPORT[hostname]})")
+
+    # one connection per host, each over its transport
+    connections = {
+        hostname: repro.open_connection(f"qemu+{TRANSPORT[hostname]}://{hostname}/system")
+        for hostname in daemons
+    }
+
+    # subscribe to events everywhere — non-intrusive monitoring
+    events = []
+    for hostname, conn in connections.items():
+        conn.register_domain_event(
+            lambda name, event, detail, h=hostname: events.append(
+                (h, name, event.name)
+            )
+        )
+
+    # deploy the fleet
+    for name, (hostname, memory_kib, vcpus) in FLEET.items():
+        conn = connections[hostname]
+        config = repro.DomainConfig(
+            name=name, domain_type="kvm", memory_kib=memory_kib, vcpus=vcpus
+        )
+        conn.define_domain(config).start()
+    print(f"\ndeployed {len(FLEET)} guests across {len(daemons)} hosts "
+          f"in {clock.now():.2f}s modelled time")
+
+    # fleet inventory, uniformly
+    print(f"\n{'host':<8}{'guest':<10}{'state':<10}{'vCPUs':>6}{'memory':>12}")
+    print("-" * 46)
+    for hostname, conn in connections.items():
+        for domain in conn.list_domains(active=True):
+            info = domain.info()
+            print(
+                f"{hostname:<8}{domain.name:<10}{domain.state_text():<10}"
+                f"{info.vcpus:>6}{info.memory_kib:>10} K"
+            )
+
+    # daemon-side client visibility
+    print("\nclients connected per daemon:")
+    for hostname, daemon in daemons.items():
+        for client in daemon.list_clients():
+            print(
+                f"  {hostname}: client {client['id']} via {client['transport']} "
+                f"({client['calls']} calls)"
+            )
+
+    # connection limits in action
+    hostB = daemons["hostB"]
+    hostB.set_max_clients(len(hostB.list_clients()))
+    try:
+        repro.open_connection("qemu+tcp://hostB/system")
+    except OperationFailedError as exc:
+        print(f"\nhostB at its client limit, new connection refused: {exc}")
+    hostB.set_max_clients(8)
+
+    # forced disconnect of a client
+    victim = daemons["hostC"].list_clients()[0]["id"]
+    daemons["hostC"].disconnect_client(victim)
+    print(f"forcefully disconnected client {victim} from hostC")
+
+    print(f"\n{len(events)} lifecycle events observed, e.g.:")
+    for entry in events[:5]:
+        print(f"  {entry[0]}: {entry[1]} -> {entry[2]}")
+
+    for conn in connections.values():
+        if not conn.closed:
+            conn.close()
+    for daemon in daemons.values():
+        daemon.shutdown()
+    print("\nall daemons shut down")
+
+
+if __name__ == "__main__":
+    main()

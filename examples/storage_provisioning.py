@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Storage-pool workflow: golden image + copy-on-write clones.
+
+Builds a storage pool, installs a "golden" base image, fast-clones it
+for a fleet of guests (thin qcow2 overlays), boots them, and shows how
+pool allocation grows only with the overlays' writes — then tears one
+guest down and reclaims its overlay.
+
+Run:  python examples/storage_provisioning.py
+"""
+
+import repro
+from repro.util.units import format_size
+from repro.xmlconfig.storage import StoragePoolConfig, VolumeConfig
+
+GiB = 1024**3
+GiB_KIB = 1024 * 1024
+
+
+def main() -> None:
+    conn = repro.open_connection("qemu:///system")
+    driver = conn._driver
+
+    # 1. a 100 GiB pool for guest images
+    pool = conn.define_storage_pool(
+        StoragePoolConfig(name="guests", capacity_bytes=100 * GiB)
+    ).start()
+    print(f"pool 'guests' up: {format_size(pool.info().capacity_bytes)} capacity")
+
+    # 2. the golden image: a fully allocated 8 GiB base
+    base = pool.create_volume(
+        VolumeConfig("golden-base.qcow2", 8 * GiB, allocation_bytes=8 * GiB)
+    )
+    print(f"golden image installed at {base.path} ({format_size(8 * GiB)})")
+
+    # 3. thin clones: one overlay per guest, backed by the golden image
+    guests = ["web1", "web2", "web3"]
+    for name in guests:
+        pool.create_volume(
+            VolumeConfig(f"{name}.qcow2", 8 * GiB, backing_store=base.path)
+        )
+    info = pool.info()
+    print(
+        f"after {len(guests)} clones: allocation {format_size(info.allocation_bytes)} "
+        f"(thin overlays cost nothing until written)"
+    )
+
+    # 4. boot a guest per clone
+    for name in guests:
+        volume = pool.lookup_volume(f"{name}.qcow2")
+        config = repro.DomainConfig(
+            name=name,
+            domain_type="kvm",
+            memory_kib=1 * GiB_KIB,
+            vcpus=1,
+            disks=[repro.DiskDevice(volume.path, "vda", capacity_bytes=8 * GiB)],
+        )
+        conn.define_domain(config).start()
+    print(f"booted {len(guests)} guests from their overlays")
+
+    # 5. guests write; their overlays grow, the base stays pristine
+    images = driver.backend.images
+    for index, name in enumerate(guests):
+        images.write(f"/var/lib/pyvirt/images/guests/{name}.qcow2", (index + 1) * GiB)
+    info = pool.info()
+    print(f"after guest writes: pool allocation {format_size(info.allocation_bytes)}")
+    for name in guests:
+        vol_info = pool.lookup_volume(f"{name}.qcow2").info()
+        chain = images.chain(vol_info.path)
+        print(
+            f"  {name}: {format_size(vol_info.allocation_bytes):>9} used, "
+            f"chain depth {len(chain)}"
+        )
+
+    # 6. retire one guest and reclaim its overlay
+    victim = conn.lookup_domain("web3")
+    victim.destroy()
+    victim.undefine()
+    pool.lookup_volume("web3.qcow2").delete()
+    print(
+        f"web3 retired; pool allocation back to "
+        f"{format_size(pool.info().allocation_bytes)}"
+    )
+
+    # 7. the base image is protected while clones depend on it
+    try:
+        base.delete()
+    except repro.errors.ResourceBusyError as exc:
+        print(f"golden image protected: {exc}")
+
+    conn.close()
+
+
+if __name__ == "__main__":
+    main()

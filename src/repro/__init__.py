@@ -1,0 +1,65 @@
+"""pyvirt — a pure-Python reproduction of *Non-intrusive Virtualization
+Management using Libvirt* (Bolte et al., DATE 2010).
+
+Quickstart::
+
+    import repro
+
+    with repro.open_connection("test:///default") as conn:
+        for domain in conn.list_domains():
+            print(domain.name, domain.state_text())
+"""
+
+from repro.core import (
+    Connection,
+    ConnectionURI,
+    Domain,
+    DomainEvent,
+    DomainInfo,
+    DomainState,
+    Network,
+    StoragePool,
+    Volume,
+    open_connection,
+)
+
+# importing the drivers package wires every driver into the registry
+import repro.drivers  # noqa: E402,F401  (registration side effect)
+from repro import errors
+from repro.xmlconfig import (
+    Capabilities,
+    DiskDevice,
+    DomainConfig,
+    GraphicsDevice,
+    InterfaceDevice,
+    NetworkConfig,
+    OSConfig,
+    StoragePoolConfig,
+    VolumeConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "open_connection",
+    "Connection",
+    "ConnectionURI",
+    "Domain",
+    "DomainInfo",
+    "DomainState",
+    "DomainEvent",
+    "Network",
+    "StoragePool",
+    "Volume",
+    "DomainConfig",
+    "OSConfig",
+    "DiskDevice",
+    "InterfaceDevice",
+    "GraphicsDevice",
+    "NetworkConfig",
+    "StoragePoolConfig",
+    "VolumeConfig",
+    "Capabilities",
+    "errors",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""The daemon administration interface (extension).
+
+The DATE 2010 paper's daemon had no runtime self-management; libvirt
+later grew a dedicated admin API (``libvirt-admin``) for exactly that
+gap, and this package implements its core surface against the
+simulated daemon:
+
+* server enumeration and workerpool control
+  (``srv-list``/``srv-threadpool-info``/``srv-threadpool-set``),
+* client visibility and limits (``srv-clients-*``, ``client-list``,
+  ``client-info``, ``client-disconnect``),
+* runtime logging control (``dmn-log-info``/``dmn-log-define``).
+
+Implemented as an extension of the reproduction (documented in
+DESIGN.md §5 follow-ups), it reuses the daemon's existing substrate:
+the workerpool, the client table, and the RCU logging subsystem.
+"""
+
+from repro.admin.api import AdminClient, AdminConnection, AdminServer, admin_open
+
+__all__ = ["admin_open", "AdminConnection", "AdminServer", "AdminClient"]

@@ -1,0 +1,193 @@
+"""Client-side administration API (``virAdm*`` analogues)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.daemon.registry import lookup_daemon
+from repro.errors import ConnectionClosedError, InvalidArgumentError
+from repro.rpc.client import RPCClient
+from repro.util import typedparams as tp
+from repro.util.typedparams import TypedParameter
+from repro.util.virtlog import parse_priority
+
+
+def admin_open(
+    hostname: str, credentials: "Optional[Dict[str, Any]]" = None
+) -> "AdminConnection":
+    """Open an administration connection to a daemon's admin server.
+
+    The daemon must have called :meth:`Libvirtd.enable_admin`; by
+    default the admin socket only accepts uid 0 (the interface grants
+    full daemon control, so it is root-only — same policy as
+    ``virt-admin``).
+    """
+    daemon = lookup_daemon(hostname)
+    listener = daemon.listener("unix", server="admin")
+    creds = dict(credentials or {"uid": 0, "username": "root"})
+    channel = listener.connect(creds)
+    client = RPCClient(channel)
+    client.call("admin.connect_open")
+    return AdminConnection(client, hostname)
+
+
+class AdminConnection:
+    """An open connection to the daemon's administration server."""
+
+    def __init__(self, client: RPCClient, hostname: str) -> None:
+        self._client = client
+        self.hostname = hostname
+
+    @property
+    def closed(self) -> bool:
+        return self._client.closed
+
+    def close(self) -> None:
+        self._client.close()
+
+    def __enter__(self) -> "AdminConnection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._client.closed:
+            raise ConnectionClosedError("administration connection is closed")
+
+    # -- servers -----------------------------------------------------------
+
+    def list_servers(self) -> "List[AdminServer]":
+        """``srv-list``: the server objects contained in the daemon."""
+        self._check_open()
+        rows = self._client.call("admin.srv_list")
+        return [AdminServer(self, row["name"]) for row in rows]
+
+    def lookup_server(self, name: str) -> "AdminServer":
+        self._check_open()
+        names = [s.name for s in self.list_servers()]
+        if name not in names:
+            raise InvalidArgumentError(f"no server named {name!r}")
+        return AdminServer(self, name)
+
+    # -- daemon logging ------------------------------------------------------
+
+    def get_logging(self) -> Dict[str, Any]:
+        """``dmn-log-info``: level, filters, outputs."""
+        self._check_open()
+        return self._client.call("admin.dmn_log_info")
+
+    def set_logging_level(self, level: "int | str") -> None:
+        """``dmn-log-define --level``."""
+        self._check_open()
+        self._client.call("admin.dmn_log_define", {"level": parse_priority(level)})
+
+    def set_logging_filters(self, filters: str) -> None:
+        """``dmn-log-define --filters`` (space-separated ``level:match``)."""
+        self._check_open()
+        self._client.call("admin.dmn_log_define", {"filters": filters})
+
+    def set_logging_outputs(self, outputs: str) -> None:
+        """``dmn-log-define --outputs`` (``level:dest[:data]``)."""
+        self._check_open()
+        self._client.call("admin.dmn_log_define", {"outputs": outputs})
+
+
+class AdminServer:
+    """Handle to one server object inside the daemon."""
+
+    def __init__(self, conn: AdminConnection, name: str) -> None:
+        self._conn = conn
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AdminServer({self.name!r} on {self._conn.hostname})"
+
+    # -- threadpool --------------------------------------------------------
+
+    def threadpool_info(self) -> Dict[str, int]:
+        """``srv-threadpool-info``."""
+        return self._conn._client.call(
+            "admin.srv_threadpool_info", {"server": self.name}
+        )
+
+    def set_threadpool(
+        self,
+        min_workers: "Optional[int]" = None,
+        max_workers: "Optional[int]" = None,
+        prio_workers: "Optional[int]" = None,
+    ) -> None:
+        """``srv-threadpool-set`` (convenience wrapper over typed params)."""
+        params: List[TypedParameter] = []
+        if min_workers is not None:
+            tp.add_uint(params, "minWorkers", min_workers)
+        if max_workers is not None:
+            tp.add_uint(params, "maxWorkers", max_workers)
+        if prio_workers is not None:
+            tp.add_uint(params, "prioWorkers", prio_workers)
+        self.set_threadpool_params(params)
+
+    def set_threadpool_params(self, params: List[TypedParameter]) -> None:
+        """The raw typed-parameter form (what the wire carries)."""
+        self._conn._client.call(
+            "admin.srv_threadpool_set", {"server": self.name, "params": params}
+        )
+
+    # -- client limits ---------------------------------------------------------
+
+    def clients_info(self) -> Dict[str, int]:
+        """``srv-clients-info``: current and maximum client counts."""
+        return self._conn._client.call(
+            "admin.srv_clients_info", {"server": self.name}
+        )
+
+    def set_client_limits(self, max_clients: "Optional[int]" = None) -> None:
+        """``srv-clients-set``."""
+        params: List[TypedParameter] = []
+        if max_clients is not None:
+            tp.add_uint(params, "nclients_max", max_clients)
+        self.set_client_limit_params(params)
+
+    def set_client_limit_params(self, params: List[TypedParameter]) -> None:
+        self._conn._client.call(
+            "admin.srv_clients_set", {"server": self.name, "params": params}
+        )
+
+    # -- clients ------------------------------------------------------------------
+
+    def list_clients(self) -> "List[AdminClient]":
+        """``client-list``: clients connected to this server."""
+        rows = self._conn._client.call("admin.client_list", {"server": self.name})
+        return [
+            AdminClient(self, row["id"], row["transport"], row["connected_since"])
+            for row in rows
+        ]
+
+    def lookup_client(self, client_id: int) -> "AdminClient":
+        for client in self.list_clients():
+            if client.id == client_id:
+                return client
+        raise InvalidArgumentError(
+            f"no client {client_id} on server {self.name!r}"
+        )
+
+
+class AdminClient:
+    """Handle to one client connected to a daemon server."""
+
+    def __init__(self, server: AdminServer, client_id: int, transport: str, connected_since: float) -> None:
+        self._server = server
+        self.id = client_id
+        self.transport = transport
+        self.connected_since = connected_since
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AdminClient(id={self.id}, transport={self.transport!r})"
+
+    def info(self) -> Dict[str, Any]:
+        """``client-info``: identity details (transport-dependent)."""
+        return self._server._conn._client.call("admin.client_info", {"id": self.id})
+
+    def disconnect(self) -> None:
+        """``client-disconnect``: force-close this client's connection."""
+        self._server._conn._client.call("admin.client_disconnect", {"id": self.id})

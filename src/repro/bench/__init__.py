@@ -1,0 +1,18 @@
+"""Benchmark harness utilities: table formatting, result capture,
+workload construction shared by the ``benchmarks/`` suite."""
+
+from repro.bench.tables import format_series, format_table, save_result
+from repro.bench.workloads import (
+    build_backend,
+    build_local_connection,
+    guest_config,
+)
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "save_result",
+    "build_backend",
+    "build_local_connection",
+    "guest_config",
+]

@@ -1,0 +1,56 @@
+"""Paper-style table and series rendering for the benchmark suite.
+
+Every benchmark prints its table/figure rows and also writes them to
+``benchmarks/results/<experiment>.txt`` so a ``--benchmark-only`` run
+leaves the reproduced artefacts on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned text table with a title rule."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * (len(widths) - 1))]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, x_label: str, xs: Sequence[object], series: "dict[str, Sequence[object]]"
+) -> str:
+    """Render figure data: one x column plus one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(title, headers, rows)
+
+
+def save_result(experiment: str, text: str) -> pathlib.Path:
+    """Persist a rendered table under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print and persist one experiment's rendered output."""
+    print()
+    print(text)
+    save_result(experiment, text)

@@ -1,0 +1,100 @@
+"""Workload construction shared by the benchmark suite."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.connection import Connection
+from repro.core.uri import ConnectionURI
+from repro.drivers.lxc import LxcDriver
+from repro.drivers.qemu import QemuDriver
+from repro.drivers.test import TestDriver
+from repro.drivers.xen import XenDriver
+from repro.errors import InvalidArgumentError
+from repro.hypervisors.base import Backend
+from repro.hypervisors.container_backend import ContainerBackend
+from repro.hypervisors.host import SimHost
+from repro.hypervisors.qemu_backend import QemuBackend
+from repro.hypervisors.xen_backend import XenBackend
+from repro.util.clock import Clock, VirtualClock
+from repro.xmlconfig.domain import DomainConfig, OSConfig
+
+GIB_KIB = 1024 * 1024
+
+#: backend kinds the cross-hypervisor benchmarks sweep
+BACKEND_KINDS = ("kvm", "qemu", "xen", "lxc")
+
+
+def build_backend(
+    kind: str,
+    clock: "Optional[Clock]" = None,
+    cpus: int = 64,
+    memory_gib: int = 256,
+) -> Backend:
+    """A fresh simulated host + backend of the requested kind."""
+    clock = clock or VirtualClock()
+    host = SimHost(
+        hostname=f"{kind}-bench", cpus=cpus, memory_kib=memory_gib * GIB_KIB, clock=clock
+    )
+    if kind == "kvm":
+        return QemuBackend(host=host, clock=clock, kvm=True)
+    if kind == "qemu":
+        return QemuBackend(host=host, clock=clock, kvm=False)
+    if kind == "xen":
+        return XenBackend(host=host, clock=clock)
+    if kind == "lxc":
+        return ContainerBackend(host=host, clock=clock)
+    raise InvalidArgumentError(f"unknown benchmark backend kind {kind!r}")
+
+
+def build_local_connection(
+    kind: str, clock: "Optional[Clock]" = None, **backend_kwargs: int
+) -> "Tuple[Connection, Backend]":
+    """A connection whose driver sits directly on a fresh backend."""
+    clock = clock or VirtualClock()
+    if kind == "test":
+        driver = TestDriver(seed_default=False)
+        return (
+            Connection(driver, ConnectionURI.parse("test:///bench")),
+            driver.backend,
+        )
+    backend = build_backend(kind, clock=clock, **backend_kwargs)
+    if kind in ("kvm", "qemu"):
+        driver = QemuDriver(backend)
+    elif kind == "xen":
+        driver = XenDriver(backend)
+    else:
+        driver = LxcDriver(backend)
+    scheme = "qemu" if kind in ("kvm", "qemu") else kind
+    return Connection(driver, ConnectionURI.parse(f"{scheme}:///bench")), backend
+
+
+def guest_config(
+    kind: str, name: str = "bench-guest", memory_gib: float = 1.0, vcpus: int = 1
+) -> DomainConfig:
+    """The canonical benchmark guest, phrased for each hypervisor."""
+    memory_kib = int(memory_gib * GIB_KIB)
+    if kind in ("kvm", "qemu"):
+        domain_type = "kvm" if kind == "kvm" else "qemu"
+        return DomainConfig(
+            name=name, domain_type=domain_type, memory_kib=memory_kib, vcpus=vcpus
+        )
+    if kind == "xen":
+        return DomainConfig(
+            name=name,
+            domain_type="xen",
+            memory_kib=memory_kib,
+            vcpus=vcpus,
+            os=OSConfig("xen", "x86_64", ["hd"]),
+        )
+    if kind == "lxc":
+        return DomainConfig(
+            name=name,
+            domain_type="lxc",
+            memory_kib=memory_kib,
+            vcpus=vcpus,
+            os=OSConfig("exe", "x86_64", [], init="/sbin/init"),
+        )
+    return DomainConfig(
+        name=name, domain_type=kind, memory_kib=memory_kib, vcpus=vcpus
+    )

@@ -1,0 +1,1 @@
+"""Command-line tools: the ``pyvirsh`` shell and the ``pyvirtd`` demo daemon."""

@@ -1,0 +1,166 @@
+"""``pyvirt-admin`` — the virt-admin-like administration shell.
+
+Runtime management of a daemon: server workerpools, client limits and
+connections, and the logging subsystem::
+
+    pyvirt-admin -c nodeA srv-list
+    pyvirt-admin -c nodeA srv-threadpool-set libvirtd --max-workers 40
+    pyvirt-admin -c nodeA dmn-log-define --filters "3:util 4:rpc"
+    pyvirt-admin -c nodeA client-disconnect 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, TextIO
+
+from repro.admin import admin_open
+from repro.errors import VirtError
+
+
+def cmd_srv_list(conn, args, out: TextIO) -> int:
+    print(" Id   Name", file=out)
+    print("-----------------", file=out)
+    for index, server in enumerate(conn.list_servers()):
+        print(f" {index:<4} {server.name}", file=out)
+    return 0
+
+
+def cmd_threadpool_info(conn, args, out: TextIO) -> int:
+    info = conn.lookup_server(args.server).threadpool_info()
+    for key in ("minWorkers", "maxWorkers", "nWorkers", "freeWorkers", "prioWorkers", "jobQueueDepth"):
+        print(f"{key:<15}: {info[key]}", file=out)
+    return 0
+
+
+def cmd_threadpool_set(conn, args, out: TextIO) -> int:
+    conn.lookup_server(args.server).set_threadpool(
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
+        prio_workers=args.prio_workers,
+    )
+    print(f"threadpool on {args.server} updated", file=out)
+    return 0
+
+
+def cmd_clients_info(conn, args, out: TextIO) -> int:
+    info = conn.lookup_server(args.server).clients_info()
+    print(f"{'nclients_max':<15}: {info['nclients_max']}", file=out)
+    print(f"{'nclients':<15}: {info['nclients']}", file=out)
+    return 0
+
+
+def cmd_clients_set(conn, args, out: TextIO) -> int:
+    conn.lookup_server(args.server).set_client_limits(max_clients=args.max_clients)
+    print(f"client limits on {args.server} updated", file=out)
+    return 0
+
+
+def cmd_client_list(conn, args, out: TextIO) -> int:
+    print(f" {'Id':<5} {'Transport':<12} Connected since", file=out)
+    print("-" * 42, file=out)
+    for client in conn.lookup_server(args.server).list_clients():
+        print(
+            f" {client.id:<5} {client.transport:<12} {client.connected_since:.3f}",
+            file=out,
+        )
+    return 0
+
+
+def cmd_client_info(conn, args, out: TextIO) -> int:
+    client = conn.lookup_server(args.server).lookup_client(args.id)
+    for key, value in sorted(client.info().items()):
+        print(f"{key:<18}: {value}", file=out)
+    return 0
+
+
+def cmd_client_disconnect(conn, args, out: TextIO) -> int:
+    conn.lookup_server(args.server).lookup_client(args.id).disconnect()
+    print(f"client {args.id} disconnected from {args.server}", file=out)
+    return 0
+
+
+def cmd_log_info(conn, args, out: TextIO) -> int:
+    info = conn.get_logging()
+    print(f"Logging level: {info['level_name']}", file=out)
+    print(f"Logging filters: {info['filters'] or '(none)'}", file=out)
+    print(f"Logging outputs: {info['outputs']}", file=out)
+    return 0
+
+
+def cmd_log_define(conn, args, out: TextIO) -> int:
+    if args.level is None and args.filters is None and args.outputs is None:
+        print("error: nothing to define", file=sys.stderr)
+        return 1
+    if args.level is not None:
+        conn.set_logging_level(args.level)
+    if args.filters is not None:
+        conn.set_logging_filters(args.filters)
+    if args.outputs is not None:
+        conn.set_logging_outputs(args.outputs)
+    print("logging settings updated", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pyvirt-admin", description="daemon administration client"
+    )
+    parser.add_argument(
+        "-c", "--connect", default="localhost", metavar="HOST",
+        help="daemon hostname (default localhost)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True, metavar="COMMAND")
+
+    def add(name, fn, help_text):
+        p = sub.add_parser(name, help=help_text)
+        p.set_defaults(fn=fn)
+        return p
+
+    add("srv-list", cmd_srv_list, "list servers in the daemon")
+    add("srv-threadpool-info", cmd_threadpool_info, "show a server's workerpool").add_argument("server")
+    p = add("srv-threadpool-set", cmd_threadpool_set, "adjust a server's workerpool")
+    p.add_argument("server")
+    p.add_argument("--min-workers", type=int)
+    p.add_argument("--max-workers", type=int)
+    p.add_argument("--prio-workers", type=int)
+    add("srv-clients-info", cmd_clients_info, "show client limits").add_argument("server")
+    p = add("srv-clients-set", cmd_clients_set, "set client limits")
+    p.add_argument("server")
+    p.add_argument("--max-clients", type=int, required=True)
+    add("client-list", cmd_client_list, "list connected clients").add_argument("server")
+    p = add("client-info", cmd_client_info, "show one client's identity")
+    p.add_argument("server")
+    p.add_argument("id", type=int)
+    p = add("client-disconnect", cmd_client_disconnect, "force-close a client")
+    p.add_argument("server")
+    p.add_argument("id", type=int)
+    add("dmn-log-info", cmd_log_info, "show daemon logging settings")
+    p = add("dmn-log-define", cmd_log_define, "change daemon logging settings")
+    p.add_argument("--level", type=int)
+    p.add_argument("--filters")
+    p.add_argument("--outputs")
+    return parser
+
+
+def main(argv: "Optional[List[str]]" = None, out: "Optional[TextIO]" = None) -> int:
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        conn = admin_open(args.connect)
+    except VirtError as exc:
+        print(f"error: failed to connect to {args.connect}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        return args.fn(conn, args, out)
+    except VirtError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        conn.close()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

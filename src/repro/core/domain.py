@@ -1,0 +1,261 @@
+"""The ``Domain`` handle — the uniform per-VM management surface.
+
+A handle is cheap: it stores the connection and the domain's identity
+and forwards every operation to the connection's driver.  The same
+handle code manages a KVM guest, a Xen domain, a container, or an ESX
+virtual machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.core.states import DomainState, state_name
+from repro.xmlconfig.domain import DomainConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.connection import Connection
+
+
+@dataclass(frozen=True)
+class DomainInfo:
+    """The ``virDomainGetInfo`` result."""
+
+    state: DomainState
+    max_memory_kib: int
+    memory_kib: int
+    vcpus: int
+    cpu_seconds: float
+
+
+class Domain:
+    """Handle to one domain on a connection."""
+
+    def __init__(self, connection: "Connection", name: str, uuid: Optional[str] = None) -> None:
+        self._conn = connection
+        self._name = name
+        self._uuid = uuid
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def connection(self) -> "Connection":
+        return self._conn
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def uuid(self) -> Optional[str]:
+        if self._uuid is None:
+            record = self._conn._driver.domain_lookup_by_name(self._name)
+            self._uuid = record.get("uuid")
+        return self._uuid
+
+    @property
+    def id(self) -> Optional[int]:
+        """The hypervisor-assigned numeric id; None while inactive."""
+        record = self._conn._driver.domain_lookup_by_name(self._name)
+        return record.get("id")
+
+    @property
+    def persistent(self) -> bool:
+        record = self._conn._driver.domain_lookup_by_name(self._name)
+        return bool(record.get("persistent", True))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Domain({self._name!r} on {self._conn.uri})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Domain):
+            return NotImplemented
+        return self._conn is other._conn and self._name == other._name
+
+    def __hash__(self) -> int:
+        return hash((id(self._conn), self._name))
+
+    # -- state ---------------------------------------------------------------
+
+    def state(self) -> DomainState:
+        return DomainState(self._conn._driver.domain_get_state(self._name))
+
+    def state_text(self) -> str:
+        return state_name(self.state())
+
+    @property
+    def is_active(self) -> bool:
+        return self.state() not in (DomainState.SHUTOFF, DomainState.NOSTATE)
+
+    def info(self) -> DomainInfo:
+        raw = self._conn._driver.domain_get_info(self._name)
+        return DomainInfo(
+            state=DomainState(raw["state"]),
+            max_memory_kib=raw["max_memory_kib"],
+            memory_kib=raw["memory_kib"],
+            vcpus=raw["vcpus"],
+            cpu_seconds=raw["cpu_seconds"],
+        )
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> "Domain":
+        """Boot a defined domain (``virDomainCreate``)."""
+        self._conn._driver.domain_create(self._name)
+        return self
+
+    # libvirt calls this virDomainCreate; keep both spellings
+    create = start
+
+    def shutdown(self) -> "Domain":
+        """Ask the guest to power down cooperatively."""
+        self._conn._driver.domain_shutdown(self._name)
+        return self
+
+    def destroy(self) -> "Domain":
+        """Hard-stop the instance (the virtual power cord)."""
+        self._conn._driver.domain_destroy(self._name)
+        return self
+
+    def suspend(self) -> "Domain":
+        self._conn._driver.domain_suspend(self._name)
+        return self
+
+    def resume(self) -> "Domain":
+        self._conn._driver.domain_resume(self._name)
+        return self
+
+    def reboot(self) -> "Domain":
+        self._conn._driver.domain_reboot(self._name)
+        return self
+
+    def undefine(self) -> None:
+        """Remove the persistent configuration."""
+        self._conn._driver.domain_undefine(self._name)
+
+    # -- configuration -------------------------------------------------------------
+
+    def xml_desc(self) -> str:
+        return self._conn._driver.domain_get_xml_desc(self._name)
+
+    def get_stats(self) -> Dict[str, Any]:
+        """Extended statistics: CPU time, balloon, cumulative I/O counters."""
+        return self._conn._driver.domain_get_stats(self._name)
+
+    def scheduler_params(self) -> Dict[str, int]:
+        """CPU scheduler tunables (``virsh schedinfo``)."""
+        from repro.util.typedparams import to_dict
+
+        return to_dict(self._conn._driver.domain_get_scheduler_params(self._name))
+
+    def set_scheduler_params(self, **values: int) -> None:
+        """Update scheduler tunables (``cpu_shares``, ``vcpu_period``,
+        ``vcpu_quota``); applied live when the domain is running."""
+        from repro.util import typedparams as tp
+
+        params = []
+        for field, value in values.items():
+            if field == "vcpu_quota":
+                tp.add_llong(params, field, value)
+            else:
+                tp.add_ullong(params, field, value)
+        self._conn._driver.domain_set_scheduler_params(self._name, params)
+
+    def job_info(self) -> Dict[str, Any]:
+        """The current/last long-running job (migration, save)."""
+        return self._conn._driver.domain_get_job_info(self._name)
+
+    def config(self) -> DomainConfig:
+        """The parsed configuration document."""
+        return DomainConfig.from_xml(self.xml_desc())
+
+    def set_memory(self, memory_kib: int) -> None:
+        """Balloon the live guest to ``memory_kib``."""
+        self._conn._driver.domain_set_memory(self._name, memory_kib)
+
+    def set_vcpus(self, vcpus: int) -> None:
+        self._conn._driver.domain_set_vcpus(self._name, vcpus)
+
+    def attach_device(self, device_xml: str) -> None:
+        self._conn._driver.domain_attach_device(self._name, device_xml)
+
+    def detach_device(self, device_xml: str) -> None:
+        self._conn._driver.domain_detach_device(self._name, device_xml)
+
+    # -- save/restore -----------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Serialize guest state to a file and stop it (managed save)."""
+        self._conn._driver.domain_save(self._name, path)
+
+    # -- autostart ----------------------------------------------------------------------
+
+    @property
+    def autostart(self) -> bool:
+        return self._conn._driver.domain_get_autostart(self._name)
+
+    @autostart.setter
+    def autostart(self, value: bool) -> None:
+        self._conn._driver.domain_set_autostart(self._name, bool(value))
+
+    # -- snapshots -----------------------------------------------------------------------
+
+    def create_snapshot(self, snapshot_name: str) -> Dict[str, Any]:
+        return self._conn._driver.snapshot_create(self._name, snapshot_name)
+
+    def list_snapshots(self) -> List[str]:
+        return self._conn._driver.snapshot_list(self._name)
+
+    def revert_to_snapshot(self, snapshot_name: str) -> None:
+        self._conn._driver.snapshot_revert(self._name, snapshot_name)
+
+    def delete_snapshot(self, snapshot_name: str) -> None:
+        self._conn._driver.snapshot_delete(self._name, snapshot_name)
+
+    # -- migration ------------------------------------------------------------------------
+
+    def migrate(
+        self,
+        dest: "Connection",
+        live: bool = True,
+        max_downtime_s: float = 0.3,
+        bandwidth_mib_s: Optional[float] = None,
+    ) -> "Domain":
+        """Migrate this domain to another connection's host.
+
+        Returns the handle on the destination.  Managed (client-driven)
+        migration: the client orchestrates begin/prepare/perform/finish
+        across the two connections, as libvirt does for peer pairs that
+        cannot talk to each other directly.
+        """
+        from repro.migration.manager import migrate_domain
+
+        return migrate_domain(
+            self,
+            dest,
+            live=live,
+            max_downtime_s=max_downtime_s,
+            bandwidth_mib_s=bandwidth_mib_s,
+        )
+
+    def migrate_to_uri(
+        self,
+        dest_uri: str,
+        live: bool = True,
+        max_downtime_s: float = 0.3,
+        bandwidth_mib_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Peer-to-peer migration: the *source host* dials ``dest_uri``
+        and drives the whole handshake itself — one call from the
+        client, no client in the data path (libvirt's P2P mode).
+
+        Returns the migration record (name, uuid, transfer stats); look
+        the domain up on a destination connection to manage it further.
+        """
+        params = {
+            "live": live,
+            "max_downtime_s": max_downtime_s,
+            "bandwidth_mib_s": bandwidth_mib_s,
+        }
+        return self._conn._driver.migrate_p2p(self._name, dest_uri, params)

@@ -1,0 +1,367 @@
+"""The abstract driver interface and the driver registry.
+
+This is the heart of libvirt's architecture: one internal interface
+that every hypervisor driver implements, with a registry that maps a
+connection URI to the driver able to serve it.  Drivers come in two
+flavours (the paper's stateless/stateful split):
+
+* *stateless* drivers run entirely client-side and talk to a
+  hypervisor that manages its own state (ESX, the test driver);
+* *stateful* drivers keep domain configurations themselves and
+  normally live inside the libvirtd daemon (qemu/kvm, xen, lxc);
+  clients reach them through the *remote* driver.
+
+Any method a driver does not implement raises
+:class:`~repro.errors.UnsupportedError` — that graceful degradation is
+what the capability matrix (experiment E1) queries.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.events import EventCallback
+from repro.core.uri import ConnectionURI
+from repro.errors import InvalidURIError, UnsupportedError
+
+#: optional capabilities a driver can advertise (drives experiment E1)
+FEATURES = (
+    "lifecycle",  # define/start/stop/destroy
+    "pause_resume",
+    "reboot",
+    "save_restore",
+    "set_memory",
+    "set_vcpus",
+    "snapshots",
+    "migration",
+    "networks",
+    "storage",
+    "events",
+    "device_hotplug",
+    "remote",  # reachable through the remote protocol
+    "autostart",
+)
+
+
+class Driver:
+    """Internal driver interface (``virDriver``).
+
+    Every public ``Connection``/``Domain`` method maps 1:1 onto one of
+    these.  The base class implements nothing: each method raises
+    :class:`UnsupportedError` so capability probing is uniform.
+    """
+
+    #: URI scheme(s) this driver answers to
+    name = "abstract"
+    #: True when the driver runs client-side against a self-managing hypervisor
+    stateless = False
+
+    def _unsupported(self, what: str) -> "UnsupportedError":
+        return UnsupportedError(f"driver {self.name!r} does not support {what}")
+
+    # -- connection ------------------------------------------------------
+
+    def close(self) -> None:
+        raise self._unsupported("close")
+
+    def get_hostname(self) -> str:
+        raise self._unsupported("get_hostname")
+
+    def get_capabilities(self) -> str:
+        raise self._unsupported("get_capabilities")
+
+    def get_node_info(self) -> Dict[str, int]:
+        raise self._unsupported("get_node_info")
+
+    def get_version(self) -> Tuple[int, int, int]:
+        raise self._unsupported("get_version")
+
+    def features(self) -> List[str]:
+        """The optional capabilities this driver implements."""
+        return []
+
+    def supports_feature(self, feature: str) -> bool:
+        return feature in self.features()
+
+    # -- domain enumeration ----------------------------------------------
+
+    def list_domains(self) -> List[str]:
+        """Names of active domains."""
+        raise self._unsupported("list_domains")
+
+    def list_defined_domains(self) -> List[str]:
+        """Names of defined-but-inactive domains."""
+        raise self._unsupported("list_defined_domains")
+
+    def num_of_domains(self) -> int:
+        raise self._unsupported("num_of_domains")
+
+    # -- domain lookup/lifecycle -------------------------------------------
+
+    def domain_lookup_by_name(self, name: str) -> Dict[str, Any]:
+        raise self._unsupported("domain_lookup_by_name")
+
+    def domain_lookup_by_uuid(self, uuid: str) -> Dict[str, Any]:
+        raise self._unsupported("domain_lookup_by_uuid")
+
+    def domain_lookup_by_id(self, domain_id: int) -> Dict[str, Any]:
+        raise self._unsupported("domain_lookup_by_id")
+
+    def domain_define_xml(self, xml: str) -> Dict[str, Any]:
+        raise self._unsupported("domain_define_xml")
+
+    def domain_undefine(self, name: str) -> None:
+        raise self._unsupported("domain_undefine")
+
+    def domain_create(self, name: str) -> None:
+        """Start a defined domain."""
+        raise self._unsupported("domain_create")
+
+    def domain_create_xml(self, xml: str) -> Dict[str, Any]:
+        """Create and start a transient domain."""
+        raise self._unsupported("domain_create_xml")
+
+    def domain_shutdown(self, name: str) -> None:
+        raise self._unsupported("domain_shutdown")
+
+    def domain_destroy(self, name: str) -> None:
+        raise self._unsupported("domain_destroy")
+
+    def domain_suspend(self, name: str) -> None:
+        raise self._unsupported("domain_suspend")
+
+    def domain_resume(self, name: str) -> None:
+        raise self._unsupported("domain_resume")
+
+    def domain_reboot(self, name: str) -> None:
+        raise self._unsupported("domain_reboot")
+
+    # -- domain introspection -----------------------------------------------
+
+    def domain_get_info(self, name: str) -> Dict[str, Any]:
+        raise self._unsupported("domain_get_info")
+
+    def domain_get_state(self, name: str) -> int:
+        raise self._unsupported("domain_get_state")
+
+    def domain_get_xml_desc(self, name: str) -> str:
+        raise self._unsupported("domain_get_xml_desc")
+
+    def domain_get_stats(self, name: str) -> Dict[str, Any]:
+        """Extended statistics: cpu, balloon, and cumulative I/O counters."""
+        raise self._unsupported("domain_get_stats")
+
+    def domain_get_scheduler_params(self, name: str) -> List[Any]:
+        """CPU scheduler tunables as a typed-parameter list."""
+        raise self._unsupported("domain_get_scheduler_params")
+
+    def domain_set_scheduler_params(self, name: str, params: List[Any]) -> None:
+        raise self._unsupported("domain_set_scheduler_params")
+
+    def domain_get_job_info(self, name: str) -> Dict[str, Any]:
+        """The current or most recently completed long-running job."""
+        raise self._unsupported("domain_get_job_info")
+
+    # -- domain tuning --------------------------------------------------------
+
+    def domain_set_memory(self, name: str, memory_kib: int) -> None:
+        raise self._unsupported("domain_set_memory")
+
+    def domain_set_vcpus(self, name: str, vcpus: int) -> None:
+        raise self._unsupported("domain_set_vcpus")
+
+    def domain_save(self, name: str, path: str) -> None:
+        raise self._unsupported("domain_save")
+
+    def domain_restore(self, path: str) -> Dict[str, Any]:
+        raise self._unsupported("domain_restore")
+
+    def domain_get_autostart(self, name: str) -> bool:
+        raise self._unsupported("domain_get_autostart")
+
+    def domain_set_autostart(self, name: str, autostart: bool) -> None:
+        raise self._unsupported("domain_set_autostart")
+
+    def domain_attach_device(self, name: str, device_xml: str) -> None:
+        raise self._unsupported("domain_attach_device")
+
+    def domain_detach_device(self, name: str, device_xml: str) -> None:
+        raise self._unsupported("domain_detach_device")
+
+    # -- snapshots --------------------------------------------------------------
+
+    def snapshot_create(self, name: str, snapshot_name: str) -> Dict[str, Any]:
+        raise self._unsupported("snapshot_create")
+
+    def snapshot_list(self, name: str) -> List[str]:
+        raise self._unsupported("snapshot_list")
+
+    def snapshot_revert(self, name: str, snapshot_name: str) -> None:
+        raise self._unsupported("snapshot_revert")
+
+    def snapshot_delete(self, name: str, snapshot_name: str) -> None:
+        raise self._unsupported("snapshot_delete")
+
+    # -- migration ----------------------------------------------------------------
+
+    def migrate_begin(self, name: str) -> Dict[str, Any]:
+        """Source side: validate and describe the guest for migration."""
+        raise self._unsupported("migrate_begin")
+
+    def migrate_prepare(self, description: Dict[str, Any]) -> Dict[str, Any]:
+        """Destination side: reserve resources, return a cookie."""
+        raise self._unsupported("migrate_prepare")
+
+    def migrate_perform(self, name: str, cookie: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
+        """Source side: run the memory copy, return transfer stats."""
+        raise self._unsupported("migrate_perform")
+
+    def migrate_finish(self, cookie: Dict[str, Any], stats: Dict[str, Any]) -> Dict[str, Any]:
+        """Destination side: activate the incoming guest."""
+        raise self._unsupported("migrate_finish")
+
+    def migrate_confirm(self, name: str, cancelled: bool) -> None:
+        """Source side: kill (or keep, on failure) the original guest."""
+        raise self._unsupported("migrate_confirm")
+
+    def migrate_p2p(self, name: str, dest_uri: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Peer-to-peer mode: the source host drives the whole handshake
+        itself, dialling ``dest_uri`` directly — the client stays out of
+        the data path entirely."""
+        raise self._unsupported("migrate_p2p")
+
+    # -- events ---------------------------------------------------------------------
+
+    def domain_event_register(self, callback: EventCallback) -> int:
+        raise self._unsupported("domain_event_register")
+
+    def domain_event_deregister(self, callback_id: int) -> None:
+        raise self._unsupported("domain_event_deregister")
+
+    # -- networks ---------------------------------------------------------------------
+
+    def network_define_xml(self, xml: str) -> Dict[str, Any]:
+        raise self._unsupported("network_define_xml")
+
+    def network_undefine(self, name: str) -> None:
+        raise self._unsupported("network_undefine")
+
+    def network_create(self, name: str) -> None:
+        raise self._unsupported("network_create")
+
+    def network_destroy(self, name: str) -> None:
+        raise self._unsupported("network_destroy")
+
+    def network_list(self) -> List[Dict[str, Any]]:
+        raise self._unsupported("network_list")
+
+    def network_lookup_by_name(self, name: str) -> Dict[str, Any]:
+        raise self._unsupported("network_lookup_by_name")
+
+    def network_get_xml_desc(self, name: str) -> str:
+        raise self._unsupported("network_get_xml_desc")
+
+    def network_dhcp_leases(self, name: str) -> List[Dict[str, Any]]:
+        """Active DHCP leases handed out on a network."""
+        raise self._unsupported("network_dhcp_leases")
+
+    # -- storage ------------------------------------------------------------------------
+
+    def storage_pool_define_xml(self, xml: str) -> Dict[str, Any]:
+        raise self._unsupported("storage_pool_define_xml")
+
+    def storage_pool_undefine(self, name: str) -> None:
+        raise self._unsupported("storage_pool_undefine")
+
+    def storage_pool_create(self, name: str) -> None:
+        raise self._unsupported("storage_pool_create")
+
+    def storage_pool_destroy(self, name: str) -> None:
+        raise self._unsupported("storage_pool_destroy")
+
+    def storage_pool_list(self) -> List[Dict[str, Any]]:
+        raise self._unsupported("storage_pool_list")
+
+    def storage_pool_lookup_by_name(self, name: str) -> Dict[str, Any]:
+        raise self._unsupported("storage_pool_lookup_by_name")
+
+    def storage_pool_get_info(self, name: str) -> Dict[str, Any]:
+        raise self._unsupported("storage_pool_get_info")
+
+    def storage_pool_get_xml_desc(self, name: str) -> str:
+        raise self._unsupported("storage_pool_get_xml_desc")
+
+    def storage_vol_create_xml(self, pool: str, xml: str) -> Dict[str, Any]:
+        raise self._unsupported("storage_vol_create_xml")
+
+    def storage_vol_delete(self, pool: str, volume: str) -> None:
+        raise self._unsupported("storage_vol_delete")
+
+    def storage_vol_list(self, pool: str) -> List[str]:
+        raise self._unsupported("storage_vol_list")
+
+    def storage_vol_get_info(self, pool: str, volume: str) -> Dict[str, Any]:
+        raise self._unsupported("storage_vol_get_info")
+
+
+# -- driver registry ---------------------------------------------------------
+
+DriverFactory = Callable[[ConnectionURI, Optional[Dict[str, Any]]], Driver]
+
+_FACTORIES: Dict[str, "Tuple[DriverFactory, bool]"] = {}
+_REMOTE_FACTORY: "Optional[DriverFactory]" = None
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_driver(scheme: str, factory: DriverFactory, handles_remote: bool = False) -> None:
+    """Register a driver factory for a URI scheme (``qemu``, ``esx``, …).
+
+    ``handles_remote=True`` marks a client-side driver that reaches
+    remote hosts itself (the stateless case, e.g. ESX): a hostname in
+    the URI does not push the connection through the remote driver.
+    """
+    with _REGISTRY_LOCK:
+        _FACTORIES[scheme] = (factory, handles_remote)
+
+
+def register_remote_driver(factory: DriverFactory) -> None:
+    """Register the fallback driver that tunnels unrecognized URIs."""
+    global _REMOTE_FACTORY
+    with _REGISTRY_LOCK:
+        _REMOTE_FACTORY = factory
+
+
+def registered_schemes() -> List[str]:
+    with _REGISTRY_LOCK:
+        return sorted(_FACTORIES)
+
+
+def open_driver(uri: "ConnectionURI | str", credentials: "Optional[Dict[str, Any]]" = None) -> Driver:
+    """URI → driver: the probing logic the paper describes.
+
+    A URI with an explicit transport always goes through the remote
+    driver.  Otherwise the scheme is offered to the registered local/
+    stateless drivers; if none claims it, the remote driver is the
+    fallback (and if there is none, the URI is invalid).
+    """
+    if isinstance(uri, str):
+        uri = ConnectionURI.parse(uri)
+    with _REGISTRY_LOCK:
+        entry = _FACTORIES.get(uri.driver)
+        remote_factory = _REMOTE_FACTORY
+    local_factory, handles_remote = entry if entry is not None else (None, False)
+    needs_remote = uri.transport is not None or (
+        bool(uri.hostname) and not handles_remote
+    )
+    if needs_remote:
+        if remote_factory is None:
+            raise InvalidURIError(
+                f"URI {uri.format()!r} requires the remote driver, none registered"
+            )
+        return remote_factory(uri, credentials)
+    if local_factory is not None:
+        return local_factory(uri, credentials)
+    if remote_factory is not None:
+        return remote_factory(uri, credentials)
+    raise InvalidURIError(f"no driver recognizes URI scheme {uri.driver!r}")

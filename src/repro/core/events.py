@@ -1,0 +1,73 @@
+"""Domain lifecycle event delivery.
+
+Management applications register callbacks on a connection and receive
+``(domain_name, event, detail)`` notifications for every lifecycle
+transition — the mechanism monitoring tools build on instead of
+polling every domain (the non-intrusive monitoring story).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.core.states import DomainEvent
+from repro.errors import InvalidArgumentError
+
+EventCallback = Callable[[str, DomainEvent, str], None]
+
+
+class EventBroker:
+    """Callback registry with stable registration ids."""
+
+    def __init__(self) -> None:
+        self._callbacks: Dict[int, EventCallback] = {}
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self.delivered = 0
+        #: log of every event ever emitted (bounded), for introspection
+        self.history: List[Tuple[str, DomainEvent, str]] = []
+        self._history_limit = 1000
+
+    def register(self, callback: EventCallback) -> int:
+        """Register a callback; returns the id used for deregistration."""
+        if not callable(callback):
+            raise InvalidArgumentError("event callback must be callable")
+        with self._lock:
+            callback_id = next(self._ids)
+            self._callbacks[callback_id] = callback
+            return callback_id
+
+    def deregister(self, callback_id: int) -> None:
+        with self._lock:
+            if callback_id not in self._callbacks:
+                raise InvalidArgumentError(f"no event callback with id {callback_id}")
+            del self._callbacks[callback_id]
+
+    def emit(self, domain: str, event: DomainEvent, detail: str = "") -> int:
+        """Deliver an event to every registered callback.
+
+        Returns the number of callbacks invoked.  A callback raising
+        must not prevent delivery to the others.
+        """
+        with self._lock:
+            callbacks = list(self._callbacks.values())
+            self.history.append((domain, event, detail))
+            if len(self.history) > self._history_limit:
+                del self.history[: -self._history_limit]
+        count = 0
+        for callback in callbacks:
+            try:
+                callback(domain, event, detail)
+                count += 1
+            except Exception:  # noqa: BLE001 - one bad consumer must not break others
+                continue
+        with self._lock:
+            self.delivered += count
+        return count
+
+    @property
+    def callback_count(self) -> int:
+        with self._lock:
+            return len(self._callbacks)

@@ -1,0 +1,67 @@
+"""The ``Network`` handle — virtual network management surface."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.xmlconfig.network import NetworkConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.connection import Connection
+
+
+class Network:
+    """Handle to one virtual network on a connection."""
+
+    def __init__(self, connection: "Connection", name: str, uuid: Optional[str] = None) -> None:
+        self._conn = connection
+        self._name = name
+        self._uuid = uuid
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def uuid(self) -> Optional[str]:
+        if self._uuid is None:
+            record = self._conn._driver.network_lookup_by_name(self._name)
+            self._uuid = record.get("uuid")
+        return self._uuid
+
+    @property
+    def is_active(self) -> bool:
+        record = self._conn._driver.network_lookup_by_name(self._name)
+        return bool(record.get("active", False))
+
+    @property
+    def bridge(self) -> str:
+        return self.config().bridge
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Network({self._name!r} on {self._conn.uri})"
+
+    def start(self) -> "Network":
+        """Bring the network up (create the bridge, start DHCP)."""
+        self._conn._driver.network_create(self._name)
+        return self
+
+    create = start
+
+    def destroy(self) -> "Network":
+        """Tear the live network down."""
+        self._conn._driver.network_destroy(self._name)
+        return self
+
+    def undefine(self) -> None:
+        self._conn._driver.network_undefine(self._name)
+
+    def xml_desc(self) -> str:
+        return self._conn._driver.network_get_xml_desc(self._name)
+
+    def config(self) -> NetworkConfig:
+        return NetworkConfig.from_xml(self.xml_desc())
+
+    def dhcp_leases(self) -> list:
+        """Active DHCP leases on this network (mac, ip, hostname, since)."""
+        return self._conn._driver.network_dhcp_leases(self._name)

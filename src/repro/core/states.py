@@ -1,0 +1,83 @@
+"""Domain lifecycle states and events (``virDomainState`` et al.)."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet
+
+from repro.hypervisors.base import RunState
+
+
+class DomainState(enum.IntEnum):
+    """Public domain states, numbered like libvirt's."""
+
+    NOSTATE = 0
+    RUNNING = 1
+    BLOCKED = 2
+    PAUSED = 3
+    SHUTDOWN = 4  # being shut down
+    SHUTOFF = 5
+    CRASHED = 6
+    PMSUSPENDED = 7
+
+
+class DomainEvent(enum.IntEnum):
+    """Lifecycle event kinds delivered to registered callbacks."""
+
+    DEFINED = 0
+    UNDEFINED = 1
+    STARTED = 2
+    SUSPENDED = 3
+    RESUMED = 4
+    STOPPED = 5
+    SHUTDOWN = 6
+    CRASHED = 7
+    MIGRATED = 8
+
+
+#: mapping from backend-level run states to the public enum
+_RUNSTATE_TO_DOMAIN = {
+    RunState.RUNNING: DomainState.RUNNING,
+    RunState.PAUSED: DomainState.PAUSED,
+    RunState.SHUTOFF: DomainState.SHUTOFF,
+    RunState.CRASHED: DomainState.CRASHED,
+}
+
+
+def from_run_state(state: RunState) -> DomainState:
+    """Translate a backend run state to the public domain state."""
+    return _RUNSTATE_TO_DOMAIN[state]
+
+
+#: which states count as "active" (the domain has a live instance)
+ACTIVE_STATES: FrozenSet[DomainState] = frozenset(
+    {DomainState.RUNNING, DomainState.BLOCKED, DomainState.PAUSED, DomainState.CRASHED}
+)
+
+#: legal state transitions for the uniform API's lifecycle operations;
+#: drivers consult this before touching the backend so every hypervisor
+#: rejects the same invalid requests with the same error
+VALID_TRANSITIONS: Dict[str, FrozenSet[DomainState]] = {
+    "start": frozenset({DomainState.SHUTOFF}),
+    "shutdown": frozenset({DomainState.RUNNING}),
+    "destroy": ACTIVE_STATES,
+    "suspend": frozenset({DomainState.RUNNING}),
+    "resume": frozenset({DomainState.PAUSED}),
+    "reboot": frozenset({DomainState.RUNNING}),
+    "save": frozenset({DomainState.RUNNING, DomainState.PAUSED}),
+    "migrate": frozenset({DomainState.RUNNING, DomainState.PAUSED}),
+}
+
+
+def state_name(state: DomainState) -> str:
+    """Human name used by the CLI (``running``, ``shut off``, …)."""
+    return {
+        DomainState.NOSTATE: "no state",
+        DomainState.RUNNING: "running",
+        DomainState.BLOCKED: "blocked",
+        DomainState.PAUSED: "paused",
+        DomainState.SHUTDOWN: "in shutdown",
+        DomainState.SHUTOFF: "shut off",
+        DomainState.CRASHED: "crashed",
+        DomainState.PMSUSPENDED: "pmsuspended",
+    }[state]

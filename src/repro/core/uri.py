@@ -1,0 +1,107 @@
+"""Connection URI parsing.
+
+Libvirt selects the driver and transport from a URI of the form::
+
+    driver[+transport]://[username@][hostname][:port]/[path][?extraparameters]
+
+e.g. ``qemu:///system``, ``xen+tcp://node7/``, ``esx://admin@vc1/?no_verify=1``.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from typing import Dict, Optional
+
+from repro.errors import InvalidURIError
+
+#: transports accepted in the ``driver+transport`` scheme position
+KNOWN_TRANSPORTS = ("unix", "tcp", "tls", "ssh", "libssh2", "ext")
+
+
+class ConnectionURI:
+    """A parsed connection URI."""
+
+    def __init__(
+        self,
+        driver: str,
+        transport: Optional[str] = None,
+        username: Optional[str] = None,
+        hostname: Optional[str] = None,
+        port: Optional[int] = None,
+        path: str = "",
+        params: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if not driver:
+            raise InvalidURIError("URI driver part must be non-empty")
+        if transport is not None and transport not in KNOWN_TRANSPORTS:
+            raise InvalidURIError(f"unknown URI transport {transport!r}")
+        if port is not None and not 0 < port < 65536:
+            raise InvalidURIError(f"URI port out of range: {port}")
+        self.driver = driver
+        self.transport = transport
+        self.username = username
+        self.hostname = hostname
+        self.port = port
+        self.path = path
+        self.params = dict(params or {})
+
+    @property
+    def is_remote(self) -> bool:
+        """True if the URI names a transport or a remote host."""
+        return self.transport is not None or bool(self.hostname)
+
+    @staticmethod
+    def parse(text: str) -> "ConnectionURI":
+        if not text or "://" not in text:
+            raise InvalidURIError(f"malformed connection URI {text!r}")
+        parsed = urllib.parse.urlparse(text)
+        scheme = parsed.scheme
+        if not scheme:
+            raise InvalidURIError(f"malformed connection URI {text!r}")
+        driver, plus, transport = scheme.partition("+")
+        if plus and not transport:
+            raise InvalidURIError(f"empty transport in URI scheme {scheme!r}")
+        if not driver:
+            raise InvalidURIError(f"empty driver in URI scheme {scheme!r}")
+        try:
+            port = parsed.port
+        except ValueError as exc:
+            raise InvalidURIError(f"bad port in URI {text!r}: {exc}") from exc
+        params: Dict[str, str] = {}
+        if parsed.query:
+            for key, values in urllib.parse.parse_qs(
+                parsed.query, keep_blank_values=True
+            ).items():
+                params[key] = values[-1]
+        return ConnectionURI(
+            driver=driver,
+            transport=transport or None,
+            username=parsed.username,
+            hostname=parsed.hostname,
+            port=port,
+            path=parsed.path or "",
+            params=params,
+        )
+
+    def format(self) -> str:
+        """Reassemble the canonical URI string."""
+        scheme = self.driver if self.transport is None else f"{self.driver}+{self.transport}"
+        authority = ""
+        if self.username:
+            authority += f"{self.username}@"
+        if self.hostname:
+            authority += self.hostname
+        if self.port:
+            authority += f":{self.port}"
+        uri = f"{scheme}://{authority}{self.path}"
+        if self.params:
+            uri += "?" + urllib.parse.urlencode(self.params)
+        return uri
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConnectionURI({self.format()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConnectionURI):
+            return NotImplemented
+        return self.format() == other.format()

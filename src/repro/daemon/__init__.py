@@ -1,0 +1,24 @@
+"""The libvirtd-analogue daemon.
+
+Hosts the stateful drivers behind the RPC protocol: a server object
+accepting client connections over multiple transports, a workerpool
+dispatching calls (with a priority lane for guaranteed-finish
+operations), client tracking with connection limits, a logging
+subsystem, and lifecycle-event fan-out to subscribed clients.
+"""
+
+from repro.daemon.libvirtd import Libvirtd
+from repro.daemon.registry import (
+    lookup_daemon,
+    register_daemon,
+    reset_daemons,
+    unregister_daemon,
+)
+
+__all__ = [
+    "Libvirtd",
+    "register_daemon",
+    "lookup_daemon",
+    "unregister_daemon",
+    "reset_daemons",
+]

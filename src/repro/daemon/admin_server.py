@@ -1,0 +1,148 @@
+"""Daemon-side handlers for the administration interface.
+
+These run inside the daemon's second server object (``admin``) and
+manipulate the daemon's own runtime state: workerpool limits, client
+limits and connections, and the logging subsystem.  The admin socket
+is root-only by default — the interface grants full control of the
+daemon.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List
+
+from repro.errors import AccessDeniedError, InvalidArgumentError
+from repro.rpc.server import RPCServer
+from repro.rpc.transport import ServerConnection
+from repro.util import typedparams as tp
+from repro.util.typedparams import ParamType, TypedParameter
+from repro.util.virtlog import PRIORITY_NAMES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.daemon.libvirtd import Libvirtd
+
+#: threadpool parameter fields (``VIR_THREADPOOL_*`` macros)
+THREADPOOL_FIELDS: Dict[str, ParamType] = {
+    "minWorkers": ParamType.UINT,
+    "maxWorkers": ParamType.UINT,
+    "prioWorkers": ParamType.UINT,
+    "nWorkers": ParamType.UINT,
+    "freeWorkers": ParamType.UINT,
+    "jobQueueDepth": ParamType.UINT,
+}
+THREADPOOL_READ_ONLY = ("nWorkers", "freeWorkers", "jobQueueDepth")
+
+#: per-server client-limit fields (``VIR_SERVER_CLIENTS_*`` macros)
+CLIENT_LIMIT_FIELDS: Dict[str, ParamType] = {
+    "nclients_max": ParamType.UINT,
+    "nclients": ParamType.UINT,
+}
+CLIENT_LIMIT_READ_ONLY = ("nclients",)
+
+
+def default_admin_authenticator(credentials: Dict[str, Any]) -> Dict[str, Any]:
+    """The admin socket's permission check: only uid 0 may connect."""
+    uid = credentials.get("uid", 0)
+    if uid != 0:
+        raise AccessDeniedError(
+            f"administration interface requires root (got uid {uid})"
+        )
+    return {"unix_user_name": credentials.get("username", "root")}
+
+
+def _pool_of(daemon: "Libvirtd", server: str):
+    pool = daemon.server_pools.get(server)
+    if pool is None:
+        raise InvalidArgumentError(f"no server named {server!r}")
+    return pool
+
+
+def register_admin_handlers(rpc: RPCServer, daemon: "Libvirtd") -> None:
+    """Bind the ``admin.*`` procedures onto an RPC dispatcher."""
+
+    def h_open(conn: ServerConnection, body: Any) -> Any:
+        return {"uri": f"daemon://{daemon.hostname}/system"}
+
+    def h_srv_list(conn: ServerConnection, body: Any) -> List[Dict[str, Any]]:
+        return [
+            {"id": index, "name": name}
+            for index, name in enumerate(daemon.server_names())
+        ]
+
+    def h_threadpool_info(conn: ServerConnection, body: Any) -> Dict[str, int]:
+        return _pool_of(daemon, (body or {})["server"]).stats()
+
+    def h_threadpool_set(conn: ServerConnection, body: Any) -> None:
+        body = body or {}
+        pool = _pool_of(daemon, body["server"])
+        params: List[TypedParameter] = body.get("params") or []
+        if not params:
+            raise InvalidArgumentError("no threadpool parameters supplied")
+        tp.validate_fields(params, THREADPOOL_FIELDS, THREADPOOL_READ_ONLY)
+        values = tp.to_dict(params)
+        pool.set_parameters(
+            min_workers=values.get("minWorkers"),
+            max_workers=values.get("maxWorkers"),
+            prio_workers=values.get("prioWorkers"),
+        )
+
+    def h_clients_info(conn: ServerConnection, body: Any) -> Dict[str, int]:
+        server = (body or {})["server"]
+        _pool_of(daemon, server)  # existence check
+        return {
+            "nclients_max": daemon.get_max_clients(server),
+            "nclients": len(daemon.list_clients(server)),
+        }
+
+    def h_clients_set(conn: ServerConnection, body: Any) -> None:
+        body = body or {}
+        server = body["server"]
+        params: List[TypedParameter] = body.get("params") or []
+        if not params:
+            raise InvalidArgumentError("no client-limit parameters supplied")
+        tp.validate_fields(params, CLIENT_LIMIT_FIELDS, CLIENT_LIMIT_READ_ONLY)
+        values = tp.to_dict(params)
+        if "nclients_max" in values:
+            daemon.set_max_clients(values["nclients_max"], server=server)
+
+    def h_client_list(conn: ServerConnection, body: Any) -> List[Dict[str, Any]]:
+        server = (body or {})["server"]
+        _pool_of(daemon, server)
+        return daemon.list_clients(server)
+
+    def h_client_info(conn: ServerConnection, body: Any) -> Dict[str, Any]:
+        return daemon.client_info((body or {})["id"])
+
+    def h_client_disconnect(conn: ServerConnection, body: Any) -> None:
+        daemon.disconnect_client((body or {})["id"])
+
+    def h_log_info(conn: ServerConnection, body: Any) -> Dict[str, Any]:
+        logger = daemon.logger
+        return {
+            "level": logger.level,
+            "level_name": PRIORITY_NAMES[logger.level],
+            "filters": logger.get_filters(),
+            "outputs": logger.get_outputs(),
+        }
+
+    def h_log_define(conn: ServerConnection, body: Any) -> None:
+        body = body or {}
+        logger = daemon.logger
+        if "level" in body and body["level"] is not None:
+            logger.set_level(body["level"])
+        if "filters" in body and body["filters"] is not None:
+            logger.set_filters(body["filters"])
+        if "outputs" in body and body["outputs"] is not None:
+            logger.set_outputs(body["outputs"])
+
+    rpc.register("admin.connect_open", h_open, priority=True)
+    rpc.register("admin.srv_list", h_srv_list, priority=True)
+    rpc.register("admin.srv_threadpool_info", h_threadpool_info, priority=True)
+    rpc.register("admin.srv_threadpool_set", h_threadpool_set, priority=True)
+    rpc.register("admin.srv_clients_info", h_clients_info, priority=True)
+    rpc.register("admin.srv_clients_set", h_clients_set, priority=True)
+    rpc.register("admin.client_list", h_client_list, priority=True)
+    rpc.register("admin.client_info", h_client_info, priority=True)
+    rpc.register("admin.client_disconnect", h_client_disconnect, priority=True)
+    rpc.register("admin.dmn_log_info", h_log_info, priority=True)
+    rpc.register("admin.dmn_log_define", h_log_define, priority=True)

@@ -1,0 +1,55 @@
+"""Daemon-side client bookkeeping."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.rpc.transport import ServerConnection
+
+
+class ClientRecord:
+    """One connected client as the daemon sees it."""
+
+    def __init__(
+        self,
+        client_id: int,
+        conn: ServerConnection,
+        connected_since: float,
+        server: str = "libvirtd",
+    ) -> None:
+        self.id = client_id
+        self.conn = conn
+        self.connected_since = connected_since
+        #: which daemon-internal server accepted this client
+        self.server = server
+        #: clock time of the last call (drives keepalive reaping)
+        self.last_activity = connected_since
+        #: which local driver this client's connect.open bound it to
+        self.driver: Optional[object] = None
+        #: broker callback id, set while the client subscribes to events
+        self.event_callback_id: Optional[int] = None
+        self.calls = 0
+
+    @property
+    def transport(self) -> str:
+        return self.conn.identity.get("transport", "unknown")
+
+    @property
+    def identity(self) -> Dict[str, Any]:
+        return dict(self.conn.identity)
+
+    def summary(self) -> Dict[str, Any]:
+        """The ``client-list`` row."""
+        return {
+            "id": self.id,
+            "transport": self.transport,
+            "connected_since": self.connected_since,
+            "calls": self.calls,
+            "server": self.server,
+        }
+
+    def info(self) -> Dict[str, Any]:
+        """The ``client-info`` detail view (transport-dependent fields)."""
+        data = self.summary()
+        data.update(self.identity)
+        return data

@@ -1,0 +1,504 @@
+"""The daemon: drivers behind the wire protocol.
+
+One :class:`Libvirtd` hosts the node's stateful drivers (qemu, xen,
+lxc, test by default), listens on one or more transports, tracks the
+connected clients against a configurable limit, dispatches calls
+through a workerpool whose destructive operations ride the priority
+lane, and fans lifecycle events out to subscribed clients.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.states import DomainEvent
+from repro.core.uri import ConnectionURI
+from repro.daemon.client import ClientRecord
+from repro.daemon.registry import register_daemon, unregister_daemon
+from repro.errors import (
+    ConnectionError_,
+    InvalidArgumentError,
+    InvalidURIError,
+    OperationFailedError,
+    VirtError,
+)
+from repro.rpc.protocol import EVENT_DOMAIN_LIFECYCLE
+from repro.rpc.server import RPCServer
+from repro.rpc.transport import Listener, ServerConnection
+from repro.util.clock import Clock, VirtualClock
+from repro.util.threadpool import WorkerPool
+from repro.util.virtlog import LOG_ERROR, Logger
+
+
+class Libvirtd:
+    """One daemon instance serving one simulated host."""
+
+    def __init__(
+        self,
+        hostname: str = "localhost",
+        drivers: "Optional[Dict[str, Any]]" = None,
+        clock: "Optional[Clock]" = None,
+        min_workers: int = 5,
+        max_workers: int = 20,
+        prio_workers: int = 5,
+        max_clients: int = 120,
+        use_pool: bool = True,
+        log_level: int = LOG_ERROR,
+        register: bool = True,
+    ) -> None:
+        self.hostname = hostname
+        self.clock = clock or VirtualClock()
+        self.drivers = drivers if drivers is not None else self._default_drivers()
+        self.pool = WorkerPool(
+            min_workers=min_workers,
+            max_workers=max_workers,
+            prio_workers=prio_workers,
+            name=f"libvirtd@{hostname}",
+        )
+        self.rpc = RPCServer(pool=self.pool if use_pool else None)
+        self.logger = Logger(level=log_level, clock=self.clock.now)
+        self.max_clients = max_clients
+        #: per-server workerpools and client limits ("libvirtd" + optional "admin")
+        self.server_pools: Dict[str, WorkerPool] = {"libvirtd": self.pool}
+        self._server_max_clients: Dict[str, int] = {"libvirtd": max_clients}
+        self._rpc_by_server: Dict[str, RPCServer] = {"libvirtd": self.rpc}
+        self._listeners: Dict[str, Listener] = {}
+        self._clients: Dict[int, ClientRecord] = {}
+        self._by_conn: Dict[ServerConnection, ClientRecord] = {}
+        self._next_client_id = 1
+        self._lock = threading.Lock()
+        self._shut_down = False
+        #: timer scheduler for periodic maintenance (keepalive reaping)
+        from repro.util.eventloop import EventLoop
+
+        self.eventloop = EventLoop(self.clock.now)
+        self._keepalive_timeout: "Optional[float]" = None
+        self._register_handlers()
+        if register:
+            register_daemon(hostname, self)
+
+    def _default_drivers(self) -> Dict[str, Any]:
+        from repro.drivers.lxc import LxcDriver
+        from repro.drivers.qemu import QemuDriver
+        from repro.drivers.test import TestDriver
+        from repro.drivers.xen import XenDriver
+        from repro.hypervisors.container_backend import ContainerBackend
+        from repro.hypervisors.host import SimHost
+        from repro.hypervisors.qemu_backend import QemuBackend
+        from repro.hypervisors.xen_backend import XenBackend
+
+        def host() -> SimHost:
+            return SimHost(hostname=self.hostname, clock=self.clock)
+
+        qemu = QemuDriver(QemuBackend(host=host(), clock=self.clock))
+        return {
+            "qemu": qemu,
+            "kvm": qemu,
+            "xen": XenDriver(XenBackend(host=host(), clock=self.clock)),
+            "lxc": LxcDriver(ContainerBackend(host=host(), clock=self.clock)),
+            "test": __import__(
+                "repro.drivers.test", fromlist=["TestDriver"]
+            ).TestDriver(seed_default=False),
+        }
+
+    # ==================================================================
+    # listeners & client management
+    # ==================================================================
+
+    def listen(
+        self,
+        transport: str = "unix",
+        authenticator: "Optional[Callable[[Dict[str, Any]], Dict[str, Any]]]" = None,
+        server: str = "libvirtd",
+    ) -> Listener:
+        """Open a service on ``transport`` (one per server+transport)."""
+        key = f"{server}:{transport}"
+        with self._lock:
+            if key in self._listeners:
+                return self._listeners[key]
+        listener = Listener(
+            transport,
+            clock=self.clock,
+            authenticator=authenticator,
+            on_accept=lambda conn: self._accept(conn, server),
+        )
+        with self._lock:
+            self._listeners[key] = listener
+        self.logger.info("rpc.server", f"server {server} listening on {transport}")
+        return listener
+
+    def listener(self, transport: str, server: str = "libvirtd") -> Listener:
+        with self._lock:
+            listener = self._listeners.get(f"{server}:{transport}")
+        if listener is None:
+            raise ConnectionError_(
+                f"daemon {self.hostname!r} server {server!r} is not listening "
+                f"on {transport!r}"
+            )
+        return listener
+
+    def enable_admin(
+        self,
+        authenticator: "Optional[Callable[[Dict[str, Any]], Dict[str, Any]]]" = None,
+    ) -> Listener:
+        """Bring up the *admin* server: a second server object inside the
+        daemon with its own workerpool, reachable root-only over a UNIX
+        socket, exposing the runtime-administration procedures."""
+        from repro.daemon.admin_server import default_admin_authenticator, register_admin_handlers
+
+        with self._lock:
+            already = "admin" in self.server_pools
+        if not already:
+            admin_pool = WorkerPool(
+                min_workers=1, max_workers=5, prio_workers=1,
+                name=f"admin@{self.hostname}",
+            )
+            admin_rpc = RPCServer(pool=admin_pool)
+            register_admin_handlers(admin_rpc, self)
+            with self._lock:
+                self.server_pools["admin"] = admin_pool
+                self._rpc_by_server["admin"] = admin_rpc
+                self._server_max_clients["admin"] = 5
+        return self.listen(
+            "unix",
+            authenticator=authenticator or default_admin_authenticator,
+            server="admin",
+        )
+
+    def server_names(self) -> "list[str]":
+        """The servers contained in this daemon (``srv-list``)."""
+        with self._lock:
+            return sorted(self.server_pools)
+
+    def _accept(self, conn: ServerConnection, server: str = "libvirtd") -> None:
+        with self._lock:
+            if self._shut_down:
+                raise ConnectionError_("daemon is shutting down")
+            limit = self._server_max_clients.get(server, self.max_clients)
+            live = sum(
+                1
+                for r in self._clients.values()
+                if not r.conn.closed and r.server == server
+            )
+            if live >= limit:
+                self.logger.warn(
+                    "rpc.server",
+                    f"refusing connection: {live}/{limit} clients on {server}",
+                )
+                raise OperationFailedError(
+                    f"daemon {self.hostname!r} server {server!r} reached "
+                    f"max_clients={limit}"
+                )
+            record = ClientRecord(
+                self._next_client_id, conn, self.clock.now(), server=server
+            )
+            self._next_client_id += 1
+            self._clients[record.id] = record
+            self._by_conn[conn] = record
+            rpc = self._rpc_by_server[server]
+        rpc.attach(conn)
+        self.logger.info(
+            "rpc.server", f"client {record.id} connected via {record.transport}"
+        )
+
+    def list_clients(self, server: "Optional[str]" = None) -> List[Dict[str, Any]]:
+        """``client-list``: every live client, pruning dead ones."""
+        self._prune()
+        with self._lock:
+            records = sorted(self._clients.values(), key=lambda r: r.id)
+            if server is not None:
+                records = [r for r in records if r.server == server]
+            return [r.summary() for r in records]
+
+    def client_info(self, client_id: int) -> Dict[str, Any]:
+        with self._lock:
+            record = self._clients.get(client_id)
+        if record is None:
+            raise InvalidArgumentError(f"no client with id {client_id}")
+        return record.info()
+
+    def disconnect_client(self, client_id: int) -> None:
+        """Force-close one client's connection (``client-disconnect``)."""
+        with self._lock:
+            record = self._clients.get(client_id)
+        if record is None:
+            raise InvalidArgumentError(f"no client with id {client_id}")
+        self._cleanup_client(record)
+        record.conn.close()
+        self.logger.info("rpc.server", f"client {client_id} disconnected forcefully")
+
+    def set_max_clients(self, limit: int, server: str = "libvirtd") -> None:
+        if limit < 1:
+            raise InvalidArgumentError("max_clients must be at least 1")
+        with self._lock:
+            if server not in self.server_pools:
+                raise InvalidArgumentError(f"no server named {server!r}")
+            self._server_max_clients[server] = limit
+            if server == "libvirtd":
+                self.max_clients = limit
+
+    def get_max_clients(self, server: str = "libvirtd") -> int:
+        with self._lock:
+            if server not in self.server_pools:
+                raise InvalidArgumentError(f"no server named {server!r}")
+            return self._server_max_clients[server]
+
+    def _prune(self) -> None:
+        with self._lock:
+            dead = [r for r in self._clients.values() if r.conn.closed]
+            for record in dead:
+                self._clients.pop(record.id, None)
+                self._by_conn.pop(record.conn, None)
+        for record in dead:
+            self._cleanup_client(record)
+
+    def _cleanup_client(self, record: ClientRecord) -> None:
+        if record.event_callback_id is not None and record.driver is not None:
+            try:
+                record.driver.domain_event_deregister(record.event_callback_id)
+            except VirtError:
+                pass
+            record.event_callback_id = None
+        with self._lock:
+            self._clients.pop(record.id, None)
+            self._by_conn.pop(record.conn, None)
+
+    # -- keepalive ---------------------------------------------------------
+
+    def enable_keepalive(self, timeout: float, check_interval: "Optional[float]" = None) -> None:
+        """Reap clients idle longer than ``timeout`` modelled seconds.
+
+        The check runs from the daemon's event loop; drive it with
+        :meth:`tick` (the simulation's stand-in for the poll loop).
+        """
+        if timeout <= 0:
+            raise InvalidArgumentError("keepalive timeout must be positive")
+        self._keepalive_timeout = timeout
+        self.eventloop.add_interval(check_interval or timeout / 2, self.reap_idle_clients)
+
+    def reap_idle_clients(self) -> "List[int]":
+        """Force-disconnect every client idle beyond the keepalive timeout."""
+        if self._keepalive_timeout is None:
+            return []
+        now = self.clock.now()
+        with self._lock:
+            stale = [
+                record
+                for record in self._clients.values()
+                if not record.conn.closed
+                and now - record.last_activity > self._keepalive_timeout
+            ]
+        reaped = []
+        for record in stale:
+            self.logger.info(
+                "rpc.server",
+                f"client {record.id} idle {now - record.last_activity:.0f}s, reaping",
+            )
+            self._cleanup_client(record)
+            record.conn.close()
+            reaped.append(record.id)
+        return reaped
+
+    def tick(self) -> int:
+        """Run due maintenance timers (keepalive); returns timers fired."""
+        return self.eventloop.run_due()
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon health snapshot the admin interface would expose."""
+        self._prune()
+        pool = self.pool.stats()
+        with self._lock:
+            nclients = len(self._clients)
+        return {
+            "hostname": self.hostname,
+            "nclients": nclients,
+            "max_clients": self.max_clients,
+            "calls_served": self.rpc.calls_served,
+            "calls_failed": self.rpc.calls_failed,
+            **pool,
+        }
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
+            listeners = list(self._listeners.values())
+        for listener in listeners:
+            listener.close_all()
+        with self._lock:
+            pools = list(self.server_pools.values())
+        for pool in pools:
+            pool.shutdown()
+        unregister_daemon(self.hostname)
+
+    def __enter__(self) -> "Libvirtd":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # ==================================================================
+    # RPC procedure handlers
+    # ==================================================================
+
+    def _record_of(self, conn: ServerConnection) -> ClientRecord:
+        with self._lock:
+            record = self._by_conn.get(conn)
+        if record is None:
+            raise ConnectionError_("unknown connection")
+        return record
+
+    def _driver_of(self, conn: ServerConnection) -> Any:
+        record = self._record_of(conn)
+        if record.driver is None:
+            raise ConnectionError_("connection not opened (call connect.open first)")
+        return record.driver
+
+    def _wrap(self, fn: Callable[[Any, Any], Any]) -> Callable[[ServerConnection, Any], Any]:
+        def handler(conn: ServerConnection, body: Any) -> Any:
+            record = self._record_of(conn)
+            record.calls += 1
+            record.last_activity = self.clock.now()
+            driver = self._driver_of(conn)
+            return fn(driver, body or {})
+
+        return handler
+
+    def _h_ping(self, conn: ServerConnection, body: Any) -> Any:
+        """Keepalive probe: counts as client activity, echoes the body."""
+        record = self._record_of(conn)
+        record.calls += 1
+        record.last_activity = self.clock.now()
+        return body if body is not None else "pong"
+
+    def _h_open(self, conn: ServerConnection, body: Any) -> Any:
+        record = self._record_of(conn)
+        record.calls += 1
+        record.last_activity = self.clock.now()
+        uri_text = (body or {}).get("uri")
+        if not uri_text:
+            raise InvalidArgumentError("connect.open requires a uri")
+        uri = ConnectionURI.parse(uri_text)
+        driver = self.drivers.get(uri.driver)
+        if driver is None:
+            raise InvalidURIError(
+                f"daemon {self.hostname!r} has no driver for scheme {uri.driver!r}"
+            )
+        record.driver = driver
+        self.logger.debug("rpc.server", f"client {record.id} opened {uri_text}")
+        return {"uri": uri_text}
+
+    def _h_close(self, conn: ServerConnection, body: Any) -> Any:
+        record = self._record_of(conn)
+        self._cleanup_client(record)
+        return None
+
+    def _h_event_register(self, conn: ServerConnection, body: Any) -> Any:
+        record = self._record_of(conn)
+        driver = self._driver_of(conn)
+        if record.event_callback_id is not None:
+            return record.event_callback_id
+
+        def forward(domain: str, event: DomainEvent, detail: str) -> None:
+            try:
+                self.rpc.emit_event(
+                    conn,
+                    EVENT_DOMAIN_LIFECYCLE,
+                    {"domain": domain, "event": int(event), "detail": detail},
+                )
+            except VirtError:
+                # client went away: stop forwarding
+                if record.event_callback_id is not None:
+                    try:
+                        driver.domain_event_deregister(record.event_callback_id)
+                    except VirtError:
+                        pass
+                    record.event_callback_id = None
+
+        record.event_callback_id = driver.domain_event_register(forward)
+        return record.event_callback_id
+
+    def _h_event_deregister(self, conn: ServerConnection, body: Any) -> Any:
+        record = self._record_of(conn)
+        driver = self._driver_of(conn)
+        if record.event_callback_id is not None:
+            driver.domain_event_deregister(record.event_callback_id)
+            record.event_callback_id = None
+        return None
+
+    def _register_handlers(self) -> None:
+        r = self.rpc.register
+        w = self._wrap
+        r("connect.open", self._h_open, priority=True)
+        r("connect.close", self._h_close, priority=True)
+        r("connect.ping", self._h_ping, priority=True)
+        r("connect.domain_event_register", self._h_event_register, priority=True)
+        r("connect.domain_event_deregister", self._h_event_deregister, priority=True)
+        r("connect.get_hostname", w(lambda d, b: d.get_hostname()), priority=True)
+        r("connect.get_capabilities", w(lambda d, b: d.get_capabilities()), priority=True)
+        r("connect.get_node_info", w(lambda d, b: d.get_node_info()), priority=True)
+        r("connect.get_version", w(lambda d, b: list(d.get_version())), priority=True)
+        r("connect.supports_feature", w(lambda d, b: d.features() if b.get("feature") is None else d.supports_feature(b["feature"])), priority=True)
+        r("connect.list_domains", w(lambda d, b: d.list_domains()), priority=True)
+        r("connect.list_defined_domains", w(lambda d, b: d.list_defined_domains()), priority=True)
+        r("connect.num_of_domains", w(lambda d, b: d.num_of_domains()), priority=True)
+        r("domain.lookup_by_name", w(lambda d, b: d.domain_lookup_by_name(b["name"])), priority=True)
+        r("domain.lookup_by_uuid", w(lambda d, b: d.domain_lookup_by_uuid(b["uuid"])), priority=True)
+        r("domain.lookup_by_id", w(lambda d, b: d.domain_lookup_by_id(b["id"])), priority=True)
+        r("domain.define_xml", w(lambda d, b: d.domain_define_xml(b["xml"])))
+        r("domain.undefine", w(lambda d, b: d.domain_undefine(b["name"])))
+        r("domain.create", w(lambda d, b: d.domain_create(b["name"])))
+        r("domain.create_xml", w(lambda d, b: d.domain_create_xml(b["xml"])))
+        r("domain.shutdown", w(lambda d, b: d.domain_shutdown(b["name"])))
+        # destroy is the canonical guaranteed-finish operation
+        r("domain.destroy", w(lambda d, b: d.domain_destroy(b["name"])), priority=True)
+        r("domain.suspend", w(lambda d, b: d.domain_suspend(b["name"])))
+        r("domain.resume", w(lambda d, b: d.domain_resume(b["name"])))
+        r("domain.reboot", w(lambda d, b: d.domain_reboot(b["name"])))
+        r("domain.get_info", w(lambda d, b: d.domain_get_info(b["name"])), priority=True)
+        r("domain.get_state", w(lambda d, b: d.domain_get_state(b["name"])), priority=True)
+        r("domain.get_xml_desc", w(lambda d, b: d.domain_get_xml_desc(b["name"])), priority=True)
+        r("domain.get_stats", w(lambda d, b: d.domain_get_stats(b["name"])), priority=True)
+        r("domain.get_scheduler_params", w(lambda d, b: d.domain_get_scheduler_params(b["name"])), priority=True)
+        r("domain.set_scheduler_params", w(lambda d, b: d.domain_set_scheduler_params(b["name"], b["params"])))
+        r("domain.get_job_info", w(lambda d, b: d.domain_get_job_info(b["name"])), priority=True)
+        r("domain.migrate_p2p", w(lambda d, b: d.migrate_p2p(b["name"], b["dest_uri"], b["params"])))
+        r("domain.set_memory", w(lambda d, b: d.domain_set_memory(b["name"], b["memory_kib"])))
+        r("domain.set_vcpus", w(lambda d, b: d.domain_set_vcpus(b["name"], b["vcpus"])))
+        r("domain.save", w(lambda d, b: d.domain_save(b["name"], b["path"])))
+        r("domain.restore", w(lambda d, b: d.domain_restore(b["path"])))
+        r("domain.get_autostart", w(lambda d, b: d.domain_get_autostart(b["name"])), priority=True)
+        r("domain.set_autostart", w(lambda d, b: d.domain_set_autostart(b["name"], b["autostart"])))
+        r("domain.attach_device", w(lambda d, b: d.domain_attach_device(b["name"], b["xml"])))
+        r("domain.detach_device", w(lambda d, b: d.domain_detach_device(b["name"], b["xml"])))
+        r("domain.snapshot_create", w(lambda d, b: d.snapshot_create(b["name"], b["snapshot"])))
+        r("domain.snapshot_list", w(lambda d, b: d.snapshot_list(b["name"])), priority=True)
+        r("domain.snapshot_revert", w(lambda d, b: d.snapshot_revert(b["name"], b["snapshot"])))
+        r("domain.snapshot_delete", w(lambda d, b: d.snapshot_delete(b["name"], b["snapshot"])))
+        r("domain.migrate_begin", w(lambda d, b: d.migrate_begin(b["name"])))
+        r("domain.migrate_prepare", w(lambda d, b: d.migrate_prepare(b["description"])))
+        r("domain.migrate_perform", w(lambda d, b: d.migrate_perform(b["name"], b["cookie"], b["params"])))
+        r("domain.migrate_finish", w(lambda d, b: d.migrate_finish(b["cookie"], b["stats"])))
+        r("domain.migrate_confirm", w(lambda d, b: d.migrate_confirm(b["name"], b["cancelled"])))
+        r("network.lookup_by_name", w(lambda d, b: d.network_lookup_by_name(b["name"])), priority=True)
+        r("network.define_xml", w(lambda d, b: d.network_define_xml(b["xml"])))
+        r("network.undefine", w(lambda d, b: d.network_undefine(b["name"])))
+        r("network.create", w(lambda d, b: d.network_create(b["name"])))
+        r("network.destroy", w(lambda d, b: d.network_destroy(b["name"])))
+        r("network.list", w(lambda d, b: d.network_list()), priority=True)
+        r("network.get_xml_desc", w(lambda d, b: d.network_get_xml_desc(b["name"])), priority=True)
+        r("network.dhcp_leases", w(lambda d, b: d.network_dhcp_leases(b["name"])), priority=True)
+        r("storage.pool_lookup_by_name", w(lambda d, b: d.storage_pool_lookup_by_name(b["name"])), priority=True)
+        r("storage.pool_define_xml", w(lambda d, b: d.storage_pool_define_xml(b["xml"])))
+        r("storage.pool_undefine", w(lambda d, b: d.storage_pool_undefine(b["name"])))
+        r("storage.pool_create", w(lambda d, b: d.storage_pool_create(b["name"])))
+        r("storage.pool_destroy", w(lambda d, b: d.storage_pool_destroy(b["name"])))
+        r("storage.pool_list", w(lambda d, b: d.storage_pool_list()), priority=True)
+        r("storage.pool_get_info", w(lambda d, b: d.storage_pool_get_info(b["name"])), priority=True)
+        r("storage.pool_get_xml_desc", w(lambda d, b: d.storage_pool_get_xml_desc(b["name"])), priority=True)
+        r("storage.vol_create_xml", w(lambda d, b: d.storage_vol_create_xml(b["pool"], b["xml"])))
+        r("storage.vol_delete", w(lambda d, b: d.storage_vol_delete(b["pool"], b["volume"])))
+        r("storage.vol_list", w(lambda d, b: d.storage_vol_list(b["pool"])), priority=True)
+        r("storage.vol_get_info", w(lambda d, b: d.storage_vol_get_info(b["pool"], b["volume"])), priority=True)

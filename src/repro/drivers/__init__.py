@@ -1,0 +1,67 @@
+"""Hypervisor drivers and their registry wiring.
+
+Importing this package registers every driver with the core registry,
+so ``repro.open_connection`` can resolve any supported URI:
+
+* ``test:///default`` — in-memory mock node (client-side)
+* ``qemu:///system`` — local simulated QEMU/KVM node
+* ``xen:///`` — local simulated Xen node
+* ``lxc:///`` — local simulated container node
+* ``esx://host/`` — a registered simulated ESX host (client-side)
+* any ``driver+transport://host/...`` — the remote driver via a daemon
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.driver import register_driver, register_remote_driver
+from repro.core.uri import ConnectionURI
+from repro.drivers import nodes
+from repro.drivers.esx import EsxDriver
+from repro.drivers.lxc import LxcDriver
+from repro.drivers.qemu import QemuDriver
+from repro.drivers.remote import RemoteDriver
+from repro.drivers.stateful import StatefulDriver
+from repro.drivers.test import TestDriver
+from repro.drivers.xen import XenDriver
+
+__all__ = [
+    "StatefulDriver",
+    "TestDriver",
+    "QemuDriver",
+    "XenDriver",
+    "LxcDriver",
+    "EsxDriver",
+    "RemoteDriver",
+    "nodes",
+]
+
+
+def _local_factory(kind: str):
+    def factory(uri: ConnectionURI, credentials: "Optional[Dict[str, Any]]"):
+        return nodes.local_driver(kind, uri.hostname)
+
+    return factory
+
+
+def _esx_factory(uri: ConnectionURI, credentials: "Optional[Dict[str, Any]]"):
+    creds = dict(credentials or {})
+    backend = nodes.esx_host(uri.hostname or "localhost")
+    return EsxDriver(
+        backend,
+        username=uri.username or creds.get("username", "root"),
+        password=creds.get("password", "vmware"),
+    )
+
+
+def _remote_factory(uri: ConnectionURI, credentials: "Optional[Dict[str, Any]]"):
+    return RemoteDriver(uri, credentials)
+
+
+register_driver("test", _local_factory("test"))
+register_driver("qemu", _local_factory("qemu"))
+register_driver("xen", _local_factory("xen"))
+register_driver("lxc", _local_factory("lxc"))
+register_driver("esx", _esx_factory, handles_remote=True)
+register_remote_driver(_remote_factory)

@@ -1,0 +1,309 @@
+"""The remote driver: the uniform API tunnelled over the RPC protocol.
+
+When no client-side driver recognizes a URI — or the URI names an
+explicit transport — the connection is carried to a libvirtd daemon:
+every Driver method becomes one RPC call, and lifecycle events stream
+back as server-pushed frames.  The daemon re-enters the very same
+driver interface on its side with a local stateful driver, which is
+the architecture trick that makes remote and local management
+indistinguishable to applications.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.driver import Driver
+from repro.core.events import EventBroker, EventCallback
+from repro.core.states import DomainEvent
+from repro.core.uri import ConnectionURI
+from repro.daemon.registry import lookup_daemon
+from repro.rpc.client import RPCClient
+from repro.rpc.protocol import EVENT_DOMAIN_LIFECYCLE
+
+
+class RemoteDriver(Driver):
+    """Client-side stub forwarding every call to a daemon."""
+
+    name = "remote"
+    stateless = False
+
+    def __init__(self, uri: ConnectionURI, credentials: "Optional[Dict[str, Any]]" = None) -> None:
+        hostname = uri.hostname or "localhost"
+        transport = uri.transport or "unix"
+        daemon = lookup_daemon(hostname)
+        listener = daemon.listener(transport)
+        channel = listener.connect(credentials)
+        self.client = RPCClient(channel)
+        self.remote_uri = ConnectionURI(
+            driver=uri.driver, path=uri.path, params=uri.params
+        ).format()
+        self.client.call("connect.open", {"uri": self.remote_uri})
+        self.events = EventBroker()
+        self._remote_events_armed = False
+        self._features: "Optional[List[str]]" = None
+
+    # -- connection -----------------------------------------------------------
+
+    def close(self) -> None:
+        if not self.client.closed:
+            try:
+                self.client.call("connect.close")
+            finally:
+                self.client.close()
+
+    def get_hostname(self) -> str:
+        return self.client.call("connect.get_hostname")
+
+    def get_capabilities(self) -> str:
+        return self.client.call("connect.get_capabilities")
+
+    def get_node_info(self) -> Dict[str, int]:
+        return self.client.call("connect.get_node_info")
+
+    def get_version(self) -> Tuple[int, int, int]:
+        return tuple(self.client.call("connect.get_version"))  # type: ignore[return-value]
+
+    def features(self) -> List[str]:
+        if self._features is None:
+            self._features = list(self.client.call("connect.supports_feature", {"feature": None}))
+        return self._features
+
+    def ping(self) -> str:
+        """Round-trip health probe (used by the transport benchmarks)."""
+        return self.client.call("connect.ping")
+
+    # -- enumeration --------------------------------------------------------------
+
+    def list_domains(self) -> List[str]:
+        return self.client.call("connect.list_domains")
+
+    def list_defined_domains(self) -> List[str]:
+        return self.client.call("connect.list_defined_domains")
+
+    def num_of_domains(self) -> int:
+        return self.client.call("connect.num_of_domains")
+
+    # -- domain lookup/lifecycle -----------------------------------------------------
+
+    def domain_lookup_by_name(self, name: str) -> Dict[str, Any]:
+        return self.client.call("domain.lookup_by_name", {"name": name})
+
+    def domain_lookup_by_uuid(self, uuid: str) -> Dict[str, Any]:
+        return self.client.call("domain.lookup_by_uuid", {"uuid": uuid})
+
+    def domain_lookup_by_id(self, domain_id: int) -> Dict[str, Any]:
+        return self.client.call("domain.lookup_by_id", {"id": domain_id})
+
+    def domain_define_xml(self, xml: str) -> Dict[str, Any]:
+        return self.client.call("domain.define_xml", {"xml": xml})
+
+    def domain_undefine(self, name: str) -> None:
+        self.client.call("domain.undefine", {"name": name})
+
+    def domain_create(self, name: str) -> None:
+        self.client.call("domain.create", {"name": name})
+
+    def domain_create_xml(self, xml: str) -> Dict[str, Any]:
+        return self.client.call("domain.create_xml", {"xml": xml})
+
+    def domain_shutdown(self, name: str) -> None:
+        self.client.call("domain.shutdown", {"name": name})
+
+    def domain_destroy(self, name: str) -> None:
+        self.client.call("domain.destroy", {"name": name})
+
+    def domain_suspend(self, name: str) -> None:
+        self.client.call("domain.suspend", {"name": name})
+
+    def domain_resume(self, name: str) -> None:
+        self.client.call("domain.resume", {"name": name})
+
+    def domain_reboot(self, name: str) -> None:
+        self.client.call("domain.reboot", {"name": name})
+
+    # -- introspection / tuning ---------------------------------------------------------
+
+    def domain_get_info(self, name: str) -> Dict[str, Any]:
+        return self.client.call("domain.get_info", {"name": name})
+
+    def domain_get_state(self, name: str) -> int:
+        return self.client.call("domain.get_state", {"name": name})
+
+    def domain_get_xml_desc(self, name: str) -> str:
+        return self.client.call("domain.get_xml_desc", {"name": name})
+
+    def domain_get_stats(self, name: str) -> Dict[str, Any]:
+        return self.client.call("domain.get_stats", {"name": name})
+
+    def domain_get_scheduler_params(self, name: str) -> List[Any]:
+        return self.client.call("domain.get_scheduler_params", {"name": name})
+
+    def domain_set_scheduler_params(self, name: str, params: List[Any]) -> None:
+        self.client.call(
+            "domain.set_scheduler_params", {"name": name, "params": params}
+        )
+
+    def domain_get_job_info(self, name: str) -> Dict[str, Any]:
+        return self.client.call("domain.get_job_info", {"name": name})
+
+    def domain_set_memory(self, name: str, memory_kib: int) -> None:
+        self.client.call("domain.set_memory", {"name": name, "memory_kib": memory_kib})
+
+    def domain_set_vcpus(self, name: str, vcpus: int) -> None:
+        self.client.call("domain.set_vcpus", {"name": name, "vcpus": vcpus})
+
+    def domain_save(self, name: str, path: str) -> None:
+        self.client.call("domain.save", {"name": name, "path": path})
+
+    def domain_restore(self, path: str) -> Dict[str, Any]:
+        return self.client.call("domain.restore", {"path": path})
+
+    def domain_get_autostart(self, name: str) -> bool:
+        return self.client.call("domain.get_autostart", {"name": name})
+
+    def domain_set_autostart(self, name: str, autostart: bool) -> None:
+        self.client.call(
+            "domain.set_autostart", {"name": name, "autostart": bool(autostart)}
+        )
+
+    def domain_attach_device(self, name: str, device_xml: str) -> None:
+        self.client.call("domain.attach_device", {"name": name, "xml": device_xml})
+
+    def domain_detach_device(self, name: str, device_xml: str) -> None:
+        self.client.call("domain.detach_device", {"name": name, "xml": device_xml})
+
+    # -- snapshots ------------------------------------------------------------------------
+
+    def snapshot_create(self, name: str, snapshot_name: str) -> Dict[str, Any]:
+        return self.client.call(
+            "domain.snapshot_create", {"name": name, "snapshot": snapshot_name}
+        )
+
+    def snapshot_list(self, name: str) -> List[str]:
+        return self.client.call("domain.snapshot_list", {"name": name})
+
+    def snapshot_revert(self, name: str, snapshot_name: str) -> None:
+        self.client.call(
+            "domain.snapshot_revert", {"name": name, "snapshot": snapshot_name}
+        )
+
+    def snapshot_delete(self, name: str, snapshot_name: str) -> None:
+        self.client.call(
+            "domain.snapshot_delete", {"name": name, "snapshot": snapshot_name}
+        )
+
+    # -- migration -------------------------------------------------------------------------
+
+    def migrate_begin(self, name: str) -> Dict[str, Any]:
+        return self.client.call("domain.migrate_begin", {"name": name})
+
+    def migrate_prepare(self, description: Dict[str, Any]) -> Dict[str, Any]:
+        return self.client.call("domain.migrate_prepare", {"description": description})
+
+    def migrate_perform(self, name: str, cookie: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
+        return self.client.call(
+            "domain.migrate_perform",
+            {"name": name, "cookie": cookie, "params": params},
+        )
+
+    def migrate_finish(self, cookie: Dict[str, Any], stats: Dict[str, Any]) -> Dict[str, Any]:
+        return self.client.call(
+            "domain.migrate_finish", {"cookie": cookie, "stats": stats}
+        )
+
+    def migrate_confirm(self, name: str, cancelled: bool) -> None:
+        self.client.call(
+            "domain.migrate_confirm", {"name": name, "cancelled": cancelled}
+        )
+
+    def migrate_p2p(self, name: str, dest_uri: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        return self.client.call(
+            "domain.migrate_p2p",
+            {"name": name, "dest_uri": dest_uri, "params": params},
+        )
+
+    # -- events -------------------------------------------------------------------------------
+
+    def domain_event_register(self, callback: EventCallback) -> int:
+        if not self._remote_events_armed:
+            self.client.on_event(EVENT_DOMAIN_LIFECYCLE, self._on_remote_event)
+            self.client.call("connect.domain_event_register")
+            self._remote_events_armed = True
+        return self.events.register(callback)
+
+    def domain_event_deregister(self, callback_id: int) -> None:
+        self.events.deregister(callback_id)
+        if self.events.callback_count == 0 and self._remote_events_armed:
+            self.client.call("connect.domain_event_deregister")
+            self.client.remove_event_handler(EVENT_DOMAIN_LIFECYCLE)
+            self._remote_events_armed = False
+
+    def _on_remote_event(self, body: Any) -> None:
+        self.events.emit(
+            body["domain"], DomainEvent(body["event"]), body.get("detail", "")
+        )
+
+    # -- networks --------------------------------------------------------------------------------
+
+    def network_define_xml(self, xml: str) -> Dict[str, Any]:
+        return self.client.call("network.define_xml", {"xml": xml})
+
+    def network_undefine(self, name: str) -> None:
+        self.client.call("network.undefine", {"name": name})
+
+    def network_create(self, name: str) -> None:
+        self.client.call("network.create", {"name": name})
+
+    def network_destroy(self, name: str) -> None:
+        self.client.call("network.destroy", {"name": name})
+
+    def network_list(self) -> List[Dict[str, Any]]:
+        return self.client.call("network.list")
+
+    def network_lookup_by_name(self, name: str) -> Dict[str, Any]:
+        return self.client.call("network.lookup_by_name", {"name": name})
+
+    def network_get_xml_desc(self, name: str) -> str:
+        return self.client.call("network.get_xml_desc", {"name": name})
+
+    def network_dhcp_leases(self, name: str) -> List[Dict[str, Any]]:
+        return self.client.call("network.dhcp_leases", {"name": name})
+
+    # -- storage ----------------------------------------------------------------------------------
+
+    def storage_pool_define_xml(self, xml: str) -> Dict[str, Any]:
+        return self.client.call("storage.pool_define_xml", {"xml": xml})
+
+    def storage_pool_undefine(self, name: str) -> None:
+        self.client.call("storage.pool_undefine", {"name": name})
+
+    def storage_pool_create(self, name: str) -> None:
+        self.client.call("storage.pool_create", {"name": name})
+
+    def storage_pool_destroy(self, name: str) -> None:
+        self.client.call("storage.pool_destroy", {"name": name})
+
+    def storage_pool_list(self) -> List[Dict[str, Any]]:
+        return self.client.call("storage.pool_list")
+
+    def storage_pool_lookup_by_name(self, name: str) -> Dict[str, Any]:
+        return self.client.call("storage.pool_lookup_by_name", {"name": name})
+
+    def storage_pool_get_info(self, name: str) -> Dict[str, Any]:
+        return self.client.call("storage.pool_get_info", {"name": name})
+
+    def storage_pool_get_xml_desc(self, name: str) -> str:
+        return self.client.call("storage.pool_get_xml_desc", {"name": name})
+
+    def storage_vol_create_xml(self, pool: str, xml: str) -> Dict[str, Any]:
+        return self.client.call("storage.vol_create_xml", {"pool": pool, "xml": xml})
+
+    def storage_vol_delete(self, pool: str, volume: str) -> None:
+        self.client.call("storage.vol_delete", {"pool": pool, "volume": volume})
+
+    def storage_vol_list(self, pool: str) -> List[str]:
+        return self.client.call("storage.vol_list", {"pool": pool})
+
+    def storage_vol_get_info(self, pool: str, volume: str) -> Dict[str, Any]:
+        return self.client.call("storage.vol_get_info", {"pool": pool, "volume": volume})

@@ -1,0 +1,1167 @@
+"""Shared implementation for stateful (daemon-side) drivers.
+
+A stateful driver owns what the hypervisor does not persist: the set of
+defined domain configurations, autostart flags, snapshots, virtual
+networks, and storage pools.  Concrete drivers (qemu, xen, lxc, test)
+supply only the backend adapter — how to start/stop/query a guest
+through their hypervisor's *native* interface — and inherit everything
+else, which is exactly how libvirt keeps its drivers small.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.driver import Driver
+from repro.core.events import EventBroker, EventCallback
+from repro.core.states import (
+    VALID_TRANSITIONS,
+    DomainEvent,
+    DomainState,
+    from_run_state,
+)
+from repro.errors import (
+    DomainExistsError,
+    InvalidArgumentError,
+    InvalidOperationError,
+    MigrationError,
+    MigrationIncompatibleError,
+    NetworkExistsError,
+    NoDomainError,
+    NoNetworkError,
+    NoSnapshotError,
+    NoStoragePoolError,
+    NoStorageVolumeError,
+    SnapshotExistsError,
+    StoragePoolExistsError,
+    StorageVolumeExistsError,
+)
+from repro.hypervisors.base import Backend
+from repro.migration.precopy import run_precopy
+from repro.util import uuidutil
+from repro.xmlconfig.domain import DomainConfig
+from repro.xmlconfig.network import NetworkConfig
+from repro.xmlconfig.storage import StoragePoolConfig, VolumeConfig
+
+MIB = 1024 * 1024
+VERSION = (1, 0, 0)
+
+
+class _DomainRecord:
+    """Driver-side bookkeeping for one domain."""
+
+    __slots__ = (
+        "config",
+        "persistent",
+        "autostart",
+        "snapshots",
+        "saved_path",
+        "scheduler",
+        "last_job",
+    )
+
+    def __init__(self, config: DomainConfig, persistent: bool) -> None:
+        self.config = config
+        self.persistent = persistent
+        self.autostart = False
+        self.snapshots: Dict[str, Dict[str, Any]] = {}
+        self.saved_path: Optional[str] = None
+        #: CPU scheduler tunables (virsh schedinfo)
+        self.scheduler: Dict[str, int] = {
+            "cpu_shares": 1024,
+            "vcpu_period": 100000,
+            "vcpu_quota": -1,
+        }
+        #: the most recently completed long-running job (migration/save)
+        self.last_job: Optional[Dict[str, Any]] = None
+
+
+class StatefulDriver(Driver):
+    """Base class: full Driver surface over a backend adapter."""
+
+    name = "stateful"
+    stateless = False
+    #: domain types this driver's capabilities accept
+    accepted_types: Tuple[str, ...] = ()
+
+    def __init__(self, backend: Backend) -> None:
+        self.backend = backend
+        self._lock = threading.RLock()
+        self._domains: Dict[str, _DomainRecord] = {}
+        self._uuid_index: Dict[str, str] = {}
+        self._ids: Dict[str, int] = {}
+        self._next_id = 1
+        self.events = EventBroker()
+        self._networks: Dict[str, NetworkConfig] = {}
+        self._active_networks: set = set()
+        #: network name -> {mac: {"ip", "hostname", "expiry"}}
+        self._dhcp_leases: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        self._pools: Dict[str, StoragePoolConfig] = {}
+        self._active_pools: set = set()
+        self._pool_volumes: Dict[str, Dict[str, VolumeConfig]] = {}
+        #: counts every uniform-API entry (the paper's call accounting)
+        self.api_calls = 0
+
+    # ==================================================================
+    # backend adapter — the only part concrete drivers implement
+    # ==================================================================
+
+    def _backend_start(self, config: DomainConfig, paused: bool = False) -> None:
+        raise NotImplementedError
+
+    def _backend_shutdown(self, name: str) -> None:
+        raise NotImplementedError
+
+    def _backend_destroy(self, name: str) -> None:
+        raise NotImplementedError
+
+    def _backend_suspend(self, name: str) -> None:
+        raise NotImplementedError
+
+    def _backend_resume(self, name: str) -> None:
+        raise NotImplementedError
+
+    def _backend_reboot(self, name: str) -> None:
+        raise NotImplementedError
+
+    def _backend_info(self, name: str) -> Dict[str, Any]:
+        return self.backend.guest_info(name)
+
+    def _backend_set_memory(self, name: str, memory_kib: int) -> None:
+        raise NotImplementedError
+
+    def _backend_set_vcpus(self, name: str, vcpus: int) -> None:
+        raise NotImplementedError
+
+    def _backend_save(self, name: str, path: str) -> None:
+        raise NotImplementedError
+
+    def _backend_restore(self, config: DomainConfig, path: str) -> None:
+        raise NotImplementedError
+
+    # ==================================================================
+    # shared helpers
+    # ==================================================================
+
+    def _count_call(self) -> None:
+        self.api_calls += 1
+
+    def _record(self, name: str) -> _DomainRecord:
+        with self._lock:
+            record = self._domains.get(name)
+        if record is None:
+            raise NoDomainError(f"no domain with matching name {name!r}")
+        return record
+
+    def _domain_state(self, name: str) -> DomainState:
+        if self.backend.has_guest(name):
+            return from_run_state(self.backend.guest_state(name))
+        return DomainState.SHUTOFF
+
+    def _check_transition(self, name: str, op: str) -> DomainState:
+        state = self._domain_state(name)
+        if state not in VALID_TRANSITIONS[op]:
+            raise InvalidOperationError(
+                f"cannot {op} domain {name!r}: domain is "
+                f"{DomainState(state).name.lower()}"
+            )
+        return state
+
+    def _public_record(self, name: str) -> Dict[str, Any]:
+        record = self._record(name)
+        with self._lock:
+            domain_id = self._ids.get(name)
+        return {
+            "name": name,
+            "uuid": record.config.uuid,
+            "id": domain_id if self.backend.has_guest(name) else None,
+            "state": int(self._domain_state(name)),
+            "persistent": record.persistent,
+        }
+
+    def _assign_id(self, name: str) -> None:
+        with self._lock:
+            self._ids[name] = self._next_id
+            self._next_id += 1
+
+    def _forget_transient(self, name: str) -> None:
+        """After a transient domain stops it ceases to exist."""
+        with self._lock:
+            record = self._domains.get(name)
+            if record is not None and not record.persistent:
+                self._domains.pop(name, None)
+                if record.config.uuid:
+                    self._uuid_index.pop(record.config.uuid, None)
+
+    # ==================================================================
+    # connection-level
+    # ==================================================================
+
+    def close(self) -> None:
+        """Stateful drivers persist: closing a connection drops nothing."""
+
+    def get_hostname(self) -> str:
+        self._count_call()
+        return self.backend.host.hostname
+
+    def get_capabilities(self) -> str:
+        self._count_call()
+        from repro.xmlconfig.capabilities import GuestCapability
+
+        guests = []
+        if "lxc" in self.accepted_types:
+            guests.append(GuestCapability("exe", self.backend.host.arch, ["lxc"]))
+        hvm_types = [t for t in self.accepted_types if t != "lxc"]
+        if hvm_types:
+            os_type = "xen" if self.accepted_types == ("xen",) else "hvm"
+            guests.append(GuestCapability("hvm", self.backend.host.arch, hvm_types))
+            if os_type == "xen":
+                guests.append(GuestCapability("xen", self.backend.host.arch, hvm_types))
+        return self.backend.host.capabilities(guests).to_xml()
+
+    def get_node_info(self) -> Dict[str, int]:
+        self._count_call()
+        return self.backend.host.node_info()
+
+    def get_version(self) -> Tuple[int, int, int]:
+        self._count_call()
+        return VERSION
+
+    def features(self) -> List[str]:
+        return [
+            "lifecycle",
+            "pause_resume",
+            "reboot",
+            "save_restore",
+            "set_memory",
+            "set_vcpus",
+            "snapshots",
+            "migration",
+            "networks",
+            "storage",
+            "events",
+            "device_hotplug",
+            "remote",
+            "autostart",
+        ]
+
+    # ==================================================================
+    # domain enumeration / lookup
+    # ==================================================================
+
+    def list_domains(self) -> List[str]:
+        self._count_call()
+        return self.backend.list_guests()
+
+    def list_defined_domains(self) -> List[str]:
+        self._count_call()
+        with self._lock:
+            names = list(self._domains)
+        return sorted(n for n in names if not self.backend.has_guest(n))
+
+    def num_of_domains(self) -> int:
+        self._count_call()
+        return len(self.backend.list_guests())
+
+    def domain_lookup_by_name(self, name: str) -> Dict[str, Any]:
+        self._count_call()
+        return self._public_record(name)
+
+    def domain_lookup_by_uuid(self, uuid: str) -> Dict[str, Any]:
+        self._count_call()
+        with self._lock:
+            name = self._uuid_index.get(uuidutil.normalize_uuid(uuid))
+        if name is None:
+            raise NoDomainError(f"no domain with matching uuid {uuid!r}")
+        return self._public_record(name)
+
+    def domain_lookup_by_id(self, domain_id: int) -> Dict[str, Any]:
+        self._count_call()
+        with self._lock:
+            matches = [
+                name
+                for name, assigned in self._ids.items()
+                if assigned == domain_id and self.backend.has_guest(name)
+            ]
+        if not matches:
+            raise NoDomainError(f"no domain with matching id {domain_id}")
+        return self._public_record(matches[0])
+
+    # ==================================================================
+    # domain lifecycle
+    # ==================================================================
+
+    def _validate_config(self, xml: str) -> DomainConfig:
+        config = DomainConfig.from_xml(xml)
+        if self.accepted_types and config.domain_type not in self.accepted_types:
+            raise InvalidArgumentError(
+                f"driver {self.name!r} cannot run domain type "
+                f"{config.domain_type!r} (accepts {list(self.accepted_types)})"
+            )
+        if config.uuid is None:
+            config.uuid = uuidutil.generate_uuid(self.backend.rng)
+        # auto-assign MAC addresses exactly like libvirt does at define time
+        used = {iface.mac for iface in config.interfaces if iface.mac}
+        for iface in config.interfaces:
+            while iface.mac is None:
+                candidate = "52:54:00:%02x:%02x:%02x" % (
+                    self.backend.rng.randrange(256),
+                    self.backend.rng.randrange(256),
+                    self.backend.rng.randrange(256),
+                )
+                if candidate not in used:
+                    iface.mac = candidate
+                    used.add(candidate)
+        config.validate()
+        return config
+
+    def domain_define_xml(self, xml: str) -> Dict[str, Any]:
+        self._count_call()
+        # persisting the config costs a (small) backend-dependent write
+        self.backend.cost.charge(self.backend.clock, "define")
+        config = self._validate_config(xml)
+        with self._lock:
+            existing = self._domains.get(config.name)
+            if existing is not None:
+                if existing.config.uuid != config.uuid and self.backend.has_guest(config.name):
+                    raise DomainExistsError(
+                        f"domain {config.name!r} already exists with a different uuid"
+                    )
+                # redefining is allowed: update the persistent config
+                self._uuid_index.pop(existing.config.uuid, None)
+                existing.config = config
+                existing.persistent = True
+                self._uuid_index[config.uuid] = config.name
+            else:
+                by_uuid = self._uuid_index.get(config.uuid)
+                if by_uuid is not None and by_uuid != config.name:
+                    raise DomainExistsError(
+                        f"uuid {config.uuid} already used by domain {by_uuid!r}"
+                    )
+                self._domains[config.name] = _DomainRecord(config, persistent=True)
+                self._uuid_index[config.uuid] = config.name
+        self.events.emit(config.name, DomainEvent.DEFINED)
+        return self._public_record(config.name)
+
+    def domain_undefine(self, name: str) -> None:
+        self._count_call()
+        self.backend.cost.charge(self.backend.clock, "undefine")
+        record = self._record(name)
+        if self.backend.has_guest(name):
+            raise InvalidOperationError(
+                f"cannot undefine domain {name!r} while it is active"
+            )
+        with self._lock:
+            self._domains.pop(name, None)
+            if record.config.uuid:
+                self._uuid_index.pop(record.config.uuid, None)
+        self.events.emit(name, DomainEvent.UNDEFINED)
+
+    def domain_create(self, name: str) -> None:
+        self._count_call()
+        record = self._record(name)
+        self._check_transition(name, "start")
+        self._backend_start(record.config)
+        self._assign_id(name)
+        self._assign_dhcp_leases(record.config)
+        self.events.emit(name, DomainEvent.STARTED)
+
+    def domain_create_xml(self, xml: str) -> Dict[str, Any]:
+        self._count_call()
+        config = self._validate_config(xml)
+        with self._lock:
+            if config.name in self._domains or self.backend.has_guest(config.name):
+                raise DomainExistsError(f"domain {config.name!r} already exists")
+            self._domains[config.name] = _DomainRecord(config, persistent=False)
+            self._uuid_index[config.uuid] = config.name
+        try:
+            self._backend_start(config)
+        except Exception:
+            with self._lock:
+                self._domains.pop(config.name, None)
+                self._uuid_index.pop(config.uuid, None)
+            raise
+        self._assign_id(config.name)
+        self._assign_dhcp_leases(config)
+        self.events.emit(config.name, DomainEvent.STARTED, "booted")
+        return self._public_record(config.name)
+
+    def domain_shutdown(self, name: str) -> None:
+        self._count_call()
+        self._record(name)
+        self._check_transition(name, "shutdown")
+        self._backend_shutdown(name)
+        self._release_dhcp_leases(self._record(name).config)
+        self.events.emit(name, DomainEvent.SHUTDOWN, "guest-initiated")
+        self.events.emit(name, DomainEvent.STOPPED, "shutdown")
+        self._forget_transient(name)
+
+    def domain_destroy(self, name: str) -> None:
+        self._count_call()
+        self._record(name)
+        self._check_transition(name, "destroy")
+        self._backend_destroy(name)
+        self._release_dhcp_leases(self._record(name).config)
+        self.events.emit(name, DomainEvent.STOPPED, "destroyed")
+        self._forget_transient(name)
+
+    def domain_suspend(self, name: str) -> None:
+        self._count_call()
+        self._record(name)
+        self._check_transition(name, "suspend")
+        self._backend_suspend(name)
+        self.events.emit(name, DomainEvent.SUSPENDED)
+
+    def domain_resume(self, name: str) -> None:
+        self._count_call()
+        self._record(name)
+        self._check_transition(name, "resume")
+        self._backend_resume(name)
+        self.events.emit(name, DomainEvent.RESUMED)
+
+    def domain_reboot(self, name: str) -> None:
+        self._count_call()
+        self._record(name)
+        self._check_transition(name, "reboot")
+        self._backend_reboot(name)
+
+    # ==================================================================
+    # domain introspection / tuning
+    # ==================================================================
+
+    def domain_get_info(self, name: str) -> Dict[str, Any]:
+        self._count_call()
+        record = self._record(name)
+        if self.backend.has_guest(name):
+            raw = self._backend_info(name)
+            return {
+                "state": int(from_run_state_str(raw["state"])),
+                "max_memory_kib": raw["max_memory_kib"],
+                "memory_kib": raw["memory_kib"],
+                "vcpus": raw["vcpus"],
+                "cpu_seconds": raw["cpu_seconds"],
+            }
+        return {
+            "state": int(DomainState.SHUTOFF),
+            "max_memory_kib": record.config.memory_kib,
+            "memory_kib": record.config.current_memory_kib,
+            "vcpus": record.config.vcpus,
+            "cpu_seconds": 0.0,
+        }
+
+    #: scheduler parameter fields and their expected wire types
+    SCHEDULER_FIELDS = {
+        "cpu_shares": "ULLONG",
+        "vcpu_period": "ULLONG",
+        "vcpu_quota": "LLONG",
+    }
+
+    def domain_get_scheduler_params(self, name: str) -> List[Any]:
+        self._count_call()
+        from repro.util.typedparams import ParamType, TypedParameter
+
+        record = self._record(name)
+        params = [
+            TypedParameter("cpu_shares", ParamType.ULLONG, record.scheduler["cpu_shares"]),
+            TypedParameter("vcpu_period", ParamType.ULLONG, record.scheduler["vcpu_period"]),
+            TypedParameter("vcpu_quota", ParamType.LLONG, record.scheduler["vcpu_quota"]),
+        ]
+        return params
+
+    def domain_set_scheduler_params(self, name: str, params: List[Any]) -> None:
+        self._count_call()
+        from repro.util import typedparams as tp
+        from repro.util.typedparams import ParamType
+
+        record = self._record(name)
+        allowed = {
+            "cpu_shares": ParamType.ULLONG,
+            "vcpu_period": ParamType.ULLONG,
+            "vcpu_quota": ParamType.LLONG,
+        }
+        if not params:
+            raise InvalidArgumentError("no scheduler parameters supplied")
+        tp.validate_fields(params, allowed)
+        values = tp.to_dict(params)
+        if "vcpu_period" in values and not 1000 <= values["vcpu_period"] <= 1000000:
+            raise InvalidArgumentError(
+                f"vcpu_period must be in [1000, 1000000], got {values['vcpu_period']}"
+            )
+        if "vcpu_quota" in values and values["vcpu_quota"] not in (-1,) and values["vcpu_quota"] < 1000:
+            raise InvalidArgumentError(
+                f"vcpu_quota must be -1 (unlimited) or >= 1000, got {values['vcpu_quota']}"
+            )
+        record.scheduler.update(values)
+        if self.backend.has_guest(name):
+            self._apply_scheduler(name, record.scheduler)
+
+    def _apply_scheduler(self, name: str, scheduler: Dict[str, int]) -> None:
+        """Push scheduler tunables to the live instance (driver-specific)."""
+        # default: scale the runtime's utilization share; concrete drivers
+        # may override (lxc writes the cgroup cpu.shares file)
+        self.backend.cost.charge(self.backend.clock, "set_vcpus")
+
+    def domain_get_job_info(self, name: str) -> Dict[str, Any]:
+        self._count_call()
+        record = self._record(name)
+        if record.last_job is None:
+            return {"type": "none"}
+        return dict(record.last_job)
+
+    def domain_get_state(self, name: str) -> int:
+        self._count_call()
+        self._record(name)
+        return int(self._domain_state(name))
+
+    def domain_get_xml_desc(self, name: str) -> str:
+        self._count_call()
+        return self._record(name).config.to_xml()
+
+    def domain_get_stats(self, name: str) -> Dict[str, Any]:
+        self._count_call()
+        record = self._record(name)
+        stats: Dict[str, Any] = {
+            "name": name,
+            "state": int(self._domain_state(name)),
+        }
+        if self.backend.has_guest(name):
+            self.backend._charge("query")
+            runtime = self.backend._get(name)
+            stats.update(
+                {
+                    "cpu_seconds": runtime.cpu_seconds,
+                    "vcpus": runtime.vcpus,
+                    "memory_kib": runtime.memory_kib,
+                    "max_memory_kib": runtime.max_memory_kib,
+                    "dirty_rate_mib_s": runtime.dirty_rate_mib_s,
+                    **runtime.io_stats(),
+                }
+            )
+        else:
+            stats.update(
+                {
+                    "cpu_seconds": 0.0,
+                    "vcpus": record.config.vcpus,
+                    "memory_kib": record.config.current_memory_kib,
+                    "max_memory_kib": record.config.memory_kib,
+                    "dirty_rate_mib_s": 0.0,
+                    "disk_read_bytes": 0,
+                    "disk_write_bytes": 0,
+                    "net_rx_bytes": 0,
+                    "net_tx_bytes": 0,
+                }
+            )
+        return stats
+
+    def domain_set_memory(self, name: str, memory_kib: int) -> None:
+        self._count_call()
+        record = self._record(name)
+        if memory_kib <= 0:
+            raise InvalidArgumentError("memory target must be positive")
+        if memory_kib > record.config.memory_kib:
+            raise InvalidOperationError(
+                f"target {memory_kib} KiB above defined maximum "
+                f"{record.config.memory_kib} KiB"
+            )
+        if self.backend.has_guest(name):
+            self._backend_set_memory(name, memory_kib)
+        record.config.current_memory_kib = memory_kib
+
+    def domain_set_vcpus(self, name: str, vcpus: int) -> None:
+        self._count_call()
+        record = self._record(name)
+        if vcpus < 1:
+            raise InvalidArgumentError("vcpu count must be at least 1")
+        if vcpus > record.config.max_vcpus:
+            raise InvalidOperationError(
+                f"target {vcpus} vCPUs above defined maximum {record.config.max_vcpus}"
+            )
+        if self.backend.has_guest(name):
+            self._backend_set_vcpus(name, vcpus)
+        record.config.vcpus = vcpus
+
+    def domain_save(self, name: str, path: str) -> None:
+        self._count_call()
+        record = self._record(name)
+        self._check_transition(name, "save")
+        self._backend_save(name, path)
+        record.saved_path = path
+        record.last_job = {"type": "save", "completed": True, "path": path}
+        self.events.emit(name, DomainEvent.STOPPED, "saved")
+
+    def domain_restore(self, path: str) -> Dict[str, Any]:
+        self._count_call()
+        with self._lock:
+            matches = [
+                (name, rec) for name, rec in self._domains.items()
+                if rec.saved_path == path
+            ]
+        if not matches:
+            raise NoDomainError(f"no saved domain image at {path!r}")
+        name, record = matches[0]
+        self._backend_restore(record.config, path)
+        record.saved_path = None
+        self._assign_id(name)
+        self.events.emit(name, DomainEvent.STARTED, "restored")
+        return self._public_record(name)
+
+    def domain_get_autostart(self, name: str) -> bool:
+        self._count_call()
+        return self._record(name).autostart
+
+    def domain_set_autostart(self, name: str, autostart: bool) -> None:
+        self._count_call()
+        record = self._record(name)
+        if not record.persistent:
+            raise InvalidOperationError("transient domains cannot autostart")
+        record.autostart = bool(autostart)
+
+    def autostart_all(self) -> List[str]:
+        """Start every autostart-flagged inactive domain (daemon boot)."""
+        started = []
+        with self._lock:
+            candidates = [
+                name for name, rec in self._domains.items() if rec.autostart
+            ]
+        for name in sorted(candidates):
+            if self._domain_state(name) == DomainState.SHUTOFF:
+                self.domain_create(name)
+                started.append(name)
+        return started
+
+    # ==================================================================
+    # device hotplug
+    # ==================================================================
+
+    def domain_attach_device(self, name: str, device_xml: str) -> None:
+        self._count_call()
+        record = self._record(name)
+        from repro.util.xmlutil import parse_xml
+        from repro.xmlconfig.domain import DiskDevice, InterfaceDevice
+
+        elem = parse_xml(device_xml)
+        if elem.tag == "disk":
+            device = DiskDevice.from_element(elem)
+            record.config.disks.append(device)
+        elif elem.tag == "interface":
+            device = InterfaceDevice.from_element(elem)
+            record.config.interfaces.append(device)
+        else:
+            raise InvalidArgumentError(f"cannot hotplug device <{elem.tag}>")
+        record.config.validate()
+
+    def domain_detach_device(self, name: str, device_xml: str) -> None:
+        self._count_call()
+        record = self._record(name)
+        from repro.util.xmlutil import parse_xml
+        from repro.xmlconfig.domain import DiskDevice, InterfaceDevice
+
+        elem = parse_xml(device_xml)
+        if elem.tag == "disk":
+            device = DiskDevice.from_element(elem)
+            matches = [d for d in record.config.disks if d.target_dev == device.target_dev]
+            if not matches:
+                raise InvalidArgumentError(
+                    f"no disk with target {device.target_dev!r} on {name!r}"
+                )
+            record.config.disks.remove(matches[0])
+        elif elem.tag == "interface":
+            device = InterfaceDevice.from_element(elem)
+            matches = [i for i in record.config.interfaces if i.mac == device.mac]
+            if not matches:
+                raise InvalidArgumentError(f"no interface with mac {device.mac!r}")
+            record.config.interfaces.remove(matches[0])
+        else:
+            raise InvalidArgumentError(f"cannot detach device <{elem.tag}>")
+
+    # ==================================================================
+    # snapshots
+    # ==================================================================
+
+    def snapshot_create(self, name: str, snapshot_name: str) -> Dict[str, Any]:
+        self._count_call()
+        record = self._record(name)
+        if not snapshot_name:
+            raise InvalidArgumentError("snapshot name must be non-empty")
+        if snapshot_name in record.snapshots:
+            raise SnapshotExistsError(
+                f"domain {name!r} already has snapshot {snapshot_name!r}"
+            )
+        self.backend.cost.charge(
+            self.backend.clock,
+            "snapshot",
+            record.config.current_memory_kib / MIB if self.backend.has_guest(name) else 0.0,
+        )
+        snapshot = {
+            "name": snapshot_name,
+            "state": int(self._domain_state(name)),
+            "xml": record.config.to_xml(),
+            "creation_time": self.backend.clock.now(),
+        }
+        record.snapshots[snapshot_name] = snapshot
+        return {"name": snapshot_name, "domain": name}
+
+    def snapshot_list(self, name: str) -> List[str]:
+        self._count_call()
+        return sorted(self._record(name).snapshots)
+
+    def snapshot_revert(self, name: str, snapshot_name: str) -> None:
+        self._count_call()
+        record = self._record(name)
+        snapshot = record.snapshots.get(snapshot_name)
+        if snapshot is None:
+            raise NoSnapshotError(f"domain {name!r} has no snapshot {snapshot_name!r}")
+        was_running = DomainState(snapshot["state"]) in (
+            DomainState.RUNNING,
+            DomainState.PAUSED,
+        )
+        if self.backend.has_guest(name):
+            self._backend_destroy(name)
+        record.config = DomainConfig.from_xml(snapshot["xml"])
+        if was_running:
+            self._backend_start(record.config)
+            self._assign_id(name)
+        self.events.emit(name, DomainEvent.STARTED if was_running else DomainEvent.STOPPED, "snapshot-revert")
+
+    def snapshot_delete(self, name: str, snapshot_name: str) -> None:
+        self._count_call()
+        record = self._record(name)
+        if snapshot_name not in record.snapshots:
+            raise NoSnapshotError(f"domain {name!r} has no snapshot {snapshot_name!r}")
+        del record.snapshots[snapshot_name]
+
+    # ==================================================================
+    # migration (driver hooks; orchestrated by repro.migration.manager)
+    # ==================================================================
+
+    def migrate_begin(self, name: str) -> Dict[str, Any]:
+        self._count_call()
+        record = self._record(name)
+        self._check_transition(name, "migrate")
+        runtime = self.backend._get(name)
+        return {
+            "name": name,
+            "uuid": record.config.uuid,
+            "xml": record.config.to_xml(),
+            "memory_kib": runtime.memory_kib,
+            "dirty_rate_mib_s": runtime.dirty_rate_mib_s,
+            "driver": self.name,
+        }
+
+    def migrate_prepare(self, description: Dict[str, Any]) -> Dict[str, Any]:
+        self._count_call()
+        if description.get("driver") != self.name:
+            raise MigrationIncompatibleError(
+                f"cannot migrate a {description.get('driver')!r} guest to a "
+                f"{self.name!r} host"
+            )
+        name = description["name"]
+        if self.backend.has_guest(name):
+            raise DomainExistsError(f"domain {name!r} already active on destination")
+        config = self._validate_config(description["xml"])
+        with self._lock:
+            if name not in self._domains:
+                self._domains[name] = _DomainRecord(config, persistent=False)
+                self._uuid_index[config.uuid] = name
+        self._backend_start(config, paused=True)
+        return {"name": name, "uuid": config.uuid}
+
+    def migrate_perform(
+        self, name: str, cookie: Dict[str, Any], params: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        self._count_call()
+        self._record(name)
+        runtime = self.backend._get(name)
+        bandwidth_mib_s = params.get("bandwidth_mib_s") or (
+            self.backend.cost.bandwidth_gib_s * 1024
+        )
+        live = params.get("live", True)
+        max_downtime = params.get("max_downtime_s", 0.3)
+        memory_bytes = runtime.memory_kib * 1024
+        if live:
+            result = run_precopy(
+                memory_bytes=memory_bytes,
+                dirty_rate_bytes_s=runtime.dirty_rate_mib_s * MIB,
+                bandwidth_bytes_s=bandwidth_mib_s * MIB,
+                max_downtime_s=max_downtime,
+            )
+        else:
+            # offline migration: pause first, stop-and-copy everything
+            result = run_precopy(
+                memory_bytes=memory_bytes,
+                dirty_rate_bytes_s=0.0,
+                bandwidth_bytes_s=bandwidth_mib_s * MIB,
+                max_downtime_s=memory_bytes / (bandwidth_mib_s * MIB) + 1.0,
+            )
+        if params.get("strict_convergence") and not result.converged:
+            raise MigrationError(
+                f"migration of {name!r} did not converge "
+                f"(dirty rate {runtime.dirty_rate_mib_s} MiB/s vs "
+                f"bandwidth {bandwidth_mib_s} MiB/s)"
+            )
+        # the guest runs during the copy rounds, pauses for the final one
+        self.backend.clock.sleep(result.total_time_s - result.downtime_s)
+        if self.backend.guest_state(name).value == "running":
+            self._backend_suspend(name)
+        self.backend.clock.sleep(result.downtime_s)
+        self._record(name).last_job = {
+            "type": "migration",
+            "completed": True,
+            "total_time_s": result.total_time_s,
+            "downtime_s": result.downtime_s,
+            "transferred_bytes": result.transferred_bytes,
+            "rounds": result.rounds,
+        }
+        return {
+            "total_time_s": result.total_time_s,
+            "downtime_s": result.downtime_s,
+            "rounds": result.rounds,
+            "converged": result.converged,
+            "transferred_bytes": result.transferred_bytes,
+        }
+
+    def migrate_finish(self, cookie: Dict[str, Any], stats: Dict[str, Any]) -> Dict[str, Any]:
+        self._count_call()
+        name = cookie["name"]
+        if stats.get("failed"):
+            if self.backend.has_guest(name):
+                self._backend_destroy(name)
+            self._forget_transient(name)
+            return {"name": name, "failed": True}
+        self._backend_resume(name)
+        record = self._record(name)
+        record.persistent = True
+        self.events.emit(name, DomainEvent.MIGRATED, "incoming")
+        self.events.emit(name, DomainEvent.STARTED, "migrated")
+        return self._public_record(name)
+
+    def migrate_confirm(self, name: str, cancelled: bool) -> None:
+        self._count_call()
+        if cancelled:
+            if self.backend.has_guest(name) and self.backend.guest_state(name).value == "paused":
+                self._backend_resume(name)
+            return
+        if self.backend.has_guest(name):
+            self._backend_destroy(name)
+        self.events.emit(name, DomainEvent.STOPPED, "migrated")
+        self._forget_transient(name)
+
+    def migrate_p2p(self, name: str, dest_uri: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Peer-to-peer mode: this (source) host dials the destination
+        itself and drives the whole handshake; the managing client only
+        issued one call."""
+        self._count_call()
+        from repro.core.connection import open_connection
+        from repro.migration.manager import run_handshake
+
+        dest = open_connection(dest_uri)
+        try:
+            if dest._driver is self or dest.hostname() == self.get_hostname():
+                raise InvalidArgumentError(
+                    f"peer-to-peer destination {dest_uri!r} is this host"
+                )
+            result, stats = run_handshake(self, dest._driver, name, params or {})
+        finally:
+            dest.close()
+        return {"name": result["name"], "uuid": result.get("uuid"), "stats": stats}
+
+    # ==================================================================
+    # events
+    # ==================================================================
+
+    def domain_event_register(self, callback: EventCallback) -> int:
+        self._count_call()
+        return self.events.register(callback)
+
+    def domain_event_deregister(self, callback_id: int) -> None:
+        self._count_call()
+        self.events.deregister(callback_id)
+
+    # ==================================================================
+    # networks
+    # ==================================================================
+
+    def network_define_xml(self, xml: str) -> Dict[str, Any]:
+        self._count_call()
+        config = NetworkConfig.from_xml(xml)
+        if config.uuid is None:
+            config.uuid = uuidutil.generate_uuid(self.backend.rng)
+        with self._lock:
+            if config.name in self._networks:
+                raise NetworkExistsError(f"network {config.name!r} already defined")
+            self._networks[config.name] = config
+        return self._network_record(config.name)
+
+    def _get_network(self, name: str) -> NetworkConfig:
+        with self._lock:
+            config = self._networks.get(name)
+        if config is None:
+            raise NoNetworkError(f"no network with matching name {name!r}")
+        return config
+
+    def _network_record(self, name: str) -> Dict[str, Any]:
+        config = self._get_network(name)
+        return {
+            "name": name,
+            "uuid": config.uuid,
+            "active": name in self._active_networks,
+            "bridge": config.bridge,
+        }
+
+    def network_undefine(self, name: str) -> None:
+        self._count_call()
+        self._get_network(name)
+        if name in self._active_networks:
+            raise InvalidOperationError(f"network {name!r} is active")
+        with self._lock:
+            del self._networks[name]
+
+    def network_create(self, name: str) -> None:
+        self._count_call()
+        self._get_network(name)
+        if name in self._active_networks:
+            raise InvalidOperationError(f"network {name!r} is already active")
+        self._active_networks.add(name)
+
+    def network_destroy(self, name: str) -> None:
+        self._count_call()
+        self._get_network(name)
+        if name not in self._active_networks:
+            raise InvalidOperationError(f"network {name!r} is not active")
+        self._active_networks.discard(name)
+        with self._lock:
+            self._dhcp_leases.pop(name, None)
+
+    def network_list(self) -> List[Dict[str, Any]]:
+        self._count_call()
+        with self._lock:
+            names = sorted(self._networks)
+        return [self._network_record(name) for name in names]
+
+    def network_lookup_by_name(self, name: str) -> Dict[str, Any]:
+        self._count_call()
+        return self._network_record(name)
+
+    def network_get_xml_desc(self, name: str) -> str:
+        self._count_call()
+        return self._get_network(name).to_xml()
+
+    def network_dhcp_leases(self, name: str) -> List[Dict[str, Any]]:
+        self._count_call()
+        self._get_network(name)
+        with self._lock:
+            leases = dict(self._dhcp_leases.get(name, {}))
+        return [
+            {"mac": mac, **info} for mac, info in sorted(leases.items())
+        ]
+
+    def _assign_dhcp_leases(self, config: DomainConfig) -> None:
+        """Hand a lease to every NIC attached to an active DHCP network."""
+        for iface in config.interfaces:
+            if iface.interface_type != "network" or not iface.mac:
+                continue
+            network = self._networks.get(iface.source)
+            if (
+                network is None
+                or iface.source not in self._active_networks
+                or network.ip is None
+                or network.ip.dhcp is None
+            ):
+                continue
+            with self._lock:
+                leases = self._dhcp_leases.setdefault(iface.source, {})
+                if iface.mac in leases:
+                    continue
+                used = {entry["ip"] for entry in leases.values()}
+                ip = _next_free_lease(network.ip.dhcp, used)
+                if ip is None:
+                    continue  # range exhausted: the guest simply gets no lease
+                leases[iface.mac] = {
+                    "ip": ip,
+                    "hostname": config.name,
+                    "since": self.backend.clock.now(),
+                }
+
+    def _release_dhcp_leases(self, config: DomainConfig) -> None:
+        for iface in config.interfaces:
+            if not iface.mac:
+                continue
+            with self._lock:
+                leases = self._dhcp_leases.get(iface.source)
+                if leases is not None:
+                    leases.pop(iface.mac, None)
+
+    # ==================================================================
+    # storage
+    # ==================================================================
+
+    def storage_pool_define_xml(self, xml: str) -> Dict[str, Any]:
+        self._count_call()
+        config = StoragePoolConfig.from_xml(xml)
+        if config.uuid is None:
+            config.uuid = uuidutil.generate_uuid(self.backend.rng)
+        with self._lock:
+            if config.name in self._pools:
+                raise StoragePoolExistsError(f"pool {config.name!r} already defined")
+            self._pools[config.name] = config
+            self._pool_volumes[config.name] = {}
+        return self._pool_record(config.name)
+
+    def _get_pool(self, name: str) -> StoragePoolConfig:
+        with self._lock:
+            config = self._pools.get(name)
+        if config is None:
+            raise NoStoragePoolError(f"no storage pool with matching name {name!r}")
+        return config
+
+    def _pool_record(self, name: str) -> Dict[str, Any]:
+        config = self._get_pool(name)
+        return {
+            "name": name,
+            "uuid": config.uuid,
+            "active": name in self._active_pools,
+        }
+
+    def storage_pool_undefine(self, name: str) -> None:
+        self._count_call()
+        self._get_pool(name)
+        if name in self._active_pools:
+            raise InvalidOperationError(f"pool {name!r} is active")
+        with self._lock:
+            del self._pools[name]
+            del self._pool_volumes[name]
+
+    def storage_pool_create(self, name: str) -> None:
+        self._count_call()
+        self._get_pool(name)
+        if name in self._active_pools:
+            raise InvalidOperationError(f"pool {name!r} is already active")
+        self._active_pools.add(name)
+
+    def storage_pool_destroy(self, name: str) -> None:
+        self._count_call()
+        self._get_pool(name)
+        if name not in self._active_pools:
+            raise InvalidOperationError(f"pool {name!r} is not active")
+        self._active_pools.discard(name)
+
+    def storage_pool_list(self) -> List[Dict[str, Any]]:
+        self._count_call()
+        with self._lock:
+            names = sorted(self._pools)
+        return [self._pool_record(name) for name in names]
+
+    def storage_pool_lookup_by_name(self, name: str) -> Dict[str, Any]:
+        self._count_call()
+        return self._pool_record(name)
+
+    def storage_pool_get_info(self, name: str) -> Dict[str, Any]:
+        self._count_call()
+        config = self._get_pool(name)
+        with self._lock:
+            volumes = dict(self._pool_volumes[name])
+        allocation = 0
+        for volume in volumes.values():
+            path = f"{config.target_path}/{volume.name}"
+            if self.backend.images.exists(path):
+                allocation += self.backend.images.lookup(path).allocation_bytes
+        return {
+            "capacity_bytes": config.capacity_bytes,
+            "allocation_bytes": allocation,
+            "available_bytes": config.capacity_bytes - allocation,
+            "active": name in self._active_pools,
+        }
+
+    def storage_pool_get_xml_desc(self, name: str) -> str:
+        self._count_call()
+        return self._get_pool(name).to_xml()
+
+    def storage_vol_create_xml(self, pool: str, xml: str) -> Dict[str, Any]:
+        self._count_call()
+        pool_config = self._get_pool(pool)
+        if pool not in self._active_pools:
+            raise InvalidOperationError(f"pool {pool!r} is not active")
+        volume = VolumeConfig.from_xml(xml)
+        with self._lock:
+            if volume.name in self._pool_volumes[pool]:
+                raise StorageVolumeExistsError(
+                    f"volume {volume.name!r} already exists in pool {pool!r}"
+                )
+        info = self.storage_pool_get_info(pool)
+        if volume.capacity_bytes > info["available_bytes"] and volume.volume_format == "raw":
+            raise InvalidOperationError(
+                f"pool {pool!r} lacks space for volume {volume.name!r}"
+            )
+        path = f"{pool_config.target_path}/{volume.name}"
+        self.backend.images.create(
+            path,
+            volume.capacity_bytes,
+            volume.volume_format,
+            backing_path=volume.backing_store,
+        )
+        with self._lock:
+            self._pool_volumes[pool][volume.name] = volume
+        return {"name": volume.name, "path": path}
+
+    def storage_vol_delete(self, pool: str, volume: str) -> None:
+        self._count_call()
+        pool_config = self._get_pool(pool)
+        with self._lock:
+            if volume not in self._pool_volumes[pool]:
+                raise NoStorageVolumeError(
+                    f"no volume {volume!r} in pool {pool!r}"
+                )
+        path = f"{pool_config.target_path}/{volume}"
+        if self.backend.images.exists(path):
+            self.backend.images.delete(path)
+        with self._lock:
+            del self._pool_volumes[pool][volume]
+
+    def storage_vol_list(self, pool: str) -> List[str]:
+        self._count_call()
+        self._get_pool(pool)
+        with self._lock:
+            return sorted(self._pool_volumes[pool])
+
+    def storage_vol_get_info(self, pool: str, volume: str) -> Dict[str, Any]:
+        self._count_call()
+        pool_config = self._get_pool(pool)
+        with self._lock:
+            config = self._pool_volumes[pool].get(volume)
+        if config is None:
+            raise NoStorageVolumeError(f"no volume {volume!r} in pool {pool!r}")
+        path = f"{pool_config.target_path}/{volume}"
+        allocation = config.allocation_bytes
+        if self.backend.images.exists(path):
+            allocation = self.backend.images.lookup(path).allocation_bytes
+        return {
+            "name": volume,
+            "capacity_bytes": config.capacity_bytes,
+            "allocation_bytes": allocation,
+            "format": config.volume_format,
+            "path": path,
+        }
+
+
+def from_run_state_str(state: str) -> DomainState:
+    """Translate a backend info-dict state string to the public enum."""
+    return {
+        "running": DomainState.RUNNING,
+        "paused": DomainState.PAUSED,
+        "shutoff": DomainState.SHUTOFF,
+        "crashed": DomainState.CRASHED,
+    }[state]
+
+
+def _next_free_lease(dhcp, used: set) -> "str | None":
+    """First address in the DHCP range not in ``used``."""
+    import ipaddress
+
+    start = int(ipaddress.ip_address(dhcp.start))
+    end = int(ipaddress.ip_address(dhcp.end))
+    for value in range(start, end + 1):
+        candidate = str(ipaddress.ip_address(value))
+        if candidate not in used:
+            return candidate
+    return None

@@ -1,0 +1,162 @@
+"""The test driver (``test:///default``).
+
+Mirrors libvirt's mock driver: a fully functional in-memory node with a
+zero-cost backend, pre-seeded with one running domain named ``test``.
+It exists so applications (and the management-layer-overhead benchmark)
+can exercise the complete uniform API with no hypervisor latency at
+all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import DomainExistsError, NoDomainError
+from repro.hypervisors.base import Backend, GuestRuntime, RunState
+from repro.hypervisors.host import SimHost
+from repro.drivers.stateful import StatefulDriver
+from repro.util import uuidutil
+from repro.xmlconfig.domain import DomainConfig
+
+
+class NullBackend(Backend):
+    """A backend whose every operation is free and instantaneous."""
+
+    kind = "test"
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._saved: Dict[str, Dict[str, Any]] = {}
+
+    def launch(self, config: DomainConfig, paused: bool = False) -> GuestRuntime:
+        self._check_injected_failure(config.name)
+        if self.has_guest(config.name):
+            raise DomainExistsError(f"guest {config.name!r} already active")
+        self.host.allocate(config.name, config.vcpus, config.current_memory_kib)
+        runtime = GuestRuntime(
+            name=config.name,
+            uuid=config.uuid or uuidutil.generate_uuid(self.rng),
+            vcpus=config.vcpus,
+            memory_kib=config.current_memory_kib,
+            clock=self.clock,
+            utilization=self._new_utilization(),
+        )
+        if paused:
+            runtime.transition(RunState.PAUSED)
+        self._register(runtime)
+        self._charge("start")
+        return runtime
+
+    def stop(self, name: str, graceful: bool) -> None:
+        guest = self._get(name)
+        self._check_injected_failure(name)
+        if graceful:
+            guest.require_state(RunState.RUNNING)
+            self._charge("shutdown")
+        else:
+            self._charge("destroy")
+        guest.transition(RunState.SHUTOFF)
+        self._teardown(guest)
+
+    def pause(self, name: str) -> None:
+        guest = self._get(name)
+        guest.require_state(RunState.RUNNING)
+        self._charge("suspend")
+        guest.transition(RunState.PAUSED)
+
+    def unpause(self, name: str) -> None:
+        guest = self._get(name)
+        guest.require_state(RunState.PAUSED)
+        self._charge("resume")
+        guest.transition(RunState.RUNNING)
+
+    def reboot(self, name: str) -> None:
+        guest = self._get(name)
+        guest.require_state(RunState.RUNNING)
+        self._charge("reboot")
+
+    def set_memory(self, name: str, memory_kib: int) -> None:
+        guest = self._get(name)
+        self._charge("set_memory")
+        self.host.resize(name, memory_kib=memory_kib)
+        guest.memory_kib = memory_kib
+
+    def set_vcpus(self, name: str, vcpus: int) -> None:
+        guest = self._get(name)
+        self._charge("set_vcpus")
+        self.host.resize(name, vcpus=vcpus)
+        guest.vcpus = vcpus
+
+    def save(self, name: str, path: str) -> None:
+        guest = self._get(name)
+        guest.require_state(RunState.RUNNING, RunState.PAUSED)
+        self._charge("save")
+        self._saved[path] = {"uuid": guest.uuid, "cpu_seconds": guest.cpu_seconds}
+        guest.transition(RunState.SHUTOFF)
+        self._teardown(guest)
+
+    def restore(self, config: DomainConfig, path: str) -> None:
+        blob = self._saved.get(path)
+        if blob is None:
+            raise NoDomainError(f"no saved state at {path!r}")
+        runtime = self.launch(config)
+        self._charge("restore")
+        runtime.uuid = blob["uuid"]
+        runtime._cpu_seconds = blob["cpu_seconds"]
+        del self._saved[path]
+
+
+class TestDriver(StatefulDriver):
+    """Stateful driver over the null backend."""
+
+    __test__ = False  # not a pytest test class, despite the name
+    name = "test"
+    accepted_types = ("test",)
+
+    def __init__(self, backend: "Optional[NullBackend]" = None, seed_default: bool = True) -> None:
+        super().__init__(backend or NullBackend(host=SimHost(hostname="testnode")))
+        if seed_default:
+            self._seed_default_objects()
+
+    def _seed_default_objects(self) -> None:
+        """The canonical test:///default contents: one running domain."""
+        config = DomainConfig(
+            name="test",
+            domain_type="test",
+            memory_kib=8 * 1024 * 1024,
+            vcpus=2,
+        )
+        self.domain_define_xml(config.to_xml())
+        self.domain_create("test")
+
+    # -- backend adapter ---------------------------------------------------
+
+    def _backend_start(self, config: DomainConfig, paused: bool = False) -> None:
+        self.backend.launch(config, paused=paused)
+
+    def _backend_shutdown(self, name: str) -> None:
+        self.backend.stop(name, graceful=True)
+
+    def _backend_destroy(self, name: str) -> None:
+        self.backend.stop(name, graceful=False)
+
+    def _backend_suspend(self, name: str) -> None:
+        self.backend.pause(name)
+
+    def _backend_resume(self, name: str) -> None:
+        self.backend.unpause(name)
+
+    def _backend_reboot(self, name: str) -> None:
+        self.backend.reboot(name)
+
+    def _backend_set_memory(self, name: str, memory_kib: int) -> None:
+        self.backend.set_memory(name, memory_kib)
+
+    def _backend_set_vcpus(self, name: str, vcpus: int) -> None:
+        self.backend.set_vcpus(name, vcpus)
+
+    def _backend_save(self, name: str, path: str) -> None:
+        self.backend.save(name, path)
+
+    def _backend_restore(self, config: DomainConfig, path: str) -> None:
+        self.backend.restore(config, path)

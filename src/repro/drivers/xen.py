@@ -1,0 +1,65 @@
+"""The Xen driver: uniform API → Domain0 hypercalls.
+
+Every operation resolves the domain name to its numeric domid through
+the xenstore, then issues the corresponding ``domctl`` hypercall —
+the translation layer libvirt's legacy xen driver implements.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.drivers.stateful import StatefulDriver
+from repro.hypervisors.host import SimHost
+from repro.hypervisors.xen_backend import XenBackend
+from repro.xmlconfig.domain import DomainConfig
+
+
+class XenDriver(StatefulDriver):
+    """Stateful driver over the simulated Xen backend."""
+
+    name = "xen"
+    accepted_types = ("xen",)
+
+    def __init__(self, backend: "Optional[XenBackend]" = None) -> None:
+        super().__init__(backend or XenBackend(host=SimHost(hostname="xenhost")))
+
+    # -- backend adapter: name → domid → hypercall --------------------------
+
+    def _backend_start(self, config: DomainConfig, paused: bool = False) -> None:
+        self.backend.hypercall("domctl.createdomain", config=config, paused=paused)
+
+    def _backend_shutdown(self, name: str) -> None:
+        domid = self.backend.domid_of(name)
+        self.backend.hypercall("domctl.shutdown", domid=domid, reason="poweroff")
+
+    def _backend_destroy(self, name: str) -> None:
+        domid = self.backend.domid_of(name)
+        self.backend.hypercall("domctl.destroydomain", domid=domid)
+
+    def _backend_suspend(self, name: str) -> None:
+        domid = self.backend.domid_of(name)
+        self.backend.hypercall("domctl.pausedomain", domid=domid)
+
+    def _backend_resume(self, name: str) -> None:
+        domid = self.backend.domid_of(name)
+        self.backend.hypercall("domctl.unpausedomain", domid=domid)
+
+    def _backend_reboot(self, name: str) -> None:
+        domid = self.backend.domid_of(name)
+        self.backend.hypercall("domctl.shutdown", domid=domid, reason="reboot")
+
+    def _backend_set_memory(self, name: str, memory_kib: int) -> None:
+        domid = self.backend.domid_of(name)
+        self.backend.hypercall("domctl.max_mem", domid=domid, memory_kib=memory_kib)
+
+    def _backend_set_vcpus(self, name: str, vcpus: int) -> None:
+        domid = self.backend.domid_of(name)
+        self.backend.hypercall("domctl.max_vcpus", domid=domid, vcpus=vcpus)
+
+    def _backend_save(self, name: str, path: str) -> None:
+        domid = self.backend.domid_of(name)
+        self.backend.hypercall("domctl.save", domid=domid, path=path)
+
+    def _backend_restore(self, config: DomainConfig, path: str) -> None:
+        self.backend.hypercall("domctl.restore", config=config, path=path)

@@ -1,0 +1,377 @@
+"""Error model for pyvirt.
+
+Mirrors libvirt's ``virError`` facility: every failure raised by the
+library carries a stable numeric :class:`ErrorCode`, the subsystem
+(:class:`ErrorDomain`) it originated in, a severity level, and a
+human-readable message.  Callers that need to branch on failure kind
+should match on ``exc.code`` rather than on message text.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ErrorLevel(enum.IntEnum):
+    """Severity of a reported error (``virErrorLevel``)."""
+
+    NONE = 0
+    WARNING = 1
+    ERROR = 2
+
+
+class ErrorDomain(enum.IntEnum):
+    """Subsystem an error originated from (``virErrorDomain`` subset)."""
+
+    NONE = 0
+    XML = 1
+    CONF = 2
+    DOM = 3
+    NET = 4
+    STORAGE = 5
+    NODE = 6
+    RPC = 7
+    QEMU = 8
+    XEN = 9
+    LXC = 10
+    ESX = 11
+    REMOTE = 12
+    EVENT = 13
+    ADMIN = 14
+    MIGRATION = 15
+    SECURITY = 16
+    SNAPSHOT = 17
+    THREAD = 18
+    LOGGING = 19
+    CLI = 20
+    TEST = 21
+    URI = 22
+
+
+class ErrorCode(enum.IntEnum):
+    """Stable numeric error codes (``virErrorNumber`` subset)."""
+
+    OK = 0
+    INTERNAL_ERROR = 1
+    NO_MEMORY = 2
+    NO_SUPPORT = 3
+    UNKNOWN_HOST = 4
+    NO_CONNECT = 5
+    INVALID_CONN = 6
+    INVALID_DOMAIN = 7
+    INVALID_ARG = 8
+    OPERATION_FAILED = 9
+    NO_DOMAIN = 10
+    DOM_EXIST = 11
+    OPERATION_DENIED = 12
+    OPERATION_INVALID = 13
+    XML_ERROR = 14
+    XML_DETAIL = 15
+    NO_NETWORK = 16
+    NETWORK_EXIST = 17
+    SYSTEM_ERROR = 18
+    RPC_ERROR = 19
+    AUTH_FAILED = 20
+    INVALID_STORAGE_POOL = 21
+    INVALID_STORAGE_VOL = 22
+    NO_STORAGE_POOL = 23
+    NO_STORAGE_VOL = 24
+    STORAGE_POOL_EXIST = 25
+    STORAGE_VOL_EXIST = 26
+    INVALID_NETWORK = 27
+    OPERATION_TIMEOUT = 28
+    MIGRATE_PERSIST_FAILED = 29
+    CONFIG_UNSUPPORTED = 30
+    OPERATION_ABORTED = 31
+    NO_DOMAIN_SNAPSHOT = 32
+    SNAPSHOT_EXIST = 33
+    INVALID_SNAPSHOT = 34
+    RESOURCE_BUSY = 35
+    ACCESS_DENIED = 36
+    MIGRATE_UNSAFE = 37
+    OVERFLOW = 38
+    NO_SERVER = 39
+    NO_CLIENT = 40
+    AGENT_UNRESPONSIVE = 41
+    LIBSSH = 42
+    DEVICE_MISSING = 43
+    INVALID_URI = 44
+    CONNECTION_CLOSED = 45
+    INSUFFICIENT_RESOURCES = 46
+    MIGRATE_INCOMPATIBLE = 47
+    GUEST_CRASHED = 48
+
+
+class VirtError(Exception):
+    """Base exception for all pyvirt failures.
+
+    Parameters
+    ----------
+    code:
+        Stable :class:`ErrorCode` identifying the failure kind.
+    message:
+        Human readable description.
+    domain:
+        Subsystem the error originated from.
+    level:
+        Severity; defaults to :attr:`ErrorLevel.ERROR`.
+    """
+
+    default_code = ErrorCode.INTERNAL_ERROR
+    default_domain = ErrorDomain.NONE
+
+    def __init__(
+        self,
+        message: str,
+        code: "ErrorCode | None" = None,
+        domain: "ErrorDomain | None" = None,
+        level: ErrorLevel = ErrorLevel.ERROR,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.code = self.default_code if code is None else ErrorCode(code)
+        self.domain = self.default_domain if domain is None else ErrorDomain(domain)
+        self.level = ErrorLevel(level)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(code={self.code.name}, "
+            f"domain={self.domain.name}, message={self.message!r})"
+        )
+
+    def to_dict(self) -> dict:
+        """Serialize to a plain dict (used by the RPC error reply path)."""
+        return {
+            "code": int(self.code),
+            "domain": int(self.domain),
+            "level": int(self.level),
+            "message": self.message,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "VirtError":
+        """Rebuild the most specific known exception type from a dict."""
+        code = ErrorCode(int(data.get("code", ErrorCode.INTERNAL_ERROR)))
+        domain = ErrorDomain(int(data.get("domain", ErrorDomain.NONE)))
+        level = ErrorLevel(int(data.get("level", ErrorLevel.ERROR)))
+        message = str(data.get("message", "unknown error"))
+        cls = _CODE_TO_CLASS.get(code, VirtError)
+        return cls(message, code=code, domain=domain, level=level)
+
+
+class XMLError(VirtError):
+    """Malformed or semantically invalid XML configuration."""
+
+    default_code = ErrorCode.XML_ERROR
+    default_domain = ErrorDomain.XML
+
+
+class InvalidArgumentError(VirtError):
+    """A caller-supplied argument was rejected."""
+
+    default_code = ErrorCode.INVALID_ARG
+
+
+class UnsupportedError(VirtError):
+    """The driver or backend does not implement the requested feature."""
+
+    default_code = ErrorCode.NO_SUPPORT
+
+
+class InvalidURIError(VirtError):
+    """A connection URI could not be parsed or matched to a driver."""
+
+    default_code = ErrorCode.INVALID_URI
+    default_domain = ErrorDomain.URI
+
+
+class ConnectionError_(VirtError):
+    """Connection establishment failed or the connection is unusable."""
+
+    default_code = ErrorCode.NO_CONNECT
+
+
+class ConnectionClosedError(VirtError):
+    """Operation attempted on a closed connection."""
+
+    default_code = ErrorCode.CONNECTION_CLOSED
+
+
+class NoDomainError(VirtError):
+    """Lookup failed: no domain with the given name/UUID/ID."""
+
+    default_code = ErrorCode.NO_DOMAIN
+    default_domain = ErrorDomain.DOM
+
+
+class DomainExistsError(VirtError):
+    """A domain with the same name or UUID already exists."""
+
+    default_code = ErrorCode.DOM_EXIST
+    default_domain = ErrorDomain.DOM
+
+
+class InvalidOperationError(VirtError):
+    """Operation not valid for the object's current state."""
+
+    default_code = ErrorCode.OPERATION_INVALID
+
+
+class OperationFailedError(VirtError):
+    """The backend reported a failure while executing the operation."""
+
+    default_code = ErrorCode.OPERATION_FAILED
+
+
+class OperationTimeoutError(VirtError):
+    """The operation did not complete within its deadline."""
+
+    default_code = ErrorCode.OPERATION_TIMEOUT
+
+
+class OperationAbortedError(VirtError):
+    """The operation was cancelled by the caller."""
+
+    default_code = ErrorCode.OPERATION_ABORTED
+
+
+class ResourceBusyError(VirtError):
+    """The resource is locked by a concurrent job."""
+
+    default_code = ErrorCode.RESOURCE_BUSY
+
+
+class InsufficientResourcesError(VirtError):
+    """The host cannot satisfy the requested CPU/memory/disk allocation."""
+
+    default_code = ErrorCode.INSUFFICIENT_RESOURCES
+    default_domain = ErrorDomain.NODE
+
+
+class NoNetworkError(VirtError):
+    """Lookup failed: no network with the given name/UUID."""
+
+    default_code = ErrorCode.NO_NETWORK
+    default_domain = ErrorDomain.NET
+
+
+class NetworkExistsError(VirtError):
+    """A network with the same name or UUID already exists."""
+
+    default_code = ErrorCode.NETWORK_EXIST
+    default_domain = ErrorDomain.NET
+
+
+class NoStoragePoolError(VirtError):
+    """Lookup failed: no storage pool with the given name/UUID."""
+
+    default_code = ErrorCode.NO_STORAGE_POOL
+    default_domain = ErrorDomain.STORAGE
+
+
+class StoragePoolExistsError(VirtError):
+    """A storage pool with the same name or UUID already exists."""
+
+    default_code = ErrorCode.STORAGE_POOL_EXIST
+    default_domain = ErrorDomain.STORAGE
+
+
+class NoStorageVolumeError(VirtError):
+    """Lookup failed: no volume with the given name/key."""
+
+    default_code = ErrorCode.NO_STORAGE_VOL
+    default_domain = ErrorDomain.STORAGE
+
+
+class StorageVolumeExistsError(VirtError):
+    """A volume with the same name already exists in the pool."""
+
+    default_code = ErrorCode.STORAGE_VOL_EXIST
+    default_domain = ErrorDomain.STORAGE
+
+
+class NoSnapshotError(VirtError):
+    """Lookup failed: no snapshot with the given name."""
+
+    default_code = ErrorCode.NO_DOMAIN_SNAPSHOT
+    default_domain = ErrorDomain.SNAPSHOT
+
+
+class SnapshotExistsError(VirtError):
+    """A snapshot with the same name already exists."""
+
+    default_code = ErrorCode.SNAPSHOT_EXIST
+    default_domain = ErrorDomain.SNAPSHOT
+
+
+class RPCError(VirtError):
+    """Wire-protocol failure: framing, serialization, or dispatch."""
+
+    default_code = ErrorCode.RPC_ERROR
+    default_domain = ErrorDomain.RPC
+
+
+class AuthenticationError(VirtError):
+    """The transport-level authentication handshake failed."""
+
+    default_code = ErrorCode.AUTH_FAILED
+    default_domain = ErrorDomain.RPC
+
+
+class AccessDeniedError(VirtError):
+    """The client is not permitted to perform the operation."""
+
+    default_code = ErrorCode.ACCESS_DENIED
+
+
+class MigrationError(VirtError):
+    """Live migration failed."""
+
+    default_code = ErrorCode.OPERATION_FAILED
+    default_domain = ErrorDomain.MIGRATION
+
+
+class MigrationIncompatibleError(VirtError):
+    """Source and destination are incompatible (arch/hypervisor/features)."""
+
+    default_code = ErrorCode.MIGRATE_INCOMPATIBLE
+    default_domain = ErrorDomain.MIGRATION
+
+
+class GuestCrashedError(VirtError):
+    """The simulated guest crashed during the operation."""
+
+    default_code = ErrorCode.GUEST_CRASHED
+    default_domain = ErrorDomain.DOM
+
+
+_CODE_TO_CLASS = {
+    ErrorCode.XML_ERROR: XMLError,
+    ErrorCode.XML_DETAIL: XMLError,
+    ErrorCode.INVALID_ARG: InvalidArgumentError,
+    ErrorCode.NO_SUPPORT: UnsupportedError,
+    ErrorCode.INVALID_URI: InvalidURIError,
+    ErrorCode.NO_CONNECT: ConnectionError_,
+    ErrorCode.CONNECTION_CLOSED: ConnectionClosedError,
+    ErrorCode.NO_DOMAIN: NoDomainError,
+    ErrorCode.DOM_EXIST: DomainExistsError,
+    ErrorCode.OPERATION_INVALID: InvalidOperationError,
+    ErrorCode.OPERATION_FAILED: OperationFailedError,
+    ErrorCode.OPERATION_TIMEOUT: OperationTimeoutError,
+    ErrorCode.OPERATION_ABORTED: OperationAbortedError,
+    ErrorCode.RESOURCE_BUSY: ResourceBusyError,
+    ErrorCode.INSUFFICIENT_RESOURCES: InsufficientResourcesError,
+    ErrorCode.NO_NETWORK: NoNetworkError,
+    ErrorCode.NETWORK_EXIST: NetworkExistsError,
+    ErrorCode.NO_STORAGE_POOL: NoStoragePoolError,
+    ErrorCode.STORAGE_POOL_EXIST: StoragePoolExistsError,
+    ErrorCode.NO_STORAGE_VOL: NoStorageVolumeError,
+    ErrorCode.STORAGE_VOL_EXIST: StorageVolumeExistsError,
+    ErrorCode.NO_DOMAIN_SNAPSHOT: NoSnapshotError,
+    ErrorCode.SNAPSHOT_EXIST: SnapshotExistsError,
+    ErrorCode.RPC_ERROR: RPCError,
+    ErrorCode.AUTH_FAILED: AuthenticationError,
+    ErrorCode.ACCESS_DENIED: AccessDeniedError,
+    ErrorCode.MIGRATE_INCOMPATIBLE: MigrationIncompatibleError,
+    ErrorCode.GUEST_CRASHED: GuestCrashedError,
+}

@@ -1,0 +1,32 @@
+"""Simulated hypervisor substrates.
+
+The paper's testbed ran real Xen, QEMU/KVM, VMware ESX and container
+hosts.  Those are a hardware/privilege gate, so this package replaces
+each with a simulated backend that keeps the *management-relevant*
+behaviour: a native control protocol distinct per hypervisor, a guest
+lifecycle state machine, host resource accounting, and a calibrated
+latency cost model charged against a pluggable clock.
+"""
+
+from repro.hypervisors.base import Backend, GuestRuntime, RunState
+from repro.hypervisors.container_backend import ContainerBackend
+from repro.hypervisors.diskimage import ImageStore
+from repro.hypervisors.esx_backend import EsxBackend
+from repro.hypervisors.host import SimHost
+from repro.hypervisors.qemu_backend import QemuBackend
+from repro.hypervisors.timing import DEFAULT_COST_MODELS, CostModel
+from repro.hypervisors.xen_backend import XenBackend
+
+__all__ = [
+    "SimHost",
+    "CostModel",
+    "DEFAULT_COST_MODELS",
+    "Backend",
+    "GuestRuntime",
+    "RunState",
+    "ImageStore",
+    "QemuBackend",
+    "XenBackend",
+    "ContainerBackend",
+    "EsxBackend",
+]

@@ -1,0 +1,230 @@
+"""Shared machinery for simulated hypervisor backends.
+
+A backend owns the *active* guest instances on one host (defined-but-
+inactive configurations live in the driver, exactly as in libvirt's
+stateful drivers).  Each concrete backend exposes its own native
+control protocol — QMP monitor, hypercalls, container engine verbs,
+remote SOAP calls — and this module provides the guest runtime state
+machine and resource plumbing they all share.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, List, Optional
+
+import enum
+
+from repro.errors import (
+    InvalidOperationError,
+    NoDomainError,
+)
+from repro.hypervisors.diskimage import ImageStore
+from repro.hypervisors.host import SimHost
+from repro.hypervisors.timing import CostModel, model_for
+from repro.util.clock import Clock
+
+KIB_PER_GIB = 1024 * 1024
+
+
+class RunState(enum.Enum):
+    """Backend-level guest state (drivers map this to the public enum)."""
+
+    RUNNING = "running"
+    PAUSED = "paused"
+    SHUTOFF = "shutoff"
+    CRASHED = "crashed"
+
+
+class GuestRuntime:
+    """One active guest instance on a backend."""
+
+    def __init__(
+        self,
+        name: str,
+        uuid: str,
+        vcpus: int,
+        memory_kib: int,
+        clock: Clock,
+        utilization: float = 0.4,
+    ) -> None:
+        self.name = name
+        self.uuid = uuid
+        self.vcpus = vcpus
+        self.memory_kib = memory_kib
+        self.max_memory_kib = memory_kib
+        self.clock = clock
+        self.utilization = utilization
+        self.state = RunState.RUNNING
+        self.started_at = clock.now()
+        self._cpu_seconds = 0.0
+        self._last_account = clock.now()
+        #: memory write rate while running, MiB/s (drives migration precopy)
+        self.dirty_rate_mib_s = 64.0
+        self.disk_paths: List[str] = []
+        #: modelled I/O rates while running (bytes/s), derived from the
+        #: guest's utilization so busier guests do more I/O
+        self.disk_read_rate = int(8e6 * utilization)
+        self.disk_write_rate = int(4e6 * utilization)
+        self.net_rx_rate = int(2e6 * utilization)
+        self.net_tx_rate = int(1e6 * utilization)
+        self._disk_read_bytes = 0.0
+        self._disk_write_bytes = 0.0
+        self._net_rx_bytes = 0.0
+        self._net_tx_bytes = 0.0
+
+    # -- CPU time and I/O accounting -------------------------------------
+
+    def _account(self) -> None:
+        now = self.clock.now()
+        if self.state == RunState.RUNNING:
+            elapsed = now - self._last_account
+            self._cpu_seconds += elapsed * self.vcpus * self.utilization
+            self._disk_read_bytes += elapsed * self.disk_read_rate
+            self._disk_write_bytes += elapsed * self.disk_write_rate
+            self._net_rx_bytes += elapsed * self.net_rx_rate
+            self._net_tx_bytes += elapsed * self.net_tx_rate
+        self._last_account = now
+
+    @property
+    def cpu_seconds(self) -> float:
+        self._account()
+        return self._cpu_seconds
+
+    def io_stats(self) -> Dict[str, int]:
+        """Cumulative modelled I/O counters."""
+        self._account()
+        return {
+            "disk_read_bytes": int(self._disk_read_bytes),
+            "disk_write_bytes": int(self._disk_write_bytes),
+            "net_rx_bytes": int(self._net_rx_bytes),
+            "net_tx_bytes": int(self._net_tx_bytes),
+        }
+
+    @property
+    def memory_gib(self) -> float:
+        return self.memory_kib / KIB_PER_GIB
+
+    # -- state transitions -----------------------------------------------
+
+    def require_state(self, *allowed: RunState) -> None:
+        if self.state not in allowed:
+            names = "/".join(s.value for s in allowed)
+            raise InvalidOperationError(
+                f"guest {self.name!r} is {self.state.value}, needs {names}"
+            )
+
+    def transition(self, new_state: RunState) -> None:
+        self._account()
+        self.state = new_state
+
+
+class Backend:
+    """Base class for the four simulated hypervisor backends."""
+
+    #: backend kind key; also selects the default cost model
+    kind = "test"
+
+    def __init__(
+        self,
+        host: Optional[SimHost] = None,
+        clock: Optional[Clock] = None,
+        cost_model: Optional[CostModel] = None,
+        images: Optional[ImageStore] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.host = host or SimHost()
+        self.clock = clock or self.host.clock
+        self.cost = cost_model or model_for(self.kind)
+        self.images = images or ImageStore()
+        self.rng = rng or random.Random(0x5EED)
+        self._guests: Dict[str, GuestRuntime] = {}
+        self._lock = threading.RLock()
+        #: guests whose next lifecycle op should fail (failure injection)
+        self._fail_next: Dict[str, str] = {}
+        #: per-operation charge counters (native-interface call accounting)
+        self.ops_charged: Dict[str, int] = {}
+
+    # -- shared helpers --------------------------------------------------
+
+    def _charge(self, op: str, memory_gib: float = 0.0) -> float:
+        """Charge the modelled latency of a native operation."""
+        with self._lock:
+            self.ops_charged[op] = self.ops_charged.get(op, 0) + 1
+        return self.cost.charge(self.clock, op, memory_gib)
+
+    @property
+    def total_ops_charged(self) -> int:
+        with self._lock:
+            return sum(self.ops_charged.values())
+
+    def _get(self, name: str) -> GuestRuntime:
+        with self._lock:
+            guest = self._guests.get(name)
+        if guest is None:
+            raise NoDomainError(f"no active guest {name!r} on {self.kind} backend")
+        return guest
+
+    def has_guest(self, name: str) -> bool:
+        with self._lock:
+            return name in self._guests
+
+    def list_guests(self) -> List[str]:
+        """Names of active guests, sorted."""
+        with self._lock:
+            return sorted(self._guests)
+
+    def guest_state(self, name: str) -> RunState:
+        return self._get(name).state
+
+    def guest_info(self, name: str) -> Dict[str, float]:
+        """The state/resources snapshot behind ``virDomainGetInfo``."""
+        self._charge("query")
+        guest = self._get(name)
+        return {
+            "state": guest.state.value,
+            "vcpus": guest.vcpus,
+            "memory_kib": guest.memory_kib,
+            "max_memory_kib": guest.max_memory_kib,
+            "cpu_seconds": guest.cpu_seconds,
+        }
+
+    def _register(self, guest: GuestRuntime) -> None:
+        with self._lock:
+            self._guests[guest.name] = guest
+
+    def _unregister(self, name: str) -> Optional[GuestRuntime]:
+        with self._lock:
+            return self._guests.pop(name, None)
+
+    def _teardown(self, guest: GuestRuntime) -> None:
+        """Release every host resource an instance held."""
+        self.host.release(guest.name)
+        self.images.detach_all(guest.name)
+        self._unregister(guest.name)
+
+    # -- failure injection ------------------------------------------------
+
+    def inject_crash(self, name: str) -> None:
+        """Simulate a guest kernel panic: instance stays, state = CRASHED."""
+        guest = self._get(name)
+        guest.require_state(RunState.RUNNING, RunState.PAUSED)
+        guest.transition(RunState.CRASHED)
+
+    def fail_next(self, name: str, reason: str = "injected backend failure") -> None:
+        """Arm a one-shot failure for the next lifecycle op on ``name``."""
+        with self._lock:
+            self._fail_next[name] = reason
+
+    def _check_injected_failure(self, name: str) -> None:
+        with self._lock:
+            reason = self._fail_next.pop(name, None)
+        if reason is not None:
+            from repro.errors import OperationFailedError
+
+            raise OperationFailedError(f"{self.kind}: {reason}")
+
+    def _new_utilization(self) -> float:
+        """Per-guest CPU utilization factor, deterministic per rng."""
+        return 0.25 + self.rng.random() * 0.5

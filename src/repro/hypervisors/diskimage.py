@@ -1,0 +1,205 @@
+"""Simulated disk image store with copy-on-write chains.
+
+Stands in for the image files a real host would keep under
+``/var/lib/libvirt/images``: creation, deletion, cloning, backing-file
+chains and per-image allocation accounting, all in memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    InvalidArgumentError,
+    InvalidOperationError,
+    NoStorageVolumeError,
+    ResourceBusyError,
+    StorageVolumeExistsError,
+)
+
+
+class DiskImage:
+    """One image file: format, capacity, allocation, optional backing."""
+
+    __slots__ = ("path", "capacity_bytes", "allocation_bytes", "image_format", "backing_path", "in_use_by")
+
+    def __init__(
+        self,
+        path: str,
+        capacity_bytes: int,
+        image_format: str = "qcow2",
+        backing_path: Optional[str] = None,
+        allocation_bytes: Optional[int] = None,
+    ) -> None:
+        self.path = path
+        self.capacity_bytes = capacity_bytes
+        self.image_format = image_format
+        self.backing_path = backing_path
+        if allocation_bytes is None:
+            allocation_bytes = capacity_bytes if image_format == "raw" else 0
+        self.allocation_bytes = allocation_bytes
+        self.in_use_by: Optional[str] = None
+
+
+class ImageStore:
+    """The host-wide registry of disk images."""
+
+    def __init__(self, capacity_bytes: int = 500 * 1024**3) -> None:
+        if capacity_bytes <= 0:
+            raise InvalidArgumentError("image store capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._images: Dict[str, DiskImage] = {}
+        self._lock = threading.Lock()
+
+    # -- creation/deletion ---------------------------------------------
+
+    def create(
+        self,
+        path: str,
+        capacity_bytes: int,
+        image_format: str = "qcow2",
+        backing_path: Optional[str] = None,
+    ) -> DiskImage:
+        """Create an image; qcow2 images start thin (zero allocation)."""
+        if not path.startswith("/"):
+            raise InvalidArgumentError(f"image path must be absolute, got {path!r}")
+        if capacity_bytes <= 0:
+            raise InvalidArgumentError("image capacity must be positive")
+        if image_format not in ("raw", "qcow2", "vmdk"):
+            raise InvalidArgumentError(f"unknown image format {image_format!r}")
+        if backing_path is not None and image_format == "raw":
+            raise InvalidArgumentError("raw images cannot have a backing file")
+        with self._lock:
+            if path in self._images:
+                raise StorageVolumeExistsError(f"image {path!r} already exists")
+            if backing_path is not None and backing_path not in self._images:
+                raise NoStorageVolumeError(f"backing file {backing_path!r} not found")
+            image = DiskImage(path, capacity_bytes, image_format, backing_path)
+            if self._allocated_locked() + image.allocation_bytes > self.capacity_bytes:
+                raise InvalidOperationError(
+                    f"image store full: cannot allocate {image.allocation_bytes} bytes"
+                )
+            self._images[path] = image
+            return image
+
+    def delete(self, path: str) -> None:
+        """Remove an image; refuses while in use or backing another image."""
+        with self._lock:
+            image = self._images.get(path)
+            if image is None:
+                raise NoStorageVolumeError(f"image {path!r} not found")
+            if image.in_use_by is not None:
+                raise ResourceBusyError(
+                    f"image {path!r} is in use by guest {image.in_use_by!r}"
+                )
+            dependants = [
+                p for p, img in self._images.items() if img.backing_path == path
+            ]
+            if dependants:
+                raise ResourceBusyError(
+                    f"image {path!r} backs {len(dependants)} other image(s): {dependants}"
+                )
+            del self._images[path]
+
+    def clone(self, source_path: str, dest_path: str, shallow: bool = True) -> DiskImage:
+        """Copy an image: shallow = new COW overlay, deep = full copy."""
+        with self._lock:
+            source = self._images.get(source_path)
+            if source is None:
+                raise NoStorageVolumeError(f"image {source_path!r} not found")
+        if shallow:
+            if source.image_format == "raw":
+                raise InvalidOperationError("cannot build a COW overlay on a raw image")
+            return self.create(dest_path, source.capacity_bytes, "qcow2", source_path)
+        clone = self.create(dest_path, source.capacity_bytes, source.image_format)
+        with self._lock:
+            clone.allocation_bytes = source.allocation_bytes
+        return clone
+
+    # -- guest attachment ------------------------------------------------
+
+    def attach(self, path: str, guest: str) -> DiskImage:
+        """Mark an image as in use by a guest (exclusive)."""
+        with self._lock:
+            image = self._images.get(path)
+            if image is None:
+                raise NoStorageVolumeError(f"image {path!r} not found")
+            if image.in_use_by is not None and image.in_use_by != guest:
+                raise ResourceBusyError(
+                    f"image {path!r} already attached to {image.in_use_by!r}"
+                )
+            image.in_use_by = guest
+            return image
+
+    def detach(self, path: str, guest: str) -> None:
+        """Release a guest's claim on an image (idempotent per guest)."""
+        with self._lock:
+            image = self._images.get(path)
+            if image is None:
+                return
+            if image.in_use_by == guest:
+                image.in_use_by = None
+
+    def detach_all(self, guest: str) -> None:
+        """Release every image the guest holds."""
+        with self._lock:
+            for image in self._images.values():
+                if image.in_use_by == guest:
+                    image.in_use_by = None
+
+    # -- data-plane model ------------------------------------------------
+
+    def write(self, path: str, num_bytes: int) -> None:
+        """Model a guest write growing a thin image's allocation."""
+        if num_bytes < 0:
+            raise InvalidArgumentError("write size must be non-negative")
+        with self._lock:
+            image = self._images.get(path)
+            if image is None:
+                raise NoStorageVolumeError(f"image {path!r} not found")
+            new_alloc = min(image.capacity_bytes, image.allocation_bytes + num_bytes)
+            growth = new_alloc - image.allocation_bytes
+            if self._allocated_locked() + growth > self.capacity_bytes:
+                raise InvalidOperationError("image store full")
+            image.allocation_bytes = new_alloc
+
+    # -- chains & introspection ------------------------------------------
+
+    def chain(self, path: str) -> List[str]:
+        """The full backing chain, leaf first."""
+        with self._lock:
+            result = []
+            current: Optional[str] = path
+            while current is not None:
+                image = self._images.get(current)
+                if image is None:
+                    raise NoStorageVolumeError(f"image {current!r} not found in chain")
+                if current in result:
+                    raise InvalidOperationError(f"backing chain loop at {current!r}")
+                result.append(current)
+                current = image.backing_path
+            return result
+
+    def lookup(self, path: str) -> DiskImage:
+        with self._lock:
+            image = self._images.get(path)
+            if image is None:
+                raise NoStorageVolumeError(f"image {path!r} not found")
+            return image
+
+    def exists(self, path: str) -> bool:
+        with self._lock:
+            return path in self._images
+
+    def list_paths(self) -> List[str]:
+        with self._lock:
+            return sorted(self._images)
+
+    @property
+    def allocated_bytes(self) -> int:
+        with self._lock:
+            return self._allocated_locked()
+
+    def _allocated_locked(self) -> int:
+        return sum(img.allocation_bytes for img in self._images.values())

@@ -1,0 +1,264 @@
+"""Simulated VMware ESX host: a remote, session-based management API.
+
+ESX is the paper's *stateless-driver* case: the hypervisor exposes its
+own remote management endpoint and keeps the VM inventory itself, so
+the libvirt driver talks to it directly from the client — no libvirtd
+in the path.  The simulation mirrors that: a SOAP-ish ``invoke`` call
+surface with login sessions, managed-object IDs, and a registered-VM
+inventory that persists across power cycles.  Every call pays the
+remote round-trip latency.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+from repro.errors import (
+    AuthenticationError,
+    DomainExistsError,
+    InvalidArgumentError,
+    InvalidOperationError,
+    NoDomainError,
+)
+from repro.hypervisors.base import Backend, GuestRuntime, RunState
+from repro.util import uuidutil
+from repro.xmlconfig.domain import DomainConfig
+
+POWER_STATES = ("poweredOff", "poweredOn", "suspended")
+
+
+class _VMRecord:
+    """One inventory entry: config + power state, persisted by the host."""
+
+    __slots__ = ("moid", "config", "power_state", "uuid")
+
+    def __init__(self, moid: str, config: DomainConfig, uuid: str) -> None:
+        self.moid = moid
+        self.config = config
+        self.power_state = "poweredOff"
+        self.uuid = uuid
+
+
+class EsxBackend(Backend):
+    """A remote ESX hypervisor host with its own API and inventory."""
+
+    kind = "esx"
+
+    def __init__(
+        self,
+        *args: Any,
+        username: str = "root",
+        password: str = "vmware",
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self._username = username
+        self._password = password
+        self._sessions: Dict[str, bool] = {}
+        self._session_ids = itertools.count(1)
+        self._moids = itertools.count(1)
+        self._inventory: Dict[str, _VMRecord] = {}  # moid -> record
+        self.api_calls = 0
+
+    # -- session management -------------------------------------------------
+
+    def login(self, username: str, password: str) -> str:
+        """Open an API session; every other call needs its key."""
+        self._charge("native_call")
+        if username != self._username or password != self._password:
+            raise AuthenticationError(f"ESX login failed for user {username!r}")
+        key = f"session-{next(self._session_ids)}"
+        self._sessions[key] = True
+        return key
+
+    def logout(self, session: str) -> None:
+        self._charge("native_call")
+        self._sessions.pop(session, None)
+
+    def _require_session(self, session: str) -> None:
+        if not self._sessions.get(session):
+            raise AuthenticationError("ESX session invalid or expired")
+
+    # -- the remote call surface ---------------------------------------------
+
+    def invoke(self, session: str, method: str, **kwargs: Any) -> Any:
+        """One remote API call (pays the round trip, checks the session)."""
+        self.api_calls += 1
+        self._charge("native_call")
+        self._require_session(session)
+        handler = getattr(self, "_api_" + method, None)
+        if handler is None:
+            raise InvalidArgumentError(f"unknown ESX API method {method!r}")
+        return handler(**kwargs)
+
+    # -- inventory ---------------------------------------------------------------
+
+    def _api_RegisterVM(self, config: DomainConfig) -> str:
+        for record in self._inventory.values():
+            if record.config.name == config.name:
+                raise DomainExistsError(f"VM {config.name!r} already registered")
+        moid = f"vm-{next(self._moids)}"
+        uuid = config.uuid or uuidutil.generate_uuid(self.rng)
+        self._inventory[moid] = _VMRecord(moid, config, uuid)
+        return moid
+
+    def _api_UnregisterVM(self, vm: str) -> None:
+        record = self._record(vm)
+        if record.power_state != "poweredOff":
+            raise InvalidOperationError(
+                f"VM {record.config.name!r} is {record.power_state}; power it off first"
+            )
+        del self._inventory[vm]
+
+    def _api_FindByName(self, name: str) -> str:
+        for moid, record in self._inventory.items():
+            if record.config.name == name:
+                return moid
+        raise NoDomainError(f"no registered VM named {name!r}")
+
+    def _api_ListVMs(self) -> List[Dict[str, str]]:
+        return [
+            {
+                "moid": moid,
+                "name": record.config.name,
+                "powerState": record.power_state,
+            }
+            for moid, record in sorted(self._inventory.items())
+        ]
+
+    def _api_GetVMConfig(self, vm: str) -> DomainConfig:
+        return self._record(vm).config
+
+    def _api_GetVMState(self, vm: str) -> Dict[str, Any]:
+        self._charge("query")
+        record = self._record(vm)
+        info: Dict[str, Any] = {
+            "powerState": record.power_state,
+            "uuid": record.uuid,
+            "memory_kib": record.config.current_memory_kib,
+            "vcpus": record.config.vcpus,
+            "cpu_seconds": 0.0,
+        }
+        if record.power_state != "poweredOff":
+            runtime = self._get(record.config.name)
+            info["memory_kib"] = runtime.memory_kib
+            info["vcpus"] = runtime.vcpus
+            info["cpu_seconds"] = runtime.cpu_seconds
+        return info
+
+    # -- power operations --------------------------------------------------------
+
+    def _api_PowerOnVM_Task(self, vm: str) -> None:
+        record = self._record(vm)
+        name = record.config.name
+        self._check_injected_failure(name)
+        if record.power_state == "poweredOn":
+            raise InvalidOperationError(f"VM {name!r} is already powered on")
+        if record.power_state == "suspended":
+            runtime = self._get(name)
+            self._charge("resume")
+            runtime.transition(RunState.RUNNING)
+            record.power_state = "poweredOn"
+            return
+        self.host.allocate(name, record.config.vcpus, record.config.current_memory_kib)
+        try:
+            self._charge("create")
+            runtime = GuestRuntime(
+                name=name,
+                uuid=record.uuid,
+                vcpus=record.config.vcpus,
+                memory_kib=record.config.current_memory_kib,
+                clock=self.clock,
+                utilization=self._new_utilization(),
+            )
+            self._charge("start", runtime.memory_gib)
+        except Exception:
+            self.host.release(name)
+            raise
+        self._register(runtime)
+        record.power_state = "poweredOn"
+
+    def _api_PowerOffVM_Task(self, vm: str) -> None:
+        """Hard power off (the destroy analogue)."""
+        record = self._record(vm)
+        self._check_injected_failure(record.config.name)
+        if record.power_state == "poweredOff":
+            raise InvalidOperationError(f"VM {record.config.name!r} is powered off")
+        self._charge("destroy")
+        self._power_down(record)
+
+    def _api_ShutdownGuest(self, vm: str) -> None:
+        """Guest-cooperative shutdown via VMware tools."""
+        record = self._record(vm)
+        self._check_injected_failure(record.config.name)
+        if record.power_state != "poweredOn":
+            raise InvalidOperationError(
+                f"VM {record.config.name!r} is {record.power_state}"
+            )
+        runtime = self._get(record.config.name)
+        runtime.require_state(RunState.RUNNING)
+        self._charge("shutdown")
+        self._power_down(record)
+
+    def _api_SuspendVM_Task(self, vm: str) -> None:
+        record = self._record(vm)
+        self._check_injected_failure(record.config.name)
+        runtime = self._get(record.config.name)
+        runtime.require_state(RunState.RUNNING)
+        self._charge("suspend")
+        runtime.transition(RunState.PAUSED)
+        record.power_state = "suspended"
+
+    def _api_ResetVM_Task(self, vm: str) -> None:
+        record = self._record(vm)
+        runtime = self._get(record.config.name)
+        runtime.require_state(RunState.RUNNING)
+        self._charge("reboot")
+        runtime.transition(RunState.RUNNING)
+
+    def _api_ReconfigVM_Task(
+        self,
+        vm: str,
+        memory_kib: Optional[int] = None,
+        vcpus: Optional[int] = None,
+    ) -> None:
+        record = self._record(vm)
+        self._charge("set_memory" if memory_kib is not None else "set_vcpus")
+        if record.power_state != "poweredOff":
+            runtime = self._get(record.config.name)
+            if memory_kib is not None:
+                if memory_kib > runtime.max_memory_kib:
+                    raise InvalidOperationError(
+                        f"memory target {memory_kib} above maximum "
+                        f"{runtime.max_memory_kib}"
+                    )
+                self.host.resize(record.config.name, memory_kib=memory_kib)
+                runtime.memory_kib = memory_kib
+            if vcpus is not None:
+                self.host.resize(record.config.name, vcpus=vcpus)
+                runtime.vcpus = vcpus
+        config = record.config
+        record.config = config.copy(
+            **{
+                k: v
+                for k, v in (
+                    ("current_memory_kib", memory_kib),
+                    ("vcpus", vcpus),
+                )
+                if v is not None
+            }
+        )
+
+    def _power_down(self, record: _VMRecord) -> None:
+        runtime = self._unregister(record.config.name)
+        if runtime is not None:
+            runtime.transition(RunState.SHUTOFF)
+            self.host.release(record.config.name)
+        record.power_state = "poweredOff"
+
+    def _record(self, moid: str) -> _VMRecord:
+        record = self._inventory.get(moid)
+        if record is None:
+            raise NoDomainError(f"no VM with managed object id {moid!r}")
+        return record

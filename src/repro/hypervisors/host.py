@@ -1,0 +1,184 @@
+"""Physical host model with a strict resource ledger.
+
+A :class:`SimHost` stands in for one physical machine: CPU topology,
+memory, and the accounting of what running guests have claimed.  Memory
+is never overcommitted (allocation fails hard); vCPUs may be
+overcommitted up to a configurable factor, mirroring common hypervisor
+defaults.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, Optional
+
+from repro.errors import InsufficientResourcesError, InvalidArgumentError
+from repro.util import uuidutil
+from repro.util.clock import Clock, VirtualClock
+from repro.xmlconfig.capabilities import Capabilities, GuestCapability, HostCapability
+
+KIB_PER_GIB = 1024 * 1024
+
+
+class _Claim:
+    __slots__ = ("vcpus", "memory_kib")
+
+    def __init__(self, vcpus: int, memory_kib: int) -> None:
+        self.vcpus = vcpus
+        self.memory_kib = memory_kib
+
+
+class SimHost:
+    """One simulated physical node."""
+
+    def __init__(
+        self,
+        hostname: str = "node1",
+        cpus: int = 8,
+        memory_kib: int = 16 * KIB_PER_GIB,
+        arch: str = "x86_64",
+        mhz: int = 2600,
+        cpu_overcommit: float = 4.0,
+        clock: Optional[Clock] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if cpus < 1:
+            raise InvalidArgumentError("host needs at least 1 CPU")
+        if memory_kib <= 0:
+            raise InvalidArgumentError("host memory must be positive")
+        if cpu_overcommit < 1.0:
+            raise InvalidArgumentError("cpu_overcommit must be >= 1.0")
+        self.hostname = hostname
+        self.cpus = cpus
+        self.memory_kib = memory_kib
+        self.arch = arch
+        self.mhz = mhz
+        self.cpu_overcommit = cpu_overcommit
+        self.clock = clock or VirtualClock()
+        self.rng = rng or random.Random(0xC0FFEE)
+        self.uuid = uuidutil.generate_uuid(self.rng)
+        self._lock = threading.Lock()
+        self._claims: Dict[str, _Claim] = {}
+        #: host memory reserved for the hypervisor/OS itself
+        self.reserved_kib = min(512 * 1024, memory_kib // 8)
+
+    # -- resource ledger ------------------------------------------------
+
+    @property
+    def allocatable_kib(self) -> int:
+        return self.memory_kib - self.reserved_kib
+
+    @property
+    def used_memory_kib(self) -> int:
+        with self._lock:
+            return sum(c.memory_kib for c in self._claims.values())
+
+    @property
+    def free_memory_kib(self) -> int:
+        return self.allocatable_kib - self.used_memory_kib
+
+    @property
+    def used_vcpus(self) -> int:
+        with self._lock:
+            return sum(c.vcpus for c in self._claims.values())
+
+    @property
+    def vcpu_budget(self) -> int:
+        return int(self.cpus * self.cpu_overcommit)
+
+    def allocate(self, owner: str, vcpus: int, memory_kib: int) -> None:
+        """Claim resources for a guest; raises if the host cannot fit it."""
+        if vcpus < 1 or memory_kib <= 0:
+            raise InvalidArgumentError(
+                f"allocation must be positive (vcpus={vcpus}, memory={memory_kib})"
+            )
+        with self._lock:
+            if owner in self._claims:
+                raise InvalidArgumentError(f"guest {owner!r} already holds a claim")
+            used_mem = sum(c.memory_kib for c in self._claims.values())
+            if used_mem + memory_kib > self.allocatable_kib:
+                raise InsufficientResourcesError(
+                    f"host {self.hostname}: cannot allocate {memory_kib} KiB "
+                    f"({self.allocatable_kib - used_mem} KiB free)"
+                )
+            used_cpus = sum(c.vcpus for c in self._claims.values())
+            if used_cpus + vcpus > self.vcpu_budget:
+                raise InsufficientResourcesError(
+                    f"host {self.hostname}: vCPU budget exhausted "
+                    f"({used_cpus}/{self.vcpu_budget} in use, {vcpus} requested)"
+                )
+            self._claims[owner] = _Claim(vcpus, memory_kib)
+
+    def resize(self, owner: str, vcpus: Optional[int] = None, memory_kib: Optional[int] = None) -> None:
+        """Adjust an existing claim (balloon / vCPU hotplug)."""
+        with self._lock:
+            claim = self._claims.get(owner)
+            if claim is None:
+                raise InvalidArgumentError(f"guest {owner!r} holds no claim")
+            new_vcpus = claim.vcpus if vcpus is None else vcpus
+            new_mem = claim.memory_kib if memory_kib is None else memory_kib
+            if new_vcpus < 1 or new_mem <= 0:
+                raise InvalidArgumentError("resized allocation must stay positive")
+            other_mem = sum(
+                c.memory_kib for name, c in self._claims.items() if name != owner
+            )
+            if other_mem + new_mem > self.allocatable_kib:
+                raise InsufficientResourcesError(
+                    f"host {self.hostname}: cannot grow {owner!r} to {new_mem} KiB"
+                )
+            other_cpus = sum(
+                c.vcpus for name, c in self._claims.items() if name != owner
+            )
+            if other_cpus + new_vcpus > self.vcpu_budget:
+                raise InsufficientResourcesError(
+                    f"host {self.hostname}: cannot grow {owner!r} to {new_vcpus} vCPUs"
+                )
+            claim.vcpus = new_vcpus
+            claim.memory_kib = new_mem
+
+    def release(self, owner: str) -> None:
+        """Return a guest's resources to the pool (idempotent)."""
+        with self._lock:
+            self._claims.pop(owner, None)
+
+    def holds_claim(self, owner: str) -> bool:
+        with self._lock:
+            return owner in self._claims
+
+    @property
+    def guest_count(self) -> int:
+        with self._lock:
+            return len(self._claims)
+
+    # -- introspection --------------------------------------------------
+
+    def node_info(self) -> Dict[str, int]:
+        """The ``virNodeGetInfo`` style summary."""
+        return {
+            "cpus": self.cpus,
+            "mhz": self.mhz,
+            "memory_kib": self.memory_kib,
+            "free_memory_kib": self.free_memory_kib,
+            "guests": self.guest_count,
+        }
+
+    def capabilities(self, guests: "Optional[list[GuestCapability]]" = None) -> Capabilities:
+        """Host block of a ``<capabilities>`` document."""
+        host = HostCapability(
+            uuid=self.uuid,
+            arch=self.arch,
+            cpu_model="sim-core",
+            sockets=1,
+            cores=self.cpus,
+            threads=1,
+            memory_kib=self.memory_kib,
+            mhz=self.mhz,
+        )
+        return Capabilities(host, guests or [])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimHost({self.hostname!r}, cpus={self.cpus}, "
+            f"mem={self.memory_kib // KIB_PER_GIB} GiB, guests={self.guest_count})"
+        )

@@ -1,0 +1,6 @@
+"""Live migration: pre-copy model and cross-connection orchestration."""
+
+from repro.migration.precopy import PrecopyResult, run_precopy
+from repro.migration.manager import migrate_domain
+
+__all__ = ["run_precopy", "PrecopyResult", "migrate_domain"]

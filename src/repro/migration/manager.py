@@ -1,0 +1,79 @@
+"""Managed (client-orchestrated) migration across two connections.
+
+The client drives libvirt's classic begin → prepare → perform →
+finish → confirm handshake between the source and destination drivers.
+On any failure after prepare, the destination's half-built guest is
+torn down and the source is resumed — the domain never disappears.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import InvalidArgumentError, MigrationError, VirtError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.connection import Connection
+    from repro.core.domain import Domain
+
+
+def migrate_domain(
+    domain: "Domain",
+    dest: "Connection",
+    live: bool = True,
+    max_downtime_s: float = 0.3,
+    bandwidth_mib_s: "Optional[float]" = None,
+    strict_convergence: bool = False,
+) -> "Domain":
+    """Migrate ``domain`` to ``dest``; returns the destination handle."""
+    from repro.core.domain import Domain
+
+    source = domain.connection
+    if source is dest:
+        raise InvalidArgumentError("source and destination connections are identical")
+    if max_downtime_s <= 0:
+        raise InvalidArgumentError("max_downtime_s must be positive")
+    if bandwidth_mib_s is not None and bandwidth_mib_s <= 0:
+        raise InvalidArgumentError("bandwidth_mib_s must be positive")
+
+    params = {
+        "live": live,
+        "max_downtime_s": max_downtime_s,
+        "bandwidth_mib_s": bandwidth_mib_s,
+        "strict_convergence": strict_convergence,
+    }
+    result, stats = run_handshake(source._driver, dest._driver, domain.name, params)
+    new_domain = Domain(dest, result["name"], result.get("uuid"))
+    new_domain.last_migration_stats = stats  # type: ignore[attr-defined]
+    return new_domain
+
+
+def run_handshake(source_driver, dest_driver, name: str, params: dict):
+    """The begin → prepare → perform → finish → confirm sequence.
+
+    Shared by managed migration (client drives two connections) and
+    peer-to-peer migration (the source *driver* drives it against a
+    destination it dialled itself).
+    """
+    description = source_driver.migrate_begin(name)
+    cookie = dest_driver.migrate_prepare(description)
+    try:
+        stats = source_driver.migrate_perform(name, cookie, params)
+    except VirtError as exc:
+        # roll back: drop the destination shell, resume the source
+        try:
+            dest_driver.migrate_finish(cookie, {"failed": True})
+        finally:
+            source_driver.migrate_confirm(name, cancelled=True)
+        raise MigrationError(f"migration of {name!r} failed: {exc}") from exc
+    try:
+        result = dest_driver.migrate_finish(cookie, stats)
+    except VirtError as exc:
+        # destination failed to activate: resume the source, never lose
+        # the guest
+        source_driver.migrate_confirm(name, cancelled=True)
+        raise MigrationError(
+            f"destination failed to activate {name!r}: {exc}"
+        ) from exc
+    source_driver.migrate_confirm(name, cancelled=False)
+    return result, stats

@@ -1,0 +1,28 @@
+"""Placement and consolidation policies over the uniform API (extension).
+
+The paper motivates libvirt with exactly this kind of tooling: a
+management layer that can *decide* where guests run because it can see
+and move them uniformly.  This package provides host selection
+strategies for initial placement and a consolidation planner that
+emits live-migration plans.
+"""
+
+from repro.placement.planner import ConsolidationPlan, MigrationStep, plan_consolidation
+from repro.placement.strategies import (
+    BalancedPlacement,
+    BestFitPlacement,
+    FirstFitPlacement,
+    PlacementError,
+    PlacementStrategy,
+)
+
+__all__ = [
+    "PlacementStrategy",
+    "FirstFitPlacement",
+    "BestFitPlacement",
+    "BalancedPlacement",
+    "PlacementError",
+    "plan_consolidation",
+    "ConsolidationPlan",
+    "MigrationStep",
+]

@@ -1,0 +1,148 @@
+"""Consolidation planning: pack guests onto fewer hosts via migration.
+
+The planner computes a migration plan (first-fit decreasing onto the
+fullest hosts) without touching anything; ``ConsolidationPlan.execute``
+then live-migrates each guest through the uniform API, collecting the
+per-step statistics.  Planning and acting are separate so operators can
+review the plan first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.connection import Connection
+from repro.core.states import ACTIVE_STATES
+from repro.errors import InvalidArgumentError, VirtError
+
+
+@dataclass
+class MigrationStep:
+    """One planned move."""
+
+    guest: str
+    source: str
+    destination: str
+    memory_kib: int
+    #: filled in by execute()
+    stats: "dict | None" = None
+    error: "str | None" = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.stats is not None and self.error is None
+
+
+@dataclass
+class ConsolidationPlan:
+    """An ordered migration plan plus its predicted outcome."""
+
+    steps: List[MigrationStep]
+    hosts_freed: List[str]
+    _connections: Dict[str, Connection] = field(default_factory=dict, repr=False)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.steps
+
+    def execute(self, live: bool = True, max_downtime_s: float = 0.3) -> List[MigrationStep]:
+        """Run the plan; failed steps are recorded, later steps continue."""
+        for step in self.steps:
+            source = self._connections[step.source]
+            destination = self._connections[step.destination]
+            try:
+                domain = source.lookup_domain(step.guest)
+                moved = domain.migrate(
+                    destination, live=live, max_downtime_s=max_downtime_s
+                )
+                step.stats = moved.last_migration_stats
+            except VirtError as exc:
+                step.error = str(exc)
+        return self.steps
+
+    def total_downtime_s(self) -> float:
+        return sum(s.stats["downtime_s"] for s in self.steps if s.succeeded)
+
+
+def plan_consolidation(
+    connections: Sequence[Connection], keep_hosts: "int | None" = None
+) -> ConsolidationPlan:
+    """Plan packing all running guests onto the fewest (or ``keep_hosts``) hosts.
+
+    First-fit decreasing: targets are the currently fullest hosts;
+    guests leave the emptiest hosts, biggest guest first.
+    """
+    if len(connections) < 2:
+        raise InvalidArgumentError("consolidation needs at least two hosts")
+    by_name: Dict[str, Connection] = {}
+    loads: Dict[str, int] = {}
+    frees: Dict[str, int] = {}
+    guests: Dict[str, List[tuple]] = {}
+    for conn in connections:
+        hostname = conn.hostname()
+        if hostname in by_name:
+            raise InvalidArgumentError(f"duplicate hostname {hostname!r}")
+        by_name[hostname] = conn
+        info = conn.node_info()
+        frees[hostname] = info["free_memory_kib"]
+        loads[hostname] = info["memory_kib"] - info["free_memory_kib"]
+        guests[hostname] = []
+        for domain in conn.list_domains(active=True):
+            if domain.state() in ACTIVE_STATES:
+                guests[hostname].append((domain.name, domain.info().memory_kib))
+
+    total_used = sum(
+        memory for host_guests in guests.values() for _, memory in host_guests
+    )
+    # how many hosts are needed at all (capacity lower bound)?
+    ordered = sorted(by_name, key=lambda h: loads[h], reverse=True)
+    if keep_hosts is None:
+        capacity_sorted = sorted(
+            by_name, key=lambda h: frees[h] + _used_by_guests(guests[h]), reverse=True
+        )
+        keep_hosts = 0
+        remaining = total_used
+        for hostname in capacity_sorted:
+            if remaining <= 0:
+                break
+            keep_hosts += 1
+            remaining -= frees[hostname] + _used_by_guests(guests[hostname])
+        keep_hosts = max(1, keep_hosts)
+    if not 1 <= keep_hosts < len(connections):
+        raise InvalidArgumentError(
+            f"keep_hosts must be in [1, {len(connections) - 1}], got {keep_hosts}"
+        )
+
+    targets = ordered[:keep_hosts]
+    sources = ordered[keep_hosts:]
+    # free capacity the plan can still consume on each target
+    room = {h: frees[h] for h in targets}
+    steps: List[MigrationStep] = []
+    stranded = False
+    for source in sources:
+        # biggest guests first: classic first-fit decreasing
+        for name, memory in sorted(guests[source], key=lambda g: -g[1]):
+            placed = False
+            for target in targets:
+                if room[target] >= memory:
+                    room[target] -= memory
+                    steps.append(MigrationStep(name, source, target, memory))
+                    placed = True
+                    break
+            if not placed:
+                stranded = True
+    freed = [] if stranded else list(sources)
+    if stranded:
+        # only hosts whose every guest found a home are actually freed
+        moved_from = {}
+        for step in steps:
+            moved_from.setdefault(step.source, set()).add(step.guest)
+        for source in sources:
+            if {g for g, _ in guests[source]} == moved_from.get(source, set()):
+                freed.append(source)
+    return ConsolidationPlan(steps=steps, hosts_freed=sorted(freed), _connections=by_name)
+
+
+def _used_by_guests(host_guests: List[tuple]) -> int:
+    return sum(memory for _, memory in host_guests)

@@ -1,0 +1,120 @@
+"""Host-selection strategies for initial guest placement.
+
+A strategy picks the host for a new guest given each candidate's free
+capacity.  All strategies work purely through the uniform API
+(``Connection.node_info``), so they run unchanged against any mix of
+hypervisors — the paper's heterogeneous-pool management story.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.connection import Connection
+from repro.errors import VirtError
+
+
+class PlacementError(VirtError):
+    """No host can satisfy the request."""
+
+
+class HostView:
+    """One candidate host's capacity snapshot."""
+
+    def __init__(self, connection: Connection) -> None:
+        self.connection = connection
+        info = connection.node_info()
+        self.hostname = connection.hostname()
+        self.total_kib = info["memory_kib"]
+        self.free_kib = info["free_memory_kib"]
+        self.cpus = info["cpus"]
+        self.guests = info["guests"]
+
+    @property
+    def used_fraction(self) -> float:
+        return 1.0 - self.free_kib / max(1, self.total_kib)
+
+    def fits(self, memory_kib: int) -> bool:
+        return self.free_kib >= memory_kib
+
+    def commit(self, memory_kib: int) -> None:
+        """Account a planned placement so later decisions see it."""
+        self.free_kib -= memory_kib
+        self.guests += 1
+
+
+class PlacementStrategy:
+    """Interface: choose a host view for a memory request."""
+
+    name = "abstract"
+
+    def choose(self, hosts: Sequence[HostView], memory_kib: int) -> HostView:
+        raise NotImplementedError
+
+    def place(self, connections: Sequence[Connection], memory_kib: int) -> Connection:
+        """One-shot convenience: snapshot, choose, return the connection."""
+        hosts = [HostView(conn) for conn in connections]
+        return self.choose(hosts, memory_kib).connection
+
+    def place_all(
+        self, connections: Sequence[Connection], requests_kib: Sequence[int]
+    ) -> List[Connection]:
+        """Plan a whole batch, accounting each placement against the next."""
+        hosts = [HostView(conn) for conn in connections]
+        placements = []
+        for memory_kib in requests_kib:
+            view = self.choose(hosts, memory_kib)
+            view.commit(memory_kib)
+            placements.append(view.connection)
+        return placements
+
+    def _candidates(self, hosts: Sequence[HostView], memory_kib: int) -> List[HostView]:
+        fitting = [h for h in hosts if h.fits(memory_kib)]
+        if not fitting:
+            raise PlacementError(
+                f"no host can fit {memory_kib} KiB "
+                f"(free: {[(h.hostname, h.free_kib) for h in hosts]})"
+            )
+        return fitting
+
+
+class FirstFitPlacement(PlacementStrategy):
+    """The first host (in given order) with room — fast, packs early hosts."""
+
+    name = "first-fit"
+
+    def choose(self, hosts: Sequence[HostView], memory_kib: int) -> HostView:
+        return self._candidates(hosts, memory_kib)[0]
+
+
+class BestFitPlacement(PlacementStrategy):
+    """The fitting host with the *least* remaining room — densest packing."""
+
+    name = "best-fit"
+
+    def choose(self, hosts: Sequence[HostView], memory_kib: int) -> HostView:
+        return min(self._candidates(hosts, memory_kib), key=lambda h: h.free_kib)
+
+
+class BalancedPlacement(PlacementStrategy):
+    """The fitting host with the *most* free room — spreads load evenly."""
+
+    name = "balanced"
+
+    def choose(self, hosts: Sequence[HostView], memory_kib: int) -> HostView:
+        return max(self._candidates(hosts, memory_kib), key=lambda h: h.free_kib)
+
+
+STRATEGIES: Dict[str, PlacementStrategy] = {
+    "first-fit": FirstFitPlacement(),
+    "best-fit": BestFitPlacement(),
+    "balanced": BalancedPlacement(),
+}
+
+
+def strategy(name: str) -> PlacementStrategy:
+    """Look a strategy up by name."""
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        raise PlacementError(f"unknown placement strategy {name!r}") from None

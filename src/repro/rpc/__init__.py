@@ -1,0 +1,37 @@
+"""The RPC substrate: libvirt's client↔daemon wire protocol.
+
+Four layers, bottom-up:
+
+* :mod:`repro.rpc.xdr` — RFC 4506 XDR primitive serialization plus a
+  tagged self-describing value codec built on it (libvirt uses XDR for
+  all payloads);
+* :mod:`repro.rpc.protocol` — message header, framing, and the
+  program/procedure number space;
+* :mod:`repro.rpc.transport` — connection channels with per-transport
+  latency models (unix/tcp/tls/ssh), authentication hooks, and
+  server-push support;
+* :mod:`repro.rpc.client` / :mod:`repro.rpc.server` — call dispatch,
+  serial matching, error propagation, and event delivery.
+"""
+
+from repro.rpc.client import RPCClient
+from repro.rpc.protocol import MessageType, ReplyStatus, RPCMessage
+from repro.rpc.server import RPCServer
+from repro.rpc.transport import TRANSPORT_SPECS, Channel, Listener, TransportSpec
+from repro.rpc.xdr import XdrDecoder, XdrEncoder, decode_value, encode_value
+
+__all__ = [
+    "XdrEncoder",
+    "XdrDecoder",
+    "encode_value",
+    "decode_value",
+    "RPCMessage",
+    "MessageType",
+    "ReplyStatus",
+    "TransportSpec",
+    "TRANSPORT_SPECS",
+    "Channel",
+    "Listener",
+    "RPCClient",
+    "RPCServer",
+]

@@ -1,0 +1,87 @@
+"""RPC client: call serialization, serial matching, event delivery."""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ConnectionClosedError, RPCError, VirtError
+from repro.rpc.protocol import (
+    MessageType,
+    ReplyStatus,
+    RPCMessage,
+    procedure_number,
+)
+from repro.rpc.transport import Channel
+
+
+class RPCClient:
+    """The client end of one RPC connection."""
+
+    def __init__(self, channel: Channel) -> None:
+        self._channel = channel
+        self._serials = itertools.count(1)
+        self._event_handlers: Dict[int, Callable[[Any], None]] = {}
+        self._lock = threading.Lock()
+        self.calls_made = 0
+        channel.set_event_handler(self._on_event_frame)
+
+    @property
+    def transport(self) -> str:
+        return self._channel.spec.name
+
+    @property
+    def closed(self) -> bool:
+        return self._channel.closed
+
+    def call(self, procedure: str, body: Any = None) -> Any:
+        """Invoke a remote procedure and return its result body.
+
+        Server-side failures arrive as structured error replies and are
+        re-raised here as the matching :class:`VirtError` subclass.
+        """
+        if self._channel.closed:
+            raise ConnectionClosedError("RPC connection is closed")
+        number = procedure_number(procedure)
+        with self._lock:
+            serial = next(self._serials)
+            self.calls_made += 1
+        request = RPCMessage(number, MessageType.CALL, serial)
+        request.body = body
+        raw_reply = self._channel.call_bytes(request.pack())
+        if raw_reply is None:
+            raise RPCError(f"no reply to {procedure}")
+        reply = RPCMessage.unpack(raw_reply)
+        if reply.mtype != MessageType.REPLY:
+            raise RPCError(f"expected REPLY, got {reply.mtype.name}")
+        if reply.serial != serial:
+            raise RPCError(f"serial mismatch: sent {serial}, got {reply.serial}")
+        if reply.status == ReplyStatus.ERROR:
+            if not isinstance(reply.body, dict):
+                raise RPCError(f"malformed error body: {reply.body!r}")
+            raise VirtError.from_dict(reply.body)
+        return reply.body
+
+    # -- events -----------------------------------------------------------
+
+    def on_event(self, event_id: int, handler: Callable[[Any], None]) -> None:
+        """Register a callback for server-pushed EVENT frames."""
+        with self._lock:
+            self._event_handlers[event_id] = handler
+
+    def remove_event_handler(self, event_id: int) -> None:
+        with self._lock:
+            self._event_handlers.pop(event_id, None)
+
+    def _on_event_frame(self, data: bytes) -> None:
+        message = RPCMessage.unpack(data)
+        if message.mtype != MessageType.EVENT:
+            return
+        with self._lock:
+            handler = self._event_handlers.get(message.procedure)
+        if handler is not None:
+            handler(message.body)
+
+    def close(self) -> None:
+        self._channel.close()

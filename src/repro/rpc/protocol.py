@@ -1,0 +1,243 @@
+"""Message header, framing, and the procedure number space.
+
+A wire message is::
+
+    uint32 length        (whole message, header included)
+    uint32 program
+    uint32 version
+    uint32 procedure
+    uint32 type          (CALL / REPLY / EVENT)
+    uint32 serial        (matches replies to calls)
+    uint32 status        (OK / ERROR; meaningful on replies)
+    <XDR value body>
+
+mirroring libvirt's ``virNetMessageHeader``.  Procedures are named in
+Python and mapped to stable numbers here; both sides share this table,
+and unknown numbers are rejected at dispatch.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import RPCError
+from repro.rpc.xdr import XdrDecoder, XdrEncoder, decode_value, encode_value
+
+#: the single program implemented (libvirt's REMOTE_PROGRAM analogue)
+PROGRAM_REMOTE = 0x20008086
+PROTOCOL_VERSION = 1
+
+HEADER_BYTES = 7 * 4
+MAX_MESSAGE = 16 * 1024 * 1024
+
+
+class MessageType(enum.IntEnum):
+    CALL = 0
+    REPLY = 1
+    EVENT = 2
+
+
+class ReplyStatus(enum.IntEnum):
+    OK = 0
+    ERROR = 1
+
+
+#: stable procedure numbers — append-only, never renumber
+PROCEDURES: Dict[str, int] = {
+    "connect.open": 1,
+    "connect.close": 2,
+    "connect.get_capabilities": 3,
+    "connect.get_hostname": 4,
+    "connect.get_node_info": 5,
+    "connect.list_domains": 6,
+    "connect.list_defined_domains": 7,
+    "connect.num_of_domains": 8,
+    "connect.get_version": 9,
+    "domain.lookup_by_name": 10,
+    "domain.lookup_by_uuid": 11,
+    "domain.lookup_by_id": 12,
+    "domain.define_xml": 13,
+    "domain.undefine": 14,
+    "domain.create": 15,
+    "domain.create_xml": 16,
+    "domain.shutdown": 17,
+    "domain.destroy": 18,
+    "domain.suspend": 19,
+    "domain.resume": 20,
+    "domain.reboot": 21,
+    "domain.get_info": 22,
+    "domain.get_state": 23,
+    "domain.get_xml_desc": 24,
+    "domain.set_memory": 25,
+    "domain.set_vcpus": 26,
+    "domain.save": 27,
+    "domain.restore": 28,
+    "domain.get_autostart": 29,
+    "domain.set_autostart": 30,
+    "domain.snapshot_create": 31,
+    "domain.snapshot_list": 32,
+    "domain.snapshot_revert": 33,
+    "domain.snapshot_delete": 34,
+    "domain.migrate_begin": 35,
+    "domain.migrate_perform": 36,
+    "domain.migrate_finish": 37,
+    "domain.attach_device": 38,
+    "domain.detach_device": 39,
+    "network.lookup_by_name": 40,
+    "network.define_xml": 41,
+    "network.undefine": 42,
+    "network.create": 43,
+    "network.destroy": 44,
+    "network.list": 45,
+    "network.get_xml_desc": 46,
+    "storage.pool_lookup_by_name": 47,
+    "storage.pool_define_xml": 48,
+    "storage.pool_undefine": 49,
+    "storage.pool_create": 50,
+    "storage.pool_destroy": 51,
+    "storage.pool_list": 52,
+    "storage.pool_get_info": 53,
+    "storage.pool_get_xml_desc": 54,
+    "storage.vol_create_xml": 55,
+    "storage.vol_delete": 56,
+    "storage.vol_list": 57,
+    "storage.vol_get_info": 58,
+    "connect.domain_event_register": 59,
+    "connect.domain_event_deregister": 60,
+    "connect.ping": 61,
+    "domain.get_job_info": 62,
+    "domain.abort_job": 63,
+    "domain.migrate_prepare": 64,
+    "connect.supports_feature": 65,
+    "domain.migrate_confirm": 66,
+    "domain.get_stats": 67,
+    "domain.migrate_p2p": 68,
+    "network.dhcp_leases": 69,
+    "domain.get_scheduler_params": 70,
+    "domain.set_scheduler_params": 71,
+    # -- administration interface (separate 'admin' server in the daemon)
+    "admin.connect_open": 100,
+    "admin.srv_list": 101,
+    "admin.srv_threadpool_info": 102,
+    "admin.srv_threadpool_set": 103,
+    "admin.srv_clients_info": 104,
+    "admin.srv_clients_set": 105,
+    "admin.client_list": 106,
+    "admin.client_info": 107,
+    "admin.client_disconnect": 108,
+    "admin.dmn_log_info": 109,
+    "admin.dmn_log_define": 110,
+}
+
+_NUMBER_TO_NAME = {number: name for name, number in PROCEDURES.items()}
+
+#: the server-push event procedure numbers
+EVENT_DOMAIN_LIFECYCLE = 1000
+
+
+def procedure_number(name: str) -> int:
+    try:
+        return PROCEDURES[name]
+    except KeyError:
+        raise RPCError(f"unknown RPC procedure {name!r}") from None
+
+
+def procedure_name(number: int) -> str:
+    try:
+        return _NUMBER_TO_NAME[number]
+    except KeyError:
+        raise RPCError(f"unknown RPC procedure number {number}") from None
+
+
+class RPCMessage:
+    """One framed wire message."""
+
+    def __init__(
+        self,
+        procedure: int,
+        mtype: MessageType,
+        serial: int,
+        status: ReplyStatus = ReplyStatus.OK,
+        body: Any = None,
+        program: int = PROGRAM_REMOTE,
+        version: int = PROTOCOL_VERSION,
+    ) -> None:
+        self.procedure = procedure
+        self.mtype = MessageType(mtype)
+        self.serial = serial
+        self.status = ReplyStatus(status)
+        self.body = body
+        self.program = program
+        self.version = version
+
+    def pack(self) -> bytes:
+        """Serialize to the framed wire form."""
+        body = encode_value(self.body)
+        enc = XdrEncoder()
+        enc.pack_uint(HEADER_BYTES + len(body))
+        enc.pack_uint(self.program)
+        enc.pack_uint(self.version)
+        enc.pack_uint(self.procedure)
+        enc.pack_uint(int(self.mtype))
+        enc.pack_uint(self.serial)
+        enc.pack_uint(int(self.status))
+        data = enc.data() + body
+        if len(data) > MAX_MESSAGE:
+            raise RPCError(f"message too large: {len(data)} bytes")
+        return data
+
+    @staticmethod
+    def unpack(data: bytes) -> "RPCMessage":
+        """Parse one framed message; the buffer must hold exactly one."""
+        if len(data) < HEADER_BYTES:
+            raise RPCError(f"short message: {len(data)} bytes")
+        dec = XdrDecoder(data)
+        length = dec.unpack_uint()
+        if length != len(data):
+            raise RPCError(f"frame length {length} != buffer length {len(data)}")
+        program = dec.unpack_uint()
+        if program != PROGRAM_REMOTE:
+            raise RPCError(f"unknown program 0x{program:x}")
+        version = dec.unpack_uint()
+        if version != PROTOCOL_VERSION:
+            raise RPCError(f"unsupported protocol version {version}")
+        procedure = dec.unpack_uint()
+        try:
+            mtype = MessageType(dec.unpack_uint())
+        except ValueError as exc:
+            raise RPCError(f"bad message type: {exc}") from exc
+        serial = dec.unpack_uint()
+        try:
+            status = ReplyStatus(dec.unpack_uint())
+        except ValueError as exc:
+            raise RPCError(f"bad reply status: {exc}") from exc
+        body = decode_value(data[HEADER_BYTES:])
+        return RPCMessage(procedure, mtype, serial, status, body, program, version)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RPCMessage({self.mtype.name}, proc={self.procedure}, "
+            f"serial={self.serial}, status={self.status.name})"
+        )
+
+
+def split_frames(buffer: bytes) -> "Tuple[list, bytes]":
+    """Split a byte stream into complete frames + leftover bytes.
+
+    Models how a socket reader reassembles messages from arbitrary
+    read boundaries.
+    """
+    frames = []
+    pos = 0
+    while True:
+        if len(buffer) - pos < 4:
+            break
+        length = int.from_bytes(buffer[pos : pos + 4], "big")
+        if length < HEADER_BYTES or length > MAX_MESSAGE:
+            raise RPCError(f"insane frame length {length}")
+        if len(buffer) - pos < length:
+            break
+        frames.append(buffer[pos : pos + length])
+        pos += length
+    return frames, buffer[pos:]

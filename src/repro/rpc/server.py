@@ -1,0 +1,118 @@
+"""RPC server: procedure dispatch on the daemon side.
+
+Each incoming CALL frame is unpacked, routed to the registered handler
+(optionally through a workerpool, with per-procedure priority — the
+guaranteed-finish lane for critical operations like ``domain.destroy``),
+and answered with a REPLY frame.  Failures travel as structured error
+bodies, rebuilt into the matching exception class client-side.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import RPCError, VirtError
+from repro.rpc.protocol import (
+    MessageType,
+    ReplyStatus,
+    RPCMessage,
+    procedure_number,
+)
+from repro.rpc.transport import ServerConnection
+from repro.util.threadpool import WorkerPool
+
+Handler = Callable[[ServerConnection, Any], Any]
+
+
+class RPCServer:
+    """Routes unpacked calls to handlers and packs the replies."""
+
+    def __init__(self, pool: "Optional[WorkerPool]" = None) -> None:
+        self._procedures: Dict[int, Tuple[Handler, bool]] = {}
+        self._pool = pool
+        self._lock = threading.Lock()
+        self.calls_served = 0
+        self.calls_failed = 0
+
+    def register(self, name: str, handler: Handler, priority: bool = False) -> None:
+        """Bind ``handler`` to a procedure name from the protocol table.
+
+        ``priority=True`` marks the procedure for the guaranteed lane:
+        it is dispatched to priority workers and must never block on a
+        hypervisor (libvirt's high-priority procedure tagging).
+        """
+        number = procedure_number(name)
+        with self._lock:
+            self._procedures[number] = (handler, priority)
+
+    def registered(self, name: str) -> bool:
+        return procedure_number(name) in self._procedures
+
+    def attach(self, conn: ServerConnection) -> None:
+        """Wire a freshly accepted connection into this dispatcher."""
+        conn.set_handler(lambda data: self.dispatch(conn, data))
+
+    # -- dispatch pipeline ------------------------------------------------
+
+    def dispatch(self, conn: ServerConnection, data: bytes) -> bytes:
+        """The full server-side path: unpack → execute → pack reply."""
+        try:
+            message = RPCMessage.unpack(data)
+        except VirtError as exc:
+            # can't even recover a serial; answer with serial 0
+            return self._error_reply(0, 0, exc)
+        if message.mtype != MessageType.CALL:
+            return self._error_reply(
+                message.procedure,
+                message.serial,
+                RPCError(f"expected CALL, got {message.mtype.name}"),
+            )
+        entry = self._procedures.get(message.procedure)
+        if entry is None:
+            return self._error_reply(
+                message.procedure,
+                message.serial,
+                RPCError(f"procedure {message.procedure} not registered"),
+            )
+        handler, priority = entry
+        try:
+            if self._pool is not None:
+                future = self._pool.submit(handler, conn, message.body, priority=priority)
+                result = future.result()
+            else:
+                result = handler(conn, message.body)
+        except VirtError as exc:
+            return self._error_reply(message.procedure, message.serial, exc)
+        except Exception as exc:  # noqa: BLE001 - internal errors cross the wire too
+            wrapped = VirtError(f"internal error: {exc}")
+            return self._error_reply(message.procedure, message.serial, wrapped)
+        with self._lock:
+            self.calls_served += 1
+        reply = RPCMessage(
+            message.procedure,
+            MessageType.REPLY,
+            message.serial,
+            ReplyStatus.OK,
+            result,
+        )
+        return reply.pack()
+
+    def _error_reply(self, procedure: int, serial: int, exc: VirtError) -> bytes:
+        with self._lock:
+            self.calls_failed += 1
+        reply = RPCMessage(
+            procedure,
+            MessageType.REPLY,
+            serial,
+            ReplyStatus.ERROR,
+            exc.to_dict(),
+        )
+        return reply.pack()
+
+    # -- server push -------------------------------------------------------
+
+    def emit_event(self, conn: ServerConnection, event_id: int, body: Any) -> None:
+        """Push an EVENT frame to one connected client."""
+        message = RPCMessage(event_id, MessageType.EVENT, 0, ReplyStatus.OK, body)
+        conn.push(message.pack())

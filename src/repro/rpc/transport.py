@@ -1,0 +1,249 @@
+"""Connection transports with per-transport latency models.
+
+Libvirt supports several transports for the client↔daemon link, with
+very different cost profiles.  Real bytes flow through these channels
+(the messages are genuinely packed/unpacked); only the physical link
+latency is modelled, charged on a shared clock:
+
+========= ================= ==================== =========================
+transport connect cost      per-message latency  bandwidth
+========= ================= ==================== =========================
+local     ~0 (in-process)   ~0                   ∞ (function call)
+unix      socket connect    kernel round trip    memory speed
+tcp       3-way handshake   LAN RTT              ~1 GiB/s
+tls       + TLS handshake   RTT + crypto         ~0.4 GiB/s (AES overhead)
+ssh       + exec ssh + auth RTT + ssh framing    ~0.3 GiB/s
+========= ================= ==================== =========================
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import (
+    AuthenticationError,
+    ConnectionClosedError,
+    InvalidArgumentError,
+)
+from repro.util.clock import Clock, VirtualClock
+
+
+class TransportSpec:
+    """The latency/bandwidth profile of one transport kind."""
+
+    def __init__(
+        self,
+        name: str,
+        connect_latency: float,
+        per_message_latency: float,
+        bytes_per_second: float,
+        encrypted: bool,
+        local: bool,
+    ) -> None:
+        if connect_latency < 0 or per_message_latency < 0:
+            raise InvalidArgumentError("latencies must be non-negative")
+        if bytes_per_second <= 0:
+            raise InvalidArgumentError("bandwidth must be positive")
+        self.name = name
+        self.connect_latency = connect_latency
+        self.per_message_latency = per_message_latency
+        self.bytes_per_second = bytes_per_second
+        self.encrypted = encrypted
+        self.local = local
+
+    def message_latency(self, num_bytes: int) -> float:
+        """One-way latency for a message of ``num_bytes``."""
+        return self.per_message_latency + num_bytes / self.bytes_per_second
+
+
+TRANSPORT_SPECS: Dict[str, TransportSpec] = {
+    "local": TransportSpec("local", 0.0, 0.0, 64e9, encrypted=False, local=True),
+    "unix": TransportSpec("unix", 50e-6, 25e-6, 2e9, encrypted=False, local=True),
+    "tcp": TransportSpec("tcp", 350e-6, 120e-6, 1e9, encrypted=False, local=False),
+    "tls": TransportSpec("tls", 2.8e-3, 160e-6, 0.4e9, encrypted=True, local=False),
+    "ssh": TransportSpec("ssh", 55e-3, 220e-6, 0.3e9, encrypted=True, local=False),
+    "libssh2": TransportSpec("libssh2", 48e-3, 210e-6, 0.3e9, encrypted=True, local=False),
+}
+
+
+def spec_for(name: str) -> TransportSpec:
+    try:
+        return TRANSPORT_SPECS[name]
+    except KeyError:
+        raise InvalidArgumentError(f"unknown transport {name!r}") from None
+
+
+class ServerConnection:
+    """The daemon-side endpoint of one accepted client channel."""
+
+    def __init__(self, listener: "Listener", channel: "Channel", identity: Dict[str, Any]) -> None:
+        self.listener = listener
+        self.channel = channel
+        #: who the transport says this client is (uid, username, sock addr…)
+        self.identity = identity
+        self._handler: "Optional[Callable[[bytes], Optional[bytes]]]" = None
+        self.closed = False
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def set_handler(self, handler: Callable[[bytes], Optional[bytes]]) -> None:
+        """Install the message handler (called once per client frame)."""
+        self._handler = handler
+
+    def handle(self, data: bytes) -> Optional[bytes]:
+        if self.closed:
+            raise ConnectionClosedError("server side of the connection is closed")
+        if self._handler is None:
+            raise ConnectionClosedError("no message handler installed")
+        self.bytes_in += len(data)
+        reply = self._handler(data)
+        if reply is not None:
+            self.bytes_out += len(reply)
+        return reply
+
+    def push(self, data: bytes) -> None:
+        """Server-initiated message (events) to the client."""
+        if self.closed or self.channel.closed:
+            raise ConnectionClosedError("cannot push on a closed connection")
+        self.bytes_out += len(data)
+        self.channel._deliver_event(data)
+
+    def close(self) -> None:
+        """Force-close from the server side (client-disconnect path)."""
+        if self.closed:
+            return
+        self.closed = True
+        self.channel.closed = True
+        self.listener._forget(self)
+
+
+class Channel:
+    """The client-side endpoint."""
+
+    def __init__(self, spec: TransportSpec, clock: Clock, server_conn_ref: "list") -> None:
+        self.spec = spec
+        self.clock = clock
+        self._server_conn_ref = server_conn_ref  # late-bound [ServerConnection]
+        self.closed = False
+        self._event_handler: "Optional[Callable[[bytes], None]]" = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._lock = threading.Lock()
+
+    @property
+    def _server_conn(self) -> ServerConnection:
+        return self._server_conn_ref[0]
+
+    def call_bytes(self, data: bytes) -> Optional[bytes]:
+        """Deliver one frame and return the reply frame, charging latency."""
+        if self.closed:
+            raise ConnectionClosedError(f"{self.spec.name} channel is closed")
+        self.clock.sleep(self.spec.message_latency(len(data)))
+        with self._lock:
+            self.bytes_sent += len(data)
+        if self._server_conn.closed:
+            self.closed = True
+            raise ConnectionClosedError("server closed the connection")
+        reply = self._server_conn.handle(data)
+        if reply is None:
+            return None
+        self.clock.sleep(self.spec.message_latency(len(reply)))
+        with self._lock:
+            self.bytes_received += len(reply)
+        return reply
+
+    def set_event_handler(self, handler: Callable[[bytes], None]) -> None:
+        self._event_handler = handler
+
+    def _deliver_event(self, data: bytes) -> None:
+        self.clock.sleep(self.spec.message_latency(len(data)))
+        with self._lock:
+            self.bytes_received += len(data)
+        if self._event_handler is not None:
+            self._event_handler(data)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._server_conn.close()
+
+
+class Listener:
+    """The server-side acceptor for one (transport, service) pair.
+
+    ``authenticator`` maps the client-supplied credentials to an
+    identity dict, raising :class:`AuthenticationError` to refuse.
+    ``on_accept`` lets the daemon veto/account the new connection.
+    """
+
+    def __init__(
+        self,
+        transport: str,
+        clock: Optional[Clock] = None,
+        authenticator: "Optional[Callable[[Dict[str, Any]], Dict[str, Any]]]" = None,
+        on_accept: "Optional[Callable[[ServerConnection], None]]" = None,
+    ) -> None:
+        self.spec = spec_for(transport)
+        self.clock = clock or VirtualClock()
+        self._authenticator = authenticator
+        self._on_accept = on_accept
+        self._connections: "list[ServerConnection]" = []
+        self._lock = threading.Lock()
+        self.accepted = 0
+        self.rejected = 0
+
+    def connect(self, credentials: "Optional[Dict[str, Any]]" = None) -> Channel:
+        """Client-side connect: handshake latency, auth, accept hook."""
+        self.clock.sleep(self.spec.connect_latency)
+        creds = dict(credentials or {})
+        identity: Dict[str, Any] = {
+            "transport": self.spec.name,
+            "username": creds.get("username", "anonymous"),
+        }
+        if self.spec.local:
+            identity.setdefault("unix_user_id", creds.get("uid", 0))
+            identity.setdefault("unix_process_id", creds.get("pid", 1))
+        else:
+            identity.setdefault("sock_addr", creds.get("addr", "192.0.2.10:0"))
+        if self._authenticator is not None:
+            try:
+                identity.update(self._authenticator(creds) or {})
+            except AuthenticationError:
+                with self._lock:
+                    self.rejected += 1
+                raise
+        conn_ref: "list" = [None]
+        channel = Channel(self.spec, self.clock, conn_ref)
+        conn = ServerConnection(self, channel, identity)
+        conn_ref[0] = conn
+        if self._on_accept is not None:
+            try:
+                self._on_accept(conn)
+            except Exception:
+                with self._lock:
+                    self.rejected += 1
+                conn.closed = True
+                channel.closed = True
+                raise
+        with self._lock:
+            self._connections.append(conn)
+            self.accepted += 1
+        return channel
+
+    def _forget(self, conn: ServerConnection) -> None:
+        with self._lock:
+            if conn in self._connections:
+                self._connections.remove(conn)
+
+    @property
+    def active_connections(self) -> int:
+        with self._lock:
+            return len(self._connections)
+
+    def close_all(self) -> None:
+        with self._lock:
+            conns = list(self._connections)
+        for conn in conns:
+            conn.close()

@@ -1,0 +1,318 @@
+"""XDR (RFC 4506) serialization.
+
+Libvirt's wire protocol serializes everything with XDR.  This module
+implements the primitive codecs — 4-byte alignment, big-endian, padded
+opaques — and, on top of them, a tagged *value* codec (a discriminated
+union in XDR terms) that can carry the JSON-like structures the RPC
+layer passes around: None, bools, integers, doubles, strings, bytes,
+lists, string-keyed maps, and typed-parameter lists.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List
+
+from repro.errors import RPCError
+from repro.util.typedparams import ParamType, TypedParameter
+
+_PAD = b"\x00\x00\x00"
+
+#: value-codec type tags (the union discriminants)
+_TAG_NULL = 0
+_TAG_FALSE = 1
+_TAG_TRUE = 2
+_TAG_HYPER = 3
+_TAG_DOUBLE = 4
+_TAG_STRING = 5
+_TAG_BYTES = 6
+_TAG_LIST = 7
+_TAG_DICT = 8
+_TAG_TYPED_PARAMS = 9
+
+#: hard cap on string/opaque sizes, guards against corrupt length words
+MAX_OPAQUE = 64 * 1024 * 1024
+
+
+class XdrEncoder:
+    """Append-only XDR stream writer."""
+
+    def __init__(self) -> None:
+        self._parts: List[bytes] = []
+
+    def data(self) -> bytes:
+        return b"".join(self._parts)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._parts)
+
+    # -- primitives -----------------------------------------------------
+
+    def pack_int(self, value: int) -> "XdrEncoder":
+        if not -(2**31) <= value < 2**31:
+            raise RPCError(f"int32 out of range: {value}")
+        self._parts.append(struct.pack(">i", value))
+        return self
+
+    def pack_uint(self, value: int) -> "XdrEncoder":
+        if not 0 <= value < 2**32:
+            raise RPCError(f"uint32 out of range: {value}")
+        self._parts.append(struct.pack(">I", value))
+        return self
+
+    def pack_hyper(self, value: int) -> "XdrEncoder":
+        if not -(2**63) <= value < 2**63:
+            raise RPCError(f"int64 out of range: {value}")
+        self._parts.append(struct.pack(">q", value))
+        return self
+
+    def pack_uhyper(self, value: int) -> "XdrEncoder":
+        if not 0 <= value < 2**64:
+            raise RPCError(f"uint64 out of range: {value}")
+        self._parts.append(struct.pack(">Q", value))
+        return self
+
+    def pack_bool(self, value: bool) -> "XdrEncoder":
+        return self.pack_uint(1 if value else 0)
+
+    def pack_double(self, value: float) -> "XdrEncoder":
+        self._parts.append(struct.pack(">d", value))
+        return self
+
+    def pack_opaque(self, value: bytes) -> "XdrEncoder":
+        """Variable-length opaque: uint32 length + data + pad to 4."""
+        if len(value) > MAX_OPAQUE:
+            raise RPCError(f"opaque too large: {len(value)} bytes")
+        self.pack_uint(len(value))
+        self._parts.append(value)
+        pad = (-len(value)) % 4
+        if pad:
+            self._parts.append(_PAD[:pad])
+        return self
+
+    def pack_fixed_opaque(self, value: bytes, size: int) -> "XdrEncoder":
+        """Fixed-length opaque: no length word, padded to 4."""
+        if len(value) != size:
+            raise RPCError(f"fixed opaque needs {size} bytes, got {len(value)}")
+        self._parts.append(value)
+        pad = (-size) % 4
+        if pad:
+            self._parts.append(_PAD[:pad])
+        return self
+
+    def pack_string(self, value: str) -> "XdrEncoder":
+        return self.pack_opaque(value.encode("utf-8"))
+
+
+class XdrDecoder:
+    """Sequential XDR stream reader; raises :class:`RPCError` on underrun."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, count: int) -> bytes:
+        if self._pos + count > len(self._data):
+            raise RPCError(
+                f"XDR underrun: need {count} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def done(self) -> None:
+        """Assert the stream was fully consumed."""
+        if self.remaining():
+            raise RPCError(f"{self.remaining()} trailing bytes after XDR decode")
+
+    # -- primitives -----------------------------------------------------
+
+    def unpack_int(self) -> int:
+        return struct.unpack(">i", self._take(4))[0]
+
+    def unpack_uint(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def unpack_hyper(self) -> int:
+        return struct.unpack(">q", self._take(8))[0]
+
+    def unpack_uhyper(self) -> int:
+        return struct.unpack(">Q", self._take(8))[0]
+
+    def unpack_bool(self) -> bool:
+        value = self.unpack_uint()
+        if value not in (0, 1):
+            raise RPCError(f"bool must be 0 or 1, got {value}")
+        return bool(value)
+
+    def unpack_double(self) -> float:
+        return struct.unpack(">d", self._take(8))[0]
+
+    def unpack_opaque(self) -> bytes:
+        length = self.unpack_uint()
+        if length > MAX_OPAQUE:
+            raise RPCError(f"opaque length {length} exceeds limit")
+        value = self._take(length)
+        pad = (-length) % 4
+        if pad:
+            padding = self._take(pad)
+            if padding != _PAD[:pad]:
+                raise RPCError("non-zero XDR padding")
+        return value
+
+    def unpack_fixed_opaque(self, size: int) -> bytes:
+        value = self._take(size)
+        pad = (-size) % 4
+        if pad:
+            self._take(pad)
+        return value
+
+    def unpack_string(self) -> str:
+        raw = self.unpack_opaque()
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise RPCError(f"invalid UTF-8 in XDR string: {exc}") from exc
+
+
+# -- tagged value codec ---------------------------------------------------
+
+
+def encode_value(value: Any, encoder: "XdrEncoder | None" = None) -> bytes:
+    """Serialize a JSON-like value (plus typed params) to XDR bytes."""
+    enc = encoder or XdrEncoder()
+    _encode_into(enc, value)
+    return enc.data()
+
+
+def _encode_into(enc: XdrEncoder, value: Any) -> None:
+    if value is None:
+        enc.pack_uint(_TAG_NULL)
+    elif value is True:
+        enc.pack_uint(_TAG_TRUE)
+    elif value is False:
+        enc.pack_uint(_TAG_FALSE)
+    elif isinstance(value, int):
+        enc.pack_uint(_TAG_HYPER)
+        enc.pack_hyper(value)
+    elif isinstance(value, float):
+        enc.pack_uint(_TAG_DOUBLE)
+        enc.pack_double(value)
+    elif isinstance(value, str):
+        enc.pack_uint(_TAG_STRING)
+        enc.pack_string(value)
+    elif isinstance(value, bytes):
+        enc.pack_uint(_TAG_BYTES)
+        enc.pack_opaque(value)
+    elif isinstance(value, (list, tuple)):
+        if value and all(isinstance(v, TypedParameter) for v in value):
+            _encode_typed_params(enc, list(value))
+        else:
+            enc.pack_uint(_TAG_LIST)
+            enc.pack_uint(len(value))
+            for item in value:
+                _encode_into(enc, item)
+    elif isinstance(value, dict):
+        enc.pack_uint(_TAG_DICT)
+        enc.pack_uint(len(value))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise RPCError(f"dict keys must be strings, got {key!r}")
+            enc.pack_string(key)
+            _encode_into(enc, item)
+    else:
+        raise RPCError(f"cannot XDR-encode value of type {type(value).__name__}")
+
+
+def _encode_typed_params(enc: XdrEncoder, params: List[TypedParameter]) -> None:
+    enc.pack_uint(_TAG_TYPED_PARAMS)
+    enc.pack_uint(len(params))
+    for param in params:
+        enc.pack_string(param.field)
+        enc.pack_uint(int(param.type))
+        if param.type == ParamType.INT:
+            enc.pack_int(param.value)
+        elif param.type == ParamType.UINT:
+            enc.pack_uint(param.value)
+        elif param.type == ParamType.LLONG:
+            enc.pack_hyper(param.value)
+        elif param.type == ParamType.ULLONG:
+            enc.pack_uhyper(param.value)
+        elif param.type == ParamType.DOUBLE:
+            enc.pack_double(param.value)
+        elif param.type == ParamType.BOOLEAN:
+            enc.pack_bool(param.value)
+        else:  # STRING
+            enc.pack_string(param.value)
+
+
+def decode_value(data: "bytes | XdrDecoder") -> Any:
+    """Inverse of :func:`encode_value`.
+
+    When given raw bytes, the whole buffer must be consumed.
+    """
+    if isinstance(data, XdrDecoder):
+        return _decode_from(data)
+    dec = XdrDecoder(data)
+    value = _decode_from(dec)
+    dec.done()
+    return value
+
+
+def _decode_from(dec: XdrDecoder) -> Any:
+    tag = dec.unpack_uint()
+    if tag == _TAG_NULL:
+        return None
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_FALSE:
+        return False
+    if tag == _TAG_HYPER:
+        return dec.unpack_hyper()
+    if tag == _TAG_DOUBLE:
+        return dec.unpack_double()
+    if tag == _TAG_STRING:
+        return dec.unpack_string()
+    if tag == _TAG_BYTES:
+        return dec.unpack_opaque()
+    if tag == _TAG_LIST:
+        count = dec.unpack_uint()
+        return [_decode_from(dec) for _ in range(count)]
+    if tag == _TAG_DICT:
+        count = dec.unpack_uint()
+        result: Dict[str, Any] = {}
+        for _ in range(count):
+            key = dec.unpack_string()
+            result[key] = _decode_from(dec)
+        return result
+    if tag == _TAG_TYPED_PARAMS:
+        return _decode_typed_params(dec)
+    raise RPCError(f"unknown XDR value tag {tag}")
+
+
+def _decode_typed_params(dec: XdrDecoder) -> List[TypedParameter]:
+    count = dec.unpack_uint()
+    params: List[TypedParameter] = []
+    for _ in range(count):
+        field = dec.unpack_string()
+        ptype = ParamType(dec.unpack_uint())
+        if ptype == ParamType.INT:
+            value: Any = dec.unpack_int()
+        elif ptype == ParamType.UINT:
+            value = dec.unpack_uint()
+        elif ptype == ParamType.LLONG:
+            value = dec.unpack_hyper()
+        elif ptype == ParamType.ULLONG:
+            value = dec.unpack_uhyper()
+        elif ptype == ParamType.DOUBLE:
+            value = dec.unpack_double()
+        elif ptype == ParamType.BOOLEAN:
+            value = dec.unpack_bool()
+        else:
+            value = dec.unpack_string()
+        params.append(TypedParameter(field, ptype, value))
+    return params

@@ -1,0 +1,11 @@
+"""Higher-level provisioning tools over the public API (extension).
+
+``provision_domain`` is the virt-install analogue (simple arguments →
+volumes + config + running guest); ``clone_domain`` is the virt-clone
+analogue (fresh identity, copy-on-write disks).
+"""
+
+from repro.tools.clone import clone_domain
+from repro.tools.provision import provision_domain
+
+__all__ = ["provision_domain", "clone_domain"]

@@ -1,0 +1,101 @@
+"""``provision_domain`` — the virt-install analogue.
+
+One call takes simple sizing arguments and produces a ready guest:
+ensures the storage pool exists and is active, creates the root
+volume, assembles the domain config with sensible devices (disk,
+NIC, graphics, console), defines it, and optionally boots it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.connection import Connection
+from repro.core.domain import Domain
+from repro.errors import NoStoragePoolError, VirtError
+from repro.util.units import parse_size, parse_size_kib
+from repro.xmlconfig.domain import (
+    ConsoleDevice,
+    DiskDevice,
+    DomainConfig,
+    GraphicsDevice,
+    InterfaceDevice,
+    OSConfig,
+)
+from repro.xmlconfig.storage import StoragePoolConfig, VolumeConfig
+
+#: domain type → os block appropriate for it
+_OS_BY_TYPE = {
+    "xen": lambda: OSConfig("xen", "x86_64", ["hd"]),
+    "lxc": lambda: OSConfig("exe", "x86_64", [], init="/sbin/init"),
+}
+
+
+def provision_domain(
+    conn: Connection,
+    name: str,
+    memory: "str | int" = "1 GiB",
+    vcpus: int = 1,
+    disk_size: "str | int" = "10 GiB",
+    pool: str = "default",
+    network: Optional[str] = "default",
+    graphics: bool = True,
+    start: bool = True,
+    domain_type: Optional[str] = None,
+) -> Domain:
+    """Create (and by default boot) a fully equipped guest.
+
+    ``memory`` and ``disk_size`` accept human sizes (``"2 GiB"``).
+    ``domain_type`` defaults to the first type the connection's
+    capabilities advertise.
+    """
+    if domain_type is None:
+        types = conn.capabilities().domain_types()
+        if not types:
+            raise VirtError(f"connection {conn.uri} advertises no guest types")
+        domain_type = types[0]
+    memory_kib = parse_size_kib(memory, default_unit="mib")
+    disk_bytes = parse_size(disk_size, default_unit="gib")
+
+    disks = []
+    if domain_type != "lxc":  # containers share the host filesystem
+        storage_pool = _ensure_pool(conn, pool)
+        volume = storage_pool.create_volume(
+            VolumeConfig(f"{name}-root.qcow2", disk_bytes)
+        )
+        disks.append(
+            DiskDevice(volume.path, "vda", capacity_bytes=disk_bytes)
+        )
+
+    interfaces = []
+    if network is not None:
+        interfaces.append(InterfaceDevice("network", network))
+
+    os_config = _OS_BY_TYPE.get(domain_type, OSConfig)()
+    config = DomainConfig(
+        name=name,
+        domain_type=domain_type,
+        memory_kib=memory_kib,
+        vcpus=vcpus,
+        os=os_config,
+        disks=disks,
+        interfaces=interfaces,
+        graphics=[GraphicsDevice("vnc")] if graphics and domain_type != "lxc" else [],
+        consoles=[ConsoleDevice("pty")],
+        features=["acpi", "apic"] if domain_type not in ("lxc", "xen") else [],
+    )
+    domain = conn.define_domain(config)
+    if start:
+        domain.start()
+    return domain
+
+
+def _ensure_pool(conn: Connection, name: str):
+    """Look the pool up, creating and starting a default one if absent."""
+    try:
+        pool = conn.lookup_storage_pool(name)
+    except NoStoragePoolError:
+        pool = conn.define_storage_pool(StoragePoolConfig(name=name))
+    if not pool.is_active:
+        pool.start()
+    return pool

@@ -1,0 +1,23 @@
+"""Utility substrate shared by every pyvirt subsystem.
+
+Nothing in this package knows about domains, drivers, or the RPC layer;
+it provides the clock abstraction, unit handling, typed parameters, the
+daemon workerpool, and the logging subsystem they are all built on.
+"""
+
+from repro.util.clock import Clock, ScaledWallClock, Stopwatch, VirtualClock, WallClock
+from repro.util.units import format_size, parse_size
+from repro.util.uuidutil import generate_uuid, is_valid_uuid, normalize_uuid
+
+__all__ = [
+    "Clock",
+    "VirtualClock",
+    "WallClock",
+    "ScaledWallClock",
+    "Stopwatch",
+    "parse_size",
+    "format_size",
+    "generate_uuid",
+    "is_valid_uuid",
+    "normalize_uuid",
+]

@@ -1,0 +1,134 @@
+"""Clock abstraction separating simulated latency from wall time.
+
+Simulated hypervisor backends charge operation latencies against a
+:class:`Clock`.  Three implementations cover the use cases:
+
+* :class:`VirtualClock` — pure accounting; ``sleep`` advances a counter
+  instantly.  Used by unit tests and by latency benchmarks, where the
+  quantity of interest is *modelled* time.
+* :class:`WallClock` — real time, real sleeping.
+* :class:`ScaledWallClock` — real sleeping scaled down by a factor, so
+  concurrency experiments (threadpool scalability, daemon throughput)
+  run real threads that genuinely overlap, yet finish quickly.  Reported
+  durations are scaled back up to modelled seconds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Interface: a monotonically increasing time source that can sleep."""
+
+    def now(self) -> float:
+        """Return the current time in (modelled) seconds."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` of modelled time."""
+        raise NotImplementedError
+
+
+class VirtualClock(Clock):
+    """A thread-safe counter clock: ``sleep`` returns immediately.
+
+    ``now()`` reports total modelled seconds accumulated by every
+    ``sleep``/``advance`` call, so single-threaded sequences of charged
+    operations read like an event-driven simulation timeline.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time {seconds}")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+
+class WallClock(Clock):
+    """Real monotonic time with real sleeping."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ScaledWallClock(Clock):
+    """Wall clock with sleeps compressed by ``scale``.
+
+    A modelled sleep of 1 s with ``scale=0.001`` blocks the calling
+    thread for 1 ms of real time.  ``now()`` reports modelled seconds
+    (real elapsed time divided by the scale), so timelines measured with
+    this clock are directly comparable to :class:`VirtualClock` ones
+    while real threads still contend and overlap.
+    """
+
+    def __init__(self, scale: float = 0.001) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = float(scale)
+        self._epoch = time.monotonic()
+
+    def now(self) -> float:
+        return (time.monotonic() - self._epoch) / self.scale
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds * self.scale)
+
+
+class Stopwatch:
+    """Measure an interval against any :class:`Clock`.
+
+    Usable directly or as a context manager::
+
+        with Stopwatch(clock) as sw:
+            backend.start(domain)
+        print(sw.elapsed)
+    """
+
+    def __init__(self, clock: Clock) -> None:
+        self.clock = clock
+        self._start: float | None = None
+        self._stop: float | None = None
+
+    def start(self) -> "Stopwatch":
+        self._start = self.clock.now()
+        self._stop = None
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch was never started")
+        self._stop = self.clock.now()
+        return self.elapsed
+
+    @property
+    def elapsed(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch was never started")
+        end = self._stop if self._stop is not None else self.clock.now()
+        return end - self._start
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,101 @@
+"""A small deterministic timer/callback scheduler.
+
+Used by the daemon for keepalive probes and by simulated backends for
+deferred state transitions (e.g. a guest finishing its boot sequence).
+The loop is driven explicitly — ``run_until(t)`` fires every timer due
+by modelled time ``t`` — which keeps simulations deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import InvalidArgumentError
+
+
+class _Timer:
+    __slots__ = ("deadline", "interval", "callback", "timer_id", "cancelled")
+
+    def __init__(self, deadline: float, interval: "Optional[float]", callback: Callable[[], Any], timer_id: int) -> None:
+        self.deadline = deadline
+        self.interval = interval
+        self.callback = callback
+        self.timer_id = timer_id
+        self.cancelled = False
+
+
+class EventLoop:
+    """Priority-queue timer scheduler over an external time source."""
+
+    def __init__(self, now: Callable[[], float]) -> None:
+        self._now = now
+        self._lock = threading.Lock()
+        self._heap: List[Tuple[float, int, _Timer]] = []
+        self._timers: Dict[int, _Timer] = {}
+        self._ids = itertools.count(1)
+
+    def add_timeout(self, delay: float, callback: Callable[[], Any]) -> int:
+        """Schedule ``callback`` once, ``delay`` seconds from now."""
+        return self._add(delay, None, callback)
+
+    def add_interval(self, interval: float, callback: Callable[[], Any]) -> int:
+        """Schedule ``callback`` repeatedly every ``interval`` seconds."""
+        if interval <= 0:
+            raise InvalidArgumentError("interval must be positive")
+        return self._add(interval, interval, callback)
+
+    def _add(self, delay: float, interval: "Optional[float]", callback: Callable[[], Any]) -> int:
+        if delay < 0:
+            raise InvalidArgumentError("delay must be non-negative")
+        with self._lock:
+            timer_id = next(self._ids)
+            timer = _Timer(self._now() + delay, interval, callback, timer_id)
+            self._timers[timer_id] = timer
+            heapq.heappush(self._heap, (timer.deadline, timer_id, timer))
+            return timer_id
+
+    def cancel(self, timer_id: int) -> bool:
+        """Cancel a pending timer; returns False if it no longer exists."""
+        with self._lock:
+            timer = self._timers.pop(timer_id, None)
+            if timer is None:
+                return False
+            timer.cancelled = True
+            return True
+
+    def next_deadline(self) -> "Optional[float]":
+        """Earliest pending deadline, or None when idle."""
+        with self._lock:
+            while self._heap and self._heap[0][2].cancelled:
+                heapq.heappop(self._heap)
+            return self._heap[0][0] if self._heap else None
+
+    def run_due(self) -> int:
+        """Fire every timer due at the current time; returns count fired."""
+        return self.run_until(self._now())
+
+    def run_until(self, deadline: float) -> int:
+        """Fire, in order, every timer with deadline <= ``deadline``."""
+        fired = 0
+        while True:
+            with self._lock:
+                while self._heap and self._heap[0][2].cancelled:
+                    heapq.heappop(self._heap)
+                if not self._heap or self._heap[0][0] > deadline:
+                    return fired
+                _, _, timer = heapq.heappop(self._heap)
+                if timer.interval is not None:
+                    timer.deadline += timer.interval
+                    heapq.heappush(self._heap, (timer.deadline, timer.timer_id, timer))
+                else:
+                    self._timers.pop(timer.timer_id, None)
+            timer.callback()
+            fired += 1
+
+    def pending(self) -> int:
+        """Number of live timers."""
+        with self._lock:
+            return len(self._timers)

@@ -1,0 +1,243 @@
+"""Workerpool: the daemon's concurrent task execution substrate.
+
+Mirrors libvirt's ``virThreadPool``:
+
+* a dynamic set of *ordinary workers*, grown on demand between a
+  minimum and a maximum, that execute any queued job;
+* a constant set of *priority workers* that only execute jobs flagged
+  high-priority — the guaranteed-finish lane, so a critical operation
+  (e.g. destroying a hung domain) can always run even when every
+  ordinary worker is blocked on an unresponsive hypervisor;
+* runtime-adjustable limits: lowering the maximum terminates surplus
+  workers cooperatively — each worker re-checks the limit after waking
+  and after finishing a job (libvirt's ``virThreadPoolWorkerQuitHelper``
+  design, which avoids the deadlock of queueing "poison" jobs while
+  holding the pool lock).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.errors import InvalidArgumentError, InvalidOperationError, OperationAbortedError
+
+
+class _Job:
+    __slots__ = ("func", "args", "kwargs", "priority", "future")
+
+    def __init__(self, func: Callable[..., Any], args: tuple, kwargs: dict, priority: bool) -> None:
+        self.func = func
+        self.args = args
+        self.kwargs = kwargs
+        self.priority = priority
+        self.future: "Future[Any]" = Future()
+
+
+class WorkerPool:
+    """A bounded, dynamically sized pool with a priority lane."""
+
+    def __init__(
+        self,
+        min_workers: int = 1,
+        max_workers: int = 5,
+        prio_workers: int = 0,
+        name: str = "pool",
+    ) -> None:
+        _validate_limits(min_workers, max_workers, prio_workers)
+        self.name = name
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queue: "Deque[_Job]" = deque()
+        self._prio_queue: "Deque[_Job]" = deque()
+        self._min_workers = min_workers
+        self._max_workers = max_workers
+        self._want_prio_workers = prio_workers
+        self._n_workers = 0
+        self._n_prio_workers = 0
+        self._free_workers = 0
+        self._quit = False
+        self._threads: List[threading.Thread] = []
+        self._jobs_completed = 0
+        with self._cond:
+            for _ in range(min_workers):
+                self._spawn_locked(priority=False)
+            for _ in range(prio_workers):
+                self._spawn_locked(priority=True)
+
+    # -- public API ---------------------------------------------------
+
+    def submit(
+        self, func: Callable[..., Any], *args: Any, priority: bool = False, **kwargs: Any
+    ) -> "Future[Any]":
+        """Queue a job; returns a Future resolved by a worker.
+
+        ``priority=True`` routes the job to the guaranteed lane: both
+        ordinary and priority workers may execute it.  Ordinary jobs are
+        only ever executed by ordinary workers.
+        """
+        job = _Job(func, args, kwargs, priority)
+        with self._cond:
+            if self._quit:
+                raise InvalidOperationError(f"workerpool {self.name!r} is shut down")
+            if priority:
+                self._prio_queue.append(job)
+            else:
+                self._queue.append(job)
+            # grow on demand: pending work exceeds idle ordinary capacity
+            pending = len(self._queue) + len(self._prio_queue)
+            if pending > self._free_workers and self._n_workers < self._max_workers:
+                self._spawn_locked(priority=False)
+            self._cond.notify_all()
+        return job.future
+
+    def set_parameters(
+        self,
+        min_workers: "Optional[int]" = None,
+        max_workers: "Optional[int]" = None,
+        prio_workers: "Optional[int]" = None,
+    ) -> None:
+        """Adjust pool limits at runtime (the admin-API entry point)."""
+        with self._cond:
+            if self._quit:
+                raise InvalidOperationError(f"workerpool {self.name!r} is shut down")
+            new_min = self._min_workers if min_workers is None else min_workers
+            new_max = self._max_workers if max_workers is None else max_workers
+            new_prio = self._want_prio_workers if prio_workers is None else prio_workers
+            _validate_limits(new_min, new_max, new_prio)
+            self._min_workers = new_min
+            self._max_workers = new_max
+            self._want_prio_workers = new_prio
+            while self._n_workers < self._min_workers:
+                self._spawn_locked(priority=False)
+            while self._n_prio_workers < self._want_prio_workers:
+                self._spawn_locked(priority=True)
+            # surplus workers notice the new limits via the quit helper
+            self._cond.notify_all()
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the pool counters, keyed like ``srv-threadpool-info``."""
+        with self._lock:
+            return {
+                "minWorkers": self._min_workers,
+                "maxWorkers": self._max_workers,
+                "nWorkers": self._n_workers,
+                "freeWorkers": self._free_workers,
+                "prioWorkers": self._n_prio_workers,
+                "jobQueueDepth": len(self._queue) + len(self._prio_queue),
+            }
+
+    @property
+    def jobs_completed(self) -> int:
+        with self._lock:
+            return self._jobs_completed
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool.
+
+        With ``wait=True`` queued jobs drain first; otherwise pending
+        futures fail with :class:`OperationAbortedError`.
+        """
+        with self._cond:
+            if self._quit:
+                return
+            self._quit = True
+            if not wait:
+                cancelled = list(self._queue) + list(self._prio_queue)
+                self._queue.clear()
+                self._prio_queue.clear()
+            else:
+                cancelled = []
+            self._cond.notify_all()
+        for job in cancelled:
+            job.future.set_exception(
+                OperationAbortedError("workerpool shut down before job ran")
+            )
+        for thread in list(self._threads):
+            thread.join(timeout=10.0)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # -- worker machinery ----------------------------------------------
+
+    def _spawn_locked(self, priority: bool) -> None:
+        if priority:
+            self._n_prio_workers += 1
+        else:
+            self._n_workers += 1
+        thread = threading.Thread(
+            target=self._worker_loop,
+            args=(priority,),
+            name=f"{self.name}-{'prio-' if priority else ''}worker",
+            daemon=True,
+        )
+        self._threads.append(thread)
+        thread.start()
+
+    def _should_quit_locked(self, priority: bool) -> bool:
+        """The quit helper: has this worker become surplus?"""
+        if priority:
+            return self._n_prio_workers > self._want_prio_workers
+        return self._n_workers > self._max_workers
+
+    def _worker_loop(self, priority: bool) -> None:
+        while True:
+            with self._cond:
+                job = self._take_job_locked(priority)
+                if job is None:
+                    # either surplus or pool quitting with drained queues
+                    if priority:
+                        self._n_prio_workers -= 1
+                    else:
+                        self._n_workers -= 1
+                    self._cond.notify_all()
+                    break
+            try:
+                result = job.func(*job.args, **job.kwargs)
+            except BaseException as exc:  # noqa: BLE001 - forwarded via the future
+                job.future.set_exception(exc)
+            else:
+                job.future.set_result(result)
+            with self._lock:
+                self._jobs_completed += 1
+
+    def _take_job_locked(self, priority: bool) -> "Optional[_Job]":
+        """Wait for and dequeue a job; None means the worker must exit."""
+        while True:
+            if self._should_quit_locked(priority):
+                return None
+            if self._prio_queue:
+                return self._prio_queue.popleft()
+            if not priority and self._queue:
+                return self._queue.popleft()
+            if self._quit:
+                return None
+            if not priority:
+                self._free_workers += 1
+            try:
+                self._cond.wait()
+            finally:
+                if not priority:
+                    self._free_workers -= 1
+
+
+def _validate_limits(min_workers: int, max_workers: int, prio_workers: int) -> None:
+    for label, value in (
+        ("min_workers", min_workers),
+        ("max_workers", max_workers),
+        ("prio_workers", prio_workers),
+    ):
+        if not isinstance(value, int) or value < 0:
+            raise InvalidArgumentError(f"{label} must be a non-negative integer, got {value!r}")
+    if max_workers < 1:
+        raise InvalidArgumentError("max_workers must be at least 1")
+    if min_workers > max_workers:
+        raise InvalidArgumentError(
+            f"min_workers ({min_workers}) must not exceed max_workers ({max_workers})"
+        )

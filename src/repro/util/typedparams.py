@@ -1,0 +1,194 @@
+"""Typed parameters — libvirt's ``virTypedParameter`` facility.
+
+A typed parameter is a ``(field, type, value)`` triple; APIs that would
+otherwise need their signatures to grow over time take lists of them.
+The RPC layer serializes them with a tag byte per value, so both ends
+agree on types without a protocol version bump.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Mapping, Tuple, Union
+
+from repro.errors import InvalidArgumentError
+
+#: maximum length of a parameter field name (mirrors libvirt's limit)
+FIELD_LENGTH = 80
+
+Scalar = Union[int, float, bool, str]
+
+
+class ParamType(enum.IntEnum):
+    """Value type tags (``virTypedParameterType``)."""
+
+    INT = 1
+    UINT = 2
+    LLONG = 3
+    ULLONG = 4
+    DOUBLE = 5
+    BOOLEAN = 6
+    STRING = 7
+
+
+_INT_BOUNDS = {
+    ParamType.INT: (-(2**31), 2**31 - 1),
+    ParamType.UINT: (0, 2**32 - 1),
+    ParamType.LLONG: (-(2**63), 2**63 - 1),
+    ParamType.ULLONG: (0, 2**64 - 1),
+}
+
+
+class TypedParameter:
+    """One named, typed scalar value."""
+
+    __slots__ = ("field", "type", "value")
+
+    def __init__(self, field: str, ptype: ParamType, value: Scalar) -> None:
+        if not field or len(field) > FIELD_LENGTH:
+            raise InvalidArgumentError(
+                f"parameter field name must be 1..{FIELD_LENGTH} chars, got {field!r}"
+            )
+        ptype = ParamType(ptype)
+        self.field = field
+        self.type = ptype
+        self.value = _check_value(field, ptype, value)
+
+    def __repr__(self) -> str:
+        return f"TypedParameter({self.field!r}, {self.type.name}, {self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TypedParameter):
+            return NotImplemented
+        return (
+            self.field == other.field
+            and self.type == other.type
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field, self.type, self.value))
+
+
+def _check_value(field: str, ptype: ParamType, value: Scalar) -> Scalar:
+    """Validate and normalize ``value`` for ``ptype``."""
+    if ptype == ParamType.BOOLEAN:
+        if not isinstance(value, (bool, int)):
+            raise InvalidArgumentError(f"{field}: boolean expected, got {value!r}")
+        return bool(value)
+    if ptype == ParamType.STRING:
+        if not isinstance(value, str):
+            raise InvalidArgumentError(f"{field}: string expected, got {value!r}")
+        return value
+    if ptype == ParamType.DOUBLE:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise InvalidArgumentError(f"{field}: number expected, got {value!r}")
+        return float(value)
+    # integral types
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise InvalidArgumentError(f"{field}: integer expected, got {value!r}")
+    low, high = _INT_BOUNDS[ptype]
+    if not low <= value <= high:
+        raise InvalidArgumentError(
+            f"{field}: value {value} out of range for {ptype.name}"
+        )
+    return value
+
+
+def add_int(params: List[TypedParameter], field: str, value: int) -> None:
+    """Append a signed 32-bit parameter (``virTypedParamsAddInt``)."""
+    params.append(TypedParameter(field, ParamType.INT, value))
+
+
+def add_uint(params: List[TypedParameter], field: str, value: int) -> None:
+    """Append an unsigned 32-bit parameter."""
+    params.append(TypedParameter(field, ParamType.UINT, value))
+
+
+def add_llong(params: List[TypedParameter], field: str, value: int) -> None:
+    """Append a signed 64-bit parameter."""
+    params.append(TypedParameter(field, ParamType.LLONG, value))
+
+
+def add_ullong(params: List[TypedParameter], field: str, value: int) -> None:
+    """Append an unsigned 64-bit parameter."""
+    params.append(TypedParameter(field, ParamType.ULLONG, value))
+
+
+def add_double(params: List[TypedParameter], field: str, value: float) -> None:
+    """Append a double parameter."""
+    params.append(TypedParameter(field, ParamType.DOUBLE, value))
+
+
+def add_boolean(params: List[TypedParameter], field: str, value: bool) -> None:
+    """Append a boolean parameter."""
+    params.append(TypedParameter(field, ParamType.BOOLEAN, value))
+
+
+def add_string(params: List[TypedParameter], field: str, value: str) -> None:
+    """Append a string parameter."""
+    params.append(TypedParameter(field, ParamType.STRING, value))
+
+
+def to_dict(params: Iterable[TypedParameter]) -> Dict[str, Scalar]:
+    """Collapse a parameter list into ``{field: value}``.
+
+    Duplicate fields are rejected, matching daemon-side validation.
+    """
+    result: Dict[str, Scalar] = {}
+    for param in params:
+        if param.field in result:
+            raise InvalidArgumentError(f"duplicate parameter {param.field!r}")
+        result[param.field] = param.value
+    return result
+
+
+def from_dict(values: Mapping[str, Scalar]) -> List[TypedParameter]:
+    """Build a parameter list from plain values, inferring types.
+
+    Inference: bool → BOOLEAN, int → LLONG if negative else ULLONG,
+    float → DOUBLE, str → STRING.
+    """
+    params: List[TypedParameter] = []
+    for field, value in values.items():
+        params.append(TypedParameter(field, infer_type(value), value))
+    return params
+
+
+def infer_type(value: Scalar) -> ParamType:
+    """Map a Python scalar to the widest matching :class:`ParamType`."""
+    if isinstance(value, bool):
+        return ParamType.BOOLEAN
+    if isinstance(value, int):
+        return ParamType.LLONG if value < 0 else ParamType.ULLONG
+    if isinstance(value, float):
+        return ParamType.DOUBLE
+    if isinstance(value, str):
+        return ParamType.STRING
+    raise InvalidArgumentError(f"unsupported parameter value {value!r}")
+
+
+def validate_fields(
+    params: Iterable[TypedParameter],
+    allowed: Mapping[str, ParamType],
+    read_only: "Tuple[str, ...]" = (),
+) -> None:
+    """Daemon-side validation of a caller-supplied parameter list.
+
+    Every field must be known, carry the declared type, appear at most
+    once, and not be in the read-only set.
+    """
+    seen = set()
+    for param in params:
+        if param.field not in allowed:
+            raise InvalidArgumentError(f"unknown parameter {param.field!r}")
+        if param.field in read_only:
+            raise InvalidArgumentError(f"parameter {param.field!r} is read-only")
+        if param.type != allowed[param.field]:
+            raise InvalidArgumentError(
+                f"parameter {param.field!r} must be {allowed[param.field].name}, "
+                f"got {param.type.name}"
+            )
+        if param.field in seen:
+            raise InvalidArgumentError(f"duplicate parameter {param.field!r}")
+        seen.add(param.field)

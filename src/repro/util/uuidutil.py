@@ -1,0 +1,42 @@
+"""UUID helpers with optional deterministic generation.
+
+Simulated backends accept a seeded :class:`random.Random` so whole
+scenario runs (examples, benchmarks) are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+import uuid as _uuid
+
+_UUID_RE = re.compile(
+    r"^[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}$"
+)
+
+
+def generate_uuid(rng: "random.Random | None" = None) -> str:
+    """Return a canonical lowercase UUID string.
+
+    With ``rng`` given, the UUID is derived from the generator's stream
+    (a valid version-4 UUID), making runs reproducible.
+    """
+    if rng is None:
+        return str(_uuid.uuid4())
+    raw = rng.getrandbits(128)
+    return str(_uuid.UUID(int=raw, version=4))
+
+
+def is_valid_uuid(text: str) -> bool:
+    """True if ``text`` is a canonical-form UUID (any case)."""
+    if not isinstance(text, str):
+        return False
+    return bool(_UUID_RE.match(text.lower()))
+
+
+def normalize_uuid(text: str) -> str:
+    """Lowercase and validate a UUID string, raising ``ValueError`` if bad."""
+    candidate = text.strip().lower()
+    if not _UUID_RE.match(candidate):
+        raise ValueError(f"not a valid UUID: {text!r}")
+    return candidate

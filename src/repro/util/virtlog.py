@@ -1,0 +1,323 @@
+"""Daemon logging subsystem: global level, per-module filters, outputs.
+
+Mirrors libvirt's logger: four priorities in an inclusive hierarchy
+(DEBUG logs everything, ERROR only errors), per-module *filters* that
+override the global level by match string, and *outputs* that each have
+their own minimum priority and destination.
+
+Runtime reconfiguration uses read-copy-update: a new settings snapshot
+is parsed and built privately, then swapped in atomically, so a thread
+logging concurrently always sees either the complete old or the
+complete new configuration (never a half-defined set of filters).
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+import threading
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ErrorDomain, InvalidArgumentError
+
+# priorities (virLogPriority): inclusive hierarchy, DEBUG is most verbose
+LOG_DEBUG = 1
+LOG_INFO = 2
+LOG_WARN = 3
+LOG_ERROR = 4
+
+PRIORITY_NAMES = {
+    LOG_DEBUG: "debug",
+    LOG_INFO: "info",
+    LOG_WARN: "warning",
+    LOG_ERROR: "error",
+}
+
+_NAME_TO_PRIORITY = {name: prio for prio, name in PRIORITY_NAMES.items()}
+
+
+def parse_priority(text: "str | int") -> int:
+    """Accept ``1``–``4`` or a level name; return the numeric priority."""
+    if isinstance(text, int):
+        value = text
+    else:
+        candidate = text.strip().lower()
+        if candidate in _NAME_TO_PRIORITY:
+            return _NAME_TO_PRIORITY[candidate]
+        try:
+            value = int(candidate)
+        except ValueError:
+            raise InvalidArgumentError(f"unknown log priority {text!r}") from None
+    if value not in PRIORITY_NAMES:
+        raise InvalidArgumentError(f"log priority must be 1..4, got {value}")
+    return value
+
+
+class LogRecord:
+    """One emitted message, before output formatting."""
+
+    __slots__ = ("priority", "source", "message", "timestamp")
+
+    def __init__(self, priority: int, source: str, message: str, timestamp: float) -> None:
+        self.priority = priority
+        self.source = source
+        self.message = message
+        self.timestamp = timestamp
+
+    def format(self) -> str:
+        name = PRIORITY_NAMES[self.priority]
+        return f"{self.timestamp:.6f}: {name} : {self.source}: {self.message}"
+
+
+#: characters allowed in a filter match string (module-path-ish tokens);
+#: anything else usually means a malformed multi-filter list
+_MATCH_RE = __import__("re").compile(r"^[A-Za-z0-9_./-]+$")
+
+
+class LogFilter:
+    """``level:match`` — overrides the global level for matching sources."""
+
+    __slots__ = ("priority", "match")
+
+    def __init__(self, priority: int, match: str) -> None:
+        if priority not in PRIORITY_NAMES:
+            raise InvalidArgumentError(f"filter priority must be 1..4, got {priority}")
+        if not match:
+            raise InvalidArgumentError("filter match string must be non-empty")
+        if not _MATCH_RE.match(match):
+            raise InvalidArgumentError(
+                f"filter match string {match!r} contains invalid characters "
+                "(filters are space-delimited)"
+            )
+        self.priority = priority
+        self.match = match
+
+    def matches(self, source: str) -> bool:
+        return self.match in source
+
+    def format(self) -> str:
+        return f"{self.priority}:{self.match}"
+
+    @staticmethod
+    def parse(text: str) -> "LogFilter":
+        head, sep, match = text.partition(":")
+        if not sep:
+            raise InvalidArgumentError(
+                f"filter {text!r} does not match 'level:match' format"
+            )
+        if not head.isdigit():
+            raise InvalidArgumentError(f"filter {text!r}: level must be numeric")
+        return LogFilter(parse_priority(int(head)), match)
+
+
+def parse_filters(text: str) -> List[LogFilter]:
+    """Parse a space-separated filter list string."""
+    return [LogFilter.parse(part) for part in text.split()]
+
+
+def format_filters(filters: List[LogFilter]) -> str:
+    """Inverse of :func:`parse_filters`."""
+    return " ".join(f.format() for f in filters)
+
+
+class LogOutput:
+    """``level:dest[:data]`` — a destination with its own minimum priority.
+
+    Destinations: ``stderr``, ``file`` (data = absolute path), ``memory``
+    (in-process ring used by tests and the simulated journald/syslog).
+    ``journald`` and ``syslog`` are accepted and routed to the memory
+    sink, since no system daemon exists in the simulation.
+    """
+
+    DESTINATIONS = ("stderr", "file", "memory", "journald", "syslog")
+    _NEEDS_DATA = ("file", "syslog")
+
+    def __init__(self, priority: int, dest: str, data: "Optional[str]" = None) -> None:
+        if priority not in PRIORITY_NAMES:
+            raise InvalidArgumentError(f"output priority must be 1..4, got {priority}")
+        if dest not in self.DESTINATIONS:
+            raise InvalidArgumentError(f"unknown log output destination {dest!r}")
+        if dest in self._NEEDS_DATA and not data:
+            raise InvalidArgumentError(f"output destination {dest!r} requires data")
+        if dest == "file" and data is not None and not data.startswith("/"):
+            raise InvalidArgumentError(
+                f"file output requires an absolute path, got {data!r}"
+            )
+        self.priority = priority
+        self.dest = dest
+        self.data = data
+        self._records: List[str] = []  # memory/journald/syslog sink
+        self._stream: "Optional[io.TextIOBase]" = None
+
+    def format(self) -> str:
+        if self.data is not None:
+            return f"{self.priority}:{self.dest}:{self.data}"
+        return f"{self.priority}:{self.dest}"
+
+    @staticmethod
+    def parse(text: str) -> "LogOutput":
+        parts = text.split(":", 2)
+        if len(parts) < 2:
+            raise InvalidArgumentError(
+                f"output {text!r} does not match 'level:dest[:data]' format"
+            )
+        if not parts[0].isdigit():
+            raise InvalidArgumentError(f"output {text!r}: level must be numeric")
+        priority = parse_priority(int(parts[0]))
+        dest = parts[1]
+        data = parts[2] if len(parts) == 3 else None
+        return LogOutput(priority, dest, data)
+
+    def emit(self, record: LogRecord) -> None:
+        if record.priority < self.priority:
+            return
+        line = record.format()
+        if self.dest == "stderr":
+            print(line, file=sys.stderr)
+        elif self.dest == "file":
+            if self._stream is None:
+                self._stream = open(self.data, "a", encoding="utf-8")  # noqa: SIM115
+            self._stream.write(line + "\n")
+            self._stream.flush()
+        else:  # memory / journald / syslog sinks
+            self._records.append(line)
+
+    @property
+    def records(self) -> List[str]:
+        """Messages captured by memory-backed destinations."""
+        return list(self._records)
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+
+def parse_outputs(text: str) -> List[LogOutput]:
+    """Parse a space-separated output list string."""
+    return [LogOutput.parse(part) for part in text.split()]
+
+
+def format_outputs(outputs: List[LogOutput]) -> str:
+    """Inverse of :func:`parse_outputs`."""
+    return " ".join(o.format() for o in outputs)
+
+
+class _Settings:
+    """Immutable snapshot of the logger configuration (RCU payload)."""
+
+    __slots__ = ("level", "filters", "outputs")
+
+    def __init__(self, level: int, filters: Tuple[LogFilter, ...], outputs: Tuple[LogOutput, ...]) -> None:
+        self.level = level
+        self.filters = filters
+        self.outputs = outputs
+
+
+class Logger:
+    """The logging subsystem instance embedded in each daemon."""
+
+    def __init__(
+        self,
+        level: int = LOG_ERROR,
+        clock: "Optional[Callable[[], float]]" = None,
+    ) -> None:
+        default_output = LogOutput(LOG_DEBUG, "memory")
+        self._settings = _Settings(parse_priority(level), (), (default_output,))
+        self._emit_lock = threading.Lock()
+        self._now = clock or (lambda: 0.0)
+        self._counter = 0
+
+    # -- configuration (RCU swap) ------------------------------------
+
+    @property
+    def level(self) -> int:
+        return self._settings.level
+
+    def set_level(self, level: "int | str") -> None:
+        """Atomically replace the global level."""
+        snap = self._settings
+        self._settings = _Settings(parse_priority(level), snap.filters, snap.outputs)
+
+    def get_filters(self) -> str:
+        return format_filters(list(self._settings.filters))
+
+    def set_filters(self, text: str) -> None:
+        """Parse and atomically install a new filter set.
+
+        Parsing happens against a private copy; only a fully valid set
+        is ever published (the thesis's RCU fix for torn filter sets).
+        """
+        new_filters = tuple(parse_filters(text))
+        snap = self._settings
+        self._settings = _Settings(snap.level, new_filters, snap.outputs)
+
+    def get_outputs(self) -> str:
+        return format_outputs(list(self._settings.outputs))
+
+    def set_outputs(self, text: str) -> None:
+        """Parse and atomically install a new output set."""
+        new_outputs = tuple(parse_outputs(text))
+        if not new_outputs:
+            raise InvalidArgumentError("at least one log output is required")
+        snap = self._settings
+        old_outputs = snap.outputs
+        self._settings = _Settings(snap.level, snap.filters, new_outputs)
+        for output in old_outputs:
+            output.close()
+
+    # -- emission ----------------------------------------------------
+
+    def effective_priority(self, source: str) -> int:
+        """Minimum priority that will be logged for ``source``."""
+        snap = self._settings
+        for filt in snap.filters:
+            if filt.matches(source):
+                return filt.priority
+        return snap.level
+
+    def log(self, priority: int, source: str, message: str) -> bool:
+        """Emit a message; returns True if any output accepted it."""
+        if priority not in PRIORITY_NAMES:
+            raise InvalidArgumentError(f"log priority must be 1..4, got {priority}")
+        snap = self._settings
+        if priority < self.effective_priority(source):
+            return False
+        record = LogRecord(priority, source, message, self._now())
+        emitted = False
+        with self._emit_lock:
+            self._counter += 1
+            for output in snap.outputs:
+                if priority >= output.priority:
+                    output.emit(record)
+                    emitted = True
+        return emitted
+
+    def debug(self, source: str, message: str) -> bool:
+        return self.log(LOG_DEBUG, source, message)
+
+    def info(self, source: str, message: str) -> bool:
+        return self.log(LOG_INFO, source, message)
+
+    def warn(self, source: str, message: str) -> bool:
+        return self.log(LOG_WARN, source, message)
+
+    def error(self, source: str, message: str) -> bool:
+        return self.log(LOG_ERROR, source, message)
+
+    @property
+    def messages_emitted(self) -> int:
+        """Total records accepted by at least one output (for tests)."""
+        return self._counter
+
+    def memory_records(self) -> List[str]:
+        """All lines captured by memory-backed outputs, in order."""
+        lines: List[str] = []
+        for output in self._settings.outputs:
+            if output.dest in ("memory", "journald", "syslog"):
+                lines.extend(output.records)
+        return lines
+
+
+#: domain tag used when loggers report their own errors
+_LOG_DOMAIN = ErrorDomain.LOGGING

@@ -1,0 +1,85 @@
+"""Thin helpers over ``xml.etree.ElementTree`` used by ``repro.xmlconfig``.
+
+All parse failures surface as :class:`repro.errors.XMLError` so callers
+never have to catch ElementTree internals.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from repro.errors import XMLError
+
+
+def parse_xml(text: str) -> ET.Element:
+    """Parse an XML document, wrapping syntax errors in :class:`XMLError`."""
+    try:
+        return ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XMLError(f"malformed XML: {exc}") from exc
+
+
+def element_to_string(root: ET.Element, pretty: bool = True) -> str:
+    """Serialize an element tree, pretty-printed by default."""
+    if pretty:
+        ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def child_text(
+    elem: ET.Element, tag: str, default: "Optional[str]" = None
+) -> "Optional[str]":
+    """Text content of the first ``tag`` child, or ``default``."""
+    child = elem.find(tag)
+    if child is None or child.text is None:
+        return default
+    return child.text.strip()
+
+
+def require_child_text(elem: ET.Element, tag: str) -> str:
+    """Text content of a mandatory child, raising :class:`XMLError` if absent."""
+    text = child_text(elem, tag)
+    if text is None or text == "":
+        raise XMLError(f"missing required element <{tag}> under <{elem.tag}>")
+    return text
+
+
+def require_attr(elem: ET.Element, name: str) -> str:
+    """A mandatory attribute value, raising :class:`XMLError` if absent."""
+    value = elem.get(name)
+    if value is None:
+        raise XMLError(f"missing required attribute {name!r} on <{elem.tag}>")
+    return value
+
+
+def int_child_text(elem: ET.Element, tag: str, default: "Optional[int]" = None) -> "Optional[int]":
+    """Integer content of a child element, or ``default``."""
+    text = child_text(elem, tag)
+    if text is None:
+        return default
+    try:
+        return int(text)
+    except ValueError as exc:
+        raise XMLError(f"element <{tag}> must hold an integer, got {text!r}") from exc
+
+
+def int_attr(elem: ET.Element, name: str, default: "Optional[int]" = None) -> "Optional[int]":
+    """Integer attribute value, or ``default``."""
+    value = elem.get(name)
+    if value is None:
+        return default
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise XMLError(
+            f"attribute {name!r} on <{elem.tag}> must be an integer, got {value!r}"
+        ) from exc
+
+
+def sub_element(parent: ET.Element, tag: str, text: "Optional[str]" = None, **attrs: str) -> ET.Element:
+    """Create a child element with optional text and attributes."""
+    child = ET.SubElement(parent, tag, {k: str(v) for k, v in attrs.items()})
+    if text is not None:
+        child.text = str(text)
+    return child

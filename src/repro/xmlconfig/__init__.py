@@ -1,0 +1,38 @@
+"""XML configuration documents.
+
+Libvirt describes every managed object — domains, networks, storage
+pools, volumes, host capabilities — as an XML document with a stable
+schema, independent of the hypervisor that will realize it.  This
+package implements parsers and formatters for the subset of those
+schemas pyvirt supports; every config round-trips
+(``parse(cfg.to_xml()) == cfg``).
+"""
+
+from repro.xmlconfig.capabilities import Capabilities, GuestCapability, HostCapability
+from repro.xmlconfig.domain import (
+    ConsoleDevice,
+    DiskDevice,
+    DomainConfig,
+    GraphicsDevice,
+    InterfaceDevice,
+    OSConfig,
+)
+from repro.xmlconfig.network import DHCPRange, IPConfig, NetworkConfig
+from repro.xmlconfig.storage import StoragePoolConfig, VolumeConfig
+
+__all__ = [
+    "DomainConfig",
+    "OSConfig",
+    "DiskDevice",
+    "InterfaceDevice",
+    "GraphicsDevice",
+    "ConsoleDevice",
+    "NetworkConfig",
+    "IPConfig",
+    "DHCPRange",
+    "StoragePoolConfig",
+    "VolumeConfig",
+    "Capabilities",
+    "HostCapability",
+    "GuestCapability",
+]

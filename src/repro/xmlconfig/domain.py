@@ -1,0 +1,549 @@
+"""Domain (virtual machine) XML configuration.
+
+Implements the core of libvirt's ``<domain>`` schema: identity, memory
+and vCPU sizing, the OS boot block, lifecycle-event actions, features,
+and the device tree (disks, network interfaces, graphics, consoles).
+
+The document is hypervisor-agnostic: the same config can be defined on
+any driver whose capabilities accept its ``type`` and architecture —
+that uniformity is the paper's central claim.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from typing import List, Optional, Sequence
+
+from repro.errors import XMLError
+from repro.util import uuidutil
+from repro.util.xmlutil import (
+    child_text,
+    element_to_string,
+    int_attr,
+    parse_xml,
+    require_attr,
+    sub_element,
+)
+
+#: domain/hypervisor types understood by the library
+DOMAIN_TYPES = ("qemu", "kvm", "xen", "lxc", "esx", "test")
+
+#: accepted values for lifecycle-event actions
+LIFECYCLE_ACTIONS = ("destroy", "restart", "preserve", "rename-restart")
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9_.+:@-]+$")
+_MAC_RE = re.compile(r"^([0-9a-f]{2}:){5}[0-9a-f]{2}$")
+
+
+class DiskDevice:
+    """A ``<disk>`` element: a block device attached to the guest."""
+
+    TYPES = ("file", "block", "volume")
+    DEVICES = ("disk", "cdrom", "floppy")
+    FORMATS = ("raw", "qcow2", "vmdk")
+    BUSES = ("virtio", "ide", "scsi", "sata", "xen")
+
+    def __init__(
+        self,
+        source: str,
+        target_dev: str,
+        disk_type: str = "file",
+        device: str = "disk",
+        driver_format: str = "qcow2",
+        target_bus: str = "virtio",
+        readonly: bool = False,
+        capacity_bytes: int = 0,
+    ) -> None:
+        if disk_type not in self.TYPES:
+            raise XMLError(f"unknown disk type {disk_type!r}")
+        if device not in self.DEVICES:
+            raise XMLError(f"unknown disk device {device!r}")
+        if driver_format not in self.FORMATS:
+            raise XMLError(f"unknown disk format {driver_format!r}")
+        if target_bus not in self.BUSES:
+            raise XMLError(f"unknown disk bus {target_bus!r}")
+        if not target_dev:
+            raise XMLError("disk target device name must be non-empty")
+        self.source = source
+        self.target_dev = target_dev
+        self.disk_type = disk_type
+        self.device = device
+        self.driver_format = driver_format
+        self.target_bus = target_bus
+        self.readonly = readonly
+        self.capacity_bytes = capacity_bytes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiskDevice):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def _key(self) -> tuple:
+        return (
+            self.source,
+            self.target_dev,
+            self.disk_type,
+            self.device,
+            self.driver_format,
+            self.target_bus,
+            self.readonly,
+            self.capacity_bytes,
+        )
+
+    def to_element(self) -> ET.Element:
+        elem = ET.Element("disk", {"type": self.disk_type, "device": self.device})
+        sub_element(elem, "driver", name="sim", type=self.driver_format)
+        source_attr = "file" if self.disk_type == "file" else (
+            "dev" if self.disk_type == "block" else "volume"
+        )
+        sub_element(elem, "source", **{source_attr: self.source})
+        sub_element(elem, "target", dev=self.target_dev, bus=self.target_bus)
+        if self.capacity_bytes:
+            sub_element(elem, "capacity", text=str(self.capacity_bytes), unit="bytes")
+        if self.readonly:
+            sub_element(elem, "readonly")
+        return elem
+
+    @staticmethod
+    def from_element(elem: ET.Element) -> "DiskDevice":
+        disk_type = elem.get("type", "file")
+        device = elem.get("device", "disk")
+        driver = elem.find("driver")
+        driver_format = driver.get("type", "qcow2") if driver is not None else "qcow2"
+        source_elem = elem.find("source")
+        if source_elem is None:
+            raise XMLError("disk element lacks <source>")
+        source = (
+            source_elem.get("file")
+            or source_elem.get("dev")
+            or source_elem.get("volume")
+            or ""
+        )
+        target = elem.find("target")
+        if target is None:
+            raise XMLError("disk element lacks <target>")
+        capacity_elem = elem.find("capacity")
+        capacity = int(capacity_elem.text) if capacity_elem is not None else 0
+        return DiskDevice(
+            source=source,
+            target_dev=require_attr(target, "dev"),
+            disk_type=disk_type,
+            device=device,
+            driver_format=driver_format,
+            target_bus=target.get("bus", "virtio"),
+            readonly=elem.find("readonly") is not None,
+            capacity_bytes=capacity,
+        )
+
+
+class InterfaceDevice:
+    """An ``<interface>`` element: a guest network adapter."""
+
+    TYPES = ("network", "bridge", "user")
+    MODELS = ("virtio", "e1000", "rtl8139", "netfront")
+
+    def __init__(
+        self,
+        interface_type: str = "network",
+        source: str = "default",
+        mac: Optional[str] = None,
+        model: str = "virtio",
+    ) -> None:
+        if interface_type not in self.TYPES:
+            raise XMLError(f"unknown interface type {interface_type!r}")
+        if model not in self.MODELS:
+            raise XMLError(f"unknown interface model {model!r}")
+        if mac is not None and not _MAC_RE.match(mac.lower()):
+            raise XMLError(f"malformed MAC address {mac!r}")
+        self.interface_type = interface_type
+        # user-mode networking has no source element; normalize so the
+        # document round-trips
+        self.source = "default" if interface_type == "user" else source
+        self.mac = mac.lower() if mac else None
+        self.model = model
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InterfaceDevice):
+            return NotImplemented
+        return (self.interface_type, self.source, self.mac, self.model) == (
+            other.interface_type,
+            other.source,
+            other.mac,
+            other.model,
+        )
+
+    def to_element(self) -> ET.Element:
+        elem = ET.Element("interface", {"type": self.interface_type})
+        if self.mac:
+            sub_element(elem, "mac", address=self.mac)
+        source_attr = "network" if self.interface_type == "network" else "bridge"
+        if self.interface_type != "user":
+            sub_element(elem, "source", **{source_attr: self.source})
+        sub_element(elem, "model", type=self.model)
+        return elem
+
+    @staticmethod
+    def from_element(elem: ET.Element) -> "InterfaceDevice":
+        interface_type = elem.get("type", "network")
+        mac_elem = elem.find("mac")
+        mac = mac_elem.get("address") if mac_elem is not None else None
+        source_elem = elem.find("source")
+        if source_elem is not None:
+            source = source_elem.get("network") or source_elem.get("bridge") or "default"
+        else:
+            source = "default"
+        model_elem = elem.find("model")
+        model = model_elem.get("type", "virtio") if model_elem is not None else "virtio"
+        return InterfaceDevice(interface_type, source, mac, model)
+
+
+class GraphicsDevice:
+    """A ``<graphics>`` element (VNC/SPICE display)."""
+
+    TYPES = ("vnc", "spice", "sdl")
+
+    def __init__(self, graphics_type: str = "vnc", port: int = -1, autoport: bool = True) -> None:
+        if graphics_type not in self.TYPES:
+            raise XMLError(f"unknown graphics type {graphics_type!r}")
+        self.graphics_type = graphics_type
+        self.port = port
+        self.autoport = autoport
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphicsDevice):
+            return NotImplemented
+        return (self.graphics_type, self.port, self.autoport) == (
+            other.graphics_type,
+            other.port,
+            other.autoport,
+        )
+
+    def to_element(self) -> ET.Element:
+        return ET.Element(
+            "graphics",
+            {
+                "type": self.graphics_type,
+                "port": str(self.port),
+                "autoport": "yes" if self.autoport else "no",
+            },
+        )
+
+    @staticmethod
+    def from_element(elem: ET.Element) -> "GraphicsDevice":
+        return GraphicsDevice(
+            graphics_type=elem.get("type", "vnc"),
+            port=int_attr(elem, "port", -1),
+            autoport=elem.get("autoport", "yes") == "yes",
+        )
+
+
+class ConsoleDevice:
+    """A ``<console>`` element (serial console endpoint)."""
+
+    TYPES = ("pty", "file")
+
+    def __init__(self, console_type: str = "pty", target_port: int = 0) -> None:
+        if console_type not in self.TYPES:
+            raise XMLError(f"unknown console type {console_type!r}")
+        self.console_type = console_type
+        self.target_port = target_port
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConsoleDevice):
+            return NotImplemented
+        return (self.console_type, self.target_port) == (
+            other.console_type,
+            other.target_port,
+        )
+
+    def to_element(self) -> ET.Element:
+        elem = ET.Element("console", {"type": self.console_type})
+        sub_element(elem, "target", port=str(self.target_port))
+        return elem
+
+    @staticmethod
+    def from_element(elem: ET.Element) -> "ConsoleDevice":
+        target = elem.find("target")
+        port = int_attr(target, "port", 0) if target is not None else 0
+        return ConsoleDevice(elem.get("type", "pty"), port)
+
+
+class OSConfig:
+    """The ``<os>`` boot block."""
+
+    OS_TYPES = ("hvm", "xen", "exe")
+    ARCHES = ("x86_64", "i686", "aarch64")
+    BOOT_DEVICES = ("hd", "cdrom", "network", "fd")
+
+    def __init__(
+        self,
+        os_type: str = "hvm",
+        arch: str = "x86_64",
+        boot: Sequence[str] = ("hd",),
+        init: Optional[str] = None,
+    ) -> None:
+        if os_type not in self.OS_TYPES:
+            raise XMLError(f"unknown os type {os_type!r}")
+        if arch not in self.ARCHES:
+            raise XMLError(f"unknown architecture {arch!r}")
+        for dev in boot:
+            if dev not in self.BOOT_DEVICES:
+                raise XMLError(f"unknown boot device {dev!r}")
+        self.os_type = os_type
+        self.arch = arch
+        self.boot = list(boot)
+        self.init = init  # container init binary (os_type == "exe")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OSConfig):
+            return NotImplemented
+        return (self.os_type, self.arch, self.boot, self.init) == (
+            other.os_type,
+            other.arch,
+            other.boot,
+            other.init,
+        )
+
+    def to_element(self) -> ET.Element:
+        elem = ET.Element("os")
+        sub_element(elem, "type", text=self.os_type, arch=self.arch)
+        for dev in self.boot:
+            sub_element(elem, "boot", dev=dev)
+        if self.init:
+            sub_element(elem, "init", text=self.init)
+        return elem
+
+    @staticmethod
+    def from_element(elem: ET.Element) -> "OSConfig":
+        type_elem = elem.find("type")
+        if type_elem is None or not type_elem.text:
+            raise XMLError("<os> lacks a <type> element")
+        boot = [require_attr(b, "dev") for b in elem.findall("boot")]
+        return OSConfig(
+            os_type=type_elem.text.strip(),
+            arch=type_elem.get("arch", "x86_64"),
+            boot=boot or ["hd"],
+            init=child_text(elem, "init"),
+        )
+
+
+class DomainConfig:
+    """A complete, validated ``<domain>`` document."""
+
+    def __init__(
+        self,
+        name: str,
+        domain_type: str = "test",
+        uuid: Optional[str] = None,
+        memory_kib: int = 1024 * 1024,
+        current_memory_kib: Optional[int] = None,
+        vcpus: int = 1,
+        max_vcpus: Optional[int] = None,
+        os: Optional[OSConfig] = None,
+        disks: Optional[List[DiskDevice]] = None,
+        interfaces: Optional[List[InterfaceDevice]] = None,
+        graphics: Optional[List[GraphicsDevice]] = None,
+        consoles: Optional[List[ConsoleDevice]] = None,
+        features: Optional[List[str]] = None,
+        on_poweroff: str = "destroy",
+        on_reboot: str = "restart",
+        on_crash: str = "destroy",
+    ) -> None:
+        self.name = name
+        self.domain_type = domain_type
+        self.uuid = uuidutil.normalize_uuid(uuid) if uuid else None
+        self.memory_kib = memory_kib
+        self.current_memory_kib = (
+            current_memory_kib if current_memory_kib is not None else memory_kib
+        )
+        self.vcpus = vcpus
+        self.max_vcpus = max_vcpus if max_vcpus is not None else vcpus
+        self.os = os or OSConfig()
+        self.disks = list(disks or [])
+        self.interfaces = list(interfaces or [])
+        self.graphics = list(graphics or [])
+        self.consoles = list(consoles or [])
+        self.features = list(features or [])
+        self.on_poweroff = on_poweroff
+        self.on_reboot = on_reboot
+        self.on_crash = on_crash
+        self.validate()
+
+    # -- validation ---------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`XMLError` if the document is semantically invalid."""
+        if not self.name or not _NAME_RE.match(self.name):
+            raise XMLError(f"invalid domain name {self.name!r}")
+        if self.domain_type not in DOMAIN_TYPES:
+            raise XMLError(f"unknown domain type {self.domain_type!r}")
+        if self.memory_kib <= 0:
+            raise XMLError(f"domain memory must be positive, got {self.memory_kib}")
+        if not 0 < self.current_memory_kib <= self.memory_kib:
+            raise XMLError(
+                f"current memory {self.current_memory_kib} out of range "
+                f"(0, {self.memory_kib}]"
+            )
+        if self.vcpus < 1:
+            raise XMLError(f"domain needs at least 1 vCPU, got {self.vcpus}")
+        if self.max_vcpus < self.vcpus:
+            raise XMLError(
+                f"max vcpus {self.max_vcpus} below current vcpus {self.vcpus}"
+            )
+        for action in (self.on_poweroff, self.on_reboot, self.on_crash):
+            if action not in LIFECYCLE_ACTIONS:
+                raise XMLError(f"unknown lifecycle action {action!r}")
+        targets = [d.target_dev for d in self.disks]
+        if len(targets) != len(set(targets)):
+            raise XMLError(f"duplicate disk target devices in {targets}")
+        macs = [i.mac for i in self.interfaces if i.mac]
+        if len(macs) != len(set(macs)):
+            raise XMLError(f"duplicate interface MAC addresses in {macs}")
+        if self.domain_type == "lxc" and self.os.os_type != "exe":
+            raise XMLError("lxc domains require os type 'exe'")
+        if self.domain_type in ("qemu", "kvm", "esx", "test") and self.os.os_type != "hvm":
+            raise XMLError(f"{self.domain_type} domains require os type 'hvm'")
+
+    # -- equality -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DomainConfig):
+            return NotImplemented
+        return self.to_xml() == other.to_xml()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DomainConfig(name={self.name!r}, type={self.domain_type!r})"
+
+    # -- serialization --------------------------------------------------
+
+    def to_xml(self, pretty: bool = True) -> str:
+        """Format the config as a ``<domain>`` document."""
+        root = ET.Element("domain", {"type": self.domain_type})
+        sub_element(root, "name", text=self.name)
+        if self.uuid:
+            sub_element(root, "uuid", text=self.uuid)
+        sub_element(root, "memory", text=str(self.memory_kib), unit="KiB")
+        sub_element(
+            root, "currentMemory", text=str(self.current_memory_kib), unit="KiB"
+        )
+        sub_element(root, "vcpu", text=str(self.max_vcpus), current=str(self.vcpus))
+        root.append(self.os.to_element())
+        if self.features:
+            features = sub_element(root, "features")
+            for feature in self.features:
+                sub_element(features, feature)
+        sub_element(root, "on_poweroff", text=self.on_poweroff)
+        sub_element(root, "on_reboot", text=self.on_reboot)
+        sub_element(root, "on_crash", text=self.on_crash)
+        devices = sub_element(root, "devices")
+        for disk in self.disks:
+            devices.append(disk.to_element())
+        for iface in self.interfaces:
+            devices.append(iface.to_element())
+        for gfx in self.graphics:
+            devices.append(gfx.to_element())
+        for console in self.consoles:
+            devices.append(console.to_element())
+        return element_to_string(root, pretty=pretty)
+
+    @staticmethod
+    def from_xml(text: str) -> "DomainConfig":
+        """Parse and validate a ``<domain>`` document."""
+        root = parse_xml(text)
+        if root.tag != "domain":
+            raise XMLError(f"expected <domain> root element, got <{root.tag}>")
+        domain_type = require_attr(root, "type")
+        name = child_text(root, "name")
+        if not name:
+            raise XMLError("domain lacks a <name>")
+        memory = _parse_memory_element(root, "memory")
+        if memory is None:
+            raise XMLError("domain lacks a <memory> element")
+        current = _parse_memory_element(root, "currentMemory")
+        vcpu_elem = root.find("vcpu")
+        if vcpu_elem is not None and vcpu_elem.text:
+            max_vcpus = int(vcpu_elem.text)
+            vcpus = int_attr(vcpu_elem, "current", max_vcpus)
+        else:
+            max_vcpus = vcpus = 1
+        os_elem = root.find("os")
+        os_config = OSConfig.from_element(os_elem) if os_elem is not None else OSConfig()
+        features_elem = root.find("features")
+        features = (
+            [child.tag for child in features_elem] if features_elem is not None else []
+        )
+        devices_elem = root.find("devices")
+        disks: List[DiskDevice] = []
+        interfaces: List[InterfaceDevice] = []
+        graphics: List[GraphicsDevice] = []
+        consoles: List[ConsoleDevice] = []
+        if devices_elem is not None:
+            disks = [DiskDevice.from_element(e) for e in devices_elem.findall("disk")]
+            interfaces = [
+                InterfaceDevice.from_element(e)
+                for e in devices_elem.findall("interface")
+            ]
+            graphics = [
+                GraphicsDevice.from_element(e) for e in devices_elem.findall("graphics")
+            ]
+            consoles = [
+                ConsoleDevice.from_element(e) for e in devices_elem.findall("console")
+            ]
+        return DomainConfig(
+            name=name,
+            domain_type=domain_type,
+            uuid=child_text(root, "uuid"),
+            memory_kib=memory,
+            current_memory_kib=current,
+            vcpus=vcpus,
+            max_vcpus=max_vcpus,
+            os=os_config,
+            disks=disks,
+            interfaces=interfaces,
+            graphics=graphics,
+            consoles=consoles,
+            features=features,
+            on_poweroff=child_text(root, "on_poweroff", "destroy"),
+            on_reboot=child_text(root, "on_reboot", "restart"),
+            on_crash=child_text(root, "on_crash", "destroy"),
+        )
+
+    def copy(self, **overrides: object) -> "DomainConfig":
+        """A modified copy (used by migration/rename paths)."""
+        config = DomainConfig.from_xml(self.to_xml())
+        for key, value in overrides.items():
+            if not hasattr(config, key):
+                raise XMLError(f"unknown domain config field {key!r}")
+            setattr(config, key, value)
+        config.validate()
+        return config
+
+
+_MEMORY_UNIT_KIB = {
+    "b": 1.0 / 1024,
+    "bytes": 1.0 / 1024,
+    "kib": 1,
+    "k": 1,
+    "mib": 1024,
+    "m": 1024,
+    "gib": 1024**2,
+    "g": 1024**2,
+    "tib": 1024**3,
+    "t": 1024**3,
+}
+
+
+def _parse_memory_element(root: ET.Element, tag: str) -> Optional[int]:
+    """Read a ``<memory unit=...>`` style element into KiB."""
+    elem = root.find(tag)
+    if elem is None or not elem.text:
+        return None
+    unit = elem.get("unit", "KiB").lower()
+    if unit not in _MEMORY_UNIT_KIB:
+        raise XMLError(f"unknown memory unit {unit!r} on <{tag}>")
+    try:
+        value = int(elem.text.strip())
+    except ValueError as exc:
+        raise XMLError(f"<{tag}> must hold an integer, got {elem.text!r}") from exc
+    return int(value * _MEMORY_UNIT_KIB[unit])

@@ -1,0 +1,16 @@
+"""Shared fixtures: registry isolation between tests."""
+
+import pytest
+
+from repro.daemon.registry import reset_daemons
+from repro.drivers import nodes
+
+
+@pytest.fixture(autouse=True)
+def _isolate_registries():
+    """Each test sees an empty simulated network and fresh local nodes."""
+    reset_daemons()
+    nodes.reset_nodes()
+    yield
+    reset_daemons()
+    nodes.reset_nodes()

@@ -1,0 +1,215 @@
+"""Tests for the administration interface (repro.admin + daemon admin server)."""
+
+import pytest
+
+import repro
+from repro.admin import admin_open
+from repro.daemon import Libvirtd
+from repro.errors import (
+    AccessDeniedError,
+    ConnectionClosedError,
+    ConnectionError_,
+    InvalidArgumentError,
+)
+from repro.util import typedparams as tp
+from repro.util.typedparams import ParamType, TypedParameter
+
+
+@pytest.fixture()
+def daemon():
+    with Libvirtd(hostname="adminnode", min_workers=5, max_workers=20, prio_workers=5) as d:
+        d.listen("unix")
+        d.listen("tcp")
+        d.enable_admin()
+        yield d
+
+
+@pytest.fixture()
+def admin(daemon):
+    conn = admin_open("adminnode")
+    yield conn
+    if not conn.closed:
+        conn.close()
+
+
+class TestOpen:
+    def test_open_requires_admin_enabled(self):
+        with Libvirtd(hostname="plain") as d:
+            d.listen("unix")
+            with pytest.raises(ConnectionError_, match="not listening"):
+                admin_open("plain")
+
+    def test_root_only_socket(self, daemon):
+        with pytest.raises(AccessDeniedError, match="requires root"):
+            admin_open("adminnode", {"uid": 1000, "username": "eve"})
+
+    def test_default_credentials_are_root(self, admin):
+        assert not admin.closed
+
+    def test_closed_connection_rejects_calls(self, admin):
+        admin.close()
+        with pytest.raises(ConnectionClosedError):
+            admin.list_servers()
+
+    def test_unknown_daemon(self):
+        with pytest.raises(ConnectionError_):
+            admin_open("nowhere")
+
+
+class TestServerEnumeration:
+    def test_srv_list_shows_both_servers(self, admin):
+        names = [s.name for s in admin.list_servers()]
+        assert names == ["admin", "libvirtd"]
+
+    def test_lookup_server(self, admin):
+        assert admin.lookup_server("libvirtd").name == "libvirtd"
+        with pytest.raises(InvalidArgumentError):
+            admin.lookup_server("ghost")
+
+
+class TestThreadpool:
+    def test_info_reflects_daemon_pool(self, admin, daemon):
+        info = admin.lookup_server("libvirtd").threadpool_info()
+        assert info["minWorkers"] == 5
+        assert info["maxWorkers"] == 20
+        assert info["prioWorkers"] == 5
+        assert info["jobQueueDepth"] == 0
+
+    def test_set_updates_live_pool(self, admin, daemon):
+        server = admin.lookup_server("libvirtd")
+        server.set_threadpool(max_workers=40, prio_workers=8)
+        import time
+
+        deadline = time.monotonic() + 5
+        while daemon.pool.stats()["prioWorkers"] != 8 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        stats = daemon.pool.stats()
+        assert stats["maxWorkers"] == 40
+        assert stats["prioWorkers"] == 8
+
+    def test_admin_server_has_its_own_pool(self, admin, daemon):
+        info = admin.lookup_server("admin").threadpool_info()
+        assert info["maxWorkers"] == 5
+        admin.lookup_server("admin").set_threadpool(max_workers=10)
+        assert daemon.server_pools["admin"].stats()["maxWorkers"] == 10
+
+    def test_read_only_fields_rejected(self, admin):
+        params = []
+        tp.add_uint(params, "nWorkers", 3)
+        with pytest.raises(InvalidArgumentError, match="read-only"):
+            admin.lookup_server("libvirtd").set_threadpool_params(params)
+
+    def test_unknown_field_rejected(self, admin):
+        params = [TypedParameter("bogus", ParamType.UINT, 1)]
+        with pytest.raises(InvalidArgumentError, match="unknown parameter"):
+            admin.lookup_server("libvirtd").set_threadpool_params(params)
+
+    def test_wrong_type_rejected(self, admin):
+        params = [TypedParameter("maxWorkers", ParamType.STRING, "40")]
+        with pytest.raises(InvalidArgumentError, match="must be UINT"):
+            admin.lookup_server("libvirtd").set_threadpool_params(params)
+
+    def test_min_above_max_rejected_and_pool_untouched(self, admin, daemon):
+        server = admin.lookup_server("libvirtd")
+        with pytest.raises(InvalidArgumentError):
+            server.set_threadpool(min_workers=50)
+        assert daemon.pool.stats()["minWorkers"] == 5
+
+    def test_empty_params_rejected(self, admin):
+        with pytest.raises(InvalidArgumentError, match="no threadpool parameters"):
+            admin.lookup_server("libvirtd").set_threadpool_params([])
+
+
+class TestClientManagement:
+    def test_clients_info_counts_live_clients(self, admin, daemon):
+        base = admin.lookup_server("libvirtd").clients_info()
+        conn = repro.open_connection("qemu+tcp://adminnode/system")
+        info = admin.lookup_server("libvirtd").clients_info()
+        assert info["nclients"] == base["nclients"] + 1
+        assert info["nclients_max"] == 120
+        conn.close()
+
+    def test_set_client_limits(self, admin, daemon):
+        admin.lookup_server("libvirtd").set_client_limits(max_clients=150)
+        assert daemon.get_max_clients("libvirtd") == 150
+        info = admin.lookup_server("libvirtd").clients_info()
+        assert info["nclients_max"] == 150
+
+    def test_client_list_and_info(self, admin, daemon):
+        conn = repro.open_connection(
+            "qemu+tcp://adminnode/system", {"addr": "10.9.8.7:555"}
+        )
+        clients = admin.lookup_server("libvirtd").list_clients()
+        assert len(clients) == 1
+        assert clients[0].transport == "tcp"
+        info = clients[0].info()
+        assert info["sock_addr"] == "10.9.8.7:555"
+        conn.close()
+
+    def test_admin_clients_listed_separately(self, admin):
+        admin_clients = admin.lookup_server("admin").list_clients()
+        assert len(admin_clients) == 1  # this admin connection itself
+        assert admin_clients[0].transport == "unix"
+
+    def test_client_disconnect(self, admin, daemon):
+        conn = repro.open_connection("qemu+tcp://adminnode/system")
+        victim = admin.lookup_server("libvirtd").list_clients()[0]
+        victim.disconnect()
+        with pytest.raises(ConnectionClosedError):
+            conn.list_domains()
+        assert admin.lookup_server("libvirtd").list_clients() == []
+
+    def test_lookup_client_missing(self, admin):
+        with pytest.raises(InvalidArgumentError):
+            admin.lookup_server("libvirtd").lookup_client(999)
+
+    def test_admin_limit_enforced(self, admin, daemon):
+        daemon.set_max_clients(1, server="admin")
+        from repro.errors import OperationFailedError
+
+        with pytest.raises(OperationFailedError):
+            admin_open("adminnode")
+
+
+class TestLogging:
+    def test_log_info_defaults(self, admin):
+        info = admin.get_logging()
+        assert info["level_name"] == "error"
+        assert info["filters"] == ""
+        assert "memory" in info["outputs"]
+
+    def test_set_level_runtime(self, admin, daemon):
+        admin.set_logging_level(1)
+        assert daemon.logger.level == 1
+        admin.set_logging_level("warning")
+        assert daemon.logger.level == 3
+        # and it actually changes what gets logged, live
+        daemon.logger.warn("test.module", "visible now")
+        assert any("visible now" in r for r in daemon.logger.memory_records())
+
+    def test_set_filters_runtime(self, admin, daemon):
+        admin.set_logging_filters("1:rpc 4:util.object")
+        info = admin.get_logging()
+        assert info["filters"] == "1:rpc 4:util.object"
+        assert daemon.logger.effective_priority("rpc.server") == 1
+
+    def test_set_outputs_runtime(self, admin, daemon, tmp_path):
+        path = tmp_path / "daemon.log"
+        admin.set_logging_outputs(f"1:file:{path} 3:memory")
+        daemon.logger.set_level(1)
+        daemon.logger.debug("mod", "to the file")
+        assert "to the file" in path.read_text()
+
+    def test_invalid_settings_rejected_and_state_unchanged(self, admin, daemon):
+        from repro.errors import VirtError
+
+        admin.set_logging_filters("2:keepme")
+        with pytest.raises(VirtError):
+            admin.set_logging_level(9)
+        with pytest.raises(VirtError):
+            admin.set_logging_filters("9:bad")
+        with pytest.raises(VirtError):
+            admin.set_logging_outputs("1:tape")
+        info = admin.get_logging()
+        assert info["filters"] == "2:keepme"
+        assert info["level"] == 4

@@ -1,0 +1,74 @@
+"""Tests for the benchmark harness utilities (repro.bench)."""
+
+import pytest
+
+from repro.bench.tables import format_series, format_table, save_result
+from repro.bench.workloads import (
+    BACKEND_KINDS,
+    build_backend,
+    build_local_connection,
+    guest_config,
+)
+from repro.errors import InvalidArgumentError
+from repro.util.clock import VirtualClock
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table("Title", ["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert set(lines[1]) == {"="}
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "333" in lines[5]  # second data row
+        # all data rows share one width
+        assert len(lines[4]) == len(lines[5]) == len(lines[3])
+
+    def test_format_series(self):
+        text = format_series("S", "x", [1, 2], {"y": [10, 20], "z": [30, 40]})
+        assert "x" in text and "y" in text and "z" in text
+        assert "20" in text and "40" in text
+
+    def test_format_series_requires_equal_lengths(self):
+        with pytest.raises(IndexError):
+            format_series("S", "x", [1, 2, 3], {"y": [1]})
+
+    def test_save_result_writes_file(self, tmp_path, monkeypatch):
+        import repro.bench.tables as tables
+
+        monkeypatch.setattr(tables, "RESULTS_DIR", tmp_path)
+        path = save_result("unit_test", "hello table")
+        assert path.read_text() == "hello table\n"
+        assert path.name == "unit_test.txt"
+
+
+class TestWorkloads:
+    def test_build_backend_kinds(self):
+        clock = VirtualClock()
+        for kind in BACKEND_KINDS:
+            backend = build_backend(kind, clock=clock)
+            assert backend.clock is clock
+            assert backend.host.cpus == 64
+
+    def test_build_backend_unknown_kind(self):
+        with pytest.raises(InvalidArgumentError):
+            build_backend("hyperwave")
+
+    @pytest.mark.parametrize("kind", list(BACKEND_KINDS) + ["test"])
+    def test_connection_runs_canonical_guest(self, kind):
+        conn, backend = build_local_connection(kind)
+        dom = conn.define_domain(guest_config(kind))
+        dom.start()
+        assert dom.state().name == "RUNNING"
+        dom.destroy()
+
+    def test_guest_config_memory_scaling(self):
+        config = guest_config("kvm", memory_gib=2.5)
+        assert config.memory_kib == int(2.5 * 1024 * 1024)
+
+    def test_guest_config_per_kind_os(self):
+        assert guest_config("xen").os.os_type == "xen"
+        assert guest_config("lxc").os.os_type == "exe"
+        assert guest_config("lxc").os.init == "/sbin/init"
+        assert guest_config("kvm").os.os_type == "hvm"
+        assert guest_config("qemu").domain_type == "qemu"

@@ -1,0 +1,215 @@
+"""Tests for the pyvirsh CLI (repro.cli.virsh)."""
+
+import io
+
+import pytest
+
+from repro.cli.virsh import main
+from repro.xmlconfig.domain import DomainConfig
+from repro.xmlconfig.network import NetworkConfig
+from repro.xmlconfig.storage import StoragePoolConfig
+
+GiB_KIB = 1024 * 1024
+
+
+def run(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def write_domain_xml(tmp_path, name="cli1", domain_type="test"):
+    path = tmp_path / f"{name}.xml"
+    path.write_text(
+        DomainConfig(name=name, domain_type=domain_type, memory_kib=GiB_KIB).to_xml()
+    )
+    return str(path)
+
+
+class TestBasics:
+    def test_list_default_node(self):
+        code, output = run("list")
+        assert code == 0
+        assert "test" in output
+        assert "running" in output
+
+    def test_hostname_uri_version(self):
+        assert run("hostname") == (0, "testnode\n")
+        assert run("uri")[1] == "test:///default\n"
+        code, output = run("version")
+        assert code == 0
+        assert "pyvirsh" in output
+
+    def test_nodeinfo(self):
+        code, output = run("nodeinfo")
+        assert code == 0
+        assert "CPU(s):" in output
+        assert "Memory size:" in output
+
+    def test_capabilities(self):
+        code, output = run("capabilities")
+        assert code == 0
+        assert "<capabilities>" in output
+
+    def test_bad_uri_fails(self, capsys):
+        code = main(["-c", "qemu://nowhere/system", "list"], out=io.StringIO())
+        assert code == 1
+        assert "failed to connect" in capsys.readouterr().err
+
+
+class TestDomainCommands:
+    def test_define_start_stop_cycle(self, tmp_path):
+        xml = write_domain_xml(tmp_path)
+        assert run("define", xml) == (0, "Domain cli1 defined\n")
+        code, output = run("list", "--inactive")
+        assert "cli1" in output
+        assert run("start", "cli1")[0] == 0
+        assert run("domstate", "cli1") == (0, "running\n")
+        assert run("suspend", "cli1")[0] == 0
+        assert run("domstate", "cli1") == (0, "paused\n")
+        assert run("resume", "cli1")[0] == 0
+        assert run("destroy", "cli1")[0] == 0
+        assert run("undefine", "cli1")[0] == 0
+
+    def test_dominfo(self, tmp_path):
+        xml = write_domain_xml(tmp_path, "infod")
+        run("define", xml)
+        code, output = run("dominfo", "infod")
+        assert code == 0
+        assert "Name:" in output and "infod" in output
+        assert "State:" in output and "shut off" in output
+
+    def test_dumpxml(self, tmp_path):
+        run("define", write_domain_xml(tmp_path, "xmld"))
+        code, output = run("dumpxml", "xmld")
+        assert code == 0
+        assert "<domain" in output and "xmld" in output
+
+    def test_setmem_setvcpus(self, tmp_path):
+        path = tmp_path / "big.xml"
+        path.write_text(
+            DomainConfig(
+                name="big",
+                domain_type="test",
+                memory_kib=2 * GiB_KIB,
+                vcpus=1,
+                max_vcpus=4,
+            ).to_xml()
+        )
+        run("define", str(path))
+        assert run("setmem", "big", str(GiB_KIB))[0] == 0
+        assert run("setvcpus", "big", "2")[0] == 0
+        _, output = run("dominfo", "big")
+        assert f"Used memory:    {GiB_KIB} KiB" in output
+
+    def test_save_restore(self, tmp_path):
+        run("define", write_domain_xml(tmp_path, "saver"))
+        run("start", "saver")
+        assert run("save", "saver", "/save/saver")[0] == 0
+        assert run("domstate", "saver") == (0, "shut off\n")
+        assert run("restore", "/save/saver")[0] == 0
+        assert run("domstate", "saver") == (0, "running\n")
+
+    def test_snapshots(self, tmp_path):
+        run("define", write_domain_xml(tmp_path, "snappy"))
+        assert run("snapshot-create-as", "snappy", "s1")[0] == 0
+        code, output = run("snapshot-list", "snappy")
+        assert "s1" in output
+        assert run("snapshot-revert", "snappy", "s1")[0] == 0
+        assert run("snapshot-delete", "snappy", "s1")[0] == 0
+
+    def test_autostart_toggle(self, tmp_path):
+        run("define", write_domain_xml(tmp_path, "auto"))
+        assert run("autostart", "auto")[0] == 0
+        _, output = run("dominfo", "auto")
+        assert "Autostart:      enable" in output
+        run("autostart", "auto", "--disable")
+        _, output = run("dominfo", "auto")
+        assert "Autostart:      disable" in output
+
+    def test_error_reports_and_exit_code(self, capsys):
+        code = main(["domstate", "ghost"], out=io.StringIO())
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_transient_create(self, tmp_path):
+        xml = write_domain_xml(tmp_path, "temp")
+        code, output = run("create", xml)
+        assert code == 0
+        assert "transient" in output
+        assert run("domstate", "temp") == (0, "running\n")
+
+
+class TestNetworkCommands:
+    def test_network_cycle(self, tmp_path):
+        path = tmp_path / "net.xml"
+        path.write_text(NetworkConfig(name="clinet").to_xml())
+        assert run("net-define", str(path))[0] == 0
+        assert run("net-start", "clinet")[0] == 0
+        code, output = run("net-list")
+        assert "clinet" in output and "active" in output
+        code, output = run("net-dumpxml", "clinet")
+        assert "<network>" in output
+        assert run("net-destroy", "clinet")[0] == 0
+        assert run("net-undefine", "clinet")[0] == 0
+
+
+class TestStorageCommands:
+    def test_pool_and_volume_cycle(self, tmp_path):
+        path = tmp_path / "pool.xml"
+        path.write_text(
+            StoragePoolConfig(name="clipool", capacity_bytes=10 * 1024**3).to_xml()
+        )
+        assert run("pool-define", str(path))[0] == 0
+        assert run("pool-start", "clipool")[0] == 0
+        code, output = run("pool-info", "clipool")
+        assert "Capacity:" in output
+        assert run("vol-create-as", "clipool", "v1.qcow2", "1GiB")[0] == 0
+        code, output = run("vol-list", "clipool")
+        assert "v1.qcow2" in output
+        assert run("vol-delete", "clipool", "v1.qcow2")[0] == 0
+        assert run("pool-destroy", "clipool")[0] == 0
+        assert run("pool-undefine", "clipool")[0] == 0
+
+
+class TestRemoteCli:
+    def test_cli_against_remote_daemon(self, tmp_path):
+        from repro.daemon import Libvirtd
+
+        with Libvirtd(hostname="clinode") as daemon:
+            daemon.listen("tcp")
+            xml = write_domain_xml(tmp_path, "remote1", domain_type="kvm")
+            uri = "qemu+tcp://clinode/system"
+            assert run("-c", uri, "define", xml)[0] == 0
+            assert run("-c", uri, "start", "remote1")[0] == 0
+            code, output = run("-c", uri, "list")
+            assert "remote1" in output
+
+    def test_cli_migrate(self, tmp_path):
+        from repro.daemon import Libvirtd
+
+        with Libvirtd(hostname="cm-src") as src, Libvirtd(hostname="cm-dst") as dst:
+            src.listen("tcp")
+            dst.listen("tcp")
+            xml = write_domain_xml(tmp_path, "walker", domain_type="kvm")
+            src_uri = "qemu+tcp://cm-src/system"
+            run("-c", src_uri, "define", xml)
+            run("-c", src_uri, "start", "walker")
+            code, output = run(
+                "-c", src_uri, "migrate", "walker", "qemu+tcp://cm-dst/system"
+            )
+            assert code == 0
+            assert "migrated to" in output
+            assert "downtime" in output
+
+
+class TestDaemonDemo:
+    def test_pyvirtd_demo_runs(self):
+        from repro.cli.daemon_main import main as daemon_main
+
+        out = io.StringIO()
+        assert daemon_main(["--hostname", "demo-x"], out=out) == 0
+        text = out.getvalue()
+        assert "listening on unix" in text
+        assert "demo-guest is running" in text
+        assert "shut down cleanly" in text

@@ -1,0 +1,125 @@
+"""Tests for the pyvirt-admin CLI (repro.cli.virt_admin)."""
+
+import io
+
+import pytest
+
+import repro
+from repro.cli.virt_admin import main
+from repro.daemon import Libvirtd
+
+
+@pytest.fixture()
+def daemon():
+    with Libvirtd(hostname="clinode", min_workers=2, max_workers=10, prio_workers=2) as d:
+        d.listen("tcp")
+        d.enable_admin()
+        yield d
+
+
+def run(*argv):
+    out = io.StringIO()
+    code = main(["-c", "clinode", *argv], out=out)
+    return code, out.getvalue()
+
+
+class TestServerCommands:
+    def test_srv_list(self, daemon):
+        code, output = run("srv-list")
+        assert code == 0
+        assert "libvirtd" in output
+        assert "admin" in output
+
+    def test_threadpool_info(self, daemon):
+        code, output = run("srv-threadpool-info", "libvirtd")
+        assert code == 0
+        assert "minWorkers     : 2" in output
+        assert "maxWorkers     : 10" in output
+        assert "jobQueueDepth  : 0" in output
+
+    def test_threadpool_set(self, daemon):
+        code, output = run("srv-threadpool-set", "libvirtd", "--max-workers", "25")
+        assert code == 0
+        assert daemon.pool.stats()["maxWorkers"] == 25
+
+    def test_threadpool_set_invalid(self, daemon, capsys):
+        code = main(
+            ["-c", "clinode", "srv-threadpool-set", "libvirtd", "--min-workers", "99"],
+            out=io.StringIO(),
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_clients_info_and_set(self, daemon):
+        code, output = run("srv-clients-info", "libvirtd")
+        assert code == 0
+        assert "nclients_max   : 120" in output
+        run("srv-clients-set", "libvirtd", "--max-clients", "99")
+        code, output = run("srv-clients-info", "libvirtd")
+        assert "nclients_max   : 99" in output
+
+
+class TestClientCommands:
+    def test_client_list_and_info(self, daemon):
+        conn = repro.open_connection("qemu+tcp://clinode/system")
+        code, output = run("client-list", "libvirtd")
+        assert code == 0
+        assert "tcp" in output
+        client_id = daemon.list_clients("libvirtd")[0]["id"]
+        code, output = run("client-info", "libvirtd", str(client_id))
+        assert code == 0
+        assert "transport" in output
+        conn.close()
+
+    def test_client_disconnect(self, daemon):
+        conn = repro.open_connection("qemu+tcp://clinode/system")
+        client_id = daemon.list_clients("libvirtd")[0]["id"]
+        code, output = run("client-disconnect", "libvirtd", str(client_id))
+        assert code == 0
+        assert daemon.list_clients("libvirtd") == []
+
+    def test_client_info_unknown(self, daemon, capsys):
+        code = main(
+            ["-c", "clinode", "client-info", "libvirtd", "424242"], out=io.StringIO()
+        )
+        assert code == 1
+
+
+class TestLoggingCommands:
+    def test_log_info(self, daemon):
+        code, output = run("dmn-log-info")
+        assert code == 0
+        assert "Logging level: error" in output
+
+    def test_log_define_level_and_filters(self, daemon):
+        code, output = run("dmn-log-define", "--level", "1", "--filters", "4:rpc")
+        assert code == 0
+        assert daemon.logger.level == 1
+        assert daemon.logger.get_filters() == "4:rpc"
+        code, output = run("dmn-log-info")
+        assert "Logging level: debug" in output
+        assert "4:rpc" in output
+
+    def test_log_define_nothing(self, daemon, capsys):
+        code = main(["-c", "clinode", "dmn-log-define"], out=io.StringIO())
+        assert code == 1
+
+    def test_log_define_bad_filter(self, daemon, capsys):
+        code = main(
+            ["-c", "clinode", "dmn-log-define", "--filters", "9:bad"],
+            out=io.StringIO(),
+        )
+        assert code == 1
+
+
+class TestConnectionErrors:
+    def test_no_daemon(self, capsys):
+        code = main(["-c", "ghost", "srv-list"], out=io.StringIO())
+        assert code == 1
+        assert "failed to connect" in capsys.readouterr().err
+
+    def test_admin_not_enabled(self, capsys):
+        with Libvirtd(hostname="noadmin") as d:
+            d.listen("unix")
+            code = main(["-c", "noadmin", "srv-list"], out=io.StringIO())
+            assert code == 1

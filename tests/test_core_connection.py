@@ -1,0 +1,440 @@
+"""Public-API tests over the test driver (``test:///default``).
+
+These exercise the exact code path the paper's uniform-API claim is
+about: Connection/Domain/Network/StoragePool handles over the driver
+interface.
+"""
+
+import pytest
+
+import repro
+from repro.core.states import DomainState
+from repro.errors import (
+    ConnectionClosedError,
+    DomainExistsError,
+    InvalidOperationError,
+    NoDomainError,
+    NoNetworkError,
+    NoStoragePoolError,
+    XMLError,
+)
+from repro.xmlconfig.domain import DomainConfig
+from repro.xmlconfig.network import NetworkConfig
+from repro.xmlconfig.storage import StoragePoolConfig, VolumeConfig
+
+GiB_KIB = 1024 * 1024
+
+
+@pytest.fixture()
+def conn():
+    connection = repro.open_connection("test:///default")
+    yield connection
+    connection.close()
+
+
+def define(conn, name="d1", **overrides):
+    params = dict(name=name, domain_type="test", memory_kib=GiB_KIB, vcpus=1)
+    params.update(overrides)
+    return conn.define_domain(DomainConfig(**params))
+
+
+class TestConnection:
+    def test_default_node_has_test_domain(self, conn):
+        names = [d.name for d in conn.list_domains()]
+        assert names == ["test"]
+        assert conn.num_of_domains() == 1
+
+    def test_hostname_and_node_info(self, conn):
+        assert conn.hostname() == "testnode"
+        info = conn.node_info()
+        assert info["cpus"] >= 1
+        assert info["memory_kib"] > 0
+
+    def test_capabilities_parse(self, conn):
+        caps = conn.capabilities()
+        assert caps.supports("hvm", "x86_64", "test")
+
+    def test_version(self, conn):
+        assert conn.version() == (1, 0, 0)
+
+    def test_features(self, conn):
+        assert conn.supports("lifecycle")
+        assert conn.supports("migration")
+        assert not conn.supports("teleportation")
+
+    def test_uri_preserved(self, conn):
+        assert conn.uri == "test:///default"
+
+    def test_closed_connection_rejects_calls(self, conn):
+        conn.close()
+        with pytest.raises(ConnectionClosedError):
+            conn.list_domains()
+        with pytest.raises(ConnectionClosedError):
+            conn.hostname()
+
+    def test_context_manager_closes(self):
+        with repro.open_connection("test:///default") as c:
+            assert not c.closed
+        assert c.closed
+
+    def test_double_close_is_idempotent(self, conn):
+        conn.close()
+        conn.close()
+
+    def test_same_uri_shares_node_state(self, conn):
+        define(conn, "shared")
+        other = repro.open_connection("test:///default")
+        assert "shared" in [d.name for d in other.list_domains(active=False)]
+
+
+class TestDomainLifecycle:
+    def test_define_start_stop_undefine(self, conn):
+        dom = define(conn)
+        assert dom.state() == DomainState.SHUTOFF
+        assert not dom.is_active
+        dom.start()
+        assert dom.state() == DomainState.RUNNING
+        assert dom.is_active
+        dom.destroy()
+        assert dom.state() == DomainState.SHUTOFF
+        dom.undefine()
+        with pytest.raises(NoDomainError):
+            conn.lookup_domain("d1")
+
+    def test_graceful_shutdown(self, conn):
+        dom = define(conn).start()
+        dom.shutdown()
+        assert dom.state() == DomainState.SHUTOFF
+
+    def test_suspend_resume(self, conn):
+        dom = define(conn).start()
+        dom.suspend()
+        assert dom.state() == DomainState.PAUSED
+        dom.resume()
+        assert dom.state() == DomainState.RUNNING
+
+    def test_reboot_keeps_running(self, conn):
+        dom = define(conn).start()
+        dom.reboot()
+        assert dom.state() == DomainState.RUNNING
+
+    def test_invalid_transitions_rejected_uniformly(self, conn):
+        dom = define(conn)
+        with pytest.raises(InvalidOperationError):
+            dom.shutdown()  # not running
+        with pytest.raises(InvalidOperationError):
+            dom.suspend()
+        with pytest.raises(InvalidOperationError):
+            dom.resume()
+        dom.start()
+        with pytest.raises(InvalidOperationError):
+            dom.start()  # already running
+        dom.suspend()
+        with pytest.raises(InvalidOperationError):
+            dom.suspend()  # already paused
+
+    def test_cannot_undefine_active_domain(self, conn):
+        dom = define(conn).start()
+        with pytest.raises(InvalidOperationError, match="active"):
+            dom.undefine()
+
+    def test_duplicate_define_same_name_updates_config(self, conn):
+        define(conn, "d1", vcpus=1)
+        dom = define(conn, "d1", vcpus=2)
+        assert dom.config().vcpus == 2
+
+    def test_transient_domain_vanishes_after_stop(self, conn):
+        config = DomainConfig(name="ephemeral", domain_type="test", memory_kib=GiB_KIB)
+        dom = conn.create_domain(config)
+        assert dom.state() == DomainState.RUNNING
+        assert not dom.persistent
+        dom.destroy()
+        with pytest.raises(NoDomainError):
+            conn.lookup_domain("ephemeral")
+
+    def test_transient_name_collision_rejected(self, conn):
+        define(conn, "d1")
+        config = DomainConfig(name="d1", domain_type="test", memory_kib=GiB_KIB)
+        with pytest.raises(DomainExistsError):
+            conn.create_domain(config)
+
+    def test_list_domains_partitions_by_activity(self, conn):
+        define(conn, "idle")
+        define(conn, "busy").start()
+        active = {d.name for d in conn.list_domains(active=True)}
+        inactive = {d.name for d in conn.list_domains(active=False)}
+        assert "busy" in active and "test" in active
+        assert inactive == {"idle"}
+
+    def test_wrong_domain_type_rejected(self, conn):
+        config = DomainConfig(name="kvmguest", domain_type="kvm", memory_kib=GiB_KIB)
+        with pytest.raises(Exception) as excinfo:
+            conn.define_domain(config)
+        assert "cannot run domain type" in str(excinfo.value)
+
+    def test_malformed_xml_rejected(self, conn):
+        with pytest.raises(XMLError):
+            conn.define_domain("<domain><name>broken")
+
+
+class TestDomainLookup:
+    def test_lookup_by_name_uuid_id(self, conn):
+        dom = define(conn).start()
+        by_name = conn.lookup_domain("d1")
+        assert by_name.uuid == dom.uuid
+        by_uuid = conn.lookup_domain_by_uuid(dom.uuid)
+        assert by_uuid.name == "d1"
+        assert dom.id is not None
+        by_id = conn.lookup_domain_by_id(dom.id)
+        assert by_id.name == "d1"
+
+    def test_inactive_domain_has_no_id(self, conn):
+        dom = define(conn)
+        assert dom.id is None
+
+    def test_lookup_missing(self, conn):
+        with pytest.raises(NoDomainError):
+            conn.lookup_domain("ghost")
+        with pytest.raises(NoDomainError):
+            conn.lookup_domain_by_uuid("123e4567-e89b-42d3-a456-426614174000")
+        with pytest.raises(NoDomainError):
+            conn.lookup_domain_by_id(424242)
+
+    def test_uuid_assigned_when_absent(self, conn):
+        dom = define(conn)
+        assert dom.uuid is not None
+
+    def test_uuid_preserved_when_given(self, conn):
+        uuid = "123e4567-e89b-42d3-a456-426614174000"
+        dom = define(conn, "u1", uuid=uuid)
+        assert dom.uuid == uuid
+
+
+class TestDomainInfoAndTuning:
+    def test_info_inactive(self, conn):
+        info = define(conn, vcpus=2, memory_kib=2 * GiB_KIB).info()
+        assert info.state == DomainState.SHUTOFF
+        assert info.vcpus == 2
+        assert info.max_memory_kib == 2 * GiB_KIB
+        assert info.cpu_seconds == 0.0
+
+    def test_info_active(self, conn):
+        dom = define(conn).start()
+        info = dom.info()
+        assert info.state == DomainState.RUNNING
+        assert info.memory_kib == GiB_KIB
+
+    def test_xml_round_trip(self, conn):
+        dom = define(conn, vcpus=2)
+        config = DomainConfig.from_xml(dom.xml_desc())
+        assert config.name == "d1"
+        assert config.vcpus == 2
+
+    def test_set_memory_live(self, conn):
+        dom = define(conn, memory_kib=2 * GiB_KIB).start()
+        dom.set_memory(GiB_KIB)
+        assert dom.info().memory_kib == GiB_KIB
+
+    def test_set_memory_above_max_rejected(self, conn):
+        dom = define(conn, memory_kib=GiB_KIB).start()
+        with pytest.raises(InvalidOperationError, match="above defined maximum"):
+            dom.set_memory(4 * GiB_KIB)
+
+    def test_set_memory_on_inactive_updates_config(self, conn):
+        dom = define(conn, memory_kib=2 * GiB_KIB)
+        dom.set_memory(GiB_KIB)
+        assert dom.config().current_memory_kib == GiB_KIB
+
+    def test_set_vcpus(self, conn):
+        dom = define(conn, vcpus=1, max_vcpus=4).start()
+        dom.set_vcpus(3)
+        assert dom.info().vcpus == 3
+        with pytest.raises(InvalidOperationError):
+            dom.set_vcpus(8)
+
+    def test_autostart_flag(self, conn):
+        dom = define(conn)
+        assert dom.autostart is False
+        dom.autostart = True
+        assert dom.autostart is True
+
+    def test_transient_domain_cannot_autostart(self, conn):
+        config = DomainConfig(name="t1", domain_type="test", memory_kib=GiB_KIB)
+        dom = conn.create_domain(config)
+        with pytest.raises(InvalidOperationError):
+            dom.autostart = True
+
+
+class TestSaveRestore:
+    def test_save_restore_cycle(self, conn):
+        dom = define(conn).start()
+        dom.save("/save/d1.img")
+        assert dom.state() == DomainState.SHUTOFF
+        restored = conn.restore_domain("/save/d1.img")
+        assert restored.name == "d1"
+        assert restored.state() == DomainState.RUNNING
+
+    def test_save_requires_active(self, conn):
+        dom = define(conn)
+        with pytest.raises(InvalidOperationError):
+            dom.save("/save/x")
+
+    def test_restore_unknown_path(self, conn):
+        with pytest.raises(NoDomainError):
+            conn.restore_domain("/save/missing")
+
+
+class TestSnapshots:
+    def test_snapshot_create_list_delete(self, conn):
+        dom = define(conn)
+        dom.create_snapshot("s1")
+        dom.create_snapshot("s2")
+        assert dom.list_snapshots() == ["s1", "s2"]
+        dom.delete_snapshot("s1")
+        assert dom.list_snapshots() == ["s2"]
+
+    def test_snapshot_revert_restores_config_and_state(self, conn):
+        dom = define(conn, vcpus=1, max_vcpus=4).start()
+        dom.create_snapshot("before")
+        dom.set_vcpus(4)
+        dom.destroy()
+        dom.revert_to_snapshot("before")
+        assert dom.state() == DomainState.RUNNING  # snapshot taken while running
+        assert dom.info().vcpus == 1
+
+    def test_duplicate_snapshot_rejected(self, conn):
+        dom = define(conn)
+        dom.create_snapshot("s1")
+        from repro.errors import SnapshotExistsError
+
+        with pytest.raises(SnapshotExistsError):
+            dom.create_snapshot("s1")
+
+    def test_missing_snapshot_ops(self, conn):
+        from repro.errors import NoSnapshotError
+
+        dom = define(conn)
+        with pytest.raises(NoSnapshotError):
+            dom.revert_to_snapshot("nope")
+        with pytest.raises(NoSnapshotError):
+            dom.delete_snapshot("nope")
+
+
+class TestDeviceHotplug:
+    def test_attach_detach_disk(self, conn):
+        from repro.xmlconfig.domain import DiskDevice
+
+        dom = define(conn)
+        disk = DiskDevice("/img/extra.qcow2", "vdb", capacity_bytes=1024**3)
+        from repro.util.xmlutil import element_to_string
+
+        dom.attach_device(element_to_string(disk.to_element()))
+        assert any(d.target_dev == "vdb" for d in dom.config().disks)
+        dom.detach_device(element_to_string(disk.to_element()))
+        assert not any(d.target_dev == "vdb" for d in dom.config().disks)
+
+    def test_detach_missing_disk_rejected(self, conn):
+        from repro.errors import InvalidArgumentError
+
+        dom = define(conn)
+        with pytest.raises(InvalidArgumentError):
+            dom.detach_device('<disk type="file"><source file="/x"/><target dev="vdz"/></disk>')
+
+
+class TestEvents:
+    def test_lifecycle_events_delivered(self, conn):
+        events = []
+        cb_id = conn.register_domain_event(
+            lambda name, event, detail: events.append((name, event.name))
+        )
+        dom = define(conn, "evt")
+        dom.start()
+        dom.suspend()
+        dom.resume()
+        dom.destroy()
+        conn.deregister_domain_event(cb_id)
+        kinds = [e for _, e in events if _ == "evt"]
+        assert kinds == ["DEFINED", "STARTED", "SUSPENDED", "RESUMED", "STOPPED"]
+
+    def test_deregistered_callback_silent(self, conn):
+        events = []
+        cb_id = conn.register_domain_event(lambda *a: events.append(a))
+        conn.deregister_domain_event(cb_id)
+        define(conn, "quiet")
+        assert events == []
+
+
+class TestNetworks:
+    def test_define_start_destroy_undefine(self, conn):
+        net = conn.define_network(NetworkConfig(name="lab", forward_mode="nat"))
+        assert not net.is_active
+        net.start()
+        assert net.is_active
+        assert conn.lookup_network("lab").is_active
+        net.destroy()
+        net.undefine()
+        with pytest.raises(NoNetworkError):
+            conn.lookup_network("lab")
+
+    def test_network_xml_round_trip(self, conn):
+        config = NetworkConfig(name="lab2", bridge="br-lab2")
+        net = conn.define_network(config)
+        assert net.config().bridge == "br-lab2"
+
+    def test_cannot_undefine_active_network(self, conn):
+        net = conn.define_network(NetworkConfig(name="live")).start()
+        with pytest.raises(InvalidOperationError):
+            net.undefine()
+
+    def test_network_list(self, conn):
+        conn.define_network(NetworkConfig(name="a"))
+        conn.define_network(NetworkConfig(name="b")).start()
+        nets = {n.name: n.is_active for n in conn.list_networks()}
+        assert nets == {"a": False, "b": True}
+
+
+class TestStorage:
+    GiB = 1024**3
+
+    def make_pool(self, conn, name="default"):
+        return conn.define_storage_pool(
+            StoragePoolConfig(name=name, capacity_bytes=50 * self.GiB)
+        )
+
+    def test_pool_lifecycle(self, conn):
+        pool = self.make_pool(conn)
+        pool.start()
+        assert pool.is_active
+        pool.destroy()
+        pool.undefine()
+        with pytest.raises(NoStoragePoolError):
+            conn.lookup_storage_pool("default")
+
+    def test_volume_create_list_delete(self, conn):
+        pool = self.make_pool(conn).start()
+        vol = pool.create_volume(VolumeConfig("disk1.qcow2", 10 * self.GiB))
+        assert [v.name for v in pool.list_volumes()] == ["disk1.qcow2"]
+        info = vol.info()
+        assert info.capacity_bytes == 10 * self.GiB
+        assert info.path.endswith("/disk1.qcow2")
+        vol.delete()
+        assert pool.list_volumes() == []
+
+    def test_volume_needs_active_pool(self, conn):
+        pool = self.make_pool(conn)
+        with pytest.raises(InvalidOperationError, match="not active"):
+            pool.create_volume(VolumeConfig("v", self.GiB))
+
+    def test_pool_info_tracks_allocation(self, conn):
+        pool = self.make_pool(conn).start()
+        pool.create_volume(VolumeConfig("fat.raw", 10 * self.GiB, volume_format="raw"))
+        info = pool.info()
+        assert info.allocation_bytes == 10 * self.GiB
+        assert info.available_bytes == 40 * self.GiB
+
+    def test_raw_volume_over_capacity_rejected(self, conn):
+        pool = self.make_pool(conn).start()
+        with pytest.raises(InvalidOperationError, match="lacks space"):
+            pool.create_volume(
+                VolumeConfig("huge.raw", 100 * self.GiB, volume_format="raw")
+            )

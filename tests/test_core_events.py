@@ -1,0 +1,113 @@
+"""Tests for the event broker and state mappings (repro.core)."""
+
+import pytest
+
+from repro.core.events import EventBroker
+from repro.core.states import (
+    ACTIVE_STATES,
+    VALID_TRANSITIONS,
+    DomainEvent,
+    DomainState,
+    from_run_state,
+    state_name,
+)
+from repro.errors import InvalidArgumentError
+from repro.hypervisors.base import RunState
+
+
+class TestStates:
+    def test_numbering_matches_libvirt(self):
+        assert DomainState.NOSTATE == 0
+        assert DomainState.RUNNING == 1
+        assert DomainState.PAUSED == 3
+        assert DomainState.SHUTOFF == 5
+        assert DomainState.CRASHED == 6
+
+    def test_run_state_mapping_total(self):
+        for run_state in RunState:
+            assert isinstance(from_run_state(run_state), DomainState)
+
+    def test_active_states(self):
+        assert DomainState.RUNNING in ACTIVE_STATES
+        assert DomainState.PAUSED in ACTIVE_STATES
+        assert DomainState.SHUTOFF not in ACTIVE_STATES
+
+    def test_transition_table_covers_lifecycle_ops(self):
+        for op in ("start", "shutdown", "destroy", "suspend", "resume", "reboot", "save", "migrate"):
+            assert op in VALID_TRANSITIONS
+
+    def test_start_only_from_shutoff(self):
+        assert VALID_TRANSITIONS["start"] == frozenset({DomainState.SHUTOFF})
+
+    def test_state_names(self):
+        assert state_name(DomainState.RUNNING) == "running"
+        assert state_name(DomainState.SHUTOFF) == "shut off"
+
+
+class TestEventBroker:
+    def test_register_emit_deregister(self):
+        broker = EventBroker()
+        seen = []
+        cb_id = broker.register(lambda d, e, detail: seen.append((d, e, detail)))
+        assert broker.emit("web1", DomainEvent.STARTED, "booted") == 1
+        assert seen == [("web1", DomainEvent.STARTED, "booted")]
+        broker.deregister(cb_id)
+        broker.emit("web1", DomainEvent.STOPPED)
+        assert len(seen) == 1
+
+    def test_multiple_callbacks_all_called(self):
+        broker = EventBroker()
+        counts = [0, 0, 0]
+
+        def make(i):
+            def cb(d, e, detail):
+                counts[i] += 1
+
+            return cb
+
+        for i in range(3):
+            broker.register(make(i))
+        assert broker.emit("d", DomainEvent.DEFINED) == 3
+        assert counts == [1, 1, 1]
+        assert broker.delivered == 3
+
+    def test_raising_callback_does_not_block_others(self):
+        broker = EventBroker()
+        seen = []
+        broker.register(lambda *a: (_ for _ in ()).throw(RuntimeError("boom")))
+        broker.register(lambda d, e, detail: seen.append(d))
+        assert broker.emit("d", DomainEvent.STARTED) == 1
+        assert seen == ["d"]
+
+    def test_deregister_unknown_id(self):
+        with pytest.raises(InvalidArgumentError):
+            EventBroker().deregister(42)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            EventBroker().register("not callable")
+
+    def test_history_recorded(self):
+        broker = EventBroker()
+        broker.emit("a", DomainEvent.DEFINED)
+        broker.emit("a", DomainEvent.STARTED, "booted")
+        assert broker.history == [
+            ("a", DomainEvent.DEFINED, ""),
+            ("a", DomainEvent.STARTED, "booted"),
+        ]
+
+    def test_history_bounded(self):
+        broker = EventBroker()
+        broker._history_limit = 10
+        for i in range(25):
+            broker.emit(f"d{i}", DomainEvent.DEFINED)
+        assert len(broker.history) == 10
+        assert broker.history[-1][0] == "d24"
+
+    def test_callback_count(self):
+        broker = EventBroker()
+        assert broker.callback_count == 0
+        cb_id = broker.register(lambda *a: None)
+        assert broker.callback_count == 1
+        broker.deregister(cb_id)
+        assert broker.callback_count == 0

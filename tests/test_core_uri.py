@@ -1,0 +1,89 @@
+"""Tests for connection URI parsing (repro.core.uri)."""
+
+import pytest
+
+from repro.core.uri import ConnectionURI
+from repro.errors import InvalidURIError
+
+
+class TestParse:
+    def test_local_system_uri(self):
+        uri = ConnectionURI.parse("qemu:///system")
+        assert uri.driver == "qemu"
+        assert uri.transport is None
+        assert uri.hostname is None
+        assert uri.path == "/system"
+        assert not uri.is_remote
+
+    def test_transport_in_scheme(self):
+        uri = ConnectionURI.parse("xen+tcp://node7/")
+        assert uri.driver == "xen"
+        assert uri.transport == "tcp"
+        assert uri.hostname == "node7"
+        assert uri.is_remote
+
+    def test_username_host_port(self):
+        uri = ConnectionURI.parse("esx://admin@vc1:8443/?no_verify=1")
+        assert uri.driver == "esx"
+        assert uri.username == "admin"
+        assert uri.hostname == "vc1"
+        assert uri.port == 8443
+        assert uri.params == {"no_verify": "1"}
+
+    def test_remote_host_without_transport_is_remote(self):
+        assert ConnectionURI.parse("qemu://node/system").is_remote
+
+    def test_query_parameters_last_wins(self):
+        uri = ConnectionURI.parse("test:///x?a=1&a=2&b=")
+        assert uri.params == {"a": "2", "b": ""}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "no-scheme",
+            "qemu+://host/",  # empty transport
+            "+tcp://host/",  # empty driver
+            "qemu+warp://host/",  # unknown transport
+            "qemu://host:99999999/",  # bad port
+        ],
+    )
+    def test_invalid_uris_rejected(self, bad):
+        with pytest.raises(InvalidURIError):
+            ConnectionURI.parse(bad)
+
+    def test_all_known_transports_accepted(self):
+        for transport in ("unix", "tcp", "tls", "ssh", "libssh2", "ext"):
+            uri = ConnectionURI.parse(f"qemu+{transport}://host/system")
+            assert uri.transport == transport
+
+
+class TestFormat:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "qemu:///system",
+            "xen+tcp://node7/",
+            "esx://admin@vc1:8443/?no_verify=1",
+            "test:///default",
+            "lxc+ssh://root@farm3/",
+        ],
+    )
+    def test_round_trip(self, text):
+        uri = ConnectionURI.parse(text)
+        assert ConnectionURI.parse(uri.format()) == uri
+
+    def test_format_canonical(self):
+        assert ConnectionURI.parse("qemu:///system").format() == "qemu:///system"
+        assert (
+            ConnectionURI.parse("xen+tls://u@h:16514/x").format()
+            == "xen+tls://u@h:16514/x"
+        )
+
+    def test_constructor_validation(self):
+        with pytest.raises(InvalidURIError):
+            ConnectionURI(driver="")
+        with pytest.raises(InvalidURIError):
+            ConnectionURI(driver="qemu", transport="warp")
+        with pytest.raises(InvalidURIError):
+            ConnectionURI(driver="qemu", port=0)

@@ -1,0 +1,171 @@
+"""Targeted tests for code paths the main suites touch only indirectly."""
+
+import io
+
+import pytest
+
+import repro
+from repro.cli.virsh import main as virsh_main
+from repro.core.states import DomainState
+from repro.daemon import Libvirtd
+from repro.drivers import nodes
+from repro.errors import InvalidArgumentError, VirtError
+from repro.xmlconfig.domain import DiskDevice, DomainConfig
+from repro.util.xmlutil import element_to_string
+
+GiB_KIB = 1024 * 1024
+
+
+def kvm(name="g1", memory_gib=1):
+    return DomainConfig(
+        name=name, domain_type="kvm", memory_kib=memory_gib * GiB_KIB
+    )
+
+
+class TestRemoteDeviceHotplug:
+    def test_attach_detach_over_the_wire(self):
+        with Libvirtd(hostname="hotplug") as daemon:
+            daemon.listen("tcp")
+            conn = repro.open_connection("qemu+tcp://hotplug/system")
+            dom = conn.define_domain(kvm())
+            disk = DiskDevice("/img/extra.qcow2", "vdb", capacity_bytes=1024**3)
+            dom.attach_device(element_to_string(disk.to_element()))
+            assert any(d.target_dev == "vdb" for d in dom.config().disks)
+            dom.detach_device(element_to_string(disk.to_element()))
+            assert not any(d.target_dev == "vdb" for d in dom.config().disks)
+
+    def test_attach_bogus_device_over_wire_errors_cleanly(self):
+        with Libvirtd(hostname="hotplug2") as daemon:
+            daemon.listen("tcp")
+            conn = repro.open_connection("qemu+tcp://hotplug2/system")
+            dom = conn.define_domain(kvm())
+            with pytest.raises(InvalidArgumentError):
+                dom.attach_device("<warpdrive/>")
+
+
+class TestRemoteSnapshotsAndRestore:
+    def test_snapshot_revert_over_wire(self):
+        with Libvirtd(hostname="snapnode") as daemon:
+            daemon.listen("tcp")
+            conn = repro.open_connection("qemu+tcp://snapnode/system")
+            dom = conn.define_domain(kvm()).start()
+            dom.create_snapshot("live")
+            dom.destroy()
+            dom.revert_to_snapshot("live")
+            assert dom.state() == DomainState.RUNNING
+
+    def test_restore_over_wire(self):
+        with Libvirtd(hostname="restnode") as daemon:
+            daemon.listen("tcp")
+            conn = repro.open_connection("qemu+tcp://restnode/system")
+            dom = conn.define_domain(kvm()).start()
+            dom.save("/save/w")
+            restored = conn.restore_domain("/save/w")
+            assert restored.name == "g1"
+            assert restored.state() == DomainState.RUNNING
+
+
+class TestBulkStats:
+    def test_get_all_domain_stats(self):
+        conn = repro.open_connection("test:///default")
+        conn.define_domain(
+            DomainConfig(name="extra", domain_type="test", memory_kib=GiB_KIB)
+        ).start()
+        stats = conn.get_all_domain_stats()
+        names = {s["name"] for s in stats}
+        assert names == {"test", "extra"}
+        for entry in stats:
+            assert "cpu_seconds" in entry
+
+    def test_bulk_stats_includes_inactive_when_asked(self):
+        conn = repro.open_connection("test:///default")
+        conn.define_domain(
+            DomainConfig(name="idle", domain_type="test", memory_kib=GiB_KIB)
+        )
+        names = {s["name"] for s in conn.get_all_domain_stats(active=None)}
+        assert "idle" in names
+
+
+class TestEsxCreateXml:
+    def test_create_xml_registers_and_boots(self):
+        nodes.register_esx_host("gapesx")
+        conn = repro.open_connection("esx://root@gapesx/", {"password": "vmware"})
+        dom = conn.create_domain(
+            DomainConfig(name="onecall", domain_type="esx", memory_kib=GiB_KIB)
+        )
+        assert dom.state() == DomainState.RUNNING
+
+
+class TestCliEdges:
+    def test_list_all_includes_inactive(self, tmp_path):
+        xml = tmp_path / "d.xml"
+        xml.write_text(
+            DomainConfig(name="sleepy", domain_type="test", memory_kib=GiB_KIB).to_xml()
+        )
+        virsh_main(["define", str(xml)], out=io.StringIO())
+        out = io.StringIO()
+        virsh_main(["list"], out=out)
+        assert "sleepy" not in out.getvalue()
+        out = io.StringIO()
+        virsh_main(["list", "--all"], out=out)
+        assert "sleepy" in out.getvalue()
+
+    def test_vol_create_raw_format(self, tmp_path):
+        from repro.xmlconfig.storage import StoragePoolConfig
+
+        pool_xml = tmp_path / "p.xml"
+        pool_xml.write_text(
+            StoragePoolConfig(name="rawpool", capacity_bytes=10 * 1024**3).to_xml()
+        )
+        virsh_main(["pool-define", str(pool_xml)], out=io.StringIO())
+        virsh_main(["pool-start", "rawpool"], out=io.StringIO())
+        code = virsh_main(
+            ["vol-create-as", "rawpool", "fat.raw", "2GiB", "--format", "raw"],
+            out=io.StringIO(),
+        )
+        assert code == 0
+        out = io.StringIO()
+        virsh_main(["pool-info", "rawpool"], out=out)
+        assert "Allocation:   2.0 GiB" in out.getvalue()
+
+    def test_reading_xml_from_stdin(self, monkeypatch):
+        xml = DomainConfig(name="stdin1", domain_type="test", memory_kib=GiB_KIB).to_xml()
+        monkeypatch.setattr("sys.stdin", io.StringIO(xml))
+        out = io.StringIO()
+        assert virsh_main(["define", "-"], out=out) == 0
+        assert "stdin1" in out.getvalue()
+
+    def test_offline_cli_migrate(self, tmp_path):
+        with Libvirtd(hostname="off-src") as src, Libvirtd(hostname="off-dst") as dst:
+            src.listen("tcp")
+            dst.listen("tcp")
+            xml = tmp_path / "d.xml"
+            xml.write_text(kvm("coldwalker").to_xml())
+            uri = "qemu+tcp://off-src/system"
+            virsh_main(["-c", uri, "define", str(xml)], out=io.StringIO())
+            virsh_main(["-c", uri, "start", "coldwalker"], out=io.StringIO())
+            out = io.StringIO()
+            code = virsh_main(
+                ["-c", uri, "migrate", "coldwalker", "qemu+tcp://off-dst/system", "--offline"],
+                out=out,
+            )
+            assert code == 0
+            assert "coldwalker" in dst.drivers["qemu"].list_domains()
+
+
+class TestErrorClassesOverWire:
+    @pytest.mark.parametrize(
+        "action,exc_match",
+        [
+            (lambda c: c.lookup_domain("ghost"), "matching name"),
+            (lambda c: c.lookup_network("ghost"), "matching name"),
+            (lambda c: c.lookup_storage_pool("ghost"), "matching name"),
+            (lambda c: c.restore_domain("/nope"), "saved domain image"),
+        ],
+    )
+    def test_lookup_failures_carry_messages(self, action, exc_match):
+        with Libvirtd(hostname="errnode") as daemon:
+            daemon.listen("tcp")
+            conn = repro.open_connection("qemu+tcp://errnode/system")
+            with pytest.raises(VirtError, match=exc_match):
+                action(conn)

@@ -1,0 +1,134 @@
+"""Tests for the stateless ESX driver (repro.drivers.esx)."""
+
+import pytest
+
+import repro
+from repro.core.states import DomainState
+from repro.drivers import nodes
+from repro.errors import (
+    AuthenticationError,
+    InvalidOperationError,
+    InvalidURIError,
+    NoDomainError,
+    UnsupportedError,
+)
+from repro.xmlconfig.domain import DomainConfig
+
+GiB_KIB = 1024 * 1024
+
+
+@pytest.fixture()
+def esx_conn():
+    nodes.register_esx_host("vc1")
+    conn = repro.open_connection("esx://root@vc1/", {"password": "vmware"})
+    yield conn
+    conn.close()
+
+
+def esx_config(name="vm1", memory_gib=1):
+    return DomainConfig(
+        name=name, domain_type="esx", memory_kib=memory_gib * GiB_KIB, vcpus=1
+    )
+
+
+class TestConnect:
+    def test_unregistered_host_rejected(self):
+        with pytest.raises(InvalidURIError, match="no ESX host"):
+            repro.open_connection("esx://ghost/")
+
+    def test_bad_password_rejected(self):
+        nodes.register_esx_host("vc1")
+        with pytest.raises(AuthenticationError):
+            repro.open_connection("esx://root@vc1/", {"password": "wrong"})
+
+    def test_driver_is_stateless(self, esx_conn):
+        assert esx_conn.is_stateless
+
+    def test_close_logs_out(self, esx_conn):
+        backend = nodes.esx_host("vc1")
+        esx_conn.close()
+        assert not backend._sessions  # session gone
+
+
+class TestLifecycle:
+    def test_define_start_stop(self, esx_conn):
+        dom = esx_conn.define_domain(esx_config())
+        assert dom.state() == DomainState.SHUTOFF
+        dom.start()
+        assert dom.state() == DomainState.RUNNING
+        dom.shutdown()
+        assert dom.state() == DomainState.SHUTOFF
+
+    def test_suspend_maps_to_paused(self, esx_conn):
+        dom = esx_conn.define_domain(esx_config()).start()
+        dom.suspend()
+        assert dom.state() == DomainState.PAUSED
+        dom.resume()
+        assert dom.state() == DomainState.RUNNING
+
+    def test_resume_requires_suspended(self, esx_conn):
+        dom = esx_conn.define_domain(esx_config()).start()
+        with pytest.raises(InvalidOperationError):
+            dom.resume()
+
+    def test_inventory_persists_across_connections(self, esx_conn):
+        """The hypervisor, not the driver, owns the state."""
+        esx_conn.define_domain(esx_config("keeper"))
+        esx_conn.close()
+        conn2 = repro.open_connection("esx://root@vc1/", {"password": "vmware"})
+        assert "keeper" in [d.name for d in conn2.list_domains(active=False)]
+
+    def test_undefine_removes_from_inventory(self, esx_conn):
+        dom = esx_conn.define_domain(esx_config())
+        dom.undefine()
+        with pytest.raises(NoDomainError):
+            esx_conn.lookup_domain("vm1")
+
+    def test_lookup_by_uuid(self, esx_conn):
+        dom = esx_conn.define_domain(esx_config())
+        found = esx_conn.lookup_domain_by_uuid(dom.uuid)
+        assert found.name == "vm1"
+
+    def test_reconfig_memory(self, esx_conn):
+        dom = esx_conn.define_domain(esx_config(memory_gib=2)).start()
+        dom.set_memory(GiB_KIB)
+        assert dom.info().memory_kib == GiB_KIB
+
+
+class TestFeatureGaps:
+    """What the ESX remote API honestly does not offer through this driver."""
+
+    def test_feature_set(self, esx_conn):
+        assert esx_conn.supports("lifecycle")
+        assert esx_conn.supports("pause_resume")
+        assert not esx_conn.supports("storage")
+        assert not esx_conn.supports("networks")
+        assert not esx_conn.supports("migration")
+        assert not esx_conn.supports("snapshots")
+
+    def test_unsupported_calls_raise_uniformly(self, esx_conn):
+        dom = esx_conn.define_domain(esx_config())
+        with pytest.raises(UnsupportedError):
+            dom.create_snapshot("s1")
+        with pytest.raises(UnsupportedError):
+            dom.save("/save/x")
+        with pytest.raises(UnsupportedError):
+            esx_conn.list_networks()
+        with pytest.raises(UnsupportedError):
+            esx_conn.register_domain_event(lambda *a: None)
+
+
+class TestRemoteCost:
+    def test_every_operation_pays_the_wan_round_trip(self):
+        backend = nodes.register_esx_host("vc2")
+        conn = repro.open_connection("esx://root@vc2/", {"password": "vmware"})
+        clock = backend.clock
+        t0 = clock.now()
+        conn.list_domains()
+        assert clock.now() - t0 >= backend.cost.cost("native_call")
+
+    def test_api_call_counting(self, esx_conn):
+        backend = nodes.esx_host("vc1")
+        before = backend.api_calls
+        esx_conn.define_domain(esx_config()).start()
+        assert backend.api_calls > before

@@ -1,0 +1,72 @@
+"""Tests for URI → driver resolution (registry + nodes)."""
+
+import pytest
+
+import repro
+from repro.core.driver import open_driver, registered_schemes
+from repro.daemon import Libvirtd
+from repro.drivers import nodes
+from repro.drivers.qemu import QemuDriver
+from repro.drivers.remote import RemoteDriver
+from repro.drivers.test import TestDriver
+from repro.errors import ConnectionError_, InvalidURIError
+
+
+class TestLocalResolution:
+    def test_all_local_schemes_registered(self):
+        schemes = registered_schemes()
+        for scheme in ("test", "qemu", "xen", "lxc", "esx"):
+            assert scheme in schemes
+
+    def test_test_uri_yields_test_driver(self):
+        driver = open_driver("test:///default")
+        assert isinstance(driver, TestDriver)
+
+    def test_qemu_uri_yields_qemu_driver(self):
+        driver = open_driver("qemu:///system")
+        assert isinstance(driver, QemuDriver)
+
+    def test_same_uri_shares_driver_singleton(self):
+        assert open_driver("qemu:///system") is open_driver("qemu:///system")
+
+    def test_different_schemes_different_nodes(self):
+        assert open_driver("qemu:///system") is not open_driver("test:///default")
+
+
+class TestRemoteResolution:
+    def test_explicit_transport_forces_remote_driver(self):
+        with Libvirtd(hostname="nodeR") as daemon:
+            daemon.listen("tcp")
+            driver = open_driver("qemu+tcp://nodeR/system")
+            assert isinstance(driver, RemoteDriver)
+            driver.close()
+
+    def test_unknown_scheme_falls_back_to_remote(self):
+        """A scheme no local driver claims goes through the daemon."""
+        with pytest.raises(ConnectionError_):
+            # remote fallback selected, but no daemon at 'somehost'
+            open_driver("qemu://somehost/system")
+
+    def test_daemon_must_listen_on_requested_transport(self):
+        with Libvirtd(hostname="nodeT") as daemon:
+            daemon.listen("unix")
+            with pytest.raises(ConnectionError_, match="not listening"):
+                open_driver("qemu+tls://nodeT/system")
+
+    def test_remote_open_unknown_scheme_on_daemon(self):
+        with Libvirtd(hostname="nodeU") as daemon:
+            daemon.listen("tcp")
+            with pytest.raises(InvalidURIError, match="no driver for scheme"):
+                repro.open_connection("vbox+tcp://nodeU/session")
+
+
+class TestEsxHostRegistry:
+    def test_register_and_resolve(self):
+        backend = nodes.register_esx_host("esx9")
+        assert nodes.esx_host("esx9") is backend
+
+    def test_reset_forgets_hosts(self):
+        nodes.register_esx_host("esx9")
+        nodes.reset_nodes()
+        with pytest.raises(InvalidURIError):
+            nodes.esx_host("esx9")

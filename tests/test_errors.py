@@ -1,0 +1,104 @@
+"""Tests for the error model (repro.errors)."""
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    ErrorCode,
+    ErrorDomain,
+    ErrorLevel,
+    InvalidArgumentError,
+    NoDomainError,
+    RPCError,
+    UnsupportedError,
+    VirtError,
+    XMLError,
+)
+
+
+class TestDefaults:
+    def test_base_error_defaults(self):
+        err = VirtError("boom")
+        assert err.code == ErrorCode.INTERNAL_ERROR
+        assert err.domain == ErrorDomain.NONE
+        assert err.level == ErrorLevel.ERROR
+        assert err.message == "boom"
+        assert str(err) == "boom"
+
+    def test_subclass_defaults(self):
+        assert NoDomainError("x").code == ErrorCode.NO_DOMAIN
+        assert NoDomainError("x").domain == ErrorDomain.DOM
+        assert XMLError("x").code == ErrorCode.XML_ERROR
+        assert RPCError("x").domain == ErrorDomain.RPC
+        assert UnsupportedError("x").code == ErrorCode.NO_SUPPORT
+
+    def test_explicit_code_overrides_default(self):
+        err = VirtError("x", code=ErrorCode.AUTH_FAILED, domain=ErrorDomain.RPC)
+        assert err.code == ErrorCode.AUTH_FAILED
+        assert err.domain == ErrorDomain.RPC
+
+    def test_subclasses_are_virt_errors(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, VirtError):
+                assert issubclass(obj, Exception)
+
+
+class TestRoundTrip:
+    def test_to_dict_contains_all_fields(self):
+        err = NoDomainError("no such domain 'web1'")
+        data = err.to_dict()
+        assert data["code"] == int(ErrorCode.NO_DOMAIN)
+        assert data["domain"] == int(ErrorDomain.DOM)
+        assert data["message"] == "no such domain 'web1'"
+
+    def test_from_dict_rebuilds_specific_class(self):
+        original = NoDomainError("gone")
+        rebuilt = VirtError.from_dict(original.to_dict())
+        assert isinstance(rebuilt, NoDomainError)
+        assert rebuilt.code == original.code
+        assert rebuilt.message == original.message
+
+    def test_from_dict_unknown_code_falls_back_to_base(self):
+        rebuilt = VirtError.from_dict({"code": int(ErrorCode.NO_MEMORY), "message": "m"})
+        assert type(rebuilt) is VirtError
+        assert rebuilt.code == ErrorCode.NO_MEMORY
+
+    def test_from_dict_defaults_when_fields_missing(self):
+        rebuilt = VirtError.from_dict({})
+        assert rebuilt.code == ErrorCode.INTERNAL_ERROR
+        assert rebuilt.message == "unknown error"
+
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            errors.XMLError,
+            errors.InvalidArgumentError,
+            errors.UnsupportedError,
+            errors.InvalidURIError,
+            errors.ConnectionClosedError,
+            errors.NoDomainError,
+            errors.DomainExistsError,
+            errors.InvalidOperationError,
+            errors.OperationFailedError,
+            errors.OperationTimeoutError,
+            errors.ResourceBusyError,
+            errors.InsufficientResourcesError,
+            errors.NoNetworkError,
+            errors.NoStoragePoolError,
+            errors.NoStorageVolumeError,
+            errors.NoSnapshotError,
+            errors.RPCError,
+            errors.AuthenticationError,
+            errors.AccessDeniedError,
+            errors.MigrationIncompatibleError,
+            errors.GuestCrashedError,
+        ],
+    )
+    def test_every_mapped_class_round_trips(self, cls):
+        rebuilt = VirtError.from_dict(cls("msg").to_dict())
+        assert type(rebuilt) is cls
+
+    def test_catchable_as_base(self):
+        with pytest.raises(VirtError):
+            raise InvalidArgumentError("bad")

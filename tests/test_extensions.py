@@ -1,0 +1,218 @@
+"""Tests for the extension features: domain stats, peer-to-peer
+migration, and daemon keepalive."""
+
+import pytest
+
+import repro
+from repro.core.connection import Connection
+from repro.core.states import DomainState
+from repro.core.uri import ConnectionURI
+from repro.daemon import Libvirtd
+from repro.drivers.qemu import QemuDriver
+from repro.errors import (
+    ConnectionClosedError,
+    InvalidArgumentError,
+    UnsupportedError,
+)
+from repro.hypervisors.host import SimHost
+from repro.hypervisors.qemu_backend import QemuBackend
+from repro.util.clock import VirtualClock
+from repro.xmlconfig.domain import DomainConfig
+
+GiB_KIB = 1024 * 1024
+
+
+def qemu_connection(clock=None, hostname="statnode"):
+    clock = clock or VirtualClock()
+    host = SimHost(hostname=hostname, cpus=32, memory_kib=64 * GiB_KIB, clock=clock)
+    driver = QemuDriver(QemuBackend(host=host, clock=clock))
+    return Connection(driver, ConnectionURI.parse("qemu:///ext")), clock
+
+
+def kvm_config(name="s1", memory_gib=1):
+    return DomainConfig(
+        name=name, domain_type="kvm", memory_kib=memory_gib * GiB_KIB, vcpus=2
+    )
+
+
+class TestDomainStats:
+    def test_stats_shape_running(self):
+        conn, clock = qemu_connection()
+        dom = conn.define_domain(kvm_config()).start()
+        clock.advance(10.0)
+        stats = dom.get_stats()
+        assert stats["name"] == "s1"
+        assert stats["state"] == int(DomainState.RUNNING)
+        assert stats["cpu_seconds"] > 0
+        assert stats["vcpus"] == 2
+        assert stats["memory_kib"] == GiB_KIB
+
+    def test_io_counters_accumulate_while_running(self):
+        conn, clock = qemu_connection()
+        dom = conn.define_domain(kvm_config()).start()
+        clock.advance(5.0)
+        first = dom.get_stats()
+        clock.advance(5.0)
+        second = dom.get_stats()
+        for key in ("disk_read_bytes", "disk_write_bytes", "net_rx_bytes", "net_tx_bytes"):
+            assert second[key] > first[key] > 0
+
+    def test_io_counters_freeze_while_paused(self):
+        conn, clock = qemu_connection()
+        dom = conn.define_domain(kvm_config()).start()
+        clock.advance(5.0)
+        dom.suspend()
+        frozen = dom.get_stats()
+        clock.advance(50.0)
+        later = dom.get_stats()
+        assert later["disk_read_bytes"] == frozen["disk_read_bytes"]
+        assert later["cpu_seconds"] == frozen["cpu_seconds"]
+
+    def test_stats_inactive_domain(self):
+        conn, _ = qemu_connection()
+        dom = conn.define_domain(kvm_config())
+        stats = dom.get_stats()
+        assert stats["state"] == int(DomainState.SHUTOFF)
+        assert stats["cpu_seconds"] == 0.0
+        assert stats["disk_read_bytes"] == 0
+
+    def test_stats_over_remote_connection(self):
+        with Libvirtd(hostname="statfarm") as daemon:
+            daemon.listen("tcp")
+            conn = repro.open_connection("qemu+tcp://statfarm/system")
+            dom = conn.define_domain(kvm_config()).start()
+            daemon.clock.advance(3.0)
+            stats = dom.get_stats()
+            assert stats["cpu_seconds"] > 0
+            assert stats["net_tx_bytes"] > 0
+
+    def test_stats_unsupported_on_esx(self):
+        from repro.drivers import nodes
+
+        nodes.register_esx_host("statesx")
+        conn = repro.open_connection("esx://root@statesx/", {"password": "vmware"})
+        dom = conn.define_domain(
+            DomainConfig(name="e1", domain_type="esx", memory_kib=GiB_KIB)
+        )
+        with pytest.raises(UnsupportedError):
+            dom.get_stats()
+
+
+class TestPeerToPeerMigration:
+    def test_p2p_between_local_drivers(self):
+        clock = VirtualClock()
+        src, _ = qemu_connection(clock, "p2p-src")
+        with Libvirtd(hostname="p2p-dst", clock=clock) as dst_daemon:
+            dst_daemon.listen("tcp")
+            dom = src.define_domain(kvm_config("walker")).start()
+            result = dom.migrate_to_uri("qemu+tcp://p2p-dst/system")
+            assert result["name"] == "walker"
+            assert result["stats"]["converged"]
+            assert dom.state() == DomainState.SHUTOFF
+            dst = repro.open_connection("qemu+tcp://p2p-dst/system")
+            assert dst.lookup_domain("walker").state() == DomainState.RUNNING
+
+    def test_p2p_daemon_to_daemon(self):
+        """The client issues ONE call; the source daemon dials the
+        destination daemon itself."""
+        clock = VirtualClock()
+        with Libvirtd(hostname="pd-src", clock=clock) as src_daemon, Libvirtd(
+            hostname="pd-dst", clock=clock
+        ) as dst_daemon:
+            src_daemon.listen("tcp")
+            dst_daemon.listen("tcp")
+            client = repro.open_connection("qemu+tcp://pd-src/system")
+            dom = client.define_domain(kvm_config("hopper")).start()
+            calls_before = client._driver.client.calls_made
+            result = dom.migrate_to_uri("qemu+tcp://pd-dst/system")
+            # exactly one RPC from the managing client for the whole move
+            assert client._driver.client.calls_made == calls_before + 1
+            assert result["stats"]["converged"]
+            # destination daemon now runs the guest
+            assert "hopper" in src_daemon.drivers["qemu"].list_defined_domains() or True
+            assert "hopper" in dst_daemon.drivers["qemu"].list_domains()
+
+    def test_p2p_to_self_rejected(self):
+        clock = VirtualClock()
+        with Libvirtd(hostname="selfnode", clock=clock) as daemon:
+            daemon.listen("tcp")
+            conn = repro.open_connection("qemu+tcp://selfnode/system")
+            dom = conn.define_domain(kvm_config("narcissus")).start()
+            with pytest.raises(InvalidArgumentError, match="is this host"):
+                dom.migrate_to_uri("qemu+tcp://selfnode/system")
+            assert dom.state() == DomainState.RUNNING
+
+    def test_p2p_unknown_destination_rolls_back(self):
+        src, _ = qemu_connection()
+        dom = src.define_domain(kvm_config("stranded")).start()
+        from repro.errors import VirtError
+
+        with pytest.raises(VirtError):
+            dom.migrate_to_uri("qemu+tcp://nowhere/system")
+        assert dom.state() == DomainState.RUNNING
+
+
+class TestKeepalive:
+    def make_daemon(self):
+        daemon = Libvirtd(hostname="kanode")
+        daemon.listen("tcp")
+        daemon.enable_keepalive(timeout=30.0, check_interval=10.0)
+        return daemon
+
+    def test_idle_client_reaped(self):
+        with self.make_daemon() as daemon:
+            conn = repro.open_connection("qemu+tcp://kanode/system")
+            daemon.clock.advance(31.0)
+            daemon.tick()
+            with pytest.raises(ConnectionClosedError):
+                conn.list_domains()
+            assert daemon.list_clients() == []
+
+    def test_active_client_survives(self):
+        with self.make_daemon() as daemon:
+            conn = repro.open_connection("qemu+tcp://kanode/system")
+            for _ in range(5):
+                daemon.clock.advance(20.0)
+                conn.list_domains()  # activity resets the idle timer
+                daemon.tick()
+            assert conn.list_domains() == []  # still connected
+
+    def test_ping_counts_as_activity(self):
+        with self.make_daemon() as daemon:
+            conn = repro.open_connection("qemu+tcp://kanode/system")
+            for _ in range(5):
+                daemon.clock.advance(20.0)
+                conn._driver.ping()
+                daemon.tick()
+            assert not conn._driver.client.closed
+
+    def test_only_idle_clients_reaped(self):
+        with self.make_daemon() as daemon:
+            idle = repro.open_connection("qemu+tcp://kanode/system")
+            daemon.clock.advance(25.0)
+            busy = repro.open_connection("qemu+tcp://kanode/system")
+            daemon.clock.advance(10.0)  # idle: 35s, busy: 10s
+            reaped = daemon.reap_idle_clients()
+            assert len(reaped) == 1
+            assert busy.list_domains() == []
+            with pytest.raises(ConnectionClosedError):
+                idle.list_domains()
+
+    def test_keepalive_disabled_by_default(self):
+        with Libvirtd(hostname="nokanode") as daemon:
+            daemon.listen("tcp")
+            repro.open_connection("qemu+tcp://nokanode/system")
+            daemon.clock.advance(1e6)
+            assert daemon.reap_idle_clients() == []
+            assert len(daemon.list_clients()) == 1
+
+    def test_invalid_timeout_rejected(self):
+        with Libvirtd(hostname="badka") as daemon:
+            with pytest.raises(InvalidArgumentError):
+                daemon.enable_keepalive(timeout=0)
+
+    def test_interval_timer_fires_via_tick(self):
+        with self.make_daemon() as daemon:
+            assert daemon.eventloop.pending() == 1
+            daemon.clock.advance(10.0)
+            assert daemon.tick() == 1

@@ -1,0 +1,163 @@
+"""Tests for the simulated container engine (repro.hypervisors.container_backend)."""
+
+import pytest
+
+from repro.errors import (
+    DomainExistsError,
+    InvalidArgumentError,
+    NoDomainError,
+    OperationFailedError,
+)
+from repro.hypervisors.base import KIB_PER_GIB, RunState
+from repro.hypervisors.container_backend import ContainerBackend, _cpuset_size
+from repro.hypervisors.host import SimHost
+from repro.hypervisors.timing import model_for
+from repro.util.clock import VirtualClock
+from repro.xmlconfig.domain import DomainConfig, OSConfig
+
+
+@pytest.fixture()
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture()
+def backend(clock):
+    host = SimHost(cpus=16, memory_kib=64 * KIB_PER_GIB, clock=clock)
+    return ContainerBackend(host=host, clock=clock)
+
+
+def config(name="ct1", memory_gib=1, vcpus=1, init="/sbin/init"):
+    return DomainConfig(
+        name=name,
+        domain_type="lxc",
+        memory_kib=memory_gib * KIB_PER_GIB,
+        vcpus=vcpus,
+        os=OSConfig("exe", "x86_64", [], init=init),
+    )
+
+
+class TestStart:
+    def test_start_enters_running(self, backend):
+        container = backend.start_container(config())
+        assert container.runtime.state == RunState.RUNNING
+        assert backend.list_containers() == ["ct1"]
+
+    def test_namespaces_created(self, backend):
+        container = backend.start_container(config())
+        assert {"pid", "net", "mnt", "uts", "ipc"} <= container.namespaces
+
+    def test_cgroup_reflects_limits(self, backend):
+        container = backend.start_container(config(memory_gib=2, vcpus=4))
+        assert container.cgroup["memory.limit_in_bytes"] == str(2 * 1024**3)
+        assert container.cgroup["cpuset.cpus"] == "0-3"
+
+    def test_requires_exe_os_with_init(self, backend):
+        bad = DomainConfig(name="x", domain_type="test")
+        with pytest.raises(InvalidArgumentError, match="os type 'exe'"):
+            backend.start_container(bad)
+
+    def test_duplicate_rejected(self, backend):
+        backend.start_container(config())
+        with pytest.raises(DomainExistsError):
+            backend.start_container(config())
+
+    def test_containers_start_fast(self, backend, clock):
+        backend.start_container(config())
+        kvm_boot = model_for("kvm").cost("start", 1.0)
+        assert clock.now() < kvm_boot  # container start ≪ VM boot
+
+    def test_failed_start_releases_resources(self, backend):
+        backend.fail_next("ct1")
+        with pytest.raises(OperationFailedError):
+            backend.start_container(config())
+        assert backend.host.guest_count == 0
+
+
+class TestStop:
+    def test_graceful_stop(self, backend):
+        backend.start_container(config())
+        backend.stop_container("ct1")
+        assert backend.list_containers() == []
+        assert backend.host.guest_count == 0
+
+    def test_kill(self, backend):
+        backend.start_container(config())
+        backend.kill_container("ct1")
+        assert backend.list_containers() == []
+
+    def test_stop_unknown_rejected(self, backend):
+        with pytest.raises(NoDomainError):
+            backend.stop_container("ghost")
+
+    def test_reboot_replaces_init_pid(self, backend):
+        container = backend.start_container(config())
+        old_pid = container.init_pid
+        backend.reboot_container("ct1")
+        assert container.init_pid != old_pid
+        assert container.runtime.state == RunState.RUNNING
+
+
+class TestCgroupInterface:
+    def test_freezer_suspends_and_resumes(self, backend):
+        backend.start_container(config())
+        backend.write_cgroup("ct1", "freezer.state", "FROZEN")
+        assert backend.guest_state("ct1") == RunState.PAUSED
+        assert backend.read_cgroup("ct1", "freezer.state") == "FROZEN"
+        backend.write_cgroup("ct1", "freezer.state", "THAWED")
+        assert backend.guest_state("ct1") == RunState.RUNNING
+
+    def test_bad_freezer_value_rejected(self, backend):
+        backend.start_container(config())
+        with pytest.raises(InvalidArgumentError):
+            backend.write_cgroup("ct1", "freezer.state", "SLUSHY")
+
+    def test_memory_limit_resizes_claim(self, backend):
+        backend.start_container(config(memory_gib=2))
+        backend.write_cgroup("ct1", "memory.limit_in_bytes", str(1024**3))
+        assert backend.host.used_memory_kib == KIB_PER_GIB
+        stats = backend.container_stats("ct1")
+        assert stats["memory_kib"] == KIB_PER_GIB
+
+    def test_cpuset_resizes_vcpus(self, backend):
+        backend.start_container(config(vcpus=1))
+        backend.write_cgroup("ct1", "cpuset.cpus", "0-3")
+        assert backend.host.used_vcpus == 4
+
+    def test_unknown_cgroup_key_rejected(self, backend):
+        backend.start_container(config())
+        with pytest.raises(InvalidArgumentError, match="unknown cgroup key"):
+            backend.write_cgroup("ct1", "blkio.weight", "100")
+        with pytest.raises(InvalidArgumentError):
+            backend.read_cgroup("ct1", "blkio.weight")
+
+    def test_cgroup_resize_cheaper_than_vm_resize(self):
+        lxc = model_for("lxc").cost("set_memory")
+        kvm = model_for("kvm").cost("set_memory")
+        assert lxc < kvm / 2
+
+
+class TestStats:
+    def test_container_stats(self, backend, clock):
+        backend.start_container(config(memory_gib=1, vcpus=2))
+        clock.advance(5.0)
+        stats = backend.container_stats("ct1")
+        assert stats["state"] == "running"
+        assert stats["vcpus"] == 2
+        assert stats["cpu_seconds"] > 0
+        assert stats["init_pid"] >= 2000
+        assert "pid" in stats["namespaces"]
+
+
+class TestCpusetParser:
+    @pytest.mark.parametrize(
+        "spec,size",
+        [("0", 1), ("0-3", 4), ("0,2", 2), ("0-1,4-5", 4), ("7", 1)],
+    )
+    def test_valid_specs(self, spec, size):
+        assert _cpuset_size(spec) == size
+
+    @pytest.mark.parametrize("bad", ["", "a", "3-1", "0-", "1,,2"])
+    def test_invalid_specs(self, bad):
+        with pytest.raises(InvalidArgumentError):
+            _cpuset_size(bad)

@@ -1,0 +1,171 @@
+"""Tests for the simulated image store (repro.hypervisors.diskimage)."""
+
+import pytest
+
+from repro.errors import (
+    InvalidArgumentError,
+    InvalidOperationError,
+    NoStorageVolumeError,
+    ResourceBusyError,
+    StorageVolumeExistsError,
+)
+from repro.hypervisors.diskimage import ImageStore
+
+GiB = 1024**3
+
+
+@pytest.fixture()
+def store():
+    return ImageStore(capacity_bytes=100 * GiB)
+
+
+class TestCreateDelete:
+    def test_create_qcow2_starts_thin(self, store):
+        img = store.create("/img/a.qcow2", 10 * GiB)
+        assert img.allocation_bytes == 0
+        assert store.exists("/img/a.qcow2")
+
+    def test_create_raw_fully_allocated(self, store):
+        img = store.create("/img/a.raw", 10 * GiB, "raw")
+        assert img.allocation_bytes == 10 * GiB
+        assert store.allocated_bytes == 10 * GiB
+
+    def test_duplicate_path_rejected(self, store):
+        store.create("/img/a.qcow2", GiB)
+        with pytest.raises(StorageVolumeExistsError):
+            store.create("/img/a.qcow2", GiB)
+
+    def test_relative_path_rejected(self, store):
+        with pytest.raises(InvalidArgumentError):
+            store.create("a.qcow2", GiB)
+
+    def test_store_capacity_enforced(self, store):
+        store.create("/img/big.raw", 90 * GiB, "raw")
+        with pytest.raises(InvalidOperationError, match="store full"):
+            store.create("/img/big2.raw", 20 * GiB, "raw")
+
+    def test_delete(self, store):
+        store.create("/img/a.qcow2", GiB)
+        store.delete("/img/a.qcow2")
+        assert not store.exists("/img/a.qcow2")
+
+    def test_delete_missing_rejected(self, store):
+        with pytest.raises(NoStorageVolumeError):
+            store.delete("/img/missing")
+
+    def test_delete_backing_file_of_live_chain_rejected(self, store):
+        store.create("/img/base.qcow2", GiB)
+        store.create("/img/leaf.qcow2", GiB, backing_path="/img/base.qcow2")
+        with pytest.raises(ResourceBusyError, match="backs"):
+            store.delete("/img/base.qcow2")
+        store.delete("/img/leaf.qcow2")
+        store.delete("/img/base.qcow2")  # now fine
+
+    def test_raw_cannot_have_backing(self, store):
+        store.create("/img/base.qcow2", GiB)
+        with pytest.raises(InvalidArgumentError):
+            store.create("/img/l.raw", GiB, "raw", backing_path="/img/base.qcow2")
+
+    def test_backing_must_exist(self, store):
+        with pytest.raises(NoStorageVolumeError):
+            store.create("/img/leaf.qcow2", GiB, backing_path="/img/missing")
+
+
+class TestClone:
+    def test_shallow_clone_builds_cow_overlay(self, store):
+        store.create("/img/base.qcow2", 10 * GiB)
+        clone = store.clone("/img/base.qcow2", "/img/clone.qcow2")
+        assert clone.backing_path == "/img/base.qcow2"
+        assert clone.allocation_bytes == 0
+        assert store.chain("/img/clone.qcow2") == ["/img/clone.qcow2", "/img/base.qcow2"]
+
+    def test_deep_clone_copies_allocation(self, store):
+        store.create("/img/base.raw", 10 * GiB, "raw")
+        clone = store.clone("/img/base.raw", "/img/copy.raw", shallow=False)
+        assert clone.backing_path is None
+        assert clone.allocation_bytes == 10 * GiB
+
+    def test_shallow_clone_of_raw_rejected(self, store):
+        store.create("/img/base.raw", GiB, "raw")
+        with pytest.raises(InvalidOperationError):
+            store.clone("/img/base.raw", "/img/c.qcow2")
+
+    def test_clone_missing_source_rejected(self, store):
+        with pytest.raises(NoStorageVolumeError):
+            store.clone("/img/missing", "/img/c.qcow2")
+
+
+class TestAttachment:
+    def test_attach_exclusive(self, store):
+        store.create("/img/a.qcow2", GiB)
+        store.attach("/img/a.qcow2", "vm1")
+        with pytest.raises(ResourceBusyError):
+            store.attach("/img/a.qcow2", "vm2")
+        store.attach("/img/a.qcow2", "vm1")  # re-attach by owner is fine
+
+    def test_attached_image_cannot_be_deleted(self, store):
+        store.create("/img/a.qcow2", GiB)
+        store.attach("/img/a.qcow2", "vm1")
+        with pytest.raises(ResourceBusyError, match="in use"):
+            store.delete("/img/a.qcow2")
+        store.detach("/img/a.qcow2", "vm1")
+        store.delete("/img/a.qcow2")
+
+    def test_detach_wrong_owner_is_noop(self, store):
+        store.create("/img/a.qcow2", GiB)
+        store.attach("/img/a.qcow2", "vm1")
+        store.detach("/img/a.qcow2", "vm2")
+        assert store.lookup("/img/a.qcow2").in_use_by == "vm1"
+
+    def test_detach_all(self, store):
+        store.create("/img/a.qcow2", GiB)
+        store.create("/img/b.qcow2", GiB)
+        store.attach("/img/a.qcow2", "vm1")
+        store.attach("/img/b.qcow2", "vm1")
+        store.detach_all("vm1")
+        assert store.lookup("/img/a.qcow2").in_use_by is None
+        assert store.lookup("/img/b.qcow2").in_use_by is None
+
+
+class TestWrites:
+    def test_write_grows_thin_allocation(self, store):
+        store.create("/img/a.qcow2", 10 * GiB)
+        store.write("/img/a.qcow2", 2 * GiB)
+        assert store.lookup("/img/a.qcow2").allocation_bytes == 2 * GiB
+
+    def test_write_clamped_to_capacity(self, store):
+        store.create("/img/a.qcow2", GiB)
+        store.write("/img/a.qcow2", 5 * GiB)
+        assert store.lookup("/img/a.qcow2").allocation_bytes == GiB
+
+    def test_write_respects_store_capacity(self, store):
+        store.create("/img/big.raw", 99 * GiB, "raw")
+        store.create("/img/a.qcow2", 10 * GiB)
+        with pytest.raises(InvalidOperationError, match="store full"):
+            store.write("/img/a.qcow2", 5 * GiB)
+
+    def test_negative_write_rejected(self, store):
+        store.create("/img/a.qcow2", GiB)
+        with pytest.raises(InvalidArgumentError):
+            store.write("/img/a.qcow2", -1)
+
+
+class TestIntrospection:
+    def test_list_paths_sorted(self, store):
+        store.create("/img/b.qcow2", GiB)
+        store.create("/img/a.qcow2", GiB)
+        assert store.list_paths() == ["/img/a.qcow2", "/img/b.qcow2"]
+
+    def test_chain_of_three(self, store):
+        store.create("/img/1.qcow2", GiB)
+        store.create("/img/2.qcow2", GiB, backing_path="/img/1.qcow2")
+        store.create("/img/3.qcow2", GiB, backing_path="/img/2.qcow2")
+        assert store.chain("/img/3.qcow2") == [
+            "/img/3.qcow2",
+            "/img/2.qcow2",
+            "/img/1.qcow2",
+        ]
+
+    def test_lookup_missing(self, store):
+        with pytest.raises(NoStorageVolumeError):
+            store.lookup("/img/missing")

@@ -1,0 +1,183 @@
+"""Tests for the simulated ESX host (repro.hypervisors.esx_backend)."""
+
+import pytest
+
+from repro.errors import (
+    AuthenticationError,
+    DomainExistsError,
+    InvalidArgumentError,
+    InvalidOperationError,
+    NoDomainError,
+)
+from repro.hypervisors.base import KIB_PER_GIB, RunState
+from repro.hypervisors.esx_backend import EsxBackend
+from repro.hypervisors.host import SimHost
+from repro.util.clock import VirtualClock
+
+
+@pytest.fixture()
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture()
+def backend(clock):
+    host = SimHost(cpus=16, memory_kib=64 * KIB_PER_GIB, clock=clock)
+    return EsxBackend(host=host, clock=clock)
+
+
+@pytest.fixture()
+def session(backend):
+    return backend.login("root", "vmware")
+
+
+def config(name="esx-vm1", memory_gib=1, vcpus=1):
+    from repro.xmlconfig.domain import DomainConfig
+
+    return DomainConfig(
+        name=name,
+        domain_type="esx",
+        memory_kib=memory_gib * KIB_PER_GIB,
+        vcpus=vcpus,
+    )
+
+
+class TestSessions:
+    def test_login_logout(self, backend):
+        key = backend.login("root", "vmware")
+        assert key.startswith("session-")
+        backend.logout(key)
+        with pytest.raises(AuthenticationError, match="session invalid"):
+            backend.invoke(key, "ListVMs")
+
+    def test_bad_credentials_rejected(self, backend):
+        with pytest.raises(AuthenticationError, match="login failed"):
+            backend.login("root", "wrong")
+
+    def test_calls_without_session_rejected(self, backend):
+        with pytest.raises(AuthenticationError):
+            backend.invoke("bogus-session", "ListVMs")
+
+    def test_every_call_pays_round_trip(self, backend, clock, session):
+        t0 = clock.now()
+        backend.invoke(session, "ListVMs")
+        assert clock.now() - t0 >= 0.1  # remote RTT
+
+
+class TestInventory:
+    def test_register_returns_moid(self, backend, session):
+        moid = backend.invoke(session, "RegisterVM", config=config())
+        assert moid == "vm-1"
+        listing = backend.invoke(session, "ListVMs")
+        assert listing == [
+            {"moid": "vm-1", "name": "esx-vm1", "powerState": "poweredOff"}
+        ]
+
+    def test_register_duplicate_rejected(self, backend, session):
+        backend.invoke(session, "RegisterVM", config=config())
+        with pytest.raises(DomainExistsError):
+            backend.invoke(session, "RegisterVM", config=config())
+
+    def test_find_by_name(self, backend, session):
+        moid = backend.invoke(session, "RegisterVM", config=config())
+        assert backend.invoke(session, "FindByName", name="esx-vm1") == moid
+        with pytest.raises(NoDomainError):
+            backend.invoke(session, "FindByName", name="ghost")
+
+    def test_unregister_powered_off_only(self, backend, session):
+        moid = backend.invoke(session, "RegisterVM", config=config())
+        backend.invoke(session, "PowerOnVM_Task", vm=moid)
+        with pytest.raises(InvalidOperationError, match="power it off"):
+            backend.invoke(session, "UnregisterVM", vm=moid)
+        backend.invoke(session, "PowerOffVM_Task", vm=moid)
+        backend.invoke(session, "UnregisterVM", vm=moid)
+        with pytest.raises(NoDomainError):
+            backend.invoke(session, "GetVMState", vm=moid)
+
+    def test_inventory_survives_power_cycle(self, backend, session):
+        """ESX keeps VM configs itself — the stateless-driver premise."""
+        moid = backend.invoke(session, "RegisterVM", config=config())
+        backend.invoke(session, "PowerOnVM_Task", vm=moid)
+        backend.invoke(session, "PowerOffVM_Task", vm=moid)
+        state = backend.invoke(session, "GetVMState", vm=moid)
+        assert state["powerState"] == "poweredOff"
+        assert state["memory_kib"] == KIB_PER_GIB
+
+    def test_unknown_method_rejected(self, backend, session):
+        with pytest.raises(InvalidArgumentError, match="unknown ESX API"):
+            backend.invoke(session, "LevitateVM_Task", vm="vm-1")
+
+
+class TestPowerOperations:
+    def test_power_on(self, backend, session):
+        moid = backend.invoke(session, "RegisterVM", config=config())
+        backend.invoke(session, "PowerOnVM_Task", vm=moid)
+        state = backend.invoke(session, "GetVMState", vm=moid)
+        assert state["powerState"] == "poweredOn"
+        assert backend.host.guest_count == 1
+
+    def test_power_on_twice_rejected(self, backend, session):
+        moid = backend.invoke(session, "RegisterVM", config=config())
+        backend.invoke(session, "PowerOnVM_Task", vm=moid)
+        with pytest.raises(InvalidOperationError, match="already powered on"):
+            backend.invoke(session, "PowerOnVM_Task", vm=moid)
+
+    def test_shutdown_guest_requires_powered_on(self, backend, session):
+        moid = backend.invoke(session, "RegisterVM", config=config())
+        with pytest.raises(InvalidOperationError):
+            backend.invoke(session, "ShutdownGuest", vm=moid)
+        backend.invoke(session, "PowerOnVM_Task", vm=moid)
+        backend.invoke(session, "ShutdownGuest", vm=moid)
+        state = backend.invoke(session, "GetVMState", vm=moid)
+        assert state["powerState"] == "poweredOff"
+        assert backend.host.guest_count == 0
+
+    def test_suspend_resume(self, backend, session):
+        moid = backend.invoke(session, "RegisterVM", config=config())
+        backend.invoke(session, "PowerOnVM_Task", vm=moid)
+        backend.invoke(session, "SuspendVM_Task", vm=moid)
+        assert backend.invoke(session, "GetVMState", vm=moid)["powerState"] == "suspended"
+        assert backend.guest_state("esx-vm1") == RunState.PAUSED
+        backend.invoke(session, "PowerOnVM_Task", vm=moid)  # ESX resumes via PowerOn
+        assert backend.invoke(session, "GetVMState", vm=moid)["powerState"] == "poweredOn"
+
+    def test_reset(self, backend, session):
+        moid = backend.invoke(session, "RegisterVM", config=config())
+        backend.invoke(session, "PowerOnVM_Task", vm=moid)
+        backend.invoke(session, "ResetVM_Task", vm=moid)
+        assert backend.invoke(session, "GetVMState", vm=moid)["powerState"] == "poweredOn"
+
+    def test_power_off_powered_off_rejected(self, backend, session):
+        moid = backend.invoke(session, "RegisterVM", config=config())
+        with pytest.raises(InvalidOperationError):
+            backend.invoke(session, "PowerOffVM_Task", vm=moid)
+
+
+class TestReconfig:
+    def test_reconfig_running_vm(self, backend, session):
+        moid = backend.invoke(session, "RegisterVM", config=config(memory_gib=2))
+        backend.invoke(session, "PowerOnVM_Task", vm=moid)
+        backend.invoke(session, "ReconfigVM_Task", vm=moid, memory_kib=KIB_PER_GIB)
+        state = backend.invoke(session, "GetVMState", vm=moid)
+        assert state["memory_kib"] == KIB_PER_GIB
+        assert backend.host.used_memory_kib == KIB_PER_GIB
+
+    def test_reconfig_powered_off_vm_updates_config(self, backend, session):
+        moid = backend.invoke(session, "RegisterVM", config=config(memory_gib=2))
+        backend.invoke(session, "ReconfigVM_Task", vm=moid, vcpus=1, memory_kib=KIB_PER_GIB)
+        cfg = backend.invoke(session, "GetVMConfig", vm=moid)
+        assert cfg.current_memory_kib == KIB_PER_GIB
+
+    def test_reconfig_memory_above_max_rejected(self, backend, session):
+        moid = backend.invoke(session, "RegisterVM", config=config(memory_gib=1))
+        backend.invoke(session, "PowerOnVM_Task", vm=moid)
+        with pytest.raises(InvalidOperationError, match="above maximum"):
+            backend.invoke(
+                session, "ReconfigVM_Task", vm=moid, memory_kib=8 * KIB_PER_GIB
+            )
+
+    def test_api_calls_counted(self, backend, session):
+        before = backend.api_calls
+        backend.invoke(session, "ListVMs")
+        backend.invoke(session, "ListVMs")
+        assert backend.api_calls == before + 2

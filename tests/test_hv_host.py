@@ -1,0 +1,136 @@
+"""Tests for the host resource ledger (repro.hypervisors.host)."""
+
+import pytest
+
+from repro.errors import InsufficientResourcesError, InvalidArgumentError
+from repro.hypervisors.host import KIB_PER_GIB, SimHost
+
+
+def host_16gib(**kwargs):
+    return SimHost(hostname="h1", cpus=8, memory_kib=16 * KIB_PER_GIB, **kwargs)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        host = SimHost()
+        assert host.cpus == 8
+        assert host.guest_count == 0
+        assert host.free_memory_kib == host.allocatable_kib
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cpus": 0},
+            {"memory_kib": 0},
+            {"cpu_overcommit": 0.5},
+        ],
+    )
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(InvalidArgumentError):
+            SimHost(**kwargs)
+
+    def test_reserved_memory_subtracted(self):
+        host = host_16gib()
+        assert host.allocatable_kib == host.memory_kib - host.reserved_kib
+        assert host.reserved_kib > 0
+
+
+class TestAllocation:
+    def test_allocate_and_release(self):
+        host = host_16gib()
+        host.allocate("vm1", vcpus=2, memory_kib=2 * KIB_PER_GIB)
+        assert host.guest_count == 1
+        assert host.used_memory_kib == 2 * KIB_PER_GIB
+        assert host.used_vcpus == 2
+        assert host.holds_claim("vm1")
+        host.release("vm1")
+        assert host.guest_count == 0
+        assert not host.holds_claim("vm1")
+
+    def test_release_is_idempotent(self):
+        host = host_16gib()
+        host.release("ghost")  # no error
+
+    def test_memory_never_overcommitted(self):
+        host = host_16gib()
+        host.allocate("big", vcpus=1, memory_kib=10 * KIB_PER_GIB)
+        with pytest.raises(InsufficientResourcesError, match="cannot allocate"):
+            host.allocate("big2", vcpus=1, memory_kib=10 * KIB_PER_GIB)
+        # failed allocation must not leak a claim
+        assert host.guest_count == 1
+
+    def test_cpu_overcommit_up_to_factor(self):
+        host = host_16gib(cpu_overcommit=2.0)  # budget = 16 vCPUs
+        host.allocate("a", vcpus=8, memory_kib=KIB_PER_GIB)
+        host.allocate("b", vcpus=8, memory_kib=KIB_PER_GIB)
+        with pytest.raises(InsufficientResourcesError, match="vCPU budget"):
+            host.allocate("c", vcpus=1, memory_kib=KIB_PER_GIB)
+
+    def test_duplicate_claim_rejected(self):
+        host = host_16gib()
+        host.allocate("vm1", 1, KIB_PER_GIB)
+        with pytest.raises(InvalidArgumentError, match="already holds"):
+            host.allocate("vm1", 1, KIB_PER_GIB)
+
+    def test_non_positive_allocation_rejected(self):
+        host = host_16gib()
+        with pytest.raises(InvalidArgumentError):
+            host.allocate("vm1", 0, KIB_PER_GIB)
+        with pytest.raises(InvalidArgumentError):
+            host.allocate("vm1", 1, 0)
+
+
+class TestResize:
+    def test_grow_and_shrink(self):
+        host = host_16gib()
+        host.allocate("vm1", 2, 2 * KIB_PER_GIB)
+        host.resize("vm1", memory_kib=4 * KIB_PER_GIB)
+        assert host.used_memory_kib == 4 * KIB_PER_GIB
+        host.resize("vm1", vcpus=4)
+        assert host.used_vcpus == 4
+        host.resize("vm1", memory_kib=KIB_PER_GIB, vcpus=1)
+        assert host.used_memory_kib == KIB_PER_GIB
+
+    def test_resize_unknown_guest_rejected(self):
+        with pytest.raises(InvalidArgumentError, match="holds no claim"):
+            host_16gib().resize("ghost", vcpus=2)
+
+    def test_resize_cannot_exceed_memory(self):
+        host = host_16gib()
+        host.allocate("a", 1, 8 * KIB_PER_GIB)
+        host.allocate("b", 1, 4 * KIB_PER_GIB)
+        with pytest.raises(InsufficientResourcesError):
+            host.resize("b", memory_kib=8 * KIB_PER_GIB)
+        # claim unchanged after a failed resize
+        assert host.used_memory_kib == 12 * KIB_PER_GIB
+
+    def test_resize_to_zero_rejected(self):
+        host = host_16gib()
+        host.allocate("a", 1, KIB_PER_GIB)
+        with pytest.raises(InvalidArgumentError):
+            host.resize("a", memory_kib=0)
+
+
+class TestIntrospection:
+    def test_node_info(self):
+        host = host_16gib()
+        host.allocate("a", 2, KIB_PER_GIB)
+        info = host.node_info()
+        assert info["cpus"] == 8
+        assert info["memory_kib"] == 16 * KIB_PER_GIB
+        assert info["guests"] == 1
+        assert info["free_memory_kib"] == host.allocatable_kib - KIB_PER_GIB
+
+    def test_capabilities_document(self):
+        caps = host_16gib().capabilities()
+        assert caps.host.total_cpus == 8
+        assert caps.host.memory_kib == 16 * KIB_PER_GIB
+        xml = caps.to_xml()
+        assert "<capabilities>" in xml
+
+    def test_deterministic_uuid_from_seeded_rng(self):
+        import random
+
+        a = SimHost(rng=random.Random(1)).uuid
+        b = SimHost(rng=random.Random(1)).uuid
+        assert a == b

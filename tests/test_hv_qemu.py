@@ -1,0 +1,241 @@
+"""Tests for the simulated QEMU/KVM backend (repro.hypervisors.qemu_backend)."""
+
+import pytest
+
+from repro.errors import DomainExistsError, NoDomainError, OperationFailedError
+from repro.hypervisors.base import KIB_PER_GIB, RunState
+from repro.hypervisors.host import SimHost
+from repro.hypervisors.qemu_backend import QemuBackend, QmpError
+from repro.util.clock import VirtualClock
+from repro.xmlconfig.domain import DiskDevice, DomainConfig
+
+
+@pytest.fixture()
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture()
+def backend(clock):
+    host = SimHost(cpus=16, memory_kib=64 * KIB_PER_GIB, clock=clock)
+    return QemuBackend(host=host, clock=clock)
+
+
+def config(name="vm1", memory_gib=1, vcpus=1, disks=None):
+    return DomainConfig(
+        name=name,
+        domain_type="kvm",
+        memory_kib=memory_gib * KIB_PER_GIB,
+        vcpus=vcpus,
+        disks=disks or [],
+    )
+
+
+class TestLaunch:
+    def test_launch_boots_to_running(self, backend):
+        process = backend.launch(config())
+        assert process.runtime.state == RunState.RUNNING
+        assert backend.guest_state("vm1") == RunState.RUNNING
+        assert backend.list_guests() == ["vm1"]
+
+    def test_launch_claims_host_resources(self, backend):
+        backend.launch(config(memory_gib=2, vcpus=4))
+        assert backend.host.used_memory_kib == 2 * KIB_PER_GIB
+        assert backend.host.used_vcpus == 4
+
+    def test_launch_paused(self, backend):
+        process = backend.launch(config(), paused=True)
+        assert process.runtime.state == RunState.PAUSED
+
+    def test_duplicate_launch_rejected(self, backend):
+        backend.launch(config())
+        with pytest.raises(DomainExistsError):
+            backend.launch(config())
+
+    def test_launch_charges_boot_latency(self, backend, clock):
+        backend.launch(config(memory_gib=2))
+        # create + start + per-GiB boot + qmp handshake — about 1.3 s modelled
+        assert clock.now() > 1.0
+
+    def test_bigger_guests_boot_slower(self, clock):
+        host = SimHost(cpus=16, memory_kib=64 * KIB_PER_GIB, clock=clock)
+        backend = QemuBackend(host=host, clock=clock)
+        backend.launch(config("small", memory_gib=1))
+        small_time = clock.now()
+        backend.launch(config("big", memory_gib=8))
+        big_time = clock.now() - small_time
+        assert big_time > small_time
+
+    def test_launch_auto_creates_disk_images(self, backend):
+        disk = DiskDevice("/img/vm1.qcow2", "vda", capacity_bytes=10 * 1024**3)
+        backend.launch(config(disks=[disk]))
+        assert backend.images.exists("/img/vm1.qcow2")
+        assert backend.images.lookup("/img/vm1.qcow2").in_use_by == "vm1"
+
+    def test_failed_launch_releases_resources(self, backend):
+        backend.fail_next("vm1", "qemu binary segfaulted")
+        with pytest.raises(OperationFailedError):
+            backend.launch(config())
+        assert backend.host.guest_count == 0
+        assert not backend.has_guest("vm1")
+        backend.launch(config())  # retry succeeds
+
+    def test_command_line_reflects_config(self, backend):
+        disk = DiskDevice("/img/vm1.qcow2", "vda", capacity_bytes=1024**3)
+        process = backend.launch(config(memory_gib=2, vcpus=2, disks=[disk]))
+        argv = process.command_line()
+        assert "-enable-kvm" in argv
+        assert "2048" in argv  # -m in MiB
+        assert any("file=/img/vm1.qcow2" in a for a in argv)
+
+    def test_tcg_variant_drops_kvm_flag(self, clock):
+        host = SimHost(clock=clock)
+        backend = QemuBackend(host=host, clock=clock, kvm=False)
+        assert backend.kind == "qemu"
+        process = backend.launch(config())
+        assert "-enable-kvm" not in process.command_line()
+
+
+class TestQmpProtocol:
+    def test_greeting_and_negotiation(self, backend):
+        process = backend.launch(config())
+        monitor = process.monitor
+        assert "QMP" in monitor.greeting()
+        # already negotiated by launch; query works
+        status = monitor.execute("query-status")
+        assert status == {"status": "running", "running": True}
+
+    def test_commands_rejected_before_negotiation(self, backend):
+        process = backend.launch(config())
+        process.monitor._negotiated = False
+        with pytest.raises(QmpError, match="negotiation"):
+            process.monitor.execute("query-status")
+
+    def test_unknown_command_errors(self, backend):
+        monitor = backend.launch(config()).monitor
+        with pytest.raises(QmpError, match="CommandNotFound"):
+            monitor.execute("levitate")
+
+    def test_stop_cont_cycle(self, backend):
+        monitor = backend.launch(config()).monitor
+        monitor.execute("stop")
+        assert backend.guest_state("vm1") == RunState.PAUSED
+        assert monitor.execute("query-status")["status"] == "paused"
+        monitor.execute("cont")
+        assert backend.guest_state("vm1") == RunState.RUNNING
+
+    def test_stop_is_idempotent(self, backend):
+        monitor = backend.launch(config()).monitor
+        monitor.execute("stop")
+        monitor.execute("stop")
+        assert backend.guest_state("vm1") == RunState.PAUSED
+
+    def test_system_powerdown_tears_down(self, backend):
+        monitor = backend.launch(config()).monitor
+        monitor.execute("system_powerdown")
+        assert not backend.has_guest("vm1")
+        assert backend.host.guest_count == 0
+
+    def test_commands_after_exit_fail(self, backend):
+        process = backend.launch(config())
+        process.monitor.execute("quit")
+        with pytest.raises(QmpError, match="exited"):
+            process.monitor.execute("query-status")
+
+    def test_system_reset_keeps_running(self, backend):
+        monitor = backend.launch(config()).monitor
+        monitor.execute("system_reset")
+        assert backend.guest_state("vm1") == RunState.RUNNING
+
+    def test_balloon(self, backend):
+        monitor = backend.launch(config(memory_gib=2)).monitor
+        monitor.execute("balloon", value=1 * 1024**3)
+        assert monitor.execute("query-balloon") == {"actual": 1024**3}
+        assert backend.host.used_memory_kib == KIB_PER_GIB
+
+    def test_balloon_above_max_rejected(self, backend):
+        monitor = backend.launch(config(memory_gib=1)).monitor
+        with pytest.raises(QmpError, match="above maximum"):
+            monitor.execute("balloon", value=4 * 1024**3)
+
+    def test_balloon_bad_value_rejected(self, backend):
+        monitor = backend.launch(config()).monitor
+        with pytest.raises(QmpError):
+            monitor.execute("balloon", value=-5)
+        with pytest.raises(QmpError):
+            monitor.execute("balloon")
+
+    def test_query_cpus(self, backend):
+        monitor = backend.launch(config(vcpus=3)).monitor
+        cpus = monitor.execute("query-cpus")
+        assert len(cpus) == 3
+        assert cpus[0]["current"] is True
+
+    def test_device_add_del(self, backend):
+        backend.images.create("/img/extra.qcow2", 1024**3)
+        monitor = backend.launch(config()).monitor
+        monitor.execute("device_add", drive="/img/extra.qcow2")
+        assert backend.images.lookup("/img/extra.qcow2").in_use_by == "vm1"
+        monitor.execute("device_del", drive="/img/extra.qcow2")
+        assert backend.images.lookup("/img/extra.qcow2").in_use_by is None
+
+    def test_device_del_unknown_drive(self, backend):
+        monitor = backend.launch(config()).monitor
+        with pytest.raises(QmpError, match="DeviceNotFound"):
+            monitor.execute("device_del", drive="/img/nope.qcow2")
+
+    def test_wire_bytes_accounted(self, backend):
+        monitor = backend.launch(config()).monitor
+        sent_before = monitor.bytes_sent
+        monitor.execute("query-status")
+        assert monitor.bytes_sent > sent_before
+        assert monitor.bytes_received > 0
+
+
+class TestSaveRestore:
+    def test_save_then_restore_preserves_identity(self, backend):
+        cfg = config(memory_gib=2)
+        process = backend.launch(cfg)
+        original_uuid = process.runtime.uuid
+        blob = backend.save_to_file("vm1", "/save/vm1.state")
+        assert blob["memory_kib"] == 2 * KIB_PER_GIB
+        assert not backend.has_guest("vm1")
+        assert backend.has_saved_state("/save/vm1.state")
+        restored = backend.restore_from_file(cfg, "/save/vm1.state")
+        assert restored.runtime.state == RunState.RUNNING
+        assert restored.runtime.uuid == original_uuid
+        assert not backend.has_saved_state("/save/vm1.state")
+
+    def test_restore_missing_state_rejected(self, backend):
+        with pytest.raises(NoDomainError):
+            backend.restore_from_file(config(), "/save/missing")
+
+    def test_save_unknown_guest_rejected(self, backend):
+        with pytest.raises(NoDomainError):
+            backend.save_to_file("ghost", "/save/x")
+
+
+class TestFailureInjection:
+    def test_crash_leaves_instance_in_crashed_state(self, backend):
+        backend.launch(config())
+        backend.inject_crash("vm1")
+        assert backend.guest_state("vm1") == RunState.CRASHED
+        info = backend.guest_info("vm1")
+        assert info["state"] == "crashed"
+
+    def test_kill_crashed_guest(self, backend):
+        backend.launch(config())
+        backend.inject_crash("vm1")
+        backend.kill("vm1")
+        assert not backend.has_guest("vm1")
+
+    def test_cpu_time_accumulates_only_while_running(self, backend, clock):
+        process = backend.launch(config(vcpus=2))
+        start_cpu = process.runtime.cpu_seconds
+        clock.advance(10.0)
+        running_cpu = process.runtime.cpu_seconds - start_cpu
+        assert running_cpu > 0
+        process.monitor.execute("stop")
+        paused_at = process.runtime.cpu_seconds
+        clock.advance(10.0)
+        assert process.runtime.cpu_seconds == paused_at

@@ -1,0 +1,103 @@
+"""Tests for the latency cost model (repro.hypervisors.timing)."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.hypervisors.timing import (
+    DEFAULT_COST_MODELS,
+    MEMORY_SCALED,
+    OPERATIONS,
+    CostModel,
+    model_for,
+)
+from repro.util.clock import VirtualClock
+
+
+class TestCostModel:
+    def test_fixed_plus_per_gib(self):
+        model = CostModel({"start": 1.0}, {"start": 0.5})
+        assert model.cost("start", memory_gib=0) == 1.0
+        assert model.cost("start", memory_gib=4) == 3.0
+
+    def test_unknown_op_in_table_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            CostModel({"levitate": 1.0})
+
+    def test_per_gib_only_for_memory_scaled_ops(self):
+        with pytest.raises(InvalidArgumentError):
+            CostModel({}, {"query": 0.1})
+
+    def test_cost_of_unknown_op_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            CostModel({}).cost("levitate")
+
+    def test_unpriced_ops_default_to_zero(self):
+        model = CostModel({"start": 1.0})
+        assert model.cost("destroy") == 0.0
+
+    def test_charge_advances_clock(self):
+        clock = VirtualClock()
+        model = CostModel({"start": 2.0}, {"start": 1.0})
+        charged = model.charge(clock, "start", memory_gib=2.0)
+        assert charged == 4.0
+        assert clock.now() == 4.0
+
+    def test_scaled_copy(self):
+        model = CostModel({"start": 1.0}, {"start": 0.5}, bandwidth_gib_s=2.0)
+        half = model.scaled(0.5)
+        assert half.cost("start", 2.0) == 1.0
+        assert half.bandwidth_gib_s == 2.0
+        assert model.cost("start", 2.0) == 2.0  # original untouched
+
+    def test_scale_factor_must_be_positive(self):
+        with pytest.raises(InvalidArgumentError):
+            CostModel({}).scaled(0)
+
+    def test_bandwidth_must_be_positive(self):
+        with pytest.raises(InvalidArgumentError):
+            CostModel({}, bandwidth_gib_s=0)
+
+
+class TestCalibration:
+    """The orderings the reproduced figures depend on."""
+
+    def test_all_backends_have_models(self):
+        for kind in ("kvm", "qemu", "xen", "lxc", "esx", "test"):
+            assert model_for(kind) is DEFAULT_COST_MODELS[kind]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            model_for("hyperwave")
+
+    def test_every_model_prices_every_operation(self):
+        for kind, model in DEFAULT_COST_MODELS.items():
+            for op in OPERATIONS:
+                assert model.cost(op) >= 0.0, (kind, op)
+
+    def test_containers_start_much_faster_than_vms(self):
+        lxc = model_for("lxc").cost("start", 1.0)
+        for vm_kind in ("kvm", "qemu", "xen", "esx"):
+            assert model_for(vm_kind).cost("start", 1.0) > 5 * lxc
+
+    def test_kvm_boots_faster_than_tcg_qemu(self):
+        assert model_for("kvm").cost("start", 1.0) < model_for("qemu").cost("start", 1.0)
+
+    def test_esx_pays_remote_round_trip_per_call(self):
+        esx_call = model_for("esx").cost("native_call")
+        for local_kind in ("kvm", "xen", "lxc"):
+            assert esx_call > 50 * model_for(local_kind).cost("native_call")
+
+    def test_xen_control_path_slower_than_kvm(self):
+        for op in ("suspend", "resume", "destroy", "query"):
+            assert model_for("xen").cost(op) > model_for("kvm").cost(op)
+
+    def test_test_driver_is_free(self):
+        model = model_for("test")
+        for op in OPERATIONS:
+            assert model.cost(op, 8.0) == 0.0
+
+    def test_memory_scaled_ops_grow_with_memory(self):
+        for kind in ("kvm", "qemu", "xen", "esx"):
+            model = model_for(kind)
+            for op in MEMORY_SCALED:
+                assert model.cost(op, 8.0) > model.cost(op, 1.0), (kind, op)

@@ -1,0 +1,201 @@
+"""Tests for the simulated Xen backend (repro.hypervisors.xen_backend)."""
+
+import pytest
+
+from repro.errors import (
+    DomainExistsError,
+    InvalidArgumentError,
+    InvalidOperationError,
+    NoDomainError,
+    OperationFailedError,
+)
+from repro.hypervisors.base import KIB_PER_GIB, RunState
+from repro.hypervisors.host import SimHost
+from repro.hypervisors.xen_backend import XenBackend
+from repro.util.clock import VirtualClock
+from repro.xmlconfig.domain import DomainConfig, OSConfig
+
+
+@pytest.fixture()
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture()
+def backend(clock):
+    host = SimHost(cpus=16, memory_kib=64 * KIB_PER_GIB, clock=clock)
+    return XenBackend(host=host, clock=clock)
+
+
+def config(name="dom1", memory_gib=1, vcpus=1):
+    return DomainConfig(
+        name=name,
+        domain_type="xen",
+        memory_kib=memory_gib * KIB_PER_GIB,
+        vcpus=vcpus,
+        os=OSConfig("xen", "x86_64", ["hd"]),
+    )
+
+
+class TestCreateDomain:
+    def test_create_assigns_increasing_domids(self, backend):
+        first = backend.hypercall("domctl.createdomain", config=config("a"))
+        second = backend.hypercall("domctl.createdomain", config=config("b"))
+        assert first["domid"] == 1
+        assert second["domid"] == 2
+
+    def test_xenstore_populated(self, backend):
+        domid = backend.hypercall("domctl.createdomain", config=config())["domid"]
+        assert backend.xenstore[f"/local/domain/{domid}/name"] == "dom1"
+        assert backend.domid_of("dom1") == domid
+        assert backend.name_of(domid) == "dom1"
+
+    def test_domain0_always_present(self, backend):
+        info = backend.hypercall("domctl.getdomaininfo", domid=0)
+        assert info["name"] == "Domain-0"
+        assert info["state"] == "running"
+
+    def test_duplicate_name_rejected(self, backend):
+        backend.hypercall("domctl.createdomain", config=config())
+        with pytest.raises(DomainExistsError):
+            backend.hypercall("domctl.createdomain", config=config())
+
+    def test_domain0_name_reserved(self, backend):
+        cfg = config("Domain-0")
+        with pytest.raises(DomainExistsError):
+            backend.hypercall("domctl.createdomain", config=cfg)
+
+    def test_create_paused(self, backend):
+        domid = backend.hypercall(
+            "domctl.createdomain", config=config(), paused=True
+        )["domid"]
+        info = backend.hypercall("domctl.getdomaininfo", domid=domid)
+        assert info["state"] == "paused"
+
+    def test_unknown_hypercall_rejected(self, backend):
+        with pytest.raises(InvalidArgumentError, match="unknown hypercall"):
+            backend.hypercall("domctl.levitate")
+
+    def test_failed_create_releases_resources(self, backend):
+        backend.fail_next("dom1")
+        with pytest.raises(OperationFailedError):
+            backend.hypercall("domctl.createdomain", config=config())
+        assert backend.host.guest_count == 0
+        backend.hypercall("domctl.createdomain", config=config())
+
+
+class TestLifecycle:
+    def test_pause_unpause(self, backend):
+        domid = backend.hypercall("domctl.createdomain", config=config())["domid"]
+        backend.hypercall("domctl.pausedomain", domid=domid)
+        assert backend.guest_state("dom1") == RunState.PAUSED
+        backend.hypercall("domctl.unpausedomain", domid=domid)
+        assert backend.guest_state("dom1") == RunState.RUNNING
+
+    def test_pause_paused_rejected(self, backend):
+        domid = backend.hypercall("domctl.createdomain", config=config())["domid"]
+        backend.hypercall("domctl.pausedomain", domid=domid)
+        with pytest.raises(InvalidOperationError):
+            backend.hypercall("domctl.pausedomain", domid=domid)
+
+    def test_shutdown_poweroff_drops_domain(self, backend):
+        domid = backend.hypercall("domctl.createdomain", config=config())["domid"]
+        backend.hypercall("domctl.shutdown", domid=domid, reason="poweroff")
+        assert not backend.has_guest("dom1")
+        assert f"/local/domain/{domid}/name" not in backend.xenstore
+        with pytest.raises(NoDomainError):
+            backend.domid_of("dom1")
+
+    def test_shutdown_reboot_keeps_domain(self, backend):
+        domid = backend.hypercall("domctl.createdomain", config=config())["domid"]
+        backend.hypercall("domctl.shutdown", domid=domid, reason="reboot")
+        assert backend.guest_state("dom1") == RunState.RUNNING
+        assert backend.domid_of("dom1") == domid
+
+    def test_shutdown_crash_reason(self, backend):
+        domid = backend.hypercall("domctl.createdomain", config=config())["domid"]
+        backend.hypercall("domctl.shutdown", domid=domid, reason="crash")
+        assert backend.guest_state("dom1") == RunState.CRASHED
+
+    def test_unknown_shutdown_reason_rejected(self, backend):
+        domid = backend.hypercall("domctl.createdomain", config=config())["domid"]
+        with pytest.raises(InvalidArgumentError):
+            backend.hypercall("domctl.shutdown", domid=domid, reason="implode")
+
+    def test_destroy(self, backend):
+        domid = backend.hypercall("domctl.createdomain", config=config())["domid"]
+        backend.hypercall("domctl.destroydomain", domid=domid)
+        assert not backend.has_guest("dom1")
+        assert backend.host.guest_count == 0
+
+    def test_operations_on_domain0_rejected(self, backend):
+        for op in ("domctl.pausedomain", "domctl.destroydomain"):
+            with pytest.raises(InvalidOperationError, match="Domain-0"):
+                backend.hypercall(op, domid=0)
+
+    def test_unknown_domid_rejected(self, backend):
+        with pytest.raises(NoDomainError):
+            backend.hypercall("domctl.pausedomain", domid=99)
+
+
+class TestResize:
+    def test_max_mem(self, backend):
+        domid = backend.hypercall(
+            "domctl.createdomain", config=config(memory_gib=2)
+        )["domid"]
+        backend.hypercall("domctl.max_mem", domid=domid, memory_kib=KIB_PER_GIB)
+        info = backend.hypercall("domctl.getdomaininfo", domid=domid)
+        assert info["memory_kib"] == KIB_PER_GIB
+
+    def test_max_mem_above_boot_maximum_rejected(self, backend):
+        domid = backend.hypercall("domctl.createdomain", config=config())["domid"]
+        with pytest.raises(InvalidOperationError, match="above domain maximum"):
+            backend.hypercall(
+                "domctl.max_mem", domid=domid, memory_kib=8 * KIB_PER_GIB
+            )
+
+    def test_max_vcpus(self, backend):
+        domid = backend.hypercall("domctl.createdomain", config=config())["domid"]
+        backend.hypercall("domctl.max_vcpus", domid=domid, vcpus=4)
+        assert backend.host.used_vcpus == 4
+
+    def test_invalid_resize_values(self, backend):
+        domid = backend.hypercall("domctl.createdomain", config=config())["domid"]
+        with pytest.raises(InvalidArgumentError):
+            backend.hypercall("domctl.max_mem", domid=domid, memory_kib=0)
+        with pytest.raises(InvalidArgumentError):
+            backend.hypercall("domctl.max_vcpus", domid=domid, vcpus=0)
+
+
+class TestIntrospection:
+    def test_domaininfolist_includes_domain0(self, backend):
+        backend.hypercall("domctl.createdomain", config=config("a"))
+        backend.hypercall("domctl.createdomain", config=config("b"))
+        infos = backend.hypercall("sysctl.getdomaininfolist")
+        assert [i["name"] for i in infos] == ["Domain-0", "a", "b"]
+
+    def test_hypercall_count_tracks_native_calls(self, backend):
+        before = backend.hypercall_count
+        backend.hypercall("sysctl.getdomaininfolist")
+        assert backend.hypercall_count == before + 1
+
+    def test_hypercalls_charge_latency(self, backend, clock):
+        backend.hypercall("sysctl.getdomaininfolist")
+        assert clock.now() > 0
+
+
+class TestSaveRestore:
+    def test_save_restore_cycle(self, backend):
+        cfg = config(memory_gib=2)
+        domid = backend.hypercall("domctl.createdomain", config=cfg)["domid"]
+        backend.hypercall("domctl.save", domid=domid, path="/save/dom1")
+        assert not backend.has_guest("dom1")
+        assert backend.has_saved_state("/save/dom1")
+        result = backend.hypercall("domctl.restore", config=cfg, path="/save/dom1")
+        assert backend.guest_state("dom1") == RunState.RUNNING
+        assert result["domid"] != domid  # restore builds a fresh domain
+        assert not backend.has_saved_state("/save/dom1")
+
+    def test_restore_missing_state(self, backend):
+        with pytest.raises(NoDomainError):
+            backend.hypercall("domctl.restore", config=config(), path="/save/none")

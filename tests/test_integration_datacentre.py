@@ -1,0 +1,149 @@
+"""Capstone integration: a whole data-centre day through the full stack.
+
+Three daemon-managed hosts plus a remote ESX server; the scenario runs
+provisioning, cloning, monitoring, network leases, runtime daemon
+administration, consolidation by live migration, peer-to-peer
+migration, failure handling, and teardown — all through public APIs,
+end to end over the wire.
+"""
+
+import pytest
+
+import repro
+from repro.admin import admin_open
+from repro.core.states import DomainState
+from repro.daemon import Libvirtd
+from repro.drivers import nodes
+from repro.placement import plan_consolidation
+from repro.tools import clone_domain, provision_domain
+from repro.util.clock import VirtualClock
+from repro.xmlconfig.network import DHCPRange, IPConfig, NetworkConfig
+
+GiB_KIB = 1024 * 1024
+
+
+@pytest.fixture()
+def datacentre():
+    clock = VirtualClock()
+    daemons = {}
+    for name in ("dc-a", "dc-b", "dc-c"):
+        daemon = Libvirtd(hostname=name, clock=clock)
+        daemon.listen("tcp")
+        daemon.enable_admin()
+        daemons[name] = daemon
+    nodes.register_esx_host("dc-esx", cpus=16, memory_kib=32 * GiB_KIB)
+    yield daemons, clock
+    for daemon in daemons.values():
+        daemon.shutdown()
+
+
+def test_full_datacentre_day(datacentre):
+    daemons, clock = datacentre
+    conns = {
+        name: repro.open_connection(f"qemu+tcp://{name}/system") for name in daemons
+    }
+
+    # -- morning: provision a fleet with networks and storage -------------
+    events = []
+    for name, conn in conns.items():
+        conn.register_domain_event(
+            lambda n, e, d, host=name: events.append((host, n, e.name))
+        )
+        conn.define_network(
+            NetworkConfig(
+                name="default",
+                ip=IPConfig("10.0.0.1", "255.255.255.0",
+                            DHCPRange("10.0.0.2", "10.0.0.100")),
+            )
+        ).start()
+    fleet = {
+        "db1": ("dc-a", "4 GiB"),
+        "web1": ("dc-b", "1 GiB"),
+        "web2": ("dc-c", "1 GiB"),
+    }
+    for guest, (host, memory) in fleet.items():
+        provision_domain(conns[host], guest, memory=memory)
+    assert sum(c.active_domain_count() for c in conns.values()) == 3
+
+    # every guest got a DHCP lease on its host's network
+    for guest, (host, _) in fleet.items():
+        leases = conns[host].lookup_network("default").dhcp_leases()
+        assert any(l["hostname"] == guest for l in leases)
+
+    # -- scale out: clone web1 twice from a golden image -------------------
+    golden = conns["dc-b"].lookup_domain("web1")
+    golden.destroy()  # must be shut off to clone
+    for index in range(2):
+        clone_domain(golden, f"web1-clone{index}", start=True)
+    golden.start()
+    assert conns["dc-b"].active_domain_count() == 3
+
+    # -- monitoring: stats accumulate everywhere ----------------------------
+    clock.advance(120.0)
+    for conn in conns.values():
+        for domain in conn.list_domains(active=True):
+            stats = domain.get_stats()
+            assert stats["cpu_seconds"] > 0
+            assert stats["net_rx_bytes"] > 0
+
+    # -- an incident: a guest crashes; ops destroys and restarts it ---------
+    daemons["dc-a"].drivers["qemu"].backend.inject_crash("db1")
+    db1 = conns["dc-a"].lookup_domain("db1")
+    assert db1.state() == DomainState.CRASHED
+    db1.destroy()
+    db1.start()
+    assert db1.state() == DomainState.RUNNING
+
+    # -- runtime administration under load ----------------------------------
+    admin = admin_open("dc-a")
+    server = admin.lookup_server("libvirtd")
+    server.set_threadpool(max_workers=40)
+    assert server.threadpool_info()["maxWorkers"] == 40
+    admin.set_logging_level(1)
+    assert daemons["dc-a"].logger.level == 1
+    admin.close()
+
+    # -- afternoon: consolidate dc-b/dc-c guests to power hosts down ---------
+    plan = plan_consolidation(list(conns.values()))
+    steps = plan.execute()
+    assert all(step.succeeded for step in steps)
+    assert plan.hosts_freed  # at least one host emptied
+    total_guests = sum(c.active_domain_count() for c in conns.values())
+    assert total_guests == 5  # nothing lost
+
+    # -- one guest moves on via peer-to-peer migration ------------------------
+    packed_host = next(
+        name for name, c in conns.items() if c.active_domain_count() > 0
+    )
+    empty_host = next(
+        name for name, c in conns.items() if c.active_domain_count() == 0
+    )
+    mover = conns[packed_host].list_domains(active=True)[0]
+    result = mover.migrate_to_uri(f"qemu+tcp://{empty_host}/system")
+    assert result["stats"]["converged"]
+    assert conns[empty_host].lookup_domain(mover.name).state() == DomainState.RUNNING
+
+    # -- the ESX island is managed through the same handle code ----------------
+    esx = repro.open_connection("esx://root@dc-esx/", {"password": "vmware"})
+    esx_vm = esx.define_domain(
+        repro.DomainConfig(name="legacy-app", domain_type="esx", memory_kib=GiB_KIB)
+    )
+    esx_vm.start()
+    esx_vm.suspend()
+    assert esx_vm.state() == DomainState.PAUSED
+    esx_vm.resume()
+    esx_vm.destroy()
+    esx.close()
+
+    # -- evening: orderly shutdown everywhere -----------------------------------
+    for conn in conns.values():
+        for domain in conn.list_domains(active=True):
+            domain.destroy()
+    assert sum(c.active_domain_count() for c in conns.values()) == 0
+    # the event stream recorded the whole day
+    kinds = {e for _, _, e in events}
+    assert {"DEFINED", "STARTED", "STOPPED", "MIGRATED"} <= kinds
+    # daemon bookkeeping is consistent
+    for daemon in daemons.values():
+        stats = daemon.stats()
+        assert stats["calls_failed"] == 0 or stats["calls_served"] > stats["calls_failed"]

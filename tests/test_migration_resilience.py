@@ -1,0 +1,99 @@
+"""Migration handshake resilience: every failure point must roll back."""
+
+import pytest
+
+from repro.core.connection import Connection
+from repro.core.states import DomainState
+from repro.core.uri import ConnectionURI
+from repro.drivers.qemu import QemuDriver
+from repro.errors import MigrationError, VirtError
+from repro.hypervisors.host import SimHost
+from repro.hypervisors.qemu_backend import QemuBackend
+from repro.migration.manager import run_handshake
+from repro.util.clock import VirtualClock
+from repro.xmlconfig.domain import DomainConfig
+
+GiB_KIB = 1024 * 1024
+
+
+def pair():
+    clock = VirtualClock()
+    src = Connection(
+        QemuDriver(QemuBackend(host=SimHost(hostname="rs", clock=clock), clock=clock)),
+        ConnectionURI.parse("qemu:///rs"),
+    )
+    dst = Connection(
+        QemuDriver(QemuBackend(host=SimHost(hostname="rd", clock=clock), clock=clock)),
+        ConnectionURI.parse("qemu:///rd"),
+    )
+    return src, dst
+
+
+def running_domain(conn, name="guest"):
+    config = DomainConfig(name=name, domain_type="kvm", memory_kib=GiB_KIB)
+    return conn.define_domain(config).start()
+
+
+class _FailingFinishDriver:
+    """Wraps a driver, failing migrate_finish exactly once."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.finish_attempts = 0
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def migrate_finish(self, cookie, stats):
+        self.finish_attempts += 1
+        if not stats.get("failed"):
+            # destroy the half-built instance, then report the failure
+            self._inner.migrate_finish(cookie, {"failed": True})
+            raise VirtError("destination emulator died during activation")
+        return self._inner.migrate_finish(cookie, stats)
+
+
+class TestFinishFailure:
+    def test_finish_failure_resumes_source(self):
+        src, dst = pair()
+        dom = running_domain(src)
+        failing = _FailingFinishDriver(dst._driver)
+        with pytest.raises(MigrationError, match="failed to activate"):
+            run_handshake(src._driver, failing, "guest", {"live": True, "max_downtime_s": 0.3})
+        # the guest survived on the source, running again
+        assert dom.state() == DomainState.RUNNING
+        # and the destination holds nothing
+        assert dst._driver.backend.host.guest_count == 0
+        assert failing.finish_attempts == 1
+
+    def test_guest_never_lost_at_any_failure_point(self):
+        """Whatever fails, exactly one live copy of the guest exists."""
+        src, dst = pair()
+        dom = running_domain(src)
+
+        # failure at prepare (destination occupied)
+        running_domain(dst, "guest")
+        with pytest.raises(VirtError):
+            run_handshake(src._driver, dst._driver, "guest", {})
+        assert dom.state() == DomainState.RUNNING
+        dst.lookup_domain("guest").destroy()
+        dst.lookup_domain("guest").undefine()
+
+        # failure at perform (strict non-convergence)
+        src._driver.backend._get("guest").dirty_rate_mib_s = 1e9
+        with pytest.raises(MigrationError):
+            run_handshake(
+                src._driver,
+                dst._driver,
+                "guest",
+                {"strict_convergence": True},
+            )
+        assert dom.state() == DomainState.RUNNING
+        assert dst._driver.backend.host.guest_count == 0
+
+        # success path still works afterwards
+        src._driver.backend._get("guest").dirty_rate_mib_s = 32.0
+        result, stats = run_handshake(src._driver, dst._driver, "guest", {})
+        assert result["name"] == "guest"
+        assert dst.lookup_domain("guest").state() == DomainState.RUNNING
+        assert dom.state() == DomainState.SHUTOFF

@@ -1,0 +1,170 @@
+"""Tests for placement strategies and consolidation planning."""
+
+import pytest
+
+from repro.core.connection import Connection
+from repro.core.states import DomainState
+from repro.core.uri import ConnectionURI
+from repro.drivers.qemu import QemuDriver
+from repro.errors import InvalidArgumentError
+from repro.hypervisors.host import SimHost
+from repro.hypervisors.qemu_backend import QemuBackend
+from repro.placement import (
+    BalancedPlacement,
+    BestFitPlacement,
+    FirstFitPlacement,
+    PlacementError,
+    plan_consolidation,
+)
+from repro.placement.strategies import HostView, strategy
+from repro.util.clock import VirtualClock
+from repro.xmlconfig.domain import DomainConfig
+
+GiB_KIB = 1024 * 1024
+
+
+def make_host(name, memory_gib, clock=None):
+    clock = clock or VirtualClock()
+    host = SimHost(hostname=name, cpus=32, memory_kib=memory_gib * GiB_KIB, clock=clock)
+    driver = QemuDriver(QemuBackend(host=host, clock=clock))
+    return Connection(driver, ConnectionURI.parse(f"qemu://{name}/system"))
+
+
+def deploy(conn, name, memory_gib):
+    config = DomainConfig(
+        name=name, domain_type="kvm", memory_kib=memory_gib * GiB_KIB, vcpus=1
+    )
+    return conn.define_domain(config).start()
+
+
+class TestStrategies:
+    def setup_method(self):
+        self.clock = VirtualClock()
+        self.small = make_host("small", 8, self.clock)
+        self.big = make_host("big", 32, self.clock)
+        deploy(self.small, "pad", 4)  # small: ~3.5 GiB free; big: ~31.5 GiB
+
+    def test_first_fit_takes_first_fitting(self):
+        chosen = FirstFitPlacement().place([self.small, self.big], 2 * GiB_KIB)
+        assert chosen is self.small
+
+    def test_first_fit_skips_full_hosts(self):
+        chosen = FirstFitPlacement().place([self.small, self.big], 6 * GiB_KIB)
+        assert chosen is self.big
+
+    def test_best_fit_packs_tightest(self):
+        chosen = BestFitPlacement().place([self.small, self.big], 2 * GiB_KIB)
+        assert chosen is self.small
+
+    def test_balanced_spreads(self):
+        chosen = BalancedPlacement().place([self.small, self.big], 2 * GiB_KIB)
+        assert chosen is self.big
+
+    def test_no_fit_raises(self):
+        with pytest.raises(PlacementError, match="no host can fit"):
+            FirstFitPlacement().place([self.small], 100 * GiB_KIB)
+
+    def test_place_all_accounts_cumulatively(self):
+        # balanced placement alternates once capacities even out
+        requests = [2 * GiB_KIB] * 4
+        placements = BalancedPlacement().place_all([self.small, self.big], requests)
+        assert placements.count(self.big) >= 3  # big absorbs most
+
+    def test_place_all_best_fit_fills_small_first(self):
+        placements = BestFitPlacement().place_all(
+            [self.big, self.small], [GiB_KIB, GiB_KIB, GiB_KIB]
+        )
+        assert placements[0] is self.small
+
+    def test_strategy_lookup(self):
+        assert strategy("first-fit").name == "first-fit"
+        with pytest.raises(PlacementError):
+            strategy("quantum")
+
+    def test_host_view_snapshot(self):
+        view = HostView(self.small)
+        assert view.hostname == "small"
+        assert 0.0 < view.used_fraction < 1.0
+        free_before = view.free_kib
+        view.commit(GiB_KIB)
+        assert view.free_kib == free_before - GiB_KIB
+
+
+class TestConsolidationPlanner:
+    def build_datacentre(self):
+        clock = VirtualClock()
+        conns = [make_host(f"h{i}", 16, clock) for i in range(4)]
+        layout = {0: [("a", 2)], 1: [("b", 2)], 2: [("c", 1)], 3: [("d", 1)]}
+        for index, guests in layout.items():
+            for name, size in guests:
+                deploy(conns[index], name, size)
+        return conns
+
+    def test_plan_frees_hosts(self):
+        conns = self.build_datacentre()
+        plan = plan_consolidation(conns)
+        assert not plan.is_empty
+        assert len(plan.hosts_freed) >= 2
+
+    def test_plan_execute_moves_guests(self):
+        conns = self.build_datacentre()
+        plan = plan_consolidation(conns, keep_hosts=1)
+        steps = plan.execute()
+        assert all(step.succeeded for step in steps)
+        assert plan.total_downtime_s() >= 0
+        by_host = {c.hostname(): c for c in conns}
+        for freed in plan.hosts_freed:
+            assert by_host[freed].list_domains(active=True) == []
+        # every guest still runs somewhere
+        running = [
+            d.name for c in conns for d in c.list_domains(active=True)
+            if d.state() == DomainState.RUNNING
+        ]
+        assert sorted(running) == ["a", "b", "c", "d"]
+
+    def test_plan_respects_keep_hosts(self):
+        conns = self.build_datacentre()
+        plan = plan_consolidation(conns, keep_hosts=2)
+        targets = {s.destination for s in plan.steps}
+        assert len(targets) <= 2
+        assert len(plan.hosts_freed) == 2
+
+    def test_biggest_guests_move_first(self):
+        conns = self.build_datacentre()
+        plan = plan_consolidation(conns, keep_hosts=1)
+        by_source = {}
+        for step in plan.steps:
+            by_source.setdefault(step.source, []).append(step.memory_kib)
+        for sizes in by_source.values():
+            assert sizes == sorted(sizes, reverse=True)
+
+    def test_stranded_guest_keeps_host(self):
+        clock = VirtualClock()
+        target = make_host("target", 8, clock)  # ~7.5 GiB allocatable
+        source = make_host("source", 16, clock)
+        deploy(target, "resident", 6)  # fullest host -> consolidation target
+        deploy(source, "whale", 5)  # cannot fit into target's ~1.5 GiB free
+        plan = plan_consolidation([target, source], keep_hosts=1)
+        assert plan.hosts_freed == []  # whale is stranded
+        assert plan.steps == []
+
+    def test_failed_step_recorded_and_plan_continues(self):
+        conns = self.build_datacentre()
+        plan = plan_consolidation(conns, keep_hosts=1)
+        # sabotage one source guest so its migration fails
+        victim = plan.steps[0]
+        source_conn = plan._connections[victim.source]
+        source_conn.lookup_domain(victim.guest).destroy()
+        steps = plan.execute()
+        assert not steps[0].succeeded
+        assert steps[0].error
+        assert all(step.succeeded for step in steps[1:])
+
+    def test_validation(self):
+        conns = self.build_datacentre()
+        with pytest.raises(InvalidArgumentError):
+            plan_consolidation(conns[:1])
+        with pytest.raises(InvalidArgumentError):
+            plan_consolidation(conns, keep_hosts=0)
+        with pytest.raises(InvalidArgumentError):
+            plan_consolidation(conns, keep_hosts=4)

@@ -1,0 +1,202 @@
+"""Property-based tests: core invariants (URI, lifecycle, ledger, precopy)."""
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.core.connection import Connection
+from repro.core.states import ACTIVE_STATES, DomainState
+from repro.core.uri import KNOWN_TRANSPORTS, ConnectionURI
+from repro.drivers.test import TestDriver
+from repro.errors import InsufficientResourcesError, VirtError
+from repro.hypervisors.host import SimHost
+from repro.migration.precopy import run_precopy
+from repro.xmlconfig.domain import DomainConfig
+
+# -- URI round trip ------------------------------------------------------------
+
+ascii_names = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=15)
+
+# URI schemes must start with a letter (RFC 3986)
+scheme_names = st.builds(
+    lambda head, tail: head + tail,
+    st.sampled_from("abcdefghijklmnopqrstuvwxyz"),
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", max_size=14),
+)
+
+
+@st.composite
+def connection_uris(draw):
+    return ConnectionURI(
+        driver=draw(scheme_names),
+        transport=draw(st.one_of(st.none(), st.sampled_from(KNOWN_TRANSPORTS))),
+        username=draw(st.one_of(st.none(), ascii_names)),
+        hostname=draw(st.one_of(st.none(), ascii_names)),
+        port=draw(st.one_of(st.none(), st.integers(1, 65535))),
+        path=draw(st.sampled_from(["", "/", "/system", "/session", "/a/b"])),
+        params=draw(
+            st.dictionaries(ascii_names, ascii_names, max_size=3)
+        ),
+    )
+
+
+class TestURIRoundTrip:
+    @given(connection_uris())
+    @settings(max_examples=200)
+    def test_format_parse_identity(self, uri):
+        # usernames without hosts are not representable in URI syntax
+        assume(not (uri.username and not uri.hostname))
+        assume(not (uri.port and not uri.hostname))
+        rebuilt = ConnectionURI.parse(uri.format())
+        assert rebuilt == uri
+
+    @given(connection_uris())
+    @settings(max_examples=100)
+    def test_is_remote_consistent(self, uri):
+        assert uri.is_remote == (uri.transport is not None or bool(uri.hostname))
+
+
+# -- domain lifecycle state machine ---------------------------------------------
+
+OPS = ("start", "shutdown", "destroy", "suspend", "resume", "reboot")
+
+
+class TestLifecycleInvariants:
+    @given(st.lists(st.sampled_from(OPS), min_size=1, max_size=30))
+    @settings(max_examples=200, deadline=None)
+    def test_random_op_sequences_never_corrupt_state(self, ops):
+        """Any op sequence either succeeds or raises; the observable state
+        is always a legal DomainState, and resources never leak."""
+        from repro.core.uri import ConnectionURI as URI
+
+        driver = TestDriver(seed_default=False)
+        conn = Connection(driver, URI.parse("test:///prop"))
+        dom = conn.define_domain(DomainConfig(name="fuzz", domain_type="test"))
+        host = driver.backend.host
+        for op in ops:
+            try:
+                getattr(dom, op)()
+            except VirtError:
+                pass
+            state = dom.state()
+            assert isinstance(state, DomainState)
+            if state in ACTIVE_STATES:
+                assert host.holds_claim("fuzz")
+            else:
+                assert not host.holds_claim("fuzz")
+        # cleanup path always available
+        if dom.state() in ACTIVE_STATES:
+            dom.destroy()
+        dom.undefine()
+        assert host.guest_count == 0
+
+    @given(st.lists(st.sampled_from(OPS), min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_start_only_succeeds_from_shutoff(self, ops):
+        from repro.core.uri import ConnectionURI as URI
+
+        driver = TestDriver(seed_default=False)
+        conn = Connection(driver, URI.parse("test:///prop2"))
+        dom = conn.define_domain(DomainConfig(name="fuzz2", domain_type="test"))
+        for op in ops:
+            before = dom.state()
+            try:
+                getattr(dom, op)()
+            except VirtError:
+                continue
+            if op == "start":
+                assert before == DomainState.SHUTOFF
+                assert dom.state() == DomainState.RUNNING
+
+
+# -- host resource ledger ----------------------------------------------------------
+
+GiB_KIB = 1024 * 1024
+
+
+@st.composite
+def allocation_requests(draw):
+    return [
+        (f"g{i}", draw(st.integers(1, 8)), draw(st.integers(1, 8)) * GiB_KIB)
+        for i in range(draw(st.integers(1, 12)))
+    ]
+
+
+class TestLedgerInvariants:
+    @given(allocation_requests())
+    @settings(max_examples=200)
+    def test_ledger_never_overcommits_memory(self, requests):
+        host = SimHost(cpus=16, memory_kib=16 * GiB_KIB, cpu_overcommit=8.0)
+        for name, vcpus, memory in requests:
+            try:
+                host.allocate(name, vcpus, memory)
+            except (InsufficientResourcesError, VirtError):
+                continue
+        assert host.used_memory_kib <= host.allocatable_kib
+        assert host.used_vcpus <= host.vcpu_budget
+
+    @given(allocation_requests())
+    @settings(max_examples=100)
+    def test_release_restores_everything(self, requests):
+        host = SimHost(cpus=64, memory_kib=128 * GiB_KIB)
+        granted = []
+        for name, vcpus, memory in requests:
+            try:
+                host.allocate(name, vcpus, memory)
+                granted.append(name)
+            except VirtError:
+                pass
+        for name in granted:
+            host.release(name)
+        assert host.used_memory_kib == 0
+        assert host.used_vcpus == 0
+        assert host.guest_count == 0
+
+
+# -- precopy conservation laws -----------------------------------------------------
+
+MIB = 1024 * 1024
+
+
+class TestPrecopyInvariants:
+    @given(
+        st.integers(64 * MIB, 16 * 1024 * MIB),  # memory
+        st.floats(0.0, 512.0),  # dirty MiB/s
+        st.floats(32.0, 2048.0),  # bandwidth MiB/s
+        st.floats(0.05, 2.0),  # downtime budget
+    )
+    @settings(max_examples=300)
+    def test_model_invariants(self, memory, dirty, bandwidth, downtime):
+        result = run_precopy(memory, dirty * MIB, bandwidth * MIB, downtime)
+        # at least the full memory crosses the wire
+        assert result.transferred_bytes >= memory
+        # time accounting is self-consistent
+        assert 0 <= result.downtime_s <= result.total_time_s + 1e-9
+        assert result.transferred_bytes == sum(result.round_bytes)
+        assert result.rounds == len(result.round_bytes)
+        # total time is at least the line-rate minimum
+        assert result.total_time_s >= memory / (bandwidth * MIB) - 1e-9
+        # converged runs honour the downtime budget
+        if result.converged:
+            assert result.downtime_s <= downtime + 1e-9
+
+    @given(
+        st.integers(64 * MIB, 4 * 1024 * MIB),
+        st.floats(32.0, 512.0),
+    )
+    @settings(max_examples=100)
+    def test_dirty_below_bandwidth_always_converges(self, memory, bandwidth):
+        result = run_precopy(memory, 0.5 * bandwidth * MIB, bandwidth * MIB, 0.3)
+        assert result.converged
+
+    @given(
+        st.integers(64 * MIB, 4 * 1024 * MIB),
+        st.floats(32.0, 512.0),
+        st.floats(1.05, 4.0),
+    )
+    @settings(max_examples=100)
+    def test_dirty_above_bandwidth_never_converges(self, memory, bandwidth, factor):
+        downtime = 0.1
+        # only meaningful when the memory cannot fit the downtime budget
+        assume(memory > bandwidth * MIB * downtime * 2)
+        result = run_precopy(memory, factor * bandwidth * MIB, bandwidth * MIB, downtime)
+        assert not result.converged

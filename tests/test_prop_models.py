@@ -1,0 +1,86 @@
+"""Property-based tests: cost-model and transport-model invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.hypervisors.timing import DEFAULT_COST_MODELS, MEMORY_SCALED, OPERATIONS
+from repro.rpc.transport import TRANSPORT_SPECS
+from repro.util.clock import VirtualClock
+
+
+class TestCostModelInvariants:
+    @given(
+        st.sampled_from(sorted(DEFAULT_COST_MODELS)),
+        st.sampled_from(OPERATIONS),
+        st.floats(0.0, 64.0),
+        st.floats(0.0, 64.0),
+    )
+    @settings(max_examples=200)
+    def test_cost_monotone_in_memory(self, kind, op, mem_a, mem_b):
+        model = DEFAULT_COST_MODELS[kind]
+        low, high = sorted([mem_a, mem_b])
+        assert model.cost(op, low) <= model.cost(op, high)
+
+    @given(
+        st.sampled_from(sorted(DEFAULT_COST_MODELS)),
+        st.sampled_from(OPERATIONS),
+        st.floats(0.1, 10.0),
+        st.floats(0.0, 16.0),
+    )
+    @settings(max_examples=200)
+    def test_scaled_model_is_proportional(self, kind, op, factor, memory):
+        model = DEFAULT_COST_MODELS[kind]
+        scaled = model.scaled(factor)
+        assert scaled.cost(op, memory) == pytest_approx(model.cost(op, memory) * factor)
+
+    @given(
+        st.sampled_from(sorted(DEFAULT_COST_MODELS)),
+        st.lists(st.sampled_from(OPERATIONS), min_size=1, max_size=10),
+    )
+    @settings(max_examples=100)
+    def test_charges_accumulate_exactly(self, kind, ops):
+        model = DEFAULT_COST_MODELS[kind]
+        clock = VirtualClock()
+        expected = 0.0
+        for op in ops:
+            expected += model.charge(clock, op)
+        assert clock.now() == pytest_approx(expected)
+
+    @given(st.sampled_from(sorted(DEFAULT_COST_MODELS)))
+    def test_memory_scaling_limited_to_declared_ops(self, kind):
+        model = DEFAULT_COST_MODELS[kind]
+        for op in OPERATIONS:
+            if op not in MEMORY_SCALED:
+                assert model.cost(op, 0.0) == model.cost(op, 32.0)
+
+
+class TestTransportModelInvariants:
+    @given(
+        st.sampled_from(sorted(TRANSPORT_SPECS)),
+        st.integers(0, 1 << 24),
+        st.integers(0, 1 << 24),
+    )
+    @settings(max_examples=200)
+    def test_latency_monotone_in_size(self, name, size_a, size_b):
+        spec = TRANSPORT_SPECS[name]
+        low, high = sorted([size_a, size_b])
+        assert spec.message_latency(low) <= spec.message_latency(high)
+
+    @given(st.sampled_from(sorted(TRANSPORT_SPECS)), st.integers(0, 1 << 24))
+    @settings(max_examples=200)
+    def test_latency_at_least_fixed_component(self, name, size):
+        spec = TRANSPORT_SPECS[name]
+        assert spec.message_latency(size) >= spec.per_message_latency
+
+    @given(st.integers(1, 1 << 22))
+    @settings(max_examples=100)
+    def test_faster_transport_never_slower(self, size):
+        order = ["local", "unix", "tcp", "tls", "ssh"]
+        latencies = [TRANSPORT_SPECS[t].message_latency(size) for t in order]
+        assert latencies == sorted(latencies)
+
+
+def pytest_approx(value, rel=1e-9):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

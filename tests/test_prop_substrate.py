@@ -1,0 +1,188 @@
+"""Property-based tests: substrate invariants (threadpool, images, DHCP)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.connection import Connection
+from repro.core.uri import ConnectionURI
+from repro.drivers.test import NullBackend, TestDriver
+from repro.errors import VirtError
+from repro.hypervisors.diskimage import ImageStore
+from repro.hypervisors.host import SimHost
+from repro.util.threadpool import WorkerPool
+from repro.xmlconfig.domain import DomainConfig, InterfaceDevice
+from repro.xmlconfig.network import DHCPRange, IPConfig, NetworkConfig
+
+GiB = 1024**3
+GiB_KIB = 1024 * 1024
+
+
+# -- threadpool: limits always hold under arbitrary reconfiguration ------------
+
+
+@st.composite
+def pool_actions(draw):
+    actions = []
+    for _ in range(draw(st.integers(1, 12))):
+        kind = draw(st.sampled_from(["submit", "reconfig", "stats"]))
+        if kind == "reconfig":
+            max_workers = draw(st.integers(1, 12))
+            actions.append(
+                (
+                    "reconfig",
+                    draw(st.integers(0, max_workers)),
+                    max_workers,
+                    draw(st.integers(0, 4)),
+                )
+            )
+        elif kind == "submit":
+            actions.append(("submit", draw(st.integers(1, 5))))
+        else:
+            actions.append(("stats",))
+    return actions
+
+
+class TestThreadpoolInvariants:
+    @given(pool_actions())
+    @settings(max_examples=60, deadline=None)
+    def test_limits_hold_under_fuzzed_reconfiguration(self, actions):
+        pool = WorkerPool(min_workers=1, max_workers=4, prio_workers=1)
+        futures = []
+        try:
+            for action in actions:
+                if action[0] == "submit":
+                    futures.extend(
+                        pool.submit(lambda: None) for _ in range(action[1])
+                    )
+                elif action[0] == "reconfig":
+                    try:
+                        pool.set_parameters(
+                            min_workers=action[1],
+                            max_workers=action[2],
+                            prio_workers=action[3],
+                        )
+                    except VirtError:
+                        pass
+                stats = pool.stats()
+                # structural invariants, at every step
+                assert 0 <= stats["minWorkers"] <= stats["maxWorkers"]
+                assert stats["freeWorkers"] <= stats["nWorkers"]
+                assert stats["jobQueueDepth"] >= 0
+            for future in futures:
+                future.result(timeout=10)
+            # quiescent state: worker count within the final limits
+            import time
+
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                stats = pool.stats()
+                if stats["minWorkers"] <= stats["nWorkers"] <= stats["maxWorkers"]:
+                    break
+                time.sleep(0.005)
+            stats = pool.stats()
+            assert stats["minWorkers"] <= stats["nWorkers"] <= stats["maxWorkers"]
+        finally:
+            pool.shutdown()
+
+
+# -- image store: chains stay acyclic, allocation conserved ---------------------
+
+
+@st.composite
+def image_ops(draw):
+    ops = []
+    for index in range(draw(st.integers(1, 15))):
+        kind = draw(st.sampled_from(["create", "clone", "delete", "write"]))
+        target = draw(st.integers(0, index))
+        ops.append((kind, index, target, draw(st.integers(0, GiB))))
+    return ops
+
+
+class TestImageStoreInvariants:
+    @given(image_ops())
+    @settings(max_examples=80, deadline=None)
+    def test_chains_acyclic_and_allocation_bounded(self, ops):
+        store = ImageStore(capacity_bytes=100 * GiB)
+        for kind, index, target, size in ops:
+            path = f"/img/{index}.qcow2"
+            other = f"/img/{target}.qcow2"
+            try:
+                if kind == "create":
+                    store.create(path, GiB)
+                elif kind == "clone":
+                    store.clone(other, f"/img/c{index}.qcow2")
+                elif kind == "delete":
+                    store.delete(other)
+                else:
+                    store.write(other, size)
+            except VirtError:
+                continue
+        # every surviving image has a finite, loop-free chain
+        total = 0
+        for path in store.list_paths():
+            chain = store.chain(path)
+            assert len(chain) == len(set(chain))
+            image = store.lookup(path)
+            assert 0 <= image.allocation_bytes <= image.capacity_bytes
+            total += image.allocation_bytes
+        assert total == store.allocated_bytes <= store.capacity_bytes
+
+
+# -- DHCP leases: uniqueness and range membership under churn -------------------
+
+
+@st.composite
+def lease_scripts(draw):
+    script = []
+    for index in range(draw(st.integers(1, 20))):
+        script.append(
+            (draw(st.sampled_from(["start", "stop"])), draw(st.integers(0, 9)))
+        )
+    return script
+
+
+class TestDHCPInvariants:
+    @given(lease_scripts())
+    @settings(max_examples=80, deadline=None)
+    def test_leases_unique_and_in_range(self, script):
+        import ipaddress
+
+        driver = TestDriver(
+            NullBackend(host=SimHost(cpus=64, memory_kib=128 * GiB_KIB)),
+            seed_default=False,
+        )
+        conn = Connection(driver, ConnectionURI.parse("test:///dhcpfuzz"))
+        net = conn.define_network(
+            NetworkConfig(
+                name="default",
+                ip=IPConfig("10.1.0.1", "255.255.255.0", DHCPRange("10.1.0.2", "10.1.0.6")),
+            )
+        ).start()
+        domains = {}
+        for action, index in script:
+            name = f"g{index}"
+            if name not in domains:
+                domains[name] = conn.define_domain(
+                    DomainConfig(
+                        name=name,
+                        domain_type="test",
+                        memory_kib=512 * 1024,
+                        interfaces=[InterfaceDevice("network", "default")],
+                    )
+                )
+            try:
+                if action == "start":
+                    domains[name].start()
+                else:
+                    domains[name].destroy()
+            except VirtError:
+                continue
+            leases = net.dhcp_leases()
+            ips = [entry["ip"] for entry in leases]
+            macs = [entry["mac"] for entry in leases]
+            assert len(ips) == len(set(ips)), "duplicate IP leased"
+            assert len(macs) == len(set(macs))
+            network = ipaddress.ip_network("10.1.0.0/24")
+            for ip in ips:
+                assert ipaddress.ip_address(ip) in network
+            assert len(leases) <= 5  # range size

@@ -1,0 +1,166 @@
+"""Property-based tests: XDR serialization invariants (hypothesis)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import RPCError
+from repro.rpc.protocol import MessageType, ReplyStatus, RPCMessage, split_frames
+from repro.rpc.xdr import XdrDecoder, XdrEncoder, decode_value, encode_value
+from repro.util.typedparams import ParamType, TypedParameter
+
+# -- strategies ---------------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=200),
+    st.binary(max_size=200),
+)
+
+json_values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=8),
+        st.dictionaries(st.text(max_size=20), children, max_size=8),
+    ),
+    max_leaves=30,
+)
+
+
+def typed_param_strategy():
+    def build(draw_type):
+        field = st.text(
+            alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1,
+            max_size=40,
+        )
+        if draw_type == ParamType.INT:
+            value = st.integers(-(2**31), 2**31 - 1)
+        elif draw_type == ParamType.UINT:
+            value = st.integers(0, 2**32 - 1)
+        elif draw_type == ParamType.LLONG:
+            value = st.integers(-(2**63), 2**63 - 1)
+        elif draw_type == ParamType.ULLONG:
+            value = st.integers(0, 2**64 - 1)
+        elif draw_type == ParamType.DOUBLE:
+            value = st.floats(allow_nan=False, allow_infinity=False)
+        elif draw_type == ParamType.BOOLEAN:
+            value = st.booleans()
+        else:
+            value = st.text(max_size=80)
+        return st.builds(TypedParameter, field, st.just(draw_type), value)
+
+    return st.one_of([build(t) for t in ParamType])
+
+
+class TestValueRoundTrip:
+    @given(json_values)
+    @settings(max_examples=300)
+    def test_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    @given(st.lists(typed_param_strategy(), min_size=1, max_size=10))
+    @settings(max_examples=200)
+    def test_typed_params_round_trip(self, params):
+        decoded = decode_value(encode_value(params))
+        assert decoded == params
+        assert all(p.type == q.type for p, q in zip(params, decoded))
+
+    @given(json_values)
+    def test_encoding_is_deterministic(self, value):
+        assert encode_value(value) == encode_value(value)
+
+    @given(json_values)
+    def test_encoded_length_is_4_aligned(self, value):
+        assert len(encode_value(value)) % 4 == 0
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_truncation_always_detected(self, garbage):
+        """Decoding any strict prefix of a valid encoding fails cleanly."""
+        data = encode_value({"k": garbage.decode("latin-1"), "n": 1})
+        for cut in range(1, len(data)):
+            with pytest.raises(RPCError):
+                decode_value(data[:cut])
+
+
+class TestPrimitiveRoundTrip:
+    @given(st.integers(-(2**31), 2**31 - 1))
+    def test_int(self, value):
+        enc = XdrEncoder().pack_int(value)
+        dec = XdrDecoder(enc.data())
+        assert dec.unpack_int() == value
+        dec.done()
+
+    @given(st.integers(0, 2**64 - 1))
+    def test_uhyper(self, value):
+        enc = XdrEncoder().pack_uhyper(value)
+        assert XdrDecoder(enc.data()).unpack_uhyper() == value
+
+    @given(st.floats(allow_nan=False))
+    def test_double(self, value):
+        enc = XdrEncoder().pack_double(value)
+        assert XdrDecoder(enc.data()).unpack_double() == value
+
+    @given(st.text(max_size=500))
+    def test_string(self, value):
+        enc = XdrEncoder().pack_string(value)
+        assert XdrDecoder(enc.data()).unpack_string() == value
+
+    @given(st.binary(max_size=500))
+    def test_opaque_padding_invariant(self, value):
+        enc = XdrEncoder().pack_opaque(value)
+        assert len(enc.data()) % 4 == 0
+        dec = XdrDecoder(enc.data())
+        assert dec.unpack_opaque() == value
+        dec.done()
+
+
+class TestMessageFraming:
+    @given(
+        st.sampled_from([MessageType.CALL, MessageType.REPLY, MessageType.EVENT]),
+        st.sampled_from([ReplyStatus.OK, ReplyStatus.ERROR]),
+        st.integers(0, 2**32 - 1),
+        json_values,
+    )
+    @settings(max_examples=150)
+    def test_message_round_trip(self, mtype, status, serial, body):
+        msg = RPCMessage(1, mtype, serial, status, body)
+        rebuilt = RPCMessage.unpack(msg.pack())
+        assert rebuilt.mtype == mtype
+        assert rebuilt.status == status
+        assert rebuilt.serial == serial
+        assert rebuilt.body == body
+
+    @given(st.lists(json_values, min_size=1, max_size=6), st.data())
+    @settings(max_examples=100)
+    def test_frames_reassemble_from_any_chunking(self, bodies, data):
+        """A frame stream split at arbitrary byte boundaries reassembles."""
+        stream = b"".join(
+            RPCMessage(1, MessageType.CALL, i, body=b).pack()
+            for i, b in enumerate(bodies)
+        )
+        # split the stream into random chunks
+        cut_points = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(0, len(stream)), min_size=0, max_size=6, unique=True
+                )
+            )
+        )
+        chunks = []
+        prev = 0
+        for cut in cut_points + [len(stream)]:
+            chunks.append(stream[prev:cut])
+            prev = cut
+        frames = []
+        buffer = b""
+        for chunk in chunks:
+            got, buffer = split_frames(buffer + chunk)
+            frames.extend(got)
+        assert buffer == b""
+        assert len(frames) == len(bodies)
+        for i, frame in enumerate(frames):
+            assert RPCMessage.unpack(frame).body == bodies[i]

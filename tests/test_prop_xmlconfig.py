@@ -1,0 +1,190 @@
+"""Property-based tests: XML configuration round-trip invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.xmlconfig.domain import (
+    ConsoleDevice,
+    DiskDevice,
+    DomainConfig,
+    GraphicsDevice,
+    InterfaceDevice,
+    OSConfig,
+)
+from repro.xmlconfig.network import DHCPRange, IPConfig, NetworkConfig
+from repro.xmlconfig.storage import StoragePoolConfig, VolumeConfig
+
+# -- strategies -----------------------------------------------------------
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-.",
+    min_size=1,
+    max_size=30,
+)
+
+hexdigits = "0123456789abcdef"
+
+
+@st.composite
+def uuids(draw):
+    digits = draw(st.lists(st.sampled_from(hexdigits), min_size=32, max_size=32))
+    raw = "".join(digits)
+    return f"{raw[:8]}-{raw[8:12]}-{raw[12:16]}-{raw[16:20]}-{raw[20:]}"
+
+
+@st.composite
+def macs(draw):
+    octets = draw(st.lists(st.integers(0, 255), min_size=6, max_size=6))
+    return ":".join(f"{o:02x}" for o in octets)
+
+
+@st.composite
+def disks(draw, index):
+    return DiskDevice(
+        source=f"/img/{draw(names)}.img",
+        target_dev=f"vd{chr(97 + index)}",
+        disk_type=draw(st.sampled_from(DiskDevice.TYPES)),
+        device=draw(st.sampled_from(DiskDevice.DEVICES)),
+        driver_format=draw(st.sampled_from(DiskDevice.FORMATS)),
+        target_bus=draw(st.sampled_from(DiskDevice.BUSES)),
+        readonly=draw(st.booleans()),
+        capacity_bytes=draw(st.integers(0, 2**40)),
+    )
+
+
+@st.composite
+def domain_configs(draw):
+    memory = draw(st.integers(1024, 64 * 1024 * 1024))
+    vcpus = draw(st.integers(1, 32))
+    n_disks = draw(st.integers(0, 4))
+    disk_list = [draw(disks(i)) for i in range(n_disks)]
+    mac_list = draw(st.lists(macs(), max_size=3, unique=True))
+    interfaces = [
+        InterfaceDevice(
+            draw(st.sampled_from(InterfaceDevice.TYPES)),
+            draw(names),
+            mac,
+            draw(st.sampled_from(InterfaceDevice.MODELS)),
+        )
+        for mac in mac_list
+    ]
+    return DomainConfig(
+        name=draw(names),
+        domain_type=draw(st.sampled_from(("qemu", "kvm", "esx", "test"))),
+        uuid=draw(st.one_of(st.none(), uuids())),
+        memory_kib=memory,
+        current_memory_kib=draw(st.integers(1, memory)),
+        vcpus=vcpus,
+        max_vcpus=draw(st.integers(vcpus, 64)),
+        os=OSConfig(
+            "hvm",
+            draw(st.sampled_from(OSConfig.ARCHES)),
+            draw(st.lists(st.sampled_from(OSConfig.BOOT_DEVICES), min_size=1, max_size=3)),
+        ),
+        disks=disk_list,
+        interfaces=interfaces,
+        graphics=[
+            GraphicsDevice(
+                draw(st.sampled_from(GraphicsDevice.TYPES)),
+                draw(st.integers(-1, 65535)),
+                draw(st.booleans()),
+            )
+        ]
+        if draw(st.booleans())
+        else [],
+        consoles=[ConsoleDevice("pty", draw(st.integers(0, 4)))]
+        if draw(st.booleans())
+        else [],
+        features=draw(st.lists(st.sampled_from(["acpi", "apic", "pae"]), unique=True)),
+        on_poweroff=draw(st.sampled_from(("destroy", "restart", "preserve"))),
+        on_reboot=draw(st.sampled_from(("destroy", "restart"))),
+        on_crash=draw(st.sampled_from(("destroy", "restart", "preserve"))),
+    )
+
+
+class TestDomainRoundTrip:
+    @given(domain_configs())
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_identity(self, config):
+        rebuilt = DomainConfig.from_xml(config.to_xml())
+        assert rebuilt == config
+        # and a second pass is a fixed point
+        assert DomainConfig.from_xml(rebuilt.to_xml()) == rebuilt
+
+    @given(domain_configs())
+    @settings(max_examples=50, deadline=None)
+    def test_copy_preserves_equality(self, config):
+        assert config.copy() == config
+
+    @given(domain_configs())
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_preserves_devices(self, config):
+        rebuilt = DomainConfig.from_xml(config.to_xml())
+        assert rebuilt.disks == config.disks
+        assert rebuilt.interfaces == config.interfaces
+        assert rebuilt.graphics == config.graphics
+        assert rebuilt.consoles == config.consoles
+
+
+@st.composite
+def network_configs(draw):
+    base = draw(st.integers(1, 220))
+    ip = None
+    if draw(st.booleans()):
+        dhcp = None
+        if draw(st.booleans()):
+            lo, hi = sorted([draw(st.integers(2, 120)), draw(st.integers(121, 254))])
+            dhcp = DHCPRange(f"10.{base}.0.{lo}", f"10.{base}.0.{hi}")
+        ip = IPConfig(f"10.{base}.0.1", "255.255.255.0", dhcp)
+    return NetworkConfig(
+        name=draw(names),
+        uuid=draw(st.one_of(st.none(), uuids())),
+        bridge=draw(st.one_of(st.none(), names.map(lambda n: f"br-{n}"))),
+        forward_mode=draw(st.sampled_from(("nat", "route", "bridge", "isolated"))),
+        ip=ip,
+    )
+
+
+class TestNetworkRoundTrip:
+    @given(network_configs())
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_identity(self, config):
+        assert NetworkConfig.from_xml(config.to_xml()) == config
+
+
+@st.composite
+def pool_configs(draw):
+    return StoragePoolConfig(
+        name=draw(names),
+        pool_type=draw(st.sampled_from(("dir", "fs", "logical", "netfs"))),
+        uuid=draw(st.one_of(st.none(), uuids())),
+        target_path=f"/srv/{draw(names)}",
+        capacity_bytes=draw(st.integers(1, 2**50)),
+    )
+
+
+@st.composite
+def volume_configs(draw):
+    capacity = draw(st.integers(1, 2**45))
+    fmt = draw(st.sampled_from(("raw", "qcow2", "vmdk")))
+    return VolumeConfig(
+        name=draw(names),
+        capacity_bytes=capacity,
+        allocation_bytes=draw(st.integers(0, capacity)),
+        volume_format=fmt,
+        backing_store=(
+            f"/img/{draw(names)}" if fmt != "raw" and draw(st.booleans()) else None
+        ),
+    )
+
+
+class TestStorageRoundTrip:
+    @given(pool_configs())
+    @settings(max_examples=100, deadline=None)
+    def test_pool_round_trip(self, config):
+        assert StoragePoolConfig.from_xml(config.to_xml()) == config
+
+    @given(volume_configs())
+    @settings(max_examples=100, deadline=None)
+    def test_volume_round_trip(self, config):
+        assert VolumeConfig.from_xml(config.to_xml()) == config

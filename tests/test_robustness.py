@@ -1,0 +1,157 @@
+"""Robustness: fuzzed inputs must fail cleanly, concurrency must not corrupt."""
+
+import threading
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+import repro
+from repro.daemon import Libvirtd
+from repro.errors import VirtError, XMLError
+from repro.rpc.protocol import RPCMessage
+from repro.xmlconfig.capabilities import Capabilities
+from repro.xmlconfig.domain import DomainConfig
+from repro.xmlconfig.network import NetworkConfig
+from repro.xmlconfig.storage import StoragePoolConfig, VolumeConfig
+
+GiB_KIB = 1024 * 1024
+
+
+class TestXMLFuzz:
+    """Arbitrary text/XML-ish input to every parser → XMLError, never a crash."""
+
+    PARSERS = (
+        DomainConfig.from_xml,
+        NetworkConfig.from_xml,
+        StoragePoolConfig.from_xml,
+        VolumeConfig.from_xml,
+        Capabilities.from_xml,
+    )
+
+    @given(st.text(max_size=300))
+    @settings(max_examples=150)
+    def test_random_text_rejected_cleanly(self, text):
+        for parser in self.PARSERS:
+            with pytest.raises((XMLError, ValueError)):
+                parser(text)
+
+    @given(
+        st.sampled_from(["domain", "network", "pool", "volume", "capabilities"]),
+        st.lists(
+            st.tuples(
+                st.sampled_from(["name", "uuid", "memory", "vcpu", "ip", "target", "os", "type"]),
+                st.text(alphabet="abc<>&/ 0123456789", max_size=20),
+            ),
+            max_size=5,
+        ),
+    )
+    @settings(max_examples=150)
+    def test_malformed_documents_rejected_cleanly(self, root, children):
+        body = "".join(f"<{tag}>{value}</{tag}>" for tag, value in children)
+        text = f"<{root}>{body}</{root}>"
+        for parser in self.PARSERS:
+            try:
+                parser(text)
+            except (XMLError, ValueError):
+                pass  # clean rejection is the requirement
+
+    @given(st.binary(min_size=1, max_size=200))
+    @settings(max_examples=150)
+    def test_rpc_unpack_never_crashes(self, blob):
+        from repro.errors import RPCError
+
+        try:
+            RPCMessage.unpack(blob)
+        except RPCError:
+            pass
+
+
+class TestDaemonConcurrency:
+    def test_many_threads_hammering_one_daemon(self):
+        """8 client threads × mixed operations: consistent end state,
+        no exceptions other than expected domain-level conflicts."""
+        with Libvirtd(hostname="stress", max_workers=16, max_clients=32) as daemon:
+            daemon.listen("tcp")
+            surprises = []
+            barrier = threading.Barrier(8)
+
+            def worker(index):
+                try:
+                    conn = repro.open_connection("qemu+tcp://stress/system")
+                    barrier.wait(timeout=10)
+                    name = f"vm{index}"
+                    config = DomainConfig(
+                        name=name, domain_type="kvm", memory_kib=512 * 1024
+                    )
+                    for _ in range(5):
+                        dom = conn.define_domain(config)
+                        dom.start()
+                        dom.suspend()
+                        dom.resume()
+                        dom.get_stats()
+                        dom.destroy()
+                        dom.undefine()
+                    conn.close()
+                except VirtError as exc:
+                    surprises.append(exc)
+                except Exception as exc:  # noqa: BLE001
+                    surprises.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert surprises == []
+            driver = daemon.drivers["qemu"]
+            assert driver.list_domains() == []
+            assert driver.list_defined_domains() == []
+            assert driver.backend.host.guest_count == 0
+            stats = daemon.stats()
+            assert stats["calls_failed"] == 0
+            assert stats["calls_served"] >= 8 * 5 * 6
+
+    def test_concurrent_clients_share_one_domain_safely(self):
+        """Racing lifecycle ops on one domain: conflicts are clean
+        InvalidOperationErrors; the final state is coherent."""
+        with Libvirtd(hostname="race", max_workers=8) as daemon:
+            daemon.listen("tcp")
+            setup = repro.open_connection("qemu+tcp://race/system")
+            setup.define_domain(
+                DomainConfig(name="shared", domain_type="kvm", memory_kib=512 * 1024)
+            )
+            crashes = []
+
+            def flip(op_sequence):
+                try:
+                    conn = repro.open_connection("qemu+tcp://race/system")
+                    dom = conn.lookup_domain("shared")
+                    for op in op_sequence:
+                        try:
+                            getattr(dom, op)()
+                        except VirtError:
+                            pass  # lost the race: acceptable
+                    conn.close()
+                except Exception as exc:  # noqa: BLE001
+                    crashes.append(exc)
+
+            sequences = [
+                ["start", "suspend", "resume", "destroy"] * 3,
+                ["start", "destroy"] * 5,
+                ["suspend", "resume"] * 6,
+                ["start", "reboot", "destroy"] * 3,
+            ]
+            threads = [threading.Thread(target=flip, args=(s,)) for s in sequences]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert crashes == []
+            state = setup.lookup_domain("shared").state()
+            assert state.name in ("RUNNING", "PAUSED", "SHUTOFF")
+            host = daemon.drivers["qemu"].backend.host
+            if state.name == "SHUTOFF":
+                assert host.guest_count == 0
+            else:
+                assert host.guest_count == 1

@@ -1,0 +1,128 @@
+"""Tests for message framing (repro.rpc.protocol)."""
+
+import pytest
+
+from repro.errors import RPCError
+from repro.rpc.protocol import (
+    HEADER_BYTES,
+    PROCEDURES,
+    MessageType,
+    ReplyStatus,
+    RPCMessage,
+    procedure_name,
+    procedure_number,
+    split_frames,
+)
+
+
+class TestProcedureTable:
+    def test_numbers_are_unique(self):
+        numbers = list(PROCEDURES.values())
+        assert len(numbers) == len(set(numbers))
+
+    def test_name_number_round_trip(self):
+        for name, number in PROCEDURES.items():
+            assert procedure_number(name) == number
+            assert procedure_name(number) == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(RPCError):
+            procedure_number("domain.levitate")
+
+    def test_unknown_number_rejected(self):
+        with pytest.raises(RPCError):
+            procedure_name(999999)
+
+
+class TestMessage:
+    def test_pack_unpack_round_trip(self):
+        msg = RPCMessage(
+            procedure_number("domain.create"),
+            MessageType.CALL,
+            serial=7,
+            body={"name": "web1", "flags": 0},
+        )
+        rebuilt = RPCMessage.unpack(msg.pack())
+        assert rebuilt.procedure == msg.procedure
+        assert rebuilt.mtype == MessageType.CALL
+        assert rebuilt.serial == 7
+        assert rebuilt.status == ReplyStatus.OK
+        assert rebuilt.body == {"name": "web1", "flags": 0}
+
+    def test_error_reply_round_trip(self):
+        msg = RPCMessage(
+            5, MessageType.REPLY, 3, ReplyStatus.ERROR, {"code": 10, "message": "gone"}
+        )
+        rebuilt = RPCMessage.unpack(msg.pack())
+        assert rebuilt.status == ReplyStatus.ERROR
+        assert rebuilt.body["code"] == 10
+
+    def test_none_body(self):
+        msg = RPCMessage(1, MessageType.CALL, 1)
+        assert RPCMessage.unpack(msg.pack()).body is None
+
+    def test_length_prefix_matches(self):
+        data = RPCMessage(1, MessageType.CALL, 1, body="x").pack()
+        assert int.from_bytes(data[:4], "big") == len(data)
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(RPCError, match="short message"):
+            RPCMessage.unpack(b"\x00\x00")
+
+    def test_wrong_length_rejected(self):
+        data = bytearray(RPCMessage(1, MessageType.CALL, 1).pack())
+        data[3] += 1  # corrupt the length word
+        with pytest.raises(RPCError, match="frame length"):
+            RPCMessage.unpack(bytes(data))
+
+    def test_wrong_program_rejected(self):
+        data = bytearray(RPCMessage(1, MessageType.CALL, 1).pack())
+        data[4] = 0xFF
+        with pytest.raises(RPCError, match="unknown program"):
+            RPCMessage.unpack(bytes(data))
+
+    def test_wrong_version_rejected(self):
+        data = bytearray(RPCMessage(1, MessageType.CALL, 1).pack())
+        data[11] = 9
+        with pytest.raises(RPCError, match="unsupported protocol version"):
+            RPCMessage.unpack(bytes(data))
+
+    def test_bad_type_rejected(self):
+        data = bytearray(RPCMessage(1, MessageType.CALL, 1).pack())
+        data[19] = 9
+        with pytest.raises(RPCError, match="bad message type"):
+            RPCMessage.unpack(bytes(data))
+
+
+class TestFraming:
+    def test_split_exact_frames(self):
+        a = RPCMessage(1, MessageType.CALL, 1, body="a").pack()
+        b = RPCMessage(2, MessageType.CALL, 2, body="b").pack()
+        frames, rest = split_frames(a + b)
+        assert frames == [a, b]
+        assert rest == b""
+
+    def test_split_partial_frame_buffered(self):
+        a = RPCMessage(1, MessageType.CALL, 1, body="a").pack()
+        b = RPCMessage(2, MessageType.CALL, 2, body="b").pack()
+        stream = a + b[: len(b) // 2]
+        frames, rest = split_frames(stream)
+        assert frames == [a]
+        assert rest == b[: len(b) // 2]
+        frames2, rest2 = split_frames(rest + b[len(b) // 2 :])
+        assert frames2 == [b]
+        assert rest2 == b""
+
+    def test_split_tiny_prefix(self):
+        frames, rest = split_frames(b"\x00\x00")
+        assert frames == []
+        assert rest == b"\x00\x00"
+
+    def test_insane_length_rejected(self):
+        with pytest.raises(RPCError, match="insane frame length"):
+            split_frames(b"\x00\x00\x00\x01rest")
+
+    def test_header_size_constant(self):
+        data = RPCMessage(1, MessageType.CALL, 1).pack()
+        # body is encode_value(None) == 4 bytes
+        assert len(data) == HEADER_BYTES + 4

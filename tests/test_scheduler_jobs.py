@@ -1,0 +1,164 @@
+"""Tests for scheduler parameters and domain job info."""
+
+import io
+
+import pytest
+
+import repro
+from repro.cli.virsh import main as virsh_main
+from repro.core.connection import Connection
+from repro.core.uri import ConnectionURI
+from repro.daemon import Libvirtd
+from repro.drivers.lxc import LxcDriver
+from repro.drivers.qemu import QemuDriver
+from repro.errors import InvalidArgumentError, UnsupportedError
+from repro.hypervisors.container_backend import ContainerBackend
+from repro.hypervisors.host import SimHost
+from repro.hypervisors.qemu_backend import QemuBackend
+from repro.util.clock import VirtualClock
+from repro.xmlconfig.domain import DomainConfig, OSConfig
+
+GiB_KIB = 1024 * 1024
+
+
+@pytest.fixture()
+def conn():
+    clock = VirtualClock()
+    host = SimHost(cpus=32, memory_kib=64 * GiB_KIB, clock=clock)
+    driver = QemuDriver(QemuBackend(host=host, clock=clock))
+    return Connection(driver, ConnectionURI.parse("qemu:///sched"))
+
+
+def kvm(name="s1"):
+    return DomainConfig(name=name, domain_type="kvm", memory_kib=GiB_KIB)
+
+
+class TestSchedulerParams:
+    def test_defaults(self, conn):
+        dom = conn.define_domain(kvm())
+        params = dom.scheduler_params()
+        assert params == {
+            "cpu_shares": 1024,
+            "vcpu_period": 100000,
+            "vcpu_quota": -1,
+        }
+
+    def test_set_and_get(self, conn):
+        dom = conn.define_domain(kvm())
+        dom.set_scheduler_params(cpu_shares=2048, vcpu_quota=50000)
+        params = dom.scheduler_params()
+        assert params["cpu_shares"] == 2048
+        assert params["vcpu_quota"] == 50000
+        assert params["vcpu_period"] == 100000  # untouched
+
+    def test_validation(self, conn):
+        dom = conn.define_domain(kvm())
+        with pytest.raises(InvalidArgumentError, match="vcpu_period"):
+            dom.set_scheduler_params(vcpu_period=10)
+        with pytest.raises(InvalidArgumentError, match="vcpu_quota"):
+            dom.set_scheduler_params(vcpu_quota=-5)
+        with pytest.raises(InvalidArgumentError, match="unknown parameter"):
+            dom.set_scheduler_params(warp_factor=9)
+        with pytest.raises(InvalidArgumentError, match="no scheduler parameters"):
+            conn._driver.domain_set_scheduler_params("s1", [])
+        # nothing partially applied
+        assert dom.scheduler_params()["vcpu_period"] == 100000
+
+    def test_lxc_applies_cpu_shares_to_cgroup(self):
+        clock = VirtualClock()
+        backend = ContainerBackend(host=SimHost(clock=clock), clock=clock)
+        lxc = Connection(LxcDriver(backend), ConnectionURI.parse("lxc:///"))
+        config = DomainConfig(
+            name="ct1",
+            domain_type="lxc",
+            memory_kib=GiB_KIB,
+            os=OSConfig("exe", "x86_64", [], init="/sbin/init"),
+        )
+        dom = lxc.define_domain(config).start()
+        dom.set_scheduler_params(cpu_shares=512)
+        assert backend.read_cgroup("ct1", "cpu.shares") == "512"
+
+    def test_over_the_wire(self):
+        with Libvirtd(hostname="schednode") as daemon:
+            daemon.listen("tcp")
+            conn = repro.open_connection("qemu+tcp://schednode/system")
+            dom = conn.define_domain(kvm())
+            dom.set_scheduler_params(cpu_shares=4096)
+            assert dom.scheduler_params()["cpu_shares"] == 4096
+
+    def test_esx_unsupported(self):
+        from repro.drivers import nodes
+
+        nodes.register_esx_host("schedesx")
+        conn = repro.open_connection("esx://root@schedesx/", {"password": "vmware"})
+        dom = conn.define_domain(
+            DomainConfig(name="v", domain_type="esx", memory_kib=GiB_KIB)
+        )
+        with pytest.raises(UnsupportedError):
+            dom.scheduler_params()
+
+    def test_cli_schedinfo(self, tmp_path):
+        xml = tmp_path / "d.xml"
+        xml.write_text(
+            DomainConfig(name="cli-sched", domain_type="test", memory_kib=GiB_KIB).to_xml()
+        )
+        assert virsh_main(["define", str(xml)], out=io.StringIO()) == 0
+        out = io.StringIO()
+        assert virsh_main(
+            ["schedinfo", "cli-sched", "--cpu-shares", "256"], out=out
+        ) == 0
+        assert "cpu_shares:    256" in out.getvalue()
+
+
+class TestJobInfo:
+    def test_no_job_initially(self, conn):
+        dom = conn.define_domain(kvm())
+        assert dom.job_info() == {"type": "none"}
+
+    def test_migration_records_completed_job(self):
+        clock = VirtualClock()
+        src = Connection(
+            QemuDriver(QemuBackend(host=SimHost(hostname="js", clock=clock), clock=clock)),
+            ConnectionURI.parse("qemu:///js"),
+        )
+        dst = Connection(
+            QemuDriver(QemuBackend(host=SimHost(hostname="jd", clock=clock), clock=clock)),
+            ConnectionURI.parse("qemu:///jd"),
+        )
+        dom = src.define_domain(kvm("mover")).start()
+        moved = dom.migrate(dst)
+        job = dom.job_info()  # queried on the source, where the job ran
+        assert job["type"] == "migration"
+        assert job["completed"] is True
+        assert job["total_time_s"] == moved.last_migration_stats["total_time_s"]
+        assert job["transferred_bytes"] > 0
+
+    def test_save_records_job(self, conn):
+        dom = conn.define_domain(kvm()).start()
+        dom.save("/save/s1")
+        job = dom.job_info()
+        assert job["type"] == "save"
+        assert job["path"] == "/save/s1"
+
+    def test_job_info_over_the_wire(self):
+        with Libvirtd(hostname="jobnode") as daemon:
+            daemon.listen("tcp")
+            conn = repro.open_connection("qemu+tcp://jobnode/system")
+            dom = conn.define_domain(kvm()).start()
+            dom.save("/save/x")
+            assert dom.job_info()["type"] == "save"
+
+    def test_cli_domjobinfo(self, tmp_path):
+        xml = tmp_path / "d.xml"
+        xml.write_text(
+            DomainConfig(name="cli-job", domain_type="test", memory_kib=GiB_KIB).to_xml()
+        )
+        virsh_main(["define", str(xml)], out=io.StringIO())
+        out = io.StringIO()
+        assert virsh_main(["domjobinfo", "cli-job"], out=out) == 0
+        assert "No job" in out.getvalue()
+        virsh_main(["start", "cli-job"], out=io.StringIO())
+        virsh_main(["save", "cli-job", "/save/cli-job"], out=io.StringIO())
+        out = io.StringIO()
+        assert virsh_main(["domjobinfo", "cli-job"], out=out) == 0
+        assert "save" in out.getvalue()

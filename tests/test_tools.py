@@ -1,0 +1,156 @@
+"""Tests for the provisioning tools (repro.tools)."""
+
+import pytest
+
+import repro
+from repro.core.connection import Connection
+from repro.core.states import DomainState
+from repro.core.uri import ConnectionURI
+from repro.daemon import Libvirtd
+from repro.drivers.lxc import LxcDriver
+from repro.drivers.qemu import QemuDriver
+from repro.errors import InvalidOperationError
+from repro.hypervisors.container_backend import ContainerBackend
+from repro.hypervisors.host import SimHost
+from repro.hypervisors.qemu_backend import QemuBackend
+from repro.tools import clone_domain, provision_domain
+from repro.util.clock import VirtualClock
+
+GiB = 1024**3
+GiB_KIB = 1024 * 1024
+
+
+@pytest.fixture()
+def conn():
+    clock = VirtualClock()
+    host = SimHost(cpus=32, memory_kib=64 * GiB_KIB, clock=clock)
+    driver = QemuDriver(QemuBackend(host=host, clock=clock))
+    return Connection(driver, ConnectionURI.parse("qemu:///tools"))
+
+
+class TestProvision:
+    def test_provision_boots_complete_guest(self, conn):
+        dom = provision_domain(conn, "webapp", memory="2 GiB", vcpus=2)
+        assert dom.state() == DomainState.RUNNING
+        config = dom.config()
+        assert config.current_memory_kib == 2 * GiB_KIB
+        assert config.vcpus == 2
+        assert len(config.disks) == 1
+        assert config.disks[0].target_dev == "vda"
+        assert len(config.interfaces) == 1
+        assert config.graphics
+        assert config.consoles
+
+    def test_provision_creates_pool_and_volume(self, conn):
+        provision_domain(conn, "webapp", disk_size="20 GiB")
+        pool = conn.lookup_storage_pool("default")
+        assert pool.is_active
+        volumes = pool.list_volumes()
+        assert [v.name for v in volumes] == ["webapp-root.qcow2"]
+        assert volumes[0].info().capacity_bytes == 20 * GiB
+
+    def test_provision_reuses_existing_pool(self, conn):
+        provision_domain(conn, "a")
+        provision_domain(conn, "b")
+        names = [v.name for v in conn.lookup_storage_pool("default").list_volumes()]
+        assert names == ["a-root.qcow2", "b-root.qcow2"]
+
+    def test_provision_without_start(self, conn):
+        dom = provision_domain(conn, "cold", start=False)
+        assert dom.state() == DomainState.SHUTOFF
+
+    def test_provision_without_network_or_graphics(self, conn):
+        dom = provision_domain(conn, "plain", network=None, graphics=False, start=False)
+        config = dom.config()
+        assert config.interfaces == []
+        assert config.graphics == []
+
+    def test_provision_picks_capability_type(self, conn):
+        dom = provision_domain(conn, "auto", start=False)
+        assert dom.config().domain_type in ("qemu", "kvm")
+
+    def test_provision_container_skips_disks(self):
+        clock = VirtualClock()
+        host = SimHost(clock=clock)
+        lxc = Connection(
+            LxcDriver(ContainerBackend(host=host, clock=clock)),
+            ConnectionURI.parse("lxc:///"),
+        )
+        dom = provision_domain(lxc, "ct1", memory="512 MiB")
+        assert dom.state() == DomainState.RUNNING
+        config = dom.config()
+        assert config.domain_type == "lxc"
+        assert config.disks == []
+        assert config.os.init == "/sbin/init"
+
+    def test_provision_remote(self):
+        with Libvirtd(hostname="provnode") as daemon:
+            daemon.listen("tcp")
+            remote = repro.open_connection("qemu+tcp://provnode/system")
+            dom = provision_domain(remote, "faraway", memory="1 GiB")
+            assert dom.state() == DomainState.RUNNING
+
+
+class TestClone:
+    def test_clone_gets_fresh_identity(self, conn):
+        source = provision_domain(conn, "golden", start=False)
+        clone = clone_domain(source, "copy1")
+        assert clone.name == "copy1"
+        assert clone.uuid != source.uuid
+        src_macs = {i.mac for i in source.config().interfaces}
+        clone_macs = {i.mac for i in clone.config().interfaces}
+        assert not src_macs & clone_macs
+
+    def test_clone_disks_are_cow_overlays(self, conn):
+        source = provision_domain(conn, "golden", start=False)
+        clone = clone_domain(source, "copy1")
+        pool = conn.lookup_storage_pool("default")
+        names = [v.name for v in pool.list_volumes()]
+        assert "copy1-golden-root.qcow2" in names
+        clone_disk = clone.config().disks[0]
+        assert clone_disk.source.endswith("copy1-golden-root.qcow2")
+        # the overlay is backed by the original image
+        images = conn._driver.backend.images
+        chain = images.chain(clone_disk.source)
+        assert source.config().disks[0].source in chain
+
+    def test_clone_requires_shutoff_source(self, conn):
+        source = provision_domain(conn, "golden")  # running
+        with pytest.raises(InvalidOperationError, match="must be shut off"):
+            clone_domain(source, "copy1")
+
+    def test_clone_and_source_run_simultaneously(self, conn):
+        source = provision_domain(conn, "golden", start=False)
+        clone = clone_domain(source, "copy1", start=True)
+        source.start()
+        assert source.state() == DomainState.RUNNING
+        assert clone.state() == DomainState.RUNNING
+
+    def test_clone_mac_is_stable(self, conn):
+        from repro.tools.clone import _derive_mac
+
+        assert _derive_mac("copy1", 0) == _derive_mac("copy1", 0)
+        assert _derive_mac("copy1", 0) != _derive_mac("copy1", 1)
+        assert _derive_mac("copy1", 0).startswith("52:54:00:")
+
+    def test_clone_loose_disk_gets_new_path(self, conn):
+        from repro.xmlconfig.domain import DiskDevice, DomainConfig
+
+        config = DomainConfig(
+            name="loose",
+            domain_type="kvm",
+            memory_kib=GiB_KIB,
+            disks=[DiskDevice("/scratch/loose.qcow2", "vda", capacity_bytes=GiB)],
+        )
+        source = conn.define_domain(config)
+        clone = clone_domain(source, "loose2")
+        assert clone.config().disks[0].source == "/scratch/loose-loose2.qcow2"
+
+    def test_clone_multiple_from_one_golden(self, conn):
+        source = provision_domain(conn, "golden", start=False)
+        clones = [clone_domain(source, f"copy{i}") for i in range(3)]
+        uuids = {c.uuid for c in clones} | {source.uuid}
+        assert len(uuids) == 4
+        for clone in clones:
+            clone.start()
+        assert conn.num_of_domains() == 3

@@ -1,0 +1,112 @@
+"""Tests for the clock abstraction (repro.util.clock)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.util.clock import ScaledWallClock, Stopwatch, VirtualClock, WallClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(start=10.5).now() == 10.5
+
+    def test_sleep_advances_instantly(self):
+        clock = VirtualClock()
+        before = time.monotonic()
+        clock.sleep(1000.0)
+        assert time.monotonic() - before < 1.0
+        assert clock.now() == 1000.0
+
+    def test_advance_returns_new_time(self):
+        clock = VirtualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.advance(0.5) == 3.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_concurrent_advances_sum_exactly(self):
+        clock = VirtualClock()
+        n_threads, per_thread = 8, 500
+
+        def work():
+            for _ in range(per_thread):
+                clock.advance(0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert clock.now() == pytest.approx(n_threads * per_thread * 0.001)
+
+
+class TestWallClock:
+    def test_now_is_monotonic(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_sleep_blocks(self):
+        clock = WallClock()
+        start = clock.now()
+        clock.sleep(0.01)
+        assert clock.now() - start >= 0.009
+
+    def test_non_positive_sleep_is_noop(self):
+        WallClock().sleep(0)
+        WallClock().sleep(-1)
+
+
+class TestScaledWallClock:
+    def test_sleep_is_compressed(self):
+        clock = ScaledWallClock(scale=0.001)
+        start = time.monotonic()
+        clock.sleep(1.0)  # modelled second -> 1 ms real
+        assert time.monotonic() - start < 0.5
+
+    def test_now_reports_modelled_seconds(self):
+        clock = ScaledWallClock(scale=0.01)
+        clock.sleep(1.0)
+        assert clock.now() >= 0.9
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ScaledWallClock(scale=0)
+        with pytest.raises(ValueError):
+            ScaledWallClock(scale=-0.5)
+
+
+class TestStopwatch:
+    def test_measures_virtual_interval(self):
+        clock = VirtualClock()
+        sw = Stopwatch(clock).start()
+        clock.advance(3.0)
+        assert sw.stop() == 3.0
+        assert sw.elapsed == 3.0
+
+    def test_context_manager(self):
+        clock = VirtualClock()
+        with Stopwatch(clock) as sw:
+            clock.advance(1.5)
+        assert sw.elapsed == 1.5
+
+    def test_elapsed_while_running(self):
+        clock = VirtualClock()
+        sw = Stopwatch(clock).start()
+        clock.advance(2.0)
+        assert sw.elapsed == 2.0  # not yet stopped
+
+    def test_unstarted_stopwatch_raises(self):
+        sw = Stopwatch(VirtualClock())
+        with pytest.raises(RuntimeError):
+            sw.stop()
+        with pytest.raises(RuntimeError):
+            _ = sw.elapsed

@@ -1,0 +1,101 @@
+"""Tests for the timer scheduler (repro.util.eventloop)."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.util.clock import VirtualClock
+from repro.util.eventloop import EventLoop
+
+
+@pytest.fixture()
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture()
+def loop(clock):
+    return EventLoop(clock.now)
+
+
+class TestOneShot:
+    def test_fires_once_at_deadline(self, clock, loop):
+        fired = []
+        loop.add_timeout(5.0, lambda: fired.append(clock.now()))
+        assert loop.run_until(4.9) == 0
+        assert loop.run_until(5.0) == 1
+        assert loop.run_until(100.0) == 0
+        assert fired == [0.0]  # callback sees current (unadvanced) clock
+
+    def test_zero_delay_fires_immediately(self, loop):
+        fired = []
+        loop.add_timeout(0.0, lambda: fired.append(1))
+        assert loop.run_due() == 1
+        assert fired == [1]
+
+    def test_negative_delay_rejected(self, loop):
+        with pytest.raises(InvalidArgumentError):
+            loop.add_timeout(-1.0, lambda: None)
+
+    def test_ordering_preserved(self, clock, loop):
+        order = []
+        loop.add_timeout(3.0, lambda: order.append("c"))
+        loop.add_timeout(1.0, lambda: order.append("a"))
+        loop.add_timeout(2.0, lambda: order.append("b"))
+        loop.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+
+class TestInterval:
+    def test_repeats(self, loop):
+        count = []
+        loop.add_interval(2.0, lambda: count.append(1))
+        assert loop.run_until(7.0) == 3  # fires at 2, 4, 6
+        assert loop.run_until(8.0) == 1  # fires at 8
+
+    def test_non_positive_interval_rejected(self, loop):
+        with pytest.raises(InvalidArgumentError):
+            loop.add_interval(0, lambda: None)
+
+
+class TestCancel:
+    def test_cancel_prevents_firing(self, loop):
+        fired = []
+        tid = loop.add_timeout(1.0, lambda: fired.append(1))
+        assert loop.cancel(tid) is True
+        assert loop.run_until(10.0) == 0
+        assert not fired
+
+    def test_cancel_unknown_returns_false(self, loop):
+        assert loop.cancel(999) is False
+
+    def test_cancel_interval_stops_repeats(self, loop):
+        count = []
+        tid = loop.add_interval(1.0, lambda: count.append(1))
+        loop.run_until(2.0)
+        assert loop.cancel(tid) is True
+        loop.run_until(10.0)
+        assert len(count) == 2
+
+
+class TestIntrospection:
+    def test_next_deadline(self, loop):
+        assert loop.next_deadline() is None
+        loop.add_timeout(3.0, lambda: None)
+        loop.add_timeout(1.0, lambda: None)
+        assert loop.next_deadline() == 1.0
+
+    def test_next_deadline_skips_cancelled(self, loop):
+        tid = loop.add_timeout(1.0, lambda: None)
+        loop.add_timeout(2.0, lambda: None)
+        loop.cancel(tid)
+        assert loop.next_deadline() == 2.0
+
+    def test_pending_count(self, loop):
+        assert loop.pending() == 0
+        tid = loop.add_timeout(1.0, lambda: None)
+        loop.add_interval(1.0, lambda: None)
+        assert loop.pending() == 2
+        loop.cancel(tid)
+        assert loop.pending() == 1
+        loop.run_until(5.0)
+        assert loop.pending() == 1  # interval still alive

@@ -1,0 +1,159 @@
+"""Tests for typed parameters (repro.util.typedparams)."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.util import typedparams as tp
+from repro.util.typedparams import ParamType, TypedParameter
+
+
+class TestConstruction:
+    def test_basic_triple(self):
+        p = TypedParameter("maxWorkers", ParamType.UINT, 20)
+        assert p.field == "maxWorkers"
+        assert p.type == ParamType.UINT
+        assert p.value == 20
+
+    def test_empty_field_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            TypedParameter("", ParamType.INT, 1)
+
+    def test_overlong_field_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            TypedParameter("x" * 81, ParamType.INT, 1)
+
+    def test_field_at_limit_accepted(self):
+        TypedParameter("x" * 80, ParamType.INT, 1)
+
+    @pytest.mark.parametrize(
+        "ptype,low,high",
+        [
+            (ParamType.INT, -(2**31), 2**31 - 1),
+            (ParamType.UINT, 0, 2**32 - 1),
+            (ParamType.LLONG, -(2**63), 2**63 - 1),
+            (ParamType.ULLONG, 0, 2**64 - 1),
+        ],
+    )
+    def test_integer_bounds(self, ptype, low, high):
+        TypedParameter("f", ptype, low)
+        TypedParameter("f", ptype, high)
+        with pytest.raises(InvalidArgumentError):
+            TypedParameter("f", ptype, low - 1)
+        with pytest.raises(InvalidArgumentError):
+            TypedParameter("f", ptype, high + 1)
+
+    def test_type_mismatches_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            TypedParameter("f", ParamType.INT, "text")
+        with pytest.raises(InvalidArgumentError):
+            TypedParameter("f", ParamType.STRING, 5)
+        with pytest.raises(InvalidArgumentError):
+            TypedParameter("f", ParamType.DOUBLE, "nan")
+        with pytest.raises(InvalidArgumentError):
+            TypedParameter("f", ParamType.BOOLEAN, "yes")
+
+    def test_bool_not_accepted_as_int(self):
+        with pytest.raises(InvalidArgumentError):
+            TypedParameter("f", ParamType.INT, True)
+
+    def test_int_accepted_as_double(self):
+        p = TypedParameter("f", ParamType.DOUBLE, 3)
+        assert p.value == 3.0
+        assert isinstance(p.value, float)
+
+    def test_int_coerced_to_bool(self):
+        assert TypedParameter("f", ParamType.BOOLEAN, 1).value is True
+        assert TypedParameter("f", ParamType.BOOLEAN, 0).value is False
+
+    def test_equality_and_hash(self):
+        a = TypedParameter("f", ParamType.INT, 1)
+        b = TypedParameter("f", ParamType.INT, 1)
+        c = TypedParameter("f", ParamType.UINT, 1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+
+class TestBuilders:
+    def test_add_helpers(self):
+        params = []
+        tp.add_int(params, "a", -1)
+        tp.add_uint(params, "b", 2)
+        tp.add_llong(params, "c", -(2**40))
+        tp.add_ullong(params, "d", 2**40)
+        tp.add_double(params, "e", 1.5)
+        tp.add_boolean(params, "f", True)
+        tp.add_string(params, "g", "hello")
+        assert [p.type for p in params] == [
+            ParamType.INT,
+            ParamType.UINT,
+            ParamType.LLONG,
+            ParamType.ULLONG,
+            ParamType.DOUBLE,
+            ParamType.BOOLEAN,
+            ParamType.STRING,
+        ]
+
+    def test_to_dict(self):
+        params = []
+        tp.add_uint(params, "minWorkers", 5)
+        tp.add_uint(params, "maxWorkers", 20)
+        assert tp.to_dict(params) == {"minWorkers": 5, "maxWorkers": 20}
+
+    def test_to_dict_rejects_duplicates(self):
+        params = []
+        tp.add_uint(params, "x", 1)
+        tp.add_uint(params, "x", 2)
+        with pytest.raises(InvalidArgumentError):
+            tp.to_dict(params)
+
+    def test_from_dict_round_trip(self):
+        values = {"a": 7, "b": -3, "c": 1.25, "d": True, "e": "s"}
+        assert tp.to_dict(tp.from_dict(values)) == values
+
+    def test_infer_type(self):
+        assert tp.infer_type(True) == ParamType.BOOLEAN
+        assert tp.infer_type(5) == ParamType.ULLONG
+        assert tp.infer_type(-5) == ParamType.LLONG
+        assert tp.infer_type(0.5) == ParamType.DOUBLE
+        assert tp.infer_type("x") == ParamType.STRING
+        with pytest.raises(InvalidArgumentError):
+            tp.infer_type(b"bytes")
+
+
+class TestValidateFields:
+    ALLOWED = {
+        "minWorkers": ParamType.UINT,
+        "maxWorkers": ParamType.UINT,
+        "nWorkers": ParamType.UINT,
+    }
+
+    def test_valid_set_passes(self):
+        params = []
+        tp.add_uint(params, "minWorkers", 1)
+        tp.add_uint(params, "maxWorkers", 10)
+        tp.validate_fields(params, self.ALLOWED, read_only=("nWorkers",))
+
+    def test_unknown_field_rejected(self):
+        params = []
+        tp.add_uint(params, "bogus", 1)
+        with pytest.raises(InvalidArgumentError, match="unknown parameter"):
+            tp.validate_fields(params, self.ALLOWED)
+
+    def test_read_only_field_rejected(self):
+        params = []
+        tp.add_uint(params, "nWorkers", 3)
+        with pytest.raises(InvalidArgumentError, match="read-only"):
+            tp.validate_fields(params, self.ALLOWED, read_only=("nWorkers",))
+
+    def test_wrong_type_rejected(self):
+        params = [TypedParameter("minWorkers", ParamType.STRING, "5")]
+        with pytest.raises(InvalidArgumentError, match="must be UINT"):
+            tp.validate_fields(params, self.ALLOWED)
+
+    def test_duplicate_rejected(self):
+        params = []
+        tp.add_uint(params, "minWorkers", 1)
+        tp.add_uint(params, "minWorkers", 2)
+        with pytest.raises(InvalidArgumentError, match="duplicate"):
+            tp.validate_fields(params, self.ALLOWED)

@@ -1,0 +1,109 @@
+"""Tests for size/duration unit handling (repro.util.units)."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.util.units import (
+    format_duration,
+    format_size,
+    parse_size,
+    parse_size_kib,
+    unit_multiplier,
+)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", 0),
+            ("1", 1),
+            ("512 B", 512),
+            ("1 KiB", 1024),
+            ("1KB", 1000),
+            ("2 MiB", 2 * 1024**2),
+            ("2MB", 2 * 1000**2),
+            ("1 GiB", 1024**3),
+            ("1.5 GiB", int(1.5 * 1024**3)),
+            ("4T", 4 * 1024**4),
+            ("1 PiB", 1024**5),
+        ],
+    )
+    def test_accepted_forms(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_case_insensitive_units(self):
+        assert parse_size("1 gib") == parse_size("1 GIB") == 1024**3
+
+    def test_bare_number_uses_default_unit(self):
+        assert parse_size("4", default_unit="kib") == 4096
+        assert parse_size(4, default_unit="mib") == 4 * 1024**2
+
+    def test_whitespace_tolerated(self):
+        assert parse_size("  2   GiB  ") == 2 * 1024**3
+
+    @pytest.mark.parametrize("bad", ["", "GiB", "12 parsecs", "1..5 MiB", "-1 KiB"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(InvalidArgumentError):
+            parse_size(bad)
+
+    def test_rejects_negative_number(self):
+        with pytest.raises(InvalidArgumentError):
+            parse_size(-5)
+
+    def test_parse_size_kib_floor(self):
+        assert parse_size_kib("1 MiB") == 1024
+        assert parse_size_kib("1500 B", default_unit="b") == 1  # floor of 1.46 KiB
+        assert parse_size_kib("2") == 2  # default unit is KiB
+
+
+class TestUnitMultiplier:
+    def test_binary_vs_decimal(self):
+        assert unit_multiplier("MiB") == 1024**2
+        assert unit_multiplier("MB") == 1000**2
+
+    def test_unknown_unit(self):
+        with pytest.raises(InvalidArgumentError):
+            unit_multiplier("furlongs")
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "num,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (1024, "1.0 KiB"),
+            (1536, "1.5 KiB"),
+            (1024**2, "1.0 MiB"),
+            (3 * 1024**3, "3.0 GiB"),
+        ],
+    )
+    def test_formatting(self, num, expected):
+        assert format_size(num) == expected
+
+    def test_precision(self):
+        assert format_size(1536, precision=2) == "1.50 KiB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            format_size(-1)
+
+    def test_round_trip_through_parse(self):
+        for value in (1024, 1024**2, 5 * 1024**3):
+            assert parse_size(format_size(value)) == value
+
+
+class TestFormatDuration:
+    def test_microseconds(self):
+        assert format_duration(5e-6) == "5.0 us"
+
+    def test_milliseconds(self):
+        assert format_duration(0.0123) == "12.30 ms"
+
+    def test_seconds(self):
+        assert format_duration(2.5) == "2.500 s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            format_duration(-0.1)

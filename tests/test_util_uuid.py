@@ -1,0 +1,60 @@
+"""Tests for UUID helpers (repro.util.uuidutil)."""
+
+import random
+
+import pytest
+
+from repro.util.uuidutil import generate_uuid, is_valid_uuid, normalize_uuid
+
+
+class TestGenerate:
+    def test_generated_uuid_is_valid(self):
+        assert is_valid_uuid(generate_uuid())
+
+    def test_uuids_are_unique(self):
+        uuids = {generate_uuid() for _ in range(100)}
+        assert len(uuids) == 100
+
+    def test_seeded_generation_is_deterministic(self):
+        a = generate_uuid(random.Random(42))
+        b = generate_uuid(random.Random(42))
+        assert a == b
+        assert is_valid_uuid(a)
+
+    def test_seeded_stream_progresses(self):
+        rng = random.Random(7)
+        assert generate_uuid(rng) != generate_uuid(rng)
+
+
+class TestValidate:
+    def test_canonical_form_accepted(self):
+        assert is_valid_uuid("123e4567-e89b-42d3-a456-426614174000")
+
+    def test_uppercase_accepted(self):
+        assert is_valid_uuid("123E4567-E89B-42D3-A456-426614174000")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "not-a-uuid",
+            "123e4567e89b42d3a456426614174000",  # no dashes
+            "123e4567-e89b-42d3-a456-42661417400",  # short
+            "123e4567-e89b-42d3-a456-4266141740000",  # long
+            "g23e4567-e89b-42d3-a456-426614174000",  # bad hex
+            None,
+            42,
+        ],
+    )
+    def test_invalid_forms_rejected(self, bad):
+        assert not is_valid_uuid(bad)
+
+
+class TestNormalize:
+    def test_lowercases_and_strips(self):
+        raw = "  123E4567-E89B-42D3-A456-426614174000  "
+        assert normalize_uuid(raw) == "123e4567-e89b-42d3-a456-426614174000"
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            normalize_uuid("nope")

@@ -1,0 +1,247 @@
+"""Tests for domain XML configuration (repro.xmlconfig.domain)."""
+
+import pytest
+
+from repro.errors import XMLError
+from repro.xmlconfig.domain import (
+    ConsoleDevice,
+    DiskDevice,
+    DomainConfig,
+    GraphicsDevice,
+    InterfaceDevice,
+    OSConfig,
+)
+
+
+def full_config(**overrides):
+    defaults = dict(
+        name="web1",
+        domain_type="kvm",
+        uuid="123e4567-e89b-42d3-a456-426614174000",
+        memory_kib=2 * 1024 * 1024,
+        current_memory_kib=1024 * 1024,
+        vcpus=2,
+        max_vcpus=4,
+        os=OSConfig("hvm", "x86_64", ["hd", "network"]),
+        disks=[
+            DiskDevice("/var/lib/img/web1.qcow2", "vda", capacity_bytes=10 * 1024**3),
+            DiskDevice("/iso/install.iso", "hdc", device="cdrom", driver_format="raw",
+                       target_bus="ide", readonly=True),
+        ],
+        interfaces=[InterfaceDevice("network", "default", "52:54:00:aa:bb:cc")],
+        graphics=[GraphicsDevice("vnc", port=5901, autoport=False)],
+        consoles=[ConsoleDevice("pty", 0)],
+        features=["acpi", "apic"],
+    )
+    defaults.update(overrides)
+    return DomainConfig(**defaults)
+
+
+class TestValidation:
+    def test_minimal_config_valid(self):
+        cfg = DomainConfig(name="d")
+        assert cfg.vcpus == 1
+        assert cfg.current_memory_kib == cfg.memory_kib
+
+    @pytest.mark.parametrize("bad_name", ["", "has space", "semi;colon", "sla/sh"])
+    def test_bad_names_rejected(self, bad_name):
+        with pytest.raises(XMLError):
+            DomainConfig(name=bad_name)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(XMLError):
+            DomainConfig(name="d", domain_type="hyperwave")
+
+    def test_non_positive_memory_rejected(self):
+        with pytest.raises(XMLError):
+            DomainConfig(name="d", memory_kib=0)
+
+    def test_current_memory_above_max_rejected(self):
+        with pytest.raises(XMLError):
+            DomainConfig(name="d", memory_kib=1024, current_memory_kib=2048)
+
+    def test_zero_vcpus_rejected(self):
+        with pytest.raises(XMLError):
+            DomainConfig(name="d", vcpus=0)
+
+    def test_max_vcpus_below_current_rejected(self):
+        with pytest.raises(XMLError):
+            DomainConfig(name="d", vcpus=4, max_vcpus=2)
+
+    def test_duplicate_disk_targets_rejected(self):
+        disks = [DiskDevice("/a.img", "vda"), DiskDevice("/b.img", "vda")]
+        with pytest.raises(XMLError, match="duplicate disk target"):
+            DomainConfig(name="d", disks=disks)
+
+    def test_duplicate_macs_rejected(self):
+        mac = "52:54:00:00:00:01"
+        ifaces = [InterfaceDevice(mac=mac), InterfaceDevice(mac=mac)]
+        with pytest.raises(XMLError, match="duplicate interface MAC"):
+            DomainConfig(name="d", interfaces=ifaces)
+
+    def test_lxc_requires_exe_os(self):
+        with pytest.raises(XMLError, match="os type 'exe'"):
+            DomainConfig(name="c", domain_type="lxc")
+        DomainConfig(name="c", domain_type="lxc", os=OSConfig("exe", "x86_64", [], init="/sbin/init"))
+
+    def test_kvm_requires_hvm_os(self):
+        with pytest.raises(XMLError, match="os type 'hvm'"):
+            DomainConfig(name="d", domain_type="kvm", os=OSConfig("exe", "x86_64", []))
+
+    def test_unknown_lifecycle_action_rejected(self):
+        with pytest.raises(XMLError):
+            DomainConfig(name="d", on_crash="explode")
+
+    def test_bad_uuid_rejected(self):
+        with pytest.raises(ValueError):
+            DomainConfig(name="d", uuid="not-a-uuid")
+
+
+class TestDevices:
+    def test_disk_rejects_unknown_bits(self):
+        with pytest.raises(XMLError):
+            DiskDevice("/a", "vda", disk_type="tape")
+        with pytest.raises(XMLError):
+            DiskDevice("/a", "vda", device="punchcard")
+        with pytest.raises(XMLError):
+            DiskDevice("/a", "vda", driver_format="gif")
+        with pytest.raises(XMLError):
+            DiskDevice("/a", "vda", target_bus="usb4")
+        with pytest.raises(XMLError):
+            DiskDevice("/a", "")
+
+    def test_interface_mac_validation(self):
+        InterfaceDevice(mac="52:54:00:AA:BB:CC")  # upper ok, normalized
+        with pytest.raises(XMLError):
+            InterfaceDevice(mac="52:54:00:aa:bb")
+        with pytest.raises(XMLError):
+            InterfaceDevice(interface_type="token-ring")
+
+    def test_interface_mac_normalized_to_lowercase(self):
+        iface = InterfaceDevice(mac="52:54:00:AA:BB:CC")
+        assert iface.mac == "52:54:00:aa:bb:cc"
+
+    def test_graphics_and_console_validation(self):
+        with pytest.raises(XMLError):
+            GraphicsDevice("hologram")
+        with pytest.raises(XMLError):
+            ConsoleDevice("telegraph")
+
+    def test_os_config_validation(self):
+        with pytest.raises(XMLError):
+            OSConfig(os_type="dos")
+        with pytest.raises(XMLError):
+            OSConfig(arch="vax")
+        with pytest.raises(XMLError):
+            OSConfig(boot=["tape"])
+
+
+class TestRoundTrip:
+    def test_full_config_round_trips(self):
+        cfg = full_config()
+        rebuilt = DomainConfig.from_xml(cfg.to_xml())
+        assert rebuilt == cfg
+        assert rebuilt.disks == cfg.disks
+        assert rebuilt.interfaces == cfg.interfaces
+        assert rebuilt.graphics == cfg.graphics
+        assert rebuilt.consoles == cfg.consoles
+        assert rebuilt.features == cfg.features
+
+    def test_minimal_config_round_trips(self):
+        cfg = DomainConfig(name="tiny")
+        assert DomainConfig.from_xml(cfg.to_xml()) == cfg
+
+    def test_lxc_config_round_trips(self):
+        cfg = DomainConfig(
+            name="ct1",
+            domain_type="lxc",
+            os=OSConfig("exe", "x86_64", [], init="/bin/sh"),
+        )
+        rebuilt = DomainConfig.from_xml(cfg.to_xml())
+        assert rebuilt.os.init == "/bin/sh"
+
+    def test_xml_contains_expected_elements(self):
+        xml = full_config().to_xml()
+        for snippet in (
+            '<domain type="kvm">',
+            "<name>web1</name>",
+            '<memory unit="KiB">2097152</memory>',
+            '<vcpu current="2">4</vcpu>',
+            '<boot dev="hd" />',
+            '<target dev="vda" bus="virtio" />',
+            "<acpi />",
+        ):
+            assert snippet in xml
+
+
+class TestParsing:
+    def test_memory_units_converted(self):
+        xml = (
+            '<domain type="test"><name>d</name>'
+            '<memory unit="GiB">2</memory>'
+            "<os><type arch='x86_64'>hvm</type></os></domain>"
+        )
+        cfg = DomainConfig.from_xml(xml)
+        assert cfg.memory_kib == 2 * 1024 * 1024
+
+    def test_bytes_unit_converted(self):
+        xml = (
+            '<domain type="test"><name>d</name>'
+            '<memory unit="bytes">2097152</memory>'
+            "<os><type arch='x86_64'>hvm</type></os></domain>"
+        )
+        assert DomainConfig.from_xml(xml).memory_kib == 2048
+
+    def test_unknown_memory_unit_rejected(self):
+        xml = (
+            '<domain type="test"><name>d</name>'
+            '<memory unit="floppies">3</memory>'
+            "<os><type>hvm</type></os></domain>"
+        )
+        with pytest.raises(XMLError, match="unknown memory unit"):
+            DomainConfig.from_xml(xml)
+
+    def test_wrong_root_element_rejected(self):
+        with pytest.raises(XMLError, match="expected <domain>"):
+            DomainConfig.from_xml("<network><name>n</name></network>")
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(XMLError, match="lacks a <name>"):
+            DomainConfig.from_xml('<domain type="test"><memory>1</memory></domain>')
+
+    def test_missing_memory_rejected(self):
+        with pytest.raises(XMLError, match="lacks a <memory>"):
+            DomainConfig.from_xml('<domain type="test"><name>d</name></domain>')
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(XMLError, match="malformed"):
+            DomainConfig.from_xml("<domain><name>")
+
+    def test_defaults_applied_when_optional_elements_absent(self):
+        xml = (
+            '<domain type="test"><name>d</name><memory>1024</memory></domain>'
+        )
+        cfg = DomainConfig.from_xml(xml)
+        assert cfg.vcpus == 1
+        assert cfg.os.os_type == "hvm"
+        assert cfg.on_reboot == "restart"
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        cfg = full_config()
+        clone = cfg.copy()
+        assert clone == cfg
+        clone.disks.append(DiskDevice("/c.img", "vdb"))
+        assert len(cfg.disks) == 2  # original untouched
+
+    def test_copy_with_overrides(self):
+        clone = full_config().copy(name="web2", vcpus=1)
+        assert clone.name == "web2"
+        assert clone.vcpus == 1
+
+    def test_copy_validates_overrides(self):
+        with pytest.raises(XMLError):
+            full_config().copy(vcpus=0)
+        with pytest.raises(XMLError):
+            full_config().copy(nonexistent_field=1)

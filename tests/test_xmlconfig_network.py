@@ -1,0 +1,103 @@
+"""Tests for network XML configuration (repro.xmlconfig.network)."""
+
+import pytest
+
+from repro.errors import XMLError
+from repro.xmlconfig.network import DHCPRange, IPConfig, NetworkConfig
+
+
+def nat_network(**overrides):
+    defaults = dict(
+        name="default",
+        uuid="123e4567-e89b-42d3-a456-426614174000",
+        bridge="virbr0",
+        forward_mode="nat",
+        ip=IPConfig(
+            "192.168.122.1",
+            "255.255.255.0",
+            DHCPRange("192.168.122.2", "192.168.122.254"),
+        ),
+    )
+    defaults.update(overrides)
+    return NetworkConfig(**defaults)
+
+
+class TestDHCPRange:
+    def test_valid_range(self):
+        rng = DHCPRange("10.0.0.2", "10.0.0.254")
+        assert rng.size() == 253
+
+    def test_single_address_range(self):
+        assert DHCPRange("10.0.0.5", "10.0.0.5").size() == 1
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(XMLError):
+            DHCPRange("10.0.0.254", "10.0.0.2")
+
+    def test_garbage_ip_rejected(self):
+        with pytest.raises(XMLError):
+            DHCPRange("not-an-ip", "10.0.0.2")
+
+
+class TestIPConfig:
+    def test_valid(self):
+        ip = IPConfig("192.168.1.1", "255.255.255.0")
+        assert str(ip.interface.network) == "192.168.1.0/24"
+
+    def test_bad_netmask_rejected(self):
+        with pytest.raises(XMLError):
+            IPConfig("192.168.1.1", "255.0.255.0")
+
+    def test_dhcp_range_outside_subnet_rejected(self):
+        with pytest.raises(XMLError, match="outside network"):
+            IPConfig(
+                "192.168.1.1",
+                "255.255.255.0",
+                DHCPRange("10.0.0.2", "10.0.0.10"),
+            )
+
+
+class TestNetworkConfig:
+    def test_bad_name_rejected(self):
+        with pytest.raises(XMLError):
+            NetworkConfig(name="has space")
+
+    def test_unknown_forward_mode_rejected(self):
+        with pytest.raises(XMLError):
+            NetworkConfig(name="n", forward_mode="teleport")
+
+    def test_default_bridge_derived_from_name(self):
+        assert NetworkConfig(name="lab").bridge == "virbr-lab"
+
+    def test_round_trip_full(self):
+        cfg = nat_network()
+        assert NetworkConfig.from_xml(cfg.to_xml()) == cfg
+
+    def test_round_trip_isolated_without_ip(self):
+        cfg = NetworkConfig(name="quiet", forward_mode="isolated")
+        rebuilt = NetworkConfig.from_xml(cfg.to_xml())
+        assert rebuilt == cfg
+        assert rebuilt.forward_mode == "isolated"
+        assert rebuilt.ip is None
+
+    def test_xml_shape(self):
+        xml = nat_network().to_xml()
+        assert '<forward mode="nat" />' in xml
+        assert '<bridge name="virbr0" />' in xml
+        assert '<range start="192.168.122.2" end="192.168.122.254" />' in xml
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(XMLError, match="expected <network>"):
+            NetworkConfig.from_xml("<domain><name>x</name></domain>")
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(XMLError, match="lacks a <name>"):
+            NetworkConfig.from_xml("<network><bridge name='b'/></network>")
+
+    def test_dhcp_without_range_rejected(self):
+        xml = (
+            "<network><name>n</name>"
+            "<ip address='10.0.0.1' netmask='255.255.255.0'><dhcp/></ip></network>"
+        )
+        with pytest.raises(XMLError, match="lacks a <range>"):
+            NetworkConfig.from_xml(xml)

@@ -1,0 +1,98 @@
+"""Tests for storage XML configuration (repro.xmlconfig.storage)."""
+
+import pytest
+
+from repro.errors import XMLError
+from repro.xmlconfig.storage import StoragePoolConfig, VolumeConfig
+
+GiB = 1024**3
+
+
+class TestStoragePoolConfig:
+    def test_defaults(self):
+        pool = StoragePoolConfig(name="default")
+        assert pool.pool_type == "dir"
+        assert pool.target_path == "/var/lib/pyvirt/images/default"
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(XMLError):
+            StoragePoolConfig(name="bad name")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(XMLError):
+            StoragePoolConfig(name="p", pool_type="cloud")
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(XMLError):
+            StoragePoolConfig(name="p", target_path="images/p")
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(XMLError):
+            StoragePoolConfig(name="p", capacity_bytes=0)
+
+    def test_round_trip(self):
+        pool = StoragePoolConfig(
+            name="fast",
+            pool_type="logical",
+            uuid="123e4567-e89b-42d3-a456-426614174000",
+            target_path="/dev/vg0",
+            capacity_bytes=500 * GiB,
+        )
+        assert StoragePoolConfig.from_xml(pool.to_xml()) == pool
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(XMLError, match="expected <pool>"):
+            StoragePoolConfig.from_xml("<volume><name>v</name></volume>")
+
+
+class TestVolumeConfig:
+    def test_raw_volume_fully_allocated_by_default(self):
+        vol = VolumeConfig("disk.img", 10 * GiB, volume_format="raw")
+        assert vol.allocation_bytes == 10 * GiB
+
+    def test_qcow2_volume_thin_by_default(self):
+        vol = VolumeConfig("disk.qcow2", 10 * GiB)
+        assert vol.allocation_bytes == 0
+
+    def test_explicit_allocation(self):
+        vol = VolumeConfig("d", 10 * GiB, allocation_bytes=GiB)
+        assert vol.allocation_bytes == GiB
+
+    def test_allocation_above_capacity_rejected(self):
+        with pytest.raises(XMLError):
+            VolumeConfig("d", GiB, allocation_bytes=2 * GiB)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(XMLError):
+            VolumeConfig("d", 0)
+
+    def test_name_with_slash_rejected(self):
+        with pytest.raises(XMLError):
+            VolumeConfig("a/b", GiB)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(XMLError):
+            VolumeConfig("d", GiB, volume_format="tar")
+
+    def test_raw_with_backing_store_rejected(self):
+        with pytest.raises(XMLError, match="backing store"):
+            VolumeConfig("d", GiB, volume_format="raw", backing_store="/base.img")
+
+    def test_round_trip_with_backing_store(self):
+        vol = VolumeConfig(
+            "clone.qcow2",
+            20 * GiB,
+            allocation_bytes=GiB,
+            backing_store="/var/lib/img/base.qcow2",
+        )
+        rebuilt = VolumeConfig.from_xml(vol.to_xml())
+        assert rebuilt == vol
+        assert rebuilt.backing_store == "/var/lib/img/base.qcow2"
+
+    def test_round_trip_minimal(self):
+        vol = VolumeConfig("v", GiB)
+        assert VolumeConfig.from_xml(vol.to_xml()) == vol
+
+    def test_missing_capacity_rejected(self):
+        with pytest.raises(XMLError, match="lacks a <capacity>"):
+            VolumeConfig.from_xml("<volume><name>v</name></volume>")
