@@ -1,0 +1,193 @@
+"""R1 — fault recovery latency of the resilient RPC client.
+
+Three measurements, all in modelled time on the virtual clock:
+
+* the headline robustness claim: a scripted SEVER mid-workload hangs a
+  seed-style client (no deadlines, no keepalive) for a modelled *day*,
+  while the resilient client completes the same workload in seconds;
+* recovery latency per transport — detection (keepalive bound) plus
+  backed-off re-dial, where the encrypted transports pay their larger
+  handshake again on every reconnect;
+* sustained loss: modelled cost per call as the drop probability rises,
+  with deadlines + retry keeping every call bounded and successful.
+"""
+
+from repro.bench.tables import emit, format_series, format_table
+from repro.core.uri import ConnectionURI
+from repro.daemon import Libvirtd
+from repro.drivers.remote import RemoteDriver, ResilienceConfig
+from repro.errors import TransportHangError
+from repro.faults import FaultPlan
+from repro.rpc.retry import RetryPolicy
+from repro.rpc.transport import HANG_SECONDS
+from repro.util.clock import VirtualClock
+
+TRANSPORTS = ("unix", "tcp", "tls")
+DROP_RATES = (0.02, 0.05, 0.1)
+
+#: keepalive trips after 1s of silence; first re-dial after 0.1s
+KEEPALIVE_INTERVAL = 0.5
+KEEPALIVE_COUNT = 2
+RECONNECT_BASE = 0.1
+
+
+def resilient_config(**overrides):
+    base = dict(
+        keepalive_interval=KEEPALIVE_INTERVAL,
+        keepalive_count=KEEPALIVE_COUNT,
+        retry=RetryPolicy(max_attempts=6, seed=0),
+        auto_reconnect=True,
+        reconnect_base_delay=RECONNECT_BASE,
+    )
+    base.update(overrides)
+    return ResilienceConfig(**base)
+
+
+def make_driver(hostname, transport, config):
+    uri = ConnectionURI.parse(f"qemu+{transport}://{hostname}/system")
+    return RemoteDriver(uri, resilience=config)
+
+
+def monitoring_workload(driver, rounds=10):
+    for _ in range(rounds):
+        driver.num_of_domains()
+        driver.list_domains()
+
+
+def measure_hang_vs_recover(clock):
+    """The same severed link: seed client vs resilient client."""
+    daemon = Libvirtd(hostname="r1hang", clock=clock)
+    daemon.listen("tcp")
+    listener = daemon.listener("tcp")
+    try:
+        listener.install_fault_plan(FaultPlan().sever(frame=5))
+        seed_driver = make_driver("r1hang", "tcp", None)
+        t0 = clock.now()
+        try:
+            monitoring_workload(seed_driver)
+            seed_time = None  # the sever did not fire — invalid run
+        except TransportHangError:
+            seed_time = clock.now() - t0
+
+        listener.install_fault_plan(FaultPlan().sever(frame=5))
+        driver = make_driver("r1hang", "tcp", resilient_config())
+        t0 = clock.now()
+        monitoring_workload(driver)
+        resilient_time = clock.now() - t0
+        downtime = driver.connection_events[0].downtime
+        driver.close()
+    finally:
+        daemon.shutdown()
+    return seed_time, resilient_time, downtime
+
+
+def measure_recovery_by_transport(clock):
+    """Sever mid-workload on each transport; recovery = detection + re-dial."""
+    recovery = {}
+    for transport in TRANSPORTS:
+        daemon = Libvirtd(hostname=f"r1{transport}", clock=clock)
+        daemon.listen(transport)
+        daemon.listener(transport).install_fault_plan(FaultPlan().sever(frame=5))
+        try:
+            driver = make_driver(f"r1{transport}", transport, resilient_config())
+            monitoring_workload(driver)
+            (event,) = driver.connection_events
+            assert event.reconnected
+            recovery[transport] = event.downtime
+            driver.close()
+        finally:
+            daemon.shutdown()
+    return recovery
+
+
+def measure_drop_rate_sweep(clock, calls=100):
+    """Modelled seconds per call and retries as the loss rate rises."""
+    per_call, retries = [], []
+    for rate in DROP_RATES:
+        daemon = Libvirtd(hostname="r1loss", clock=clock)
+        daemon.listen("tcp")
+        plan = FaultPlan(seed=42)
+        plan.drop(probability=rate, direction="both")
+        daemon.listener("tcp").install_fault_plan(plan)
+        try:
+            driver = make_driver(
+                "r1loss",
+                "tcp",
+                resilient_config(call_timeout=0.25, keepalive_interval=None),
+            )
+            t0 = clock.now()
+            for _ in range(calls):
+                driver.num_of_domains()
+            per_call.append((clock.now() - t0) / calls)
+            retries.append(driver.retries)
+            driver.close()
+        finally:
+            daemon.shutdown()
+    return per_call, retries
+
+
+def collect():
+    clock = VirtualClock()
+    hang = measure_hang_vs_recover(clock)
+    recovery = measure_recovery_by_transport(clock)
+    sweep = measure_drop_rate_sweep(clock)
+    return hang, recovery, sweep
+
+
+def render(hang, recovery, sweep):
+    seed_time, resilient_time, downtime = hang
+    table_hang = format_table(
+        "R1a: severed link mid-workload — seed client vs resilient client",
+        ["client", "workload outcome", "modelled time"],
+        [
+            ["seed (no deadlines)", "hung on frame 5", f"{seed_time:,.0f} s"],
+            [
+                "resilient",
+                "completed (1 reconnect)",
+                f"{resilient_time:.3f} s",
+            ],
+            ["resilient downtime", "detect + re-dial", f"{downtime:.3f} s"],
+        ],
+    )
+    table_recovery = format_table(
+        "R1b: reconnect recovery latency by transport",
+        ["transport", "recovery"],
+        [[t, f"{recovery[t] * 1e3:.1f} ms"] for t in TRANSPORTS],
+    )
+    per_call, retries = sweep
+    series = format_series(
+        "R1c: sustained frame loss, deadline+retry cost per call (tcp)",
+        "drop probability",
+        list(DROP_RATES),
+        {
+            "per call": [f"{v * 1e3:.2f} ms" for v in per_call],
+            "retries": [str(r) for r in retries],
+        },
+    )
+    return table_hang + "\n\n" + table_recovery + "\n\n" + series
+
+
+def test_r1_fault_recovery(benchmark):
+    hang, recovery, sweep = benchmark.pedantic(collect, rounds=1, iterations=1)
+    emit("r1_fault_recovery", render(hang, recovery, sweep))
+
+    # -- headline: the seed client hangs, the resilient one does not -----
+    seed_time, resilient_time, downtime = hang
+    assert seed_time is not None and seed_time >= HANG_SECONDS
+    assert resilient_time < 10.0
+    assert seed_time / resilient_time > 1000.0
+
+    # -- recovery is bounded: detection window + backoff + handshake -----
+    detection_bound = KEEPALIVE_INTERVAL * KEEPALIVE_COUNT
+    for transport in TRANSPORTS:
+        assert recovery[transport] < detection_bound + RECONNECT_BASE + 1.0
+    # reconnect pays the handshake again: tls recovery > tcp > unix
+    assert recovery["unix"] < recovery["tcp"] < recovery["tls"]
+
+    # -- loss sweep: cost grows with the drop rate but stays bounded -----
+    per_call, _ = sweep
+    assert per_call == sorted(per_call)
+    policy = RetryPolicy(max_attempts=6)
+    # worst case per call: every attempt costs one deadline + max backoff
+    worst = 6 * 0.25 + policy.max_total_delay()
+    assert all(v < worst for v in per_call)

@@ -18,6 +18,41 @@ from repro.errors import InvalidArgumentError
 EventCallback = Callable[[str, DomainEvent, str], None]
 
 
+class ConnectionResetEvent:
+    """A remote connection died and the driver handled it.
+
+    Surfaced by the remote driver's auto-reconnect machinery: one
+    instance per disconnect, whether the re-dial succeeded
+    (``reconnected=True``, events re-subscribed) or gave up after
+    exhausting its backoff budget.
+    """
+
+    __slots__ = ("reason", "attempts", "downtime", "reconnected", "timestamp")
+
+    def __init__(
+        self,
+        reason: str,
+        attempts: int,
+        downtime: float,
+        reconnected: bool,
+        timestamp: float,
+    ) -> None:
+        self.reason = reason
+        #: dial attempts made (including the successful one, if any)
+        self.attempts = attempts
+        #: modelled seconds between failure detection and recovery/giving up
+        self.downtime = downtime
+        self.reconnected = reconnected
+        self.timestamp = timestamp
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        outcome = "reconnected" if self.reconnected else "gave up"
+        return (
+            f"ConnectionResetEvent({outcome} after {self.attempts} attempts, "
+            f"downtime={self.downtime:.3f}s: {self.reason})"
+        )
+
+
 class EventBroker:
     """Callback registry with stable registration ids."""
 

@@ -74,9 +74,18 @@ class Libvirtd:
 
         self.eventloop = EventLoop(self.clock.now)
         self._keepalive_timeout: "Optional[float]" = None
+        self.rpc.on_ping = self._on_keepalive_ping
         self._register_handlers()
         if register:
             register_daemon(hostname, self)
+
+    def _on_keepalive_ping(self, conn: ServerConnection) -> None:
+        """A KEEPALIVE PING proves the client is alive: refresh its
+        activity stamp so the idle reaper leaves the connection alone."""
+        with self._lock:
+            record = self._by_conn.get(conn)
+        if record is not None:
+            record.last_activity = self.clock.now()
 
     def _default_drivers(self) -> Dict[str, Any]:
         from repro.drivers.lxc import LxcDriver
@@ -155,6 +164,7 @@ class Libvirtd:
                 name=f"admin@{self.hostname}",
             )
             admin_rpc = RPCServer(pool=admin_pool)
+            admin_rpc.on_ping = self._on_keepalive_ping
             register_admin_handlers(admin_rpc, self)
             with self._lock:
                 self.server_pools["admin"] = admin_pool

@@ -11,15 +11,111 @@ indistinguishable to applications.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.driver import Driver
-from repro.core.events import EventBroker, EventCallback
+from repro.core.events import ConnectionResetEvent, EventBroker, EventCallback
 from repro.core.states import DomainEvent
 from repro.core.uri import ConnectionURI
 from repro.daemon.registry import lookup_daemon
+from repro.errors import (
+    CircuitOpenError,
+    ConnectionClosedError,
+    ConnectionError_,
+    InvalidArgumentError,
+    OperationTimeoutError,
+    VirtError,
+)
 from repro.rpc.client import RPCClient
 from repro.rpc.protocol import EVENT_DOMAIN_LIFECYCLE
+from repro.rpc.retry import CircuitBreaker, RetryPolicy, is_idempotent
+
+#: URI parameters consumed client-side, never forwarded to the daemon
+RESILIENCE_URI_PARAMS = frozenset(
+    {
+        "keepalive_interval",
+        "keepalive_count",
+        "call_timeout",
+        "auto_reconnect",
+        "max_retries",
+    }
+)
+
+
+class ResilienceConfig:
+    """Client-side survival policy for one remote connection.
+
+    ``keepalive_interval``/``keepalive_count`` mirror the real remote
+    driver's URI parameters of the same names; ``call_timeout`` bounds
+    every RPC; ``retry`` (a :class:`RetryPolicy`) re-issues idempotent
+    calls after timeouts; ``auto_reconnect`` re-dials a declared-dead
+    link with exponential backoff, guarded by a circuit breaker.
+    """
+
+    def __init__(
+        self,
+        call_timeout: "Optional[float]" = None,
+        keepalive_interval: "Optional[float]" = None,
+        keepalive_count: int = 5,
+        retry: "Optional[RetryPolicy]" = None,
+        auto_reconnect: bool = True,
+        reconnect_attempts: int = 5,
+        reconnect_base_delay: float = 0.2,
+        reconnect_max_delay: float = 10.0,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 60.0,
+    ) -> None:
+        if call_timeout is not None and call_timeout <= 0:
+            raise InvalidArgumentError("call_timeout must be positive")
+        if keepalive_interval is not None and keepalive_interval <= 0:
+            raise InvalidArgumentError("keepalive_interval must be positive")
+        if reconnect_attempts < 1:
+            raise InvalidArgumentError("reconnect_attempts must be at least 1")
+        if reconnect_base_delay <= 0 or reconnect_max_delay < reconnect_base_delay:
+            raise InvalidArgumentError(
+                "need 0 < reconnect_base_delay <= reconnect_max_delay"
+            )
+        self.call_timeout = call_timeout
+        self.keepalive_interval = keepalive_interval
+        self.keepalive_count = keepalive_count
+        self.retry = retry
+        self.auto_reconnect = auto_reconnect
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_base_delay = reconnect_base_delay
+        self.reconnect_max_delay = reconnect_max_delay
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset = breaker_reset
+
+    @classmethod
+    def from_uri_params(cls, params: Dict[str, str]) -> "Optional[ResilienceConfig]":
+        """Build a config from ``?keepalive_interval=5&...`` URI params;
+        None when the URI carries no resilience parameter at all."""
+        if not RESILIENCE_URI_PARAMS & set(params):
+            return None
+        try:
+            retries = int(params.get("max_retries", "0"))
+            return cls(
+                call_timeout=(
+                    float(params["call_timeout"]) if "call_timeout" in params else None
+                ),
+                keepalive_interval=(
+                    float(params["keepalive_interval"])
+                    if "keepalive_interval" in params
+                    else None
+                ),
+                keepalive_count=int(params.get("keepalive_count", "5")),
+                retry=RetryPolicy(max_attempts=retries) if retries > 1 else None,
+                auto_reconnect=params.get("auto_reconnect", "1") not in ("0", "no", "off"),
+            )
+        except ValueError as exc:
+            raise InvalidArgumentError(f"bad resilience URI parameter: {exc}") from exc
+
+    def reconnect_delay(self, attempt: int) -> float:
+        """Exponential backoff for the ``attempt``-th re-dial (1-based)."""
+        return min(
+            self.reconnect_max_delay,
+            self.reconnect_base_delay * (2 ** (attempt - 1)),
+        )
 
 
 class RemoteDriver(Driver):
@@ -28,197 +124,363 @@ class RemoteDriver(Driver):
     name = "remote"
     stateless = False
 
-    def __init__(self, uri: ConnectionURI, credentials: "Optional[Dict[str, Any]]" = None) -> None:
-        hostname = uri.hostname or "localhost"
-        transport = uri.transport or "unix"
-        daemon = lookup_daemon(hostname)
-        listener = daemon.listener(transport)
-        channel = listener.connect(credentials)
-        self.client = RPCClient(channel)
+    def __init__(
+        self,
+        uri: ConnectionURI,
+        credentials: "Optional[Dict[str, Any]]" = None,
+        resilience: "Optional[ResilienceConfig]" = None,
+    ) -> None:
+        self._hostname = uri.hostname or "localhost"
+        self._transport = uri.transport or "unix"
+        self._credentials = credentials
+        if resilience is None:
+            resilience = ResilienceConfig.from_uri_params(uri.params)
+        self.resilience = resilience
+        forwarded = {
+            k: v for k, v in uri.params.items() if k not in RESILIENCE_URI_PARAMS
+        }
         self.remote_uri = ConnectionURI(
-            driver=uri.driver, path=uri.path, params=uri.params
+            driver=uri.driver, path=uri.path, params=forwarded
         ).format()
-        self.client.call("connect.open", {"uri": self.remote_uri})
         self.events = EventBroker()
         self._remote_events_armed = False
         self._features: "Optional[List[str]]" = None
+        #: every disconnect this driver handled, oldest first
+        self.connection_events: List[ConnectionResetEvent] = []
+        self._conn_callbacks: "List[Callable[[ConnectionResetEvent], None]]" = []
+        self._breaker: "Optional[CircuitBreaker]" = None
+        self._clock = None
+        self.reconnects = 0
+        self.retries = 0
+        self.client = self._dial()
+
+    # -- resilient call path ---------------------------------------------------
+
+    def _dial(self) -> RPCClient:
+        """(Re-)establish the RPC session: connect, open, arm keepalive."""
+        daemon = lookup_daemon(self._hostname)
+        listener = daemon.listener(self._transport)
+        channel = listener.connect(self._credentials)
+        self._clock = channel.clock
+        cfg = self.resilience
+        client = RPCClient(
+            channel, default_timeout=cfg.call_timeout if cfg is not None else None
+        )
+        if cfg is not None and cfg.keepalive_interval is not None:
+            client.enable_keepalive(cfg.keepalive_interval, cfg.keepalive_count)
+        attempts = 0
+        backoff: "Optional[float]" = None
+        while True:
+            attempts += 1
+            try:
+                client.call("connect.open", {"uri": self.remote_uri})
+                return client
+            except OperationTimeoutError:
+                # connect.open is idempotent; a lossy link may eat the
+                # very first frame, so the session open retries too
+                if (
+                    cfg is None
+                    or cfg.retry is None
+                    or attempts >= cfg.retry.max_attempts
+                ):
+                    raise
+                backoff = cfg.retry.next_delay(backoff)
+                self._clock.sleep(backoff)
+                self.retries += 1
+
+    def _ensure_breaker(self) -> CircuitBreaker:
+        if self._breaker is None:
+            cfg = self.resilience
+            self._breaker = CircuitBreaker(
+                self._clock.now,
+                threshold=cfg.breaker_threshold,
+                reset_timeout=cfg.breaker_reset,
+            )
+        return self._breaker
+
+    def _call(self, name: str, body: Any = None) -> Any:
+        """One RPC through the resilience stack.
+
+        Without a :class:`ResilienceConfig` this is a bare
+        ``client.call`` — the seed behaviour.  With one, per-call
+        deadlines apply (inside :meth:`RPCClient.call`), a dead
+        connection triggers backed-off auto-reconnect with event
+        re-subscription, and timeouts on idempotent procedures are
+        retried under the policy.
+        """
+        cfg = self.resilience
+        if cfg is None:
+            return self.client.call(name, body)
+        max_attempts = cfg.retry.max_attempts if cfg.retry is not None else 2
+        attempts = 0
+        backoff: "Optional[float]" = None
+        while True:
+            attempts += 1
+            if self._breaker is not None and not self._breaker.allow():
+                raise CircuitOpenError(
+                    f"circuit open for {self._hostname!r}: reconnect keeps "
+                    f"failing; retry after {cfg.breaker_reset:g}s"
+                )
+            try:
+                return self.client.call(name, body)
+            except ConnectionClosedError as exc:
+                if not cfg.auto_reconnect:
+                    raise
+                self._reconnect(str(exc) or type(exc).__name__)
+                # the link is healthy again; re-issuing is only safe for
+                # idempotent procedures — anything else may have executed
+                if is_idempotent(name) and attempts < max_attempts:
+                    continue
+                raise
+            except OperationTimeoutError:
+                if (
+                    cfg.retry is not None
+                    and is_idempotent(name)
+                    and attempts < cfg.retry.max_attempts
+                ):
+                    backoff = cfg.retry.next_delay(backoff)
+                    self._clock.sleep(backoff)
+                    self.retries += 1
+                    continue
+                raise
+
+    def _reconnect(self, reason: str) -> None:
+        """Re-dial with exponential backoff; raises when the budget is
+        exhausted or the circuit breaker refuses to keep trying."""
+        cfg = self.resilience
+        clock = self._clock
+        breaker = self._ensure_breaker()
+        t0 = clock.now()
+        last_exc: "Optional[VirtError]" = None
+        attempts = 0
+        for attempt in range(1, cfg.reconnect_attempts + 1):
+            if not breaker.allow():
+                break
+            attempts = attempt
+            clock.sleep(cfg.reconnect_delay(attempt))
+            try:
+                client = self._dial()
+                if self._remote_events_armed:
+                    client.on_event(EVENT_DOMAIN_LIFECYCLE, self._on_remote_event)
+                    client.call("connect.domain_event_register")
+            except VirtError as exc:
+                last_exc = exc
+                breaker.record_failure()
+                continue
+            self.client.close()  # drop the dead session's timers
+            self.client = client
+            self.reconnects += 1
+            breaker.record_success()
+            self._emit_connection_event(
+                ConnectionResetEvent(
+                    reason, attempt, clock.now() - t0, True, clock.now()
+                )
+            )
+            return
+        self._emit_connection_event(
+            ConnectionResetEvent(
+                reason, attempts, clock.now() - t0, False, clock.now()
+            )
+        )
+        raise ConnectionError_(
+            f"lost connection to {self._hostname!r} ({reason}); "
+            f"reconnect gave up after {attempts} attempts"
+        ) from last_exc
+
+    def _emit_connection_event(self, event: ConnectionResetEvent) -> None:
+        self.connection_events.append(event)
+        for callback in list(self._conn_callbacks):
+            try:
+                callback(event)
+            except Exception:  # noqa: BLE001 - observers must not break recovery
+                continue
+
+    def on_connection_event(self, callback: "Callable[[ConnectionResetEvent], None]") -> None:
+        """Observe disconnect/reconnect outcomes (monitoring hooks)."""
+        self._conn_callbacks.append(callback)
+
+    def tick(self) -> int:
+        """Drive the client-side keepalive timers (poll-loop stand-in)."""
+        return self.client.tick()
 
     # -- connection -----------------------------------------------------------
 
     def close(self) -> None:
-        if not self.client.closed:
-            try:
+        try:
+            if not self.client.closed and not self.client.dead:
                 self.client.call("connect.close")
-            finally:
-                self.client.close()
+        except VirtError:
+            pass  # closing a dying link must not raise
+        finally:
+            self.client.close()
 
     def get_hostname(self) -> str:
-        return self.client.call("connect.get_hostname")
+        return self._call("connect.get_hostname")
 
     def get_capabilities(self) -> str:
-        return self.client.call("connect.get_capabilities")
+        return self._call("connect.get_capabilities")
 
     def get_node_info(self) -> Dict[str, int]:
-        return self.client.call("connect.get_node_info")
+        return self._call("connect.get_node_info")
 
     def get_version(self) -> Tuple[int, int, int]:
-        return tuple(self.client.call("connect.get_version"))  # type: ignore[return-value]
+        return tuple(self._call("connect.get_version"))  # type: ignore[return-value]
 
     def features(self) -> List[str]:
         if self._features is None:
-            self._features = list(self.client.call("connect.supports_feature", {"feature": None}))
+            self._features = list(self._call("connect.supports_feature", {"feature": None}))
         return self._features
 
     def ping(self) -> str:
         """Round-trip health probe (used by the transport benchmarks)."""
-        return self.client.call("connect.ping")
+        return self._call("connect.ping")
 
     # -- enumeration --------------------------------------------------------------
 
     def list_domains(self) -> List[str]:
-        return self.client.call("connect.list_domains")
+        return self._call("connect.list_domains")
 
     def list_defined_domains(self) -> List[str]:
-        return self.client.call("connect.list_defined_domains")
+        return self._call("connect.list_defined_domains")
 
     def num_of_domains(self) -> int:
-        return self.client.call("connect.num_of_domains")
+        return self._call("connect.num_of_domains")
 
     # -- domain lookup/lifecycle -----------------------------------------------------
 
     def domain_lookup_by_name(self, name: str) -> Dict[str, Any]:
-        return self.client.call("domain.lookup_by_name", {"name": name})
+        return self._call("domain.lookup_by_name", {"name": name})
 
     def domain_lookup_by_uuid(self, uuid: str) -> Dict[str, Any]:
-        return self.client.call("domain.lookup_by_uuid", {"uuid": uuid})
+        return self._call("domain.lookup_by_uuid", {"uuid": uuid})
 
     def domain_lookup_by_id(self, domain_id: int) -> Dict[str, Any]:
-        return self.client.call("domain.lookup_by_id", {"id": domain_id})
+        return self._call("domain.lookup_by_id", {"id": domain_id})
 
     def domain_define_xml(self, xml: str) -> Dict[str, Any]:
-        return self.client.call("domain.define_xml", {"xml": xml})
+        return self._call("domain.define_xml", {"xml": xml})
 
     def domain_undefine(self, name: str) -> None:
-        self.client.call("domain.undefine", {"name": name})
+        self._call("domain.undefine", {"name": name})
 
     def domain_create(self, name: str) -> None:
-        self.client.call("domain.create", {"name": name})
+        self._call("domain.create", {"name": name})
 
     def domain_create_xml(self, xml: str) -> Dict[str, Any]:
-        return self.client.call("domain.create_xml", {"xml": xml})
+        return self._call("domain.create_xml", {"xml": xml})
 
     def domain_shutdown(self, name: str) -> None:
-        self.client.call("domain.shutdown", {"name": name})
+        self._call("domain.shutdown", {"name": name})
 
     def domain_destroy(self, name: str) -> None:
-        self.client.call("domain.destroy", {"name": name})
+        self._call("domain.destroy", {"name": name})
 
     def domain_suspend(self, name: str) -> None:
-        self.client.call("domain.suspend", {"name": name})
+        self._call("domain.suspend", {"name": name})
 
     def domain_resume(self, name: str) -> None:
-        self.client.call("domain.resume", {"name": name})
+        self._call("domain.resume", {"name": name})
 
     def domain_reboot(self, name: str) -> None:
-        self.client.call("domain.reboot", {"name": name})
+        self._call("domain.reboot", {"name": name})
 
     # -- introspection / tuning ---------------------------------------------------------
 
     def domain_get_info(self, name: str) -> Dict[str, Any]:
-        return self.client.call("domain.get_info", {"name": name})
+        return self._call("domain.get_info", {"name": name})
 
     def domain_get_state(self, name: str) -> int:
-        return self.client.call("domain.get_state", {"name": name})
+        return self._call("domain.get_state", {"name": name})
 
     def domain_get_xml_desc(self, name: str) -> str:
-        return self.client.call("domain.get_xml_desc", {"name": name})
+        return self._call("domain.get_xml_desc", {"name": name})
 
     def domain_get_stats(self, name: str) -> Dict[str, Any]:
-        return self.client.call("domain.get_stats", {"name": name})
+        return self._call("domain.get_stats", {"name": name})
 
     def domain_get_scheduler_params(self, name: str) -> List[Any]:
-        return self.client.call("domain.get_scheduler_params", {"name": name})
+        return self._call("domain.get_scheduler_params", {"name": name})
 
     def domain_set_scheduler_params(self, name: str, params: List[Any]) -> None:
-        self.client.call(
+        self._call(
             "domain.set_scheduler_params", {"name": name, "params": params}
         )
 
     def domain_get_job_info(self, name: str) -> Dict[str, Any]:
-        return self.client.call("domain.get_job_info", {"name": name})
+        return self._call("domain.get_job_info", {"name": name})
 
     def domain_set_memory(self, name: str, memory_kib: int) -> None:
-        self.client.call("domain.set_memory", {"name": name, "memory_kib": memory_kib})
+        self._call("domain.set_memory", {"name": name, "memory_kib": memory_kib})
 
     def domain_set_vcpus(self, name: str, vcpus: int) -> None:
-        self.client.call("domain.set_vcpus", {"name": name, "vcpus": vcpus})
+        self._call("domain.set_vcpus", {"name": name, "vcpus": vcpus})
 
     def domain_save(self, name: str, path: str) -> None:
-        self.client.call("domain.save", {"name": name, "path": path})
+        self._call("domain.save", {"name": name, "path": path})
 
     def domain_restore(self, path: str) -> Dict[str, Any]:
-        return self.client.call("domain.restore", {"path": path})
+        return self._call("domain.restore", {"path": path})
 
     def domain_get_autostart(self, name: str) -> bool:
-        return self.client.call("domain.get_autostart", {"name": name})
+        return self._call("domain.get_autostart", {"name": name})
 
     def domain_set_autostart(self, name: str, autostart: bool) -> None:
-        self.client.call(
+        self._call(
             "domain.set_autostart", {"name": name, "autostart": bool(autostart)}
         )
 
     def domain_attach_device(self, name: str, device_xml: str) -> None:
-        self.client.call("domain.attach_device", {"name": name, "xml": device_xml})
+        self._call("domain.attach_device", {"name": name, "xml": device_xml})
 
     def domain_detach_device(self, name: str, device_xml: str) -> None:
-        self.client.call("domain.detach_device", {"name": name, "xml": device_xml})
+        self._call("domain.detach_device", {"name": name, "xml": device_xml})
 
     # -- snapshots ------------------------------------------------------------------------
 
     def snapshot_create(self, name: str, snapshot_name: str) -> Dict[str, Any]:
-        return self.client.call(
+        return self._call(
             "domain.snapshot_create", {"name": name, "snapshot": snapshot_name}
         )
 
     def snapshot_list(self, name: str) -> List[str]:
-        return self.client.call("domain.snapshot_list", {"name": name})
+        return self._call("domain.snapshot_list", {"name": name})
 
     def snapshot_revert(self, name: str, snapshot_name: str) -> None:
-        self.client.call(
+        self._call(
             "domain.snapshot_revert", {"name": name, "snapshot": snapshot_name}
         )
 
     def snapshot_delete(self, name: str, snapshot_name: str) -> None:
-        self.client.call(
+        self._call(
             "domain.snapshot_delete", {"name": name, "snapshot": snapshot_name}
         )
 
     # -- migration -------------------------------------------------------------------------
 
     def migrate_begin(self, name: str) -> Dict[str, Any]:
-        return self.client.call("domain.migrate_begin", {"name": name})
+        return self._call("domain.migrate_begin", {"name": name})
 
     def migrate_prepare(self, description: Dict[str, Any]) -> Dict[str, Any]:
-        return self.client.call("domain.migrate_prepare", {"description": description})
+        return self._call("domain.migrate_prepare", {"description": description})
 
     def migrate_perform(self, name: str, cookie: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
-        return self.client.call(
+        return self._call(
             "domain.migrate_perform",
             {"name": name, "cookie": cookie, "params": params},
         )
 
     def migrate_finish(self, cookie: Dict[str, Any], stats: Dict[str, Any]) -> Dict[str, Any]:
-        return self.client.call(
+        return self._call(
             "domain.migrate_finish", {"cookie": cookie, "stats": stats}
         )
 
     def migrate_confirm(self, name: str, cancelled: bool) -> None:
-        self.client.call(
+        self._call(
             "domain.migrate_confirm", {"name": name, "cancelled": cancelled}
         )
 
     def migrate_p2p(self, name: str, dest_uri: str, params: Dict[str, Any]) -> Dict[str, Any]:
-        return self.client.call(
+        return self._call(
             "domain.migrate_p2p",
             {"name": name, "dest_uri": dest_uri, "params": params},
         )
@@ -228,14 +490,14 @@ class RemoteDriver(Driver):
     def domain_event_register(self, callback: EventCallback) -> int:
         if not self._remote_events_armed:
             self.client.on_event(EVENT_DOMAIN_LIFECYCLE, self._on_remote_event)
-            self.client.call("connect.domain_event_register")
+            self._call("connect.domain_event_register")
             self._remote_events_armed = True
         return self.events.register(callback)
 
     def domain_event_deregister(self, callback_id: int) -> None:
         self.events.deregister(callback_id)
         if self.events.callback_count == 0 and self._remote_events_armed:
-            self.client.call("connect.domain_event_deregister")
+            self._call("connect.domain_event_deregister")
             self.client.remove_event_handler(EVENT_DOMAIN_LIFECYCLE)
             self._remote_events_armed = False
 
@@ -247,63 +509,63 @@ class RemoteDriver(Driver):
     # -- networks --------------------------------------------------------------------------------
 
     def network_define_xml(self, xml: str) -> Dict[str, Any]:
-        return self.client.call("network.define_xml", {"xml": xml})
+        return self._call("network.define_xml", {"xml": xml})
 
     def network_undefine(self, name: str) -> None:
-        self.client.call("network.undefine", {"name": name})
+        self._call("network.undefine", {"name": name})
 
     def network_create(self, name: str) -> None:
-        self.client.call("network.create", {"name": name})
+        self._call("network.create", {"name": name})
 
     def network_destroy(self, name: str) -> None:
-        self.client.call("network.destroy", {"name": name})
+        self._call("network.destroy", {"name": name})
 
     def network_list(self) -> List[Dict[str, Any]]:
-        return self.client.call("network.list")
+        return self._call("network.list")
 
     def network_lookup_by_name(self, name: str) -> Dict[str, Any]:
-        return self.client.call("network.lookup_by_name", {"name": name})
+        return self._call("network.lookup_by_name", {"name": name})
 
     def network_get_xml_desc(self, name: str) -> str:
-        return self.client.call("network.get_xml_desc", {"name": name})
+        return self._call("network.get_xml_desc", {"name": name})
 
     def network_dhcp_leases(self, name: str) -> List[Dict[str, Any]]:
-        return self.client.call("network.dhcp_leases", {"name": name})
+        return self._call("network.dhcp_leases", {"name": name})
 
     # -- storage ----------------------------------------------------------------------------------
 
     def storage_pool_define_xml(self, xml: str) -> Dict[str, Any]:
-        return self.client.call("storage.pool_define_xml", {"xml": xml})
+        return self._call("storage.pool_define_xml", {"xml": xml})
 
     def storage_pool_undefine(self, name: str) -> None:
-        self.client.call("storage.pool_undefine", {"name": name})
+        self._call("storage.pool_undefine", {"name": name})
 
     def storage_pool_create(self, name: str) -> None:
-        self.client.call("storage.pool_create", {"name": name})
+        self._call("storage.pool_create", {"name": name})
 
     def storage_pool_destroy(self, name: str) -> None:
-        self.client.call("storage.pool_destroy", {"name": name})
+        self._call("storage.pool_destroy", {"name": name})
 
     def storage_pool_list(self) -> List[Dict[str, Any]]:
-        return self.client.call("storage.pool_list")
+        return self._call("storage.pool_list")
 
     def storage_pool_lookup_by_name(self, name: str) -> Dict[str, Any]:
-        return self.client.call("storage.pool_lookup_by_name", {"name": name})
+        return self._call("storage.pool_lookup_by_name", {"name": name})
 
     def storage_pool_get_info(self, name: str) -> Dict[str, Any]:
-        return self.client.call("storage.pool_get_info", {"name": name})
+        return self._call("storage.pool_get_info", {"name": name})
 
     def storage_pool_get_xml_desc(self, name: str) -> str:
-        return self.client.call("storage.pool_get_xml_desc", {"name": name})
+        return self._call("storage.pool_get_xml_desc", {"name": name})
 
     def storage_vol_create_xml(self, pool: str, xml: str) -> Dict[str, Any]:
-        return self.client.call("storage.vol_create_xml", {"pool": pool, "xml": xml})
+        return self._call("storage.vol_create_xml", {"pool": pool, "xml": xml})
 
     def storage_vol_delete(self, pool: str, volume: str) -> None:
-        self.client.call("storage.vol_delete", {"pool": pool, "volume": volume})
+        self._call("storage.vol_delete", {"pool": pool, "volume": volume})
 
     def storage_vol_list(self, pool: str) -> List[str]:
-        return self.client.call("storage.vol_list", {"pool": pool})
+        return self._call("storage.vol_list", {"pool": pool})
 
     def storage_vol_get_info(self, pool: str, volume: str) -> Dict[str, Any]:
-        return self.client.call("storage.vol_get_info", {"pool": pool, "volume": volume})
+        return self._call("storage.vol_get_info", {"pool": pool, "volume": volume})

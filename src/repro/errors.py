@@ -311,6 +311,40 @@ class RPCError(VirtError):
     default_domain = ErrorDomain.RPC
 
 
+class TransportStalledError(VirtError):
+    """A frame got no reply within the caller's wait bound.
+
+    Raised by the transport layer; the RPC client translates it into
+    either :class:`OperationTimeoutError` (per-call deadline) or
+    :class:`KeepaliveTimeoutError` (connection declared dead).
+    """
+
+    default_code = ErrorCode.OPERATION_TIMEOUT
+    default_domain = ErrorDomain.RPC
+
+
+class TransportHangError(TransportStalledError):
+    """A frame got no reply and the caller set no bound at all.
+
+    The deterministic model of "hangs forever": the channel charges
+    :data:`repro.rpc.transport.HANG_SECONDS` of modelled time before
+    raising, so a client without keepalive or deadlines visibly loses a
+    day of simulated time on a dead link.
+    """
+
+
+class KeepaliveTimeoutError(ConnectionClosedError):
+    """The client-side keepalive declared the connection dead."""
+
+    default_domain = ErrorDomain.RPC
+
+
+class CircuitOpenError(ConnectionError_):
+    """The reconnect circuit breaker is open: failing fast."""
+
+    default_domain = ErrorDomain.RPC
+
+
 class AuthenticationError(VirtError):
     """The transport-level authentication handshake failed."""
 

@@ -1,0 +1,24 @@
+"""Deterministic transport fault injection.
+
+A :class:`FaultPlan` scripts link failures — dropped frames, delays,
+duplicates, corruption, silent severs, daemon blackholes — against the
+virtual clock, so tests and benchmarks can prove the resilience story
+(keepalive, deadlines, retry, auto-reconnect) without wall-clock sleeps
+or real networks.
+"""
+
+from repro.faults.plan import (
+    FaultDecision,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+)
+
+__all__ = [
+    "FaultDecision",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+]

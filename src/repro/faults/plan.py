@@ -1,0 +1,239 @@
+"""Scripted, seeded fault plans for the transport layer.
+
+A plan is an ordered list of :class:`FaultRule` objects.  The transport
+asks the plan what to do with every frame (``decide``); the first rule
+that matches — by direction, frame index, or seeded probability — fires
+and its action is applied by the channel.  Rules pinned to an exact
+frame fire once by default, so a reconnected channel does not re-hit
+the same scripted fault; probabilistic rules fire for as long as their
+budget lasts (unlimited by default).
+
+Every injected fault is recorded in ``plan.injected`` with the frame
+index, direction, and modelled timestamp — the audit trail benchmarks
+use to compute recovery latency per fault.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import threading
+from typing import List, Optional
+
+from repro.errors import InvalidArgumentError
+
+
+class FaultKind(enum.Enum):
+    """What happens to a matched frame."""
+
+    DROP = "drop"  # the frame vanishes; no reply ever arrives
+    DELAY = "delay"  # extra one-way latency before delivery
+    DUPLICATE = "duplicate"  # the frame is delivered twice
+    CORRUPT = "corrupt"  # one byte is flipped before delivery
+    SEVER = "sever"  # the connection is cut silently (no FIN/RST)
+    BLACKHOLE = "blackhole"  # the whole daemon stops answering
+
+
+#: direction markers: client→server and server→client
+SEND = "send"
+RECV = "recv"
+_DIRECTIONS = (SEND, RECV, "both")
+
+
+class FaultRule:
+    """One scripted fault.
+
+    Matching is by ``direction`` plus exactly one of:
+
+    * ``frame=N`` — the channel's Nth outbound frame (0-based);
+    * ``after=N`` — every frame with index >= N;
+    * ``probability=p`` — a seeded coin flip per frame;
+    * none of the above — every frame.
+
+    ``times`` caps how often the rule fires; it defaults to 1 when the
+    rule is pinned to an exact frame and to unlimited otherwise.
+    """
+
+    def __init__(
+        self,
+        kind: FaultKind,
+        *,
+        direction: str = SEND,
+        frame: "Optional[int]" = None,
+        after: "Optional[int]" = None,
+        probability: "Optional[float]" = None,
+        delay: float = 0.0,
+        times: "Optional[int]" = None,
+    ) -> None:
+        self.kind = FaultKind(kind)
+        if direction not in _DIRECTIONS:
+            raise InvalidArgumentError(f"unknown fault direction {direction!r}")
+        if sum(x is not None for x in (frame, after, probability)) > 1:
+            raise InvalidArgumentError(
+                "a rule takes at most one of frame/after/probability"
+            )
+        if probability is not None and not 0.0 <= probability <= 1.0:
+            raise InvalidArgumentError("probability must be within [0, 1]")
+        if self.kind is FaultKind.DELAY and delay <= 0:
+            raise InvalidArgumentError("a DELAY rule needs a positive delay")
+        if delay < 0:
+            raise InvalidArgumentError("delay must be non-negative")
+        self.direction = direction
+        self.frame = frame
+        self.after = after
+        self.probability = probability
+        self.delay = delay
+        if times is None:
+            times = 1 if frame is not None else -1  # -1 = unlimited
+        self.times = times
+        self.fired = 0
+
+    def matches(self, direction: str, frame_index: int, rng: random.Random) -> bool:
+        if self.times >= 0 and self.fired >= self.times:
+            return False
+        if self.direction != "both" and self.direction != direction:
+            return False
+        if self.frame is not None:
+            return frame_index == self.frame
+        if self.after is not None:
+            return frame_index >= self.after
+        if self.probability is not None:
+            return rng.random() < self.probability
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = (
+            f"frame={self.frame}"
+            if self.frame is not None
+            else f"after={self.after}"
+            if self.after is not None
+            else f"p={self.probability}"
+            if self.probability is not None
+            else "always"
+        )
+        return f"FaultRule({self.kind.value}, {self.direction}, {where})"
+
+
+class FaultEvent:
+    """Audit record of one injected fault."""
+
+    __slots__ = ("kind", "direction", "frame", "time")
+
+    def __init__(self, kind: FaultKind, direction: str, frame: int, time: float) -> None:
+        self.kind = kind
+        self.direction = direction
+        self.frame = frame
+        self.time = time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultEvent({self.kind.value}, {self.direction}, frame={self.frame}, t={self.time:.6f})"
+
+
+class FaultDecision:
+    """What the channel must do with the current frame."""
+
+    __slots__ = ("kind", "delay")
+
+    def __init__(self, kind: "Optional[FaultKind]", delay: float = 0.0) -> None:
+        self.kind = kind
+        self.delay = delay
+
+
+class FaultPlan:
+    """A seeded, shareable fault script.
+
+    One plan can be installed on a single :class:`~repro.rpc.transport.Channel`
+    or on a :class:`~repro.rpc.transport.Listener` (where every accepted
+    channel consults it — that is how a daemon-wide blackhole works).
+    All probabilistic choices come from one ``random.Random(seed)``, so
+    a plan replays identically for a given seed.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rules: List[FaultRule] = []
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        #: True while the daemon side is unreachable for every channel
+        self.blackholed = False
+        #: audit trail of every fault injected through this plan
+        self.injected: List[FaultEvent] = []
+
+    # -- scripting (fluent) ------------------------------------------------
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        with self._lock:
+            self._rules.append(rule)
+        return self
+
+    def drop(self, **kwargs: object) -> "FaultPlan":
+        """Lose matched frames: the peer never sees them."""
+        return self.add(FaultRule(FaultKind.DROP, **kwargs))  # type: ignore[arg-type]
+
+    def delay(self, seconds: float, **kwargs: object) -> "FaultPlan":
+        """Add ``seconds`` of one-way latency to matched frames."""
+        return self.add(FaultRule(FaultKind.DELAY, delay=seconds, **kwargs))  # type: ignore[arg-type]
+
+    def duplicate(self, **kwargs: object) -> "FaultPlan":
+        """Deliver matched frames twice (retransmit storms)."""
+        return self.add(FaultRule(FaultKind.DUPLICATE, **kwargs))  # type: ignore[arg-type]
+
+    def corrupt(self, **kwargs: object) -> "FaultPlan":
+        """Flip a byte inside matched frames."""
+        return self.add(FaultRule(FaultKind.CORRUPT, **kwargs))  # type: ignore[arg-type]
+
+    def sever(self, **kwargs: object) -> "FaultPlan":
+        """Cut the connection silently when the rule matches — the
+        server side is torn down but the client is never told (a pulled
+        cable, not a FIN)."""
+        return self.add(FaultRule(FaultKind.SEVER, **kwargs))  # type: ignore[arg-type]
+
+    def blackhole(self, **kwargs: object) -> "FaultPlan":
+        """From the matched frame on, the daemon answers nothing on any
+        channel sharing this plan, until :meth:`restore`."""
+        return self.add(FaultRule(FaultKind.BLACKHOLE, **kwargs))  # type: ignore[arg-type]
+
+    def restore(self) -> None:
+        """Lift a daemon blackhole (the network heals)."""
+        with self._lock:
+            self.blackholed = False
+
+    # -- consulted by the transport ---------------------------------------
+
+    def decide(self, direction: str, frame_index: int, now: float) -> FaultDecision:
+        """First matching rule wins; records the injection."""
+        with self._lock:
+            for rule in self._rules:
+                if rule.matches(direction, frame_index, self._rng):
+                    rule.fired += 1
+                    if rule.kind is FaultKind.BLACKHOLE:
+                        self.blackholed = True
+                    self.injected.append(
+                        FaultEvent(rule.kind, direction, frame_index, now)
+                    )
+                    return FaultDecision(rule.kind, rule.delay)
+        return FaultDecision(None)
+
+    def corrupt_bytes(self, data: bytes) -> bytes:
+        """Flip one byte past the length prefix (stays one frame)."""
+        if len(data) <= 4:
+            return data
+        with self._lock:
+            pos = self._rng.randrange(4, len(data))
+        mutated = bytearray(data)
+        mutated[pos] ^= 0x5A
+        return bytes(mutated)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def faults_injected(self) -> int:
+        with self._lock:
+            return len(self.injected)
+
+    def injected_of(self, kind: FaultKind) -> List[FaultEvent]:
+        with self._lock:
+            return [e for e in self.injected if e.kind is kind]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return f"FaultPlan({len(self._rules)} rules, {len(self.injected)} injected)"

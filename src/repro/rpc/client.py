@@ -1,4 +1,22 @@
-"""RPC client: call serialization, serial matching, event delivery."""
+"""RPC client: call serialization, serial matching, event delivery,
+per-call deadlines, and the client half of the keepalive protocol.
+
+Resilience additions over the bare wire client:
+
+* ``call(..., timeout=...)`` bounds how long one call may block; a lost
+  reply costs exactly the deadline and raises
+  :class:`~repro.errors.OperationTimeoutError`.
+* ``enable_keepalive(interval, count)`` arms the PING/PONG program
+  (mirroring libvirt's ``virKeepAlive``): an event-loop timer probes the
+  daemon every ``interval`` modelled seconds, and after ``count``
+  consecutive missed PONGs the connection is *declared dead* — in-flight
+  and subsequent calls fail with
+  :class:`~repro.errors.KeepaliveTimeoutError` instead of hanging.
+* A desynchronized reply stream (serial mismatch, non-REPLY frame,
+  unparsable reply) closes the channel: mispairing replies silently
+  would be worse than failing every later call with
+  :class:`~repro.errors.ConnectionClosedError`.
+"""
 
 from __future__ import annotations
 
@@ -6,25 +24,49 @@ import itertools
 import threading
 from typing import Any, Callable, Dict, Optional
 
-from repro.errors import ConnectionClosedError, RPCError, VirtError
+from repro.errors import (
+    ConnectionClosedError,
+    InvalidArgumentError,
+    KeepaliveTimeoutError,
+    OperationTimeoutError,
+    RPCError,
+    TransportStalledError,
+    VirtError,
+)
 from repro.rpc.protocol import (
+    KEEPALIVE_PONG,
     MessageType,
     ReplyStatus,
     RPCMessage,
+    is_keepalive,
+    make_ping,
     procedure_number,
 )
 from repro.rpc.transport import Channel
+from repro.util.eventloop import EventLoop
 
 
 class RPCClient:
     """The client end of one RPC connection."""
 
-    def __init__(self, channel: Channel) -> None:
+    def __init__(self, channel: Channel, default_timeout: "Optional[float]" = None) -> None:
         self._channel = channel
         self._serials = itertools.count(1)
         self._event_handlers: Dict[int, Callable[[Any], None]] = {}
         self._lock = threading.Lock()
         self.calls_made = 0
+        self.timeouts = 0
+        #: per-call deadline applied when ``call`` gets no explicit one
+        self.default_timeout = default_timeout
+        # -- keepalive state
+        self.eventloop: "Optional[EventLoop]" = None
+        self._ka_interval: "Optional[float]" = None
+        self._ka_count = 0
+        self._ka_missed = 0
+        self._ka_timer: "Optional[int]" = None
+        self._dead_reason: "Optional[str]" = None
+        self.pings_sent = 0
+        self.pongs_received = 0
         channel.set_event_handler(self._on_event_frame)
 
     @property
@@ -35,12 +77,129 @@ class RPCClient:
     def closed(self) -> bool:
         return self._channel.closed
 
-    def call(self, procedure: str, body: Any = None) -> Any:
+    @property
+    def dead(self) -> bool:
+        """True once keepalive (or a desync) declared this link dead."""
+        return self._dead_reason is not None
+
+    @property
+    def dead_reason(self) -> "Optional[str]":
+        return self._dead_reason
+
+    # -- keepalive ---------------------------------------------------------
+
+    def enable_keepalive(
+        self,
+        interval: float,
+        count: int = 5,
+        eventloop: "Optional[EventLoop]" = None,
+    ) -> None:
+        """Arm client-side keepalive (``virConnectSetKeepAlive``).
+
+        Every ``interval`` modelled seconds the event loop sends a PING;
+        ``count`` consecutive missed PONGs declare the connection dead.
+        Drive the timers with :meth:`tick` (or ``eventloop.drive``).
+        """
+        if interval <= 0:
+            raise InvalidArgumentError("keepalive interval must be positive")
+        if count < 1:
+            raise InvalidArgumentError("keepalive count must be at least 1")
+        self.disable_keepalive()
+        self._ka_interval = interval
+        self._ka_count = count
+        self._ka_missed = 0
+        self.eventloop = eventloop or EventLoop(self._channel.clock.now)
+        self._ka_timer = self.eventloop.add_interval(interval, self._keepalive_probe)
+
+    def disable_keepalive(self) -> None:
+        if self._ka_timer is not None and self.eventloop is not None:
+            self.eventloop.cancel(self._ka_timer)
+        self._ka_timer = None
+        self._ka_interval = None
+        self._ka_count = 0
+        self._ka_missed = 0
+
+    @property
+    def keepalive_enabled(self) -> bool:
+        return self._ka_interval is not None
+
+    @property
+    def missed_pings(self) -> int:
+        return self._ka_missed
+
+    def tick(self) -> int:
+        """Run due keepalive timers; returns how many fired."""
+        if self.eventloop is None:
+            return 0
+        return self.eventloop.run_due()
+
+    def send_ping(self, timeout: "Optional[float]" = None) -> bool:
+        """One PING/PONG round trip; True when the PONG arrived."""
+        if self._dead_reason is not None:
+            raise KeepaliveTimeoutError(self._dead_reason)
+        if self._channel.closed:
+            raise ConnectionClosedError("RPC connection is closed")
+        with self._lock:
+            serial = next(self._serials)
+            self.pings_sent += 1
+        bound_in = timeout if timeout is not None else self._ka_interval
+        wait_bound = (
+            self._channel.clock.now() + bound_in if bound_in is not None else None
+        )
+        raw = self._channel.call_bytes(make_ping(serial).pack(), wait_bound=wait_bound)
+        if raw is None:
+            return False
+        pong = RPCMessage.unpack(raw)
+        if not is_keepalive(pong) or pong.procedure != KEEPALIVE_PONG:
+            return False
+        with self._lock:
+            self.pongs_received += 1
+        return True
+
+    def _keepalive_probe(self) -> None:
+        """The interval-timer body: probe, count misses, declare death."""
+        if self._dead_reason is not None or self._channel.closed:
+            return
+        try:
+            if self.send_ping():
+                self._ka_missed = 0
+                return
+        except TransportStalledError:
+            pass
+        except ConnectionClosedError as exc:
+            self._declare_dead(f"keepalive probe failed: {exc}")
+            return
+        self._ka_missed += 1
+        if self._ka_missed >= self._ka_count:
+            self._declare_dead(
+                f"keepalive: no response to {self._ka_missed} consecutive pings "
+                f"({self._ka_interval:g}s apart)"
+            )
+
+    def _declare_dead(self, reason: str) -> None:
+        self._dead_reason = reason
+        self._channel.abandon()
+        if self._ka_timer is not None and self.eventloop is not None:
+            self.eventloop.cancel(self._ka_timer)
+            self._ka_timer = None
+
+    # -- calls -------------------------------------------------------------
+
+    def call(self, procedure: str, body: Any = None, timeout: "Optional[float]" = None) -> Any:
         """Invoke a remote procedure and return its result body.
 
         Server-side failures arrive as structured error replies and are
         re-raised here as the matching :class:`VirtError` subclass.
+
+        ``timeout`` (defaulting to ``default_timeout``) bounds the wait
+        for the reply.  With keepalive armed, the wait is additionally
+        bounded by ``interval * count`` — the point at which the probe
+        loop would have declared the connection dead under a blocked
+        call, mirroring how libvirt aborts in-flight calls when
+        ``virKeepAlive`` trips.
         """
+        if self._dead_reason is not None:
+            raise KeepaliveTimeoutError(f"connection declared dead: {self._dead_reason}")
         if self._channel.closed:
             raise ConnectionClosedError("RPC connection is closed")
         number = procedure_number(procedure)
@@ -49,19 +208,61 @@ class RPCClient:
             self.calls_made += 1
         request = RPCMessage(number, MessageType.CALL, serial)
         request.body = body
-        raw_reply = self._channel.call_bytes(request.pack())
+        if timeout is None:
+            timeout = self.default_timeout
+        now = self._channel.clock.now()
+        wait_bound: "Optional[float]" = None
+        bound_is_keepalive = False
+        if timeout is not None:
+            if timeout <= 0:
+                raise InvalidArgumentError("call timeout must be positive")
+            wait_bound = now + timeout
+        if self._ka_interval is not None:
+            ka_bound = now + self._ka_interval * self._ka_count
+            if wait_bound is None or ka_bound < wait_bound:
+                wait_bound = ka_bound
+                bound_is_keepalive = True
+        try:
+            raw_reply = self._channel.call_bytes(request.pack(), wait_bound=wait_bound)
+        except TransportStalledError as exc:
+            if wait_bound is None:
+                raise  # TransportHangError: the unprotected client hung
+            if bound_is_keepalive:
+                self._declare_dead(
+                    f"keepalive: connection unresponsive during {procedure!r} "
+                    f"({self._ka_count} probe intervals elapsed)"
+                )
+                raise KeepaliveTimeoutError(self._dead_reason) from exc
+            with self._lock:
+                self.timeouts += 1
+            raise OperationTimeoutError(
+                f"{procedure} got no reply within its {timeout:g}s deadline"
+            ) from exc
         if raw_reply is None:
-            raise RPCError(f"no reply to {procedure}")
-        reply = RPCMessage.unpack(raw_reply)
+            self._desynchronize(f"no reply to {procedure}")
+        try:
+            reply = RPCMessage.unpack(raw_reply)
+        except RPCError as exc:
+            self._desynchronize(f"unparsable reply to {procedure}: {exc}")
         if reply.mtype != MessageType.REPLY:
-            raise RPCError(f"expected REPLY, got {reply.mtype.name}")
+            self._desynchronize(f"expected REPLY, got {reply.mtype.name}")
         if reply.serial != serial:
-            raise RPCError(f"serial mismatch: sent {serial}, got {reply.serial}")
+            self._desynchronize(
+                f"serial mismatch: sent {serial}, got {reply.serial}"
+            )
         if reply.status == ReplyStatus.ERROR:
             if not isinstance(reply.body, dict):
-                raise RPCError(f"malformed error body: {reply.body!r}")
+                self._desynchronize(f"malformed error body: {reply.body!r}")
             raise VirtError.from_dict(reply.body)
         return reply.body
+
+    def _desynchronize(self, why: str) -> None:
+        """The reply stream can no longer be trusted: close the channel
+        so every subsequent call fails loudly with
+        ``ConnectionClosedError`` instead of silently mispairing
+        replies, and raise for the current call."""
+        self._channel.abandon()
+        raise RPCError(f"{why} (channel closed: reply stream desynchronized)")
 
     # -- events -----------------------------------------------------------
 
@@ -75,7 +276,10 @@ class RPCClient:
             self._event_handlers.pop(event_id, None)
 
     def _on_event_frame(self, data: bytes) -> None:
-        message = RPCMessage.unpack(data)
+        try:
+            message = RPCMessage.unpack(data)
+        except RPCError:
+            return  # a corrupted event frame is dropped, not fatal
         if message.mtype != MessageType.EVENT:
             return
         with self._lock:
@@ -84,4 +288,5 @@ class RPCClient:
             handler(message.body)
 
     def close(self) -> None:
+        self.disable_keepalive()
         self._channel.close()

@@ -24,12 +24,20 @@ from typing import Any, Dict, Optional, Tuple
 from repro.errors import RPCError
 from repro.rpc.xdr import XdrDecoder, XdrEncoder, decode_value, encode_value
 
-#: the single program implemented (libvirt's REMOTE_PROGRAM analogue)
+#: the main program (libvirt's REMOTE_PROGRAM analogue)
 PROGRAM_REMOTE = 0x20008086
+#: the keepalive program (libvirt's KEEPALIVE_PROGRAM, literally "keep")
+PROGRAM_KEEPALIVE = 0x6B656570
 PROTOCOL_VERSION = 1
+
+KNOWN_PROGRAMS = frozenset({PROGRAM_REMOTE, PROGRAM_KEEPALIVE})
 
 HEADER_BYTES = 7 * 4
 MAX_MESSAGE = 16 * 1024 * 1024
+
+#: keepalive procedures (``virKeepAliveMessage``)
+KEEPALIVE_PING = 1
+KEEPALIVE_PONG = 2
 
 
 class MessageType(enum.IntEnum):
@@ -197,7 +205,7 @@ class RPCMessage:
         if length != len(data):
             raise RPCError(f"frame length {length} != buffer length {len(data)}")
         program = dec.unpack_uint()
-        if program != PROGRAM_REMOTE:
+        if program not in KNOWN_PROGRAMS:
             raise RPCError(f"unknown program 0x{program:x}")
         version = dec.unpack_uint()
         if version != PROTOCOL_VERSION:
@@ -220,6 +228,24 @@ class RPCMessage:
             f"RPCMessage({self.mtype.name}, proc={self.procedure}, "
             f"serial={self.serial}, status={self.status.name})"
         )
+
+
+def make_ping(serial: int) -> RPCMessage:
+    """A keepalive PING frame (client → server)."""
+    return RPCMessage(
+        KEEPALIVE_PING, MessageType.CALL, serial, program=PROGRAM_KEEPALIVE
+    )
+
+
+def make_pong(serial: int) -> RPCMessage:
+    """The keepalive PONG answering the PING with ``serial``."""
+    return RPCMessage(
+        KEEPALIVE_PONG, MessageType.REPLY, serial, program=PROGRAM_KEEPALIVE
+    )
+
+
+def is_keepalive(message: RPCMessage) -> bool:
+    return message.program == PROGRAM_KEEPALIVE
 
 
 def split_frames(buffer: bytes) -> "Tuple[list, bytes]":

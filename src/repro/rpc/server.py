@@ -14,9 +14,12 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import RPCError, VirtError
 from repro.rpc.protocol import (
+    KEEPALIVE_PING,
     MessageType,
     ReplyStatus,
     RPCMessage,
+    is_keepalive,
+    make_pong,
     procedure_number,
 )
 from repro.rpc.transport import ServerConnection
@@ -34,6 +37,9 @@ class RPCServer:
         self._lock = threading.Lock()
         self.calls_served = 0
         self.calls_failed = 0
+        self.pings_answered = 0
+        #: optional hook fired on every keepalive PING (activity tracking)
+        self.on_ping: "Optional[Callable[[ServerConnection], None]]" = None
 
     def register(self, name: str, handler: Handler, priority: bool = False) -> None:
         """Bind ``handler`` to a procedure name from the protocol table.
@@ -62,6 +68,8 @@ class RPCServer:
         except VirtError as exc:
             # can't even recover a serial; answer with serial 0
             return self._error_reply(0, 0, exc)
+        if is_keepalive(message):
+            return self._handle_keepalive(conn, message)
         if message.mtype != MessageType.CALL:
             return self._error_reply(
                 message.procedure,
@@ -97,6 +105,18 @@ class RPCServer:
             result,
         )
         return reply.pack()
+
+    def _handle_keepalive(self, conn: ServerConnection, message: RPCMessage) -> Optional[bytes]:
+        """Answer PING with PONG on the spot — never through the pool,
+        so a daemon with every worker wedged still proves liveness
+        (mirroring ``virKeepAlive`` running from the event loop)."""
+        if message.mtype != MessageType.CALL or message.procedure != KEEPALIVE_PING:
+            return None  # keepalive carries no errors; ignore strays
+        with self._lock:
+            self.pings_answered += 1
+        if self.on_ping is not None:
+            self.on_ping(conn)
+        return make_pong(message.serial).pack()
 
     def _error_reply(self, procedure: int, serial: int, exc: VirtError) -> bytes:
         with self._lock:

@@ -19,14 +19,23 @@ ssh       + exec ssh + auth RTT + ssh framing    ~0.3 GiB/s
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.errors import (
     AuthenticationError,
     ConnectionClosedError,
     InvalidArgumentError,
+    TransportHangError,
+    TransportStalledError,
 )
 from repro.util.clock import Clock, VirtualClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan
+
+#: modelled stand-in for "blocked forever": a client with no deadline
+#: and no keepalive charges a full day of simulated time on a dead link
+HANG_SECONDS = 86400.0
 
 
 class TransportSpec:
@@ -126,26 +135,117 @@ class Channel:
         self.clock = clock
         self._server_conn_ref = server_conn_ref  # late-bound [ServerConnection]
         self.closed = False
+        #: silently cut: the peer is gone but this side was never told
+        self.severed = False
         self._event_handler: "Optional[Callable[[bytes], None]]" = None
+        self._faults: "Optional[FaultPlan]" = None
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_lost = 0
         self._lock = threading.Lock()
 
     @property
     def _server_conn(self) -> ServerConnection:
         return self._server_conn_ref[0]
 
-    def call_bytes(self, data: bytes) -> Optional[bytes]:
-        """Deliver one frame and return the reply frame, charging latency."""
+    # -- fault injection ---------------------------------------------------
+
+    def install_fault_plan(self, plan: "Optional[FaultPlan]") -> None:
+        """Route every frame on this channel through ``plan``."""
+        self._faults = plan
+
+    def sever(self) -> None:
+        """Cut the link silently: tear down the server side without
+        notifying this endpoint (a pulled cable, not a clean close)."""
+        self.severed = True
+        conn = self._server_conn
+        if conn is not None and not conn.closed:
+            conn.closed = True
+            conn.listener._forget(conn)
+
+    def abandon(self) -> None:
+        """Close this side only — for links already declared dead, where
+        reaching through to the peer would be cheating the simulation."""
+        self.closed = True
+
+    def _stall(self, wait_bound: "Optional[float]", what: str) -> None:
+        """No reply is ever coming; charge the wait and raise."""
+        with self._lock:
+            self.frames_lost += 1
+        if wait_bound is None:
+            self.clock.sleep(HANG_SECONDS)
+            raise TransportHangError(
+                f"{what}: no reply and no deadline — call hung "
+                f"({HANG_SECONDS:.0f}s of modelled time lost)"
+            )
+        now = self.clock.now()
+        if wait_bound > now:
+            self.clock.sleep(wait_bound - now)
+        raise TransportStalledError(f"{what}: no reply within wait bound")
+
+    # -- calls -------------------------------------------------------------
+
+    def call_bytes(self, data: bytes, wait_bound: "Optional[float]" = None) -> Optional[bytes]:
+        """Deliver one frame and return the reply frame, charging latency.
+
+        ``wait_bound`` is the absolute modelled time the caller is
+        willing to block until; when the reply is lost the channel
+        charges exactly that wait and raises
+        :class:`~repro.errors.TransportStalledError`.  Without a bound a
+        lost reply costs :data:`HANG_SECONDS` and raises
+        :class:`~repro.errors.TransportHangError` — the deterministic
+        model of a client hanging forever.
+        """
         if self.closed:
             raise ConnectionClosedError(f"{self.spec.name} channel is closed")
-        self.clock.sleep(self.spec.message_latency(len(data)))
+        frame_index = self.frames_sent
         with self._lock:
-            self.bytes_sent += len(data)
+            self.frames_sent += 1
+        plan = self._faults
+        extra_delay = 0.0
+        duplicate = False
+        if plan is not None:
+            from repro.faults.plan import FaultKind
+
+            decision = plan.decide("send", frame_index, self.clock.now())
+            if decision.kind is FaultKind.SEVER:
+                self.sever()
+            elif decision.kind is FaultKind.DROP:
+                self._stall(wait_bound, f"frame {frame_index} dropped")
+            elif decision.kind is FaultKind.DELAY:
+                extra_delay = decision.delay
+            elif decision.kind is FaultKind.DUPLICATE:
+                duplicate = True
+            elif decision.kind is FaultKind.CORRUPT:
+                data = plan.corrupt_bytes(data)
+        if self.severed or (plan is not None and plan.blackholed):
+            self._stall(wait_bound, f"frame {frame_index} lost on dead link")
+        # detect the closed peer before charging latency or counting the
+        # frame as delivered traffic — a dead link carries no bytes
         if self._server_conn.closed:
             self.closed = True
             raise ConnectionClosedError("server closed the connection")
+        self.clock.sleep(self.spec.message_latency(len(data)) + extra_delay)
+        with self._lock:
+            self.bytes_sent += len(data)
         reply = self._server_conn.handle(data)
+        if duplicate:
+            with self._lock:
+                self.bytes_sent += len(data)
+            self._server_conn.handle(data)  # duplicate's reply is discarded
+        if plan is not None:
+            from repro.faults.plan import FaultKind
+
+            decision = plan.decide("recv", frame_index, self.clock.now())
+            if decision.kind is FaultKind.SEVER:
+                self.sever()
+            if decision.kind in (FaultKind.SEVER, FaultKind.DROP) or plan.blackholed:
+                self._stall(wait_bound, f"reply to frame {frame_index} lost")
+            if decision.kind is FaultKind.DELAY:
+                self.clock.sleep(decision.delay)
+            if decision.kind is FaultKind.CORRUPT and reply is not None:
+                reply = plan.corrupt_bytes(reply)
         if reply is None:
             return None
         self.clock.sleep(self.spec.message_latency(len(reply)))
@@ -157,6 +257,10 @@ class Channel:
         self._event_handler = handler
 
     def _deliver_event(self, data: bytes) -> None:
+        if self.closed or self.severed:
+            return
+        if self._faults is not None and self._faults.blackholed:
+            return
         self.clock.sleep(self.spec.message_latency(len(data)))
         with self._lock:
             self.bytes_received += len(data)
@@ -167,7 +271,8 @@ class Channel:
         if self.closed:
             return
         self.closed = True
-        self._server_conn.close()
+        if not self.severed:
+            self._server_conn.close()
 
 
 class Listener:
@@ -191,8 +296,18 @@ class Listener:
         self._on_accept = on_accept
         self._connections: "list[ServerConnection]" = []
         self._lock = threading.Lock()
+        self._fault_plan: "Optional[FaultPlan]" = None
         self.accepted = 0
         self.rejected = 0
+
+    def install_fault_plan(self, plan: "Optional[FaultPlan]") -> None:
+        """Apply ``plan`` to every channel accepted from now on.
+
+        Sharing one plan across channels is how daemon-wide faults
+        (blackhole) are scripted; frame-pinned rules fire once, so a
+        reconnected channel does not replay the same scripted fault.
+        """
+        self._fault_plan = plan
 
     def connect(self, credentials: "Optional[Dict[str, Any]]" = None) -> Channel:
         """Client-side connect: handshake latency, auth, accept hook."""
@@ -216,6 +331,8 @@ class Listener:
                 raise
         conn_ref: "list" = [None]
         channel = Channel(self.spec, self.clock, conn_ref)
+        if self._fault_plan is not None:
+            channel.install_fault_plan(self._fault_plan)
         conn = ServerConnection(self, channel, identity)
         conn_ref[0] = conn
         if self._on_accept is not None:

@@ -95,6 +95,31 @@ class EventLoop:
             timer.callback()
             fired += 1
 
+    def drive(self, clock: Any, until: float) -> int:
+        """Advance a :class:`~repro.util.clock.VirtualClock` through every
+        timer deadline up to modelled time ``until``, firing timers in
+        order — the deterministic stand-in for "let the poll loop run
+        for N seconds" that keeps soak tests off the wall clock.
+
+        Timer callbacks may themselves advance the clock (a keepalive
+        probe blocking on its ping deadline does); the loop re-reads
+        ``clock.now()`` every iteration, so time never runs backwards.
+        Returns the number of timers fired.
+        """
+        fired = 0
+        while True:
+            deadline = self.next_deadline()
+            if deadline is None or deadline > until:
+                break
+            now = self._now()
+            if deadline > now:
+                clock.advance(deadline - now)
+            fired += self.run_due()
+        now = self._now()
+        if until > now:
+            clock.advance(until - now)
+        return fired
+
     def pending(self) -> int:
         """Number of live timers."""
         with self._lock:

@@ -1,0 +1,232 @@
+"""Auto-reconnect in the remote driver, end to end.
+
+The acceptance scenario for the resilience work: a scripted fault plan
+severs the connection mid-workload over tcp.  A seed-style client (no
+deadlines, no keepalive) hangs for a modelled day; the resilient client
+detects the dead link via keepalive, re-dials with backoff, re-arms its
+event subscription, and completes the same workload with bounded
+recovery latency.
+"""
+
+import pytest
+
+from repro.core.states import DomainEvent
+from repro.core.uri import ConnectionURI
+from repro.daemon import Libvirtd
+from repro.drivers.remote import RemoteDriver, ResilienceConfig
+from repro.errors import (
+    CircuitOpenError,
+    ConnectionError_,
+    OperationTimeoutError,
+    TransportHangError,
+)
+from repro.faults import FaultKind, FaultPlan
+from repro.rpc.retry import RetryPolicy
+from repro.rpc.transport import HANG_SECONDS
+from repro.xmlconfig.domain import DomainConfig
+
+URI = "qemu+tcp://farm1/system"
+
+#: keepalive trips after 2s of silence; reconnect starts at 0.2s backoff
+RESILIENT = dict(
+    keepalive_interval=1.0,
+    keepalive_count=2,
+    retry=RetryPolicy(max_attempts=4, seed=0),
+    auto_reconnect=True,
+    reconnect_base_delay=0.2,
+)
+
+
+@pytest.fixture()
+def daemon():
+    with Libvirtd(hostname="farm1") as d:
+        d.listen("tcp")
+        yield d
+
+
+def make_driver(**resilience):
+    uri = ConnectionURI.parse(URI)
+    cfg = ResilienceConfig(**resilience) if resilience else None
+    return RemoteDriver(uri, resilience=cfg)
+
+
+def workload(driver, rounds=10):
+    """An idempotent monitoring loop: the paper's polling client."""
+    results = []
+    for _ in range(rounds):
+        results.append(driver.num_of_domains())
+        results.append(len(driver.list_domains()))
+    return results
+
+
+class TestSeedClientBaseline:
+    def test_sever_mid_workload_hangs_the_unprotected_client(self, daemon):
+        """The failure the tentpole exists to fix: no deadline, no
+        keepalive — a severed link swallows a call for a modelled day,
+        and the daemon keeps the dead client's record around."""
+        listener = daemon.listener("tcp")
+        listener.install_fault_plan(FaultPlan().sever(frame=5))
+        driver = make_driver()  # seed behaviour: no resilience config
+        clock = daemon.clock
+        t0 = clock.now()
+        with pytest.raises(TransportHangError):
+            workload(driver)
+        assert clock.now() - t0 >= HANG_SECONDS
+        # the daemon never saw a disconnect: the record leaks until reaped
+        assert len(daemon._clients) == 1
+
+
+class TestResilientClient:
+    def test_sever_mid_workload_recovers_and_completes(self, daemon):
+        listener = daemon.listener("tcp")
+        listener.install_fault_plan(FaultPlan().sever(frame=5))
+        driver = make_driver(**RESILIENT)
+        clock = daemon.clock
+        t0 = clock.now()
+        results = workload(driver)
+        assert len(results) == 20  # every call in the workload completed
+        assert driver.reconnects == 1
+        (event,) = driver.connection_events
+        assert event.reconnected
+        assert event.attempts == 1
+        # detection (keepalive bound: 2s) + backoff (0.2s) + re-dial
+        assert event.downtime < 3.0
+        assert clock.now() - t0 < 10.0  # nothing hung
+
+    def test_connection_event_callback_fires(self, daemon):
+        daemon.listener("tcp").install_fault_plan(FaultPlan().sever(frame=3))
+        driver = make_driver(**RESILIENT)
+        seen = []
+        driver.on_connection_event(seen.append)
+        workload(driver, rounds=4)
+        assert len(seen) == 1
+        assert seen[0].reconnected
+
+    def test_event_subscription_survives_reconnect(self, daemon):
+        driver = make_driver(**RESILIENT)
+        events = []
+        driver.domain_event_register(
+            lambda name, event, detail: events.append((name, event))
+        )
+        driver.client._channel.sever()  # pull the cable directly
+        # next call detects death via keepalive and re-dials + re-arms
+        driver.num_of_domains()
+        assert driver.reconnects == 1
+        xml = DomainConfig(
+            name="web1", domain_type="kvm", memory_kib=1024 * 1024, vcpus=1
+        ).to_xml()
+        driver.domain_define_xml(xml)
+        driver.domain_create("web1")
+        assert ("web1", DomainEvent.STARTED) in events  # new channel delivers
+
+    def test_non_idempotent_call_not_replayed_after_reconnect(self, daemon):
+        """A lost reply to domain.create may mean the domain started:
+        replaying it could double-start the guest, so the error
+        surfaces — but the link is healthy again for the next call."""
+        driver = make_driver(**RESILIENT)
+        xml = DomainConfig(
+            name="web1", domain_type="kvm", memory_kib=1024 * 1024, vcpus=1
+        ).to_xml()
+        driver.domain_define_xml(xml)
+        driver.client._channel.sever()
+        with pytest.raises(Exception) as excinfo:
+            driver.domain_create("web1")
+        assert not isinstance(excinfo.value, TransportHangError)
+        assert driver.reconnects == 1  # it DID reconnect, just not replay
+        driver.domain_create("web1")  # caller decides; link works
+
+    def test_timeout_retry_with_backoff_on_lossy_link(self, daemon):
+        """Dropped frames cost one deadline each and are retried with
+        jittered backoff — only for idempotent procedures."""
+        listener = daemon.listener("tcp")
+        listener.install_fault_plan(
+            FaultPlan().drop(frame=2).drop(frame=3)
+        )
+        driver = make_driver(call_timeout=0.5, retry=RetryPolicy(max_attempts=4, seed=0))
+        results = workload(driver, rounds=3)
+        assert len(results) == 6
+        assert driver.retries >= 1
+
+    def test_timeout_without_retry_budget_surfaces(self, daemon):
+        listener = daemon.listener("tcp")
+        listener.install_fault_plan(FaultPlan().drop(after=1))
+        driver = make_driver(call_timeout=0.5, retry=RetryPolicy(max_attempts=2, seed=0))
+        with pytest.raises(OperationTimeoutError):
+            workload(driver)
+
+    def test_reconnect_gives_up_against_a_dead_daemon(self, daemon):
+        driver = make_driver(**RESILIENT)
+        daemon.shutdown()  # deregisters: every re-dial now fails
+        driver.client._channel.sever()
+        with pytest.raises(ConnectionError_, match="gave up"):
+            driver.num_of_domains()
+        (event,) = driver.connection_events
+        assert not event.reconnected
+        assert event.attempts >= 1
+
+    def test_circuit_breaker_fails_fast_after_repeated_losses(self, daemon):
+        driver = make_driver(**dict(RESILIENT, breaker_threshold=2, breaker_reset=60.0))
+        daemon.shutdown()
+        driver.client._channel.sever()
+        with pytest.raises(ConnectionError_):
+            driver.num_of_domains()
+        assert driver._breaker.state == "open"
+        t0 = daemon.clock.now()
+        with pytest.raises(CircuitOpenError, match="circuit open"):
+            driver.num_of_domains()
+        assert daemon.clock.now() == t0  # failed fast: no backoff charged
+
+    def test_uri_params_configure_resilience_and_are_stripped(self, daemon):
+        uri = ConnectionURI.parse(
+            URI + "?keepalive_interval=2&keepalive_count=3&call_timeout=5"
+            "&max_retries=3&mode=legacy"
+        )
+        driver = RemoteDriver(uri)
+        cfg = driver.resilience
+        assert cfg is not None
+        assert cfg.keepalive_interval == 2.0
+        assert cfg.keepalive_count == 3
+        assert cfg.call_timeout == 5.0
+        assert cfg.retry is not None and cfg.retry.max_attempts == 3
+        assert driver.client.keepalive_enabled
+        # only the non-resilience param crosses the wire
+        assert "mode=legacy" in driver.remote_uri
+        assert "keepalive" not in driver.remote_uri
+        assert "call_timeout" not in driver.remote_uri
+
+    def test_plain_uri_keeps_seed_behaviour(self, daemon):
+        driver = RemoteDriver(ConnectionURI.parse(URI))
+        assert driver.resilience is None
+        assert not driver.client.keepalive_enabled
+        assert driver.client.default_timeout is None
+
+
+@pytest.mark.slow
+class TestSoak:
+    """Long fault-injection runs — scripted, seeded, still virtual-time."""
+
+    def test_lossy_link_soak_every_call_lands(self, daemon):
+        listener = daemon.listener("tcp")
+        plan = FaultPlan(seed=42)
+        plan.drop(probability=0.05, direction="both")
+        listener.install_fault_plan(plan)
+        driver = make_driver(
+            call_timeout=0.5, retry=RetryPolicy(max_attempts=8, seed=0)
+        )
+        results = workload(driver, rounds=100)
+        assert len(results) == 200
+        assert plan.injected_of(FaultKind.DROP)  # faults really fired
+        assert driver.retries >= 1
+
+    def test_repeated_severs_soak_bounded_downtime(self, daemon):
+        listener = daemon.listener("tcp")
+        plan = FaultPlan()
+        for frame in (7, 19, 31):  # one sever per reconnected channel
+            plan.sever(frame=frame)
+        listener.install_fault_plan(plan)
+        driver = make_driver(**RESILIENT)
+        results = workload(driver, rounds=30)
+        assert len(results) == 60
+        assert driver.reconnects == 3
+        assert all(e.reconnected for e in driver.connection_events)
+        assert all(e.downtime < 3.0 for e in driver.connection_events)
