@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Benchmark regression gate for CI.
+
+Re-runs the *deterministic* (virtual-clock) measurements from
+``bench_e3_lifecycle_overhead`` and ``bench_r1_fault_recovery`` and
+compares every metric against the committed baseline in
+``benchmarks/results/baseline.json``.  A metric that moved more than
+the tolerance (default 20%) in either direction fails the gate — a
+slowdown is a regression, and an unexplained speedup means the model
+changed and the baseline must be re-recorded deliberately.
+
+Only modelled-time quantities are gated: they are exact functions of
+the simulation model, so any drift is a real behavioural change, never
+runner noise.  Real wall-clock overhead is reported informationally
+(the benchmarks themselves assert hard ceilings on it) but does not
+gate, since shared CI runners make it unstable.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py            # gate
+    PYTHONPATH=src python benchmarks/check_regression.py --update   # re-record
+    PYTHONPATH=src python benchmarks/check_regression.py --output current.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+for path in (os.path.join(REPO, "src"), HERE):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+BASELINE = os.path.join(HERE, "results", "baseline.json")
+DEFAULT_TOLERANCE = 0.20
+
+
+def collect_e3():
+    """Modelled lifecycle latencies per (backend, operation)."""
+    import bench_e3_lifecycle_overhead as e3
+
+    metrics = {}
+    for kind in e3.KINDS:
+        uniform = e3.modelled_latencies_uniform(kind)
+        for op in e3.OPS:
+            metrics[f"e3.{kind}.{op}.modelled_s"] = uniform[op]
+    return metrics
+
+
+def collect_r1():
+    """Modelled fault-recovery latencies (sever, reconnect, loss sweep)."""
+    import bench_r1_fault_recovery as r1
+    from repro.util.clock import VirtualClock
+
+    metrics = {}
+    clock = VirtualClock()
+    seed_time, resilient_time, downtime = r1.measure_hang_vs_recover(clock)
+    metrics["r1.sever.seed_hang_s"] = seed_time
+    metrics["r1.sever.resilient_s"] = resilient_time
+    metrics["r1.sever.downtime_s"] = downtime
+    recovery = r1.measure_recovery_by_transport(clock)
+    for transport, value in recovery.items():
+        metrics[f"r1.recovery.{transport}_s"] = value
+    per_call, retries = r1.measure_drop_rate_sweep(clock)
+    for rate, cost, n_retries in zip(r1.DROP_RATES, per_call, retries):
+        metrics[f"r1.loss.p{rate}.per_call_s"] = cost
+        metrics[f"r1.loss.p{rate}.retries"] = n_retries
+    return metrics
+
+
+def collect_wall_informational():
+    """Real management-layer CPU cost per cycle — reported, not gated."""
+    import bench_e3_lifecycle_overhead as e3
+
+    info = {}
+    for kind in e3.KINDS:
+        added = e3.wall_cost_per_cycle_uniform(kind) - e3.wall_cost_per_cycle_native(kind)
+        info[f"e3.{kind}.layer_wall_s"] = added
+    return info
+
+
+def compare(baseline, current, tolerance):
+    failures, lines = [], []
+    for name in sorted(baseline):
+        base = baseline[name]
+        if name not in current:
+            failures.append(name)
+            lines.append(f"MISSING  {name}: baseline {base:.6g}, not measured")
+            continue
+        cur = current[name]
+        if base == 0:
+            drift = 0.0 if cur == 0 else float("inf")
+        else:
+            drift = (cur - base) / base
+        status = "ok" if abs(drift) <= tolerance else "FAIL"
+        if status == "FAIL":
+            failures.append(name)
+        lines.append(
+            f"{status:<8} {name}: baseline {base:.6g}, current {cur:.6g} "
+            f"({drift:+.1%})"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        lines.append(f"NEW      {name}: {current[name]:.6g} (not in baseline)")
+    return failures, lines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=BASELINE)
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed relative drift per metric (default 0.20)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="re-record the baseline instead of gating against it",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="also write the current measurements to this JSON file",
+    )
+    parser.add_argument(
+        "--skip-wall", action="store_true",
+        help="skip the informational wall-clock measurements (faster)",
+    )
+    args = parser.parse_args(argv)
+
+    print("collecting deterministic benchmark metrics ...")
+    current = {}
+    current.update(collect_e3())
+    current.update(collect_r1())
+    info = {} if args.skip_wall else collect_wall_informational()
+
+    if args.output:
+        os.makedirs(os.path.dirname(os.path.abspath(args.output)), exist_ok=True)
+        with open(args.output, "w") as fh:
+            json.dump(
+                {"metrics": current, "informational": info}, fh, indent=2, sort_keys=True
+            )
+        print(f"wrote current measurements to {args.output}")
+
+    if args.update:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w") as fh:
+            json.dump({"tolerance": args.tolerance, "metrics": current}, fh,
+                      indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline re-recorded: {len(current)} metrics -> {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"error: no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 2
+    with open(args.baseline) as fh:
+        recorded = json.load(fh)
+    tolerance = args.tolerance if args.tolerance != DEFAULT_TOLERANCE else recorded.get(
+        "tolerance", DEFAULT_TOLERANCE
+    )
+
+    failures, lines = compare(recorded["metrics"], current, tolerance)
+    print(f"\ncomparing against {args.baseline} (tolerance {tolerance:.0%}):")
+    for line in lines:
+        print(f"  {line}")
+    if info:
+        print("\ninformational (not gated):")
+        for name in sorted(info):
+            print(f"  {name}: {info[name] * 1e6:.0f} us")
+
+    if failures:
+        print(f"\n{len(failures)} metric(s) regressed beyond {tolerance:.0%}",
+              file=sys.stderr)
+        return 1
+    print(f"\nall {len(recorded['metrics'])} gated metrics within {tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,6 +92,29 @@ class AdminConnection:
         self._check_open()
         self._client.call("admin.dmn_log_define", {"outputs": outputs})
 
+    # -- observability -------------------------------------------------------
+
+    def server_stats(self, server: str = "libvirtd") -> Dict[str, Any]:
+        """``server-stats``: live workerpool/RPC/driver metrics."""
+        self._check_open()
+        return self._client.call("admin.srv_stats", {"server": server})
+
+    def client_stats(self, client_id: "Optional[int]" = None) -> Any:
+        """``client-stats``: per-client traffic and activity counters."""
+        self._check_open()
+        body = {} if client_id is None else {"id": client_id}
+        return self._client.call("admin.client_stats", body)
+
+    def reset_stats(self) -> Dict[str, Any]:
+        """``reset-stats``: zero the daemon's counters and span buffer."""
+        self._check_open()
+        return self._client.call("admin.reset_stats")
+
+    def metrics_text(self) -> str:
+        """``metrics``: the daemon's Prometheus exposition page."""
+        self._check_open()
+        return self._client.call("admin.metrics_export")["text"]
+
 
 class AdminServer:
     """Handle to one server object inside the daemon."""
@@ -102,6 +125,10 @@ class AdminServer:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"AdminServer({self.name!r} on {self._conn.hostname})"
+
+    def stats(self) -> Dict[str, Any]:
+        """``server-stats`` scoped to this server object."""
+        return self._conn.server_stats(self.name)
 
     # -- threadpool --------------------------------------------------------
 

@@ -103,6 +103,80 @@ def cmd_log_define(conn, args, out: TextIO) -> int:
     return 0
 
 
+def cmd_server_stats(conn, args, out: TextIO) -> int:
+    stats = conn.server_stats(args.server)
+    print(f"Server: {stats['server']} on {stats['hostname']}", file=out)
+    print(f"Timestamp: {stats['timestamp']:.6f}", file=out)
+    clients = stats["clients"]
+    print(f"Clients: {clients['connected']}/{clients['max']}", file=out)
+    pool = stats["workerpool"]
+    print("Workerpool:", file=out)
+    for key in ("minWorkers", "maxWorkers", "nWorkers", "freeWorkers",
+                "prioWorkers", "jobQueueDepth"):
+        print(f"  {key:<15}: {pool[key]}", file=out)
+    print(f"  {'jobsCompleted':<15}: {stats['jobs_completed']}", file=out)
+    rpc = stats["rpc"]
+    print("RPC:", file=out)
+    print(f"  {'callsServed':<15}: {rpc['calls_served']}", file=out)
+    print(f"  {'callsFailed':<15}: {rpc['calls_failed']}", file=out)
+    print(f"  {'pingsAnswered':<15}: {rpc['pings_answered']}", file=out)
+    for procedure, row in sorted(rpc.get("procedures", {}).items()):
+        print(
+            f"    {procedure:<38} {row['count']:>6}  "
+            f"mean {row['mean_seconds']:.6f}s  max {row['max_seconds']:.6f}s",
+            file=out,
+        )
+    if stats["drivers"]:
+        print("Drivers:", file=out)
+        for driver, row in sorted(stats["drivers"].items()):
+            print(
+                f"  {driver:<10} ops={row['ops']} seconds={row['seconds']:.6f}",
+                file=out,
+            )
+    tracing = stats["tracing"]
+    print(
+        f"Tracing: started={tracing['spans_started']} "
+        f"finished={tracing['spans_finished']} failed={tracing['spans_failed']}",
+        file=out,
+    )
+    return 0
+
+
+def cmd_client_stats(conn, args, out: TextIO) -> int:
+    rows = conn.client_stats(args.id)
+    if args.id is not None:
+        rows = [rows]
+    print(
+        f" {'Id':<5} {'Server':<10} {'Transport':<10} {'Calls':<7} "
+        f"{'BytesIn':<9} {'BytesOut':<9} Last activity",
+        file=out,
+    )
+    print("-" * 68, file=out)
+    for row in rows:
+        print(
+            f" {row['id']:<5} {row['server']:<10} {row['transport']:<10} "
+            f"{row['calls']:<7} {row['bytes_in']:<9} {row['bytes_out']:<9} "
+            f"{row['last_activity']:.3f}",
+            file=out,
+        )
+    return 0
+
+
+def cmd_reset_stats(conn, args, out: TextIO) -> int:
+    result = conn.reset_stats()
+    print(
+        f"stats reset: {result['families_reset']} metric families, "
+        f"{result['spans_dropped']} spans dropped",
+        file=out,
+    )
+    return 0
+
+
+def cmd_metrics(conn, args, out: TextIO) -> int:
+    out.write(conn.metrics_text())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pyvirt-admin", description="daemon administration client"
@@ -136,6 +210,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = add("client-disconnect", cmd_client_disconnect, "force-close a client")
     p.add_argument("server")
     p.add_argument("id", type=int)
+    p = add("server-stats", cmd_server_stats, "live workerpool/RPC/driver metrics")
+    p.add_argument("server", nargs="?", default="libvirtd")
+    p = add("client-stats", cmd_client_stats, "per-client traffic counters")
+    p.add_argument("id", type=int, nargs="?", default=None)
+    add("reset-stats", cmd_reset_stats, "zero the daemon's metrics and spans")
+    add("metrics", cmd_metrics, "dump the Prometheus exposition page")
     add("dmn-log-info", cmd_log_info, "show daemon logging settings")
     p = add("dmn-log-define", cmd_log_define, "change daemon logging settings")
     p.add_argument("--level", type=int)

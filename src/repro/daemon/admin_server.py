@@ -135,7 +135,24 @@ def register_admin_handlers(rpc: RPCServer, daemon: "Libvirtd") -> None:
         if "outputs" in body and body["outputs"] is not None:
             logger.set_outputs(body["outputs"])
 
+    def h_srv_stats(conn: ServerConnection, body: Any) -> Dict[str, Any]:
+        return daemon.server_stats((body or {}).get("server", "libvirtd"))
+
+    def h_client_stats(conn: ServerConnection, body: Any) -> Any:
+        return daemon.client_stats((body or {}).get("id"))
+
+    def h_reset_stats(conn: ServerConnection, body: Any) -> Dict[str, Any]:
+        return daemon.reset_stats()
+
+    def h_metrics_export(conn: ServerConnection, body: Any) -> Dict[str, str]:
+        return {"content_type": "text/plain; version=0.0.4",
+                "text": daemon.metrics_text()}
+
     rpc.register("admin.connect_open", h_open, priority=True)
+    rpc.register("admin.srv_stats", h_srv_stats, priority=True)
+    rpc.register("admin.client_stats", h_client_stats, priority=True)
+    rpc.register("admin.reset_stats", h_reset_stats, priority=True)
+    rpc.register("admin.metrics_export", h_metrics_export, priority=True)
     rpc.register("admin.srv_list", h_srv_list, priority=True)
     rpc.register("admin.srv_threadpool_info", h_threadpool_info, priority=True)
     rpc.register("admin.srv_threadpool_set", h_threadpool_set, priority=True)

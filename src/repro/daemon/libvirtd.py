@@ -23,12 +23,15 @@ from repro.errors import (
     OperationFailedError,
     VirtError,
 )
+from repro.observability.export import log_metrics, render_prometheus
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Tracer
 from repro.rpc.protocol import EVENT_DOMAIN_LIFECYCLE
 from repro.rpc.server import RPCServer
 from repro.rpc.transport import Listener, ServerConnection
 from repro.util.clock import Clock, VirtualClock
 from repro.util.threadpool import WorkerPool
-from repro.util.virtlog import LOG_ERROR, Logger
+from repro.util.virtlog import LOG_ERROR, LOG_INFO, Logger
 
 
 class Libvirtd:
@@ -49,14 +52,37 @@ class Libvirtd:
     ) -> None:
         self.hostname = hostname
         self.clock = clock or VirtualClock()
+        #: the daemon-wide instrument panel, stamped in modelled time
+        self.metrics = MetricsRegistry(now=self.clock.now)
+        self.tracer = Tracer(self.clock.now)
+        self._m_driver_ops = self.metrics.histogram(
+            "driver_op_seconds",
+            "Modelled latency of driver operations, by backend and procedure",
+            ("driver", "procedure"),
+        )
+        self.metrics.gauge(
+            "daemon_clients", "Connected clients", ("server",)
+        )
         self.drivers = drivers if drivers is not None else self._default_drivers()
+        for driver in self.drivers.values():
+            # hosted drivers report into the daemon's registry (they keep
+            # a registry they were already constructed with, if any)
+            if getattr(driver, "metrics", None) is None:
+                driver.metrics = self.metrics
         self.pool = WorkerPool(
             min_workers=min_workers,
             max_workers=max_workers,
             prio_workers=prio_workers,
             name=f"libvirtd@{hostname}",
+            metrics=self.metrics,
+            now=self.clock.now,
         )
-        self.rpc = RPCServer(pool=self.pool if use_pool else None)
+        self.rpc = RPCServer(
+            pool=self.pool if use_pool else None,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            name="libvirtd",
+        )
         self.logger = Logger(level=log_level, clock=self.clock.now)
         self.max_clients = max_clients
         #: per-server workerpools and client limits ("libvirtd" + optional "admin")
@@ -69,6 +95,7 @@ class Libvirtd:
         self._next_client_id = 1
         self._lock = threading.Lock()
         self._shut_down = False
+        self._client_gauge("libvirtd")
         #: timer scheduler for periodic maintenance (keepalive reaping)
         from repro.util.eventloop import EventLoop
 
@@ -78,6 +105,16 @@ class Libvirtd:
         self._register_handlers()
         if register:
             register_daemon(hostname, self)
+
+    def _client_gauge(self, server: str) -> None:
+        """Live-view gauge: connected clients on one server object."""
+        self.metrics.get("daemon_clients").labels(server=server).set_function(
+            lambda: sum(
+                1
+                for r in self._clients.values()
+                if not r.conn.closed and r.server == server
+            )
+        )
 
     def _on_keepalive_ping(self, conn: ServerConnection) -> None:
         """A KEEPALIVE PING proves the client is alive: refresh its
@@ -131,6 +168,7 @@ class Libvirtd:
             clock=self.clock,
             authenticator=authenticator,
             on_accept=lambda conn: self._accept(conn, server),
+            metrics=self.metrics,
         )
         with self._lock:
             self._listeners[key] = listener
@@ -162,14 +200,20 @@ class Libvirtd:
             admin_pool = WorkerPool(
                 min_workers=1, max_workers=5, prio_workers=1,
                 name=f"admin@{self.hostname}",
+                metrics=self.metrics,
+                now=self.clock.now,
             )
-            admin_rpc = RPCServer(pool=admin_pool)
+            admin_rpc = RPCServer(
+                pool=admin_pool, metrics=self.metrics, tracer=self.tracer,
+                name="admin",
+            )
             admin_rpc.on_ping = self._on_keepalive_ping
             register_admin_handlers(admin_rpc, self)
             with self._lock:
                 self.server_pools["admin"] = admin_pool
                 self._rpc_by_server["admin"] = admin_rpc
                 self._server_max_clients["admin"] = 5
+            self._client_gauge("admin")
         return self.listen(
             "unix",
             authenticator=authenticator or default_admin_authenticator,
@@ -329,6 +373,129 @@ class Libvirtd:
             **pool,
         }
 
+    # -- observability surface ---------------------------------------------
+
+    def server_stats(self, server: str = "libvirtd") -> Dict[str, Any]:
+        """Live metrics for one server object (``virt-admin server-stats``).
+
+        Combines the workerpool counters, the RPC dispatcher counters,
+        per-driver operation latency summaries, and the keepalive/span
+        totals into one plain-data payload.
+        """
+        self._prune()
+        with self._lock:
+            if server not in self.server_pools:
+                raise InvalidArgumentError(f"no server named {server!r}")
+            pool = self.server_pools[server]
+            rpc = self._rpc_by_server[server]
+            nclients = sum(
+                1
+                for r in self._clients.values()
+                if not r.conn.closed and r.server == server
+            )
+            limit = self._server_max_clients[server]
+        drivers: Dict[str, Dict[str, Any]] = {}
+        for labels, child in self._m_driver_ops.samples():
+            summary = child.summary()
+            if not summary["count"]:
+                continue  # stale child left by reset-stats
+            per = drivers.setdefault(
+                labels["driver"], {"ops": 0, "seconds": 0.0, "procedures": {}}
+            )
+            per["ops"] += int(summary["count"])
+            per["seconds"] += summary["sum"]
+            per["procedures"][labels["procedure"]] = {
+                "count": int(summary["count"]),
+                "mean_seconds": summary["mean"],
+            }
+        rpc_stats: Dict[str, Any] = {
+            "calls_served": rpc.calls_served,
+            "calls_failed": rpc.calls_failed,
+            "pings_answered": rpc.pings_answered,
+        }
+        if rpc.metrics is not None and "rpc_server_dispatch_seconds" in rpc.metrics:
+            dispatch = rpc.metrics.get("rpc_server_dispatch_seconds")
+            procedures: Dict[str, Any] = {}
+            for labels, child in dispatch.samples():
+                if labels.get("server") != server:
+                    continue
+                summary = child.summary()
+                if not summary["count"]:
+                    continue  # stale child left by reset-stats
+                procedures[labels["procedure"]] = {
+                    "count": int(summary["count"]),
+                    "mean_seconds": summary["mean"],
+                    "max_seconds": summary["max"],
+                }
+            rpc_stats["procedures"] = procedures
+        return {
+            "hostname": self.hostname,
+            "server": server,
+            "timestamp": self.metrics.now(),
+            "clients": {"connected": nclients, "max": limit},
+            "workerpool": pool.stats(),
+            "jobs_completed": pool.jobs_completed,
+            "rpc": rpc_stats,
+            "drivers": drivers,
+            "tracing": {
+                "spans_started": self.tracer.spans_started,
+                "spans_finished": self.tracer.spans_finished,
+                "spans_failed": self.tracer.spans_failed,
+            },
+        }
+
+    def client_stats(self, client_id: "Optional[int]" = None) -> Any:
+        """Per-client traffic/activity stats (``virt-admin client-stats``)."""
+        self._prune()
+        with self._lock:
+            records = sorted(self._clients.values(), key=lambda r: r.id)
+        if client_id is not None:
+            match = [r for r in records if r.id == client_id]
+            if not match:
+                raise InvalidArgumentError(f"no client with id {client_id}")
+            records = match
+        out = []
+        for record in records:
+            entry = record.info()
+            entry["last_activity"] = record.last_activity
+            entry["bytes_in"] = record.conn.bytes_in
+            entry["bytes_out"] = record.conn.bytes_out
+            out.append(entry)
+        return out[0] if client_id is not None else out
+
+    def reset_stats(self) -> Dict[str, Any]:
+        """Zero every counter/histogram and the span buffer; live-view
+        gauges keep mirroring component state.  Returns what was reset."""
+        families = len(self.metrics.families())
+        spans = self.tracer.spans_finished
+        self.metrics.reset()
+        self.tracer.reset()
+        with self._lock:
+            rpcs = list(self._rpc_by_server.values())
+        for rpc in rpcs:
+            rpc.reset_counters()
+        self.logger.structured(
+            LOG_INFO, "observability.metrics", "stats_reset",
+            families=families, spans_dropped=spans,
+        )
+        return {"families_reset": families, "spans_dropped": spans}
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition page for this daemon's registry."""
+        return render_prometheus(self.metrics)
+
+    def enable_stats_logging(
+        self, interval: float, priority: int = LOG_INFO
+    ) -> int:
+        """Periodically emit every metric sample as a structured log
+        line through the virtlog pipeline; returns the timer id."""
+        if interval <= 0:
+            raise InvalidArgumentError("stats logging interval must be positive")
+        return self.eventloop.add_interval(
+            interval,
+            lambda: log_metrics(self.logger, self.metrics, priority=priority),
+        )
+
     def shutdown(self) -> None:
         with self._lock:
             if self._shut_down:
@@ -372,7 +539,16 @@ class Libvirtd:
             record.calls += 1
             record.last_activity = self.clock.now()
             driver = self._driver_of(conn)
-            return fn(driver, body or {})
+            # ``procedure`` is stamped onto the handler at registration
+            procedure = getattr(handler, "procedure", "unknown")
+            label = getattr(driver, "name", type(driver).__name__)
+            started = self.clock.now()
+            with self.tracer.span("driver.op", driver=label, procedure=procedure):
+                result = fn(driver, body or {})
+            self._m_driver_ops.labels(driver=label, procedure=procedure).observe(
+                self.clock.now() - started
+            )
+            return result
 
         return handler
 
@@ -439,7 +615,16 @@ class Libvirtd:
         return None
 
     def _register_handlers(self) -> None:
-        r = self.rpc.register
+        def r(name: str, handler: Any, priority: bool = False) -> None:
+            # stamp wrapped handlers with their procedure name so the
+            # driver-op metric can label observations (bound methods
+            # reject attribute assignment and are instrumented elsewhere)
+            try:
+                handler.procedure = name
+            except AttributeError:
+                pass
+            self.rpc.register(name, handler, priority=priority)
+
         w = self._wrap
         r("connect.open", self._h_open, priority=True)
         r("connect.close", self._h_close, priority=True)

@@ -11,7 +11,7 @@ indistinguishable to applications.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.driver import Driver
 from repro.core.events import ConnectionResetEvent, EventBroker, EventCallback
@@ -29,6 +29,9 @@ from repro.errors import (
 from repro.rpc.client import RPCClient
 from repro.rpc.protocol import EVENT_DOMAIN_LIFECYCLE
 from repro.rpc.retry import CircuitBreaker, RetryPolicy, is_idempotent
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.observability.metrics import MetricsRegistry
 
 #: URI parameters consumed client-side, never forwarded to the daemon
 RESILIENCE_URI_PARAMS = frozenset(
@@ -129,6 +132,7 @@ class RemoteDriver(Driver):
         uri: ConnectionURI,
         credentials: "Optional[Dict[str, Any]]" = None,
         resilience: "Optional[ResilienceConfig]" = None,
+        metrics: "Optional[MetricsRegistry]" = None,
     ) -> None:
         self._hostname = uri.hostname or "localhost"
         self._transport = uri.transport or "unix"
@@ -152,6 +156,17 @@ class RemoteDriver(Driver):
         self._clock = None
         self.reconnects = 0
         self.retries = 0
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_retries = metrics.counter(
+                "remote_retries_total", "Idempotent calls re-issued after timeouts"
+            )
+            self._m_reconnects = metrics.counter(
+                "remote_reconnects_total", "Successful re-dials of a dead link"
+            )
+            self._m_circuit_open = metrics.counter(
+                "remote_circuit_open_total", "Calls refused by an open circuit breaker"
+            )
         self.client = self._dial()
 
     # -- resilient call path ---------------------------------------------------
@@ -163,8 +178,13 @@ class RemoteDriver(Driver):
         channel = listener.connect(self._credentials)
         self._clock = channel.clock
         cfg = self.resilience
+        if self.metrics is not None:
+            # late-bind: the client-side registry follows the daemon clock
+            self.metrics.set_clock(channel.clock.now)
         client = RPCClient(
-            channel, default_timeout=cfg.call_timeout if cfg is not None else None
+            channel,
+            default_timeout=cfg.call_timeout if cfg is not None else None,
+            metrics=self.metrics,
         )
         if cfg is not None and cfg.keepalive_interval is not None:
             client.enable_keepalive(cfg.keepalive_interval, cfg.keepalive_count)
@@ -187,6 +207,8 @@ class RemoteDriver(Driver):
                 backoff = cfg.retry.next_delay(backoff)
                 self._clock.sleep(backoff)
                 self.retries += 1
+                if self.metrics is not None:
+                    self._m_retries.inc()
 
     def _ensure_breaker(self) -> CircuitBreaker:
         if self._breaker is None:
@@ -217,6 +239,8 @@ class RemoteDriver(Driver):
         while True:
             attempts += 1
             if self._breaker is not None and not self._breaker.allow():
+                if self.metrics is not None:
+                    self._m_circuit_open.inc()
                 raise CircuitOpenError(
                     f"circuit open for {self._hostname!r}: reconnect keeps "
                     f"failing; retry after {cfg.breaker_reset:g}s"
@@ -241,6 +265,8 @@ class RemoteDriver(Driver):
                     backoff = cfg.retry.next_delay(backoff)
                     self._clock.sleep(backoff)
                     self.retries += 1
+                    if self.metrics is not None:
+                        self._m_retries.inc()
                     continue
                 raise
 
@@ -270,6 +296,8 @@ class RemoteDriver(Driver):
             self.client.close()  # drop the dead session's timers
             self.client = client
             self.reconnects += 1
+            if self.metrics is not None:
+                self._m_reconnects.inc()
             breaker.record_success()
             self._emit_connection_event(
                 ConnectionResetEvent(

@@ -102,6 +102,8 @@ class StatefulDriver(Driver):
         self._pool_volumes: Dict[str, Dict[str, VolumeConfig]] = {}
         #: counts every uniform-API entry (the paper's call accounting)
         self.api_calls = 0
+        #: optional observability registry, attached by a hosting daemon
+        self.metrics = None
 
     # ==================================================================
     # backend adapter — the only part concrete drivers implement
@@ -146,6 +148,12 @@ class StatefulDriver(Driver):
 
     def _count_call(self) -> None:
         self.api_calls += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "driver_api_calls_total",
+                "Uniform-API entries, by driver",
+                ("driver",),
+            ).labels(driver=self.name).inc()
 
     def _record(self, name: str) -> _DomainRecord:
         with self._lock:

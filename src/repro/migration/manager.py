@@ -54,11 +54,34 @@ def run_handshake(source_driver, dest_driver, name: str, params: dict):
     Shared by managed migration (client drives two connections) and
     peer-to-peer migration (the source *driver* drives it against a
     destination it dialled itself).
+
+    When the source driver carries a metrics registry, each phase's
+    modelled duration lands in ``migration_phase_seconds{phase=...}``.
     """
-    description = source_driver.migrate_begin(name)
-    cookie = dest_driver.migrate_prepare(description)
+    registry = getattr(source_driver, "metrics", None)
+    phases = (
+        registry.histogram(
+            "migration_phase_seconds",
+            "Modelled duration of migration handshake phases",
+            ("phase",),
+        )
+        if registry is not None
+        else None
+    )
+
+    def timed(phase, fn, *args, **kwargs):
+        if phases is None:
+            return fn(*args, **kwargs)
+        started = registry.now()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            phases.labels(phase=phase).observe(registry.now() - started)
+
+    description = timed("begin", source_driver.migrate_begin, name)
+    cookie = timed("prepare", dest_driver.migrate_prepare, description)
     try:
-        stats = source_driver.migrate_perform(name, cookie, params)
+        stats = timed("perform", source_driver.migrate_perform, name, cookie, params)
     except VirtError as exc:
         # roll back: drop the destination shell, resume the source
         try:
@@ -67,7 +90,7 @@ def run_handshake(source_driver, dest_driver, name: str, params: dict):
             source_driver.migrate_confirm(name, cancelled=True)
         raise MigrationError(f"migration of {name!r} failed: {exc}") from exc
     try:
-        result = dest_driver.migrate_finish(cookie, stats)
+        result = timed("finish", dest_driver.migrate_finish, cookie, stats)
     except VirtError as exc:
         # destination failed to activate: resume the source, never lose
         # the guest
@@ -75,5 +98,5 @@ def run_handshake(source_driver, dest_driver, name: str, params: dict):
         raise MigrationError(
             f"destination failed to activate {name!r}: {exc}"
         ) from exc
-    source_driver.migrate_confirm(name, cancelled=False)
+    timed("confirm", source_driver.migrate_confirm, name, cancelled=False)
     return result, stats

@@ -1,0 +1,46 @@
+"""Unified observability layer: metrics, span tracing, exporters.
+
+The measuring instruments the daemon and clients use to see inside
+themselves — wired through the RPC stack, transports, workerpools,
+drivers, and migration, and surfaced via ``virt-admin server-stats``,
+the Prometheus text exporter, and structured log emission.
+"""
+
+from repro.observability.export import (
+    ParsedMetric,
+    log_metrics,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.observability.metrics import (
+    COUNTER,
+    DEFAULT_BUCKETS,
+    GAUGE,
+    HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    Timer,
+)
+from repro.observability.tracing import Span, Tracer
+
+__all__ = [
+    "COUNTER",
+    "DEFAULT_BUCKETS",
+    "GAUGE",
+    "HISTOGRAM",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "ParsedMetric",
+    "Span",
+    "Timer",
+    "Tracer",
+    "log_metrics",
+    "parse_prometheus",
+    "render_prometheus",
+]

@@ -1,0 +1,199 @@
+"""Exporters: Prometheus text format and structured log emission.
+
+``render_prometheus`` serializes a :class:`MetricsRegistry` into the
+Prometheus exposition format (the ``/metrics`` page a scraper would
+fetch); ``parse_prometheus`` is its inverse, used by the round-trip
+tests and by anything that wants to consume an exported page without a
+real Prometheus.  ``log_metrics`` pushes the same samples through the
+daemon's :mod:`~repro.util.virtlog` subsystem as structured
+``key=value`` lines, so existing log filters/outputs route them.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import InvalidArgumentError
+from repro.observability.metrics import HISTOGRAM, MetricsRegistry
+from repro.util.virtlog import LOG_INFO, Logger
+
+_ESCAPES = {"\\": "\\\\", "\n": "\\n", '"': '\\"'}
+
+
+def _escape_label(value: str) -> str:
+    return "".join(_ESCAPES.get(ch, ch) for ch in str(value))
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as a Prometheus exposition-format page."""
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.type}")
+        for labels, child in family.samples():
+            if family.type == HISTOGRAM:
+                cumulative = child.bucket_counts()
+                for bound, count in cumulative:
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(bound)
+                    lines.append(
+                        f"{family.name}_bucket{_format_labels(bucket_labels)} {count}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(child.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_format_labels(labels)} {child.count}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_format_labels(labels)} "
+                    f"{_format_value(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_labels(text: "Optional[str]") -> Dict[str, str]:
+    if not text:
+        return {}
+    labels: Dict[str, str] = {}
+    pos = 0
+    while pos < len(text):
+        match = _LABEL_PAIR_RE.match(text, pos)
+        if match is None:
+            raise InvalidArgumentError(f"malformed label block {text!r}")
+        labels[match.group("name")] = _unescape_label(match.group("value"))
+        pos = match.end()
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        raise InvalidArgumentError(f"malformed sample value {text!r}") from None
+
+
+class ParsedMetric:
+    """One metric family recovered from an exposition page."""
+
+    __slots__ = ("name", "type", "help", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.type: Optional[str] = None
+        self.help: Optional[str] = None
+        #: ``(sample_name, labels, value)`` — sample_name carries the
+        #: ``_bucket``/``_sum``/``_count`` suffix for histogram series
+        self.samples: List[Tuple[str, Dict[str, str], float]] = []
+
+
+def parse_prometheus(text: str) -> Dict[str, ParsedMetric]:
+    """Inverse of :func:`render_prometheus` (family name → metric)."""
+    metrics: Dict[str, ParsedMetric] = {}
+
+    def family_for(sample_name: str) -> ParsedMetric:
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if trimmed and trimmed in metrics and metrics[trimmed].type == "histogram":
+                base = trimmed
+                break
+        if base not in metrics:
+            metrics[base] = ParsedMetric(base)
+        return metrics[base]
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            metrics.setdefault(name, ParsedMetric(name)).help = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, mtype = rest.partition(" ")
+            metrics.setdefault(name, ParsedMetric(name)).type = mtype.strip()
+            continue
+        if line.startswith("#"):
+            continue  # arbitrary comments are legal
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise InvalidArgumentError(f"malformed exposition line {line!r}")
+        sample_name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        value = _parse_value(match.group("value"))
+        family_for(sample_name).samples.append((sample_name, labels, value))
+    return metrics
+
+
+def log_metrics(
+    logger: Logger,
+    registry: MetricsRegistry,
+    source: str = "observability.metrics",
+    priority: int = LOG_INFO,
+) -> int:
+    """Emit every sample as one structured log line; returns lines emitted.
+
+    Histograms are condensed to ``count``/``sum``/``mean`` — the full
+    bucket vector belongs on the exporter page, not in the log stream.
+    """
+    emitted = 0
+    for family in registry.families():
+        for labels, child in family.samples():
+            fields: Dict[str, Any] = {"metric": family.name, **labels}
+            if family.type == HISTOGRAM:
+                summary = child.summary()
+                fields.update(
+                    count=summary["count"],
+                    sum=round(summary["sum"], 9),
+                    mean=round(summary["mean"], 9),
+                )
+            else:
+                fields["value"] = child.value
+            if logger.structured(priority, source, "metric", **fields):
+                emitted += 1
+    return emitted

@@ -1,0 +1,182 @@
+"""Lightweight span tracing for the daemon's hot paths.
+
+A :class:`Span` measures one named interval of (modelled) time with
+attributes; spans nest per thread, so a dispatch span started by the
+RPC layer becomes the parent of the driver-operation span the handler
+opens, and a migration records one child span per handshake phase.
+
+Finished spans land in a bounded ring buffer — tracing is a debugging
+and measurement aid, never an unbounded memory leak.  There is no
+cross-process propagation: the simulation is one process, so a trace
+is simply the tree of spans sharing a root.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+
+class Span:
+    """One timed interval; finished when ``end`` is set."""
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "trace_id",
+        "start", "end", "attributes", "error",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        trace_id: int,
+        start: float,
+        parent_id: "Optional[int]" = None,
+        attributes: "Optional[Dict[str, Any]]" = None,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        #: set to the exception repr when the spanned block raised
+        self.error: Optional[str] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise RuntimeError(f"span {self.name!r} has not finished")
+        return self.end - self.start
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration if self.finished else None,
+            "attributes": dict(self.attributes),
+            "error": self.error,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration:.6f}s" if self.finished else "open"
+        return f"Span({self.name!r}, {state})"
+
+
+class _SpanContext:
+    """The context-manager half of ``Tracer.span``."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc is not None:
+            self.span.error = repr(exc)
+        self._tracer._finish(self.span)
+
+
+class Tracer:
+    """Per-daemon span factory with a bounded finished-span buffer."""
+
+    def __init__(self, now: Callable[[], float], max_finished: int = 2048) -> None:
+        self._now = now
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._finished: "Deque[Span]" = deque(maxlen=max_finished)
+        self._lock = threading.Lock()
+        self.spans_started = 0
+        self.spans_failed = 0
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open a span nested under the thread's current span::
+
+            with tracer.span("rpc.dispatch", procedure="domain.create"):
+                ...
+        """
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = next(self._ids)
+            self.spans_started += 1
+        span = Span(
+            name,
+            span_id,
+            trace_id=parent.trace_id if parent is not None else span_id,
+            start=self._now(),
+            parent_id=parent.span_id if parent is not None else None,
+            attributes=attributes,
+        )
+        stack.append(span)
+        return _SpanContext(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.end = self._now()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # out-of-order exit: drop down to it
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        with self._lock:
+            if span.error is not None:
+                self.spans_failed += 1
+            self._finished.append(span)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def current(self) -> "Optional[Span]":
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def finished_spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    @property
+    def spans_finished(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+    def find(self, name: str) -> List[Span]:
+        return [s for s in self.finished_spans() if s.name == name]
+
+    def export(self) -> List[Dict[str, Any]]:
+        return [span.to_dict() for span in self.finished_spans()]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._finished.clear()
+            self.spans_started = 0
+            self.spans_failed = 0

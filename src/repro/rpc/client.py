@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Any, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.errors import (
     ConnectionClosedError,
@@ -45,11 +45,19 @@ from repro.rpc.protocol import (
 from repro.rpc.transport import Channel
 from repro.util.eventloop import EventLoop
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.observability.metrics import MetricsRegistry
+
 
 class RPCClient:
     """The client end of one RPC connection."""
 
-    def __init__(self, channel: Channel, default_timeout: "Optional[float]" = None) -> None:
+    def __init__(
+        self,
+        channel: Channel,
+        default_timeout: "Optional[float]" = None,
+        metrics: "Optional[MetricsRegistry]" = None,
+    ) -> None:
         self._channel = channel
         self._serials = itertools.count(1)
         self._event_handlers: Dict[int, Callable[[Any], None]] = {}
@@ -58,6 +66,32 @@ class RPCClient:
         self.timeouts = 0
         #: per-call deadline applied when ``call`` gets no explicit one
         self.default_timeout = default_timeout
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_calls = metrics.counter(
+                "rpc_client_calls_total", "RPC calls issued", ("procedure",)
+            )
+            self._m_latency = metrics.histogram(
+                "rpc_client_call_seconds",
+                "Modelled round-trip latency of successful RPC calls",
+                ("procedure",),
+            )
+            self._m_timeouts = metrics.counter(
+                "rpc_client_timeouts_total", "Calls that hit their deadline", ("procedure",)
+            )
+            self._m_errors = metrics.counter(
+                "rpc_client_errors_total", "Structured error replies", ("procedure",)
+            )
+            self._m_pings = metrics.counter(
+                "rpc_client_keepalive_pings_total", "Keepalive PINGs sent"
+            )
+            self._m_pongs = metrics.counter(
+                "rpc_client_keepalive_pongs_total", "Keepalive PONGs received"
+            )
+            self._m_deaths = metrics.counter(
+                "rpc_client_keepalive_deaths_total",
+                "Connections declared dead (keepalive or desync)",
+            )
         # -- keepalive state
         self.eventloop: "Optional[EventLoop]" = None
         self._ka_interval: "Optional[float]" = None
@@ -142,6 +176,8 @@ class RPCClient:
         with self._lock:
             serial = next(self._serials)
             self.pings_sent += 1
+        if self.metrics is not None:
+            self._m_pings.inc()
         bound_in = timeout if timeout is not None else self._ka_interval
         wait_bound = (
             self._channel.clock.now() + bound_in if bound_in is not None else None
@@ -154,6 +190,8 @@ class RPCClient:
             return False
         with self._lock:
             self.pongs_received += 1
+        if self.metrics is not None:
+            self._m_pongs.inc()
         return True
 
     def _keepalive_probe(self) -> None:
@@ -178,6 +216,8 @@ class RPCClient:
 
     def _declare_dead(self, reason: str) -> None:
         self._dead_reason = reason
+        if self.metrics is not None:
+            self._m_deaths.inc()
         self._channel.abandon()
         if self._ka_timer is not None and self.eventloop is not None:
             self.eventloop.cancel(self._ka_timer)
@@ -206,6 +246,8 @@ class RPCClient:
         with self._lock:
             serial = next(self._serials)
             self.calls_made += 1
+        if self.metrics is not None:
+            self._m_calls.labels(procedure=procedure).inc()
         request = RPCMessage(number, MessageType.CALL, serial)
         request.body = body
         if timeout is None:
@@ -235,6 +277,8 @@ class RPCClient:
                 raise KeepaliveTimeoutError(self._dead_reason) from exc
             with self._lock:
                 self.timeouts += 1
+            if self.metrics is not None:
+                self._m_timeouts.labels(procedure=procedure).inc()
             raise OperationTimeoutError(
                 f"{procedure} got no reply within its {timeout:g}s deadline"
             ) from exc
@@ -253,7 +297,13 @@ class RPCClient:
         if reply.status == ReplyStatus.ERROR:
             if not isinstance(reply.body, dict):
                 self._desynchronize(f"malformed error body: {reply.body!r}")
+            if self.metrics is not None:
+                self._m_errors.labels(procedure=procedure).inc()
             raise VirtError.from_dict(reply.body)
+        if self.metrics is not None:
+            self._m_latency.labels(procedure=procedure).observe(
+                self._channel.clock.now() - now
+            )
         return reply.body
 
     def _desynchronize(self, why: str) -> None:

@@ -19,7 +19,7 @@ and unknown numbers are rejected at dispatch.
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 from repro.errors import RPCError
 from repro.rpc.xdr import XdrDecoder, XdrEncoder, decode_value, encode_value
@@ -136,6 +136,10 @@ PROCEDURES: Dict[str, int] = {
     "admin.client_disconnect": 108,
     "admin.dmn_log_info": 109,
     "admin.dmn_log_define": 110,
+    "admin.srv_stats": 111,
+    "admin.client_stats": 112,
+    "admin.reset_stats": 113,
+    "admin.metrics_export": 114,
 }
 
 _NUMBER_TO_NAME = {number: name for name, number in PROCEDURES.items()}

@@ -10,7 +10,7 @@ bodies, rebuilt into the matching exception class client-side.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import RPCError, VirtError
 from repro.rpc.protocol import (
@@ -20,10 +20,15 @@ from repro.rpc.protocol import (
     RPCMessage,
     is_keepalive,
     make_pong,
+    procedure_name,
     procedure_number,
 )
 from repro.rpc.transport import ServerConnection
 from repro.util.threadpool import WorkerPool
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.observability.metrics import MetricsRegistry
+    from repro.observability.tracing import Tracer
 
 Handler = Callable[[ServerConnection, Any], Any]
 
@@ -31,7 +36,13 @@ Handler = Callable[[ServerConnection, Any], Any]
 class RPCServer:
     """Routes unpacked calls to handlers and packs the replies."""
 
-    def __init__(self, pool: "Optional[WorkerPool]" = None) -> None:
+    def __init__(
+        self,
+        pool: "Optional[WorkerPool]" = None,
+        metrics: "Optional[MetricsRegistry]" = None,
+        tracer: "Optional[Tracer]" = None,
+        name: str = "rpc",
+    ) -> None:
         self._procedures: Dict[int, Tuple[Handler, bool]] = {}
         self._pool = pool
         self._lock = threading.Lock()
@@ -40,6 +51,39 @@ class RPCServer:
         self.pings_answered = 0
         #: optional hook fired on every keepalive PING (activity tracking)
         self.on_ping: "Optional[Callable[[ServerConnection], None]]" = None
+        self.metrics = metrics
+        self.tracer = tracer
+        #: label value distinguishing server objects sharing one registry
+        self.name = name
+        if metrics is not None:
+            self._m_calls = metrics.counter(
+                "rpc_server_calls_total",
+                "Dispatched calls by server, procedure, and outcome",
+                ("server", "procedure", "status"),
+            )
+            self._m_latency = metrics.histogram(
+                "rpc_server_dispatch_seconds",
+                "Modelled dispatch latency (queue wait + handler service)",
+                ("server", "procedure"),
+            )
+            self._m_pings = metrics.counter(
+                "rpc_server_keepalive_pings_total",
+                "Keepalive PINGs answered inline",
+                ("server",),
+            )
+
+    def _procedure_label(self, number: int) -> str:
+        try:
+            return procedure_name(number)
+        except RPCError:
+            return f"unknown:{number}"
+
+    def reset_counters(self) -> None:
+        """Zero the aggregate counters (``reset-stats``)."""
+        with self._lock:
+            self.calls_served = 0
+            self.calls_failed = 0
+            self.pings_answered = 0
 
     def register(self, name: str, handler: Handler, priority: bool = False) -> None:
         """Bind ``handler`` to a procedure name from the protocol table.
@@ -84,6 +128,13 @@ class RPCServer:
                 RPCError(f"procedure {message.procedure} not registered"),
             )
         handler, priority = entry
+        label = self._procedure_label(message.procedure)
+        started = conn.channel.clock.now()
+        span = (
+            self.tracer.span("rpc.dispatch", procedure=label, priority=priority)
+            if self.tracer is not None
+            else None
+        )
         try:
             if self._pool is not None:
                 future = self._pool.submit(handler, conn, message.body, priority=priority)
@@ -91,12 +142,23 @@ class RPCServer:
             else:
                 result = handler(conn, message.body)
         except VirtError as exc:
+            if span is not None:
+                span.__exit__(type(exc), exc, None)
             return self._error_reply(message.procedure, message.serial, exc)
         except Exception as exc:  # noqa: BLE001 - internal errors cross the wire too
+            if span is not None:
+                span.__exit__(type(exc), exc, None)
             wrapped = VirtError(f"internal error: {exc}")
             return self._error_reply(message.procedure, message.serial, wrapped)
+        if span is not None:
+            span.__exit__(None, None, None)
         with self._lock:
             self.calls_served += 1
+        if self.metrics is not None:
+            self._m_calls.labels(server=self.name, procedure=label, status="ok").inc()
+            self._m_latency.labels(server=self.name, procedure=label).observe(
+                conn.channel.clock.now() - started
+            )
         reply = RPCMessage(
             message.procedure,
             MessageType.REPLY,
@@ -114,6 +176,8 @@ class RPCServer:
             return None  # keepalive carries no errors; ignore strays
         with self._lock:
             self.pings_answered += 1
+        if self.metrics is not None:
+            self._m_pings.labels(server=self.name).inc()
         if self.on_ping is not None:
             self.on_ping(conn)
         return make_pong(message.serial).pack()
@@ -121,6 +185,12 @@ class RPCServer:
     def _error_reply(self, procedure: int, serial: int, exc: VirtError) -> bytes:
         with self._lock:
             self.calls_failed += 1
+        if self.metrics is not None:
+            self._m_calls.labels(
+                server=self.name,
+                procedure=self._procedure_label(procedure),
+                status="error",
+            ).inc()
         reply = RPCMessage(
             procedure,
             MessageType.REPLY,

@@ -32,6 +32,7 @@ from repro.util.clock import Clock, VirtualClock
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.plan import FaultPlan
+    from repro.observability.metrics import MetricsRegistry
 
 #: modelled stand-in for "blocked forever": a client with no deadline
 #: and no keepalive charges a full day of simulated time on a dead link
@@ -106,9 +107,11 @@ class ServerConnection:
         if self._handler is None:
             raise ConnectionClosedError("no message handler installed")
         self.bytes_in += len(data)
+        self.listener._record_bytes(received=len(data))
         reply = self._handler(data)
         if reply is not None:
             self.bytes_out += len(reply)
+            self.listener._record_bytes(sent=len(reply))
         return reply
 
     def push(self, data: bytes) -> None:
@@ -116,6 +119,7 @@ class ServerConnection:
         if self.closed or self.channel.closed:
             raise ConnectionClosedError("cannot push on a closed connection")
         self.bytes_out += len(data)
+        self.listener._record_bytes(sent=len(data))
         self.channel._deliver_event(data)
 
     def close(self) -> None:
@@ -155,6 +159,11 @@ class Channel:
         """Route every frame on this channel through ``plan``."""
         self._faults = plan
 
+    def _record_fault(self, kind: str) -> None:
+        conn = self._server_conn
+        if conn is not None:
+            conn.listener._record_fault(kind)
+
     def sever(self) -> None:
         """Cut the link silently: tear down the server side without
         notifying this endpoint (a pulled cable, not a clean close)."""
@@ -173,6 +182,9 @@ class Channel:
         """No reply is ever coming; charge the wait and raise."""
         with self._lock:
             self.frames_lost += 1
+        conn = self._server_conn
+        if conn is not None:
+            conn.listener._record_loss()
         if wait_bound is None:
             self.clock.sleep(HANG_SECONDS)
             raise TransportHangError(
@@ -209,6 +221,8 @@ class Channel:
             from repro.faults.plan import FaultKind
 
             decision = plan.decide("send", frame_index, self.clock.now())
+            if decision.kind is not None:
+                self._record_fault(decision.kind.value)
             if decision.kind is FaultKind.SEVER:
                 self.sever()
             elif decision.kind is FaultKind.DROP:
@@ -238,6 +252,8 @@ class Channel:
             from repro.faults.plan import FaultKind
 
             decision = plan.decide("recv", frame_index, self.clock.now())
+            if decision.kind is not None:
+                self._record_fault(decision.kind.value)
             if decision.kind is FaultKind.SEVER:
                 self.sever()
             if decision.kind in (FaultKind.SEVER, FaultKind.DROP) or plan.blackholed:
@@ -289,6 +305,7 @@ class Listener:
         clock: Optional[Clock] = None,
         authenticator: "Optional[Callable[[Dict[str, Any]], Dict[str, Any]]]" = None,
         on_accept: "Optional[Callable[[ServerConnection], None]]" = None,
+        metrics: "Optional[MetricsRegistry]" = None,
     ) -> None:
         self.spec = spec_for(transport)
         self.clock = clock or VirtualClock()
@@ -299,6 +316,55 @@ class Listener:
         self._fault_plan: "Optional[FaultPlan]" = None
         self.accepted = 0
         self.rejected = 0
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_conns = metrics.counter(
+                "transport_connections_total",
+                "Connection attempts by transport and outcome",
+                ("transport", "outcome"),
+            )
+            self._m_bytes_in = metrics.counter(
+                "transport_bytes_received_total",
+                "Payload bytes received by the daemon",
+                ("transport",),
+            )
+            self._m_bytes_out = metrics.counter(
+                "transport_bytes_sent_total",
+                "Payload bytes sent by the daemon",
+                ("transport",),
+            )
+            self._m_lost = metrics.counter(
+                "transport_frames_lost_total",
+                "Frames that never produced a reply (drops, dead links)",
+                ("transport",),
+            )
+            self._m_faults = metrics.counter(
+                "transport_faults_total",
+                "Fault injections observed on the wire",
+                ("transport", "kind"),
+            )
+
+    # -- metric recording (no-ops without a registry) ----------------------
+
+    def _record_bytes(self, sent: int = 0, received: int = 0) -> None:
+        if self.metrics is None:
+            return
+        if sent:
+            self._m_bytes_out.labels(transport=self.spec.name).inc(sent)
+        if received:
+            self._m_bytes_in.labels(transport=self.spec.name).inc(received)
+
+    def _record_loss(self) -> None:
+        if self.metrics is not None:
+            self._m_lost.labels(transport=self.spec.name).inc()
+
+    def _record_fault(self, kind: str) -> None:
+        if self.metrics is not None:
+            self._m_faults.labels(transport=self.spec.name, kind=kind).inc()
+
+    def _record_connection(self, outcome: str) -> None:
+        if self.metrics is not None:
+            self._m_conns.labels(transport=self.spec.name, outcome=outcome).inc()
 
     def install_fault_plan(self, plan: "Optional[FaultPlan]") -> None:
         """Apply ``plan`` to every channel accepted from now on.
@@ -328,6 +394,7 @@ class Listener:
             except AuthenticationError:
                 with self._lock:
                     self.rejected += 1
+                self._record_connection("rejected")
                 raise
         conn_ref: "list" = [None]
         channel = Channel(self.spec, self.clock, conn_ref)
@@ -341,12 +408,14 @@ class Listener:
             except Exception:
                 with self._lock:
                     self.rejected += 1
+                self._record_connection("rejected")
                 conn.closed = True
                 channel.closed = True
                 raise
         with self._lock:
             self._connections.append(conn)
             self.accepted += 1
+        self._record_connection("accepted")
         return channel
 
     def _forget(self, conn: ServerConnection) -> None:

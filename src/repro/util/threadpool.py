@@ -20,13 +20,16 @@ from __future__ import annotations
 import threading
 from collections import deque
 from concurrent.futures import Future
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional
 
 from repro.errors import InvalidArgumentError, InvalidOperationError, OperationAbortedError
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.observability.metrics import MetricsRegistry
+
 
 class _Job:
-    __slots__ = ("func", "args", "kwargs", "priority", "future")
+    __slots__ = ("func", "args", "kwargs", "priority", "future", "enqueued_at")
 
     def __init__(self, func: Callable[..., Any], args: tuple, kwargs: dict, priority: bool) -> None:
         self.func = func
@@ -34,6 +37,8 @@ class _Job:
         self.kwargs = kwargs
         self.priority = priority
         self.future: "Future[Any]" = Future()
+        #: modelled enqueue time, stamped by the pool when metrics are on
+        self.enqueued_at = 0.0
 
 
 class WorkerPool:
@@ -45,9 +50,48 @@ class WorkerPool:
         max_workers: int = 5,
         prio_workers: int = 0,
         name: str = "pool",
+        metrics: "Optional[MetricsRegistry]" = None,
+        now: "Optional[Callable[[], float]]" = None,
     ) -> None:
         _validate_limits(min_workers, max_workers, prio_workers)
         self.name = name
+        self.metrics = metrics
+        self._now = now or (metrics.now if metrics is not None else (lambda: 0.0))
+        if metrics is not None:
+            self._m_jobs = metrics.counter(
+                "workerpool_jobs_total",
+                "Jobs submitted, by pool and lane",
+                ("pool", "lane"),
+            )
+            self._m_wait = metrics.histogram(
+                "workerpool_job_wait_seconds",
+                "Modelled time a job spent queued before a worker took it",
+                ("pool",),
+            )
+            self._m_service = metrics.histogram(
+                "workerpool_job_service_seconds",
+                "Modelled time a worker spent executing a job",
+                ("pool",),
+            )
+            # live-view gauges: evaluated at scrape time, never pushed
+            depth = metrics.gauge(
+                "workerpool_queue_depth", "Jobs waiting for a worker", ("pool",)
+            )
+            depth.labels(pool=name).set_function(
+                lambda: len(self._queue) + len(self._prio_queue)
+            )
+            workers = metrics.gauge(
+                "workerpool_workers", "Worker threads by kind", ("pool", "kind")
+            )
+            workers.labels(pool=name, kind="total").set_function(
+                lambda: self._n_workers
+            )
+            workers.labels(pool=name, kind="free").set_function(
+                lambda: self._free_workers
+            )
+            workers.labels(pool=name, kind="priority").set_function(
+                lambda: self._n_prio_workers
+            )
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._queue: "Deque[_Job]" = deque()
@@ -79,9 +123,15 @@ class WorkerPool:
         only ever executed by ordinary workers.
         """
         job = _Job(func, args, kwargs, priority)
+        if self.metrics is not None:
+            job.enqueued_at = self._now()
         with self._cond:
             if self._quit:
                 raise InvalidOperationError(f"workerpool {self.name!r} is shut down")
+            if self.metrics is not None:
+                self._m_jobs.labels(
+                    pool=self.name, lane="priority" if priority else "normal"
+                ).inc()
             if priority:
                 self._prio_queue.append(job)
             else:
@@ -198,12 +248,22 @@ class WorkerPool:
                         self._n_workers -= 1
                     self._cond.notify_all()
                     break
+            started = 0.0
+            if self.metrics is not None:
+                started = self._now()
+                self._m_wait.labels(pool=self.name).observe(
+                    max(0.0, started - job.enqueued_at)
+                )
             try:
                 result = job.func(*job.args, **job.kwargs)
             except BaseException as exc:  # noqa: BLE001 - forwarded via the future
                 job.future.set_exception(exc)
             else:
                 job.future.set_result(result)
+            if self.metrics is not None:
+                self._m_service.labels(pool=self.name).observe(
+                    max(0.0, self._now() - started)
+                )
             with self._lock:
                 self._jobs_completed += 1
 

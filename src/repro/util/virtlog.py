@@ -293,6 +293,19 @@ class Logger:
                     emitted = True
         return emitted
 
+    def structured(self, priority: int, source: str, event: str, **fields: object) -> bool:
+        """Emit one ``event key=value ...`` line (machine-parsable).
+
+        Values containing whitespace, ``=`` or quotes are double-quoted
+        with backslash escaping; everything else is written bare.  The
+        observability layer uses this to push metric samples and stats
+        snapshots through the ordinary filter/output pipeline.
+        """
+        parts = [event]
+        for key, value in fields.items():
+            parts.append(f"{key}={format_structured_value(value)}")
+        return self.log(priority, source, " ".join(parts))
+
     def debug(self, source: str, message: str) -> bool:
         return self.log(LOG_DEBUG, source, message)
 
@@ -317,6 +330,43 @@ class Logger:
             if output.dest in ("memory", "journald", "syslog"):
                 lines.extend(output.records)
         return lines
+
+
+def format_structured_value(value: object) -> str:
+    """Render one structured-log value (quote only when necessary)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        text = f"{value:.9f}".rstrip("0").rstrip(".")
+        return text or "0"
+    text = str(value)
+    if text and not any(ch in text for ch in ' \t"=\n'):
+        return text
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    return f'"{escaped}"'
+
+
+def parse_structured_line(message: str) -> "Tuple[str, dict]":
+    """Inverse of :meth:`Logger.structured`: ``(event, fields)``.
+
+    Only splits the event token and ``key=value`` pairs; values come
+    back as strings (callers coerce types as needed).
+    """
+    matches = __import__("re").findall(
+        r'(\w+)=("(?:[^"\\]|\\.)*"|\S+)', message
+    )
+    event = message.split(" ", 1)[0] if message else ""
+    fields = {}
+    for key, raw in matches:
+        if raw.startswith('"') and raw.endswith('"'):
+            raw = (
+                raw[1:-1]
+                .replace("\\n", "\n")
+                .replace('\\"', '"')
+                .replace("\\\\", "\\")
+            )
+        fields[key] = raw
+    return event, fields
 
 
 #: domain tag used when loggers report their own errors

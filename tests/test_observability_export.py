@@ -1,0 +1,167 @@
+"""Exporter tests: Prometheus round-trip and structured log emission."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.observability.export import (
+    log_metrics,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.util.clock import VirtualClock
+from repro.util.virtlog import (
+    LOG_DEBUG,
+    Logger,
+    parse_structured_line,
+)
+
+
+def build_registry():
+    reg = MetricsRegistry()
+    calls = reg.counter("rpc_calls_total", "Total RPC calls", ("procedure", "status"))
+    calls.labels(procedure="domain.create", status="ok").inc(3)
+    calls.labels(procedure="domain.create", status="error").inc()
+    calls.labels(procedure="connect.open", status="ok").inc(5)
+    reg.gauge("queue_depth", "Jobs waiting").set(7)
+    lat = reg.histogram(
+        "dispatch_seconds", "Dispatch latency", ("procedure",),
+        buckets=(0.001, 0.01, 0.1, 1.0),
+    )
+    for v in (0.0005, 0.005, 0.05, 0.5, 5.0):
+        lat.labels(procedure="domain.create").observe(v)
+    return reg
+
+
+class TestRender:
+    def test_help_and_type_lines(self):
+        page = render_prometheus(build_registry())
+        assert "# HELP rpc_calls_total Total RPC calls" in page
+        assert "# TYPE rpc_calls_total counter" in page
+        assert "# TYPE queue_depth gauge" in page
+        assert "# TYPE dispatch_seconds histogram" in page
+
+    def test_labelled_counter_samples(self):
+        page = render_prometheus(build_registry())
+        assert 'rpc_calls_total{procedure="domain.create",status="ok"} 3' in page
+        assert 'rpc_calls_total{procedure="connect.open",status="ok"} 5' in page
+
+    def test_histogram_series(self):
+        page = render_prometheus(build_registry())
+        assert 'dispatch_seconds_bucket{le="0.001",procedure="domain.create"} 1' in page
+        assert 'dispatch_seconds_bucket{le="+Inf",procedure="domain.create"} 5' in page
+        assert 'dispatch_seconds_count{procedure="domain.create"} 5' in page
+
+    def test_empty_registry_renders_empty_page(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("weird", "", ("path",))
+        fam.labels(path='C:\\temp "x"\nend').inc()
+        page = render_prometheus(reg)
+        assert 'path="C:\\\\temp \\"x\\"\\nend"' in page
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self):
+        reg = build_registry()
+        parsed = parse_prometheus(render_prometheus(reg))
+        assert set(parsed) == {"rpc_calls_total", "queue_depth", "dispatch_seconds"}
+
+        calls = parsed["rpc_calls_total"]
+        assert calls.type == "counter"
+        assert calls.help == "Total RPC calls"
+        by_labels = {tuple(sorted(l.items())): v for _, l, v in calls.samples}
+        assert by_labels[
+            (("procedure", "domain.create"), ("status", "ok"))
+        ] == 3
+        assert by_labels[
+            (("procedure", "domain.create"), ("status", "error"))
+        ] == 1
+
+        gauge = parsed["queue_depth"]
+        assert gauge.type == "gauge"
+        assert gauge.samples == [("queue_depth", {}, 7.0)]
+
+        hist = parsed["dispatch_seconds"]
+        assert hist.type == "histogram"
+        buckets = {
+            l["le"]: v for name, l, v in hist.samples if name.endswith("_bucket")
+        }
+        assert buckets["0.001"] == 1
+        assert buckets["1"] == 4  # integral bounds render without a decimal point
+        assert buckets["+Inf"] == 5
+        [(_, _, count)] = [s for s in hist.samples if s[0] == "dispatch_seconds_count"]
+        assert count == 5
+        [(_, _, total)] = [s for s in hist.samples if s[0] == "dispatch_seconds_sum"]
+        assert total == pytest.approx(5.5555)
+
+    def test_escaped_labels_round_trip(self):
+        reg = MetricsRegistry()
+        value = 'quote " slash \\ newline \n done'
+        reg.counter("escapes_total", "", ("text",)).labels(text=value).inc()
+        parsed = parse_prometheus(render_prometheus(reg))
+        [(_, labels, _)] = parsed["escapes_total"].samples
+        assert labels["text"] == value
+
+    def test_inf_values_round_trip(self):
+        reg = MetricsRegistry()
+        reg.gauge("deadline", "").set(math.inf)
+        parsed = parse_prometheus(render_prometheus(reg))
+        assert parsed["deadline"].samples[0][2] == math.inf
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(InvalidArgumentError, match="malformed"):
+            parse_prometheus("this is not a metric line at all!")
+
+    def test_malformed_labels_rejected(self):
+        with pytest.raises(InvalidArgumentError, match="malformed label"):
+            parse_prometheus('x{oops} 1')
+
+    def test_comments_and_blank_lines_ignored(self):
+        parsed = parse_prometheus("\n# a stray comment\nup 1\n\n")
+        assert parsed["up"].samples == [("up", {}, 1.0)]
+
+
+class TestLogEmission:
+    def test_log_metrics_emits_structured_lines(self):
+        clock = VirtualClock()
+        logger = Logger(level=LOG_DEBUG, clock=clock.now)
+        reg = MetricsRegistry(now=clock.now)
+        reg.counter("calls_total", "", ("procedure",)).labels(
+            procedure="domain.create"
+        ).inc(4)
+        reg.histogram("op_seconds", "").observe(0.25)
+
+        emitted = log_metrics(logger, reg)
+        assert emitted == 2
+
+        records = logger.memory_records()
+        assert len(records) == 2
+        parsed = []
+        for record in records:
+            message = record.split(": ", 2)[2].split(": ", 1)[1]
+            parsed.append(parse_structured_line(message))
+
+        (event, fields) = parsed[0]
+        assert event == "metric"
+        assert fields["metric"] == "calls_total"
+        assert fields["procedure"] == "domain.create"
+        assert float(fields["value"]) == 4.0
+
+        (event, fields) = parsed[1]
+        assert fields["metric"] == "op_seconds"
+        assert int(fields["count"]) == 1
+        assert float(fields["mean"]) == pytest.approx(0.25)
+
+    def test_log_metrics_respects_log_level(self):
+        from repro.util.virtlog import LOG_ERROR
+
+        logger = Logger(level=LOG_ERROR)  # INFO lines are filtered out
+        reg = MetricsRegistry()
+        reg.counter("calls_total", "").inc()
+        assert log_metrics(logger, reg) == 0
+        assert logger.memory_records() == []

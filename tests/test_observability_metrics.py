@@ -1,0 +1,254 @@
+"""Tests for the metrics primitives (repro.observability.metrics)."""
+
+import math
+import threading
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.observability.metrics import (
+    COUNTER,
+    DEFAULT_BUCKETS,
+    GAUGE,
+    HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    Timer,
+)
+from repro.util.clock import VirtualClock
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(InvalidArgumentError, match="only go up"):
+            Counter().inc(-1)
+
+    def test_reset(self):
+        c = Counter()
+        c.inc(7)
+        c.reset()
+        assert c.value == 0.0
+
+    def test_thread_safety(self):
+        c = Counter()
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+    def test_callback_gauge_reads_live_state(self):
+        state = {"depth": 3}
+        g = Gauge()
+        g.set_function(lambda: state["depth"])
+        assert g.value == 3
+        state["depth"] = 9
+        assert g.value == 9
+
+    def test_set_clears_callback(self):
+        g = Gauge()
+        g.set_function(lambda: 42)
+        g.set(1)
+        assert g.value == 1
+
+    def test_reset_preserves_callback_gauges(self):
+        g = Gauge()
+        g.set_function(lambda: 42)
+        g.reset()
+        assert g.value == 42  # live views cannot be zeroed
+
+    def test_reset_zeroes_plain_gauges(self):
+        g = Gauge()
+        g.set(5)
+        g.reset()
+        assert g.value == 0.0
+
+
+class TestHistogram:
+    def test_count_sum_mean(self):
+        h = Histogram()
+        for v in (0.001, 0.002, 0.003):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(0.006)
+        assert h.mean == pytest.approx(0.002)
+
+    def test_cumulative_buckets(self):
+        h = Histogram(buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        counts = dict(h.bucket_counts())
+        assert counts[0.1] == 1
+        assert counts[1.0] == 2
+        assert counts[10.0] == 3
+        assert counts[math.inf] == 4  # +Inf always holds the total
+
+    def test_summary_tracks_min_max(self):
+        h = Histogram()
+        h.observe(0.2)
+        h.observe(0.9)
+        summary = h.summary()
+        assert summary["min"] == pytest.approx(0.2)
+        assert summary["max"] == pytest.approx(0.9)
+
+    def test_reset(self):
+        h = Histogram()
+        h.observe(1.0)
+        h.reset()
+        assert h.count == 0
+        assert h.sum == 0.0
+        assert dict(h.bucket_counts())[math.inf] == 0
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            Histogram(buckets=())
+
+    def test_duplicate_bounds_rejected(self):
+        with pytest.raises(InvalidArgumentError, match="distinct"):
+            Histogram(buckets=(1.0, 1.0))
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestMetricFamily:
+    def test_labelled_children_are_distinct(self):
+        fam = MetricFamily("calls_total", COUNTER, "calls", ("procedure",))
+        fam.labels(procedure="open").inc()
+        fam.labels(procedure="open").inc()
+        fam.labels(procedure="close").inc()
+        assert fam.labels(procedure="open").value == 2
+        assert fam.labels(procedure="close").value == 1
+
+    def test_wrong_labels_rejected(self):
+        fam = MetricFamily("x", COUNTER, "", ("a",))
+        with pytest.raises(InvalidArgumentError, match="takes labels"):
+            fam.labels(b="1")
+
+    def test_unlabelled_convenience_on_labelled_family_rejected(self):
+        fam = MetricFamily("x", COUNTER, "", ("a",))
+        with pytest.raises(InvalidArgumentError, match="labelled"):
+            fam.inc()
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(InvalidArgumentError, match="invalid metric name"):
+            MetricFamily("9bad", COUNTER, "", ())
+
+    def test_invalid_label_name_rejected(self):
+        with pytest.raises(InvalidArgumentError, match="invalid label name"):
+            MetricFamily("ok", COUNTER, "", ("bad-label",))
+
+    def test_samples_carry_label_dicts(self):
+        fam = MetricFamily("x", GAUGE, "", ("a", "b"))
+        fam.labels(a="1", b="2").set(5)
+        [(labels, child)] = fam.samples()
+        assert labels == {"a": "1", "b": "2"}
+        assert child.value == 5
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        first = reg.counter("calls_total", "calls")
+        second = reg.counter("calls_total", "calls")
+        assert first is second
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "")
+        with pytest.raises(InvalidArgumentError, match="already registered"):
+            reg.gauge("x", "")
+
+    def test_label_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "", ("a",))
+        with pytest.raises(InvalidArgumentError, match="labels"):
+            reg.counter("x", "", ("b",))
+
+    def test_unknown_metric_lookup(self):
+        with pytest.raises(InvalidArgumentError, match="no metric"):
+            MetricsRegistry().get("nope")
+
+    def test_contains(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth", "")
+        assert "depth" in reg
+        assert "other" not in reg
+
+    def test_families_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("zed", "")
+        reg.counter("alpha", "")
+        assert [f.name for f in reg.families()] == ["alpha", "zed"]
+
+    def test_snapshot_uses_virtual_clock(self):
+        clock = VirtualClock()
+        reg = MetricsRegistry(now=clock.now)
+        clock.sleep(12.5)
+        reg.counter("c", "").inc()
+        snap = reg.snapshot()
+        assert snap["timestamp"] == pytest.approx(12.5)
+        assert snap["metrics"]["c"]["type"] == COUNTER
+        assert snap["metrics"]["c"]["samples"][0]["value"] == 1
+
+    def test_snapshot_histogram_summarized(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", "").observe(0.5)
+        sample = reg.snapshot()["metrics"]["h"]["samples"][0]
+        assert sample["count"] == 1
+        assert sample["sum"] == pytest.approx(0.5)
+        assert reg.snapshot()["metrics"]["h"]["type"] == HISTOGRAM
+
+    def test_reset_zeroes_everything_but_callbacks(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "").inc(5)
+        reg.histogram("h", "").observe(1.0)
+        live = {"v": 7}
+        reg.gauge("g", "").set_function(lambda: live["v"])
+        reg.reset()
+        assert reg.get("c").value == 0
+        assert reg.get("h")._unlabelled().count == 0
+        assert reg.get("g").value == 7
+
+    def test_set_clock_rebinds(self):
+        reg = MetricsRegistry()
+        assert reg.now() == 0.0
+        clock = VirtualClock()
+        clock.sleep(3.0)
+        reg.set_clock(clock.now)
+        assert reg.now() == pytest.approx(3.0)
+
+
+class TestTimer:
+    def test_timer_observes_modelled_interval(self):
+        clock = VirtualClock()
+        reg = MetricsRegistry(now=clock.now)
+        hist = reg.histogram("op_seconds", "")._unlabelled()
+        with Timer(reg, hist) as timer:
+            clock.sleep(0.25)
+        assert timer.elapsed == pytest.approx(0.25)
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(0.25)

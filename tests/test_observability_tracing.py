@@ -1,0 +1,141 @@
+"""Tests for span tracing (repro.observability.tracing)."""
+
+import pytest
+
+from repro.observability.tracing import Tracer
+from repro.util.clock import VirtualClock
+
+
+@pytest.fixture()
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture()
+def tracer(clock):
+    return Tracer(clock.now)
+
+
+class TestSpanLifecycle:
+    def test_span_measures_modelled_time(self, tracer, clock):
+        with tracer.span("op") as span:
+            clock.sleep(1.5)
+        assert span.finished
+        assert span.duration == pytest.approx(1.5)
+
+    def test_unfinished_span_has_no_duration(self, tracer):
+        ctx = tracer.span("op")
+        span = ctx.span
+        with pytest.raises(RuntimeError, match="has not finished"):
+            _ = span.duration
+        ctx.__exit__(None, None, None)
+
+    def test_attributes(self, tracer):
+        with tracer.span("op", procedure="domain.create") as span:
+            span.set_attribute("outcome", "ok")
+        assert span.attributes == {"procedure": "domain.create", "outcome": "ok"}
+
+    def test_to_dict(self, tracer, clock):
+        clock.sleep(2.0)
+        with tracer.span("op") as span:
+            clock.sleep(0.5)
+        d = span.to_dict()
+        assert d["name"] == "op"
+        assert d["start"] == pytest.approx(2.0)
+        assert d["end"] == pytest.approx(2.5)
+        assert d["duration"] == pytest.approx(0.5)
+        assert d["error"] is None
+
+
+class TestNesting:
+    def test_child_inherits_trace_id(self, tracer):
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                pass
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+        assert parent.parent_id is None
+
+    def test_siblings_share_trace(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.trace_id == b.trace_id == root.trace_id
+        assert a.parent_id == b.parent_id == root.span_id
+
+    def test_separate_roots_get_separate_traces(self, tracer):
+        with tracer.span("first") as first:
+            pass
+        with tracer.span("second") as second:
+            pass
+        assert first.trace_id != second.trace_id
+
+    def test_current_tracks_the_stack(self, tracer):
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_manual_out_of_order_exit_recovers(self, tracer):
+        # dispatch code calls __exit__ by hand; an inner span left open
+        # must not wedge the stack when the outer one finishes first
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__exit__(None, None, None)
+        assert tracer.current is None
+        inner.__exit__(None, None, None)  # already popped; harmless
+        assert tracer.spans_finished == 2
+
+
+class TestErrors:
+    def test_exception_recorded_and_counted(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("boom") as span:
+                raise ValueError("bad input")
+        assert span.error == "ValueError('bad input')"
+        assert tracer.spans_failed == 1
+
+    def test_manual_exit_with_exception(self, tracer):
+        ctx = tracer.span("op")
+        exc = RuntimeError("wedged")
+        ctx.__exit__(type(exc), exc, None)
+        assert ctx.span.error == "RuntimeError('wedged')"
+        assert tracer.spans_failed == 1
+
+
+class TestBuffer:
+    def test_ring_buffer_bounded(self, clock):
+        tracer = Tracer(clock.now, max_finished=8)
+        for i in range(20):
+            with tracer.span(f"op{i}"):
+                pass
+        assert tracer.spans_started == 20
+        assert tracer.spans_finished == 8
+        names = [s.name for s in tracer.finished_spans()]
+        assert names == [f"op{i}" for i in range(12, 20)]
+
+    def test_find_and_export(self, tracer):
+        with tracer.span("rpc.dispatch", procedure="domain.create"):
+            pass
+        with tracer.span("driver.op"):
+            pass
+        assert len(tracer.find("rpc.dispatch")) == 1
+        assert tracer.find("nothing") == []
+        exported = tracer.export()
+        assert len(exported) == 2
+        assert exported[0]["attributes"] == {"procedure": "domain.create"}
+
+    def test_reset(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("x"):
+                raise ValueError()
+        tracer.reset()
+        assert tracer.spans_started == 0
+        assert tracer.spans_failed == 0
+        assert tracer.spans_finished == 0
+        assert tracer.finished_spans() == []
