@@ -10,13 +10,23 @@ Expected shape: makespan for N boots drops ~linearly with the worker
 count while workers < N, then flattens — adding workers beyond the
 offered load buys nothing.  For a fixed pool, total time grows
 linearly in N.
+
+The second half measures *RPC dispatch* concurrency on a single
+connection: N slow calls pipelined through one channel must complete
+in about one slow-call of modelled time when the server dispatches
+through its workerpool (out-of-order replies), N× when dispatch is
+synchronous, and ceil(N/window)× when the ``max_client_requests``
+window throttles the connection.
 """
 
 import pytest
 
 from repro.bench.tables import emit, format_series
 from repro.bench.workloads import build_local_connection, guest_config
-from repro.util.clock import ScaledWallClock
+from repro.rpc.client import RPCClient
+from repro.rpc.server import RPCServer
+from repro.rpc.transport import Listener
+from repro.util.clock import ScaledWallClock, VirtualClock
 from repro.util.threadpool import WorkerPool
 
 N_GUESTS = 32
@@ -89,6 +99,94 @@ def test_e5_scalability(benchmark):
     # monotone growth, with 20% slack for wall-clock jitter at small sizes
     for earlier, later in zip(by_fleet, by_fleet[1:]):
         assert later > 0.8 * earlier
+
+
+# -- concurrent RPC dispatch on one connection -----------------------------
+
+N_SLOW_CALLS = 8
+SLOW_CALL_SECONDS = 40.0
+RPC_SCALE = 5e-3  # one modelled second = 5 ms of real sleeping
+
+
+def _dispatch_pair(clock, pool, window=None):
+    """One client channel against a slow-procedure server."""
+    kwargs = {} if window is None else {"max_client_requests": window}
+    server = RPCServer(pool=pool, **kwargs)
+    server.register(
+        "domain.save", lambda conn, body: clock.sleep(SLOW_CALL_SECONDS)
+    )
+    channel = Listener("unix", clock=clock).connect()
+    server.attach(channel._server_conn)
+    return RPCClient(channel)
+
+
+def serial_dispatch_makespan(n_calls=N_SLOW_CALLS):
+    """Synchronous dispatch: each slow call head-of-line-blocks the next.
+
+    Virtual clock — the result is an exact function of the model."""
+    clock = VirtualClock()
+    client = _dispatch_pair(clock, pool=None)
+    start = clock.now()
+    for _ in range(n_calls):
+        client.call("domain.save", timeout=3600.0)
+    return clock.now() - start
+
+
+def concurrent_dispatch_makespan(n_calls=N_SLOW_CALLS, window=None):
+    """Pooled dispatch: n slow calls pipelined on ONE connection.
+
+    Scaled wall clock — the handlers genuinely sleep in worker threads,
+    so the makespan shows how much of the work truly overlapped."""
+    clock = ScaledWallClock(scale=RPC_SCALE)
+    pool = WorkerPool(min_workers=n_calls, max_workers=n_calls, name="rpcbench")
+    # the default max_client_requests window would throttle the fully
+    # concurrent measurement; open it to the offered load unless the
+    # caller is measuring the window itself
+    client = _dispatch_pair(clock, pool, window=window or n_calls)
+    start = clock.now()
+    handles = [
+        client.call_async("domain.save", timeout=3600.0) for _ in range(n_calls)
+    ]
+    for handle in handles:
+        handle.result()
+    makespan = clock.now() - start
+    pool.shutdown()
+    return makespan
+
+
+def collect_dispatch():
+    serial = serial_dispatch_makespan()
+    concurrent = min(concurrent_dispatch_makespan() for _ in range(2))
+    windowed = min(
+        concurrent_dispatch_makespan(window=N_SLOW_CALLS // 4) for _ in range(2)
+    )
+    return serial, concurrent, windowed
+
+
+def test_e5_concurrent_rpc_dispatch(benchmark):
+    """N slow calls on one connection: ~1 slow-call of time with pooled
+    dispatch, N× with synchronous dispatch — the tentpole measurement."""
+    serial, concurrent, windowed = benchmark.pedantic(
+        collect_dispatch, rounds=1, iterations=1
+    )
+    emit(
+        "e5_concurrent_dispatch",
+        format_series(
+            f"RPC dispatch: {N_SLOW_CALLS} x {SLOW_CALL_SECONDS:.0f}s calls on one connection",
+            "dispatch",
+            ["serial", f"window={N_SLOW_CALLS // 4}", "concurrent"],
+            {"makespan": [f"{v:.1f} s" for v in (serial, windowed, concurrent)]},
+        ),
+    )
+    # synchronous dispatch serializes: N slow calls cost ~N slow-calls
+    assert serial > (N_SLOW_CALLS - 0.5) * SLOW_CALL_SECONDS
+    # pooled dispatch overlaps them: ~1 slow-call of modelled time, not N x
+    assert concurrent < 1.5 * SLOW_CALL_SECONDS
+    assert serial / concurrent > N_SLOW_CALLS / 2
+    # the in-flight window bounds concurrency: ceil(N/window) batches
+    batches = N_SLOW_CALLS / (N_SLOW_CALLS // 4)
+    assert windowed > (batches - 0.5) * SLOW_CALL_SECONDS
+    assert windowed < (batches + 1.5) * SLOW_CALL_SECONDS
 
 
 def test_e5_pool_grows_under_offered_load(benchmark):

@@ -70,6 +70,27 @@ def collect_r1():
     return metrics
 
 
+def collect_e5_dispatch():
+    """Concurrent RPC dispatch makespans on one connection.
+
+    The serial figure is virtual-clock exact; the concurrent/windowed
+    figures run real threads on a scaled wall clock, but gate safely at
+    the default tolerance because thread-scheduling noise is tiny next
+    to the 40 s modelled call latency."""
+    import bench_e5_scalability as e5
+
+    return {
+        "e5.dispatch.serial_makespan_s": e5.serial_dispatch_makespan(),
+        "e5.dispatch.concurrent_makespan_s": min(
+            e5.concurrent_dispatch_makespan() for _ in range(2)
+        ),
+        "e5.dispatch.windowed_makespan_s": min(
+            e5.concurrent_dispatch_makespan(window=e5.N_SLOW_CALLS // 4)
+            for _ in range(2)
+        ),
+    }
+
+
 def collect_wall_informational():
     """Real management-layer CPU cost per cycle — reported, not gated."""
     import bench_e3_lifecycle_overhead as e3
@@ -131,6 +152,7 @@ def main(argv=None):
     current = {}
     current.update(collect_e3())
     current.update(collect_r1())
+    current.update(collect_e5_dispatch())
     info = {} if args.skip_wall else collect_wall_informational()
 
     if args.output:

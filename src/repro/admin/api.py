@@ -8,7 +8,7 @@ from repro.daemon.registry import lookup_daemon
 from repro.errors import ConnectionClosedError, InvalidArgumentError
 from repro.rpc.client import RPCClient
 from repro.util import typedparams as tp
-from repro.util.typedparams import TypedParameter
+from repro.util.typedparams import TypedParameter, TypedParamList
 from repro.util.virtlog import parse_priority
 
 
@@ -145,7 +145,7 @@ class AdminServer:
         prio_workers: "Optional[int]" = None,
     ) -> None:
         """``srv-threadpool-set`` (convenience wrapper over typed params)."""
-        params: List[TypedParameter] = []
+        params: List[TypedParameter] = TypedParamList()
         if min_workers is not None:
             tp.add_uint(params, "minWorkers", min_workers)
         if max_workers is not None:
@@ -163,16 +163,23 @@ class AdminServer:
     # -- client limits ---------------------------------------------------------
 
     def clients_info(self) -> Dict[str, int]:
-        """``srv-clients-info``: current and maximum client counts."""
+        """``srv-clients-info``: current and maximum client counts,
+        plus the per-connection ``max_client_requests`` window."""
         return self._conn._client.call(
             "admin.srv_clients_info", {"server": self.name}
         )
 
-    def set_client_limits(self, max_clients: "Optional[int]" = None) -> None:
+    def set_client_limits(
+        self,
+        max_clients: "Optional[int]" = None,
+        max_client_requests: "Optional[int]" = None,
+    ) -> None:
         """``srv-clients-set``."""
-        params: List[TypedParameter] = []
+        params: List[TypedParameter] = TypedParamList()
         if max_clients is not None:
             tp.add_uint(params, "nclients_max", max_clients)
+        if max_client_requests is not None:
+            tp.add_uint(params, "max_client_requests", max_client_requests)
         self.set_client_limit_params(params)
 
     def set_client_limit_params(self, params: List[TypedParameter]) -> None:

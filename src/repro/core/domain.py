@@ -154,7 +154,7 @@ class Domain:
         ``vcpu_quota``); applied live when the domain is running."""
         from repro.util import typedparams as tp
 
-        params = []
+        params = tp.TypedParamList()
         for field, value in values.items():
             if field == "vcpu_quota":
                 tp.add_llong(params, field, value)

@@ -32,10 +32,12 @@ THREADPOOL_FIELDS: Dict[str, ParamType] = {
 }
 THREADPOOL_READ_ONLY = ("nWorkers", "freeWorkers", "jobQueueDepth")
 
-#: per-server client-limit fields (``VIR_SERVER_CLIENTS_*`` macros)
+#: per-server client-limit fields (``VIR_SERVER_CLIENTS_*`` macros);
+#: ``max_client_requests`` is the per-connection in-flight window
 CLIENT_LIMIT_FIELDS: Dict[str, ParamType] = {
     "nclients_max": ParamType.UINT,
     "nclients": ParamType.UINT,
+    "max_client_requests": ParamType.UINT,
 }
 CLIENT_LIMIT_READ_ONLY = ("nclients",)
 
@@ -92,6 +94,7 @@ def register_admin_handlers(rpc: RPCServer, daemon: "Libvirtd") -> None:
         return {
             "nclients_max": daemon.get_max_clients(server),
             "nclients": len(daemon.list_clients(server)),
+            "max_client_requests": daemon.get_max_client_requests(server),
         }
 
     def h_clients_set(conn: ServerConnection, body: Any) -> None:
@@ -104,6 +107,8 @@ def register_admin_handlers(rpc: RPCServer, daemon: "Libvirtd") -> None:
         values = tp.to_dict(params)
         if "nclients_max" in values:
             daemon.set_max_clients(values["nclients_max"], server=server)
+        if "max_client_requests" in values:
+            daemon.set_max_client_requests(values["max_client_requests"], server=server)
 
     def h_client_list(conn: ServerConnection, body: Any) -> List[Dict[str, Any]]:
         server = (body or {})["server"]

@@ -46,6 +46,7 @@ class Libvirtd:
         max_workers: int = 20,
         prio_workers: int = 5,
         max_clients: int = 120,
+        max_client_requests: int = 5,
         use_pool: bool = True,
         log_level: int = LOG_ERROR,
         register: bool = True,
@@ -82,6 +83,7 @@ class Libvirtd:
             metrics=self.metrics,
             tracer=self.tracer,
             name="libvirtd",
+            max_client_requests=max_client_requests,
         )
         self.logger = Logger(level=log_level, clock=self.clock.now)
         self.max_clients = max_clients
@@ -298,6 +300,21 @@ class Libvirtd:
                 raise InvalidArgumentError(f"no server named {server!r}")
             return self._server_max_clients[server]
 
+    def set_max_client_requests(self, value: int, server: str = "libvirtd") -> None:
+        """Resize the per-connection in-flight request window."""
+        with self._lock:
+            rpc = self._rpc_by_server.get(server)
+        if rpc is None:
+            raise InvalidArgumentError(f"no server named {server!r}")
+        rpc.set_max_client_requests(value)
+
+    def get_max_client_requests(self, server: str = "libvirtd") -> int:
+        with self._lock:
+            rpc = self._rpc_by_server.get(server)
+        if rpc is None:
+            raise InvalidArgumentError(f"no server named {server!r}")
+        return rpc.max_client_requests
+
     def _prune(self) -> None:
         with self._lock:
             dead = [r for r in self._clients.values() if r.conn.closed]
@@ -412,6 +429,10 @@ class Libvirtd:
             "calls_served": rpc.calls_served,
             "calls_failed": rpc.calls_failed,
             "pings_answered": rpc.pings_answered,
+            "calls_queued": rpc.calls_queued,
+            "calls_rejected": rpc.calls_rejected,
+            "calls_inflight": rpc.inflight_calls(),
+            "max_client_requests": rpc.max_client_requests,
         }
         if rpc.metrics is not None and "rpc_server_dispatch_seconds" in rpc.metrics:
             dispatch = rpc.metrics.get("rpc_server_dispatch_seconds")

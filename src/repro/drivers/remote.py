@@ -26,7 +26,7 @@ from repro.errors import (
     OperationTimeoutError,
     VirtError,
 )
-from repro.rpc.client import RPCClient
+from repro.rpc.client import PendingReply, RPCClient
 from repro.rpc.protocol import EVENT_DOMAIN_LIFECYCLE
 from repro.rpc.retry import CircuitBreaker, RetryPolicy, is_idempotent
 
@@ -269,6 +269,16 @@ class RemoteDriver(Driver):
                         self._m_retries.inc()
                     continue
                 raise
+
+    def call_async(self, name: str, body: Any = None) -> "PendingReply":
+        """Pipeline one RPC: send now, collect the reply later.
+
+        Returns a :class:`~repro.rpc.client.PendingReply` whose
+        ``result()`` blocks until the daemon's out-of-order reply
+        arrives.  Deliberately single-shot — the retry/reconnect stack
+        only wraps synchronous :meth:`_call`, because a pipelined call
+        may have executed even if its reply is lost."""
+        return self.client.call_async(name, body)
 
     def _reconnect(self, reason: str) -> None:
         """Re-dial with exponential backoff; raises when the budget is

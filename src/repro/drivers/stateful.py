@@ -467,14 +467,18 @@ class StatefulDriver(Driver):
 
     def domain_get_scheduler_params(self, name: str) -> List[Any]:
         self._count_call()
-        from repro.util.typedparams import ParamType, TypedParameter
+        from repro.util.typedparams import ParamType, TypedParameter, TypedParamList
 
         record = self._record(name)
-        params = [
-            TypedParameter("cpu_shares", ParamType.ULLONG, record.scheduler["cpu_shares"]),
-            TypedParameter("vcpu_period", ParamType.ULLONG, record.scheduler["vcpu_period"]),
-            TypedParameter("vcpu_quota", ParamType.LLONG, record.scheduler["vcpu_quota"]),
-        ]
+        # TypedParamList keeps the typed-params encoding explicit on the
+        # wire even if the set is ever empty
+        params = TypedParamList(
+            [
+                TypedParameter("cpu_shares", ParamType.ULLONG, record.scheduler["cpu_shares"]),
+                TypedParameter("vcpu_period", ParamType.ULLONG, record.scheduler["vcpu_period"]),
+                TypedParameter("vcpu_quota", ParamType.LLONG, record.scheduler["vcpu_quota"]),
+            ]
+        )
         return params
 
     def domain_set_scheduler_params(self, name: str, params: List[Any]) -> None:

@@ -16,12 +16,22 @@ Resilience additions over the bare wire client:
   unparsable reply) closes the channel: mispairing replies silently
   would be worse than failing every later call with
   :class:`~repro.errors.ConnectionClosedError`.
+
+Concurrency: a server that dispatches through a workerpool answers
+*asynchronously* and may deliver replies in any order.  The client
+keeps a serial → pending-call correlation table; each REPLY frame is
+matched to its call by serial, so several calls can be in flight on one
+connection at once (``call_async`` starts a call without blocking, and
+the returned handle's ``result()`` collects it).  Deadline and
+keepalive semantics are unchanged: a reply that can never arrive
+charges exactly the remaining wait on the caller's own clock.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
+import time
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.errors import (
@@ -48,6 +58,94 @@ from repro.util.eventloop import EventLoop
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.observability.metrics import MetricsRegistry
 
+#: real-time (not modelled) ceiling on waiting for an async reply — a
+#: backstop against a wedged dispatcher, far above any legitimate wait
+REPLY_WAIT_BACKSTOP = 60.0
+
+
+class _PendingCall:
+    """One call awaiting its reply, keyed by serial."""
+
+    __slots__ = (
+        "serial",
+        "procedure",
+        "timeout",
+        "wait_bound",
+        "bound_is_keepalive",
+        "started",
+        "cond",
+        "outcome",
+        "raw",
+        "reason",
+    )
+
+    def __init__(
+        self,
+        serial: int,
+        procedure: str,
+        timeout: "Optional[float]",
+        wait_bound: "Optional[float]",
+        bound_is_keepalive: bool,
+        started: float,
+    ) -> None:
+        self.serial = serial
+        self.procedure = procedure
+        self.timeout = timeout
+        self.wait_bound = wait_bound
+        self.bound_is_keepalive = bound_is_keepalive
+        self.started = started
+        self.cond = threading.Condition()
+        #: None while in flight; then "reply" | "lost" | "closed" | "desync"
+        self.outcome: "Optional[str]" = None
+        self.raw: "Optional[bytes]" = None
+        self.reason: "Optional[str]" = None
+
+    def resolve(self, outcome: str, raw: "Optional[bytes]" = None, reason: "Optional[str]" = None) -> None:
+        with self.cond:
+            if self.outcome is not None:
+                return  # first resolution wins
+            self.outcome = outcome
+            self.raw = raw
+            self.reason = reason
+            self.cond.notify_all()
+
+
+class PendingReply:
+    """Handle to one in-flight call (see :meth:`RPCClient.call_async`)."""
+
+    __slots__ = ("_client", "_entry", "_done", "_result", "_failure")
+
+    def __init__(self, client: "RPCClient", entry: _PendingCall) -> None:
+        self._client = client
+        self._entry = entry
+        self._done = False
+        self._result: Any = None
+        self._failure: "Optional[BaseException]" = None
+
+    @property
+    def serial(self) -> int:
+        return self._entry.serial
+
+    @property
+    def procedure(self) -> str:
+        return self._entry.procedure
+
+    def done(self) -> bool:
+        """True once the reply (or its loss) is known without blocking."""
+        return self._done or self._entry.outcome is not None
+
+    def result(self) -> Any:
+        """Block until the reply arrives and return its body (idempotent)."""
+        if not self._done:
+            try:
+                self._result = self._client._finish_call(self._entry)
+            except BaseException as exc:
+                self._failure = exc
+            self._done = True
+        if self._failure is not None:
+            raise self._failure
+        return self._result
+
 
 class RPCClient:
     """The client end of one RPC connection."""
@@ -61,9 +159,12 @@ class RPCClient:
         self._channel = channel
         self._serials = itertools.count(1)
         self._event_handlers: Dict[int, Callable[[Any], None]] = {}
+        self._pending: Dict[int, _PendingCall] = {}
         self._lock = threading.Lock()
         self.calls_made = 0
         self.timeouts = 0
+        #: replies that overtook an earlier outstanding serial
+        self.replies_out_of_order = 0
         #: per-call deadline applied when ``call`` gets no explicit one
         self.default_timeout = default_timeout
         self.metrics = metrics
@@ -92,6 +193,10 @@ class RPCClient:
                 "rpc_client_keepalive_deaths_total",
                 "Connections declared dead (keepalive or desync)",
             )
+            self._m_ooo = metrics.counter(
+                "rpc_client_out_of_order_replies_total",
+                "REPLY frames that overtook an earlier outstanding serial",
+            )
         # -- keepalive state
         self.eventloop: "Optional[EventLoop]" = None
         self._ka_interval: "Optional[float]" = None
@@ -102,6 +207,8 @@ class RPCClient:
         self.pings_sent = 0
         self.pongs_received = 0
         channel.set_event_handler(self._on_event_frame)
+        channel.set_reply_handler(self._on_reply_frame)
+        channel.set_reply_lost_handler(self._on_reply_lost)
 
     @property
     def transport(self) -> str:
@@ -119,6 +226,11 @@ class RPCClient:
     @property
     def dead_reason(self) -> "Optional[str]":
         return self._dead_reason
+
+    @property
+    def calls_in_flight(self) -> int:
+        with self._lock:
+            return len(self._pending)
 
     # -- keepalive ---------------------------------------------------------
 
@@ -182,6 +294,8 @@ class RPCClient:
         wait_bound = (
             self._channel.clock.now() + bound_in if bound_in is not None else None
         )
+        # keepalive is answered inline even by pooled servers, so the
+        # synchronous round trip is always valid here
         raw = self._channel.call_bytes(make_ping(serial).pack(), wait_bound=wait_bound)
         if raw is None:
             return False
@@ -238,11 +352,34 @@ class RPCClient:
         call, mirroring how libvirt aborts in-flight calls when
         ``virKeepAlive`` trips.
         """
+        return self._finish_call(self._start_call(procedure, body, timeout))
+
+    def call_async(
+        self, procedure: str, body: Any = None, timeout: "Optional[float]" = None
+    ) -> PendingReply:
+        """Start a call without waiting for its reply.
+
+        Several calls may be pipelined on the connection this way; the
+        server executes them concurrently (up to its
+        ``max_client_requests`` window) and each reply is correlated
+        back by serial.  Collect with :meth:`PendingReply.result`, which
+        applies the same deadline/keepalive semantics as :meth:`call`.
+        """
+        return PendingReply(self, self._start_call(procedure, body, timeout))
+
+    def _start_call(
+        self, procedure: str, body: Any, timeout: "Optional[float]"
+    ) -> _PendingCall:
+        """Send the CALL frame and register the pending entry."""
         if self._dead_reason is not None:
             raise KeepaliveTimeoutError(f"connection declared dead: {self._dead_reason}")
         if self._channel.closed:
             raise ConnectionClosedError("RPC connection is closed")
         number = procedure_number(procedure)
+        if timeout is None:
+            timeout = self.default_timeout
+        if timeout is not None and timeout <= 0:
+            raise InvalidArgumentError("call timeout must be positive")
         with self._lock:
             serial = next(self._serials)
             self.calls_made += 1
@@ -250,61 +387,165 @@ class RPCClient:
             self._m_calls.labels(procedure=procedure).inc()
         request = RPCMessage(number, MessageType.CALL, serial)
         request.body = body
-        if timeout is None:
-            timeout = self.default_timeout
         now = self._channel.clock.now()
         wait_bound: "Optional[float]" = None
         bound_is_keepalive = False
         if timeout is not None:
-            if timeout <= 0:
-                raise InvalidArgumentError("call timeout must be positive")
             wait_bound = now + timeout
         if self._ka_interval is not None:
             ka_bound = now + self._ka_interval * self._ka_count
             if wait_bound is None or ka_bound < wait_bound:
                 wait_bound = ka_bound
                 bound_is_keepalive = True
+        entry = _PendingCall(serial, procedure, timeout, wait_bound, bound_is_keepalive, now)
+        with self._lock:
+            self._pending[serial] = entry
         try:
-            raw_reply = self._channel.call_bytes(request.pack(), wait_bound=wait_bound)
+            inline, pending = self._channel.send_request(
+                request.pack(), wait_bound=wait_bound, token=serial
+            )
         except TransportStalledError as exc:
-            if wait_bound is None:
-                raise  # TransportHangError: the unprotected client hung
-            if bound_is_keepalive:
-                self._declare_dead(
-                    f"keepalive: connection unresponsive during {procedure!r} "
-                    f"({self._ka_count} probe intervals elapsed)"
+            self._forget(entry)
+            self._map_stall(exc, entry)
+            raise  # pragma: no cover - _map_stall always raises
+        except BaseException:
+            self._forget(entry)
+            raise
+        if not pending:
+            # synchronous server: the reply came back inline
+            self._forget(entry)
+            if inline is None:
+                self._desynchronize(f"no reply to {procedure}")
+            entry.resolve("reply", raw=inline)
+        return entry
+
+    def _finish_call(self, entry: _PendingCall) -> Any:
+        """Wait for the reply and translate it, or the loss of it."""
+        self._wait_for_outcome(entry)
+        if entry.outcome == "lost":
+            # the transport told us no reply is coming; charge the wait
+            # on this caller's clock, exactly as the synchronous path does
+            try:
+                self._channel.charge_stall(
+                    entry.wait_bound, f"reply to {entry.procedure} lost"
                 )
-                raise KeepaliveTimeoutError(self._dead_reason) from exc
-            with self._lock:
-                self.timeouts += 1
-            if self.metrics is not None:
-                self._m_timeouts.labels(procedure=procedure).inc()
-            raise OperationTimeoutError(
-                f"{procedure} got no reply within its {timeout:g}s deadline"
-            ) from exc
-        if raw_reply is None:
-            self._desynchronize(f"no reply to {procedure}")
+            except TransportStalledError as exc:
+                self._map_stall(exc, entry)
+                raise  # pragma: no cover - _map_stall always raises
+        if entry.outcome == "closed":
+            raise ConnectionClosedError(
+                entry.reason or "connection closed with the call in flight"
+            )
+        if entry.outcome == "desync":
+            raise RPCError(entry.reason or "reply stream desynchronized")
+        raw_reply = entry.raw
         try:
             reply = RPCMessage.unpack(raw_reply)
         except RPCError as exc:
-            self._desynchronize(f"unparsable reply to {procedure}: {exc}")
+            self._desynchronize(f"unparsable reply to {entry.procedure}: {exc}")
         if reply.mtype != MessageType.REPLY:
             self._desynchronize(f"expected REPLY, got {reply.mtype.name}")
-        if reply.serial != serial:
+        if reply.serial != entry.serial:
             self._desynchronize(
-                f"serial mismatch: sent {serial}, got {reply.serial}"
+                f"serial mismatch: sent {entry.serial}, got {reply.serial}"
             )
         if reply.status == ReplyStatus.ERROR:
             if not isinstance(reply.body, dict):
                 self._desynchronize(f"malformed error body: {reply.body!r}")
             if self.metrics is not None:
-                self._m_errors.labels(procedure=procedure).inc()
+                self._m_errors.labels(procedure=entry.procedure).inc()
             raise VirtError.from_dict(reply.body)
         if self.metrics is not None:
-            self._m_latency.labels(procedure=procedure).observe(
-                self._channel.clock.now() - now
+            self._m_latency.labels(procedure=entry.procedure).observe(
+                self._channel.clock.now() - entry.started
             )
         return reply.body
+
+    def _wait_for_outcome(self, entry: _PendingCall) -> None:
+        with entry.cond:
+            if entry.outcome is not None:
+                return
+            deadline = time.monotonic() + REPLY_WAIT_BACKSTOP
+            while entry.outcome is None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RPCError(
+                        f"no reply to {entry.procedure} after "
+                        f"{REPLY_WAIT_BACKSTOP:g}s of real time (dispatch wedged)"
+                    )
+                entry.cond.wait(remaining)
+
+    def _map_stall(self, exc: TransportStalledError, entry: _PendingCall) -> None:
+        """Translate a transport stall into the user-facing error."""
+        if entry.wait_bound is None:
+            raise exc  # TransportHangError: the unprotected client hung
+        if entry.bound_is_keepalive:
+            self._declare_dead(
+                f"keepalive: connection unresponsive during {entry.procedure!r} "
+                f"({self._ka_count} probe intervals elapsed)"
+            )
+            raise KeepaliveTimeoutError(self._dead_reason) from exc
+        with self._lock:
+            self.timeouts += 1
+        if self.metrics is not None:
+            self._m_timeouts.labels(procedure=entry.procedure).inc()
+        raise OperationTimeoutError(
+            f"{entry.procedure} got no reply within its {entry.timeout:g}s deadline"
+        ) from exc
+
+    def _forget(self, entry: _PendingCall) -> None:
+        with self._lock:
+            self._pending.pop(entry.serial, None)
+
+    # -- asynchronous reply demultiplexing ---------------------------------
+
+    def _on_reply_frame(self, data: bytes) -> None:
+        """Channel delivery of a deferred REPLY frame (worker thread)."""
+        try:
+            message = RPCMessage.unpack(data)
+        except RPCError as exc:
+            self._fail_all_pending(f"unparsable reply: {exc}")
+            return
+        if message.mtype != MessageType.REPLY:
+            self._fail_all_pending(f"expected REPLY, got {message.mtype.name}")
+            return
+        with self._lock:
+            entry = self._pending.pop(message.serial, None)
+            out_of_order = entry is not None and any(
+                serial < message.serial for serial in self._pending
+            )
+            if out_of_order:
+                self.replies_out_of_order += 1
+        if entry is None:
+            self._fail_all_pending(
+                f"serial mismatch: reply {message.serial} matches no outstanding call"
+            )
+            return
+        if out_of_order and self.metrics is not None:
+            self._m_ooo.inc()
+        entry.resolve("reply", raw=data)
+
+    def _on_reply_lost(self, token: Any, reason: str) -> None:
+        """Channel notification that a pending reply can never arrive."""
+        with self._lock:
+            entry = self._pending.pop(token, None)
+        if entry is None:
+            return
+        if reason == "closed":
+            entry.resolve("closed", reason="connection closed with the call in flight")
+        else:
+            entry.resolve("lost")
+
+    def _fail_all_pending(self, why: str) -> None:
+        """Async-path desync: no frame can be trusted to correlate any
+        more, so the channel closes and every waiter fails loudly."""
+        reason = f"{why} (channel closed: reply stream desynchronized)"
+        with self._lock:
+            entries = list(self._pending.values())
+            self._pending.clear()
+        self._channel.abandon()
+        for entry in entries:
+            entry.resolve("desync", reason=reason)
 
     def _desynchronize(self, why: str) -> None:
         """The reply stream can no longer be trusted: close the channel

@@ -1,18 +1,30 @@
 """RPC server: procedure dispatch on the daemon side.
 
-Each incoming CALL frame is unpacked, routed to the registered handler
-(optionally through a workerpool, with per-procedure priority — the
-guaranteed-finish lane for critical operations like ``domain.destroy``),
+Each incoming CALL frame is unpacked, routed to the registered handler,
 and answered with a REPLY frame.  Failures travel as structured error
 bodies, rebuilt into the matching exception class client-side.
+
+With a workerpool attached, dispatch is *asynchronous*: the call is
+submitted to the pool and the dispatcher returns immediately, so one
+slow handler never head-of-line-blocks the connection.  The REPLY frame
+is delivered when the job completes — replies may therefore leave in
+any order, correlated by serial on the client (exactly how libvirtd
+dispatches through ``virThreadPool``).  Each connection gets an
+in-flight window mirroring libvirtd's ``max_client_requests``: calls
+beyond the window queue (up to a bound) and are rejected past that,
+providing backpressure instead of unbounded memory growth.  Without a
+pool, dispatch stays fully synchronous (handler runs inline, reply is
+the return value).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
+import weakref
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, Optional, Tuple
 
-from repro.errors import RPCError, VirtError
+from repro.errors import InvalidArgumentError, RPCError, VirtError
 from repro.rpc.protocol import (
     KEEPALIVE_PING,
     MessageType,
@@ -23,7 +35,7 @@ from repro.rpc.protocol import (
     procedure_name,
     procedure_number,
 )
-from repro.rpc.transport import ServerConnection
+from repro.rpc.transport import ASYNC_REPLY, ServerConnection
 from repro.util.threadpool import WorkerPool
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
@@ -31,6 +43,45 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.observability.tracing import Tracer
 
 Handler = Callable[[ServerConnection, Any], Any]
+
+#: libvirtd's default ``max_client_requests``
+DEFAULT_MAX_CLIENT_REQUESTS = 5
+#: queued-call bound beyond the window before calls are rejected
+DEFAULT_MAX_QUEUED_REQUESTS = 64
+
+
+class _DispatchJob:
+    """One unpacked call travelling through the pooled dispatch path."""
+
+    __slots__ = ("handler", "message", "label", "priority", "frame_index", "started")
+
+    def __init__(
+        self,
+        handler: Handler,
+        message: RPCMessage,
+        label: str,
+        priority: bool,
+        frame_index: "Optional[int]",
+        started: float,
+    ) -> None:
+        self.handler = handler
+        self.message = message
+        self.label = label
+        self.priority = priority
+        self.frame_index = frame_index
+        self.started = started
+
+
+class _InflightWindow:
+    """Per-connection in-flight accounting (``max_client_requests``)."""
+
+    __slots__ = ("lock", "inflight", "queue", "peak")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.inflight = 0
+        self.queue: "Deque[_DispatchJob]" = deque()
+        self.peak = 0
 
 
 class RPCServer:
@@ -42,12 +93,22 @@ class RPCServer:
         metrics: "Optional[MetricsRegistry]" = None,
         tracer: "Optional[Tracer]" = None,
         name: str = "rpc",
+        max_client_requests: int = DEFAULT_MAX_CLIENT_REQUESTS,
+        max_queued_requests: int = DEFAULT_MAX_QUEUED_REQUESTS,
     ) -> None:
+        _validate_window(max_client_requests, max_queued_requests)
         self._procedures: Dict[int, Tuple[Handler, bool]] = {}
         self._pool = pool
         self._lock = threading.Lock()
+        self._windows: "weakref.WeakKeyDictionary[ServerConnection, _InflightWindow]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self.max_client_requests = max_client_requests
+        self.max_queued_requests = max_queued_requests
         self.calls_served = 0
         self.calls_failed = 0
+        self.calls_queued = 0
+        self.calls_rejected = 0
         self.pings_answered = 0
         #: optional hook fired on every keepalive PING (activity tracking)
         self.on_ping: "Optional[Callable[[ServerConnection], None]]" = None
@@ -71,6 +132,17 @@ class RPCServer:
                 "Keepalive PINGs answered inline",
                 ("server",),
             )
+            self._m_backpressure = metrics.counter(
+                "rpc_server_backpressure_total",
+                "Calls that hit the per-connection in-flight window",
+                ("server", "outcome"),
+            )
+            inflight = metrics.gauge(
+                "rpc_server_inflight_calls",
+                "Calls executing or queued behind the in-flight window",
+                ("server",),
+            )
+            inflight.labels(server=name).set_function(self.inflight_calls)
 
     def _procedure_label(self, number: int) -> str:
         try:
@@ -83,6 +155,8 @@ class RPCServer:
         with self._lock:
             self.calls_served = 0
             self.calls_failed = 0
+            self.calls_queued = 0
+            self.calls_rejected = 0
             self.pings_answered = 0
 
     def register(self, name: str, handler: Handler, priority: bool = False) -> None:
@@ -102,11 +176,58 @@ class RPCServer:
     def attach(self, conn: ServerConnection) -> None:
         """Wire a freshly accepted connection into this dispatcher."""
         conn.set_handler(lambda data: self.dispatch(conn, data))
+        self._window(conn)
+
+    # -- in-flight window --------------------------------------------------
+
+    def _window(self, conn: ServerConnection) -> _InflightWindow:
+        with self._lock:
+            window = self._windows.get(conn)
+            if window is None:
+                window = _InflightWindow()
+                self._windows[conn] = window
+            return window
+
+    def set_max_client_requests(self, value: int) -> None:
+        """Adjust the per-connection window at runtime (admin API);
+        queued calls that now fit are dispatched immediately."""
+        _validate_window(value, self.max_queued_requests)
+        with self._lock:
+            self.max_client_requests = value
+            pairs = list(self._windows.items())
+        for conn, window in pairs:
+            self._pump(conn, window)
+
+    def inflight_calls(self) -> int:
+        """Calls currently executing or queued, across all connections."""
+        with self._lock:
+            windows = list(self._windows.values())
+        total = 0
+        for window in windows:
+            with window.lock:
+                total += window.inflight + len(window.queue)
+        return total
+
+    def _record_backpressure(self, outcome: str) -> None:
+        with self._lock:
+            if outcome == "queued":
+                self.calls_queued += 1
+            else:
+                self.calls_rejected += 1
+        if self.metrics is not None:
+            self._m_backpressure.labels(server=self.name, outcome=outcome).inc()
 
     # -- dispatch pipeline ------------------------------------------------
 
-    def dispatch(self, conn: ServerConnection, data: bytes) -> bytes:
-        """The full server-side path: unpack → execute → pack reply."""
+    def dispatch(self, conn: ServerConnection, data: bytes) -> Any:
+        """The server-side entry: unpack → route → reply.
+
+        Returns the packed REPLY bytes when the call was answered
+        inline (no pool, keepalive, early errors), or
+        :data:`~repro.rpc.transport.ASYNC_REPLY` when the reply will be
+        delivered through :meth:`ServerConnection.send_reply` once a
+        worker finishes the job.
+        """
         try:
             message = RPCMessage.unpack(data)
         except VirtError as exc:
@@ -128,45 +249,115 @@ class RPCServer:
                 RPCError(f"procedure {message.procedure} not registered"),
             )
         handler, priority = entry
-        label = self._procedure_label(message.procedure)
-        started = conn.channel.clock.now()
+        job = _DispatchJob(
+            handler,
+            message,
+            self._procedure_label(message.procedure),
+            priority,
+            conn.current_frame_index,
+            conn.channel.clock.now(),
+        )
+        if self._pool is None:
+            return self._execute(conn, job)
+        window = self._window(conn)
+        with window.lock:
+            if window.inflight >= self.max_client_requests:
+                if len(window.queue) >= self.max_queued_requests:
+                    self._record_backpressure("rejected")
+                    return self._error_reply(
+                        message.procedure,
+                        message.serial,
+                        RPCError(
+                            f"max_client_requests exceeded: "
+                            f"{self.max_client_requests} calls in flight and "
+                            f"{len(window.queue)} queued on this connection"
+                        ),
+                    )
+                window.queue.append(job)
+                self._record_backpressure("queued")
+                return ASYNC_REPLY
+            window.inflight += 1
+            window.peak = max(window.peak, window.inflight)
+        self._submit_job(conn, window, job)
+        return ASYNC_REPLY
+
+    def _submit_job(self, conn: ServerConnection, window: _InflightWindow, job: _DispatchJob) -> bool:
+        try:
+            self._pool.submit(self._run_async, conn, window, job, priority=job.priority)
+            return True
+        except VirtError as exc:
+            # pool shut down under us: answer instead of leaving the
+            # client to wait out its deadline
+            with window.lock:
+                window.inflight -= 1
+            conn.send_reply(
+                self._error_reply(job.message.procedure, job.message.serial, exc),
+                job.frame_index,
+            )
+            return False
+
+    def _run_async(self, conn: ServerConnection, window: _InflightWindow, job: _DispatchJob) -> None:
+        """Pool-job body: execute, reply, then let a queued call in."""
+        try:
+            conn.send_reply(self._execute(conn, job), job.frame_index)
+        finally:
+            with window.lock:
+                window.inflight -= 1
+            self._pump(conn, window)
+
+    def _pump(self, conn: ServerConnection, window: _InflightWindow) -> None:
+        """Move queued calls into the pool while the window has room."""
+        while True:
+            with window.lock:
+                if not window.queue or window.inflight >= self.max_client_requests:
+                    return
+                job = window.queue.popleft()
+                window.inflight += 1
+                window.peak = max(window.peak, window.inflight)
+            if not self._submit_job(conn, window, job):
+                return
+
+    def _execute(self, conn: ServerConnection, job: _DispatchJob) -> bytes:
+        """Run the handler and pack the REPLY; records span, counters,
+        and dispatch latency on both the OK and the error outcome."""
+        message = job.message
         span = (
-            self.tracer.span("rpc.dispatch", procedure=label, priority=priority)
+            self.tracer.span("rpc.dispatch", procedure=job.label, priority=job.priority)
             if self.tracer is not None
             else None
         )
+        failure: "Optional[VirtError]" = None
+        result: Any = None
         try:
-            if self._pool is not None:
-                future = self._pool.submit(handler, conn, message.body, priority=priority)
-                result = future.result()
-            else:
-                result = handler(conn, message.body)
+            result = job.handler(conn, message.body)
         except VirtError as exc:
-            if span is not None:
-                span.__exit__(type(exc), exc, None)
-            return self._error_reply(message.procedure, message.serial, exc)
+            failure = exc
         except Exception as exc:  # noqa: BLE001 - internal errors cross the wire too
-            if span is not None:
-                span.__exit__(type(exc), exc, None)
-            wrapped = VirtError(f"internal error: {exc}")
-            return self._error_reply(message.procedure, message.serial, wrapped)
+            failure = VirtError(f"internal error: {exc}")
         if span is not None:
-            span.__exit__(None, None, None)
-        with self._lock:
-            self.calls_served += 1
+            if failure is not None:
+                span.__exit__(type(failure), failure, None)
+            else:
+                span.__exit__(None, None, None)
+        if failure is not None:
+            reply = self._error_reply(message.procedure, message.serial, failure)
+        else:
+            with self._lock:
+                self.calls_served += 1
+            if self.metrics is not None:
+                self._m_calls.labels(server=self.name, procedure=job.label, status="ok").inc()
+            reply = RPCMessage(
+                message.procedure,
+                MessageType.REPLY,
+                message.serial,
+                ReplyStatus.OK,
+                result,
+            ).pack()
         if self.metrics is not None:
-            self._m_calls.labels(server=self.name, procedure=label, status="ok").inc()
-            self._m_latency.labels(server=self.name, procedure=label).observe(
-                conn.channel.clock.now() - started
+            self._m_latency.labels(server=self.name, procedure=job.label).observe(
+                conn.channel.clock.now() - job.started
             )
-        reply = RPCMessage(
-            message.procedure,
-            MessageType.REPLY,
-            message.serial,
-            ReplyStatus.OK,
-            result,
-        )
-        return reply.pack()
+        return reply
 
     def _handle_keepalive(self, conn: ServerConnection, message: RPCMessage) -> Optional[bytes]:
         """Answer PING with PONG on the spot — never through the pool,
@@ -206,3 +397,14 @@ class RPCServer:
         """Push an EVENT frame to one connected client."""
         message = RPCMessage(event_id, MessageType.EVENT, 0, ReplyStatus.OK, body)
         conn.push(message.pack())
+
+
+def _validate_window(max_client_requests: int, max_queued_requests: int) -> None:
+    if not isinstance(max_client_requests, int) or max_client_requests < 1:
+        raise InvalidArgumentError(
+            f"max_client_requests must be a positive integer, got {max_client_requests!r}"
+        )
+    if not isinstance(max_queued_requests, int) or max_queued_requests < 0:
+        raise InvalidArgumentError(
+            f"max_queued_requests must be a non-negative integer, got {max_queued_requests!r}"
+        )

@@ -19,12 +19,13 @@ ssh       + exec ssh + auth RTT + ssh framing    ~0.3 GiB/s
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import (
     AuthenticationError,
     ConnectionClosedError,
     InvalidArgumentError,
+    RPCError,
     TransportHangError,
     TransportStalledError,
 )
@@ -37,6 +38,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: modelled stand-in for "blocked forever": a client with no deadline
 #: and no keepalive charges a full day of simulated time on a dead link
 HANG_SECONDS = 86400.0
+
+#: sentinel a message handler returns when the REPLY frame will be
+#: produced later (pooled dispatch) and delivered through
+#: :meth:`ServerConnection.send_reply` instead of the handler's return
+ASYNC_REPLY: Any = object()
 
 
 class TransportSpec:
@@ -96,23 +102,49 @@ class ServerConnection:
         self.closed = False
         self.bytes_in = 0
         self.bytes_out = 0
+        # per-thread dispatch context: the frame index of the message a
+        # handler is currently processing on this thread, so a pooled
+        # dispatcher can echo it back through send_reply
+        self._dispatch_ctx = threading.local()
 
     def set_handler(self, handler: Callable[[bytes], Optional[bytes]]) -> None:
         """Install the message handler (called once per client frame)."""
         self._handler = handler
 
-    def handle(self, data: bytes) -> Optional[bytes]:
+    @property
+    def current_frame_index(self) -> "Optional[int]":
+        """The frame index being handled on the calling thread (if any)."""
+        return getattr(self._dispatch_ctx, "frame_index", None)
+
+    def handle(self, data: bytes, frame_index: "Optional[int]" = None) -> Optional[bytes]:
         if self.closed:
             raise ConnectionClosedError("server side of the connection is closed")
         if self._handler is None:
             raise ConnectionClosedError("no message handler installed")
         self.bytes_in += len(data)
         self.listener._record_bytes(received=len(data))
-        reply = self._handler(data)
-        if reply is not None:
+        self._dispatch_ctx.frame_index = frame_index
+        try:
+            reply = self._handler(data)
+        finally:
+            self._dispatch_ctx.frame_index = None
+        if reply is not None and reply is not ASYNC_REPLY:
             self.bytes_out += len(reply)
             self.listener._record_bytes(sent=len(reply))
         return reply
+
+    def send_reply(self, data: bytes, frame_index: "Optional[int]") -> None:
+        """Deliver an asynchronously produced REPLY frame to the client.
+
+        A reply for a connection that has since closed vanishes, like
+        bytes written to a half-closed socket — the client side charges
+        its own deadline instead.
+        """
+        if self.closed or self.channel.closed or frame_index is None:
+            return
+        self.bytes_out += len(data)
+        self.listener._record_bytes(sent=len(data))
+        self.channel._deliver_reply(data, frame_index)
 
     def push(self, data: bytes) -> None:
         """Server-initiated message (events) to the client."""
@@ -129,6 +161,7 @@ class ServerConnection:
         self.closed = True
         self.channel.closed = True
         self.listener._forget(self)
+        self.channel._fail_inflight("closed")
 
 
 class Channel:
@@ -142,7 +175,15 @@ class Channel:
         #: silently cut: the peer is gone but this side was never told
         self.severed = False
         self._event_handler: "Optional[Callable[[bytes], None]]" = None
+        #: receives asynchronously delivered REPLY frames (pooled dispatch)
+        self._reply_handler: "Optional[Callable[[bytes], None]]" = None
+        #: told (token, reason) when a pending reply can never arrive;
+        #: reason is "lost" (silent link death) or "closed" (clean close)
+        self._reply_lost_handler: "Optional[Callable[[Any, str], None]]" = None
         self._faults: "Optional[FaultPlan]" = None
+        #: frame index → caller-supplied correlation token, for frames
+        #: whose reply is still owed by the server
+        self._inflight: Dict[int, Any] = {}
         self.bytes_sent = 0
         self.bytes_received = 0
         self.frames_sent = 0
@@ -172,19 +213,30 @@ class Channel:
         if conn is not None and not conn.closed:
             conn.closed = True
             conn.listener._forget(conn)
+        self._fail_inflight("lost")
 
     def abandon(self) -> None:
         """Close this side only — for links already declared dead, where
         reaching through to the peer would be cheating the simulation."""
         self.closed = True
+        self._fail_inflight("closed")
 
-    def _stall(self, wait_bound: "Optional[float]", what: str) -> None:
-        """No reply is ever coming; charge the wait and raise."""
+    def _record_lost_frame(self) -> None:
         with self._lock:
             self.frames_lost += 1
         conn = self._server_conn
         if conn is not None:
             conn.listener._record_loss()
+
+    def charge_stall(self, wait_bound: "Optional[float]", what: str) -> None:
+        """The reply is known lost; charge the caller's wait and raise.
+
+        With a bound, exactly the remaining wait is charged and
+        :class:`~repro.errors.TransportStalledError` raised; without
+        one, :data:`HANG_SECONDS` and
+        :class:`~repro.errors.TransportHangError` — the deterministic
+        model of a client hanging forever.
+        """
         if wait_bound is None:
             self.clock.sleep(HANG_SECONDS)
             raise TransportHangError(
@@ -196,23 +248,65 @@ class Channel:
             self.clock.sleep(wait_bound - now)
         raise TransportStalledError(f"{what}: no reply within wait bound")
 
+    def _stall(self, wait_bound: "Optional[float]", what: str) -> None:
+        """No reply is ever coming; charge the wait and raise."""
+        self._record_lost_frame()
+        self.charge_stall(wait_bound, what)
+
+    def _fail_inflight(self, reason: str) -> None:
+        """Resolve every reply still owed on this channel as undeliverable."""
+        with self._lock:
+            entries = list(self._inflight.items())
+            self._inflight.clear()
+        handler = self._reply_lost_handler
+        for _frame_index, token in entries:
+            if reason == "lost":
+                self._record_lost_frame()
+            if handler is not None:
+                handler(token, reason)
+
+    @property
+    def inflight_requests(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
     # -- calls -------------------------------------------------------------
 
     def call_bytes(self, data: bytes, wait_bound: "Optional[float]" = None) -> Optional[bytes]:
         """Deliver one frame and return the reply frame, charging latency.
 
-        ``wait_bound`` is the absolute modelled time the caller is
-        willing to block until; when the reply is lost the channel
-        charges exactly that wait and raises
-        :class:`~repro.errors.TransportStalledError`.  Without a bound a
-        lost reply costs :data:`HANG_SECONDS` and raises
-        :class:`~repro.errors.TransportHangError` — the deterministic
-        model of a client hanging forever.
+        The fully synchronous form of :meth:`send_request`: only valid
+        against servers that answer inline (no workerpool).  ``wait_bound``
+        is the absolute modelled time the caller is willing to block
+        until; when the reply is lost the channel charges exactly that
+        wait and raises :class:`~repro.errors.TransportStalledError`
+        (:class:`~repro.errors.TransportHangError` without a bound).
+        """
+        reply, pending = self.send_request(data, wait_bound=wait_bound)
+        if pending:
+            raise RPCError(
+                "server dispatched the call asynchronously; "
+                "call_bytes cannot correlate deferred replies"
+            )
+        return reply
+
+    def send_request(
+        self,
+        data: bytes,
+        wait_bound: "Optional[float]" = None,
+        token: Any = None,
+    ) -> "Tuple[Optional[bytes], bool]":
+        """Deliver one frame; returns ``(inline_reply, pending)``.
+
+        ``pending=True`` means the server deferred the reply to its
+        workerpool: the REPLY frame will arrive later through the
+        reply handler (or the reply-lost handler), correlated by the
+        caller-supplied opaque ``token``.
         """
         if self.closed:
             raise ConnectionClosedError(f"{self.spec.name} channel is closed")
-        frame_index = self.frames_sent
         with self._lock:
+            frame_index = self.frames_sent
             self.frames_sent += 1
         plan = self._faults
         extra_delay = 0.0
@@ -243,11 +337,26 @@ class Channel:
         self.clock.sleep(self.spec.message_latency(len(data)) + extra_delay)
         with self._lock:
             self.bytes_sent += len(data)
-        reply = self._server_conn.handle(data)
-        if duplicate:
+            # register before handing the frame over: a pooled server may
+            # finish the job and deliver the reply before handle() returns
+            self._inflight[frame_index] = token
+        try:
+            reply = self._server_conn.handle(data, frame_index=frame_index)
+            if duplicate:
+                with self._lock:
+                    self.bytes_sent += len(data)
+                # the duplicate's inline reply is discarded here; a deferred
+                # duplicate reply is dropped in _deliver_reply because the
+                # frame resolves on first delivery
+                self._server_conn.handle(data, frame_index=frame_index)
+        except BaseException:
             with self._lock:
-                self.bytes_sent += len(data)
-            self._server_conn.handle(data)  # duplicate's reply is discarded
+                self._inflight.pop(frame_index, None)
+            raise
+        if reply is ASYNC_REPLY:
+            return None, True
+        with self._lock:
+            self._inflight.pop(frame_index, None)
         if plan is not None:
             from repro.faults.plan import FaultKind
 
@@ -263,11 +372,61 @@ class Channel:
             if decision.kind is FaultKind.CORRUPT and reply is not None:
                 reply = plan.corrupt_bytes(reply)
         if reply is None:
-            return None
+            return None, False
         self.clock.sleep(self.spec.message_latency(len(reply)))
         with self._lock:
             self.bytes_received += len(reply)
-        return reply
+        return reply, False
+
+    def set_reply_handler(self, handler: Callable[[bytes], None]) -> None:
+        """Install the sink for asynchronously delivered REPLY frames."""
+        self._reply_handler = handler
+
+    def set_reply_lost_handler(self, handler: "Callable[[Any, str], None]") -> None:
+        """Install the sink for replies that can never arrive."""
+        self._reply_lost_handler = handler
+
+    def _deliver_reply(self, data: bytes, frame_index: int) -> None:
+        """Server-side delivery of a deferred REPLY frame.
+
+        Runs on the worker thread that finished the job: correlates the
+        frame with its request, applies recv-direction fault decisions,
+        charges the reply latency, and hands the frame to the reply
+        handler.  Unknown frames (duplicates, already-failed requests)
+        are dropped silently.
+        """
+        with self._lock:
+            token = self._inflight.pop(frame_index, None)
+        if token is None:
+            return
+        lost = False
+        plan = self._faults
+        if plan is not None:
+            from repro.faults.plan import FaultKind
+
+            decision = plan.decide("recv", frame_index, self.clock.now())
+            if decision.kind is not None:
+                self._record_fault(decision.kind.value)
+            if decision.kind is FaultKind.SEVER:
+                self.sever()
+            if decision.kind in (FaultKind.SEVER, FaultKind.DROP) or plan.blackholed:
+                lost = True
+            elif decision.kind is FaultKind.DELAY:
+                self.clock.sleep(decision.delay)
+            elif decision.kind is FaultKind.CORRUPT:
+                data = plan.corrupt_bytes(data)
+        if self.closed or self.severed:
+            lost = True
+        if lost:
+            self._record_lost_frame()
+            if self._reply_lost_handler is not None:
+                self._reply_lost_handler(token, "lost")
+            return
+        self.clock.sleep(self.spec.message_latency(len(data)))
+        with self._lock:
+            self.bytes_received += len(data)
+        if self._reply_handler is not None:
+            self._reply_handler(data)
 
     def set_event_handler(self, handler: Callable[[bytes], None]) -> None:
         self._event_handler = handler
@@ -287,6 +446,7 @@ class Channel:
         if self.closed:
             return
         self.closed = True
+        self._fail_inflight("closed")
         if not self.severed:
             self._server_conn.close()
 

@@ -14,7 +14,7 @@ import struct
 from typing import Any, Dict, List
 
 from repro.errors import RPCError
-from repro.util.typedparams import ParamType, TypedParameter
+from repro.util.typedparams import ParamType, TypedParameter, TypedParamList
 
 _PAD = b"\x00\x00\x00"
 
@@ -168,7 +168,9 @@ class XdrDecoder:
         value = self._take(size)
         pad = (-size) % 4
         if pad:
-            self._take(pad)
+            padding = self._take(pad)
+            if padding != _PAD[:pad]:
+                raise RPCError("non-zero XDR padding")
         return value
 
     def unpack_string(self) -> str:
@@ -208,6 +210,10 @@ def _encode_into(enc: XdrEncoder, value: Any) -> None:
     elif isinstance(value, bytes):
         enc.pack_uint(_TAG_BYTES)
         enc.pack_opaque(value)
+    elif isinstance(value, TypedParamList):
+        if not all(isinstance(v, TypedParameter) for v in value):
+            raise RPCError("TypedParamList may only hold TypedParameter items")
+        _encode_typed_params(enc, list(value))
     elif isinstance(value, (list, tuple)):
         if value and all(isinstance(v, TypedParameter) for v in value):
             _encode_typed_params(enc, list(value))
@@ -294,9 +300,9 @@ def _decode_from(dec: XdrDecoder) -> Any:
     raise RPCError(f"unknown XDR value tag {tag}")
 
 
-def _decode_typed_params(dec: XdrDecoder) -> List[TypedParameter]:
+def _decode_typed_params(dec: XdrDecoder) -> "TypedParamList":
     count = dec.unpack_uint()
-    params: List[TypedParameter] = []
+    params = TypedParamList()
     for _ in range(count):
         field = dec.unpack_string()
         ptype = ParamType(dec.unpack_uint())

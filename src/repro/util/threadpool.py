@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional
 
 from repro.errors import InvalidArgumentError, InvalidOperationError, OperationAbortedError
@@ -105,6 +105,7 @@ class WorkerPool:
         self._quit = False
         self._threads: List[threading.Thread] = []
         self._jobs_completed = 0
+        self._jobs_cancelled = 0
         with self._cond:
             for _ in range(min_workers):
                 self._spawn_locked(priority=False)
@@ -184,6 +185,11 @@ class WorkerPool:
         with self._lock:
             return self._jobs_completed
 
+    @property
+    def jobs_cancelled(self) -> int:
+        with self._lock:
+            return self._jobs_cancelled
+
     def shutdown(self, wait: bool = True) -> None:
         """Stop the pool.
 
@@ -202,8 +208,9 @@ class WorkerPool:
                 cancelled = []
             self._cond.notify_all()
         for job in cancelled:
-            job.future.set_exception(
-                OperationAbortedError("workerpool shut down before job ran")
+            _deliver(
+                job.future.set_exception,
+                OperationAbortedError("workerpool shut down before job ran"),
             )
         for thread in list(self._threads):
             thread.join(timeout=10.0)
@@ -248,6 +255,12 @@ class WorkerPool:
                         self._n_workers -= 1
                     self._cond.notify_all()
                     break
+            # a Future cancelled while queued must not execute — and must
+            # not kill this worker with InvalidStateError on delivery
+            if not job.future.set_running_or_notify_cancel():
+                with self._lock:
+                    self._jobs_cancelled += 1
+                continue
             started = 0.0
             if self.metrics is not None:
                 started = self._now()
@@ -257,9 +270,9 @@ class WorkerPool:
             try:
                 result = job.func(*job.args, **job.kwargs)
             except BaseException as exc:  # noqa: BLE001 - forwarded via the future
-                job.future.set_exception(exc)
+                _deliver(job.future.set_exception, exc)
             else:
-                job.future.set_result(result)
+                _deliver(job.future.set_result, result)
             if self.metrics is not None:
                 self._m_service.labels(pool=self.name).observe(
                     max(0.0, self._now() - started)
@@ -285,6 +298,16 @@ class WorkerPool:
             finally:
                 if not priority:
                     self._free_workers -= 1
+
+
+def _deliver(setter: Callable[[Any], None], payload: Any) -> None:
+    """Resolve a Future, tolerating one already cancelled/resolved —
+    an InvalidStateError here used to kill the worker thread and leak
+    its ``_n_workers`` slot."""
+    try:
+        setter(payload)
+    except InvalidStateError:
+        pass
 
 
 def _validate_limits(min_workers: int, max_workers: int, prio_workers: int) -> None:

@@ -70,6 +70,20 @@ class TypedParameter:
         return hash((self.field, self.type, self.value))
 
 
+class TypedParamList(List[TypedParameter]):
+    """A list that *is* a typed-parameter set, even when empty.
+
+    The XDR value codec infers "typed params" from list contents, which
+    is ambiguous for ``[]`` — a plain empty list and an empty parameter
+    set encode identically and decode as a bare list, silently dropping
+    the type.  APIs that return parameter sets wrap them in this class
+    so the encoder emits the typed-params tag unconditionally and an
+    empty set round-trips as an empty set.
+    """
+
+    __slots__ = ()
+
+
 def _check_value(field: str, ptype: ParamType, value: Scalar) -> Scalar:
     """Validate and normalize ``value`` for ``ptype``."""
     if ptype == ParamType.BOOLEAN:

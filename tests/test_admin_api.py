@@ -135,6 +135,19 @@ class TestClientManagement:
         info = admin.lookup_server("libvirtd").clients_info()
         assert info["nclients_max"] == 150
 
+    def test_clients_info_reports_request_window(self, admin):
+        info = admin.lookup_server("libvirtd").clients_info()
+        assert info["max_client_requests"] == 5
+
+    def test_set_max_client_requests(self, admin, daemon):
+        admin.lookup_server("libvirtd").set_client_limits(max_client_requests=9)
+        assert daemon.get_max_client_requests("libvirtd") == 9
+        assert daemon.rpc.max_client_requests == 9
+        info = admin.lookup_server("libvirtd").clients_info()
+        assert info["max_client_requests"] == 9
+        # the admin server's own window is independent
+        assert admin.lookup_server("admin").clients_info()["max_client_requests"] == 5
+
     def test_client_list_and_info(self, admin, daemon):
         conn = repro.open_connection(
             "qemu+tcp://adminnode/system", {"addr": "10.9.8.7:555"}

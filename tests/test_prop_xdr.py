@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from repro.errors import RPCError
 from repro.rpc.protocol import MessageType, ReplyStatus, RPCMessage, split_frames
 from repro.rpc.xdr import XdrDecoder, XdrEncoder, decode_value, encode_value
-from repro.util.typedparams import ParamType, TypedParameter
+from repro.util.typedparams import ParamType, TypedParameter, TypedParamList
 
 # -- strategies ---------------------------------------------------------------
 
@@ -116,6 +116,59 @@ class TestPrimitiveRoundTrip:
         dec = XdrDecoder(enc.data())
         assert dec.unpack_opaque() == value
         dec.done()
+
+    @given(
+        st.binary(min_size=1, max_size=64).filter(lambda b: len(b) % 4),
+        st.integers(1, 255),
+    )
+    def test_fixed_opaque_rejects_nonzero_padding(self, value, junk):
+        """RFC 4506 §3: residual pad bytes MUST be zero.  A decoder
+        that tolerates garbage padding lets corrupt frames slip by."""
+        pad = (-len(value)) % 4
+        dirty = value + bytes([junk]) * pad
+        with pytest.raises(RPCError, match="non-zero XDR padding"):
+            XdrDecoder(dirty).unpack_fixed_opaque(len(value))
+        # the zero-padded form of the same payload decodes fine
+        clean = value + b"\x00" * pad
+        assert XdrDecoder(clean).unpack_fixed_opaque(len(value)) == value
+
+    @given(
+        st.binary(min_size=1, max_size=64).filter(lambda b: len(b) % 4),
+        st.integers(1, 255),
+    )
+    def test_variable_opaque_rejects_nonzero_padding(self, value, junk):
+        clean = XdrEncoder().pack_opaque(value).data()
+        pad = (-len(value)) % 4
+        dirty = clean[:-pad] + bytes([junk]) * pad
+        with pytest.raises(RPCError, match="non-zero XDR padding"):
+            XdrDecoder(dirty).unpack_opaque()
+
+
+class TestTypedParamListTag:
+    def test_empty_typed_params_keep_their_type(self):
+        """Regression: an empty typed-parameter set used to XDR-encode
+        as a generic empty list, so the receiver could no longer tell a
+        typed-params payload from a plain [] — and handlers validating
+        parameter fields got the wrong container type back."""
+        decoded = decode_value(encode_value(TypedParamList()))
+        assert isinstance(decoded, TypedParamList)
+        assert decoded == []
+
+    def test_empty_plain_list_stays_plain(self):
+        decoded = decode_value(encode_value([]))
+        assert decoded == []
+        assert not isinstance(decoded, TypedParamList)
+
+    @given(st.lists(typed_param_strategy(), max_size=6))
+    @settings(max_examples=100)
+    def test_typed_param_list_round_trip_any_size(self, params):
+        decoded = decode_value(encode_value(TypedParamList(params)))
+        assert isinstance(decoded, TypedParamList)
+        assert decoded == params
+
+    def test_mixed_content_rejected(self):
+        with pytest.raises(RPCError, match="TypedParamList may only hold"):
+            encode_value(TypedParamList([TypedParameter("a", ParamType.INT, 1), "rogue"]))
 
 
 class TestMessageFraming:

@@ -1,0 +1,366 @@
+"""Concurrent RPC dispatch: pooled servers, out-of-order replies,
+the per-connection in-flight window, and fault injection on the
+asynchronous reply path."""
+
+import threading
+import time
+
+import pytest
+
+from repro.daemon.libvirtd import Libvirtd
+from repro.errors import (
+    ConnectionClosedError,
+    InvalidArgumentError,
+    OperationTimeoutError,
+    RPCError,
+)
+from repro.faults.plan import FaultPlan
+from repro.observability.metrics import MetricsRegistry
+from repro.rpc.client import RPCClient
+from repro.rpc.server import RPCServer
+from repro.rpc.transport import Listener
+from repro.util.clock import ScaledWallClock, VirtualClock
+from repro.util.threadpool import WorkerPool
+
+
+@pytest.fixture()
+def clock():
+    return VirtualClock()
+
+
+def make_pair(clock, pool, handlers=None, plan=None, metrics=None, **server_kwargs):
+    server = RPCServer(pool=pool, metrics=metrics, **server_kwargs)
+    for name, fn in (handlers or {}).items():
+        server.register(name, fn)
+    listener = Listener("unix", clock=clock, metrics=metrics)
+    channel = listener.connect()
+    if plan is not None:
+        channel.install_fault_plan(plan)
+    server.attach(channel._server_conn)
+    client = RPCClient(channel, metrics=metrics)
+    return client, server, channel
+
+
+class TestOutOfOrderReplies:
+    def test_fast_reply_overtakes_slow_call(self, clock):
+        """A slow handler must not head-of-line-block a fast one; the
+        fast reply arrives first and is correlated by serial."""
+        gate = threading.Event()
+
+        def slow(conn, body):
+            gate.wait(timeout=30.0)
+            return "slow-done"
+
+        with WorkerPool(min_workers=2, max_workers=4) as pool:
+            client, server, _ = make_pair(
+                clock,
+                pool,
+                handlers={"domain.save": slow, "connect.ping": lambda c, b: b},
+            )
+            pending_slow = client.call_async("domain.save")
+            # the fast call completes while the slow one is still gated
+            assert client.call("connect.ping", "hi") == "hi"
+            assert not pending_slow.done()
+            assert client.replies_out_of_order >= 1
+            gate.set()
+            assert pending_slow.result() == "slow-done"
+            assert server.calls_served == 2
+
+    def test_pipelined_calls_correlate_by_serial(self, clock):
+        """Many interleaved replies each land on their own call."""
+        with WorkerPool(min_workers=4, max_workers=8) as pool:
+            client, _, _ = make_pair(
+                clock, pool, handlers={"connect.ping": lambda c, b: {"echo": b}}
+            )
+            handles = [client.call_async("connect.ping", i) for i in range(16)]
+            for i, handle in enumerate(handles):
+                assert handle.result() == {"echo": i}
+            assert client.calls_in_flight == 0
+
+    def test_result_is_idempotent(self, clock):
+        with WorkerPool(min_workers=1, max_workers=2) as pool:
+            client, _, _ = make_pair(
+                clock, pool, handlers={"connect.ping": lambda c, b: 42}
+            )
+            handle = client.call_async("connect.ping")
+            assert handle.result() == 42
+            assert handle.result() == 42
+            assert handle.done()
+
+    def test_keepalive_answered_inline_while_workers_busy(self, clock):
+        """PING never goes through the pool: liveness is provable even
+        with every worker wedged (the virKeepAlive contract)."""
+        gate = threading.Event()
+
+        def wedge(conn, body):
+            gate.wait(timeout=30.0)
+            return None
+
+        with WorkerPool(min_workers=1, max_workers=1) as pool:
+            client, server, _ = make_pair(clock, pool, handlers={"domain.save": wedge})
+            pending = client.call_async("domain.save")
+            assert client.send_ping() is True
+            assert server.pings_answered == 1
+            gate.set()
+            assert pending.result() is None
+
+
+class TestInflightWindow:
+    def test_calls_beyond_window_queue_then_reject(self, clock):
+        gate = threading.Event()
+
+        def slow(conn, body):
+            gate.wait(timeout=30.0)
+            return body
+
+        with WorkerPool(min_workers=2, max_workers=4) as pool:
+            client, server, _ = make_pair(
+                clock,
+                pool,
+                handlers={"domain.save": slow},
+                max_client_requests=1,
+                max_queued_requests=1,
+            )
+            first = client.call_async("domain.save", "a")
+            second = client.call_async("domain.save", "b")  # queued
+            third = client.call_async("domain.save", "c")  # rejected
+            with pytest.raises(RPCError, match="max_client_requests exceeded"):
+                third.result()
+            assert server.calls_queued == 1
+            assert server.calls_rejected == 1
+            assert server.inflight_calls() == 2
+            gate.set()
+            assert first.result() == "a"
+            assert second.result() == "b"
+            assert server.inflight_calls() == 0
+
+    def test_raising_window_dispatches_queued_calls(self, clock):
+        gates = {"a": threading.Event(), "b": threading.Event()}
+
+        def slow(conn, body):
+            gates[body].wait(timeout=30.0)
+            return body
+
+        with WorkerPool(min_workers=2, max_workers=4) as pool:
+            client, server, _ = make_pair(
+                clock, pool, handlers={"domain.save": slow}, max_client_requests=1
+            )
+            first = client.call_async("domain.save", "a")
+            second = client.call_async("domain.save", "b")
+            assert server.calls_queued == 1
+            server.set_max_client_requests(2)  # pumps the queue
+            gates["b"].set()
+            assert second.result() == "b"  # completes while "a" still runs
+            gates["a"].set()
+            assert first.result() == "a"
+
+    def test_window_validation(self, clock):
+        with pytest.raises(InvalidArgumentError, match="max_client_requests"):
+            RPCServer(max_client_requests=0)
+        server = RPCServer()
+        with pytest.raises(InvalidArgumentError, match="max_client_requests"):
+            server.set_max_client_requests(-3)
+
+    def test_backpressure_metrics(self, clock):
+        gate = threading.Event()
+        metrics = MetricsRegistry(now=clock.now)
+
+        def slow(conn, body):
+            gate.wait(timeout=30.0)
+
+        with WorkerPool(min_workers=2, max_workers=4) as pool:
+            client, _, _ = make_pair(
+                clock,
+                pool,
+                handlers={"domain.save": slow},
+                metrics=metrics,
+                max_client_requests=1,
+                max_queued_requests=0,
+            )
+            first = client.call_async("domain.save")
+            second = client.call_async("domain.save")
+            with pytest.raises(RPCError, match="max_client_requests"):
+                second.result()
+            rejected = metrics.get("rpc_server_backpressure_total").labels(
+                server="rpc", outcome="rejected"
+            )
+            assert rejected.value == 1
+            gate.set()
+            first.result()
+
+
+class TestDispatchMetrics:
+    def test_dispatch_histogram_observes_error_path(self, clock):
+        """Regression: the latency histogram used to skip failed calls,
+        hiding slow-and-failing procedures from the admin stats."""
+        metrics = MetricsRegistry(now=clock.now)
+
+        def boom(conn, body):
+            clock.sleep(0.25)
+            raise RPCError("nope")
+
+        client, _, _ = make_pair(clock, None, handlers={"connect.ping": boom}, metrics=metrics)
+        with pytest.raises(RPCError, match="nope"):
+            client.call("connect.ping")
+        (labels, child), = metrics.get("rpc_server_dispatch_seconds").samples()
+        assert labels["procedure"] == "connect.ping"
+        summary = child.summary()
+        assert summary["count"] == 1
+        assert summary["sum"] == pytest.approx(0.25)
+
+    def test_out_of_order_counter_exported(self, clock):
+        gate = threading.Event()
+        metrics = MetricsRegistry(now=clock.now)
+
+        def slow(conn, body):
+            gate.wait(timeout=30.0)
+
+        with WorkerPool(min_workers=2, max_workers=4) as pool:
+            client, _, _ = make_pair(
+                clock,
+                pool,
+                handlers={"domain.save": slow, "connect.ping": lambda c, b: b},
+                metrics=metrics,
+            )
+            pending = client.call_async("domain.save")
+            client.call("connect.ping")
+            gate.set()
+            pending.result()
+        assert metrics.get("rpc_client_out_of_order_replies_total").value >= 1
+
+
+class TestAsyncDeadlines:
+    def test_lost_async_reply_charges_exactly_the_deadline(self, clock):
+        """A dropped reply on the pooled path costs the caller exactly
+        its deadline in modelled time — same contract as sync dispatch."""
+        plan = FaultPlan().drop(direction="recv", frame=0)
+        with WorkerPool(min_workers=1, max_workers=2) as pool:
+            client, _, _ = make_pair(
+                clock, pool, handlers={"connect.ping": lambda c, b: b}, plan=plan
+            )
+            t0 = clock.now()
+            with pytest.raises(OperationTimeoutError, match="3s deadline"):
+                client.call("connect.ping", timeout=3.0)
+            assert clock.now() - t0 == pytest.approx(3.0)
+            assert client.timeouts == 1
+
+    def test_close_fails_calls_in_flight(self, clock):
+        gate = threading.Event()
+
+        def slow(conn, body):
+            gate.wait(timeout=30.0)
+
+        with WorkerPool(min_workers=1, max_workers=2) as pool:
+            client, _, channel = make_pair(clock, pool, handlers={"domain.save": slow})
+            pending = client.call_async("domain.save")
+            channel._server_conn.close()
+            with pytest.raises(ConnectionClosedError, match="in flight"):
+                pending.result()
+            gate.set()  # let the worker finish; its reply is dropped
+
+
+class TestFaultsOnAsyncPath:
+    def test_duplicate_call_yields_single_reply(self, clock):
+        """A duplicated CALL frame executes twice server-side but the
+        second deferred reply is dropped — first delivery wins."""
+        plan = FaultPlan().duplicate(direction="send", frame=0)
+        with WorkerPool(min_workers=2, max_workers=4) as pool:
+            client, server, _ = make_pair(
+                clock, pool, handlers={"connect.ping": lambda c, b: b}, plan=plan
+            )
+            assert client.call("connect.ping", "x") == "x"
+            # the duplicate's job finishes asynchronously; wait it out
+            deadline = time.monotonic() + 10.0
+            while server.calls_served < 2 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert server.calls_served == 2  # both executions ran
+            assert client.calls_made == 1
+
+    def test_delayed_reply_still_correlates(self, clock):
+        plan = FaultPlan().delay(0.75, direction="recv", frame=0)
+        with WorkerPool(min_workers=2, max_workers=4) as pool:
+            client, _, _ = make_pair(
+                clock, pool, handlers={"connect.ping": lambda c, b: b}, plan=plan
+            )
+            assert client.call("connect.ping", "late") == "late"
+
+    def test_severed_link_fails_pending_calls(self, clock):
+        gate = threading.Event()
+
+        def slow(conn, body):
+            gate.wait(timeout=30.0)
+
+        with WorkerPool(min_workers=1, max_workers=2) as pool:
+            client, _, channel = make_pair(clock, pool, handlers={"domain.save": slow})
+            pending = client.call_async("domain.save", timeout=2.0)
+            channel.sever()
+            gate.set()
+            with pytest.raises(OperationTimeoutError):
+                pending.result()
+            assert channel.frames_lost >= 1
+
+
+class TestDaemonSurface:
+    def test_server_stats_report_window_counters(self):
+        daemon = Libvirtd(hostname="stats-host", register=False)
+        stats = daemon.server_stats()["rpc"]
+        assert stats["max_client_requests"] == 5
+        assert stats["calls_queued"] == 0
+        assert stats["calls_rejected"] == 0
+        assert stats["calls_inflight"] == 0
+        daemon.shutdown()
+
+    def test_daemon_window_accessors(self):
+        daemon = Libvirtd(hostname="accessor-host", register=False, max_client_requests=3)
+        assert daemon.get_max_client_requests() == 3
+        daemon.set_max_client_requests(7)
+        assert daemon.rpc.max_client_requests == 7
+        with pytest.raises(InvalidArgumentError, match="no server named"):
+            daemon.get_max_client_requests("nope")
+        with pytest.raises(InvalidArgumentError, match="no server named"):
+            daemon.set_max_client_requests(4, server="nope")
+        daemon.shutdown()
+
+
+@pytest.mark.slow
+@pytest.mark.stress
+class TestSoak:
+    def test_interleaved_slow_fast_calls_under_faults(self):
+        """Soak: one pooled connection carrying interleaved slow and
+        fast procedures under a seeded fault plan (delays + duplicate
+        frames).  Every reply must land on its own call, out-of-order
+        deliveries must actually happen, and nothing may desync."""
+        clock = ScaledWallClock(scale=0.005)
+        plan = (
+            FaultPlan(seed=11)
+            .delay(0.4, direction="recv", probability=0.2)
+            .duplicate(direction="send", probability=0.1)
+        )
+
+        def worker_op(conn, body):
+            clock.sleep(body["sleep"])
+            return body["tag"]
+
+        with WorkerPool(min_workers=8, max_workers=8) as pool:
+            client, server, _ = make_pair(
+                clock,
+                pool,
+                handlers={"domain.save": worker_op},
+                plan=plan,
+                max_client_requests=8,
+                max_queued_requests=256,
+            )
+            handles = []
+            for i in range(48):
+                sleep = 0.6 if i % 4 == 0 else 0.05
+                handles.append(
+                    client.call_async(
+                        "domain.save", {"tag": i, "sleep": sleep}, timeout=120.0
+                    )
+                )
+            for i, handle in enumerate(handles):
+                assert handle.result() == i
+            assert client.replies_out_of_order > 0
+            assert client.calls_in_flight == 0
+            assert not client.dead
+            assert server.calls_served >= 48  # duplicates execute too

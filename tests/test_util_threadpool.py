@@ -214,3 +214,38 @@ class TestShutdown:
         pool = WorkerPool()
         pool.shutdown()
         pool.shutdown()
+
+
+class TestCancelledFutures:
+    def test_cancelled_queued_job_does_not_run_or_kill_worker(self):
+        """Regression: a Future cancelled while queued used to raise
+        InvalidStateError inside the worker loop, silently killing the
+        thread and leaking its _n_workers slot."""
+        gate = threading.Event()
+        ran = []
+        with WorkerPool(min_workers=1, max_workers=1) as pool:
+            blocker = pool.submit(gate.wait)
+            doomed = pool.submit(lambda: ran.append("doomed"))
+            assert doomed.cancel()
+            gate.set()
+            blocker.result(timeout=5)
+            assert wait_for(lambda: pool.jobs_cancelled == 1)
+            # the worker survived: it still executes new jobs and the
+            # pool's accounting never leaked the slot
+            assert pool.submit(lambda: "alive").result(timeout=5) == "alive"
+            assert pool.stats()["nWorkers"] == 1
+            assert ran == []
+
+    def test_abrupt_shutdown_tolerates_cancelled_pending_futures(self):
+        """shutdown(wait=False) delivers failures into queued futures;
+        one already cancelled by the caller must not blow up delivery."""
+        gate = threading.Event()
+        pool = WorkerPool(min_workers=1, max_workers=1)
+        running = pool.submit(gate.wait)
+        pending = pool.submit(lambda: "never")
+        assert wait_for(lambda: pool.stats()["jobQueueDepth"] == 1)
+        assert pending.cancel()
+        gate.set()
+        pool.shutdown(wait=False)  # used to raise InvalidStateError
+        running.result(timeout=5)
+        assert pending.cancelled()
