@@ -91,6 +91,25 @@ def collect_e5_dispatch():
     }
 
 
+def collect_o1():
+    """Tracing cost on the remote path.
+
+    The modelled figures are virtual-clock exact.  The wall-clock cost
+    gates as a pass/fail bit (within a generous ceiling) because the
+    raw number is runner noise; the benchmark itself asserts the same
+    ceiling with a hard failure."""
+    import bench_o1_trace_overhead as o1
+
+    modelled = o1.collect_modelled()
+    wall = o1.wall_overhead_per_call()
+    return {
+        "o1.trace.modelled_base_s": modelled["base"],
+        "o1.trace.modelled_spans_s": modelled["spans"],
+        "o1.trace.propagation_delta_s": modelled["prop"] - modelled["spans"],
+        "o1.trace.wall_within_ceiling": 1.0 if wall < o1.WALL_CEILING_S else 0.0,
+    }
+
+
 def collect_wall_informational():
     """Real management-layer CPU cost per cycle — reported, not gated."""
     import bench_e3_lifecycle_overhead as e3
@@ -153,6 +172,7 @@ def main(argv=None):
     current.update(collect_e3())
     current.update(collect_r1())
     current.update(collect_e5_dispatch())
+    current.update(collect_o1())
     info = {} if args.skip_wall else collect_wall_informational()
 
     if args.output:

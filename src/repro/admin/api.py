@@ -115,6 +115,17 @@ class AdminConnection:
         self._check_open()
         return self._client.call("admin.metrics_export")["text"]
 
+    def trace_list(self, limit: "Optional[int]" = None) -> List[Dict[str, Any]]:
+        """``trace-list``: one summary row per buffered trace."""
+        self._check_open()
+        body = {} if limit is None else {"limit": limit}
+        return self._client.call("admin.trace_list", body)
+
+    def trace_get(self, trace_id: int) -> List[Dict[str, Any]]:
+        """``trace-get``: every span of one trace (in-flight included)."""
+        self._check_open()
+        return self._client.call("admin.trace_get", {"trace_id": trace_id})
+
 
 class AdminServer:
     """Handle to one server object inside the daemon."""

@@ -201,21 +201,31 @@ def cmd_migrate(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -
     return 0
 
 
+_DOMSTATS_KEYS = (
+    "name",
+    "state",
+    "cpu_seconds",
+    "vcpus",
+    "memory_kib",
+    "max_memory_kib",
+    "disk_read_bytes",
+    "disk_write_bytes",
+    "net_rx_bytes",
+    "net_tx_bytes",
+)
+
+
 def cmd_domstats(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
-    stats = conn.lookup_domain(args.domain).get_stats()
-    for key in (
-        "name",
-        "state",
-        "cpu_seconds",
-        "vcpus",
-        "memory_kib",
-        "max_memory_kib",
-        "disk_read_bytes",
-        "disk_write_bytes",
-        "net_rx_bytes",
-        "net_tx_bytes",
-    ):
-        print(f"{key + ':':<18}{stats[key]}", file=out)
+    if args.domain is not None:
+        blocks = [conn.lookup_domain(args.domain).get_stats()]
+    else:
+        # no domain named: report every active domain (virsh domstats)
+        blocks = conn.get_all_domain_stats()
+    for index, stats in enumerate(blocks):
+        if index:
+            print(file=out)
+        for key in _DOMSTATS_KEYS:
+            print(f"{key + ':':<18}{stats[key]}", file=out)
     return 0
 
 
@@ -415,10 +425,11 @@ def build_parser() -> argparse.ArgumentParser:
         ("undefine", cmd_undefine),
         ("dominfo", cmd_dominfo),
         ("domstate", cmd_domstate),
-        ("domstats", cmd_domstats),
         ("dumpxml", cmd_dumpxml),
     ):
         add(name, fn, f"{name} a domain").add_argument("domain")
+    p = add("domstats", cmd_domstats, "domain stats (all active domains by default)")
+    p.add_argument("domain", nargs="?", default=None)
     p = add("schedinfo", cmd_schedinfo, "show/set scheduler parameters")
     p.add_argument("domain")
     p.add_argument("--cpu-shares", dest="cpu_shares", type=int)

@@ -12,11 +12,13 @@ connections, and the logging subsystem::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, TextIO
 
 from repro.admin import admin_open
 from repro.errors import VirtError
+from repro.observability.export import render_trace_tree
 
 
 def cmd_srv_list(conn, args, out: TextIO) -> int:
@@ -134,11 +136,17 @@ def cmd_server_stats(conn, args, out: TextIO) -> int:
                 file=out,
             )
     tracing = stats["tracing"]
-    print(
+    line = (
         f"Tracing: started={tracing['spans_started']} "
-        f"finished={tracing['spans_finished']} failed={tracing['spans_failed']}",
-        file=out,
+        f"finished={tracing['spans_finished']} failed={tracing['spans_failed']}"
     )
+    if "spans_propagated" in tracing:
+        line += (
+            f" propagated={tracing['spans_propagated']}"
+            f" orphaned={tracing['spans_orphaned']}"
+            f" open={tracing['spans_open']}"
+        )
+    print(line, file=out)
     return 0
 
 
@@ -174,6 +182,39 @@ def cmd_reset_stats(conn, args, out: TextIO) -> int:
 
 def cmd_metrics(conn, args, out: TextIO) -> int:
     out.write(conn.metrics_text())
+    return 0
+
+
+def cmd_trace_list(conn, args, out: TextIO) -> int:
+    rows = conn.trace_list(args.limit)
+    if args.json:
+        json.dump(rows, out, indent=2)
+        out.write("\n")
+        return 0
+    print(
+        f" {'TraceId':<8} {'Root':<22} {'Spans':<6} {'Open':<5} "
+        f"{'Errors':<7} {'Start':<12} Duration",
+        file=out,
+    )
+    print("-" * 76, file=out)
+    for row in rows:
+        print(
+            f" {row['trace_id']:<8} {row['root']:<22} {row['spans']:<6} "
+            f"{row['open']:<5} {row['errors']:<7} {row['start']:<12.6f} "
+            f"{row['duration']:.6f}s",
+            file=out,
+        )
+    return 0
+
+
+def cmd_trace_get(conn, args, out: TextIO) -> int:
+    spans = conn.trace_get(args.trace_id)
+    if args.json:
+        json.dump(spans, out, indent=2)
+        out.write("\n")
+        return 0
+    print(f"Trace {args.trace_id}: {len(spans)} spans", file=out)
+    print(render_trace_tree(spans), file=out)
     return 0
 
 
@@ -216,6 +257,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("id", type=int, nargs="?", default=None)
     add("reset-stats", cmd_reset_stats, "zero the daemon's metrics and spans")
     add("metrics", cmd_metrics, "dump the Prometheus exposition page")
+    p = add("trace-list", cmd_trace_list, "list buffered traces")
+    p.add_argument("--limit", type=int, default=None, help="show only the newest N traces")
+    p.add_argument("--json", action="store_true", help="emit JSON rows")
+    p = add("trace-get", cmd_trace_get, "show one trace as a span tree")
+    p.add_argument("trace_id", type=int)
+    p.add_argument("--json", action="store_true", help="emit raw span dicts as JSON")
     add("dmn-log-info", cmd_log_info, "show daemon logging settings")
     p = add("dmn-log-define", cmd_log_define, "change daemon logging settings")
     p.add_argument("--level", type=int)

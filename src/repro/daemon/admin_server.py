@@ -153,7 +153,18 @@ def register_admin_handlers(rpc: RPCServer, daemon: "Libvirtd") -> None:
         return {"content_type": "text/plain; version=0.0.4",
                 "text": daemon.metrics_text()}
 
+    def h_trace_list(conn: ServerConnection, body: Any) -> List[Dict[str, Any]]:
+        return daemon.trace_list((body or {}).get("limit"))
+
+    def h_trace_get(conn: ServerConnection, body: Any) -> List[Dict[str, Any]]:
+        body = body or {}
+        if "trace_id" not in body:
+            raise InvalidArgumentError("trace_get requires a trace_id")
+        return daemon.trace_get(body["trace_id"])
+
     rpc.register("admin.connect_open", h_open, priority=True)
+    rpc.register("admin.trace_list", h_trace_list, priority=True)
+    rpc.register("admin.trace_get", h_trace_get, priority=True)
     rpc.register("admin.srv_stats", h_srv_stats, priority=True)
     rpc.register("admin.client_stats", h_client_stats, priority=True)
     rpc.register("admin.reset_stats", h_reset_stats, priority=True)

@@ -10,6 +10,7 @@ lane, and fans lifecycle events out to subscribed clients.
 from __future__ import annotations
 
 import threading
+from contextlib import nullcontext
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.states import DomainEvent
@@ -55,7 +56,7 @@ class Libvirtd:
         self.clock = clock or VirtualClock()
         #: the daemon-wide instrument panel, stamped in modelled time
         self.metrics = MetricsRegistry(now=self.clock.now)
-        self.tracer = Tracer(self.clock.now)
+        self.tracer = Tracer(self.clock.now, metrics=self.metrics)
         self._m_driver_ops = self.metrics.histogram(
             "driver_op_seconds",
             "Modelled latency of driver operations, by backend and procedure",
@@ -462,8 +463,24 @@ class Libvirtd:
                 "spans_started": self.tracer.spans_started,
                 "spans_finished": self.tracer.spans_finished,
                 "spans_failed": self.tracer.spans_failed,
+                "spans_orphaned": self.tracer.spans_orphaned,
+                "spans_propagated": self.tracer.spans_propagated,
+                "spans_open": self.tracer.spans_open,
             },
         }
+
+    def trace_list(self, limit: "Optional[int]" = None) -> List[Dict[str, Any]]:
+        """Known traces, oldest first: one summary row per trace id,
+        covering finished and still-in-flight spans alike."""
+        return self.tracer.trace_summaries(limit=limit)
+
+    def trace_get(self, trace_id: int) -> List[Dict[str, Any]]:
+        """Every buffered span of one trace as plain dicts (in-flight
+        spans included, with ``end``/``duration`` of None)."""
+        spans = self.tracer.export(trace_id=trace_id, include_open=True)
+        if not spans:
+            raise InvalidArgumentError(f"no trace with id {trace_id}")
+        return spans
 
     def client_stats(self, client_id: "Optional[int]" = None) -> Any:
         """Per-client traffic/activity stats (``virt-admin client-stats``)."""
@@ -564,7 +581,12 @@ class Libvirtd:
             procedure = getattr(handler, "procedure", "unknown")
             label = getattr(driver, "name", type(driver).__name__)
             started = self.clock.now()
-            with self.tracer.span("driver.op", driver=label, procedure=procedure):
+            scope = (
+                self.tracer.span("driver.op", driver=label, procedure=procedure)
+                if self.tracer is not None
+                else nullcontext()
+            )
+            with scope:
                 result = fn(driver, body or {})
             self._m_driver_ops.labels(driver=label, procedure=procedure).observe(
                 self.clock.now() - started

@@ -32,6 +32,7 @@ from repro.rpc.retry import CircuitBreaker, RetryPolicy, is_idempotent
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.observability.metrics import MetricsRegistry
+    from repro.observability.tracing import Tracer
 
 #: URI parameters consumed client-side, never forwarded to the daemon
 RESILIENCE_URI_PARAMS = frozenset(
@@ -133,6 +134,7 @@ class RemoteDriver(Driver):
         credentials: "Optional[Dict[str, Any]]" = None,
         resilience: "Optional[ResilienceConfig]" = None,
         metrics: "Optional[MetricsRegistry]" = None,
+        tracer: "Optional[Tracer]" = None,
     ) -> None:
         self._hostname = uri.hostname or "localhost"
         self._transport = uri.transport or "unix"
@@ -157,6 +159,10 @@ class RemoteDriver(Driver):
         self.reconnects = 0
         self.retries = 0
         self.metrics = metrics
+        #: optional Tracer shared with (or separate from) the daemon's;
+        #: every RPC issued opens an ``rpc.call`` span whose context
+        #: rides the CALL frame so the daemon can join the same trace
+        self.tracer = tracer
         if metrics is not None:
             self._m_retries = metrics.counter(
                 "remote_retries_total", "Idempotent calls re-issued after timeouts"
@@ -185,6 +191,7 @@ class RemoteDriver(Driver):
             channel,
             default_timeout=cfg.call_timeout if cfg is not None else None,
             metrics=self.metrics,
+            tracer=self.tracer,
         )
         if cfg is not None and cfg.keepalive_interval is not None:
             client.enable_keepalive(cfg.keepalive_interval, cfg.keepalive_count)

@@ -11,6 +11,7 @@ from repro.observability.export import (
     log_metrics,
     parse_prometheus,
     render_prometheus,
+    render_trace_tree,
 )
 from repro.observability.metrics import (
     COUNTER,
@@ -24,7 +25,7 @@ from repro.observability.metrics import (
     MetricsRegistry,
     Timer,
 )
-from repro.observability.tracing import Span, Tracer
+from repro.observability.tracing import Span, SpanContext, Tracer
 
 __all__ = [
     "COUNTER",
@@ -38,9 +39,11 @@ __all__ = [
     "MetricsRegistry",
     "ParsedMetric",
     "Span",
+    "SpanContext",
     "Timer",
     "Tracer",
     "log_metrics",
     "parse_prometheus",
     "render_prometheus",
+    "render_trace_tree",
 ]

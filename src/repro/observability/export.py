@@ -197,3 +197,47 @@ def log_metrics(
             if logger.structured(priority, source, "metric", **fields):
                 emitted += 1
     return emitted
+
+
+def render_trace_tree(spans: List[Dict[str, Any]]) -> str:
+    """Render one trace's exported span dicts as an indented text tree.
+
+    Spans arrive as :meth:`repro.observability.tracing.Span.to_dict`
+    payloads (finished or in-flight).  Children indent under their
+    parent; a span whose parent is unknown (evicted from the ring
+    buffer, or belonging to the remote half of the trace) renders as a
+    root.  Durations print in modelled seconds; an unfinished span
+    prints ``(in flight)``, a failed one appends ``!`` and its error.
+    """
+    by_id = {span["span_id"]: span for span in spans}
+    children: Dict[Any, List[Dict[str, Any]]] = {}
+    roots: List[Dict[str, Any]] = []
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+
+    def order(group: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        return sorted(group, key=lambda s: (s["start"], s["span_id"]))
+
+    lines: List[str] = []
+
+    def walk(span: Dict[str, Any], depth: int) -> None:
+        duration = span.get("duration")
+        timing = f"{duration:.6f}s" if duration is not None else "(in flight)"
+        attrs = span.get("attributes") or {}
+        detail = " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+        line = f"{'  ' * depth}{span['name']}  [{span['span_id']}]  {timing}"
+        if detail:
+            line += f"  {detail}"
+        if span.get("error"):
+            line += f"  ! {span['error']}"
+        lines.append(line)
+        for child in order(children.get(span["span_id"], [])):
+            walk(child, depth + 1)
+
+    for root in order(roots):
+        walk(root, 0)
+    return "\n".join(lines)

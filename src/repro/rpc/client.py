@@ -57,6 +57,7 @@ from repro.util.eventloop import EventLoop
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.observability.metrics import MetricsRegistry
+    from repro.observability.tracing import Span, Tracer
 
 #: real-time (not modelled) ceiling on waiting for an async reply — a
 #: backstop against a wedged dispatcher, far above any legitimate wait
@@ -77,6 +78,7 @@ class _PendingCall:
         "outcome",
         "raw",
         "reason",
+        "span",
     )
 
     def __init__(
@@ -99,6 +101,8 @@ class _PendingCall:
         self.outcome: "Optional[str]" = None
         self.raw: "Optional[bytes]" = None
         self.reason: "Optional[str]" = None
+        #: detached rpc.call span (tracing enabled only)
+        self.span: "Optional[Span]" = None
 
     def resolve(self, outcome: str, raw: "Optional[bytes]" = None, reason: "Optional[str]" = None) -> None:
         with self.cond:
@@ -155,8 +159,12 @@ class RPCClient:
         channel: Channel,
         default_timeout: "Optional[float]" = None,
         metrics: "Optional[MetricsRegistry]" = None,
+        tracer: "Optional[Tracer]" = None,
     ) -> None:
         self._channel = channel
+        #: optional Tracer; when set, every call opens a detached
+        #: ``rpc.call`` span and stamps its context onto the CALL frame
+        self.tracer = tracer
         self._serials = itertools.count(1)
         self._event_handlers: Dict[int, Callable[[Any], None]] = {}
         self._pending: Dict[int, _PendingCall] = {}
@@ -387,6 +395,18 @@ class RPCClient:
             self._m_calls.labels(procedure=procedure).inc()
         request = RPCMessage(number, MessageType.CALL, serial)
         request.body = body
+        span: "Optional[Span]" = None
+        if self.tracer is not None:
+            # detached (never on the thread stack): pipelined calls from
+            # one thread must stay siblings, and the reply may be
+            # collected from a different thread than the one that sent
+            span = self.tracer.start_span(
+                "rpc.call",
+                procedure=procedure,
+                transport=self.transport,
+                serial=serial,
+            )
+            request.trace = span.context.to_wire()
         now = self._channel.clock.now()
         wait_bound: "Optional[float]" = None
         bound_is_keepalive = False
@@ -398,6 +418,7 @@ class RPCClient:
                 wait_bound = ka_bound
                 bound_is_keepalive = True
         entry = _PendingCall(serial, procedure, timeout, wait_bound, bound_is_keepalive, now)
+        entry.span = span
         with self._lock:
             self._pending[serial] = entry
         try:
@@ -406,10 +427,12 @@ class RPCClient:
             )
         except TransportStalledError as exc:
             self._forget(entry)
+            self._finish_span(entry, error=repr(exc))
             self._map_stall(exc, entry)
             raise  # pragma: no cover - _map_stall always raises
-        except BaseException:
+        except BaseException as exc:
             self._forget(entry)
+            self._finish_span(entry, error=repr(exc))
             raise
         if not pending:
             # synchronous server: the reply came back inline
@@ -420,7 +443,23 @@ class RPCClient:
         return entry
 
     def _finish_call(self, entry: _PendingCall) -> Any:
-        """Wait for the reply and translate it, or the loss of it."""
+        """Wait for the reply and translate it, or the loss of it,
+        closing the call's span with the outcome either way."""
+        try:
+            result = self._finish_call_inner(entry)
+        except BaseException as exc:
+            self._finish_span(entry, error=repr(exc))
+            raise
+        self._finish_span(entry)
+        return result
+
+    def _finish_span(self, entry: _PendingCall, error: "Optional[str]" = None) -> None:
+        if entry.span is None or self.tracer is None or entry.span.finished:
+            return
+        entry.span.set_attribute("status", "error" if error is not None else "ok")
+        self.tracer.finish_span(entry.span, error=error)
+
+    def _finish_call_inner(self, entry: _PendingCall) -> Any:
         self._wait_for_outcome(entry)
         if entry.outcome == "lost":
             # the transport told us no reply is coming; charge the wait

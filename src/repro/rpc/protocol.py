@@ -10,16 +10,24 @@ A wire message is::
     uint32 serial        (matches replies to calls)
     uint32 status        (OK / ERROR; meaningful on replies)
     <XDR value body>
+    [<XDR trace-context map>]    optional, appended after the body
 
 mirroring libvirt's ``virNetMessageHeader``.  Procedures are named in
 Python and mapped to stable numbers here; both sides share this table,
 and unknown numbers are rejected at dispatch.
+
+The trailing trace-context value is the distributed-tracing carrier: a
+``{"trace_id": uint, "span_id": uint}`` map identifying the sender's
+active span, so the receiver can parent its dispatch span into the same
+trace.  Frames without it are byte-identical to the pre-tracing wire
+format, and decoders that predate the field never looked past the body
+— the extension is invisible to both old senders and old receivers.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import RPCError
 from repro.rpc.xdr import XdrDecoder, XdrEncoder, decode_value, encode_value
@@ -140,6 +148,8 @@ PROCEDURES: Dict[str, int] = {
     "admin.client_stats": 112,
     "admin.reset_stats": 113,
     "admin.metrics_export": 114,
+    "admin.trace_list": 115,
+    "admin.trace_get": 116,
 }
 
 _NUMBER_TO_NAME = {number: name for name, number in PROCEDURES.items()}
@@ -174,6 +184,7 @@ class RPCMessage:
         body: Any = None,
         program: int = PROGRAM_REMOTE,
         version: int = PROTOCOL_VERSION,
+        trace: "Optional[Dict[str, int]]" = None,
     ) -> None:
         self.procedure = procedure
         self.mtype = MessageType(mtype)
@@ -182,10 +193,14 @@ class RPCMessage:
         self.body = body
         self.program = program
         self.version = version
+        #: optional trace context ({"trace_id": .., "span_id": ..})
+        self.trace = trace
 
     def pack(self) -> bytes:
         """Serialize to the framed wire form."""
         body = encode_value(self.body)
+        if self.trace is not None:
+            body += encode_value(dict(self.trace))
         enc = XdrEncoder()
         enc.pack_uint(HEADER_BYTES + len(body))
         enc.pack_uint(self.program)
@@ -224,8 +239,22 @@ class RPCMessage:
             status = ReplyStatus(dec.unpack_uint())
         except ValueError as exc:
             raise RPCError(f"bad reply status: {exc}") from exc
-        body = decode_value(data[HEADER_BYTES:])
-        return RPCMessage(procedure, mtype, serial, status, body, program, version)
+        payload = XdrDecoder(data[HEADER_BYTES:])
+        body = decode_value(payload)
+        trace = None
+        if payload.remaining():
+            # optional trailing trace-context value; anything malformed
+            # degrades to "no context" rather than failing the frame
+            extra = decode_value(payload)
+            payload.done()
+            if isinstance(extra, dict):
+                trace_id = extra.get("trace_id")
+                span_id = extra.get("span_id")
+                if isinstance(trace_id, int) and isinstance(span_id, int):
+                    trace = {"trace_id": trace_id, "span_id": span_id}
+        return RPCMessage(
+            procedure, mtype, serial, status, body, program, version, trace=trace
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -22,9 +22,11 @@ from __future__ import annotations
 import threading
 import weakref
 from collections import deque
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, Optional, Tuple
 
 from repro.errors import InvalidArgumentError, RPCError, VirtError
+from repro.observability.tracing import SpanContext
 from repro.rpc.protocol import (
     KEEPALIVE_PING,
     MessageType,
@@ -53,7 +55,10 @@ DEFAULT_MAX_QUEUED_REQUESTS = 64
 class _DispatchJob:
     """One unpacked call travelling through the pooled dispatch path."""
 
-    __slots__ = ("handler", "message", "label", "priority", "frame_index", "started")
+    __slots__ = (
+        "handler", "message", "label", "priority",
+        "frame_index", "started", "trace_ctx",
+    )
 
     def __init__(
         self,
@@ -63,6 +68,7 @@ class _DispatchJob:
         priority: bool,
         frame_index: "Optional[int]",
         started: float,
+        trace_ctx: "Optional[SpanContext]" = None,
     ) -> None:
         self.handler = handler
         self.message = message
@@ -70,6 +76,9 @@ class _DispatchJob:
         self.priority = priority
         self.frame_index = frame_index
         self.started = started
+        #: trace context the CALL frame carried, if any — rides the job
+        #: across the read-loop → window-queue → worker handoffs
+        self.trace_ctx = trace_ctx
 
 
 class _InflightWindow:
@@ -249,6 +258,11 @@ class RPCServer:
                 RPCError(f"procedure {message.procedure} not registered"),
             )
         handler, priority = entry
+        trace_ctx = (
+            SpanContext.from_wire(message.trace)
+            if self.tracer is not None and message.trace is not None
+            else None
+        )
         job = _DispatchJob(
             handler,
             message,
@@ -256,6 +270,7 @@ class RPCServer:
             priority,
             conn.current_frame_index,
             conn.channel.clock.now(),
+            trace_ctx=trace_ctx,
         )
         if self._pool is None:
             return self._execute(conn, job)
@@ -297,10 +312,20 @@ class RPCServer:
             return False
 
     def _run_async(self, conn: ServerConnection, window: _InflightWindow, job: _DispatchJob) -> None:
-        """Pool-job body: execute, reply, then let a queued call in."""
+        """Pool-job body: execute, reply, then let a queued call in.
+
+        The wire trace context rode the job object across the
+        read-loop → queue → worker handoff; attach it to this worker
+        thread for the duration so anything the handler spawns inherits
+        the caller's trace, and restore whatever was attached before.
+        """
+        attached = self.tracer is not None and job.trace_ctx is not None
+        token = self.tracer.attach(job.trace_ctx) if attached else None
         try:
             conn.send_reply(self._execute(conn, job), job.frame_index)
         finally:
+            if attached:
+                self.tracer.detach(token)
             with window.lock:
                 window.inflight -= 1
             self._pump(conn, window)
@@ -319,44 +344,63 @@ class RPCServer:
 
     def _execute(self, conn: ServerConnection, job: _DispatchJob) -> bytes:
         """Run the handler and pack the REPLY; records span, counters,
-        and dispatch latency on both the OK and the error outcome."""
+        and dispatch latency on both the OK and the error outcome.
+
+        The dispatch span parents into the trace context the CALL frame
+        carried (one trace across the wire); without one it roots a
+        local trace, exactly as before.  ``queue_wait`` — modelled time
+        between unpack and a worker picking the job up — is recorded as
+        a span attribute.
+        """
         message = job.message
-        span = (
-            self.tracer.span("rpc.dispatch", procedure=job.label, priority=job.priority)
-            if self.tracer is not None
-            else None
-        )
-        failure: "Optional[VirtError]" = None
-        result: Any = None
-        try:
-            result = job.handler(conn, message.body)
-        except VirtError as exc:
-            failure = exc
-        except Exception as exc:  # noqa: BLE001 - internal errors cross the wire too
-            failure = VirtError(f"internal error: {exc}")
-        if span is not None:
-            if failure is not None:
-                span.__exit__(type(failure), failure, None)
-            else:
-                span.__exit__(None, None, None)
-        if failure is not None:
-            reply = self._error_reply(message.procedure, message.serial, failure)
-        else:
-            with self._lock:
-                self.calls_served += 1
-            if self.metrics is not None:
-                self._m_calls.labels(server=self.name, procedure=job.label, status="ok").inc()
-            reply = RPCMessage(
-                message.procedure,
-                MessageType.REPLY,
-                message.serial,
-                ReplyStatus.OK,
-                result,
-            ).pack()
-        if self.metrics is not None:
-            self._m_latency.labels(server=self.name, procedure=job.label).observe(
-                conn.channel.clock.now() - job.started
+        scope = (
+            self.tracer.span(
+                "rpc.dispatch",
+                parent=job.trace_ctx,
+                procedure=job.label,
+                priority=job.priority,
             )
+            if self.tracer is not None
+            else nullcontext(None)
+        )
+        with scope as span:
+            if span is not None:
+                span.set_attribute("serial", message.serial)
+                span.set_attribute(
+                    "queue_wait", conn.channel.clock.now() - job.started
+                )
+            failure: "Optional[VirtError]" = None
+            result: Any = None
+            try:
+                result = job.handler(conn, message.body)
+            except VirtError as exc:
+                failure = exc
+            except Exception as exc:  # noqa: BLE001 - internal errors cross the wire too
+                failure = VirtError(f"internal error: {exc}")
+            if span is not None:
+                span.set_attribute("status", "ok" if failure is None else "error")
+                if failure is not None:
+                    span.error = repr(failure)
+            if failure is not None:
+                reply = self._error_reply(message.procedure, message.serial, failure)
+            else:
+                with self._lock:
+                    self.calls_served += 1
+                if self.metrics is not None:
+                    self._m_calls.labels(
+                        server=self.name, procedure=job.label, status="ok"
+                    ).inc()
+                reply = RPCMessage(
+                    message.procedure,
+                    MessageType.REPLY,
+                    message.serial,
+                    ReplyStatus.OK,
+                    result,
+                ).pack()
+            if self.metrics is not None:
+                self._m_latency.labels(server=self.name, procedure=job.label).observe(
+                    conn.channel.clock.now() - job.started
+                )
         return reply
 
     def _handle_keepalive(self, conn: ServerConnection, message: RPCMessage) -> Optional[bytes]:

@@ -213,3 +213,34 @@ class TestDaemonDemo:
         assert "listening on unix" in text
         assert "demo-guest is running" in text
         assert "shut down cleanly" in text
+
+
+class TestDomstats:
+    def test_single_domain_block(self):
+        code, output = run("domstats", "test")
+        assert code == 0
+        lines = output.splitlines()
+        assert lines[0].startswith("name:")
+        assert "test" in lines[0]
+        assert output.count("name:") == 1
+        for key in ("state:", "cpu_seconds:", "memory_kib:", "net_tx_bytes:"):
+            assert key in output
+
+    def test_no_argument_reports_all_active(self, tmp_path):
+        run("define", write_domain_xml(tmp_path, "statsd"))
+        run("start", "statsd")
+        try:
+            code, output = run("domstats")
+            assert code == 0
+            # one block per active domain, blank-line separated
+            assert output.count("name:") >= 2
+            assert "statsd" in output
+            assert "\n\n" in output
+        finally:
+            run("destroy", "statsd")
+            run("undefine", "statsd")
+
+    def test_single_domain_unknown_still_errors(self, capsys):
+        code = main(["domstats", "ghost"], out=io.StringIO())
+        assert code == 1
+        assert "ghost" in capsys.readouterr().err

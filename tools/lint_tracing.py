@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Lint: span-stack internals stay inside ``tracing.py``.
+
+The tracer's thread-local span stack is an implementation detail —
+cross-thread propagation must go through the public ``SpanContext``
+API (``attach``/``detach``/``start_span``/``span(parent=...)``).
+Code that pokes at the stack directly breaks the moment a call hops
+threads, which is exactly the bug class PR 3 introduced.  This script
+fails CI when anything outside ``tracing.py``:
+
+* touches ``tracer._local`` / ``tracer._stack`` / ``._state()``; or
+* builds its own ``threading.local()`` span bookkeeping inside
+  ``repro/observability``.
+
+Usage::
+
+    python tools/lint_tracing.py [root ...]   # default: src tests benchmarks
+"""
+
+import os
+import re
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+DEFAULT_ROOTS = ("src", "tests", "benchmarks")
+ALLOWED = os.path.join("observability", "tracing.py")
+
+#: forbidden everywhere outside tracing.py
+_STACK_ACCESS = re.compile(
+    r"(?:tracer|\.tracer|self\._tracer)\s*\.\s*(?:_local|_stack|_state)\b"
+    r"|\btracer\._local\b|\btracer\._stack\b"
+)
+#: forbidden inside repro/observability outside tracing.py
+_THREAD_LOCAL = re.compile(r"\bthreading\.local\s*\(")
+
+
+def lint_file(path):
+    problems = []
+    in_observability = (os.sep + "observability" + os.sep) in path
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            stripped = line.split("#", 1)[0]
+            if _STACK_ACCESS.search(stripped):
+                problems.append(
+                    (lineno, "direct span-stack access (use SpanContext attach/detach)")
+                )
+            if in_observability and _THREAD_LOCAL.search(stripped):
+                problems.append(
+                    (lineno, "threading.local() span bookkeeping belongs in tracing.py")
+                )
+    return problems
+
+
+def main(argv=None):
+    roots = (argv or sys.argv[1:]) or [os.path.join(REPO, r) for r in DEFAULT_ROOTS]
+    failures = 0
+    for root in roots:
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                if path.endswith(ALLOWED):
+                    continue
+                for lineno, why in lint_file(path):
+                    rel = os.path.relpath(path, REPO)
+                    print(f"{rel}:{lineno}: {why}", file=sys.stderr)
+                    failures += 1
+    if failures:
+        print(f"lint_tracing: {failures} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
