@@ -1,0 +1,129 @@
+"""C1 — incremental backup moves a fraction of the full-backup bytes.
+
+The checkpoint subsystem's reason to exist: a full backup copies every
+allocated block, while an incremental backup copies only the blocks
+dirtied since a named checkpoint.  This benchmark preloads a guest disk
+with 16 GiB, takes a checkpoint (freezing the bitmap), then models a
+guest dirtying 64 MiB/s for a short window.  The incremental transfer
+set is exactly the window's writes; the full transfer set is the whole
+allocation — the ratio between them is the subsystem's payoff and is
+gated (>= 10x) both here and in the regression baseline.
+
+All figures are virtual-clock/bitmap exact: any drift is a behavioural
+change in the dirty-tracking or job-accounting model, never noise.
+The cancelled measurement jobs must also leave no partial volume
+behind — the cleanup guarantee the backup engine promises.
+"""
+
+import pytest
+
+from repro.bench.tables import emit, format_table
+from repro.drivers.qemu import QemuDriver
+from repro.xmlconfig.domain import DiskDevice, DomainConfig
+from repro.xmlconfig.storage import StoragePoolConfig
+
+MiB = 1024**2
+GiB = 1024**3
+
+DISK_PATH = "/img/c1.qcow2"
+DISK_CAPACITY = 32 * GiB
+#: bytes written before the checkpoint (the "old" data a full copies)
+PRELOAD_BYTES = 16 * GiB
+#: modelled guest dirty rate and observation window
+DIRTY_RATE_BYTES_S = 64 * MiB
+DIRTY_WINDOW_S = 12
+
+POOL = "backups"
+MIN_RATIO = 10.0
+
+
+def measure_backup_totals():
+    """(full_bytes, incremental_bytes, leftover_volumes) — all exact."""
+    driver = QemuDriver()
+    clock = driver.backend.clock
+    images = driver.backend.images
+
+    disk = DiskDevice(DISK_PATH, "vda", capacity_bytes=DISK_CAPACITY)
+    config = DomainConfig(
+        name="c1",
+        domain_type="kvm",
+        memory_kib=2 * 1024 * 1024,
+        vcpus=2,
+        disks=[disk],
+    )
+    driver.domain_define_xml(config.to_xml())
+    driver.domain_create("c1")
+    driver.storage_pool_define_xml(
+        StoragePoolConfig(name=POOL, capacity_bytes=64 * GiB).to_xml()
+    )
+    driver.storage_pool_create(POOL)
+
+    # the disk's history before the checkpoint: 16 GiB of allocation
+    images.write(DISK_PATH, PRELOAD_BYTES)
+    driver.checkpoint_create("c1", "ck0")
+
+    # the guest keeps running: 64 MiB/s of fresh writes for the window
+    for _ in range(DIRTY_WINDOW_S):
+        clock.sleep(1.0)
+        images.write(DISK_PATH, DIRTY_RATE_BYTES_S)
+
+    # measure the transfer sets; cancel each job so the next can start
+    # (a cancelled backup must drop its partial volume)
+    full = driver.backup_begin("c1", {"pool": POOL})
+    full_bytes = full["data_total"]
+    driver.domain_abort_job("c1")
+
+    incremental = driver.backup_begin(
+        "c1", {"pool": POOL, "incremental": "ck0"}
+    )
+    incremental_bytes = incremental["data_total"]
+    driver.domain_abort_job("c1")
+
+    leftover = driver.storage_vol_list(POOL)
+    return full_bytes, incremental_bytes, leftover
+
+
+def collect_backup_bytes():
+    """The gated figures for the regression baseline."""
+    full_bytes, incremental_bytes, _ = measure_backup_totals()
+    return {
+        "full_bytes": float(full_bytes),
+        "incremental_bytes": float(incremental_bytes),
+        "bytes_ratio": full_bytes / incremental_bytes,
+    }
+
+
+def test_c1_incremental_backup_ratio():
+    full_bytes, incremental_bytes, leftover = measure_backup_totals()
+    ratio = full_bytes / incremental_bytes
+
+    emit(
+        "c1_incremental_backup",
+        format_table(
+            "C1: full vs incremental backup transfer size",
+            ["strategy", "bytes", "note"],
+            [
+                ["full", f"{full_bytes / GiB:.2f} GiB", "whole allocation"],
+                [
+                    "incremental",
+                    f"{incremental_bytes / MiB:.0f} MiB",
+                    f"dirtied since ck0 ({DIRTY_RATE_BYTES_S // MiB} MiB/s "
+                    f"x {DIRTY_WINDOW_S}s)",
+                ],
+                ["ratio", f"{ratio:.1f}x", f"gate: >= {MIN_RATIO:.0f}x"],
+            ],
+        ),
+    )
+
+    # the incremental set is exactly the window's writes: the cursor
+    # never wraps, so every dirtied block is distinct
+    assert incremental_bytes == DIRTY_RATE_BYTES_S * DIRTY_WINDOW_S
+    # the full set is the whole allocation, preload plus window
+    assert full_bytes == PRELOAD_BYTES + DIRTY_RATE_BYTES_S * DIRTY_WINDOW_S
+    assert ratio >= MIN_RATIO
+    # cancelling the measurement jobs left no partial volumes behind
+    assert leftover == []
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

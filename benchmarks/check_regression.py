@@ -110,6 +110,18 @@ def collect_o1():
     }
 
 
+def collect_c1():
+    """Full vs incremental backup transfer sizes (bitmap exact)."""
+    import bench_c1_incremental_backup as c1
+
+    figures = c1.collect_backup_bytes()
+    return {
+        "c1.backup.full_bytes": figures["full_bytes"],
+        "c1.backup.incremental_bytes": figures["incremental_bytes"],
+        "c1.backup.bytes_ratio": figures["bytes_ratio"],
+    }
+
+
 def collect_wall_informational():
     """Real management-layer CPU cost per cycle — reported, not gated."""
     import bench_e3_lifecycle_overhead as e3
@@ -173,6 +185,7 @@ def main(argv=None):
     current.update(collect_r1())
     current.update(collect_e5_dispatch())
     current.update(collect_o1())
+    current.update(collect_c1())
     info = {} if args.skip_wall else collect_wall_informational()
 
     if args.output:

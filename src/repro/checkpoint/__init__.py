@@ -1,0 +1,19 @@
+"""Checkpoint and incremental-backup subsystem.
+
+Reproduces libvirt's ``virDomainCheckpoint`` / ``virDomainBackupBegin``
+model: per-disk dirty-block bitmaps (maintained by
+:class:`repro.hypervisors.diskimage.ImageStore`), a parent/child
+checkpoint tree that freezes those bitmaps, and cancellable background
+backup jobs with virDomainJobInfo-style progress on the virtual clock.
+"""
+
+from repro.checkpoint.jobs import BackgroundJob, JobEngine, JobPhase
+from repro.checkpoint.tree import Checkpoint, CheckpointTree
+
+__all__ = [
+    "BackgroundJob",
+    "Checkpoint",
+    "CheckpointTree",
+    "JobEngine",
+    "JobPhase",
+]

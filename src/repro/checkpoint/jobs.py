@@ -1,0 +1,332 @@
+"""Cancellable background jobs on the virtual clock.
+
+Models libvirt's ``virDomainJob`` machinery: a driver starts at most
+one job per domain (backups here; save/migration report through the
+same ``domain_get_job_info`` surface), and callers observe or cancel
+it with virDomainJobInfo-style stats.
+
+The engine is deliberately thread-free.  A job's progress is a pure
+function of the clock — ``processed = min(total, (now - started) *
+bandwidth)`` — so it needs no worker thread, behaves identically over
+RPC and in-process, and is exact on the :class:`VirtualClock`.  State
+transitions happen lazily: every observation (``info`` / ``cancel`` /
+``begin`` / ``fail_active``) first *finalizes* any job whose modelled
+end time has passed, firing its completion callback at that point.
+A severed transport therefore cannot wedge a job: the daemon fails it
+cleanly via :meth:`JobEngine.fail_active`, and the cleanup callback
+removes any partial backup volume.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import InvalidArgumentError, InvalidOperationError, ResourceBusyError
+
+
+class JobPhase:
+    """Lifecycle phases of a background job."""
+
+    RUNNING = "running"
+    COMPLETED = "completed"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+    TERMINAL = (COMPLETED, CANCELLED, FAILED)
+
+
+class BackgroundJob:
+    """One background job: progress derived from the clock, no thread."""
+
+    __slots__ = (
+        "job_id",
+        "domain",
+        "job_type",
+        "operation",
+        "phase",
+        "started_at",
+        "ended_at",
+        "total_bytes",
+        "bandwidth_bytes_s",
+        "processed_bytes",
+        "error",
+        "extra",
+        "on_complete",
+        "on_cleanup",
+        "on_final",
+        "span",
+    )
+
+    def __init__(
+        self,
+        job_id: int,
+        domain: str,
+        job_type: str,
+        operation: str,
+        started_at: float,
+        total_bytes: int,
+        bandwidth_bytes_s: float,
+        extra: Optional[Dict[str, Any]] = None,
+        on_complete: Optional[Callable[[], None]] = None,
+        on_cleanup: Optional[Callable[[], None]] = None,
+        on_final: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        self.job_id = job_id
+        self.domain = domain
+        self.job_type = job_type
+        self.operation = operation
+        self.phase = JobPhase.RUNNING
+        self.started_at = started_at
+        self.ended_at: Optional[float] = None
+        self.total_bytes = total_bytes
+        self.bandwidth_bytes_s = bandwidth_bytes_s
+        self.processed_bytes = 0
+        self.error: Optional[str] = None
+        self.extra = dict(extra or {})
+        self.on_complete = on_complete
+        self.on_cleanup = on_cleanup
+        self.on_final = on_final
+        self.span = None
+
+    @property
+    def eta(self) -> float:
+        """Modelled completion time (absolute clock reading)."""
+        return self.started_at + self.total_bytes / self.bandwidth_bytes_s
+
+    def processed_at(self, now: float) -> int:
+        if self.phase != JobPhase.RUNNING:
+            return self.processed_bytes
+        return min(self.total_bytes, int((now - self.started_at) * self.bandwidth_bytes_s))
+
+    def info(self, now: float) -> Dict[str, Any]:
+        """virDomainJobInfo-style stats (plain XDR-safe dict)."""
+        processed = self.processed_at(now)
+        end = self.ended_at if self.ended_at is not None else now
+        info: Dict[str, Any] = {
+            "type": self.job_type,
+            "job_id": self.job_id,
+            "domain": self.domain,
+            "operation": self.operation,
+            "phase": self.phase,
+            "completed": self.phase == JobPhase.COMPLETED,
+            "data_total": self.total_bytes,
+            "data_processed": processed,
+            "data_remaining": max(0, self.total_bytes - processed),
+            "bandwidth_mib_s": self.bandwidth_bytes_s / (1024.0 * 1024.0),
+            "time_elapsed_s": max(0.0, end - self.started_at),
+            "started_at": self.started_at,
+        }
+        if self.ended_at is not None:
+            info["ended_at"] = self.ended_at
+        if self.error is not None:
+            info["error"] = self.error
+        info.update(self.extra)
+        return info
+
+
+class JobEngine:
+    """Per-driver registry of background jobs (one active per domain)."""
+
+    def __init__(
+        self,
+        clock,
+        driver: str = "stateful",
+        metrics: Optional[Callable[[], Any]] = None,
+        tracer: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        self.clock = clock
+        self.driver = driver
+        self._metrics = metrics or (lambda: None)
+        self._tracer = tracer or (lambda: None)
+        self._lock = threading.RLock()
+        self._next_id = 1
+        self._active: Dict[str, BackgroundJob] = {}
+        self._last: Dict[str, BackgroundJob] = {}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def begin(
+        self,
+        domain: str,
+        job_type: str,
+        operation: str,
+        total_bytes: int,
+        bandwidth_bytes_s: float,
+        extra: Optional[Dict[str, Any]] = None,
+        on_complete: Optional[Callable[[], None]] = None,
+        on_cleanup: Optional[Callable[[], None]] = None,
+        on_final: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> BackgroundJob:
+        if total_bytes < 0:
+            raise InvalidArgumentError("job size must be non-negative")
+        if bandwidth_bytes_s <= 0:
+            raise InvalidArgumentError("job bandwidth must be positive")
+        with self._lock:
+            self._poll_locked(domain)
+            if domain in self._active:
+                raise ResourceBusyError(
+                    f"domain {domain!r} already has an active "
+                    f"{self._active[domain].job_type} job"
+                )
+            job = BackgroundJob(
+                self._next_id,
+                domain,
+                job_type,
+                operation,
+                self.clock.now(),
+                total_bytes,
+                bandwidth_bytes_s,
+                extra=extra,
+                on_complete=on_complete,
+                on_cleanup=on_cleanup,
+                on_final=on_final,
+            )
+            self._next_id += 1
+            self._active[domain] = job
+        tracer = self._tracer()
+        if tracer is not None:
+            job.span = tracer.start_span(
+                f"job.{job_type}",
+                domain=domain,
+                operation=operation,
+                job_id=job.job_id,
+            )
+        self._count(job_type, "started")
+        self._set_active_gauge()
+        return job
+
+    def info(self, domain: str) -> Optional[Dict[str, Any]]:
+        """Stats for the active job, or the most recent finished one."""
+        with self._lock:
+            self._poll_locked(domain)
+            job = self._active.get(domain) or self._last.get(domain)
+            if job is None:
+                return None
+            return job.info(self.clock.now())
+
+    def active(self, domain: str) -> Optional[BackgroundJob]:
+        with self._lock:
+            self._poll_locked(domain)
+            return self._active.get(domain)
+
+    def cancel(self, domain: str) -> Dict[str, Any]:
+        """Abort the active job; its cleanup callback undoes partial work."""
+        with self._lock:
+            self._poll_locked(domain)
+            job = self._active.get(domain)
+            if job is None:
+                raise InvalidOperationError(
+                    f"domain {domain!r} has no active job to abort"
+                )
+            now = self.clock.now()
+            job.processed_bytes = job.processed_at(now)
+            self._finish_locked(job, JobPhase.CANCELLED, now, "cancelled by caller")
+            return job.info(now)
+
+    def fail_active(self, domain: str, reason: str) -> bool:
+        """Fail the active job (domain stopped, client severed, ...)."""
+        with self._lock:
+            self._poll_locked(domain)
+            job = self._active.get(domain)
+            if job is None:
+                return False
+            now = self.clock.now()
+            job.processed_bytes = job.processed_at(now)
+            self._finish_locked(job, JobPhase.FAILED, now, reason)
+            return True
+
+    def wait(self, domain: str) -> Optional[Dict[str, Any]]:
+        """Sleep (virtual time) until the active job finishes."""
+        with self._lock:
+            self._poll_locked(domain)
+            job = self._active.get(domain)
+            remaining = 0.0 if job is None else max(0.0, job.eta - self.clock.now())
+        if remaining:
+            self.clock.sleep(remaining)
+        return self.info(domain)
+
+    # -- internals -------------------------------------------------------
+
+    def _poll_locked(self, domain: str) -> None:
+        """Finalize the domain's job if its modelled end time passed."""
+        job = self._active.get(domain)
+        if job is None or job.phase != JobPhase.RUNNING:
+            return
+        now = self.clock.now()
+        if now < job.eta:
+            return
+        job.processed_bytes = job.total_bytes
+        try:
+            if job.on_complete is not None:
+                job.on_complete()
+        except Exception as exc:  # completion failed -> job fails, not wedges
+            self._finish_locked(job, JobPhase.FAILED, now, str(exc))
+            return
+        self._finish_locked(job, JobPhase.COMPLETED, job.eta, None)
+
+    def _finish_locked(
+        self, job: BackgroundJob, phase: str, ended_at: float, error: Optional[str]
+    ) -> None:
+        job.phase = phase
+        job.ended_at = ended_at
+        if error is not None and phase != JobPhase.COMPLETED:
+            job.error = error
+        if phase != JobPhase.COMPLETED and job.on_cleanup is not None:
+            try:
+                job.on_cleanup()
+            except Exception:
+                pass  # cleanup is best-effort; the job outcome stands
+        self._active.pop(job.domain, None)
+        self._last[job.domain] = job
+        tracer = self._tracer()
+        if tracer is not None and job.span is not None:
+            tracer.finish_span(job.span, error=job.error)
+        self._count(job.job_type, phase)
+        self._set_active_gauge()
+        self._observe_terminal(job)
+        if job.on_final is not None:
+            try:
+                job.on_final(job.info(ended_at))
+            except Exception:
+                pass
+
+    # -- observability ---------------------------------------------------
+
+    def _count(self, job_type: str, outcome: str) -> None:
+        registry = self._metrics()
+        if registry is None:
+            return
+        registry.counter(
+            "domain_jobs_total",
+            "Background domain jobs by terminal outcome (or started).",
+            ("driver", "type", "outcome"),
+        ).labels(driver=self.driver, type=job_type, outcome=outcome).inc()
+
+    def _set_active_gauge(self) -> None:
+        registry = self._metrics()
+        if registry is None:
+            return
+        registry.gauge(
+            "domain_jobs_active",
+            "Background domain jobs currently running.",
+            ("driver",),
+        ).labels(driver=self.driver).set(float(len(self._active)))
+
+    def _observe_terminal(self, job: BackgroundJob) -> None:
+        registry = self._metrics()
+        if registry is None:
+            return
+        duration = max(0.0, (job.ended_at or job.started_at) - job.started_at)
+        registry.histogram(
+            "domain_job_seconds",
+            "Modelled duration of background domain jobs.",
+            ("driver", "type"),
+        ).labels(driver=self.driver, type=job.job_type).observe(duration)
+        registry.counter(
+            "backup_bytes_transferred_total",
+            "Bytes moved by backup jobs before reaching a terminal phase.",
+            ("driver", "operation"),
+        ).labels(driver=self.driver, operation=job.operation).inc(
+            float(job.processed_bytes)
+        )

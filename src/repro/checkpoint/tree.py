@@ -1,0 +1,151 @@
+"""Domain checkpoint tree.
+
+A checkpoint freezes, per disk, the set of blocks written since its
+parent checkpoint (or since the beginning of time for a root).  The
+checkpoints of one domain form a tree; the ``current`` pointer names
+the leaf new checkpoints descend from, exactly like libvirt's
+``virDomainCheckpointCreateXML`` redirecting the current checkpoint.
+
+An incremental backup "since checkpoint X" must copy every block
+written after X was taken: the union of the frozen bitmaps of all
+checkpoints on the path from ``current`` up to (but excluding) X, plus
+the still-active bitmap on each disk.  Deleting a checkpoint folds its
+frozen blocks into its children (or into the active bitmap when the
+deleted checkpoint was the current leaf) so that union is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.errors import (
+    CheckpointExistsError,
+    InvalidArgumentError,
+    NoCheckpointError,
+)
+
+
+class Checkpoint:
+    """One checkpoint: frozen per-disk bitmaps since the parent."""
+
+    __slots__ = ("name", "parent", "creation_time", "state", "disks", "block_size")
+
+    def __init__(
+        self,
+        name: str,
+        parent: Optional[str],
+        creation_time: float,
+        state: str,
+        disks: Dict[str, FrozenSet[int]],
+        block_size: int,
+    ) -> None:
+        self.name = name
+        self.parent = parent
+        self.creation_time = creation_time
+        self.state = state
+        self.disks = dict(disks)
+        self.block_size = block_size
+
+    def dirty_bytes(self) -> int:
+        return sum(len(blocks) for blocks in self.disks.values()) * self.block_size
+
+
+class CheckpointTree:
+    """All checkpoints of one domain, plus the current-leaf pointer."""
+
+    def __init__(self) -> None:
+        self._checkpoints: Dict[str, Checkpoint] = {}
+        self.current: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._checkpoints
+
+    def get(self, name: str) -> Checkpoint:
+        checkpoint = self._checkpoints.get(name)
+        if checkpoint is None:
+            raise NoCheckpointError(f"no checkpoint named {name!r}")
+        return checkpoint
+
+    def list_names(self) -> List[str]:
+        """Checkpoint names in creation order."""
+        return list(self._checkpoints)
+
+    def create(
+        self,
+        name: str,
+        creation_time: float,
+        state: str,
+        disks: Dict[str, FrozenSet[int]],
+        block_size: int,
+    ) -> Checkpoint:
+        """Add a checkpoint as a child of ``current`` and make it current."""
+        if not name or "/" in name:
+            raise InvalidArgumentError(f"invalid checkpoint name {name!r}")
+        if name in self._checkpoints:
+            raise CheckpointExistsError(f"checkpoint {name!r} already exists")
+        checkpoint = Checkpoint(
+            name, self.current, creation_time, state, disks, block_size
+        )
+        self._checkpoints[name] = checkpoint
+        self.current = name
+        return checkpoint
+
+    def children(self, name: str) -> List[Checkpoint]:
+        return [c for c in self._checkpoints.values() if c.parent == name]
+
+    def delete(self, name: str) -> Checkpoint:
+        """Remove a checkpoint, merging its bitmaps into its children.
+
+        Children are re-parented to the deleted checkpoint's parent and
+        their bitmaps grow by the deleted bitmaps (per disk), keeping
+        "blocks since X" answers unchanged for every surviving X.  When
+        the deleted checkpoint is the current leaf the caller must merge
+        the returned checkpoint's bitmaps into the active bitmaps — the
+        tree cannot reach the :class:`ImageStore`.
+        """
+        checkpoint = self.get(name)
+        for child in self.children(name):
+            child.parent = checkpoint.parent
+            for path, blocks in checkpoint.disks.items():
+                merged: Set[int] = set(child.disks.get(path, frozenset()))
+                merged.update(blocks)
+                child.disks[path] = frozenset(merged)
+        del self._checkpoints[name]
+        if self.current == name:
+            self.current = checkpoint.parent
+        return checkpoint
+
+    def ancestry(self) -> List[Checkpoint]:
+        """The chain from the current leaf up to the root, leaf first."""
+        chain: List[Checkpoint] = []
+        cursor = self.current
+        while cursor is not None:
+            checkpoint = self.get(cursor)
+            chain.append(checkpoint)
+            cursor = checkpoint.parent
+        return chain
+
+    def blocks_since(
+        self, name: str, disk_paths: Iterable[str]
+    ) -> Dict[str, Set[int]]:
+        """Frozen blocks written after checkpoint ``name``, per disk.
+
+        Walks from the current leaf up to ``name`` (exclusive), unioning
+        each traversed checkpoint's bitmaps.  The caller adds the active
+        bitmaps on top.  Raises :class:`NoCheckpointError` if ``name``
+        does not exist, :class:`InvalidArgumentError` if it is not an
+        ancestor of the current leaf (its history has diverged).
+        """
+        self.get(name)
+        union: Dict[str, Set[int]] = {path: set() for path in disk_paths}
+        for checkpoint in self.ancestry():
+            if checkpoint.name == name:
+                return union
+            for path, blocks in checkpoint.disks.items():
+                union.setdefault(path, set()).update(blocks)
+        raise InvalidArgumentError(
+            f"checkpoint {name!r} is not an ancestor of the current checkpoint"
+        )

@@ -253,6 +253,60 @@ def cmd_snapshot_delete(conn: repro.Connection, args: argparse.Namespace, out: T
     return 0
 
 
+def cmd_checkpoint_create(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
+    conn.lookup_domain(args.domain).create_checkpoint(args.name)
+    print(f"Domain checkpoint {args.name} created", file=out)
+    return 0
+
+
+def cmd_checkpoint_list(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
+    names = conn.lookup_domain(args.domain).list_checkpoints()
+    _print_table(out, ("Name",), [(n,) for n in names])
+    return 0
+
+
+def cmd_checkpoint_delete(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
+    conn.lookup_domain(args.domain).delete_checkpoint(args.name)
+    print(f"Domain checkpoint {args.name} deleted", file=out)
+    return 0
+
+
+def cmd_checkpoint_dumpxml(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
+    print(conn.lookup_domain(args.domain).checkpoint_xml_desc(args.name), file=out)
+    return 0
+
+
+def cmd_backup_begin(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
+    domain = conn.lookup_domain(args.domain)
+    job = domain.backup_begin(
+        args.pool,
+        incremental=args.incremental,
+        checkpoint=args.checkpoint,
+        volume=args.volume,
+        bandwidth_mib_s=args.bandwidth,
+    )
+    print(f"Backup started (job {job['job_id']}, {job['operation']})", file=out)
+    return 0
+
+
+def cmd_domjobabort(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
+    conn.lookup_domain(args.domain).abort_job()
+    print(f"Domain {args.domain} job aborted", file=out)
+    return 0
+
+
+def cmd_managedsave(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
+    conn.lookup_domain(args.domain).managed_save()
+    print(f"Domain {args.domain} state saved by libvirt", file=out)
+    return 0
+
+
+def cmd_managedsave_remove(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
+    conn.lookup_domain(args.domain).managed_save_remove()
+    print(f"Removed managedsave image for domain {args.domain}", file=out)
+    return 0
+
+
 def cmd_hostname(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
     print(conn.hostname(), file=out)
     return 0
@@ -464,6 +518,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = add("snapshot-delete", cmd_snapshot_delete, "delete a snapshot")
     p.add_argument("domain")
     p.add_argument("name")
+    p = add("checkpoint-create", cmd_checkpoint_create, "create a domain checkpoint")
+    p.add_argument("domain")
+    p.add_argument("name")
+    add("checkpoint-list", cmd_checkpoint_list, "list checkpoints").add_argument("domain")
+    p = add("checkpoint-delete", cmd_checkpoint_delete, "delete a checkpoint")
+    p.add_argument("domain")
+    p.add_argument("name")
+    p = add("checkpoint-dumpxml", cmd_checkpoint_dumpxml, "checkpoint XML description")
+    p.add_argument("domain")
+    p.add_argument("name")
+    p = add("backup-begin", cmd_backup_begin, "start a domain backup job")
+    p.add_argument("domain")
+    p.add_argument("--pool", required=True, help="storage pool receiving the backup volume")
+    p.add_argument("--incremental", metavar="CHECKPOINT", help="copy only blocks dirtied since this checkpoint")
+    p.add_argument("--checkpoint", metavar="NAME", help="also create a checkpoint as the backup starts")
+    p.add_argument("--volume", help="name for the backup volume")
+    p.add_argument("--bandwidth", type=float, help="transfer bandwidth cap in MiB/s")
+    add("domjobabort", cmd_domjobabort, "abort the active domain job").add_argument("domain")
+    add("managedsave", cmd_managedsave, "save domain state to a managed location").add_argument("domain")
+    add("managedsave-remove", cmd_managedsave_remove, "drop the managed save image").add_argument("domain")
     add("hostname", cmd_hostname, "print the node hostname")
     add("uri", cmd_uri, "print the connection URI")
     add("version", cmd_version, "print versions")

@@ -183,11 +183,26 @@ class Domain:
     def detach_device(self, device_xml: str) -> None:
         self._conn._driver.domain_detach_device(self._name, device_xml)
 
+    def abort_job(self) -> Dict[str, Any]:
+        """Cancel the active background job; returns its final stats."""
+        return self._conn._driver.domain_abort_job(self._name)
+
     # -- save/restore -----------------------------------------------------------------
 
     def save(self, path: str) -> None:
-        """Serialize guest state to a file and stop it (managed save)."""
+        """Serialize guest state to a file and stop it (explicit save)."""
         self._conn._driver.domain_save(self._name, path)
+
+    def managed_save(self) -> None:
+        """Save guest state to the hypervisor-managed location; the next
+        :meth:`start` restores from it automatically."""
+        self._conn._driver.domain_managed_save(self._name)
+
+    def managed_save_remove(self) -> None:
+        self._conn._driver.domain_managed_save_remove(self._name)
+
+    def has_managed_save(self) -> bool:
+        return bool(self._conn._driver.domain_has_managed_save(self._name))
 
     # -- autostart ----------------------------------------------------------------------
 
@@ -212,6 +227,48 @@ class Domain:
 
     def delete_snapshot(self, snapshot_name: str) -> None:
         self._conn._driver.snapshot_delete(self._name, snapshot_name)
+
+    # -- checkpoints & backup --------------------------------------------------------------
+
+    def create_checkpoint(self, checkpoint_name: str) -> Dict[str, Any]:
+        """Freeze the dirty-block bitmaps into a named checkpoint."""
+        return self._conn._driver.checkpoint_create(self._name, checkpoint_name)
+
+    def list_checkpoints(self) -> List[str]:
+        return self._conn._driver.checkpoint_list(self._name)
+
+    def delete_checkpoint(self, checkpoint_name: str) -> None:
+        self._conn._driver.checkpoint_delete(self._name, checkpoint_name)
+
+    def checkpoint_xml_desc(self, checkpoint_name: str) -> str:
+        return self._conn._driver.checkpoint_get_xml_desc(self._name, checkpoint_name)
+
+    def backup_begin(
+        self,
+        pool: str,
+        incremental: Optional[str] = None,
+        checkpoint: Optional[str] = None,
+        volume: Optional[str] = None,
+        bandwidth_mib_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Start a backup job into a volume of ``pool``.
+
+        ``incremental`` names a checkpoint: only blocks dirtied since it
+        are transferred.  ``checkpoint`` additionally creates a new
+        checkpoint at the moment the backup starts, so the next backup
+        can be incremental from this one.  Returns the job description;
+        poll :meth:`job_info`, cancel with :meth:`abort_job`.
+        """
+        options: Dict[str, Any] = {"pool": pool}
+        if incremental is not None:
+            options["incremental"] = incremental
+        if checkpoint is not None:
+            options["checkpoint"] = checkpoint
+        if volume is not None:
+            options["volume"] = volume
+        if bandwidth_mib_s is not None:
+            options["bandwidth_mib_s"] = float(bandwidth_mib_s)
+        return self._conn._driver.backup_begin(self._name, options)
 
     # -- migration ------------------------------------------------------------------------
 

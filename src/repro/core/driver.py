@@ -19,7 +19,7 @@ what the capability matrix (experiment E1) queries.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.events import EventCallback
 from repro.core.uri import ConnectionURI
@@ -31,9 +31,12 @@ FEATURES = (
     "pause_resume",
     "reboot",
     "save_restore",
+    "managed_save",
     "set_memory",
     "set_vcpus",
     "snapshots",
+    "checkpoints",
+    "backup",
     "migration",
     "networks",
     "storage",
@@ -42,6 +45,81 @@ FEATURES = (
     "remote",  # reachable through the remote protocol
     "autostart",
 )
+
+#: which driver methods each optional capability promises.  A driver
+#: that advertises a feature must implement every method in its group;
+#: a driver that implements a method outside its advertised features
+#: must list it in ``unsupported_ops`` (it exists but refuses at
+#: runtime).  ``tools/lint_driver_surface.py`` enforces both rules.
+FEATURE_METHODS: Dict[str, Tuple[str, ...]] = {
+    "lifecycle": (
+        "domain_define_xml",
+        "domain_undefine",
+        "domain_create",
+        "domain_create_xml",
+        "domain_shutdown",
+        "domain_destroy",
+    ),
+    "pause_resume": ("domain_suspend", "domain_resume"),
+    "reboot": ("domain_reboot",),
+    "save_restore": ("domain_save", "domain_restore"),
+    "managed_save": (
+        "domain_managed_save",
+        "domain_managed_save_remove",
+        "domain_has_managed_save",
+    ),
+    "set_memory": ("domain_set_memory",),
+    "set_vcpus": ("domain_set_vcpus",),
+    "snapshots": (
+        "snapshot_create",
+        "snapshot_list",
+        "snapshot_revert",
+        "snapshot_delete",
+    ),
+    "checkpoints": (
+        "checkpoint_create",
+        "checkpoint_list",
+        "checkpoint_delete",
+        "checkpoint_get_xml_desc",
+    ),
+    "backup": ("backup_begin", "domain_abort_job"),
+    "migration": (
+        "migrate_begin",
+        "migrate_prepare",
+        "migrate_perform",
+        "migrate_finish",
+        "migrate_confirm",
+        "migrate_p2p",
+    ),
+    "networks": (
+        "network_define_xml",
+        "network_undefine",
+        "network_create",
+        "network_destroy",
+        "network_list",
+        "network_lookup_by_name",
+        "network_get_xml_desc",
+        "network_dhcp_leases",
+    ),
+    "storage": (
+        "storage_pool_define_xml",
+        "storage_pool_undefine",
+        "storage_pool_create",
+        "storage_pool_destroy",
+        "storage_pool_list",
+        "storage_pool_lookup_by_name",
+        "storage_pool_get_info",
+        "storage_pool_get_xml_desc",
+        "storage_vol_create_xml",
+        "storage_vol_delete",
+        "storage_vol_list",
+        "storage_vol_get_info",
+    ),
+    "events": ("domain_event_register", "domain_event_deregister"),
+    "device_hotplug": ("domain_attach_device", "domain_detach_device"),
+    "autostart": ("domain_get_autostart", "domain_set_autostart"),
+    "remote": (),
+}
 
 
 class Driver:
@@ -56,6 +134,10 @@ class Driver:
     name = "abstract"
     #: True when the driver runs client-side against a self-managing hypervisor
     stateless = False
+    #: methods this driver deliberately leaves unimplemented (or
+    #: implements only to raise) even though related features exist —
+    #: the honest-capability declaration ``lint_driver_surface`` checks
+    unsupported_ops: FrozenSet[str] = frozenset()
 
     def _unsupported(self, what: str) -> "UnsupportedError":
         return UnsupportedError(f"driver {self.name!r} does not support {what}")
@@ -177,6 +259,16 @@ class Driver:
     def domain_restore(self, path: str) -> Dict[str, Any]:
         raise self._unsupported("domain_restore")
 
+    def domain_managed_save(self, name: str) -> None:
+        """Save to a driver-managed path; the next start auto-restores."""
+        raise self._unsupported("domain_managed_save")
+
+    def domain_managed_save_remove(self, name: str) -> None:
+        raise self._unsupported("domain_managed_save_remove")
+
+    def domain_has_managed_save(self, name: str) -> bool:
+        raise self._unsupported("domain_has_managed_save")
+
     def domain_get_autostart(self, name: str) -> bool:
         raise self._unsupported("domain_get_autostart")
 
@@ -202,6 +294,29 @@ class Driver:
 
     def snapshot_delete(self, name: str, snapshot_name: str) -> None:
         raise self._unsupported("snapshot_delete")
+
+    # -- checkpoints & backup ------------------------------------------------------
+
+    def checkpoint_create(self, name: str, checkpoint_name: str) -> Dict[str, Any]:
+        """Freeze the domain's dirty-block bitmaps into a new checkpoint."""
+        raise self._unsupported("checkpoint_create")
+
+    def checkpoint_list(self, name: str) -> List[str]:
+        raise self._unsupported("checkpoint_list")
+
+    def checkpoint_delete(self, name: str, checkpoint_name: str) -> None:
+        raise self._unsupported("checkpoint_delete")
+
+    def checkpoint_get_xml_desc(self, name: str, checkpoint_name: str) -> str:
+        raise self._unsupported("checkpoint_get_xml_desc")
+
+    def backup_begin(self, name: str, options: Dict[str, Any]) -> Dict[str, Any]:
+        """Start a full or incremental backup as a background job."""
+        raise self._unsupported("backup_begin")
+
+    def domain_abort_job(self, name: str) -> Dict[str, Any]:
+        """Cancel the domain's active background job."""
+        raise self._unsupported("domain_abort_job")
 
     # -- migration ----------------------------------------------------------------
 

@@ -71,6 +71,8 @@ class Libvirtd:
             # a registry they were already constructed with, if any)
             if getattr(driver, "metrics", None) is None:
                 driver.metrics = self.metrics
+            if getattr(driver, "tracer", None) is None:
+                driver.tracer = self.tracer
         self.pool = WorkerPool(
             min_workers=min_workers,
             max_workers=max_workers,
@@ -325,13 +327,31 @@ class Libvirtd:
         for record in dead:
             self._cleanup_client(record)
 
-    def _cleanup_client(self, record: ClientRecord) -> None:
+    def _cleanup_client(self, record: ClientRecord, clean: bool = False) -> None:
         if record.event_callback_id is not None and record.driver is not None:
             try:
                 record.driver.domain_event_deregister(record.event_callback_id)
             except VirtError:
                 pass
             record.event_callback_id = None
+        if not clean and record.owned_jobs and record.driver is not None:
+            # a severed transport must not wedge the domain: fail any
+            # background job this client started so its cleanup runs
+            engine = getattr(record.driver, "jobs", None)
+            if engine is not None:
+                for domain in sorted(record.owned_jobs):
+                    try:
+                        if engine.fail_active(
+                            domain, "client disconnected during job"
+                        ):
+                            self.logger.info(
+                                "rpc.server",
+                                f"client {record.id} vanished, failed "
+                                f"background job on domain {domain!r}",
+                            )
+                    except VirtError:
+                        pass
+        record.owned_jobs.clear()
         with self._lock:
             self._clients.pop(record.id, None)
             self._by_conn.pop(record.conn, None)
@@ -621,7 +641,7 @@ class Libvirtd:
 
     def _h_close(self, conn: ServerConnection, body: Any) -> Any:
         record = self._record_of(conn)
-        self._cleanup_client(record)
+        self._cleanup_client(record, clean=True)
         return None
 
     def _h_event_register(self, conn: ServerConnection, body: Any) -> Any:
@@ -656,6 +676,25 @@ class Libvirtd:
             driver.domain_event_deregister(record.event_callback_id)
             record.event_callback_id = None
         return None
+
+    def _h_backup_begin(self) -> Callable[[ServerConnection, Any], Any]:
+        base = self._wrap(
+            lambda d, b: d.backup_begin(b["name"], b.get("options") or {})
+        )
+        # the outer bookkeeping wrapper gets the registration stamp, so
+        # label the inner driver-op handler by hand
+        base.procedure = "domain.backup_begin"
+
+        def handler(conn: ServerConnection, body: Any) -> Any:
+            result = base(conn, body)
+            # remember who started the job: an unclean disconnect of
+            # this client fails it rather than leaving it to run with
+            # nobody able to observe or cancel it
+            record = self._record_of(conn)
+            record.owned_jobs.add((body or {})["name"])
+            return result
+
+        return handler
 
     def _register_handlers(self) -> None:
         def r(name: str, handler: Any, priority: bool = False) -> None:
@@ -702,6 +741,9 @@ class Libvirtd:
         r("domain.get_scheduler_params", w(lambda d, b: d.domain_get_scheduler_params(b["name"])), priority=True)
         r("domain.set_scheduler_params", w(lambda d, b: d.domain_set_scheduler_params(b["name"], b["params"])))
         r("domain.get_job_info", w(lambda d, b: d.domain_get_job_info(b["name"])), priority=True)
+        # abort must get through even when the normal lanes are saturated
+        # by the very job being cancelled
+        r("domain.abort_job", w(lambda d, b: d.domain_abort_job(b["name"])), priority=True)
         r("domain.migrate_p2p", w(lambda d, b: d.migrate_p2p(b["name"], b["dest_uri"], b["params"])))
         r("domain.set_memory", w(lambda d, b: d.domain_set_memory(b["name"], b["memory_kib"])))
         r("domain.set_vcpus", w(lambda d, b: d.domain_set_vcpus(b["name"], b["vcpus"])))
@@ -715,6 +757,14 @@ class Libvirtd:
         r("domain.snapshot_list", w(lambda d, b: d.snapshot_list(b["name"])), priority=True)
         r("domain.snapshot_revert", w(lambda d, b: d.snapshot_revert(b["name"], b["snapshot"])))
         r("domain.snapshot_delete", w(lambda d, b: d.snapshot_delete(b["name"], b["snapshot"])))
+        r("domain.checkpoint_create", w(lambda d, b: d.checkpoint_create(b["name"], b["checkpoint"])))
+        r("domain.checkpoint_list", w(lambda d, b: d.checkpoint_list(b["name"])), priority=True)
+        r("domain.checkpoint_delete", w(lambda d, b: d.checkpoint_delete(b["name"], b["checkpoint"])))
+        r("domain.checkpoint_get_xml_desc", w(lambda d, b: d.checkpoint_get_xml_desc(b["name"], b["checkpoint"])), priority=True)
+        r("domain.backup_begin", self._h_backup_begin())
+        r("domain.managed_save", w(lambda d, b: d.domain_managed_save(b["name"])))
+        r("domain.managed_save_remove", w(lambda d, b: d.domain_managed_save_remove(b["name"])))
+        r("domain.has_managed_save", w(lambda d, b: d.domain_has_managed_save(b["name"])), priority=True)
         r("domain.migrate_begin", w(lambda d, b: d.migrate_begin(b["name"])))
         r("domain.migrate_prepare", w(lambda d, b: d.migrate_prepare(b["description"])))
         r("domain.migrate_perform", w(lambda d, b: d.migrate_perform(b["name"], b["cookie"], b["params"])))

@@ -32,6 +32,16 @@ class EsxDriver(Driver):
 
     name = "esx"
     stateless = True
+    #: core introspection calls the ESX remote API has no analogue for
+    unsupported_ops = frozenset(
+        {
+            "domain_lookup_by_id",
+            "domain_get_stats",
+            "domain_get_scheduler_params",
+            "domain_set_scheduler_params",
+            "domain_get_job_info",
+        }
+    )
 
     def __init__(
         self,

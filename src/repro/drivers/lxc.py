@@ -1,9 +1,12 @@
 """The LXC driver: uniform API → container engine verbs and cgroup writes.
 
 Containers of the paper's era cannot be checkpointed or live-migrated,
-so this driver honestly drops ``save_restore`` and ``migration`` from
-its feature set — the capability matrix shows the gap rather than
-papering over it.
+so this driver honestly drops ``save_restore``, ``managed_save``,
+``migration``, ``checkpoints`` and ``backup`` from its feature set —
+the capability matrix shows the gap rather than papering over it.
+Every method behind a dropped feature is listed in
+``unsupported_ops`` so ``tools/lint_driver_surface.py`` can verify the
+declaration matches the implementation.
 """
 
 from __future__ import annotations
@@ -21,12 +24,39 @@ class LxcDriver(StatefulDriver):
 
     name = "lxc"
     accepted_types = ("lxc",)
+    unsupported_ops = frozenset(
+        {
+            "domain_save",
+            "domain_restore",
+            "domain_managed_save",
+            "domain_managed_save_remove",
+            "domain_has_managed_save",
+            "migrate_begin",
+            "migrate_prepare",
+            "migrate_perform",
+            "migrate_finish",
+            "migrate_confirm",
+            "migrate_p2p",
+            "checkpoint_create",
+            "checkpoint_list",
+            "checkpoint_delete",
+            "checkpoint_get_xml_desc",
+            "backup_begin",
+            "domain_abort_job",
+        }
+    )
 
     def __init__(self, backend: "Optional[ContainerBackend]" = None) -> None:
         super().__init__(backend or ContainerBackend(host=SimHost(hostname="lxchost")))
 
     def features(self) -> List[str]:
-        unsupported = {"save_restore", "migration"}
+        unsupported = {
+            "save_restore",
+            "managed_save",
+            "migration",
+            "checkpoints",
+            "backup",
+        }
         return [f for f in super().features() if f not in unsupported]
 
     # -- backend adapter -----------------------------------------------------
@@ -84,3 +114,30 @@ class LxcDriver(StatefulDriver):
 
     def migrate_prepare(self, description: Dict[str, Any]) -> Dict[str, Any]:
         raise self._unsupported("migration")
+
+    def domain_managed_save(self, name: str) -> None:
+        raise self._unsupported("managed save (containers cannot be checkpointed)")
+
+    def domain_managed_save_remove(self, name: str) -> None:
+        raise self._unsupported("managed save")
+
+    def domain_has_managed_save(self, name: str) -> bool:
+        raise self._unsupported("managed save")
+
+    def checkpoint_create(self, name: str, checkpoint_name: str) -> Dict[str, Any]:
+        raise self._unsupported("checkpoints (containers have no dirty bitmaps)")
+
+    def checkpoint_list(self, name: str) -> List[str]:
+        raise self._unsupported("checkpoints")
+
+    def checkpoint_delete(self, name: str, checkpoint_name: str) -> None:
+        raise self._unsupported("checkpoints")
+
+    def checkpoint_get_xml_desc(self, name: str, checkpoint_name: str) -> str:
+        raise self._unsupported("checkpoints")
+
+    def backup_begin(self, name: str, options: "Optional[Dict[str, Any]]" = None) -> Dict[str, Any]:
+        raise self._unsupported("backup jobs")
+
+    def domain_abort_job(self, name: str) -> Dict[str, Any]:
+        raise self._unsupported("backup jobs")

@@ -466,6 +466,18 @@ class RemoteDriver(Driver):
     def domain_restore(self, path: str) -> Dict[str, Any]:
         return self._call("domain.restore", {"path": path})
 
+    def domain_managed_save(self, name: str) -> None:
+        self._call("domain.managed_save", {"name": name})
+
+    def domain_managed_save_remove(self, name: str) -> None:
+        self._call("domain.managed_save_remove", {"name": name})
+
+    def domain_has_managed_save(self, name: str) -> bool:
+        return bool(self._call("domain.has_managed_save", {"name": name}))
+
+    def domain_abort_job(self, name: str) -> Dict[str, Any]:
+        return self._call("domain.abort_job", {"name": name})
+
     def domain_get_autostart(self, name: str) -> bool:
         return self._call("domain.get_autostart", {"name": name})
 
@@ -498,6 +510,32 @@ class RemoteDriver(Driver):
     def snapshot_delete(self, name: str, snapshot_name: str) -> None:
         self._call(
             "domain.snapshot_delete", {"name": name, "snapshot": snapshot_name}
+        )
+
+    # -- checkpoints & backup ---------------------------------------------------------------
+
+    def checkpoint_create(self, name: str, checkpoint_name: str) -> Dict[str, Any]:
+        return self._call(
+            "domain.checkpoint_create", {"name": name, "checkpoint": checkpoint_name}
+        )
+
+    def checkpoint_list(self, name: str) -> List[str]:
+        return self._call("domain.checkpoint_list", {"name": name})
+
+    def checkpoint_delete(self, name: str, checkpoint_name: str) -> None:
+        self._call(
+            "domain.checkpoint_delete", {"name": name, "checkpoint": checkpoint_name}
+        )
+
+    def checkpoint_get_xml_desc(self, name: str, checkpoint_name: str) -> str:
+        return self._call(
+            "domain.checkpoint_get_xml_desc",
+            {"name": name, "checkpoint": checkpoint_name},
+        )
+
+    def backup_begin(self, name: str, options: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        return self._call(
+            "domain.backup_begin", {"name": name, "options": dict(options or {})}
         )
 
     # -- migration -------------------------------------------------------------------------

@@ -13,6 +13,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.checkpoint import CheckpointTree, JobEngine
 from repro.core.driver import Driver
 from repro.core.events import EventBroker, EventCallback
 from repro.core.states import (
@@ -33,6 +34,7 @@ from repro.errors import (
     NoSnapshotError,
     NoStoragePoolError,
     NoStorageVolumeError,
+    ResourceBusyError,
     SnapshotExistsError,
     StoragePoolExistsError,
     StorageVolumeExistsError,
@@ -40,6 +42,7 @@ from repro.errors import (
 from repro.hypervisors.base import Backend
 from repro.migration.precopy import run_precopy
 from repro.util import uuidutil
+from repro.xmlconfig.checkpoint import CheckpointConfig
 from repro.xmlconfig.domain import DomainConfig
 from repro.xmlconfig.network import NetworkConfig
 from repro.xmlconfig.storage import StoragePoolConfig, VolumeConfig
@@ -56,7 +59,9 @@ class _DomainRecord:
         "persistent",
         "autostart",
         "snapshots",
+        "checkpoints",
         "saved_path",
+        "managed_save_path",
         "scheduler",
         "last_job",
     )
@@ -66,7 +71,11 @@ class _DomainRecord:
         self.persistent = persistent
         self.autostart = False
         self.snapshots: Dict[str, Dict[str, Any]] = {}
+        #: parent/child checkpoint tree (frozen dirty-block bitmaps)
+        self.checkpoints = CheckpointTree()
         self.saved_path: Optional[str] = None
+        #: driver-managed save image; the next start auto-restores it
+        self.managed_save_path: Optional[str] = None
         #: CPU scheduler tunables (virsh schedinfo)
         self.scheduler: Dict[str, int] = {
             "cpu_shares": 1024,
@@ -104,6 +113,16 @@ class StatefulDriver(Driver):
         self.api_calls = 0
         #: optional observability registry, attached by a hosting daemon
         self.metrics = None
+        #: optional tracer, attached by a hosting daemon
+        self.tracer = None
+        #: cancellable background jobs (backups); lazy getters so the
+        #: engine sees metrics/tracer attached after construction
+        self.jobs = JobEngine(
+            backend.clock,
+            driver=self.name,
+            metrics=lambda: self.metrics,
+            tracer=lambda: self.tracer,
+        )
 
     # ==================================================================
     # backend adapter — the only part concrete drivers implement
@@ -242,9 +261,12 @@ class StatefulDriver(Driver):
             "pause_resume",
             "reboot",
             "save_restore",
+            "managed_save",
             "set_memory",
             "set_vcpus",
             "snapshots",
+            "checkpoints",
+            "backup",
             "migration",
             "networks",
             "storage",
@@ -370,6 +392,16 @@ class StatefulDriver(Driver):
         self._count_call()
         record = self._record(name)
         self._check_transition(name, "start")
+        if record.managed_save_path is not None:
+            path = record.managed_save_path
+            self._backend_restore(record.config, path)
+            record.managed_save_path = None
+            if record.saved_path == path:
+                record.saved_path = None
+            self._assign_id(name)
+            self._assign_dhcp_leases(record.config)
+            self.events.emit(name, DomainEvent.STARTED, "restored")
+            return
         self._backend_start(record.config)
         self._assign_id(name)
         self._assign_dhcp_leases(record.config)
@@ -400,6 +432,7 @@ class StatefulDriver(Driver):
         self._record(name)
         self._check_transition(name, "shutdown")
         self._backend_shutdown(name)
+        self.jobs.fail_active(name, "domain shut down during job")
         self._release_dhcp_leases(self._record(name).config)
         self.events.emit(name, DomainEvent.SHUTDOWN, "guest-initiated")
         self.events.emit(name, DomainEvent.STOPPED, "shutdown")
@@ -410,6 +443,7 @@ class StatefulDriver(Driver):
         self._record(name)
         self._check_transition(name, "destroy")
         self._backend_destroy(name)
+        self.jobs.fail_active(name, "domain destroyed during job")
         self._release_dhcp_leases(self._record(name).config)
         self.events.emit(name, DomainEvent.STOPPED, "destroyed")
         self._forget_transient(name)
@@ -517,6 +551,11 @@ class StatefulDriver(Driver):
     def domain_get_job_info(self, name: str) -> Dict[str, Any]:
         self._count_call()
         record = self._record(name)
+        # an active background job wins; the engine writes its terminal
+        # info into record.last_job, so finished jobs fall through below
+        active = self.jobs.active(name)
+        if active is not None:
+            return active.info(self.backend.clock.now())
         if record.last_job is None:
             return {"type": "none"}
         return dict(record.last_job)
@@ -598,6 +637,7 @@ class StatefulDriver(Driver):
         record = self._record(name)
         self._check_transition(name, "save")
         self._backend_save(name, path)
+        self.jobs.fail_active(name, "domain stopped by save")
         record.saved_path = path
         record.last_job = {"type": "save", "completed": True, "path": path}
         self.events.emit(name, DomainEvent.STOPPED, "saved")
@@ -617,6 +657,40 @@ class StatefulDriver(Driver):
         self._assign_id(name)
         self.events.emit(name, DomainEvent.STARTED, "restored")
         return self._public_record(name)
+
+    #: where managed-save images live (libvirt: /var/lib/libvirt/qemu/save)
+    MANAGED_SAVE_DIR = "/var/lib/pyvirt/save"
+
+    def _managed_save_path(self, name: str) -> str:
+        return f"{self.MANAGED_SAVE_DIR}/{name}.save"
+
+    def domain_managed_save(self, name: str) -> None:
+        """Save to the driver-managed path; the next start auto-restores."""
+        self._count_call()
+        record = self._record(name)
+        self._check_transition(name, "save")
+        path = self._managed_save_path(name)
+        self._backend_save(name, path)
+        self.jobs.fail_active(name, "domain stopped by managed save")
+        record.saved_path = path
+        record.managed_save_path = path
+        record.last_job = {"type": "save", "completed": True, "path": path, "managed": True}
+        self.events.emit(name, DomainEvent.STOPPED, "saved")
+
+    def domain_managed_save_remove(self, name: str) -> None:
+        self._count_call()
+        record = self._record(name)
+        if record.managed_save_path is None:
+            raise InvalidOperationError(
+                f"domain {name!r} has no managed save image"
+            )
+        if record.saved_path == record.managed_save_path:
+            record.saved_path = None
+        record.managed_save_path = None
+
+    def domain_has_managed_save(self, name: str) -> bool:
+        self._count_call()
+        return self._record(name).managed_save_path is not None
 
     def domain_get_autostart(self, name: str) -> bool:
         self._count_call()
@@ -711,8 +785,44 @@ class StatefulDriver(Driver):
             "xml": record.config.to_xml(),
             "creation_time": self.backend.clock.now(),
         }
+        snapshot["disks"] = self._snapshot_disks(record, snapshot_name)
         record.snapshots[snapshot_name] = snapshot
         return {"name": snapshot_name, "domain": name}
+
+    def _snapshot_disks(
+        self, record: _DomainRecord, snapshot_name: str
+    ) -> List[Dict[str, Any]]:
+        """Freeze each attached disk's state: allocation plus a shallow
+        COW overlay pinning the backing image (qcow2 external snapshot).
+        Raw images record allocation only — no overlay is possible."""
+        images = self.backend.images
+        disks: List[Dict[str, Any]] = []
+        created: List[str] = []
+        try:
+            for disk in record.config.disks:
+                source = disk.source
+                if not source or not images.exists(source):
+                    continue
+                image = images.lookup(source)
+                entry: Dict[str, Any] = {
+                    "source": source,
+                    "target": disk.target_dev,
+                    "allocation_bytes": image.allocation_bytes,
+                }
+                if image.image_format != "raw":
+                    overlay = f"{source}.{snapshot_name}"
+                    images.clone(source, overlay, shallow=True)
+                    created.append(overlay)
+                    entry["overlay"] = overlay
+                disks.append(entry)
+        except Exception:
+            for overlay in created:
+                try:
+                    images.delete(overlay)
+                except Exception:
+                    pass
+            raise
+        return disks
 
     def snapshot_list(self, name: str) -> List[str]:
         self._count_call()
@@ -731,6 +841,15 @@ class StatefulDriver(Driver):
         if self.backend.has_guest(name):
             self._backend_destroy(name)
         record.config = DomainConfig.from_xml(snapshot["xml"])
+        images = self.backend.images
+        for entry in snapshot.get("disks", ()):
+            source = entry.get("source")
+            if not source or not images.exists(source):
+                continue
+            images.set_allocation(source, int(entry.get("allocation_bytes", 0)))
+            # contents were replaced wholesale: invalidate bitmaps so a
+            # later incremental backup stays a correct (conservative) superset
+            images.mark_all_dirty(source)
         if was_running:
             self._backend_start(record.config)
             self._assign_id(name)
@@ -739,9 +858,201 @@ class StatefulDriver(Driver):
     def snapshot_delete(self, name: str, snapshot_name: str) -> None:
         self._count_call()
         record = self._record(name)
-        if snapshot_name not in record.snapshots:
+        snapshot = record.snapshots.get(snapshot_name)
+        if snapshot is None:
             raise NoSnapshotError(f"domain {name!r} has no snapshot {snapshot_name!r}")
+        images = self.backend.images
+        for entry in snapshot.get("disks", ()):
+            overlay = entry.get("overlay")
+            if overlay and images.exists(overlay):
+                try:
+                    images.delete(overlay)
+                except ResourceBusyError:
+                    pass  # something chained onto the overlay; leave it
         del record.snapshots[snapshot_name]
+
+    # ==================================================================
+    # checkpoints & backup jobs
+    # ==================================================================
+
+    def _domain_disk_paths(self, record: _DomainRecord) -> List[str]:
+        """Paths of the domain's disks that exist in the image store."""
+        images = self.backend.images
+        return [
+            disk.source
+            for disk in record.config.disks
+            if disk.source and images.exists(disk.source)
+        ]
+
+    def checkpoint_create(self, name: str, checkpoint_name: str) -> Dict[str, Any]:
+        self._count_call()
+        record = self._record(name)
+        state = self._domain_state(name)
+        if state not in (DomainState.RUNNING, DomainState.PAUSED):
+            raise InvalidOperationError(
+                f"cannot checkpoint domain {name!r}: domain is "
+                f"{DomainState(state).name.lower()}"
+            )
+        if self.jobs.active(name) is not None:
+            raise ResourceBusyError(
+                f"cannot checkpoint domain {name!r} during an active job"
+            )
+        disks = self._domain_disk_paths(record)
+        if not disks:
+            raise InvalidOperationError(
+                f"domain {name!r} has no disks to checkpoint"
+            )
+        # checkpoint creation is metadata-only: bitmap handoff, no copy
+        self.backend.cost.charge(self.backend.clock, "snapshot", 0.0)
+        images = self.backend.images
+        frozen = {path: images.reset_dirty(path) for path in disks}
+        checkpoint = record.checkpoints.create(
+            checkpoint_name,
+            creation_time=self.backend.clock.now(),
+            state=DomainState(state).name.lower(),
+            disks=frozen,
+            block_size=images.block_size,
+        )
+        return {
+            "name": checkpoint_name,
+            "domain": name,
+            "parent": checkpoint.parent,
+        }
+
+    def checkpoint_list(self, name: str) -> List[str]:
+        self._count_call()
+        return self._record(name).checkpoints.list_names()
+
+    def checkpoint_delete(self, name: str, checkpoint_name: str) -> None:
+        self._count_call()
+        record = self._record(name)
+        if self.jobs.active(name) is not None:
+            raise ResourceBusyError(
+                f"cannot delete a checkpoint of {name!r} during an active job"
+            )
+        was_current = record.checkpoints.current == checkpoint_name
+        checkpoint = record.checkpoints.delete(checkpoint_name)
+        if was_current:
+            # the leaf's frozen blocks flow back into the active bitmaps
+            images = self.backend.images
+            for path, blocks in checkpoint.disks.items():
+                if images.exists(path):
+                    images.merge_dirty(path, blocks)
+
+    def checkpoint_get_xml_desc(self, name: str, checkpoint_name: str) -> str:
+        self._count_call()
+        record = self._record(name)
+        checkpoint = record.checkpoints.get(checkpoint_name)
+        return CheckpointConfig.from_tree_checkpoint(checkpoint, domain=name).to_xml()
+
+    def backup_begin(self, name: str, options: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Start a full or incremental backup as a cancellable job.
+
+        Options: ``pool`` (required target pool), ``volume`` (target
+        volume name), ``incremental`` (checkpoint name: copy only blocks
+        dirtied since it), ``checkpoint`` (also freeze a new checkpoint
+        at the start of the backup), ``bandwidth_mib_s``.
+        """
+        self._count_call()
+        options = dict(options or {})
+        record = self._record(name)
+        state = self._domain_state(name)
+        if state not in (DomainState.RUNNING, DomainState.PAUSED):
+            raise InvalidOperationError(
+                f"cannot back up domain {name!r}: domain is "
+                f"{DomainState(state).name.lower()}"
+            )
+        images = self.backend.images
+        disks = self._domain_disk_paths(record)
+        if not disks:
+            raise InvalidOperationError(f"domain {name!r} has no disks to back up")
+        pool = options.get("pool")
+        if not pool:
+            raise InvalidArgumentError("backup_begin requires a target pool")
+        if self.jobs.active(name) is not None:
+            raise ResourceBusyError(
+                f"domain {name!r} already has an active job"
+            )
+        incremental = options.get("incremental") or None
+        if incremental:
+            since = record.checkpoints.blocks_since(incremental, disks)
+            total = 0
+            for path in disks:
+                blocks = set(since.get(path, set()))
+                blocks.update(images.dirty_blocks(path))
+                total += len(blocks) * images.block_size
+            operation = "backup-incremental"
+        else:
+            total = sum(images.lookup(path).allocation_bytes for path in disks)
+            operation = "backup-full"
+        bandwidth_mib_s = float(
+            options.get("bandwidth_mib_s")
+            or self.backend.cost.bandwidth_gib_s * 1024
+        )
+        if bandwidth_mib_s <= 0:
+            raise InvalidArgumentError("backup bandwidth must be positive")
+        volume_name = options.get("volume") or (
+            f"{name}-backup-{'inc' if incremental else 'full'}"
+        )
+        capacity = max(total, images.block_size)
+        created = self.storage_vol_create_xml(
+            pool, VolumeConfig(volume_name, capacity_bytes=capacity).to_xml()
+        )
+        target_path = created["path"]
+        try:
+            checkpoint_name = options.get("checkpoint")
+            if checkpoint_name:
+                # freeze the bitmaps *after* computing the transfer set:
+                # this backup covers up to now, future incrementals are
+                # relative to the new checkpoint
+                frozen = {path: images.reset_dirty(path) for path in disks}
+                record.checkpoints.create(
+                    checkpoint_name,
+                    creation_time=self.backend.clock.now(),
+                    state=DomainState(state).name.lower(),
+                    disks=frozen,
+                    block_size=images.block_size,
+                )
+            job = self.jobs.begin(
+                name,
+                "backup",
+                operation,
+                total,
+                bandwidth_mib_s * MIB,
+                extra={
+                    "target_pool": pool,
+                    "target_volume": volume_name,
+                    "target_path": target_path,
+                    "incremental": incremental or "",
+                },
+                on_complete=lambda: images.set_allocation(target_path, total),
+                on_cleanup=lambda: self._drop_backup_volume(pool, volume_name),
+                on_final=lambda info: setattr(record, "last_job", info),
+            )
+        except Exception:
+            self._drop_backup_volume(pool, volume_name)
+            raise
+        return job.info(self.backend.clock.now())
+
+    def _drop_backup_volume(self, pool: str, volume: str) -> None:
+        """Remove a backup target volume (cancelled/failed job), best effort."""
+        with self._lock:
+            volumes = self._pool_volumes.get(pool)
+            config = None if volumes is None else volumes.pop(volume, None)
+            pool_config = self._pools.get(pool)
+        if config is None or pool_config is None:
+            return
+        path = f"{pool_config.target_path}/{volume}"
+        if self.backend.images.exists(path):
+            try:
+                self.backend.images.delete(path)
+            except (NoStorageVolumeError, ResourceBusyError):
+                pass
+
+    def domain_abort_job(self, name: str) -> Dict[str, Any]:
+        self._count_call()
+        self._record(name)
+        return self.jobs.cancel(name)
 
     # ==================================================================
     # migration (driver hooks; orchestrated by repro.migration.manager)

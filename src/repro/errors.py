@@ -46,6 +46,7 @@ class ErrorDomain(enum.IntEnum):
     CLI = 20
     TEST = 21
     URI = 22
+    CHECKPOINT = 23
 
 
 class ErrorCode(enum.IntEnum):
@@ -100,6 +101,8 @@ class ErrorCode(enum.IntEnum):
     INSUFFICIENT_RESOURCES = 46
     MIGRATE_INCOMPATIBLE = 47
     GUEST_CRASHED = 48
+    NO_DOMAIN_CHECKPOINT = 49
+    CHECKPOINT_EXIST = 50
 
 
 class VirtError(Exception):
@@ -304,6 +307,20 @@ class SnapshotExistsError(VirtError):
     default_domain = ErrorDomain.SNAPSHOT
 
 
+class NoCheckpointError(VirtError):
+    """Lookup failed: no checkpoint with the given name."""
+
+    default_code = ErrorCode.NO_DOMAIN_CHECKPOINT
+    default_domain = ErrorDomain.CHECKPOINT
+
+
+class CheckpointExistsError(VirtError):
+    """A checkpoint with the same name already exists."""
+
+    default_code = ErrorCode.CHECKPOINT_EXIST
+    default_domain = ErrorDomain.CHECKPOINT
+
+
 class RPCError(VirtError):
     """Wire-protocol failure: framing, serialization, or dispatch."""
 
@@ -403,6 +420,8 @@ _CODE_TO_CLASS = {
     ErrorCode.STORAGE_VOL_EXIST: StorageVolumeExistsError,
     ErrorCode.NO_DOMAIN_SNAPSHOT: NoSnapshotError,
     ErrorCode.SNAPSHOT_EXIST: SnapshotExistsError,
+    ErrorCode.NO_DOMAIN_CHECKPOINT: NoCheckpointError,
+    ErrorCode.CHECKPOINT_EXIST: CheckpointExistsError,
     ErrorCode.RPC_ERROR: RPCError,
     ErrorCode.AUTH_FAILED: AuthenticationError,
     ErrorCode.ACCESS_DENIED: AccessDeniedError,

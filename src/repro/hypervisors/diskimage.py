@@ -2,13 +2,15 @@
 
 Stands in for the image files a real host would keep under
 ``/var/lib/libvirt/images``: creation, deletion, cloning, backing-file
-chains and per-image allocation accounting, all in memory.
+chains, per-image allocation accounting and dirty-block bitmaps (the
+qcow2 bitmap analogue that checkpoints and incremental backups build
+on), all in memory.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
 from repro.errors import (
     InvalidArgumentError,
@@ -45,11 +47,27 @@ class DiskImage:
 class ImageStore:
     """The host-wide registry of disk images."""
 
-    def __init__(self, capacity_bytes: int = 500 * 1024**3) -> None:
+    #: granularity of the dirty-block bitmaps (qcow2's default cluster size)
+    DEFAULT_BLOCK_SIZE = 64 * 1024
+
+    def __init__(
+        self,
+        capacity_bytes: int = 500 * 1024**3,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
         if capacity_bytes <= 0:
             raise InvalidArgumentError("image store capacity must be positive")
+        if block_size <= 0:
+            raise InvalidArgumentError("image store block size must be positive")
         self.capacity_bytes = capacity_bytes
+        self.block_size = block_size
         self._images: Dict[str, DiskImage] = {}
+        #: per-image dirty-block bitmap: block indices written since the
+        #: last ``reset_dirty`` (i.e. since the most recent checkpoint)
+        self._dirty: Dict[str, Set[int]] = {}
+        #: per-image write cursor — ``write()`` has no offset, so writes
+        #: advance a cursor and wrap modulo capacity, like a log device
+        self._cursor: Dict[str, int] = {}
         self._lock = threading.Lock()
 
     # -- creation/deletion ---------------------------------------------
@@ -101,6 +119,8 @@ class ImageStore:
                     f"image {path!r} backs {len(dependants)} other image(s): {dependants}"
                 )
             del self._images[path]
+            self._dirty.pop(path, None)
+            self._cursor.pop(path, None)
 
     def clone(self, source_path: str, dest_path: str, shallow: bool = True) -> DiskImage:
         """Copy an image: shallow = new COW overlay, deep = full copy."""
@@ -151,7 +171,13 @@ class ImageStore:
     # -- data-plane model ------------------------------------------------
 
     def write(self, path: str, num_bytes: int) -> None:
-        """Model a guest write growing a thin image's allocation."""
+        """Model a guest write growing a thin image's allocation.
+
+        Also maintains the image's dirty-block bitmap: writes advance a
+        per-image cursor (wrapping modulo capacity) and mark every block
+        the span touches, so checkpoints can later freeze "what changed
+        since the last checkpoint" without scanning data.
+        """
         if num_bytes < 0:
             raise InvalidArgumentError("write size must be non-negative")
         with self._lock:
@@ -163,6 +189,83 @@ class ImageStore:
             if self._allocated_locked() + growth > self.capacity_bytes:
                 raise InvalidOperationError("image store full")
             image.allocation_bytes = new_alloc
+            if num_bytes:
+                self._mark_dirty_locked(image, num_bytes)
+
+    def _mark_dirty_locked(self, image: DiskImage, num_bytes: int) -> None:
+        blocks = self._dirty.setdefault(image.path, set())
+        total = self._num_blocks(image)
+        if num_bytes >= image.capacity_bytes:
+            blocks.update(range(total))
+            self._cursor[image.path] = 0
+            return
+        cursor = self._cursor.get(image.path, 0)
+        first = cursor // self.block_size
+        last = (cursor + num_bytes - 1) // self.block_size
+        for block in range(first, last + 1):
+            blocks.add(block % total)
+        self._cursor[image.path] = (cursor + num_bytes) % image.capacity_bytes
+
+    def _num_blocks(self, image: DiskImage) -> int:
+        return max(1, -(-image.capacity_bytes // self.block_size))
+
+    def set_allocation(self, path: str, allocation_bytes: int) -> None:
+        """Force an image's allocation (snapshot revert / backup finish)."""
+        if allocation_bytes < 0:
+            raise InvalidArgumentError("allocation must be non-negative")
+        with self._lock:
+            image = self._images.get(path)
+            if image is None:
+                raise NoStorageVolumeError(f"image {path!r} not found")
+            new_alloc = min(image.capacity_bytes, allocation_bytes)
+            growth = new_alloc - image.allocation_bytes
+            if growth > 0 and self._allocated_locked() + growth > self.capacity_bytes:
+                raise InvalidOperationError("image store full")
+            image.allocation_bytes = new_alloc
+
+    # -- dirty-block bitmaps ---------------------------------------------
+
+    def dirty_blocks(self, path: str) -> FrozenSet[int]:
+        """The image's active bitmap: blocks written since the last reset."""
+        with self._lock:
+            if path not in self._images:
+                raise NoStorageVolumeError(f"image {path!r} not found")
+            return frozenset(self._dirty.get(path, ()))
+
+    def dirty_bytes(self, path: str) -> int:
+        """Bytes covered by the active bitmap (block-granular)."""
+        with self._lock:
+            image = self._images.get(path)
+            if image is None:
+                raise NoStorageVolumeError(f"image {path!r} not found")
+            covered = len(self._dirty.get(path, ())) * self.block_size
+            return min(covered, image.capacity_bytes)
+
+    def reset_dirty(self, path: str) -> FrozenSet[int]:
+        """Freeze and clear the active bitmap (checkpoint creation)."""
+        with self._lock:
+            if path not in self._images:
+                raise NoStorageVolumeError(f"image {path!r} not found")
+            frozen = frozenset(self._dirty.get(path, ()))
+            self._dirty[path] = set()
+            return frozen
+
+    def merge_dirty(self, path: str, blocks: Iterable[int]) -> None:
+        """Fold frozen blocks back into the active bitmap (checkpoint delete)."""
+        with self._lock:
+            image = self._images.get(path)
+            if image is None:
+                raise NoStorageVolumeError(f"image {path!r} not found")
+            total = self._num_blocks(image)
+            self._dirty.setdefault(path, set()).update(b % total for b in blocks)
+
+    def mark_all_dirty(self, path: str) -> None:
+        """Mark every block dirty (disk contents replaced, e.g. revert)."""
+        with self._lock:
+            image = self._images.get(path)
+            if image is None:
+                raise NoStorageVolumeError(f"image {path!r} not found")
+            self._dirty[path] = set(range(self._num_blocks(image)))
 
     # -- chains & introspection ------------------------------------------
 

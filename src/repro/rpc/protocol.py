@@ -132,6 +132,14 @@ PROCEDURES: Dict[str, int] = {
     "network.dhcp_leases": 69,
     "domain.get_scheduler_params": 70,
     "domain.set_scheduler_params": 71,
+    "domain.checkpoint_create": 72,
+    "domain.checkpoint_list": 73,
+    "domain.checkpoint_delete": 74,
+    "domain.checkpoint_get_xml_desc": 75,
+    "domain.backup_begin": 76,
+    "domain.managed_save": 77,
+    "domain.managed_save_remove": 78,
+    "domain.has_managed_save": 79,
     # -- administration interface (separate 'admin' server in the daemon)
     "admin.connect_open": 100,
     "admin.srv_list": 101,

@@ -46,6 +46,9 @@ IDEMPOTENT_PROCEDURES: FrozenSet[str] = frozenset(
         "domain.get_job_info",
         "domain.get_scheduler_params",
         "domain.snapshot_list",
+        "domain.checkpoint_list",
+        "domain.checkpoint_get_xml_desc",
+        "domain.has_managed_save",
         "network.lookup_by_name",
         "network.list",
         "network.get_xml_desc",

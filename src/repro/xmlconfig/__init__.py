@@ -17,6 +17,7 @@ from repro.xmlconfig.domain import (
     InterfaceDevice,
     OSConfig,
 )
+from repro.xmlconfig.checkpoint import CheckpointConfig, CheckpointDisk
 from repro.xmlconfig.network import DHCPRange, IPConfig, NetworkConfig
 from repro.xmlconfig.storage import StoragePoolConfig, VolumeConfig
 
@@ -32,6 +33,8 @@ __all__ = [
     "DHCPRange",
     "StoragePoolConfig",
     "VolumeConfig",
+    "CheckpointConfig",
+    "CheckpointDisk",
     "Capabilities",
     "HostCapability",
     "GuestCapability",

@@ -1,0 +1,412 @@
+"""Checkpoints, incremental backup, background jobs, and managed save.
+
+The subsystem models libvirt's virDomainCheckpoint/virDomainBackupBegin
+semantics: per-disk dirty bitmaps frozen into a checkpoint tree, backup
+jobs whose transfer set is derived from the bitmaps, and a cancellable
+job engine whose progress is a pure function of the virtual clock.
+"""
+
+import pytest
+
+from repro.checkpoint import CheckpointTree
+from repro.drivers.lxc import LxcDriver
+from repro.drivers.qemu import QemuDriver
+from repro.errors import (
+    CheckpointExistsError,
+    InvalidArgumentError,
+    InvalidOperationError,
+    NoCheckpointError,
+    ResourceBusyError,
+    UnsupportedError,
+)
+from repro.xmlconfig.checkpoint import CheckpointConfig
+from repro.xmlconfig.domain import DiskDevice, DomainConfig
+from repro.xmlconfig.storage import StoragePoolConfig
+
+KiB = 1024
+MiB = 1024**2
+GiB = 1024**3
+GiB_KIB = 1024 * 1024
+
+DISK = "/img/vm1.qcow2"
+POOL = "backups"
+
+
+def disk_config(name="vm1", capacity=8 * GiB, fmt="qcow2"):
+    return DomainConfig(
+        name=name,
+        domain_type="kvm",
+        memory_kib=GiB_KIB,
+        vcpus=1,
+        disks=[
+            DiskDevice(
+                f"/img/{name}.qcow2", "vda", capacity_bytes=capacity, driver_format=fmt
+            )
+        ],
+    )
+
+
+@pytest.fixture()
+def driver():
+    return QemuDriver()
+
+
+@pytest.fixture()
+def running(driver):
+    """A running guest with one 8 GiB disk and a backup pool."""
+    driver.domain_define_xml(disk_config().to_xml())
+    driver.domain_create("vm1")
+    driver.storage_pool_define_xml(
+        StoragePoolConfig(name=POOL, capacity_bytes=100 * GiB).to_xml()
+    )
+    driver.storage_pool_create(POOL)
+    return driver
+
+
+class TestCheckpointTree:
+    def _disks(self, *blocks):
+        return {"/img/a": frozenset(blocks)}
+
+    def test_chain_parents(self):
+        tree = CheckpointTree()
+        tree.create("a", 1.0, "running", self._disks(1), 65536)
+        second = tree.create("b", 2.0, "running", self._disks(2), 65536)
+        assert second.parent == "a"
+        assert tree.current == "b"
+        assert tree.list_names() == ["a", "b"]
+
+    def test_duplicate_and_bad_names_rejected(self):
+        tree = CheckpointTree()
+        tree.create("a", 1.0, "running", self._disks(), 65536)
+        with pytest.raises(CheckpointExistsError):
+            tree.create("a", 2.0, "running", self._disks(), 65536)
+        with pytest.raises(InvalidArgumentError):
+            tree.create("", 2.0, "running", self._disks(), 65536)
+        with pytest.raises(InvalidArgumentError):
+            tree.create("x/y", 2.0, "running", self._disks(), 65536)
+
+    def test_blocks_since_unions_the_chain(self):
+        tree = CheckpointTree()
+        tree.create("a", 1.0, "running", self._disks(1), 65536)
+        tree.create("b", 2.0, "running", self._disks(2, 3), 65536)
+        tree.create("c", 3.0, "running", self._disks(4), 65536)
+        since_a = tree.blocks_since("a", ["/img/a"])
+        assert since_a["/img/a"] == {2, 3, 4}
+        since_b = tree.blocks_since("b", ["/img/a"])
+        assert since_b["/img/a"] == {4}
+
+    def test_blocks_since_requires_ancestor(self):
+        tree = CheckpointTree()
+        tree.create("a", 1.0, "running", self._disks(1), 65536)
+        with pytest.raises(NoCheckpointError):
+            tree.blocks_since("ghost", ["/img/a"])
+
+    def test_delete_merges_into_children(self):
+        tree = CheckpointTree()
+        tree.create("a", 1.0, "running", self._disks(1), 65536)
+        tree.create("b", 2.0, "running", self._disks(2), 65536)
+        tree.create("c", 3.0, "running", self._disks(3), 65536)
+        tree.delete("b")
+        # c re-parents onto a and absorbs b's blocks: the union of
+        # "changed since a" is preserved
+        assert tree.get("c").parent == "a"
+        assert tree.get("c").disks["/img/a"] == frozenset({2, 3})
+        assert tree.blocks_since("a", ["/img/a"])["/img/a"] == {2, 3}
+
+    def test_delete_leaf_resets_current(self):
+        tree = CheckpointTree()
+        tree.create("a", 1.0, "running", self._disks(1), 65536)
+        tree.create("b", 2.0, "running", self._disks(2), 65536)
+        tree.delete("b")
+        assert tree.current == "a"
+        with pytest.raises(NoCheckpointError):
+            tree.get("b")
+
+
+class TestDriverCheckpoints:
+    def test_create_list_delete(self, running):
+        result = running.checkpoint_create("vm1", "c1")
+        assert result == {"name": "c1", "domain": "vm1", "parent": None}
+        child = running.checkpoint_create("vm1", "c2")
+        assert child["parent"] == "c1"
+        assert running.checkpoint_list("vm1") == ["c1", "c2"]
+        running.checkpoint_delete("vm1", "c1")
+        assert running.checkpoint_list("vm1") == ["c2"]
+
+    def test_create_freezes_and_clears_the_bitmap(self, running):
+        images = running.backend.images
+        images.write(DISK, 10 * 64 * KiB)
+        assert images.dirty_bytes(DISK) == 10 * 64 * KiB
+        running.checkpoint_create("vm1", "c1")
+        assert images.dirty_bytes(DISK) == 0
+
+    def test_requires_running_domain(self, driver):
+        driver.domain_define_xml(disk_config().to_xml())
+        with pytest.raises(InvalidOperationError):
+            driver.checkpoint_create("vm1", "c1")
+
+    def test_requires_disks(self, driver):
+        driver.domain_define_xml(
+            DomainConfig(name="bare", domain_type="kvm", memory_kib=GiB_KIB).to_xml()
+        )
+        driver.domain_create("bare")
+        with pytest.raises(InvalidOperationError):
+            driver.checkpoint_create("bare", "c1")
+
+    def test_delete_current_leaf_restores_active_bitmap(self, running):
+        images = running.backend.images
+        images.write(DISK, 3 * 64 * KiB)
+        running.checkpoint_create("vm1", "c1")
+        assert images.dirty_bytes(DISK) == 0
+        running.checkpoint_delete("vm1", "c1")
+        # the leaf's frozen history flows back into the live bitmap, so
+        # a later incremental stays a superset of reality
+        assert images.dirty_bytes(DISK) == 3 * 64 * KiB
+
+    def test_xml_description_round_trips(self, running):
+        running.backend.images.write(DISK, 5 * 64 * KiB)
+        running.checkpoint_create("vm1", "c1")
+        xml = running.checkpoint_get_xml_desc("vm1", "c1")
+        parsed = CheckpointConfig.from_xml(xml)
+        assert parsed.name == "c1"
+        assert parsed.domain == "vm1"
+        assert parsed.disks[0].name == DISK
+        assert parsed.disks[0].bitmap == "c1"
+        assert parsed.disks[0].dirty_blocks == 5
+
+    def test_unknown_checkpoint_raises(self, running):
+        with pytest.raises(NoCheckpointError):
+            running.checkpoint_get_xml_desc("vm1", "ghost")
+        with pytest.raises(NoCheckpointError):
+            running.checkpoint_delete("vm1", "ghost")
+
+
+class TestBackupJobs:
+    def test_full_backup_copies_the_allocation(self, running):
+        images = running.backend.images
+        images.write(DISK, 256 * MiB)
+        job = running.backup_begin("vm1", {"pool": POOL, "bandwidth_mib_s": 64})
+        assert job["operation"] == "backup-full"
+        assert job["data_total"] == 256 * MiB
+        assert job["phase"] == "running"
+        assert running.storage_vol_list(POOL) == ["vm1-backup-full"]
+        running.jobs.wait("vm1")
+        info = running.domain_get_job_info("vm1")
+        assert info["phase"] == "completed"
+        assert info["data_processed"] == 256 * MiB
+
+    def test_progress_follows_the_clock(self, running):
+        clock = running.backend.clock
+        running.backend.images.write(DISK, 256 * MiB)
+        running.backup_begin("vm1", {"pool": POOL, "bandwidth_mib_s": 64})
+        clock.sleep(1.0)
+        info = running.domain_get_job_info("vm1")
+        assert info["data_processed"] == 64 * MiB
+        assert info["data_remaining"] == 192 * MiB
+        assert info["time_elapsed_s"] == pytest.approx(1.0)
+        # completion lands exactly at eta, not at observation time
+        clock.sleep(100.0)
+        done = running.domain_get_job_info("vm1")
+        assert done["phase"] == "completed"
+        assert done["time_elapsed_s"] == pytest.approx(4.0)
+
+    def test_completed_backup_volume_keeps_the_bytes(self, running):
+        running.backend.images.write(DISK, 128 * MiB)
+        job = running.backup_begin("vm1", {"pool": POOL, "bandwidth_mib_s": 64})
+        running.jobs.wait("vm1")
+        volume = running.backend.images.lookup(job["target_path"])
+        assert volume.allocation_bytes == 128 * MiB
+
+    def test_incremental_copies_only_blocks_since_checkpoint(self, running):
+        images = running.backend.images
+        images.write(DISK, 256 * MiB)
+        running.checkpoint_create("vm1", "c1")
+        images.write(DISK, 4 * 64 * KiB)
+        job = running.backup_begin("vm1", {"pool": POOL, "incremental": "c1"})
+        assert job["operation"] == "backup-incremental"
+        assert job["data_total"] == 4 * 64 * KiB
+        assert job["incremental"] == "c1"
+
+    def test_incremental_spans_intermediate_checkpoints(self, running):
+        images = running.backend.images
+        images.write(DISK, 64 * MiB)
+        running.checkpoint_create("vm1", "c1")
+        images.write(DISK, 2 * 64 * KiB)
+        running.checkpoint_create("vm1", "c2")
+        images.write(DISK, 3 * 64 * KiB)
+        job = running.backup_begin("vm1", {"pool": POOL, "incremental": "c1"})
+        # frozen blocks of c2 plus the live bitmap
+        assert job["data_total"] == 5 * 64 * KiB
+
+    def test_backup_with_checkpoint_freezes_new_baseline(self, running):
+        images = running.backend.images
+        images.write(DISK, 64 * MiB)
+        running.backup_begin("vm1", {"pool": POOL, "checkpoint": "base"})
+        assert running.checkpoint_list("vm1") == ["base"]
+        assert images.dirty_bytes(DISK) == 0
+        running.jobs.wait("vm1")
+        images.write(DISK, 2 * 64 * KiB)
+        job = running.backup_begin(
+            "vm1", {"pool": POOL, "incremental": "base", "volume": "second"}
+        )
+        assert job["data_total"] == 2 * 64 * KiB
+
+    def test_cancelled_backup_leaves_no_partial_volume(self, running):
+        clock = running.backend.clock
+        running.backend.images.write(DISK, 256 * MiB)
+        running.backup_begin("vm1", {"pool": POOL, "bandwidth_mib_s": 64})
+        clock.sleep(1.0)
+        final = running.domain_abort_job("vm1")
+        assert final["phase"] == "cancelled"
+        assert final["data_processed"] == 64 * MiB
+        assert running.storage_vol_list(POOL) == []
+        assert not running.backend.images.exists(final["target_path"])
+
+    def test_abort_without_a_job_raises(self, running):
+        with pytest.raises(InvalidOperationError):
+            running.domain_abort_job("vm1")
+
+    def test_one_job_per_domain(self, running):
+        running.backend.images.write(DISK, 256 * MiB)
+        running.backup_begin("vm1", {"pool": POOL, "bandwidth_mib_s": 1})
+        with pytest.raises(ResourceBusyError):
+            running.backup_begin("vm1", {"pool": POOL, "volume": "again"})
+        with pytest.raises(ResourceBusyError):
+            running.checkpoint_create("vm1", "mid-job")
+
+    def test_missing_pool_is_rejected_cleanly(self, running):
+        running.backend.images.write(DISK, MiB)
+        with pytest.raises(InvalidArgumentError):
+            running.backup_begin("vm1", {})
+        assert running.jobs.active("vm1") is None
+
+    def test_shutdown_fails_the_active_job(self, running):
+        running.backend.images.write(DISK, 256 * MiB)
+        running.backup_begin("vm1", {"pool": POOL, "bandwidth_mib_s": 1})
+        running.domain_shutdown("vm1")
+        info = running.domain_get_job_info("vm1")
+        assert info["phase"] == "failed"
+        assert "shut down" in info["error"]
+        assert running.storage_vol_list(POOL) == []
+
+    def test_job_metrics_and_span_recorded(self, running):
+        from repro.observability.metrics import MetricsRegistry
+        from repro.observability.tracing import Tracer
+
+        clock = running.backend.clock
+        running.metrics = MetricsRegistry(now=clock.now)
+        running.tracer = Tracer(clock.now)
+        running.backend.images.write(DISK, 128 * MiB)
+        running.backup_begin("vm1", {"pool": POOL, "bandwidth_mib_s": 64})
+        running.jobs.wait("vm1")
+        started = running.metrics.get("domain_jobs_total").labels(
+            driver="qemu", type="backup", outcome="started"
+        )
+        completed = running.metrics.get("domain_jobs_total").labels(
+            driver="qemu", type="backup", outcome="completed"
+        )
+        assert started.value == 1
+        assert completed.value == 1
+        moved = running.metrics.get("backup_bytes_transferred_total").labels(
+            driver="qemu", operation="backup-full"
+        )
+        assert moved.value == 128 * MiB
+        spans = running.tracer.find("job.backup")
+        assert len(spans) == 1
+        assert spans[0].attributes["domain"] == "vm1"
+
+
+class TestManagedSave:
+    def test_save_and_auto_restore_on_start(self, driver):
+        driver.domain_define_xml(disk_config().to_xml())
+        driver.domain_create("vm1")
+        assert not driver.domain_has_managed_save("vm1")
+        driver.domain_managed_save("vm1")
+        assert driver.domain_has_managed_save("vm1")
+        assert driver.domain_get_state("vm1") == 5  # SHUTOFF
+        driver.domain_create("vm1")
+        assert driver.domain_get_state("vm1") == 1  # RUNNING
+        # the image is consumed by the restore
+        assert not driver.domain_has_managed_save("vm1")
+
+    def test_remove_without_image_raises(self, driver):
+        driver.domain_define_xml(disk_config().to_xml())
+        with pytest.raises(InvalidOperationError):
+            driver.domain_managed_save_remove("vm1")
+
+    def test_remove_forces_cold_boot(self, driver):
+        driver.domain_define_xml(disk_config().to_xml())
+        driver.domain_create("vm1")
+        driver.domain_managed_save("vm1")
+        driver.domain_managed_save_remove("vm1")
+        assert not driver.domain_has_managed_save("vm1")
+        driver.domain_create("vm1")
+        assert driver.domain_get_state("vm1") == 1
+
+
+class TestLxcHonesty:
+    def test_features_dropped(self):
+        driver = LxcDriver()
+        for feature in ("checkpoints", "backup", "managed_save", "save_restore"):
+            assert not driver.supports_feature(feature)
+
+    def test_operations_refuse(self):
+        from repro.xmlconfig.domain import OSConfig
+
+        driver = LxcDriver()
+        config = DomainConfig(
+            name="ct1",
+            domain_type="lxc",
+            memory_kib=GiB_KIB,
+            os=OSConfig("exe", "x86_64", [], init="/sbin/init"),
+        )
+        driver.domain_define_xml(config.to_xml())
+        driver.domain_create("ct1")
+        with pytest.raises(UnsupportedError):
+            driver.checkpoint_create("ct1", "c1")
+        with pytest.raises(UnsupportedError):
+            driver.backup_begin("ct1", {"pool": "p"})
+        with pytest.raises(UnsupportedError):
+            driver.domain_managed_save("ct1")
+        with pytest.raises(UnsupportedError):
+            driver.domain_abort_job("ct1")
+
+
+class TestDiskAwareSnapshots:
+    def test_snapshot_creates_cow_overlay_pinning_the_base(self, running):
+        images = running.backend.images
+        running.snapshot_create("vm1", "s1")
+        overlay = f"{DISK}.s1"
+        assert images.exists(overlay)
+        assert images.lookup(overlay).backing_path == DISK
+        # the live overlay makes the delete guard load-bearing
+        with pytest.raises(ResourceBusyError):
+            images.delete(DISK)
+
+    def test_snapshot_delete_releases_the_base(self, running):
+        images = running.backend.images
+        running.snapshot_create("vm1", "s1")
+        running.snapshot_delete("vm1", "s1")
+        assert not images.exists(f"{DISK}.s1")
+        running.domain_destroy("vm1")
+        images.delete(DISK)  # no overlay left: deletion is allowed
+        assert not images.exists(DISK)
+
+    def test_revert_restores_allocation_and_invalidates_bitmaps(self, running):
+        images = running.backend.images
+        images.write(DISK, 64 * MiB)
+        running.snapshot_create("vm1", "s1")
+        images.write(DISK, 64 * MiB)
+        assert images.lookup(DISK).allocation_bytes == 128 * MiB
+        running.snapshot_revert("vm1", "s1")
+        assert images.lookup(DISK).allocation_bytes == 64 * MiB
+        # contents were replaced wholesale: every block reads dirty, so
+        # the next incremental is a conservative superset
+        assert images.dirty_bytes(DISK) == images.lookup(DISK).capacity_bytes
+
+    def test_raw_disks_snapshot_without_overlay(self, driver):
+        driver.domain_define_xml(disk_config(name="raw1", fmt="raw").to_xml())
+        driver.domain_create("raw1")
+        driver.snapshot_create("raw1", "s1")
+        assert not driver.backend.images.exists("/img/raw1.qcow2.s1")
+        driver.snapshot_delete("raw1", "s1")

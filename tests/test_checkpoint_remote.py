@@ -1,0 +1,225 @@
+"""Checkpoint/backup/job parity through remote:// and the virsh CLI.
+
+The acceptance bar for the subsystem: checkpoint create/list/delete,
+backup-begin, and domjobinfo/domjobabort behave identically through an
+RPC connection and a direct driver connection — and a severed client
+fails its backup job cleanly rather than wedging the domain.
+"""
+
+import io
+
+import pytest
+
+import repro
+from repro.cli.virsh import main as virsh_main
+from repro.daemon import Libvirtd
+from repro.errors import (
+    InvalidOperationError,
+    NoCheckpointError,
+    ResourceBusyError,
+    UnsupportedError,
+)
+from repro.xmlconfig.domain import DiskDevice, DomainConfig
+from repro.xmlconfig.storage import StoragePoolConfig
+
+KiB = 1024
+MiB = 1024**2
+GiB = 1024**3
+GiB_KIB = 1024 * 1024
+
+DISK = "/img/web1.qcow2"
+POOL = "backups"
+
+
+def disk_config(name="web1"):
+    return DomainConfig(
+        name=name,
+        domain_type="kvm",
+        memory_kib=GiB_KIB,
+        vcpus=1,
+        disks=[DiskDevice(f"/img/{name}.qcow2", "vda", capacity_bytes=8 * GiB)],
+    )
+
+
+@pytest.fixture()
+def daemon():
+    with Libvirtd(hostname="farm1") as d:
+        d.listen("tcp")
+        yield d
+
+
+@pytest.fixture()
+def conn(daemon):
+    connection = repro.open_connection("qemu+tcp://farm1/system")
+    yield connection
+    connection.close()
+
+
+@pytest.fixture()
+def dom(conn):
+    """A running remote guest with a disk and a backup pool."""
+    domain = conn.define_domain(disk_config())
+    domain.start()
+    conn.define_storage_pool(
+        StoragePoolConfig(name=POOL, capacity_bytes=100 * GiB)
+    ).start()
+    return domain
+
+
+def daemon_images(daemon):
+    return daemon.drivers["qemu"].backend.images
+
+
+class TestRemoteParity:
+    def test_checkpoint_lifecycle_over_rpc(self, daemon, dom):
+        daemon_images(daemon).write(DISK, 10 * 64 * KiB)
+        created = dom.create_checkpoint("c1")
+        assert created == {"name": "c1", "domain": "web1", "parent": None}
+        assert dom.create_checkpoint("c2")["parent"] == "c1"
+        assert dom.list_checkpoints() == ["c1", "c2"]
+        xml = dom.checkpoint_xml_desc("c1")
+        assert "<domaincheckpoint>" in xml and "c1" in xml
+        dom.delete_checkpoint("c1")
+        assert dom.list_checkpoints() == ["c2"]
+
+    def test_typed_errors_survive_the_wire(self, dom):
+        with pytest.raises(NoCheckpointError):
+            dom.delete_checkpoint("ghost")
+        with pytest.raises(InvalidOperationError):
+            dom.abort_job()
+
+    def test_backup_job_over_rpc_matches_direct(self, daemon, dom):
+        daemon_images(daemon).write(DISK, 256 * MiB)
+        dom.create_checkpoint("c1")
+        daemon_images(daemon).write(DISK, 4 * 64 * KiB)
+        job = dom.backup_begin(POOL, incremental="c1", bandwidth_mib_s=64)
+        assert job["operation"] == "backup-incremental"
+        assert job["data_total"] == 4 * 64 * KiB
+        # the remote job_info view is the engine's own view; only the
+        # progress fields move with the clock between two observations
+        volatile = {"data_processed", "data_remaining", "time_elapsed_s"}
+        remote_view = dom.job_info()
+        direct_view = daemon.drivers["qemu"].domain_get_job_info("web1")
+        assert {k: v for k, v in remote_view.items() if k not in volatile} == {
+            k: v for k, v in direct_view.items() if k not in volatile
+        }
+        daemon.clock.sleep(100.0)
+        assert dom.job_info()["phase"] == "completed"
+
+    def test_abort_over_rpc_leaves_no_partial_volume(self, daemon, conn, dom):
+        daemon_images(daemon).write(DISK, 256 * MiB)
+        dom.backup_begin(POOL, bandwidth_mib_s=64)
+        daemon.clock.sleep(1.0)
+        final = dom.abort_job()
+        assert final["phase"] == "cancelled"
+        assert conn.lookup_storage_pool(POOL).list_volumes() == []
+        assert not daemon_images(daemon).exists(final["target_path"])
+
+    def test_busy_and_unsupported_parity(self, daemon, dom):
+        daemon_images(daemon).write(DISK, 256 * MiB)
+        dom.backup_begin(POOL, bandwidth_mib_s=1)
+        with pytest.raises(ResourceBusyError):
+            dom.backup_begin(POOL, volume="again")
+        lxc = repro.open_connection("lxc+tcp://farm1/system")
+        with pytest.raises(UnsupportedError):
+            lxc._driver.checkpoint_list("anything")
+        lxc.close()
+
+    def test_managed_save_over_rpc(self, dom):
+        assert not dom.has_managed_save()
+        dom.managed_save()
+        assert dom.has_managed_save()
+        assert not dom.is_active
+        dom.start()
+        assert dom.is_active
+        assert not dom.has_managed_save()
+
+
+class TestSeveredClient:
+    def test_unclean_disconnect_fails_the_job(self, daemon, conn, dom):
+        daemon_images(daemon).write(DISK, 256 * MiB)
+        dom.backup_begin(POOL, bandwidth_mib_s=1)
+        client_id = list(daemon._clients)[0]
+        daemon.disconnect_client(client_id)
+        # the domain is not wedged: the job failed and cleanup ran
+        driver = daemon.drivers["qemu"]
+        info = driver.domain_get_job_info("web1")
+        assert info["phase"] == "failed"
+        assert "disconnected" in info["error"]
+        assert driver.storage_vol_list(POOL) == []
+        # a fresh client can immediately start a new job
+        fresh = repro.open_connection("qemu+tcp://farm1/system")
+        job = fresh.lookup_domain("web1").backup_begin(POOL, bandwidth_mib_s=64)
+        assert job["phase"] == "running"
+        fresh.close()
+
+    def test_clean_close_leaves_the_job_running(self, daemon, dom):
+        daemon_images(daemon).write(DISK, 256 * MiB)
+        dom.backup_begin(POOL, bandwidth_mib_s=64)
+        dom.connection.close()
+        driver = daemon.drivers["qemu"]
+        assert driver.domain_get_job_info("web1")["phase"] == "running"
+        daemon.clock.sleep(100.0)
+        assert driver.domain_get_job_info("web1")["phase"] == "completed"
+
+
+class TestVirshCommands:
+    URI = "qemu:///system"
+
+    def run(self, *argv):
+        out = io.StringIO()
+        code = virsh_main(["-c", self.URI, *argv], out=out)
+        return code, out.getvalue()
+
+    def _setup_guest(self, tmp_path):
+        xml = tmp_path / "web1.xml"
+        xml.write_text(disk_config().to_xml())
+        pool = tmp_path / "pool.xml"
+        pool.write_text(
+            StoragePoolConfig(name=POOL, capacity_bytes=100 * GiB).to_xml()
+        )
+        assert self.run("define", str(xml))[0] == 0
+        assert self.run("start", "web1")[0] == 0
+        assert self.run("pool-define", str(pool))[0] == 0
+        assert self.run("pool-start", POOL)[0] == 0
+        from repro.drivers import nodes
+
+        nodes.local_driver("qemu").backend.images.write(DISK, 256 * MiB)
+
+    def test_checkpoint_commands(self, tmp_path):
+        self._setup_guest(tmp_path)
+        code, output = self.run("checkpoint-create", "web1", "c1")
+        assert code == 0 and "c1 created" in output
+        code, output = self.run("checkpoint-list", "web1")
+        assert code == 0 and "c1" in output
+        code, output = self.run("checkpoint-dumpxml", "web1", "c1")
+        assert code == 0 and "<domaincheckpoint>" in output
+        code, output = self.run("checkpoint-delete", "web1", "c1")
+        assert code == 0 and "c1 deleted" in output
+
+    def test_backup_and_job_commands(self, tmp_path):
+        self._setup_guest(tmp_path)
+        # a slow full backup (256 MiB at 1 MiB/s) stays running across
+        # the separate CLI invocations that follow
+        code, output = self.run(
+            "backup-begin", "web1", "--pool", POOL, "--bandwidth", "1",
+        )
+        assert code == 0 and "backup-full" in output
+        code, output = self.run("domjobinfo", "web1")
+        assert code == 0
+        assert "phase:" in output and "running" in output
+        code, output = self.run("domjobabort", "web1")
+        assert code == 0 and "aborted" in output
+        code, output = self.run("domjobinfo", "web1")
+        assert code == 0 and "cancelled" in output
+
+    def test_managedsave_commands(self, tmp_path):
+        self._setup_guest(tmp_path)
+        code, output = self.run("managedsave", "web1")
+        assert code == 0 and "saved" in output
+        assert "shut off" in self.run("domstate", "web1")[1]
+        assert self.run("start", "web1")[0] == 0
+        assert "running" in self.run("domstate", "web1")[1]
+        # consumed by the restore: removing now is an error
+        code, _ = self.run("managedsave-remove", "web1")
+        assert code == 1

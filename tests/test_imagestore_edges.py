@@ -1,0 +1,253 @@
+"""ImageStore edge cases: clone chains, capacity accounting, bitmaps.
+
+Companion to tests/test_hv_diskimage.py — these exercise the corners
+the checkpoint/backup subsystem leans on: deep backing chains built
+from shallow clones, the store-wide allocation ledger staying exact
+across delete/detach_all, and the dirty-block bitmap bookkeeping
+(including under concurrent writers).
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    InvalidArgumentError,
+    InvalidOperationError,
+    NoStorageVolumeError,
+    ResourceBusyError,
+)
+from repro.hypervisors.diskimage import ImageStore
+
+KiB = 1024
+MiB = 1024**2
+GiB = 1024**3
+
+BLOCK = ImageStore.DEFAULT_BLOCK_SIZE
+
+
+@pytest.fixture()
+def store():
+    return ImageStore(capacity_bytes=100 * GiB)
+
+
+class TestShallowCloneChains:
+    def test_clone_of_clone_builds_three_deep_chain(self, store):
+        store.create("/img/base.qcow2", 8 * GiB)
+        store.clone("/img/base.qcow2", "/img/mid.qcow2", shallow=True)
+        store.clone("/img/mid.qcow2", "/img/leaf.qcow2", shallow=True)
+        assert store.chain("/img/leaf.qcow2") == [
+            "/img/leaf.qcow2",
+            "/img/mid.qcow2",
+            "/img/base.qcow2",
+        ]
+
+    def test_every_link_in_a_chain_is_pinned(self, store):
+        store.create("/img/base.qcow2", 8 * GiB)
+        store.clone("/img/base.qcow2", "/img/mid.qcow2", shallow=True)
+        store.clone("/img/mid.qcow2", "/img/leaf.qcow2", shallow=True)
+        with pytest.raises(ResourceBusyError):
+            store.delete("/img/base.qcow2")
+        with pytest.raises(ResourceBusyError):
+            store.delete("/img/mid.qcow2")
+        # tearing down leaf-first releases each link in turn
+        store.delete("/img/leaf.qcow2")
+        store.delete("/img/mid.qcow2")
+        store.delete("/img/base.qcow2")
+        assert store.list_paths() == []
+
+    def test_overlays_start_thin_regardless_of_base_allocation(self, store):
+        store.create("/img/base.qcow2", 8 * GiB)
+        store.write("/img/base.qcow2", 2 * GiB)
+        overlay = store.clone("/img/base.qcow2", "/img/over.qcow2", shallow=True)
+        assert overlay.allocation_bytes == 0
+        assert overlay.backing_path == "/img/base.qcow2"
+
+    def test_deep_clone_does_not_pin_the_source(self, store):
+        store.create("/img/base.qcow2", 8 * GiB)
+        store.write("/img/base.qcow2", GiB)
+        copy = store.clone("/img/base.qcow2", "/img/copy.qcow2", shallow=False)
+        assert copy.backing_path is None
+        assert copy.allocation_bytes == GiB
+        store.delete("/img/base.qcow2")
+        assert store.exists("/img/copy.qcow2")
+
+
+class TestCapacityAccounting:
+    def test_delete_returns_allocation_to_the_store(self, store):
+        store.create("/img/a.raw", 40 * GiB, "raw")
+        store.create("/img/b.raw", 40 * GiB, "raw")
+        assert store.allocated_bytes == 80 * GiB
+        with pytest.raises(InvalidOperationError):
+            store.create("/img/c.raw", 40 * GiB, "raw")
+        store.delete("/img/a.raw")
+        assert store.allocated_bytes == 40 * GiB
+        store.create("/img/c.raw", 40 * GiB, "raw")
+        assert store.allocated_bytes == 80 * GiB
+
+    def test_detach_all_keeps_allocation_but_unpins(self, store):
+        store.create("/img/a.qcow2", 8 * GiB)
+        store.create("/img/b.qcow2", 8 * GiB)
+        store.attach("/img/a.qcow2", "vm1")
+        store.attach("/img/b.qcow2", "vm1")
+        store.write("/img/a.qcow2", GiB)
+        store.detach_all("vm1")
+        # allocation survives detach; deletion is now allowed
+        assert store.allocated_bytes == GiB
+        store.delete("/img/a.qcow2")
+        store.delete("/img/b.qcow2")
+        assert store.allocated_bytes == 0
+
+    def test_write_growth_counts_against_store_capacity(self, store):
+        store.create("/img/big.raw", 99 * GiB, "raw")
+        store.create("/img/thin.qcow2", 8 * GiB)
+        store.write("/img/thin.qcow2", GiB)  # exactly fills the store
+        with pytest.raises(InvalidOperationError):
+            store.write("/img/thin.qcow2", 1)
+        # the failed write changed nothing
+        assert store.lookup("/img/thin.qcow2").allocation_bytes == GiB
+
+    def test_set_allocation_shrink_always_allowed_when_full(self, store):
+        store.create("/img/a.raw", 100 * GiB, "raw")
+        store.set_allocation("/img/a.raw", 10 * GiB)
+        assert store.allocated_bytes == 10 * GiB
+        # and growth is clamped to the image capacity, not the store's
+        store.set_allocation("/img/a.raw", 500 * GiB)
+        assert store.lookup("/img/a.raw").allocation_bytes == 100 * GiB
+
+
+class TestDirtyBitmapEdges:
+    def test_missing_image_raises_everywhere(self, store):
+        for call in (
+            lambda: store.dirty_blocks("/img/ghost"),
+            lambda: store.dirty_bytes("/img/ghost"),
+            lambda: store.reset_dirty("/img/ghost"),
+            lambda: store.merge_dirty("/img/ghost", [0]),
+            lambda: store.mark_all_dirty("/img/ghost"),
+        ):
+            with pytest.raises(NoStorageVolumeError):
+                call()
+
+    def test_full_capacity_write_marks_all_and_resets_cursor(self, store):
+        store.create("/img/a.qcow2", 10 * BLOCK)
+        store.write("/img/a.qcow2", 10 * BLOCK)
+        assert store.dirty_blocks("/img/a.qcow2") == frozenset(range(10))
+        store.reset_dirty("/img/a.qcow2")
+        # the cursor wrapped to zero, so the next write starts at block 0
+        store.write("/img/a.qcow2", 1)
+        assert store.dirty_blocks("/img/a.qcow2") == frozenset({0})
+
+    def test_cursor_wraps_modulo_capacity(self, store):
+        store.create("/img/a.qcow2", 4 * BLOCK)
+        store.write("/img/a.qcow2", 3 * BLOCK)
+        store.reset_dirty("/img/a.qcow2")
+        # 2 more blocks from cursor=3: block 3, then wrap to block 0
+        store.write("/img/a.qcow2", 2 * BLOCK)
+        assert store.dirty_blocks("/img/a.qcow2") == frozenset({3, 0})
+
+    def test_dirty_bytes_clamped_to_capacity(self, store):
+        # capacity not block-aligned: 2.5 blocks rounds up to 3 blocks,
+        # but dirty_bytes never exceeds the capacity itself
+        cap = 2 * BLOCK + BLOCK // 2
+        store.create("/img/odd.qcow2", cap)
+        store.write("/img/odd.qcow2", cap)
+        assert store.dirty_blocks("/img/odd.qcow2") == frozenset({0, 1, 2})
+        assert store.dirty_bytes("/img/odd.qcow2") == cap
+
+    def test_reset_returns_immutable_frozen_copy(self, store):
+        store.create("/img/a.qcow2", 8 * GiB)
+        store.write("/img/a.qcow2", 3 * BLOCK)
+        frozen = store.reset_dirty("/img/a.qcow2")
+        assert frozen == frozenset({0, 1, 2})
+        assert store.dirty_blocks("/img/a.qcow2") == frozenset()
+        # later writes do not bleed into the frozen view
+        store.write("/img/a.qcow2", BLOCK)
+        assert frozen == frozenset({0, 1, 2})
+
+    def test_merge_dirty_wraps_out_of_range_blocks(self, store):
+        store.create("/img/a.qcow2", 4 * BLOCK)
+        store.merge_dirty("/img/a.qcow2", [1, 5, 9])  # 5 % 4 == 1, 9 % 4 == 1
+        assert store.dirty_blocks("/img/a.qcow2") == frozenset({1})
+
+    def test_zero_byte_write_leaves_bitmap_untouched(self, store):
+        store.create("/img/a.qcow2", 8 * GiB)
+        store.write("/img/a.qcow2", 0)
+        assert store.dirty_blocks("/img/a.qcow2") == frozenset()
+
+    def test_delete_drops_bitmap_and_cursor_state(self, store):
+        store.create("/img/a.qcow2", 4 * BLOCK)
+        store.write("/img/a.qcow2", 3 * BLOCK)
+        store.delete("/img/a.qcow2")
+        # a recreated image starts with a clean bitmap and cursor 0
+        store.create("/img/a.qcow2", 4 * BLOCK)
+        assert store.dirty_blocks("/img/a.qcow2") == frozenset()
+        store.write("/img/a.qcow2", 1)
+        assert store.dirty_blocks("/img/a.qcow2") == frozenset({0})
+
+    def test_negative_set_allocation_rejected(self, store):
+        store.create("/img/a.qcow2", 8 * GiB)
+        with pytest.raises(InvalidArgumentError):
+            store.set_allocation("/img/a.qcow2", -1)
+
+
+class TestConcurrentWrites:
+    def test_parallel_writers_keep_bitmap_and_ledger_consistent(self, store):
+        """Threads hammering write() must never corrupt shared state."""
+        paths = [f"/img/vm{i}.qcow2" for i in range(4)]
+        for path in paths:
+            store.create(path, 64 * BLOCK)
+        writes_per_thread = 200
+        errors = []
+
+        def hammer(path):
+            try:
+                for _ in range(writes_per_thread):
+                    store.write(path, BLOCK)
+            except Exception as exc:  # pragma: no cover - only on a bug
+                errors.append(exc)
+
+        # two threads per image so per-image cursor state is contended too
+        threads = [
+            threading.Thread(target=hammer, args=(path,))
+            for path in paths
+            for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        for path in paths:
+            image = store.lookup(path)
+            # 400 block-writes into a 64-block image: clamped allocation,
+            # every block dirtied, cursor wrapped many times
+            assert image.allocation_bytes == image.capacity_bytes
+            assert store.dirty_blocks(path) == frozenset(range(64))
+            assert store.dirty_bytes(path) == 64 * BLOCK
+        assert store.allocated_bytes == 4 * 64 * BLOCK
+
+    def test_concurrent_reset_and_write_never_lose_blocks(self, store):
+        """Every dirtied block is in exactly one frozen or the live set."""
+        store.create("/img/a.qcow2", 16 * BLOCK)
+        frozen_sets = []
+        stop = threading.Event()
+
+        def checkpointer():
+            while not stop.is_set():
+                frozen_sets.append(store.reset_dirty("/img/a.qcow2"))
+
+        t = threading.Thread(target=checkpointer)
+        t.start()
+        try:
+            for _ in range(500):
+                store.write("/img/a.qcow2", BLOCK)
+        finally:
+            stop.set()
+            t.join()
+        live = store.dirty_blocks("/img/a.qcow2")
+        union = set(live)
+        for frozen in frozen_sets:
+            union.update(frozen)
+        # 500 one-block writes over a 16-block image touch every block
+        assert union == set(range(16))

@@ -1,0 +1,111 @@
+"""Tests for tools/lint_driver_surface.py — the honest-capability lint.
+
+The lint is only worth gating CI on if (a) the shipped drivers pass it
+and (b) it actually catches the dishonesty patterns it documents:
+claiming a feature without implementing it, implementing one without
+claiming it, and declaring nonsense in ``unsupported_ops``.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.driver import Driver
+from repro.drivers.lxc import LxcDriver
+from repro.drivers.qemu import QemuDriver
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+LINT = REPO / "tools" / "lint_driver_surface.py"
+
+
+@pytest.fixture(scope="module")
+def lint():
+    spec = importlib.util.spec_from_file_location("lint_driver_surface", LINT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRepoIsClean:
+    def test_script_exits_zero(self):
+        result = subprocess.run(
+            [sys.executable, str(LINT)], capture_output=True, text=True
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_main_returns_zero(self, lint):
+        assert lint.main() == 0
+
+    def test_shipped_drivers_have_no_violations(self, lint):
+        assert lint.lint_driver(QemuDriver()) == []
+        assert lint.lint_driver(LxcDriver()) == []
+        assert lint.lint_remote() == []
+
+
+class TestCatchesDishonesty:
+    def test_claiming_without_implementing(self, lint):
+        class Braggart(Driver):
+            # claims the feature yet overrides none of its methods —
+            # not even a raising stub exists below the abstract base
+            name = "braggart"
+
+            def features(self):
+                return ["checkpoints"]
+
+        problems = lint.lint_driver(Braggart())
+        assert any(
+            "claims 'checkpoints'" in p and "'checkpoint_create'" in p
+            for p in problems
+        )
+
+    def test_claiming_while_listing_unsupported(self, lint):
+        class DoubleSpeak(LxcDriver):
+            name = "doublespeak"
+
+            def features(self):
+                # claims checkpoints but keeps LxcDriver's raising stubs
+                # and its unsupported_ops declaration
+                return super().features() + ["checkpoints"]
+
+        problems = lint.lint_driver(DoubleSpeak())
+        assert any(
+            "yet lists 'checkpoint_create' in unsupported_ops" in p
+            for p in problems
+        )
+
+    def test_implementing_without_claiming(self, lint):
+        class Sandbagger(QemuDriver):
+            name = "sandbagger"
+
+            def features(self):
+                return [f for f in super().features() if f != "checkpoints"]
+
+        problems = lint.lint_driver(Sandbagger())
+        assert any(
+            "implements 'checkpoint_create' without claiming 'checkpoints'" in p
+            for p in problems
+        )
+
+    def test_unknown_unsupported_op(self, lint):
+        class Typo(QemuDriver):
+            name = "typo"
+            unsupported_ops = frozenset({"domain_frobnicate"})
+
+        problems = lint.lint_driver(Typo())
+        assert problems == [
+            "unsupported_ops names unknown method 'domain_frobnicate'"
+        ]
+
+    def test_remote_hole_detection(self, lint, monkeypatch):
+        """Removing a forwarder from RemoteDriver is a lint violation."""
+        original = lint.public_driver_methods
+
+        def with_phantom():
+            return original() + ["phantom_method"]
+
+        monkeypatch.setattr(lint, "public_driver_methods", with_phantom)
+        problems = lint.lint_remote()
+        assert problems == ["remote driver does not forward 'phantom_method'"]

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Lint: driver capability claims match their implemented surface.
+
+Every driver advertises features (``features()``) and declares the
+methods it deliberately refuses (``unsupported_ops``).  The paper's
+capability matrix is only honest if those declarations match the code,
+so this script fails CI when:
+
+* a driver claims a feature but one of that feature's methods (see
+  ``FEATURE_METHODS`` in ``repro.core.driver``) is not overridden
+  below the abstract ``Driver`` base, or is listed in
+  ``unsupported_ops`` anyway;
+* a driver implements a method belonging to a feature it does *not*
+  claim without listing it in ``unsupported_ops`` (silent capability);
+* ``unsupported_ops`` names something that is not a ``Driver`` method;
+* the remote driver fails to pass a public ``Driver`` method through
+  (a hole in the RPC surface the capability matrix cannot see).
+
+Usage::
+
+    python tools/lint_driver_surface.py
+"""
+
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.core.driver import FEATURE_METHODS, Driver  # noqa: E402
+from repro.drivers.esx import EsxDriver  # noqa: E402
+from repro.drivers.lxc import LxcDriver  # noqa: E402
+from repro.drivers.qemu import QemuDriver  # noqa: E402
+from repro.drivers.remote import RemoteDriver  # noqa: E402
+from repro.drivers.test import TestDriver  # noqa: E402
+from repro.drivers.xen import XenDriver  # noqa: E402
+from repro.hypervisors.esx_backend import EsxBackend  # noqa: E402
+
+#: base-class plumbing no driver is expected to override
+_NOT_SURFACE = {"features", "supports_feature"}
+
+
+def public_driver_methods():
+    return sorted(
+        name
+        for name, value in vars(Driver).items()
+        if callable(value) and not name.startswith("_")
+    )
+
+
+def overrides(driver_class, method):
+    """Is ``method`` implemented below the abstract base in the MRO?"""
+    for klass in driver_class.__mro__:
+        if klass is Driver:
+            return False
+        if method in vars(klass):
+            return True
+    return False
+
+
+def lint_driver(driver):
+    problems = []
+    klass = type(driver)
+    claimed = set(driver.features())
+    unsupported = set(driver.unsupported_ops)
+    surface = set(public_driver_methods())
+
+    for name in sorted(unsupported - surface):
+        problems.append(f"unsupported_ops names unknown method {name!r}")
+
+    for feature, methods in sorted(FEATURE_METHODS.items()):
+        if feature in claimed:
+            for method in methods:
+                if not overrides(klass, method):
+                    problems.append(
+                        f"claims {feature!r} but does not implement {method!r}"
+                    )
+                if method in unsupported:
+                    problems.append(
+                        f"claims {feature!r} yet lists {method!r} in unsupported_ops"
+                    )
+        else:
+            for method in methods:
+                if overrides(klass, method) and method not in unsupported:
+                    problems.append(
+                        f"implements {method!r} without claiming {feature!r} "
+                        f"or listing it in unsupported_ops"
+                    )
+    return problems
+
+
+def lint_remote():
+    """The remote driver must pass every public method over the wire."""
+    problems = []
+    own = vars(RemoteDriver)
+    for method in public_driver_methods():
+        if method in _NOT_SURFACE:
+            continue
+        if method not in own:
+            problems.append(f"remote driver does not forward {method!r}")
+    return problems
+
+
+def main(argv=None):
+    drivers = [
+        QemuDriver(),
+        XenDriver(),
+        LxcDriver(),
+        TestDriver(seed_default=False),
+        EsxDriver(EsxBackend()),
+    ]
+    failures = 0
+    for driver in drivers:
+        for why in lint_driver(driver):
+            print(f"driver {driver.name}: {why}", file=sys.stderr)
+            failures += 1
+    for why in lint_remote():
+        print(f"driver remote: {why}", file=sys.stderr)
+        failures += 1
+    if failures:
+        print(f"lint_driver_surface: {failures} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
