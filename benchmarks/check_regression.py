@@ -122,6 +122,22 @@ def collect_c1():
     }
 
 
+def collect_r2():
+    """Modelled crash-recovery latencies (journal replay + daemon restart)."""
+    import bench_r2_crash_recovery as r2
+
+    metrics = {}
+    scaling = r2.measure_recovery_scaling()
+    for n, row in sorted(scaling.items()):
+        metrics[f"r2.recover.full.n{n}_s"] = row["full"]
+        metrics[f"r2.recover.snap.n{n}_s"] = row["snap"]
+    restart_s, stats = r2.measure_daemon_restart()
+    metrics["r2.daemon.restart_recovery_s"] = restart_s
+    metrics["r2.daemon.recovered_domains"] = float(stats["domains"])
+    metrics["r2.daemon.replayed_records"] = float(stats["replayed_records"])
+    return metrics
+
+
 def collect_wall_informational():
     """Real management-layer CPU cost per cycle — reported, not gated."""
     import bench_e3_lifecycle_overhead as e3
@@ -186,6 +202,7 @@ def main(argv=None):
     current.update(collect_e5_dispatch())
     current.update(collect_o1())
     current.update(collect_c1())
+    current.update(collect_r2())
     info = {} if args.skip_wall else collect_wall_informational()
 
     if args.output:

@@ -126,6 +126,24 @@ class AdminConnection:
         self._check_open()
         return self._client.call("admin.trace_get", {"trace_id": trace_id})
 
+    # -- lifecycle -----------------------------------------------------------
+
+    def daemon_shutdown(self, graceful: bool = True) -> Dict[str, str]:
+        """``daemon-shutdown``: ask the daemon to exit.
+
+        ``graceful=True`` drains — in-flight calls finish, active jobs
+        fail cleanly, journals flush, clients are notified and closed
+        cleanly.  ``graceful=False`` simulates ``kill -9`` (the crash
+        fault-injection path: links severed, journal left as-is).  The
+        daemon replies before tearing down; the teardown happens on its
+        next :meth:`~repro.daemon.libvirtd.Libvirtd.tick`.
+        """
+        self._check_open()
+        return self._client.call(
+            "admin.daemon_shutdown",
+            {"mode": "graceful" if graceful else "crash"},
+        )
+
 
 class AdminServer:
     """Handle to one server object inside the daemon."""

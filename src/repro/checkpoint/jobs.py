@@ -22,7 +22,12 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Dict, Optional
 
-from repro.errors import InvalidArgumentError, InvalidOperationError, ResourceBusyError
+from repro.errors import (
+    DaemonCrashError,
+    InvalidArgumentError,
+    InvalidOperationError,
+    ResourceBusyError,
+)
 
 
 class JobPhase:
@@ -210,6 +215,13 @@ class JobEngine:
             self._poll_locked(domain)
             return self._active.get(domain)
 
+    def active_domains(self) -> "list[str]":
+        """Domains with a job still running (after lazy finalization)."""
+        with self._lock:
+            for domain in list(self._active):
+                self._poll_locked(domain)
+            return sorted(self._active)
+
     def cancel(self, domain: str) -> Dict[str, Any]:
         """Abort the active job; its cleanup callback undoes partial work."""
         with self._lock:
@@ -275,6 +287,8 @@ class JobEngine:
         if phase != JobPhase.COMPLETED and job.on_cleanup is not None:
             try:
                 job.on_cleanup()
+            except DaemonCrashError:
+                raise  # an injected daemon crash must not be swallowed
             except Exception:
                 pass  # cleanup is best-effort; the job outcome stands
         self._active.pop(job.domain, None)
@@ -288,6 +302,8 @@ class JobEngine:
         if job.on_final is not None:
             try:
                 job.on_final(job.info(ended_at))
+            except DaemonCrashError:
+                raise  # an injected daemon crash must not be swallowed
             except Exception:
                 pass
 

@@ -49,6 +49,31 @@ class Checkpoint:
     def dirty_bytes(self) -> int:
         return sum(len(blocks) for blocks in self.disks.values()) * self.block_size
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (frozensets become sorted lists)."""
+        return {
+            "name": self.name,
+            "parent": self.parent,
+            "creation_time": self.creation_time,
+            "state": self.state,
+            "disks": {path: sorted(blocks) for path, blocks in self.disks.items()},
+            "block_size": self.block_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Checkpoint":
+        return cls(
+            str(data["name"]),
+            data["parent"],  # type: ignore[arg-type]
+            float(data["creation_time"]),  # type: ignore[arg-type]
+            str(data["state"]),
+            {
+                path: frozenset(blocks)
+                for path, blocks in data["disks"].items()  # type: ignore[union-attr]
+            },
+            int(data["block_size"]),  # type: ignore[arg-type]
+        )
+
 
 class CheckpointTree:
     """All checkpoints of one domain, plus the current-leaf pointer."""
@@ -149,3 +174,19 @@ class CheckpointTree:
         raise InvalidArgumentError(
             f"checkpoint {name!r} is not an ancestor of the current checkpoint"
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form: checkpoints in creation order plus ``current``."""
+        return {
+            "checkpoints": [c.to_dict() for c in self._checkpoints.values()],
+            "current": self.current,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CheckpointTree":
+        tree = cls()
+        for entry in data.get("checkpoints", ()):  # type: ignore[union-attr]
+            checkpoint = Checkpoint.from_dict(entry)
+            tree._checkpoints[checkpoint.name] = checkpoint
+        tree.current = data.get("current")  # type: ignore[assignment]
+        return tree

@@ -207,6 +207,12 @@ def cmd_trace_list(conn, args, out: TextIO) -> int:
     return 0
 
 
+def cmd_daemon_shutdown(conn, args, out: TextIO) -> int:
+    result = conn.daemon_shutdown(graceful=not args.crash)
+    print(f"daemon shutdown initiated ({result['initiated']})", file=out)
+    return 0
+
+
 def cmd_trace_get(conn, args, out: TextIO) -> int:
     spans = conn.trace_get(args.trace_id)
     if args.json:
@@ -263,6 +269,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = add("trace-get", cmd_trace_get, "show one trace as a span tree")
     p.add_argument("trace_id", type=int)
     p.add_argument("--json", action="store_true", help="emit raw span dicts as JSON")
+    p = add("daemon-shutdown", cmd_daemon_shutdown, "ask the daemon to exit")
+    p.add_argument(
+        "--graceful", action="store_true", default=True,
+        help="drain clients and flush state before exiting (default)",
+    )
+    p.add_argument(
+        "--crash", action="store_true",
+        help="simulate an abrupt kill -9 instead of draining",
+    )
     add("dmn-log-info", cmd_log_info, "show daemon logging settings")
     p = add("dmn-log-define", cmd_log_define, "change daemon logging settings")
     p.add_argument("--level", type=int)

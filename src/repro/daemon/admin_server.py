@@ -162,6 +162,19 @@ def register_admin_handlers(rpc: RPCServer, daemon: "Libvirtd") -> None:
             raise InvalidArgumentError("trace_get requires a trace_id")
         return daemon.trace_get(body["trace_id"])
 
+    def h_daemon_shutdown(conn: ServerConnection, body: Any) -> Dict[str, str]:
+        mode = (body or {}).get("mode", "graceful")
+        if mode not in ("graceful", "crash"):
+            raise InvalidArgumentError(
+                f"daemon_shutdown mode must be 'graceful' or 'crash', got {mode!r}"
+            )
+        # defer the actual teardown one eventloop turn so this reply
+        # frame leaves over a still-open connection first
+        daemon.eventloop.add_timeout(
+            0.0, daemon.shutdown if mode == "graceful" else daemon.crash
+        )
+        return {"initiated": mode}
+
     rpc.register("admin.connect_open", h_open, priority=True)
     rpc.register("admin.trace_list", h_trace_list, priority=True)
     rpc.register("admin.trace_get", h_trace_get, priority=True)
@@ -179,3 +192,4 @@ def register_admin_handlers(rpc: RPCServer, daemon: "Libvirtd") -> None:
     rpc.register("admin.client_disconnect", h_client_disconnect, priority=True)
     rpc.register("admin.dmn_log_info", h_log_info, priority=True)
     rpc.register("admin.dmn_log_define", h_log_define, priority=True)
+    rpc.register("admin.daemon_shutdown", h_daemon_shutdown, priority=True)

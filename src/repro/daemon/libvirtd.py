@@ -19,15 +19,17 @@ from repro.daemon.client import ClientRecord
 from repro.daemon.registry import register_daemon, unregister_daemon
 from repro.errors import (
     ConnectionError_,
+    DaemonCrashError,
     InvalidArgumentError,
     InvalidURIError,
     OperationFailedError,
     VirtError,
 )
+from repro.faults.crash import CrashPoint
 from repro.observability.export import log_metrics, render_prometheus
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import Tracer
-from repro.rpc.protocol import EVENT_DOMAIN_LIFECYCLE
+from repro.rpc.protocol import EVENT_DAEMON_SHUTDOWN, EVENT_DOMAIN_LIFECYCLE
 from repro.rpc.server import RPCServer
 from repro.rpc.transport import Listener, ServerConnection
 from repro.util.clock import Clock, VirtualClock
@@ -51,6 +53,7 @@ class Libvirtd:
         use_pool: bool = True,
         log_level: int = LOG_ERROR,
         register: bool = True,
+        state_dir: "Optional[str]" = None,
     ) -> None:
         self.hostname = hostname
         self.clock = clock or VirtualClock()
@@ -106,6 +109,16 @@ class Libvirtd:
 
         self.eventloop = EventLoop(self.clock.now)
         self._keepalive_timeout: "Optional[float]" = None
+        #: maintenance timer ids owned by the daemon, cancelled on shutdown
+        self._maintenance_timers: List[int] = []
+        #: seeded daemon-kill script (see repro.faults.crash); None = off
+        self.crash_plan = None
+        #: durable state root; None keeps the daemon purely in-memory
+        self.state_dir = state_dir
+        #: per-driver recovery audit from startup (driver name -> stats)
+        self.recovery: Dict[str, Dict[str, Any]] = {}
+        if state_dir is not None:
+            self._attach_persistence(state_dir)
         self.rpc.on_ping = self._on_keepalive_ping
         self._register_handlers()
         if register:
@@ -152,6 +165,101 @@ class Libvirtd:
                 "repro.drivers.test", fromlist=["TestDriver"]
             ).TestDriver(seed_default=False),
         }
+
+    # ==================================================================
+    # persistence & crash injection
+    # ==================================================================
+
+    def _unique_drivers(self) -> List[Any]:
+        """Hosted driver objects, deduplicated (qemu/kvm share one)."""
+        unique: List[Any] = []
+        for driver in self.drivers.values():
+            if not any(existing is driver for existing in unique):
+                unique.append(driver)
+        return unique
+
+    def _attach_persistence(self, root: str) -> None:
+        """Give every stateful driver a journal under ``root`` and run
+        recovery against whatever the journal + backend reality say.
+
+        Each driver gets its own subdirectory (the qemu/kvm alias maps
+        to one journal).  Recovery happens here, before the daemon takes
+        its first call: a restarted daemon re-adopts running guests
+        non-intrusively and fails interrupted jobs cleanly.
+        """
+        import os
+
+        from repro.state import StateDir, StateJournal
+
+        for driver in self._unique_drivers():
+            if not hasattr(driver, "attach_state"):
+                continue
+            journal = StateJournal(
+                StateDir(os.path.join(root, driver.name)), clock=self.clock
+            )
+            driver.attach_state(journal)
+            stats = driver.recover_state()
+            self.recovery[driver.name] = stats
+            if stats.get("domains") or stats.get("adopted") or stats.get("failed_jobs"):
+                self.logger.info(
+                    "daemon.recovery",
+                    f"driver {driver.name}: recovered {stats.get('domains', 0)} "
+                    f"domains, adopted {stats.get('adopted', 0)}, failed "
+                    f"{len(stats.get('failed_jobs', []))} interrupted jobs",
+                )
+
+    def install_crash_plan(self, plan: Any) -> "Libvirtd":
+        """Arm seeded daemon-kill injection on this incarnation.
+
+        The plan is consulted at ``MID_DISPATCH``/``POST_JOURNAL`` for
+        every dispatched driver call, and at ``MID_JOURNAL`` inside every
+        driver journal write.  Installed after construction, so recovery
+        itself is never crash-injected (a real daemon cannot be killed
+        by a journal it is merely reading).
+        """
+        self.crash_plan = plan
+        for driver in self._unique_drivers():
+            if hasattr(driver, "crash_plan"):
+                driver.crash_plan = plan
+        return self
+
+    def _maybe_crash(self, point: CrashPoint, procedure: str) -> None:
+        plan = self.crash_plan
+        if plan is not None and plan.decide(point, procedure, self.clock.now()):
+            self.crash()
+            raise DaemonCrashError(
+                f"daemon crashed at {point.value} during {procedure}"
+            )
+
+    def crash(self) -> None:
+        """Die like ``kill -9``: no drain, no journal flush, no goodbyes.
+
+        Every client link is severed silently (the peer discovers the
+        death through keepalive or its next call), listeners stop
+        accepting, and the hostname is deregistered so a restarted
+        incarnation can take it over.  Driver memory is *not* cleaned
+        up — it dies with this object, exactly like process memory.
+        """
+        with self._lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
+            records = list(self._clients.values())
+            listeners = list(self._listeners.values())
+            timers = list(self._maintenance_timers)
+            self._maintenance_timers.clear()
+            self._clients.clear()
+            self._by_conn.clear()
+        for record in records:
+            try:
+                record.conn.channel.sever()
+            except VirtError:
+                pass
+        for listener in listeners:
+            listener.close_all()
+        for timer_id in timers:
+            self.eventloop.cancel(timer_id)
+        unregister_daemon(self.hostname)
 
     # ==================================================================
     # listeners & client management
@@ -367,7 +475,11 @@ class Libvirtd:
         if timeout <= 0:
             raise InvalidArgumentError("keepalive timeout must be positive")
         self._keepalive_timeout = timeout
-        self.eventloop.add_interval(check_interval or timeout / 2, self.reap_idle_clients)
+        timer_id = self.eventloop.add_interval(
+            check_interval or timeout / 2, self.reap_idle_clients
+        )
+        with self._lock:
+            self._maintenance_timers.append(timer_id)
 
     def reap_idle_clients(self) -> "List[int]":
         """Force-disconnect every client idle beyond the keepalive timeout."""
@@ -549,19 +661,65 @@ class Libvirtd:
         line through the virtlog pipeline; returns the timer id."""
         if interval <= 0:
             raise InvalidArgumentError("stats logging interval must be positive")
-        return self.eventloop.add_interval(
+        timer_id = self.eventloop.add_interval(
             interval,
             lambda: log_metrics(self.logger, self.metrics, priority=priority),
         )
+        with self._lock:
+            self._maintenance_timers.append(timer_id)
+        return timer_id
 
     def shutdown(self) -> None:
+        """Graceful drain, the opposite of :meth:`crash`.
+
+        Ordering is the whole point:
+
+        1. stop accepting new clients (``_shut_down`` gates ``_accept``);
+        2. notify connected clients (``EVENT_DAEMON_SHUTDOWN``) while
+           their links still work;
+        3. fail still-active background jobs so their cleanup runs and
+           the FAILED outcome is journalled, not wedged;
+        4. flush each driver's journal into a snapshot (fast recovery);
+        5. close every client cleanly *before* tearing down listeners,
+           so a client sees exactly one clean close — never a spurious
+           keepalive timeout racing a half-closed link;
+        6. cancel the daemon's maintenance timers (keepalive reaper,
+           stats logging) so nothing fires into a dead daemon;
+        7. stop the workerpools and release the hostname.
+        """
         with self._lock:
             if self._shut_down:
                 return
             self._shut_down = True
+            records = list(self._clients.values())
             listeners = list(self._listeners.values())
+            timers = list(self._maintenance_timers)
+            self._maintenance_timers.clear()
+        for record in records:
+            try:
+                self._rpc_by_server[record.server].emit_event(
+                    record.conn, EVENT_DAEMON_SHUTDOWN, {"hostname": self.hostname}
+                )
+            except VirtError:
+                pass  # that client is already gone; keep draining
+        for driver in self._unique_drivers():
+            engine = getattr(driver, "jobs", None)
+            if engine is not None:
+                for domain in engine.active_domains():
+                    try:
+                        engine.fail_active(domain, "daemon shut down during job")
+                    except VirtError:
+                        pass
+            flush = getattr(driver, "flush_state", None)
+            if flush is not None:
+                flush()
+        for record in records:
+            self._cleanup_client(record, clean=True)
+            record.conn.close()
         for listener in listeners:
             listener.close_all()
+        for timer_id in timers:
+            self.eventloop.cancel(timer_id)
         with self._lock:
             pools = list(self.server_pools.values())
         for pool in pools:
@@ -599,6 +757,8 @@ class Libvirtd:
             driver = self._driver_of(conn)
             # ``procedure`` is stamped onto the handler at registration
             procedure = getattr(handler, "procedure", "unknown")
+            # kill point 1: the call arrived but nothing has happened yet
+            self._maybe_crash(CrashPoint.MID_DISPATCH, procedure)
             label = getattr(driver, "name", type(driver).__name__)
             started = self.clock.now()
             scope = (
@@ -607,10 +767,18 @@ class Libvirtd:
                 else nullcontext()
             )
             with scope:
-                result = fn(driver, body or {})
+                try:
+                    result = fn(driver, body or {})
+                except DaemonCrashError:
+                    # kill point 2 fired inside a journal write: the
+                    # driver already tore the record, now the process dies
+                    self.crash()
+                    raise
             self._m_driver_ops.labels(driver=label, procedure=procedure).observe(
                 self.clock.now() - started
             )
+            # kill point 3: mutation + journal durable, reply never sent
+            self._maybe_crash(CrashPoint.POST_JOURNAL, procedure)
             return result
 
         return handler

@@ -27,7 +27,7 @@ from repro.errors import (
     VirtError,
 )
 from repro.rpc.client import PendingReply, RPCClient
-from repro.rpc.protocol import EVENT_DOMAIN_LIFECYCLE
+from repro.rpc.protocol import EVENT_DAEMON_SHUTDOWN, EVENT_DOMAIN_LIFECYCLE
 from repro.rpc.retry import CircuitBreaker, RetryPolicy, is_idempotent
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -153,6 +153,8 @@ class RemoteDriver(Driver):
         self._features: "Optional[List[str]]" = None
         #: every disconnect this driver handled, oldest first
         self.connection_events: List[ConnectionResetEvent] = []
+        #: graceful-shutdown notices pushed by the daemon, oldest first
+        self.shutdown_notices: List[Dict[str, Any]] = []
         self._conn_callbacks: "List[Callable[[ConnectionResetEvent], None]]" = []
         self._breaker: "Optional[CircuitBreaker]" = None
         self._clock = None
@@ -195,6 +197,10 @@ class RemoteDriver(Driver):
         )
         if cfg is not None and cfg.keepalive_interval is not None:
             client.enable_keepalive(cfg.keepalive_interval, cfg.keepalive_count)
+        # a draining daemon announces itself before closing the link;
+        # recording the notice lets callers tell a graceful shutdown
+        # apart from an abrupt crash
+        client.on_event(EVENT_DAEMON_SHUTDOWN, self._on_daemon_shutdown)
         attempts = 0
         backoff: "Optional[float]" = None
         while True:
@@ -588,6 +594,9 @@ class RemoteDriver(Driver):
         self.events.emit(
             body["domain"], DomainEvent(body["event"]), body.get("detail", "")
         )
+
+    def _on_daemon_shutdown(self, body: Any) -> None:
+        self.shutdown_notices.append(dict(body or {}))
 
     # -- networks --------------------------------------------------------------------------------
 

@@ -23,6 +23,7 @@ from repro.core.states import (
     from_run_state,
 )
 from repro.errors import (
+    DaemonCrashError,
     DomainExistsError,
     InvalidArgumentError,
     InvalidOperationError,
@@ -39,6 +40,7 @@ from repro.errors import (
     StoragePoolExistsError,
     StorageVolumeExistsError,
 )
+from repro.faults.crash import CrashPoint
 from repro.hypervisors.base import Backend
 from repro.migration.precopy import run_precopy
 from repro.util import uuidutil
@@ -109,6 +111,11 @@ class StatefulDriver(Driver):
         self._pools: Dict[str, StoragePoolConfig] = {}
         self._active_pools: set = set()
         self._pool_volumes: Dict[str, Dict[str, VolumeConfig]] = {}
+        #: write-ahead journal (attached by a hosting daemon); None keeps
+        #: the driver purely in-memory, exactly the pre-persistence shape
+        self._state = None
+        #: seeded daemon-kill script consulted on every journal write
+        self.crash_plan = None
         #: counts every uniform-API entry (the paper's call accounting)
         self.api_calls = 0
         #: optional observability registry, attached by a hosting daemon
@@ -220,6 +227,272 @@ class StatefulDriver(Driver):
                 self._domains.pop(name, None)
                 if record.config.uuid:
                     self._uuid_index.pop(record.config.uuid, None)
+
+    # ==================================================================
+    # persistence: write-ahead journaling + non-intrusive recovery
+    # ==================================================================
+
+    def attach_state(self, journal) -> None:
+        """Attach a :class:`~repro.state.StateJournal`; every later
+        mutation journals through it before the caller is acknowledged."""
+        self._state = journal
+
+    def _journal_write(self, kind: str, key: str, data: Optional[Dict[str, Any]]) -> None:
+        """Single funnel for journal mutations, with crash injection.
+
+        A ``MID_JOURNAL`` crash fires *after* backend reality changed
+        but tears this very append: only a partial record reaches disk
+        and the daemon dies, which is the hardest case recovery must
+        reconcile (reality moved, the journal never heard about it).
+        """
+        journal = self._state
+        if journal is None:
+            return
+        plan = self.crash_plan
+        if plan is not None and plan.decide(
+            CrashPoint.MID_JOURNAL, f"{kind}:{key}", self.backend.clock.now()
+        ):
+            journal.append_torn(kind, key, data)
+            raise DaemonCrashError(
+                f"daemon crashed tearing the journal write of {kind}:{key}"
+            )
+        if data is None:
+            journal.delete(kind, key)
+        else:
+            journal.put(kind, key, data)
+
+    def _serialize_domain(self, name: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            record = self._domains.get(name)
+            domain_id = self._ids.get(name)
+        if record is None:
+            return None
+        return {
+            "xml": record.config.to_xml(),
+            "persistent": record.persistent,
+            "autostart": record.autostart,
+            "snapshots": record.snapshots,
+            "checkpoints": record.checkpoints.to_dict(),
+            "saved_path": record.saved_path,
+            "managed_save_path": record.managed_save_path,
+            "scheduler": dict(record.scheduler),
+            "last_job": record.last_job,
+            "id": domain_id,
+        }
+
+    def _journal_domain(self, name: str) -> None:
+        """Journal the domain's full record (or a tombstone if gone)."""
+        self._journal_write("domain", name, self._serialize_domain(name))
+
+    def _journal_network(self, name: str) -> None:
+        with self._lock:
+            config = self._networks.get(name)
+            data = (
+                None
+                if config is None
+                else {
+                    "xml": config.to_xml(),
+                    "active": name in self._active_networks,
+                    "leases": {
+                        mac: dict(info)
+                        for mac, info in self._dhcp_leases.get(name, {}).items()
+                    },
+                }
+            )
+        self._journal_write("network", name, data)
+
+    def _journal_pool(self, name: str) -> None:
+        with self._lock:
+            config = self._pools.get(name)
+            data = (
+                None
+                if config is None
+                else {
+                    "xml": config.to_xml(),
+                    "active": name in self._active_pools,
+                    "volumes": {
+                        vol: vc.to_xml()
+                        for vol, vc in self._pool_volumes.get(name, {}).items()
+                    },
+                }
+            )
+        self._journal_write("pool", name, data)
+
+    def _journal_job(self, name: str, job: Optional[Any] = None) -> None:
+        """Journal an active job's parameters, or its removal."""
+        if job is None:
+            self._journal_write("job", name, None)
+            return
+        self._journal_write(
+            "job",
+            name,
+            {
+                "job_type": job.job_type,
+                "operation": job.operation,
+                "total": job.total_bytes,
+                "bandwidth": job.bandwidth_bytes_s,
+                "extra": dict(job.extra),
+                "started_at": job.started_at,
+            },
+        )
+
+    def _backup_job_final(self, record: _DomainRecord, info: Dict[str, Any]) -> None:
+        """Terminal-job hook: persist the outcome, drop the job record."""
+        record.last_job = info
+        self._journal_job(record.config.name)
+        self._journal_domain(record.config.name)
+
+    def flush_state(self) -> None:
+        """Collapse the journal into a snapshot (graceful shutdown)."""
+        if self._state is not None:
+            self._state.checkpoint()
+
+    def recover_state(self) -> Dict[str, Any]:
+        """Rebuild bookkeeping from the journal, deferring to backend
+        reality — the paper's non-intrusive restart.
+
+        The journal only ever records *our* bookkeeping; whether a guest
+        is actually running is the hypervisor's truth.  Recovery therefore:
+
+        * restores networks, pools, and volumes from their records;
+        * restores domain records, re-adopting running guests under
+          their journalled ids, keeping persistent-but-stopped configs
+          as shutoff, and dropping transient records whose guest died;
+        * adopts guests the journal never heard of (a crash tore the
+          record after the backend already started them) as transient
+          domains with a config synthesized from the runtime;
+        * re-creates interrupted background jobs just long enough to
+          fail them cleanly, so their cleanup drops partial volumes and
+          ``domain_get_job_info`` reports FAILED instead of wedging;
+        * rewrites the reconciled state and checkpoints the journal, so
+          the next recovery is snapshot load + empty tail.
+        """
+        journal = self._state
+        if journal is None:
+            return {"recovered": False}
+        stats: Dict[str, Any] = {
+            "recovered": True,
+            "domains": 0,
+            "adopted": 0,
+            "dropped_transient": 0,
+            "failed_jobs": [],
+            "torn_tail_discarded": journal.torn_tail_discarded,
+            "replayed_records": journal.replayed_records,
+        }
+        journalled_domains = journal.entries("domain")
+        for name, data in sorted(journal.entries("network").items()):
+            config = NetworkConfig.from_xml(data["xml"])
+            with self._lock:
+                self._networks[name] = config
+                if data.get("active"):
+                    self._active_networks.add(name)
+                leases = data.get("leases") or {}
+                if leases:
+                    self._dhcp_leases[name] = {
+                        mac: dict(info) for mac, info in leases.items()
+                    }
+        for name, data in sorted(journal.entries("pool").items()):
+            config = StoragePoolConfig.from_xml(data["xml"])
+            with self._lock:
+                self._pools[name] = config
+                if data.get("active"):
+                    self._active_pools.add(name)
+                self._pool_volumes[name] = {
+                    vol: VolumeConfig.from_xml(vol_xml)
+                    for vol, vol_xml in sorted((data.get("volumes") or {}).items())
+                }
+        max_id = 0
+        for name, data in sorted(journalled_domains.items()):
+            config = DomainConfig.from_xml(data["xml"])
+            running = self.backend.has_guest(name)
+            persistent = bool(data.get("persistent"))
+            if not running and not persistent:
+                # transient and its guest is gone: it ceased to exist
+                stats["dropped_transient"] += 1
+                continue
+            record = _DomainRecord(config, persistent=persistent)
+            record.autostart = bool(data.get("autostart"))
+            record.snapshots = {
+                snap: dict(body) for snap, body in (data.get("snapshots") or {}).items()
+            }
+            record.checkpoints = CheckpointTree.from_dict(data.get("checkpoints") or {})
+            record.saved_path = data.get("saved_path")
+            record.managed_save_path = data.get("managed_save_path")
+            record.scheduler.update(data.get("scheduler") or {})
+            record.last_job = data.get("last_job")
+            with self._lock:
+                self._domains[name] = record
+                self._uuid_index[config.uuid] = name
+                if running and data.get("id"):
+                    # re-adopt the running guest under its old id
+                    self._ids[name] = int(data["id"])
+                    max_id = max(max_id, int(data["id"]))
+            stats["domains"] += 1
+        # guests the journal never heard of: reality wins, adopt them
+        for name in self.backend.list_guests():
+            with self._lock:
+                if name in self._domains:
+                    continue
+            runtime = self.backend._get(name)
+            config = DomainConfig(
+                name,
+                domain_type=self.accepted_types[0] if self.accepted_types else "test",
+                uuid=runtime.uuid,
+                memory_kib=runtime.max_memory_kib,
+                current_memory_kib=runtime.memory_kib,
+                vcpus=runtime.vcpus,
+            )
+            with self._lock:
+                self._domains[name] = _DomainRecord(config, persistent=False)
+                self._uuid_index[config.uuid] = name
+            stats["adopted"] += 1
+        with self._lock:
+            self._next_id = max(self._next_id, max_id + 1)
+        for name in self.backend.list_guests():
+            with self._lock:
+                missing = name not in self._ids
+            if missing:
+                self._assign_id(name)
+        # interrupted jobs: re-create, then fail — cleanup runs for real
+        for name, data in sorted(journal.entries("job").items()):
+            with self._lock:
+                record = self._domains.get(name)
+            if record is not None and self.backend.has_guest(name):
+                extra = dict(data.get("extra") or {})
+                pool = extra.get("target_pool")
+                volume = extra.get("target_volume")
+                self.jobs.begin(
+                    name,
+                    data.get("job_type", "backup"),
+                    data.get("operation", "backup-full"),
+                    max(int(data.get("total", 1)), 1),
+                    max(float(data.get("bandwidth", 1.0)), 1.0),
+                    extra=extra,
+                    on_cleanup=(
+                        (lambda p=pool, v=volume: self._drop_backup_volume(p, v))
+                        if pool and volume
+                        else None
+                    ),
+                    on_final=lambda info, r=record: setattr(r, "last_job", info),
+                )
+                self.jobs.fail_active(name, "backup job interrupted by daemon restart")
+                stats["failed_jobs"].append(name)
+        # the bookkeeping now reflects reality: rewrite every record and
+        # collapse history so the next recovery replays a minimal tail
+        for name in sorted(journal.entries("job")):
+            self._journal_write("job", name, None)
+        with self._lock:
+            live_domains = set(self._domains)
+            networks = sorted(self._networks)
+            pools = sorted(self._pools)
+        for name in sorted(set(journalled_domains) | live_domains):
+            self._journal_domain(name)
+        for name in networks:
+            self._journal_network(name)
+        for name in pools:
+            self._journal_pool(name)
+        journal.checkpoint()
+        return stats
 
     # ==================================================================
     # connection-level
@@ -372,6 +645,7 @@ class StatefulDriver(Driver):
                 self._domains[config.name] = _DomainRecord(config, persistent=True)
                 self._uuid_index[config.uuid] = config.name
         self.events.emit(config.name, DomainEvent.DEFINED)
+        self._journal_domain(config.name)
         return self._public_record(config.name)
 
     def domain_undefine(self, name: str) -> None:
@@ -387,6 +661,7 @@ class StatefulDriver(Driver):
             if record.config.uuid:
                 self._uuid_index.pop(record.config.uuid, None)
         self.events.emit(name, DomainEvent.UNDEFINED)
+        self._journal_domain(name)
 
     def domain_create(self, name: str) -> None:
         self._count_call()
@@ -401,11 +676,13 @@ class StatefulDriver(Driver):
             self._assign_id(name)
             self._assign_dhcp_leases(record.config)
             self.events.emit(name, DomainEvent.STARTED, "restored")
+            self._journal_domain(name)
             return
         self._backend_start(record.config)
         self._assign_id(name)
         self._assign_dhcp_leases(record.config)
         self.events.emit(name, DomainEvent.STARTED)
+        self._journal_domain(name)
 
     def domain_create_xml(self, xml: str) -> Dict[str, Any]:
         self._count_call()
@@ -425,6 +702,7 @@ class StatefulDriver(Driver):
         self._assign_id(config.name)
         self._assign_dhcp_leases(config)
         self.events.emit(config.name, DomainEvent.STARTED, "booted")
+        self._journal_domain(config.name)
         return self._public_record(config.name)
 
     def domain_shutdown(self, name: str) -> None:
@@ -437,6 +715,7 @@ class StatefulDriver(Driver):
         self.events.emit(name, DomainEvent.SHUTDOWN, "guest-initiated")
         self.events.emit(name, DomainEvent.STOPPED, "shutdown")
         self._forget_transient(name)
+        self._journal_domain(name)
 
     def domain_destroy(self, name: str) -> None:
         self._count_call()
@@ -447,6 +726,7 @@ class StatefulDriver(Driver):
         self._release_dhcp_leases(self._record(name).config)
         self.events.emit(name, DomainEvent.STOPPED, "destroyed")
         self._forget_transient(name)
+        self._journal_domain(name)
 
     def domain_suspend(self, name: str) -> None:
         self._count_call()
@@ -541,6 +821,7 @@ class StatefulDriver(Driver):
         record.scheduler.update(values)
         if self.backend.has_guest(name):
             self._apply_scheduler(name, record.scheduler)
+        self._journal_domain(name)
 
     def _apply_scheduler(self, name: str, scheduler: Dict[str, int]) -> None:
         """Push scheduler tunables to the live instance (driver-specific)."""
@@ -618,6 +899,7 @@ class StatefulDriver(Driver):
         if self.backend.has_guest(name):
             self._backend_set_memory(name, memory_kib)
         record.config.current_memory_kib = memory_kib
+        self._journal_domain(name)
 
     def domain_set_vcpus(self, name: str, vcpus: int) -> None:
         self._count_call()
@@ -631,6 +913,7 @@ class StatefulDriver(Driver):
         if self.backend.has_guest(name):
             self._backend_set_vcpus(name, vcpus)
         record.config.vcpus = vcpus
+        self._journal_domain(name)
 
     def domain_save(self, name: str, path: str) -> None:
         self._count_call()
@@ -641,6 +924,7 @@ class StatefulDriver(Driver):
         record.saved_path = path
         record.last_job = {"type": "save", "completed": True, "path": path}
         self.events.emit(name, DomainEvent.STOPPED, "saved")
+        self._journal_domain(name)
 
     def domain_restore(self, path: str) -> Dict[str, Any]:
         self._count_call()
@@ -656,6 +940,7 @@ class StatefulDriver(Driver):
         record.saved_path = None
         self._assign_id(name)
         self.events.emit(name, DomainEvent.STARTED, "restored")
+        self._journal_domain(name)
         return self._public_record(name)
 
     #: where managed-save images live (libvirt: /var/lib/libvirt/qemu/save)
@@ -676,6 +961,7 @@ class StatefulDriver(Driver):
         record.managed_save_path = path
         record.last_job = {"type": "save", "completed": True, "path": path, "managed": True}
         self.events.emit(name, DomainEvent.STOPPED, "saved")
+        self._journal_domain(name)
 
     def domain_managed_save_remove(self, name: str) -> None:
         self._count_call()
@@ -687,6 +973,7 @@ class StatefulDriver(Driver):
         if record.saved_path == record.managed_save_path:
             record.saved_path = None
         record.managed_save_path = None
+        self._journal_domain(name)
 
     def domain_has_managed_save(self, name: str) -> bool:
         self._count_call()
@@ -702,6 +989,7 @@ class StatefulDriver(Driver):
         if not record.persistent:
             raise InvalidOperationError("transient domains cannot autostart")
         record.autostart = bool(autostart)
+        self._journal_domain(name)
 
     def autostart_all(self) -> List[str]:
         """Start every autostart-flagged inactive domain (daemon boot)."""
@@ -736,6 +1024,7 @@ class StatefulDriver(Driver):
         else:
             raise InvalidArgumentError(f"cannot hotplug device <{elem.tag}>")
         record.config.validate()
+        self._journal_domain(name)
 
     def domain_detach_device(self, name: str, device_xml: str) -> None:
         self._count_call()
@@ -760,6 +1049,7 @@ class StatefulDriver(Driver):
             record.config.interfaces.remove(matches[0])
         else:
             raise InvalidArgumentError(f"cannot detach device <{elem.tag}>")
+        self._journal_domain(name)
 
     # ==================================================================
     # snapshots
@@ -787,6 +1077,7 @@ class StatefulDriver(Driver):
         }
         snapshot["disks"] = self._snapshot_disks(record, snapshot_name)
         record.snapshots[snapshot_name] = snapshot
+        self._journal_domain(name)
         return {"name": snapshot_name, "domain": name}
 
     def _snapshot_disks(
@@ -854,6 +1145,7 @@ class StatefulDriver(Driver):
             self._backend_start(record.config)
             self._assign_id(name)
         self.events.emit(name, DomainEvent.STARTED if was_running else DomainEvent.STOPPED, "snapshot-revert")
+        self._journal_domain(name)
 
     def snapshot_delete(self, name: str, snapshot_name: str) -> None:
         self._count_call()
@@ -870,6 +1162,7 @@ class StatefulDriver(Driver):
                 except ResourceBusyError:
                     pass  # something chained onto the overlay; leave it
         del record.snapshots[snapshot_name]
+        self._journal_domain(name)
 
     # ==================================================================
     # checkpoints & backup jobs
@@ -913,6 +1206,7 @@ class StatefulDriver(Driver):
             disks=frozen,
             block_size=images.block_size,
         )
+        self._journal_domain(name)
         return {
             "name": checkpoint_name,
             "domain": name,
@@ -938,6 +1232,7 @@ class StatefulDriver(Driver):
             for path, blocks in checkpoint.disks.items():
                 if images.exists(path):
                     images.merge_dirty(path, blocks)
+        self._journal_domain(name)
 
     def checkpoint_get_xml_desc(self, name: str, checkpoint_name: str) -> str:
         self._count_call()
@@ -1027,11 +1322,13 @@ class StatefulDriver(Driver):
                 },
                 on_complete=lambda: images.set_allocation(target_path, total),
                 on_cleanup=lambda: self._drop_backup_volume(pool, volume_name),
-                on_final=lambda info: setattr(record, "last_job", info),
+                on_final=lambda info: self._backup_job_final(record, info),
             )
         except Exception:
             self._drop_backup_volume(pool, volume_name)
             raise
+        self._journal_job(name, job)
+        self._journal_domain(name)
         return job.info(self.backend.clock.now())
 
     def _drop_backup_volume(self, pool: str, volume: str) -> None:
@@ -1048,11 +1345,14 @@ class StatefulDriver(Driver):
                 self.backend.images.delete(path)
             except (NoStorageVolumeError, ResourceBusyError):
                 pass
+        self._journal_pool(pool)
 
     def domain_abort_job(self, name: str) -> Dict[str, Any]:
         self._count_call()
         self._record(name)
-        return self.jobs.cancel(name)
+        info = self.jobs.cancel(name)
+        self._journal_domain(name)
+        return info
 
     # ==================================================================
     # migration (driver hooks; orchestrated by repro.migration.manager)
@@ -1088,6 +1388,7 @@ class StatefulDriver(Driver):
                 self._domains[name] = _DomainRecord(config, persistent=False)
                 self._uuid_index[config.uuid] = name
         self._backend_start(config, paused=True)
+        self._journal_domain(name)
         return {"name": name, "uuid": config.uuid}
 
     def migrate_perform(
@@ -1136,6 +1437,7 @@ class StatefulDriver(Driver):
             "transferred_bytes": result.transferred_bytes,
             "rounds": result.rounds,
         }
+        self._journal_domain(name)
         return {
             "total_time_s": result.total_time_s,
             "downtime_s": result.downtime_s,
@@ -1151,12 +1453,14 @@ class StatefulDriver(Driver):
             if self.backend.has_guest(name):
                 self._backend_destroy(name)
             self._forget_transient(name)
+            self._journal_domain(name)
             return {"name": name, "failed": True}
         self._backend_resume(name)
         record = self._record(name)
         record.persistent = True
         self.events.emit(name, DomainEvent.MIGRATED, "incoming")
         self.events.emit(name, DomainEvent.STARTED, "migrated")
+        self._journal_domain(name)
         return self._public_record(name)
 
     def migrate_confirm(self, name: str, cancelled: bool) -> None:
@@ -1169,6 +1473,7 @@ class StatefulDriver(Driver):
             self._backend_destroy(name)
         self.events.emit(name, DomainEvent.STOPPED, "migrated")
         self._forget_transient(name)
+        self._journal_domain(name)
 
     def migrate_p2p(self, name: str, dest_uri: str, params: Dict[str, Any]) -> Dict[str, Any]:
         """Peer-to-peer mode: this (source) host dials the destination
@@ -1214,6 +1519,7 @@ class StatefulDriver(Driver):
             if config.name in self._networks:
                 raise NetworkExistsError(f"network {config.name!r} already defined")
             self._networks[config.name] = config
+        self._journal_network(config.name)
         return self._network_record(config.name)
 
     def _get_network(self, name: str) -> NetworkConfig:
@@ -1239,6 +1545,7 @@ class StatefulDriver(Driver):
             raise InvalidOperationError(f"network {name!r} is active")
         with self._lock:
             del self._networks[name]
+        self._journal_network(name)
 
     def network_create(self, name: str) -> None:
         self._count_call()
@@ -1246,6 +1553,7 @@ class StatefulDriver(Driver):
         if name in self._active_networks:
             raise InvalidOperationError(f"network {name!r} is already active")
         self._active_networks.add(name)
+        self._journal_network(name)
 
     def network_destroy(self, name: str) -> None:
         self._count_call()
@@ -1255,6 +1563,7 @@ class StatefulDriver(Driver):
         self._active_networks.discard(name)
         with self._lock:
             self._dhcp_leases.pop(name, None)
+        self._journal_network(name)
 
     def network_list(self) -> List[Dict[str, Any]]:
         self._count_call()
@@ -1281,6 +1590,7 @@ class StatefulDriver(Driver):
 
     def _assign_dhcp_leases(self, config: DomainConfig) -> None:
         """Hand a lease to every NIC attached to an active DHCP network."""
+        touched = set()
         for iface in config.interfaces:
             if iface.interface_type != "network" or not iface.mac:
                 continue
@@ -1305,15 +1615,21 @@ class StatefulDriver(Driver):
                     "hostname": config.name,
                     "since": self.backend.clock.now(),
                 }
+            touched.add(iface.source)
+        for network_name in sorted(touched):
+            self._journal_network(network_name)
 
     def _release_dhcp_leases(self, config: DomainConfig) -> None:
+        touched = set()
         for iface in config.interfaces:
             if not iface.mac:
                 continue
             with self._lock:
                 leases = self._dhcp_leases.get(iface.source)
-                if leases is not None:
-                    leases.pop(iface.mac, None)
+                if leases is not None and leases.pop(iface.mac, None) is not None:
+                    touched.add(iface.source)
+        for network_name in sorted(touched):
+            self._journal_network(network_name)
 
     # ==================================================================
     # storage
@@ -1329,6 +1645,7 @@ class StatefulDriver(Driver):
                 raise StoragePoolExistsError(f"pool {config.name!r} already defined")
             self._pools[config.name] = config
             self._pool_volumes[config.name] = {}
+        self._journal_pool(config.name)
         return self._pool_record(config.name)
 
     def _get_pool(self, name: str) -> StoragePoolConfig:
@@ -1354,6 +1671,7 @@ class StatefulDriver(Driver):
         with self._lock:
             del self._pools[name]
             del self._pool_volumes[name]
+        self._journal_pool(name)
 
     def storage_pool_create(self, name: str) -> None:
         self._count_call()
@@ -1361,6 +1679,7 @@ class StatefulDriver(Driver):
         if name in self._active_pools:
             raise InvalidOperationError(f"pool {name!r} is already active")
         self._active_pools.add(name)
+        self._journal_pool(name)
 
     def storage_pool_destroy(self, name: str) -> None:
         self._count_call()
@@ -1368,6 +1687,7 @@ class StatefulDriver(Driver):
         if name not in self._active_pools:
             raise InvalidOperationError(f"pool {name!r} is not active")
         self._active_pools.discard(name)
+        self._journal_pool(name)
 
     def storage_pool_list(self) -> List[Dict[str, Any]]:
         self._count_call()
@@ -1425,6 +1745,7 @@ class StatefulDriver(Driver):
         )
         with self._lock:
             self._pool_volumes[pool][volume.name] = volume
+        self._journal_pool(pool)
         return {"name": volume.name, "path": path}
 
     def storage_vol_delete(self, pool: str, volume: str) -> None:
@@ -1440,6 +1761,7 @@ class StatefulDriver(Driver):
             self.backend.images.delete(path)
         with self._lock:
             del self._pool_volumes[pool][volume]
+        self._journal_pool(pool)
 
     def storage_vol_list(self, pool: str) -> List[str]:
         self._count_call()

@@ -103,6 +103,7 @@ class ErrorCode(enum.IntEnum):
     GUEST_CRASHED = 48
     NO_DOMAIN_CHECKPOINT = 49
     CHECKPOINT_EXIST = 50
+    DAEMON_CRASHED = 51
 
 
 class VirtError(Exception):
@@ -396,6 +397,18 @@ class GuestCrashedError(VirtError):
     default_domain = ErrorDomain.DOM
 
 
+class DaemonCrashError(VirtError):
+    """The daemon process died mid-operation (crash fault injection).
+
+    Never crosses the wire as an error reply: the RPC dispatch layer
+    re-raises it so the whole call tears down like a killed process —
+    the triggering client sees a dead link, not a failure reply.
+    """
+
+    default_code = ErrorCode.DAEMON_CRASHED
+    default_domain = ErrorDomain.RPC
+
+
 _CODE_TO_CLASS = {
     ErrorCode.XML_ERROR: XMLError,
     ErrorCode.XML_DETAIL: XMLError,
@@ -427,4 +440,5 @@ _CODE_TO_CLASS = {
     ErrorCode.ACCESS_DENIED: AccessDeniedError,
     ErrorCode.MIGRATE_INCOMPATIBLE: MigrationIncompatibleError,
     ErrorCode.GUEST_CRASHED: GuestCrashedError,
+    ErrorCode.DAEMON_CRASHED: DaemonCrashError,
 }

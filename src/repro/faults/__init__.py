@@ -5,8 +5,21 @@ duplicates, corruption, silent severs, daemon blackholes — against the
 virtual clock, so tests and benchmarks can prove the resilience story
 (keepalive, deadlines, retry, auto-reconnect) without wall-clock sleeps
 or real networks.
+
+A :class:`CrashPlan` goes one layer up: it kills the *daemon process*
+at seeded points along a dispatched call (mid-dispatch, mid-journal
+write, post-journal/pre-reply), and :class:`CrashHarness` restarts a
+fresh daemon over the surviving hypervisor backends so journal-based
+recovery can be exercised at every kill point.
 """
 
+from repro.faults.crash import (
+    CrashEvent,
+    CrashHarness,
+    CrashPlan,
+    CrashPoint,
+    CrashRule,
+)
 from repro.faults.plan import (
     FaultDecision,
     FaultEvent,
@@ -16,6 +29,11 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "CrashEvent",
+    "CrashHarness",
+    "CrashPlan",
+    "CrashPoint",
+    "CrashRule",
     "FaultDecision",
     "FaultEvent",
     "FaultKind",

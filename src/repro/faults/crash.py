@@ -1,0 +1,283 @@
+"""Seeded daemon-crash injection: kill the management plane itself.
+
+PR 1's :class:`~repro.faults.plan.FaultPlan` scripts *link* failures;
+this module scripts *process* failures.  A :class:`CrashPlan` is
+consulted by the daemon at three kill points along every dispatched
+mutation:
+
+* ``MID_DISPATCH`` — the call was received but the daemon dies before
+  the driver mutates anything: no state change, no journal record;
+* ``MID_JOURNAL`` — the driver mutated backend reality but the crash
+  tears the journal append, leaving a partial final record;
+* ``POST_JOURNAL`` — mutation and journal record are durable, but the
+  daemon dies before the reply frame leaves: the client never learns
+  the call succeeded.
+
+When a rule fires the daemon severs every connection and raises
+:class:`~repro.errors.DaemonCrashError` straight through the dispatch
+stack — the modelled equivalent of ``kill -9``.  The simulated
+hypervisor backends are separate objects and keep running; the
+:class:`CrashHarness` then constructs a fresh daemon over the same
+backends and state directory, which is the paper's non-intrusive
+restart: recovery must reconcile the journal against backend reality
+without touching a single running guest.
+
+Every ``decide`` call is also recorded in ``plan.opportunities`` even
+when no rule fires, so a dry run of a scripted workload yields a
+complete census of kill points — the property test then replays the
+workload once per opportunity index with ``CrashPlan().at(i)``.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import threading
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import InvalidArgumentError
+
+
+class CrashPoint(enum.Enum):
+    """Where along a mutating call the daemon dies."""
+
+    MID_DISPATCH = "mid-dispatch"  # before the driver runs: nothing happened
+    MID_JOURNAL = "mid-journal"  # state mutated, journal record torn
+    POST_JOURNAL = "post-journal"  # durable, but the reply is never sent
+
+
+class CrashRule:
+    """One scripted kill.
+
+    Matching is by optional ``point`` and ``op`` prefix, plus exactly
+    one of:
+
+    * ``index=N`` — the Nth crash opportunity seen by the plan overall
+      (the census replay mode);
+    * ``after=N`` — skip the first N matching opportunities, then fire;
+    * ``probability=p`` — a seeded coin flip per matching opportunity;
+    * none of the above — the first matching opportunity.
+
+    ``times`` defaults to 1: a dead daemon crashes once.
+    """
+
+    def __init__(
+        self,
+        point: "Optional[CrashPoint]" = None,
+        *,
+        op: "Optional[str]" = None,
+        index: "Optional[int]" = None,
+        after: "Optional[int]" = None,
+        probability: "Optional[float]" = None,
+        times: int = 1,
+    ) -> None:
+        if sum(x is not None for x in (index, after, probability)) > 1:
+            raise InvalidArgumentError(
+                "a crash rule takes at most one of index/after/probability"
+            )
+        if probability is not None and not 0.0 <= probability <= 1.0:
+            raise InvalidArgumentError("probability must be within [0, 1]")
+        self.point = CrashPoint(point) if point is not None else None
+        self.op = op
+        self.index = index
+        self.after = after
+        self.probability = probability
+        self.times = times
+        self.fired = 0
+        self.seen = 0
+
+    def matches(
+        self, point: CrashPoint, op: str, index: int, rng: random.Random
+    ) -> bool:
+        if self.times >= 0 and self.fired >= self.times:
+            return False
+        if self.point is not None and point is not self.point:
+            return False
+        if self.op is not None and not op.startswith(self.op):
+            return False
+        self.seen += 1
+        if self.index is not None:
+            return index == self.index
+        if self.after is not None:
+            return self.seen > self.after
+        if self.probability is not None:
+            return rng.random() < self.probability
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = (
+            f"index={self.index}"
+            if self.index is not None
+            else f"after={self.after}"
+            if self.after is not None
+            else f"p={self.probability}"
+            if self.probability is not None
+            else "first"
+        )
+        point = self.point.value if self.point is not None else "any"
+        return f"CrashRule({point}, op={self.op!r}, {where})"
+
+
+class CrashEvent:
+    """Audit record of one injected daemon crash."""
+
+    __slots__ = ("point", "op", "index", "time")
+
+    def __init__(self, point: CrashPoint, op: str, index: int, time: float) -> None:
+        self.point = point
+        self.op = op
+        self.index = index
+        self.time = time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CrashEvent({self.point.value}, {self.op!r}, "
+            f"index={self.index}, t={self.time:.6f})"
+        )
+
+
+class CrashPlan:
+    """A seeded, replayable daemon-kill script.
+
+    Install on a daemon with :meth:`Libvirtd.install_crash_plan`; the
+    daemon (and its drivers' journal writes) consult :meth:`decide` at
+    every kill point.  All probabilistic choices come from one
+    ``random.Random(seed)``, so a plan replays identically.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rules: List[CrashRule] = []
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        #: every (point, op) consulted, fired or not — the kill census
+        self.opportunities: "List[Tuple[CrashPoint, str]]" = []
+        #: audit trail of crashes actually injected
+        self.injected: List[CrashEvent] = []
+
+    # -- scripting (fluent) ------------------------------------------------
+
+    def add(self, rule: CrashRule) -> "CrashPlan":
+        with self._lock:
+            self._rules.append(rule)
+        return self
+
+    def crash(self, point: "Optional[CrashPoint]" = None, **kwargs: Any) -> "CrashPlan":
+        """Kill the daemon at the first matching opportunity."""
+        return self.add(CrashRule(point, **kwargs))
+
+    def at(self, index: int) -> "CrashPlan":
+        """Kill the daemon at the ``index``-th crash opportunity overall
+        — replay mode for a census collected by a dry run."""
+        return self.add(CrashRule(None, index=index))
+
+    # -- consulted by the daemon -------------------------------------------
+
+    def decide(self, point: CrashPoint, op: str, now: float = 0.0) -> bool:
+        """Should the daemon die here?  Always records the opportunity."""
+        with self._lock:
+            index = len(self.opportunities)
+            self.opportunities.append((point, op))
+            for rule in self._rules:
+                if rule.matches(point, op, index, self._rng):
+                    rule.fired += 1
+                    self.injected.append(CrashEvent(point, op, index, now))
+                    return True
+        return False
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def crashes_injected(self) -> int:
+        with self._lock:
+            return len(self.injected)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (
+                f"CrashPlan({len(self._rules)} rules, "
+                f"{len(self.opportunities)} opportunities, "
+                f"{len(self.injected)} injected)"
+            )
+
+
+class CrashHarness:
+    """Crash-restart scaffolding: one simulated host that outlives any
+    number of daemon incarnations.
+
+    The harness owns the clock, the simulated host, and the hypervisor
+    backend — the pieces a real daemon crash does *not* take down — and
+    builds a fresh :class:`~repro.daemon.libvirtd.Libvirtd` (with fresh
+    driver objects, since driver memory dies with the process) over
+    them on every :meth:`start`.  The state directory persists across
+    incarnations, so each restart exercises journal recovery.
+    """
+
+    def __init__(
+        self,
+        state_root: str,
+        hostname: str = "crashhost",
+        clock: "Optional[Any]" = None,
+    ) -> None:
+        from repro.hypervisors.host import SimHost
+        from repro.hypervisors.qemu_backend import QemuBackend
+        from repro.util.clock import VirtualClock
+
+        self.state_root = state_root
+        self.hostname = hostname
+        self.clock = clock or VirtualClock()
+        self.host = SimHost(hostname=hostname, clock=self.clock)
+        #: survives daemon death: guests keep running under the hypervisor
+        self.backend = QemuBackend(host=self.host, clock=self.clock)
+        self.daemon: "Optional[Any]" = None
+        self.generation = 0
+
+    @property
+    def uri(self) -> str:
+        return f"qemu+tcp://{self.hostname}/system"
+
+    def start(self, crash_plan: "Optional[CrashPlan]" = None) -> Any:
+        """Bring up a daemon incarnation over the persistent backend."""
+        from repro.daemon.libvirtd import Libvirtd
+        from repro.drivers.qemu import QemuDriver
+
+        qemu = QemuDriver(self.backend)
+        self.generation += 1
+        self.daemon = Libvirtd(
+            hostname=self.hostname,
+            drivers={"qemu": qemu, "kvm": qemu},
+            clock=self.clock,
+            use_pool=False,
+            state_dir=self.state_root,
+        )
+        self.daemon.listen("tcp")
+        if crash_plan is not None:
+            self.daemon.install_crash_plan(crash_plan)
+        return self.daemon
+
+    def restart(self) -> Any:
+        """After a crash: a fresh daemon reattaches non-intrusively.
+
+        The crashed incarnation already severed its connections and
+        unregistered; this replaces ``self.daemon`` with a recovered
+        one on the same hostname so reconnecting clients find it.
+        """
+        return self.start()
+
+    def driver(self) -> Any:
+        """The current incarnation's qemu driver (recovery inspection)."""
+        if self.daemon is None:
+            raise InvalidArgumentError("harness daemon is not running")
+        return self.daemon.drivers["qemu"]
+
+    def connect(self, **resilience: Any) -> Any:
+        """A remote client of the harness daemon; with resilience kwargs
+        it auto-reconnects across daemon incarnations."""
+        from repro.core.uri import ConnectionURI
+        from repro.drivers.remote import RemoteDriver, ResilienceConfig
+
+        config = ResilienceConfig(**resilience) if resilience else None
+        return RemoteDriver(ConnectionURI.parse(self.uri), resilience=config)
+
+    def shutdown(self) -> None:
+        if self.daemon is not None:
+            self.daemon.shutdown()

@@ -158,12 +158,15 @@ PROCEDURES: Dict[str, int] = {
     "admin.metrics_export": 114,
     "admin.trace_list": 115,
     "admin.trace_get": 116,
+    "admin.daemon_shutdown": 117,
 }
 
 _NUMBER_TO_NAME = {number: name for name, number in PROCEDURES.items()}
 
 #: the server-push event procedure numbers
 EVENT_DOMAIN_LIFECYCLE = 1000
+#: the daemon is draining: finish up, expect a clean close
+EVENT_DAEMON_SHUTDOWN = 1001
 
 
 def procedure_number(name: str) -> int:

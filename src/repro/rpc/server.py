@@ -25,7 +25,7 @@ from collections import deque
 from contextlib import nullcontext
 from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, Optional, Tuple
 
-from repro.errors import InvalidArgumentError, RPCError, VirtError
+from repro.errors import DaemonCrashError, InvalidArgumentError, RPCError, VirtError
 from repro.observability.tracing import SpanContext
 from repro.rpc.protocol import (
     KEEPALIVE_PING,
@@ -373,6 +373,11 @@ class RPCServer:
             result: Any = None
             try:
                 result = job.handler(conn, message.body)
+            except DaemonCrashError:
+                # a crashed daemon sends nothing: re-raise so the whole
+                # call tears down like a killed process, never an
+                # error reply
+                raise
             except VirtError as exc:
                 failure = exc
             except Exception as exc:  # noqa: BLE001 - internal errors cross the wire too

@@ -1,0 +1,6 @@
+"""Durable daemon state: atomic state directories and the WAL journal."""
+
+from repro.state.journal import StateJournal
+from repro.state.statedir import StateDir
+
+__all__ = ["StateDir", "StateJournal"]

@@ -1,0 +1,96 @@
+"""Filesystem state directory with atomic write-rename semantics.
+
+Real libvirtd persists driver state under ``/var/lib/libvirt`` and
+``/run/libvirt`` so a daemon restart can reattach to running guests.
+:class:`StateDir` is the equivalent anchor for this reproduction: a
+directory of named files where every full-file write is atomic
+(write to a temp name in the same directory, then ``os.replace``), so
+a crash can never leave a half-written snapshot behind — readers see
+the old bytes or the new bytes, nothing in between.
+
+Appends (the journal path) are deliberately *not* atomic: a torn tail
+after a crash is exactly the failure :class:`repro.state.journal`
+recovery must tolerate, so :meth:`append` exposes the raw behaviour
+and even lets callers write a partial suffix on purpose.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.errors import InvalidArgumentError
+
+
+class StateDir:
+    """One directory of named state files, with atomic replace writes."""
+
+    def __init__(self, root: str) -> None:
+        if not root:
+            raise InvalidArgumentError("state directory path must be non-empty")
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def path(self, name: str) -> str:
+        if not name or os.sep in name or name.startswith("."):
+            raise InvalidArgumentError(f"bad state file name {name!r}")
+        return os.path.join(self.root, name)
+
+    def exists(self, name: str) -> bool:
+        return os.path.exists(self.path(name))
+
+    def size(self, name: str) -> int:
+        try:
+            return os.path.getsize(self.path(name))
+        except OSError:
+            return 0
+
+    def read_bytes(self, name: str) -> Optional[bytes]:
+        """Return the file's bytes, or None if it does not exist."""
+        try:
+            with open(self.path(name), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def write_atomic(self, name: str, data: bytes) -> None:
+        """Replace the file's contents atomically (temp + ``os.replace``).
+
+        The temp file lives in the same directory so the final rename
+        never crosses a filesystem boundary; flush+fsync before the
+        rename models the write barrier a journalling daemon needs.
+        """
+        target = self.path(name)
+        tmp = f"{target}.tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+
+    def append(self, name: str, data: bytes) -> None:
+        """Append raw bytes — intentionally non-atomic (journal tail)."""
+        with open(self.path(name), "ab") as handle:
+            handle.write(data)
+            handle.flush()
+
+    def truncate(self, name: str, size: int = 0) -> None:
+        """Cut the file down to ``size`` bytes (recovery discards a torn
+        tail this way); creates the file if missing."""
+        with open(self.path(name), "ab") as handle:
+            pass
+        with open(self.path(name), "r+b") as handle:
+            handle.truncate(size)
+
+    def remove(self, name: str) -> None:
+        try:
+            os.remove(self.path(name))
+        except FileNotFoundError:
+            pass
+
+    def list(self) -> List[str]:
+        return sorted(
+            entry
+            for entry in os.listdir(self.root)
+            if not entry.startswith(".") and not entry.endswith(".tmp")
+        )

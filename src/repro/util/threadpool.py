@@ -212,8 +212,12 @@ class WorkerPool:
                 job.future.set_exception,
                 OperationAbortedError("workerpool shut down before job ran"),
             )
+        # a worker may itself trigger shutdown (e.g. an admin handler
+        # tearing the daemon down) — never join the current thread
+        me = threading.current_thread()
         for thread in list(self._threads):
-            thread.join(timeout=10.0)
+            if thread is not me:
+                thread.join(timeout=10.0)
 
     def __enter__(self) -> "WorkerPool":
         return self
