@@ -1,0 +1,154 @@
+"""R3 — push-based monitoring vs polling: wire and dispatch cost.
+
+The event-driven control plane's quantitative claim: a fleet of
+monitoring stations watching one node costs dramatically less when the
+daemon pushes typed event records (and the clients serve reads from an
+invalidation-driven cache) than when every station polls.  Both sides
+run the *same* read pattern — after every mutation each watcher
+re-reads the domain list and every domain's state — so the entire gap
+comes from the push machinery: cached reads never reach the wire until
+a pushed record invalidates them.
+
+Measured on one daemon with ``N_WATCHERS`` remote clients watching
+``N_DOMAINS`` domains across ``N_MUTATIONS`` lifecycle mutations:
+
+* daemon procedure dispatches (driver API calls served);
+* bytes on the wire, summed over every watcher's channel in both
+  directions (CALL/REPLY frames for the pollers, EVENT frames plus
+  the invalidation-refetch traffic for the subscribers).
+
+Both quantities are exact functions of the simulation model (virtual
+clock, deterministic XDR encoding), so they gate in
+``check_regression`` like the other modelled figures.
+"""
+
+from repro.bench.tables import emit, format_table
+from repro.core.uri import ConnectionURI
+from repro.daemon.libvirtd import Libvirtd
+from repro.drivers.remote import RemoteDriver
+from repro.xmlconfig.domain import DomainConfig
+
+N_WATCHERS = 8
+N_DOMAINS = 200
+N_MUTATIONS = 10
+MiB_KIB = 1024
+
+#: the acceptance floor: push must beat polling by at least this factor
+#: on BOTH bytes-on-wire and daemon dispatches
+REQUIRED_RATIO = 10.0
+
+
+def _domain_xml(index):
+    return DomainConfig(
+        name=f"dom{index:03d}",
+        domain_type="kvm",
+        memory_kib=256 * MiB_KIB,
+        vcpus=1,
+    ).to_xml()
+
+
+def _watcher_bytes(watchers):
+    total = 0
+    for watcher in watchers:
+        channel = watcher.client._channel
+        total += channel.bytes_sent + channel.bytes_received
+    return total
+
+
+def _refresh(watcher):
+    """One monitoring sweep: the full view a station keeps current —
+    the domain list, every domain's state, and its config XML."""
+    names = list(watcher.list_domains())
+    names += watcher.list_defined_domains()
+    for name in names:
+        watcher.domain_get_state(name)
+        watcher.domain_get_xml_desc(name)
+
+
+def measure(push):
+    """Run the monitoring window; returns (dispatches, bytes_on_wire)."""
+    mode = "push" if push else "poll"
+    hostname = f"bench-r3-{mode}"
+    daemon = Libvirtd(hostname=hostname)
+    daemon.listen("tcp")
+    try:
+        qemu = daemon.drivers["qemu"]
+        mutator = RemoteDriver(ConnectionURI.parse(f"qemu+tcp://{hostname}/system"))
+        for index in range(N_DOMAINS):
+            mutator.domain_define_xml(_domain_xml(index))
+
+        params = "?cache=1" if push else ""
+        watchers = [
+            RemoteDriver(ConnectionURI.parse(f"qemu+tcp://{hostname}/system{params}"))
+            for _ in range(N_WATCHERS)
+        ]
+        # warm-up sweep: both modes populate their initial view (and, in
+        # push mode, the cache) before the measurement window opens
+        for watcher in watchers:
+            _refresh(watcher)
+
+        dispatches_before = qemu.api_calls
+        bytes_before = _watcher_bytes(watchers)
+        for step in range(N_MUTATIONS):
+            name = f"dom{step:03d}"
+            if step % 2 == 0:
+                mutator.domain_create(name)
+            else:
+                mutator.domain_destroy(f"dom{step - 1:03d}")
+            for watcher in watchers:
+                _refresh(watcher)
+        # the mutation stream itself is identical in both modes (one
+        # driver call per step); what is being compared is the watchers'
+        # cost of staying current
+        dispatches = qemu.api_calls - dispatches_before - N_MUTATIONS
+        bytes_on_wire = _watcher_bytes(watchers) - bytes_before
+        return dispatches, bytes_on_wire
+    finally:
+        daemon.shutdown()
+
+
+def collect():
+    poll_dispatches, poll_bytes = measure(push=False)
+    push_dispatches, push_bytes = measure(push=True)
+    return {
+        "poll_dispatches": poll_dispatches,
+        "poll_bytes": poll_bytes,
+        "push_dispatches": push_dispatches,
+        "push_bytes": push_bytes,
+        "dispatch_ratio": poll_dispatches / push_dispatches,
+        "bytes_ratio": poll_bytes / push_bytes,
+    }
+
+
+def render(figures):
+    return format_table(
+        f"R3: {N_WATCHERS} watchers x {N_DOMAINS} domains, "
+        f"{N_MUTATIONS} mutations — polling vs event push",
+        ["mode", "daemon dispatches", "bytes on wire"],
+        [
+            ["poll", figures["poll_dispatches"], figures["poll_bytes"]],
+            ["push", figures["push_dispatches"], figures["push_bytes"]],
+            [
+                "ratio",
+                f"{figures['dispatch_ratio']:.1f}x",
+                f"{figures['bytes_ratio']:.1f}x",
+            ],
+        ],
+    )
+
+
+def test_r3_event_push(benchmark):
+    figures = benchmark.pedantic(collect, rounds=1, iterations=1)
+    emit("r3_event_push", render(figures))
+
+    # -- the tentpole acceptance floor: >= 10x on BOTH axes ---------------
+    assert figures["dispatch_ratio"] >= REQUIRED_RATIO
+    assert figures["bytes_ratio"] >= REQUIRED_RATIO
+    # push cost stays proportional to the mutation stream, not to the
+    # fleet: well under one sweep's worth of dispatches per mutation
+    assert figures["push_dispatches"] < N_MUTATIONS * N_WATCHERS * 6
+
+
+if __name__ == "__main__":
+    figures = collect()
+    print(render(figures))

@@ -138,6 +138,25 @@ def collect_r2():
     return metrics
 
 
+def collect_r3():
+    """Push vs polling monitoring cost (dispatches and wire bytes).
+
+    Both figures are exact functions of the simulation model (the wire
+    encoding and the fan-out are deterministic), so a drift means the
+    protocol or the cache coherence rules changed."""
+    import bench_r3_event_push as r3
+
+    figures = r3.collect()
+    return {
+        "r3.poll.dispatches": float(figures["poll_dispatches"]),
+        "r3.poll.bytes": float(figures["poll_bytes"]),
+        "r3.push.dispatches": float(figures["push_dispatches"]),
+        "r3.push.bytes": float(figures["push_bytes"]),
+        "r3.dispatch_ratio": figures["dispatch_ratio"],
+        "r3.bytes_ratio": figures["bytes_ratio"],
+    }
+
+
 def collect_wall_informational():
     """Real management-layer CPU cost per cycle — reported, not gated."""
     import bench_e3_lifecycle_overhead as e3
@@ -203,6 +222,7 @@ def main(argv=None):
     current.update(collect_o1())
     current.update(collect_c1())
     current.update(collect_r2())
+    current.update(collect_r3())
     info = {} if args.skip_wall else collect_wall_informational()
 
     if args.output:

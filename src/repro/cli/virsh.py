@@ -307,6 +307,36 @@ def cmd_managedsave_remove(conn: repro.Connection, args: argparse.Namespace, out
     return 0
 
 
+def cmd_event(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
+    """Stream pushed event records (``virsh event --loop``)."""
+    import threading
+
+    target = None if args.loop and args.count is None else (args.count or 1)
+    state = {"seen": 0}
+    done = threading.Event()
+
+    def on_record(record: dict) -> None:
+        if args.domain and record.get("domain") != args.domain:
+            return
+        state["seen"] += 1
+        subject = record.get("domain") or record.get("detail") or "-"
+        line = f"event '{record['kind']}/{record['event']}' for {subject}"
+        detail = record.get("detail", "")
+        if record.get("domain") and detail:
+            line += f": {detail}"
+        print(line, file=out)
+        if target is not None and state["seen"] >= target:
+            done.set()
+
+    sub_id = conn.subscribe_events(on_record, kinds=args.kind or None)
+    try:
+        done.wait(args.timeout)
+    finally:
+        conn.unsubscribe_events(sub_id)
+    print(f"events received: {state['seen']}", file=out)
+    return 0
+
+
 def cmd_hostname(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
     print(conn.hostname(), file=out)
     return 0
@@ -536,6 +566,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--volume", help="name for the backup volume")
     p.add_argument("--bandwidth", type=float, help="transfer bandwidth cap in MiB/s")
     add("domjobabort", cmd_domjobabort, "abort the active domain job").add_argument("domain")
+    p = add("event", cmd_event, "wait for and print pushed event records")
+    p.add_argument("--domain", default=None, help="only events for this domain")
+    p.add_argument("--kind", action="append", default=None, help="filter by record kind (repeatable)")
+    p.add_argument("--loop", action="store_true", help="keep printing events instead of exiting after the first")
+    p.add_argument("--count", type=int, default=None, help="exit after this many events")
+    p.add_argument("--timeout", type=float, default=10.0, help="give up after SECONDS of wall-clock time")
     add("managedsave", cmd_managedsave, "save domain state to a managed location").add_argument("domain")
     add("managedsave-remove", cmd_managedsave_remove, "drop the managed save image").add_argument("domain")
     add("hostname", cmd_hostname, "print the node hostname")

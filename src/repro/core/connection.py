@@ -166,6 +166,25 @@ class Connection:
         self._check_open()
         self._driver.domain_event_deregister(callback_id)
 
+    def subscribe_events(self, handler, kinds=None) -> int:
+        """Subscribe to typed bus records (lifecycle/config/job/...).
+
+        The handler receives each record dict; ``kinds`` optionally
+        narrows to a set of record kinds.  Works against any driver
+        exposing the event bus (stateful drivers and remote stubs)."""
+        self._check_open()
+        return self._driver.event_bus_subscribe(handler, kinds=kinds)
+
+    def unsubscribe_events(self, sub_id: int) -> None:
+        self._check_open()
+        self._driver.event_bus_unsubscribe(sub_id)
+
+    def cache_stats(self) -> "Optional[Dict[str, Any]]":
+        """The remote read cache's hit/miss counters; None when the
+        driver keeps no client-side cache (local connections)."""
+        cache = getattr(self._driver, "cache", None)
+        return None if cache is None else cache.stats()
+
     # -- networks ---------------------------------------------------------------------------
 
     def list_networks(self) -> List[Network]:

@@ -354,6 +354,12 @@ class Driver:
     def domain_event_deregister(self, callback_id: int) -> None:
         raise self._unsupported("domain_event_deregister")
 
+    def event_bus_subscribe(self, handler, kinds=None, max_queue=None) -> int:
+        raise self._unsupported("event_bus_subscribe")
+
+    def event_bus_unsubscribe(self, sub_id: int) -> None:
+        raise self._unsupported("event_bus_unsubscribe")
+
     # -- networks ---------------------------------------------------------------------
 
     def network_define_xml(self, xml: str) -> Dict[str, Any]:

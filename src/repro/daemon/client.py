@@ -28,6 +28,8 @@ class ClientRecord:
         self.driver: Optional[object] = None
         #: broker callback id, set while the client subscribes to events
         self.event_callback_id: Optional[int] = None
+        #: event-bus subscription id (typed record push), if armed
+        self.bus_subscription_id: Optional[int] = None
         #: domains whose background jobs this client started; an unclean
         #: disconnect fails these so the domain is not left wedged
         self.owned_jobs: set = set()

@@ -29,7 +29,11 @@ from repro.faults.crash import CrashPoint
 from repro.observability.export import log_metrics, render_prometheus
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import Tracer
-from repro.rpc.protocol import EVENT_DAEMON_SHUTDOWN, EVENT_DOMAIN_LIFECYCLE
+from repro.rpc.protocol import (
+    EVENT_BUS_RECORD,
+    EVENT_DAEMON_SHUTDOWN,
+    EVENT_DOMAIN_LIFECYCLE,
+)
 from repro.rpc.server import RPCServer
 from repro.rpc.transport import Listener, ServerConnection
 from repro.util.clock import Clock, VirtualClock
@@ -76,6 +80,10 @@ class Libvirtd:
                 driver.metrics = self.metrics
             if getattr(driver, "tracer", None) is None:
                 driver.tracer = self.tracer
+            # broken event subscribers surface in the daemon's log
+            events = getattr(driver, "events", None)
+            if events is not None and hasattr(events, "attach_observability"):
+                events.attach_observability(logger=lambda: self.logger)
         self.pool = WorkerPool(
             min_workers=min_workers,
             max_workers=max_workers,
@@ -442,6 +450,12 @@ class Libvirtd:
             except VirtError:
                 pass
             record.event_callback_id = None
+        if record.bus_subscription_id is not None and record.driver is not None:
+            try:
+                record.driver.event_bus_unsubscribe(record.bus_subscription_id)
+            except VirtError:
+                pass
+            record.bus_subscription_id = None
         if not clean and record.owned_jobs and record.driver is not None:
             # a severed transport must not wedge the domain: fail any
             # background job this client started so its cleanup runs
@@ -679,7 +693,9 @@ class Libvirtd:
            their links still work;
         3. fail still-active background jobs so their cleanup runs and
            the FAILED outcome is journalled, not wedged;
-        4. flush each driver's journal into a snapshot (fast recovery);
+        4. drain each driver's event bus (queued records reach their
+           subscribers while the links still work) and flush its
+           journal into a snapshot (fast recovery);
         5. close every client cleanly *before* tearing down listeners,
            so a client sees exactly one clean close — never a spurious
            keepalive timeout racing a half-closed link;
@@ -710,6 +726,11 @@ class Libvirtd:
                         engine.fail_active(domain, "daemon shut down during job")
                     except VirtError:
                         pass
+            # push out any event records still queued for slow subscribers
+            # while the client links are up — the drain half of the bus
+            events = getattr(driver, "events", None)
+            if events is not None and hasattr(events, "drain_all"):
+                events.drain_all()
             flush = getattr(driver, "flush_state", None)
             if flush is not None:
                 flush()
@@ -845,6 +866,37 @@ class Libvirtd:
             record.event_callback_id = None
         return None
 
+    def _h_event_subscribe(self, conn: ServerConnection, body: Any) -> Any:
+        """Arm bus-record push: every matching record becomes an EVENT frame."""
+        record = self._record_of(conn)
+        driver = self._driver_of(conn)
+        if record.bus_subscription_id is not None:
+            return record.bus_subscription_id
+        kinds = (body or {}).get("kinds") or None
+
+        def forward(bus_record: Dict[str, Any]) -> None:
+            try:
+                self.rpc.emit_event(conn, EVENT_BUS_RECORD, bus_record)
+            except VirtError:
+                # client went away: stop forwarding
+                if record.bus_subscription_id is not None:
+                    try:
+                        driver.event_bus_unsubscribe(record.bus_subscription_id)
+                    except VirtError:
+                        pass
+                    record.bus_subscription_id = None
+
+        record.bus_subscription_id = driver.event_bus_subscribe(forward, kinds=kinds)
+        return record.bus_subscription_id
+
+    def _h_event_unsubscribe(self, conn: ServerConnection, body: Any) -> Any:
+        record = self._record_of(conn)
+        driver = self._driver_of(conn)
+        if record.bus_subscription_id is not None:
+            driver.event_bus_unsubscribe(record.bus_subscription_id)
+            record.bus_subscription_id = None
+        return None
+
     def _h_backup_begin(self) -> Callable[[ServerConnection, Any], Any]:
         base = self._wrap(
             lambda d, b: d.backup_begin(b["name"], b.get("options") or {})
@@ -881,6 +933,8 @@ class Libvirtd:
         r("connect.ping", self._h_ping, priority=True)
         r("connect.domain_event_register", self._h_event_register, priority=True)
         r("connect.domain_event_deregister", self._h_event_deregister, priority=True)
+        r("connect.event_subscribe", self._h_event_subscribe, priority=True)
+        r("connect.event_unsubscribe", self._h_event_unsubscribe, priority=True)
         r("connect.get_hostname", w(lambda d, b: d.get_hostname()), priority=True)
         r("connect.get_capabilities", w(lambda d, b: d.get_capabilities()), priority=True)
         r("connect.get_node_info", w(lambda d, b: d.get_node_info()), priority=True)

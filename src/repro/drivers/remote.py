@@ -13,8 +13,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
+from repro.core.cache import InvalidationCache
 from repro.core.driver import Driver
-from repro.core.events import ConnectionResetEvent, EventBroker, EventCallback
+from repro.core.events import BusCallback, ConnectionResetEvent, EventBroker, EventCallback
 from repro.core.states import DomainEvent
 from repro.core.uri import ConnectionURI
 from repro.daemon.registry import lookup_daemon
@@ -27,7 +28,11 @@ from repro.errors import (
     VirtError,
 )
 from repro.rpc.client import PendingReply, RPCClient
-from repro.rpc.protocol import EVENT_DAEMON_SHUTDOWN, EVENT_DOMAIN_LIFECYCLE
+from repro.rpc.protocol import (
+    EVENT_BUS_RECORD,
+    EVENT_DAEMON_SHUTDOWN,
+    EVENT_DOMAIN_LIFECYCLE,
+)
 from repro.rpc.retry import CircuitBreaker, RetryPolicy, is_idempotent
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -44,6 +49,9 @@ RESILIENCE_URI_PARAMS = frozenset(
         "max_retries",
     }
 )
+
+#: all client-side URI parameters (resilience + the read cache toggle)
+CLIENT_URI_PARAMS = RESILIENCE_URI_PARAMS | {"cache"}
 
 
 class ResilienceConfig:
@@ -143,13 +151,24 @@ class RemoteDriver(Driver):
             resilience = ResilienceConfig.from_uri_params(uri.params)
         self.resilience = resilience
         forwarded = {
-            k: v for k, v in uri.params.items() if k not in RESILIENCE_URI_PARAMS
+            k: v for k, v in uri.params.items() if k not in CLIENT_URI_PARAMS
         }
         self.remote_uri = ConnectionURI(
             driver=uri.driver, path=uri.path, params=forwarded
         ).format()
         self.events = EventBroker()
         self._remote_events_armed = False
+        #: invalidation-driven read cache (?cache=1); it only serves
+        #: entries while the bus push keeps it coherent
+        cache_requested = uri.params.get("cache", "0") not in ("0", "no", "off")
+        self.cache = InvalidationCache(enabled=False)
+        self._cache_requested = cache_requested
+        self._bus_armed = False
+        self._bus_handlers: "Dict[int, Tuple[Optional[frozenset], BusCallback]]" = {}
+        self._bus_handler_ids = 0
+        self._last_bus_seq = 0
+        #: local bus handlers that raised (mirrors the daemon-side metric)
+        self.bus_callback_errors = 0
         self._features: "Optional[List[str]]" = None
         #: every disconnect this driver handled, oldest first
         self.connection_events: List[ConnectionResetEvent] = []
@@ -176,6 +195,9 @@ class RemoteDriver(Driver):
                 "remote_circuit_open_total", "Calls refused by an open circuit breaker"
             )
         self.client = self._dial()
+        if cache_requested:
+            self._arm_bus(self.client)
+            self.cache.enabled = True
 
     # -- resilient call path ---------------------------------------------------
 
@@ -312,12 +334,19 @@ class RemoteDriver(Driver):
                 if self._remote_events_armed:
                     client.on_event(EVENT_DOMAIN_LIFECYCLE, self._on_remote_event)
                     client.call("connect.domain_event_register")
+                if self._bus_armed:
+                    # events during the outage are gone; the fresh
+                    # subscription must not replay into stale dedupe state
+                    self._last_bus_seq = 0
+                    self._arm_bus(client)
             except VirtError as exc:
                 last_exc = exc
                 breaker.record_failure()
                 continue
             self.client.close()  # drop the dead session's timers
             self.client = client
+            # anything cached across the outage may be stale: flush
+            self.cache.flush("reconnect")
             self.reconnects += 1
             if self.metrics is not None:
                 self._m_reconnects.inc()
@@ -388,14 +417,34 @@ class RemoteDriver(Driver):
 
     # -- enumeration --------------------------------------------------------------
 
-    def list_domains(self) -> List[str]:
-        return self._call("connect.list_domains")
+    def _cached_call(self, scope: str, key: str, name: str, body: Any, cached: bool) -> Any:
+        """Serve from the invalidation cache, falling through to the wire.
 
-    def list_defined_domains(self) -> List[str]:
-        return self._call("connect.list_defined_domains")
+        ``cached=False`` is the bypass flag: the caller needs daemon
+        truth regardless of coherence state."""
+        if cached:
+            hit, value = self.cache.get(scope, key)
+            if hit:
+                return value
+        value = self._call(name, body)
+        if cached:
+            self.cache.put(scope, key, value)
+        return value
 
-    def num_of_domains(self) -> int:
-        return self._call("connect.num_of_domains")
+    def list_domains(self, cached: bool = True) -> List[str]:
+        return self._cached_call(
+            "list", "active", "connect.list_domains", None, cached
+        )
+
+    def list_defined_domains(self, cached: bool = True) -> List[str]:
+        return self._cached_call(
+            "list", "inactive", "connect.list_defined_domains", None, cached
+        )
+
+    def num_of_domains(self, cached: bool = True) -> int:
+        return self._cached_call(
+            "list", "count", "connect.num_of_domains", None, cached
+        )
 
     # -- domain lookup/lifecycle -----------------------------------------------------
 
@@ -440,11 +489,15 @@ class RemoteDriver(Driver):
     def domain_get_info(self, name: str) -> Dict[str, Any]:
         return self._call("domain.get_info", {"name": name})
 
-    def domain_get_state(self, name: str) -> int:
-        return self._call("domain.get_state", {"name": name})
+    def domain_get_state(self, name: str, cached: bool = True) -> int:
+        return self._cached_call(
+            "state", name, "domain.get_state", {"name": name}, cached
+        )
 
-    def domain_get_xml_desc(self, name: str) -> str:
-        return self._call("domain.get_xml_desc", {"name": name})
+    def domain_get_xml_desc(self, name: str, cached: bool = True) -> str:
+        return self._cached_call(
+            "xml", name, "domain.get_xml_desc", {"name": name}, cached
+        )
 
     def domain_get_stats(self, name: str) -> Dict[str, Any]:
         return self._call("domain.get_stats", {"name": name})
@@ -594,6 +647,54 @@ class RemoteDriver(Driver):
         self.events.emit(
             body["domain"], DomainEvent(body["event"]), body.get("detail", "")
         )
+
+    def _arm_bus(self, client: RPCClient) -> None:
+        """Arm typed-record push on ``client`` (idempotent daemon-side)."""
+        client.on_event(EVENT_BUS_RECORD, self._on_bus_record)
+        client.call("connect.event_subscribe")
+        self._bus_armed = True
+
+    def _on_bus_record(self, body: Any) -> None:
+        record = dict(body or {})
+        seq = record.get("seq", 0)
+        if isinstance(seq, int) and seq > 0:
+            if seq <= self._last_bus_seq:
+                return  # duplicate push (re-subscription overlap)
+            self._last_bus_seq = seq
+        self.cache.on_event(record)
+        for kinds, handler in list(self._bus_handlers.values()):
+            if kinds is not None and record.get("kind") not in kinds:
+                continue
+            try:
+                handler(dict(record))
+            except Exception:  # noqa: BLE001 - one bad consumer must not break others
+                self.bus_callback_errors += 1
+
+    def event_bus_subscribe(
+        self,
+        handler: BusCallback,
+        kinds: "Optional[Any]" = None,
+        max_queue: "Optional[int]" = None,
+    ) -> int:
+        """Subscribe to pushed bus records; kinds filter applies locally."""
+        if not callable(handler):
+            raise InvalidArgumentError("bus handler must be callable")
+        if not self._bus_armed:
+            self._arm_bus(self.client)
+        self._bus_handler_ids += 1
+        kindset = None if kinds is None else frozenset(kinds)
+        self._bus_handlers[self._bus_handler_ids] = (kindset, handler)
+        return self._bus_handler_ids
+
+    def event_bus_unsubscribe(self, sub_id: int) -> None:
+        if sub_id not in self._bus_handlers:
+            raise InvalidArgumentError(f"no bus subscription with id {sub_id}")
+        del self._bus_handlers[sub_id]
+        if not self._bus_handlers and not self.cache.enabled and self._bus_armed:
+            # nothing client-side needs the push stream any more
+            self._call("connect.event_unsubscribe")
+            self.client.remove_event_handler(EVENT_BUS_RECORD)
+            self._bus_armed = False
 
     def _on_daemon_shutdown(self, body: Any) -> None:
         self.shutdown_notices.append(dict(body or {}))

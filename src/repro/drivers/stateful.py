@@ -15,7 +15,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.checkpoint import CheckpointTree, JobEngine
 from repro.core.driver import Driver
-from repro.core.events import EventBroker, EventCallback
+from repro.core.events import EventBus, EventCallback
 from repro.core.states import (
     VALID_TRANSITIONS,
     DomainEvent,
@@ -103,7 +103,10 @@ class StatefulDriver(Driver):
         self._uuid_index: Dict[str, str] = {}
         self._ids: Dict[str, int] = {}
         self._next_id = 1
-        self.events = EventBroker()
+        self.events = EventBus(
+            metrics=lambda: self.metrics,
+            tracer=lambda: self.tracer,
+        )
         self._networks: Dict[str, NetworkConfig] = {}
         self._active_networks: set = set()
         #: network name -> {mac: {"ip", "hostname", "expiry"}}
@@ -339,6 +342,13 @@ class StatefulDriver(Driver):
     def _backup_job_final(self, record: _DomainRecord, info: Dict[str, Any]) -> None:
         """Terminal-job hook: persist the outcome, drop the job record."""
         record.last_job = info
+        self.events.publish(
+            "job",
+            domain=record.config.name,
+            event=str(info.get("phase", "completed")),
+            detail=str(info.get("operation", "")),
+            job_id=info.get("job_id"),
+        )
         self._journal_job(record.config.name)
         self._journal_domain(record.config.name)
 
@@ -821,6 +831,9 @@ class StatefulDriver(Driver):
         record.scheduler.update(values)
         if self.backend.has_guest(name):
             self._apply_scheduler(name, record.scheduler)
+        self.events.publish(
+            "config", domain=name, event="scheduler", detail=",".join(sorted(values))
+        )
         self._journal_domain(name)
 
     def _apply_scheduler(self, name: str, scheduler: Dict[str, int]) -> None:
@@ -899,6 +912,9 @@ class StatefulDriver(Driver):
         if self.backend.has_guest(name):
             self._backend_set_memory(name, memory_kib)
         record.config.current_memory_kib = memory_kib
+        self.events.publish(
+            "config", domain=name, event="memory", memory_kib=memory_kib
+        )
         self._journal_domain(name)
 
     def domain_set_vcpus(self, name: str, vcpus: int) -> None:
@@ -913,6 +929,7 @@ class StatefulDriver(Driver):
         if self.backend.has_guest(name):
             self._backend_set_vcpus(name, vcpus)
         record.config.vcpus = vcpus
+        self.events.publish("config", domain=name, event="vcpus", vcpus=vcpus)
         self._journal_domain(name)
 
     def domain_save(self, name: str, path: str) -> None:
@@ -973,6 +990,7 @@ class StatefulDriver(Driver):
         if record.saved_path == record.managed_save_path:
             record.saved_path = None
         record.managed_save_path = None
+        self.events.publish("config", domain=name, event="managed-save-removed")
         self._journal_domain(name)
 
     def domain_has_managed_save(self, name: str) -> bool:
@@ -989,6 +1007,12 @@ class StatefulDriver(Driver):
         if not record.persistent:
             raise InvalidOperationError("transient domains cannot autostart")
         record.autostart = bool(autostart)
+        self.events.publish(
+            "config",
+            domain=name,
+            event="autostart",
+            detail="enabled" if record.autostart else "disabled",
+        )
         self._journal_domain(name)
 
     def autostart_all(self) -> List[str]:
@@ -1024,6 +1048,7 @@ class StatefulDriver(Driver):
         else:
             raise InvalidArgumentError(f"cannot hotplug device <{elem.tag}>")
         record.config.validate()
+        self.events.publish("device", domain=name, event="attached", detail=elem.tag)
         self._journal_domain(name)
 
     def domain_detach_device(self, name: str, device_xml: str) -> None:
@@ -1049,6 +1074,7 @@ class StatefulDriver(Driver):
             record.config.interfaces.remove(matches[0])
         else:
             raise InvalidArgumentError(f"cannot detach device <{elem.tag}>")
+        self.events.publish("device", domain=name, event="detached", detail=elem.tag)
         self._journal_domain(name)
 
     # ==================================================================
@@ -1077,6 +1103,7 @@ class StatefulDriver(Driver):
         }
         snapshot["disks"] = self._snapshot_disks(record, snapshot_name)
         record.snapshots[snapshot_name] = snapshot
+        self.events.publish("snapshot", domain=name, event="created", detail=snapshot_name)
         self._journal_domain(name)
         return {"name": snapshot_name, "domain": name}
 
@@ -1162,6 +1189,7 @@ class StatefulDriver(Driver):
                 except ResourceBusyError:
                     pass  # something chained onto the overlay; leave it
         del record.snapshots[snapshot_name]
+        self.events.publish("snapshot", domain=name, event="deleted", detail=snapshot_name)
         self._journal_domain(name)
 
     # ==================================================================
@@ -1206,6 +1234,9 @@ class StatefulDriver(Driver):
             disks=frozen,
             block_size=images.block_size,
         )
+        self.events.publish(
+            "checkpoint", domain=name, event="created", detail=checkpoint_name
+        )
         self._journal_domain(name)
         return {
             "name": checkpoint_name,
@@ -1232,6 +1263,9 @@ class StatefulDriver(Driver):
             for path, blocks in checkpoint.disks.items():
                 if images.exists(path):
                     images.merge_dirty(path, blocks)
+        self.events.publish(
+            "checkpoint", domain=name, event="deleted", detail=checkpoint_name
+        )
         self._journal_domain(name)
 
     def checkpoint_get_xml_desc(self, name: str, checkpoint_name: str) -> str:
@@ -1327,6 +1361,9 @@ class StatefulDriver(Driver):
         except Exception:
             self._drop_backup_volume(pool, volume_name)
             raise
+        self.events.publish(
+            "job", domain=name, event="started", detail=operation, job_id=job.job_id
+        )
         self._journal_job(name, job)
         self._journal_domain(name)
         return job.info(self.backend.clock.now())
@@ -1351,6 +1388,13 @@ class StatefulDriver(Driver):
         self._count_call()
         self._record(name)
         info = self.jobs.cancel(name)
+        self.events.publish(
+            "job",
+            domain=name,
+            event="aborted",
+            detail=str(info.get("operation", "")),
+            job_id=info.get("job_id"),
+        )
         self._journal_domain(name)
         return info
 
@@ -1388,6 +1432,7 @@ class StatefulDriver(Driver):
                 self._domains[name] = _DomainRecord(config, persistent=False)
                 self._uuid_index[config.uuid] = name
         self._backend_start(config, paused=True)
+        self.events.publish("migration", domain=name, event="prepared", detail="incoming")
         self._journal_domain(name)
         return {"name": name, "uuid": config.uuid}
 
@@ -1437,6 +1482,13 @@ class StatefulDriver(Driver):
             "transferred_bytes": result.transferred_bytes,
             "rounds": result.rounds,
         }
+        self.events.publish(
+            "migration",
+            domain=name,
+            event="performed",
+            detail="live" if live else "offline",
+            rounds=result.rounds,
+        )
         self._journal_domain(name)
         return {
             "total_time_s": result.total_time_s,
@@ -1506,6 +1558,15 @@ class StatefulDriver(Driver):
         self._count_call()
         self.events.deregister(callback_id)
 
+    def event_bus_subscribe(self, handler, kinds=None, max_queue=None) -> int:
+        """Subscribe to typed bus records; returns the subscription id."""
+        self._count_call()
+        return self.events.subscribe(handler, kinds=kinds, max_queue=max_queue)
+
+    def event_bus_unsubscribe(self, sub_id: int) -> None:
+        self._count_call()
+        self.events.unsubscribe(sub_id)
+
     # ==================================================================
     # networks
     # ==================================================================
@@ -1519,6 +1580,7 @@ class StatefulDriver(Driver):
             if config.name in self._networks:
                 raise NetworkExistsError(f"network {config.name!r} already defined")
             self._networks[config.name] = config
+        self.events.publish("network", event="defined", detail=config.name)
         self._journal_network(config.name)
         return self._network_record(config.name)
 
@@ -1545,6 +1607,7 @@ class StatefulDriver(Driver):
             raise InvalidOperationError(f"network {name!r} is active")
         with self._lock:
             del self._networks[name]
+        self.events.publish("network", event="undefined", detail=name)
         self._journal_network(name)
 
     def network_create(self, name: str) -> None:
@@ -1553,6 +1616,7 @@ class StatefulDriver(Driver):
         if name in self._active_networks:
             raise InvalidOperationError(f"network {name!r} is already active")
         self._active_networks.add(name)
+        self.events.publish("network", event="started", detail=name)
         self._journal_network(name)
 
     def network_destroy(self, name: str) -> None:
@@ -1563,6 +1627,7 @@ class StatefulDriver(Driver):
         self._active_networks.discard(name)
         with self._lock:
             self._dhcp_leases.pop(name, None)
+        self.events.publish("network", event="stopped", detail=name)
         self._journal_network(name)
 
     def network_list(self) -> List[Dict[str, Any]]:
@@ -1645,6 +1710,7 @@ class StatefulDriver(Driver):
                 raise StoragePoolExistsError(f"pool {config.name!r} already defined")
             self._pools[config.name] = config
             self._pool_volumes[config.name] = {}
+        self.events.publish("storage", event="pool-defined", detail=config.name)
         self._journal_pool(config.name)
         return self._pool_record(config.name)
 
@@ -1671,6 +1737,7 @@ class StatefulDriver(Driver):
         with self._lock:
             del self._pools[name]
             del self._pool_volumes[name]
+        self.events.publish("storage", event="pool-undefined", detail=name)
         self._journal_pool(name)
 
     def storage_pool_create(self, name: str) -> None:
@@ -1679,6 +1746,7 @@ class StatefulDriver(Driver):
         if name in self._active_pools:
             raise InvalidOperationError(f"pool {name!r} is already active")
         self._active_pools.add(name)
+        self.events.publish("storage", event="pool-started", detail=name)
         self._journal_pool(name)
 
     def storage_pool_destroy(self, name: str) -> None:
@@ -1687,6 +1755,7 @@ class StatefulDriver(Driver):
         if name not in self._active_pools:
             raise InvalidOperationError(f"pool {name!r} is not active")
         self._active_pools.discard(name)
+        self.events.publish("storage", event="pool-stopped", detail=name)
         self._journal_pool(name)
 
     def storage_pool_list(self) -> List[Dict[str, Any]]:
@@ -1745,6 +1814,9 @@ class StatefulDriver(Driver):
         )
         with self._lock:
             self._pool_volumes[pool][volume.name] = volume
+        self.events.publish(
+            "storage", event="vol-created", detail=f"{pool}/{volume.name}"
+        )
         self._journal_pool(pool)
         return {"name": volume.name, "path": path}
 
@@ -1761,6 +1833,7 @@ class StatefulDriver(Driver):
             self.backend.images.delete(path)
         with self._lock:
             del self._pool_volumes[pool][volume]
+        self.events.publish("storage", event="vol-deleted", detail=f"{pool}/{volume}")
         self._journal_pool(pool)
 
     def storage_vol_list(self, pool: str) -> List[str]:

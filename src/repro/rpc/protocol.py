@@ -140,6 +140,8 @@ PROCEDURES: Dict[str, int] = {
     "domain.managed_save": 77,
     "domain.managed_save_remove": 78,
     "domain.has_managed_save": 79,
+    "connect.event_subscribe": 80,
+    "connect.event_unsubscribe": 81,
     # -- administration interface (separate 'admin' server in the daemon)
     "admin.connect_open": 100,
     "admin.srv_list": 101,
@@ -167,6 +169,8 @@ _NUMBER_TO_NAME = {number: name for name, number in PROCEDURES.items()}
 EVENT_DOMAIN_LIFECYCLE = 1000
 #: the daemon is draining: finish up, expect a clean close
 EVENT_DAEMON_SHUTDOWN = 1001
+#: one typed event-bus record ({"seq", "kind", "domain", "event", "detail", ...})
+EVENT_BUS_RECORD = 1002
 
 
 def procedure_number(name: str) -> int:

@@ -1,0 +1,528 @@
+"""The event-driven control plane, end to end.
+
+Tentpole acceptance for the push work: the daemon's event bus fans
+typed records out to bounded per-subscriber queues; the RPC layer
+pushes them to remote clients as EVENT frames; and the client cache
+serves repeated reads without touching the daemon until a pushed
+record invalidates them.  The suite also covers the two resilience
+seams the bus must survive: PR-1 auto-reconnect (re-arm, flush, no
+double delivery) and PR-6 crash/restart recovery.
+"""
+
+import io
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.core.events import EventBroker, EventBus
+from repro.core.states import DomainEvent
+from repro.core.uri import ConnectionURI
+from repro.daemon import Libvirtd
+from repro.drivers.remote import RemoteDriver, ResilienceConfig
+from repro.errors import InvalidArgumentError
+from repro.faults import CrashHarness
+from repro.observability.metrics import MetricsRegistry
+from repro.rpc.retry import RetryPolicy
+from repro.xmlconfig.domain import DomainConfig
+
+GiB_KIB = 1024 * 1024
+
+#: the PR-1 resilient-client settings used throughout the reconnect tests
+RESILIENT = dict(
+    keepalive_interval=1.0,
+    keepalive_count=2,
+    retry=RetryPolicy(max_attempts=4, seed=0),
+    auto_reconnect=True,
+    reconnect_base_delay=0.2,
+)
+
+
+def plain_xml(name, domain_type="kvm"):
+    return DomainConfig(
+        name=name, domain_type=domain_type, memory_kib=GiB_KIB, vcpus=1
+    ).to_xml()
+
+
+def make_driver(hostname, cache=False, **resilience):
+    params = "?cache=1" if cache else ""
+    uri = ConnectionURI.parse(f"qemu+tcp://{hostname}/system{params}")
+    cfg = ResilienceConfig(**resilience) if resilience else None
+    return RemoteDriver(uri, resilience=cfg)
+
+
+# ---------------------------------------------------------------------------
+# the bus itself (no RPC)
+# ---------------------------------------------------------------------------
+
+
+class TestBusSemantics:
+    def test_records_are_sequenced_and_ordered(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.publish("config", domain="web1", event="memory", memory_kib=GiB_KIB)
+        bus.publish("device", domain="web1", event="attached", detail="disk")
+        assert [r["seq"] for r in seen] == [1, 2]
+        assert seen[0]["kind"] == "config"
+        assert seen[0]["memory_kib"] == GiB_KIB
+        assert seen[1]["detail"] == "disk"
+        assert bus.published == 2 and bus.bus_delivered == 2
+
+    def test_kinds_filter(self):
+        bus = EventBus()
+        config_only = []
+        everything = []
+        bus.subscribe(config_only.append, kinds={"config"})
+        bus.subscribe(everything.append)
+        bus.publish("config", domain="a", event="memory")
+        bus.publish("network", event="defined", detail="lan0")
+        assert [r["kind"] for r in config_only] == ["config"]
+        assert [r["kind"] for r in everything] == ["config", "network"]
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        sub = bus.subscribe(seen.append)
+        bus.publish("config", domain="a", event="x")
+        bus.unsubscribe(sub)
+        bus.publish("config", domain="a", event="y")
+        assert len(seen) == 1
+        with pytest.raises(InvalidArgumentError):
+            bus.unsubscribe(sub)
+
+    def test_legacy_emit_mirrors_onto_the_bus(self):
+        """Old-style lifecycle emits reach bus subscribers as records —
+        the broker callbacks and the bus see the same stream."""
+        bus = EventBus()
+        legacy = []
+        records = []
+        bus.register(lambda name, event, detail: legacy.append((name, event)))
+        bus.subscribe(records.append, kinds={"lifecycle"})
+        bus.emit("web1", DomainEvent.STARTED, "booted")
+        assert legacy == [("web1", DomainEvent.STARTED)]
+        assert records[0]["kind"] == "lifecycle"
+        assert records[0]["event"] == "started"
+        assert records[0]["detail"] == "booted"
+
+    def test_subscription_stats_surface(self):
+        bus = EventBus()
+        sub = bus.subscribe(lambda r: None, kinds={"job"}, max_queue=8)
+        bus.publish("job", domain="a", event="started")
+        (stats,) = bus.subscription_stats()
+        assert stats["id"] == sub
+        assert stats["delivered"] == 1
+        assert stats["dropped"] == 0
+        assert stats["max_queue"] == 8
+        assert stats["kinds"] == ["job"]
+
+
+class TestSlowConsumer:
+    def test_paused_subscriber_queues_then_drains_in_order(self):
+        bus = EventBus()
+        seen = []
+        sub = bus.subscribe(seen.append)
+        bus.pause(sub)
+        bus.publish("config", domain="a", event="one")
+        bus.publish("config", domain="a", event="two")
+        assert seen == []
+        assert bus.subscription_stats()[0]["queued"] == 2
+        assert bus.resume(sub) == 2
+        assert [r["event"] for r in seen] == ["one", "two"]
+
+    def test_overflow_drops_oldest_with_accounting(self):
+        metrics = MetricsRegistry()
+        bus = EventBus(metrics=lambda: metrics)
+        seen = []
+        sub = bus.subscribe(seen.append, max_queue=3)
+        bus.pause(sub)
+        for i in range(5):
+            bus.publish("config", domain="a", event=f"e{i}")
+        bus.resume(sub)
+        # the two oldest were shed; the newest three survive in order
+        assert [r["event"] for r in seen] == ["e2", "e3", "e4"]
+        assert bus.dropped == 2
+        assert bus.subscription_stats()[0]["dropped"] == 2
+        assert metrics.get("events_dropped_total").value == 2
+
+    def test_drain_all_flushes_every_queue(self):
+        bus = EventBus()
+        a, b = [], []
+        sub_a = bus.subscribe(a.append)
+        sub_b = bus.subscribe(b.append)
+        bus.pause(sub_a)
+        bus.pause(sub_b)
+        bus.publish("config", domain="x", event="pending")
+        assert bus.drain_all() == 2
+        assert len(a) == len(b) == 1
+
+    def test_one_slow_consumer_does_not_delay_the_others(self):
+        bus = EventBus()
+        fast = []
+        slow = []
+        bus.subscribe(fast.append)
+        sub = bus.subscribe(slow.append)
+        bus.pause(sub)
+        bus.publish("config", domain="a", event="x")
+        assert len(fast) == 1 and slow == []
+
+
+class _Logger:
+    def __init__(self):
+        self.errors = []
+
+    def error(self, source, message):
+        self.errors.append((source, message))
+
+
+class TestCallbackErrors:
+    """The satellite bugfix: a raising callback is counted and logged,
+    never silently swallowed."""
+
+    def test_broker_counts_and_logs_raising_callback(self):
+        log = _Logger()
+        metrics = MetricsRegistry()
+        broker = EventBroker(logger=lambda: log, metrics=lambda: metrics)
+        seen = []
+
+        def bad(name, event, detail):
+            raise RuntimeError("subscriber bug")
+
+        broker.register(bad)
+        broker.register(lambda name, event, detail: seen.append(name))
+        assert broker.emit("web1", DomainEvent.STARTED) == 1
+        # the healthy callback still got the event
+        assert seen == ["web1"]
+        assert broker.callback_errors == 1
+        assert metrics.get("event_callback_errors_total").value == 1
+        ((source, message),) = log.errors
+        assert source == "events"
+        assert "RuntimeError" in message and "subscriber bug" in message
+
+    def test_bus_handler_errors_are_counted_too(self):
+        bus = EventBus()
+        healthy = []
+        bus.subscribe(lambda r: (_ for _ in ()).throw(ValueError("boom")))
+        bus.subscribe(healthy.append)
+        bus.publish("config", domain="a", event="x")
+        assert bus.callback_errors == 1
+        assert len(healthy) == 1
+
+    def test_observability_attaches_late(self):
+        """The daemon wires logger/metrics after driver construction;
+        errors before that still count, errors after also log."""
+        broker = EventBroker()
+        broker.register(lambda *a: (_ for _ in ()).throw(KeyError("x")))
+        broker.emit("a", DomainEvent.DEFINED)
+        assert broker.callback_errors == 1
+        log = _Logger()
+        broker.attach_observability(logger=lambda: log)
+        broker.emit("a", DomainEvent.DEFINED)
+        assert broker.callback_errors == 2
+        assert len(log.errors) == 1
+
+
+# ---------------------------------------------------------------------------
+# EVENT frames over RPC
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def daemon():
+    with Libvirtd(hostname="evt1") as d:
+        d.listen("tcp")
+        yield d
+
+
+class TestEventPushRPC:
+    def test_bus_records_push_to_remote_subscriber(self, daemon):
+        driver = make_driver("evt1")
+        records = []
+        driver.event_bus_subscribe(records.append)
+        driver.domain_define_xml(plain_xml("pushed1"))
+        driver.domain_create("pushed1")
+        kinds_events = [(r["kind"], r["event"], r["domain"]) for r in records]
+        assert ("lifecycle", "defined", "pushed1") in kinds_events
+        assert ("lifecycle", "started", "pushed1") in kinds_events
+        # seq arrived and is strictly increasing on the wire
+        seqs = [r["seq"] for r in records]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_kinds_filtered_client_side(self, daemon):
+        driver = make_driver("evt1")
+        config_only = []
+        driver.event_bus_subscribe(config_only.append, kinds={"config"})
+        driver.domain_define_xml(plain_xml("filt1"))
+        driver.domain_set_memory("filt1", GiB_KIB // 2)
+        assert [r["kind"] for r in config_only] == ["config"]
+        assert config_only[0]["event"] == "memory"
+
+    def test_unsubscribe_disarms(self, daemon):
+        driver = make_driver("evt1")
+        records = []
+        sub = driver.event_bus_subscribe(records.append)
+        driver.domain_define_xml(plain_xml("quiet1"))
+        before = len(records)
+        assert before > 0
+        driver.event_bus_unsubscribe(sub)
+        driver.domain_define_xml(plain_xml("quiet2"))
+        assert len(records) == before
+
+    def test_daemon_tracks_one_bus_subscription_per_client(self, daemon):
+        driver = make_driver("evt1")
+        driver.event_bus_subscribe(lambda r: None)
+        bus = daemon.drivers["qemu"].events
+        assert bus.subscription_count == 1
+        # a second local handler multiplexes over the same wire sub
+        driver.event_bus_subscribe(lambda r: None)
+        assert bus.subscription_count == 1
+
+    def test_client_close_cleans_up_daemon_subscription(self, daemon):
+        driver = make_driver("evt1")
+        driver.event_bus_subscribe(lambda r: None)
+        bus = daemon.drivers["qemu"].events
+        assert bus.subscription_count == 1
+        driver.close()
+        assert bus.subscription_count == 0
+
+    def test_publish_metrics_and_span_on_daemon(self, daemon):
+        driver = make_driver("evt1")
+        driver.event_bus_subscribe(lambda r: None)
+        driver.domain_define_xml(plain_xml("obs1"))
+        metrics = daemon.metrics
+        published = metrics.get("events_published_total")
+        by_kind = {labels["kind"]: c.value for labels, c in published.samples()}
+        assert by_kind.get("lifecycle", 0) >= 1
+        assert metrics.get("events_delivered_total").value >= 1
+        spans = [s for s in daemon.tracer.finished_spans() if s.name == "event.deliver"]
+        assert spans and spans[-1].attributes["kind"] == "lifecycle"
+
+
+# ---------------------------------------------------------------------------
+# the invalidation-driven client cache
+# ---------------------------------------------------------------------------
+
+
+class TestClientCache:
+    def test_cached_reads_hit_the_daemon_zero_times(self, daemon):
+        """The acceptance criterion: between invalidations, repeated
+        reads are served locally — zero daemon procedures."""
+        driver = make_driver("evt1", cache=True)
+        driver.domain_define_xml(plain_xml("c1"))
+        # warm every cached surface
+        driver.list_domains()
+        driver.list_defined_domains()
+        driver.num_of_domains()
+        driver.domain_get_state("c1")
+        driver.domain_get_xml_desc("c1")
+        qemu = daemon.drivers["qemu"]
+        before = qemu.api_calls
+        for _ in range(10):
+            driver.list_domains()
+            driver.list_defined_domains()
+            driver.num_of_domains()
+            driver.domain_get_state("c1")
+            driver.domain_get_xml_desc("c1")
+        assert qemu.api_calls - before == 0
+        assert driver.cache.hits == 50
+
+    def test_pushed_record_invalidates_exactly_the_right_entries(self, daemon):
+        driver = make_driver("evt1", cache=True)
+        driver.domain_define_xml(plain_xml("inv1"))
+        assert "inv1" in driver.list_defined_domains()
+        # a mutation by ANOTHER client invalidates via push, not polling
+        other = make_driver("evt1")
+        other.domain_define_xml(plain_xml("inv2"))
+        assert "inv2" in driver.list_defined_domains()  # refetched, not stale
+        other.domain_set_memory("inv2", GiB_KIB // 2)
+        # config change on inv2 does not evict inv1's per-domain entries
+        driver.domain_get_xml_desc("inv1")
+        before_hits = driver.cache.hits
+        driver.domain_get_xml_desc("inv1")
+        assert driver.cache.hits == before_hits + 1
+
+    def test_bypass_flag_always_goes_to_the_daemon(self, daemon):
+        driver = make_driver("evt1", cache=True)
+        driver.num_of_domains()
+        qemu = daemon.drivers["qemu"]
+        before = qemu.api_calls
+        driver.num_of_domains(cached=False)
+        driver.num_of_domains(cached=False)
+        assert qemu.api_calls - before == 2
+
+    def test_cache_off_by_default(self, daemon):
+        driver = make_driver("evt1")
+        qemu = daemon.drivers["qemu"]
+        before = qemu.api_calls
+        driver.num_of_domains()
+        driver.num_of_domains()
+        assert qemu.api_calls - before == 2
+        assert not driver.cache.enabled
+
+    def test_connection_surface_exposes_cache_stats(self, daemon):
+        conn = repro.open_connection("qemu+tcp://evt1/system?cache=1")
+        conn.num_of_domains()
+        conn.num_of_domains()
+        stats = conn.cache_stats()
+        assert stats["enabled"]
+        assert stats["hits"] >= 1
+        # local connections have no client cache
+        assert repro.open_connection("test:///default").cache_stats() is None
+
+
+# ---------------------------------------------------------------------------
+# resilience seams: reconnect and crash/restart
+# ---------------------------------------------------------------------------
+
+
+class TestReconnectSeam:
+    def test_bus_rearms_and_cache_flushes_on_reconnect(self, daemon):
+        driver = make_driver("evt1", cache=True, **RESILIENT)
+        records = []
+        driver.event_bus_subscribe(records.append)
+        driver.domain_define_xml(plain_xml("r1"))
+        driver.list_defined_domains()
+        driver.client._channel.sever()  # pull the cable directly
+        # next call detects death via keepalive and re-dials + re-arms
+        driver.num_of_domains()
+        assert driver.reconnects == 1
+        assert driver.cache.flush_reasons.get("reconnect") == 1
+        before = len(records)
+        driver.domain_define_xml(plain_xml("r2"))
+        delivered = [(r["event"], r["domain"]) for r in records[before:]]
+        # exactly one record for the post-reconnect mutation: the new
+        # wire subscription delivers, the dead one is gone
+        assert delivered.count(("defined", "r2")) == 1
+
+    def test_no_record_is_delivered_twice_across_reconnect(self, daemon):
+        driver = make_driver("evt1", cache=True, **RESILIENT)
+        records = []
+        driver.event_bus_subscribe(records.append)
+        driver.domain_define_xml(plain_xml("d1"))
+        driver.client._channel.sever()
+        driver.num_of_domains()
+        driver.domain_define_xml(plain_xml("d2"))
+        defined = [r["domain"] for r in records if r["event"] == "defined"]
+        assert sorted(defined) == ["d1", "d2"]  # each exactly once
+
+
+class TestCrashRestartSeam:
+    """PR-6 recovery: the daemon dies and a fresh incarnation takes
+    over the hostname; the subscribed client re-arms against it and no
+    event reaches the same callback twice."""
+
+    def _scenario(self, tmp_path):
+        harness = CrashHarness(str(tmp_path / "state"), hostname="crashevt")
+        harness.start()
+        uri = ConnectionURI.parse("qemu+tcp://crashevt/system?cache=1")
+        driver = RemoteDriver(uri, resilience=ResilienceConfig(**RESILIENT))
+        return harness, driver
+
+    def test_resubscribe_after_crash_restart_no_double_delivery(self, tmp_path):
+        harness, driver = self._scenario(tmp_path)
+        records = []
+        driver.event_bus_subscribe(records.append)
+        driver.domain_define_xml(plain_xml("vm1"))
+
+        harness.daemon.crash()
+        harness.restart()
+
+        # reconnect re-arms the bus against the new incarnation
+        driver.num_of_domains()
+        assert driver.reconnects == 1
+        driver.domain_define_xml(plain_xml("vm2"))
+        defined = [r["domain"] for r in records if r["event"] == "defined"]
+        assert sorted(defined) == ["vm1", "vm2"]  # each exactly once
+        # the restarted daemon restarted its seq counter; the client's
+        # dedupe reset with it instead of discarding the fresh stream
+        assert any(r["domain"] == "vm2" and r["seq"] >= 1 for r in records)
+
+    def test_cache_survives_restart_coherently(self, tmp_path):
+        harness, driver = self._scenario(tmp_path)
+        driver.domain_define_xml(plain_xml("vmA"))
+        assert "vmA" in driver.list_defined_domains()
+        harness.daemon.crash()
+        harness.restart()
+        # a cached read alone would serve pre-crash entries without ever
+        # touching the dead link; the first wire call trips the
+        # reconnect, which flushes the cache
+        driver.ping()
+        assert driver.reconnects == 1
+        assert driver.cache.flush_reasons.get("reconnect") == 1
+        assert "vmA" in driver.list_defined_domains()
+
+
+# ---------------------------------------------------------------------------
+# the CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestVirshEventCommand:
+    def test_event_command_streams_and_exits_at_count(self):
+        from repro.cli.virsh import main
+
+        out = io.StringIO()
+        result = {}
+        bus = repro.open_connection("test:///default")._driver.events
+        baseline = bus.subscription_count
+
+        def run_cli():
+            result["code"] = main(
+                ["-c", "test:///default", "event", "--count", "2",
+                 "--timeout", "10"],
+                out=out,
+            )
+
+        thread = threading.Thread(target=run_cli)
+        thread.start()
+        # wait for the CLI's subscription to arm before mutating
+        deadline = time.time() + 5
+        while bus.subscription_count <= baseline and time.time() < deadline:
+            time.sleep(0.01)
+        assert bus.subscription_count > baseline
+
+        mutator = repro.open_connection("test:///default")
+        mutator.define_domain(plain_xml("evtcli", domain_type="test"))
+        mutator.lookup_domain("evtcli").undefine()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert result["code"] == 0
+        output = out.getvalue()
+        assert "event 'lifecycle/defined' for evtcli" in output
+        assert "event 'lifecycle/undefined' for evtcli" in output
+        assert "events received: 2" in output
+        # the CLI unsubscribed on exit
+        assert bus.subscription_count == baseline
+
+    def test_event_command_domain_filter(self):
+        from repro.cli.virsh import main
+
+        out = io.StringIO()
+        result = {}
+        bus = repro.open_connection("test:///default")._driver.events
+        baseline = bus.subscription_count
+
+        def run_cli():
+            result["code"] = main(
+                ["-c", "test:///default", "event", "--domain", "wanted",
+                 "--count", "1", "--timeout", "10"],
+                out=out,
+            )
+
+        thread = threading.Thread(target=run_cli)
+        thread.start()
+        deadline = time.time() + 5
+        while bus.subscription_count <= baseline and time.time() < deadline:
+            time.sleep(0.01)
+
+        mutator = repro.open_connection("test:///default")
+        mutator.define_domain(plain_xml("ignored", domain_type="test"))
+        mutator.define_domain(plain_xml("wanted", domain_type="test"))
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        output = out.getvalue()
+        assert "for wanted" in output
+        assert "for ignored" not in output
+        mutator.lookup_domain("ignored").undefine()
+        mutator.lookup_domain("wanted").undefine()

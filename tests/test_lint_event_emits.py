@@ -1,0 +1,145 @@
+"""Tests for tools/lint_event_emits.py — the publish-on-mutate lint.
+
+The lint is only worth gating CI on if (a) the shipped stateful driver
+passes it and (b) it actually catches the decay pattern it documents:
+a procedure that journals a change without publishing a bus record,
+leaving subscribed clients serving stale cached reads.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+LINT = REPO / "tools" / "lint_event_emits.py"
+
+
+@pytest.fixture(scope="module")
+def lint():
+    spec = importlib.util.spec_from_file_location("lint_event_emits", LINT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _source(body):
+    return "class StatefulDriver:\n" + textwrap.indent(textwrap.dedent(body), "    ")
+
+
+class TestRepoIsClean:
+    def test_script_exits_zero(self):
+        result = subprocess.run(
+            [sys.executable, str(LINT)], capture_output=True, text=True
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_main_returns_zero(self, lint):
+        assert lint.main() == 0
+
+    def test_exempt_entries_are_live(self, lint):
+        # every exemption names a real, journaling driver method —
+        # lint() itself would report stale ones, so a clean run proves it
+        assert lint.lint() == []
+
+
+class TestCatchesSilentMutators:
+    def test_journal_without_publish_is_flagged(self, lint, monkeypatch):
+        monkeypatch.setattr(lint, "EXEMPT", {})
+        problems = lint.lint(
+            _source(
+                """
+                def domain_rename(self, name, new_name):
+                    self._journal_domain(new_name)
+                """
+            )
+        )
+        assert any("domain_rename journals" in p for p in problems)
+
+    def test_publish_alongside_journal_passes(self, lint, monkeypatch):
+        monkeypatch.setattr(lint, "EXEMPT", {})
+        problems = lint.lint(
+            _source(
+                """
+                def domain_rename(self, name, new_name):
+                    self.events.publish("config", domain=name, event="renamed")
+                    self._journal_domain(new_name)
+                """
+            )
+        )
+        assert problems == []
+
+    def test_legacy_emit_also_satisfies(self, lint, monkeypatch):
+        monkeypatch.setattr(lint, "EXEMPT", {})
+        problems = lint.lint(
+            _source(
+                """
+                def domain_define_xml(self, xml):
+                    self.events.emit(xml, "defined")
+                    self._journal_domain(xml)
+                """
+            )
+        )
+        assert problems == []
+
+    def test_transitive_journal_and_publish(self, lint, monkeypatch):
+        # journaling through one helper and publishing through another
+        # both count: the closure walks self-calls in either direction
+        monkeypatch.setattr(lint, "EXEMPT", {})
+        problems = lint.lint(
+            _source(
+                """
+                def _persist(self, name):
+                    self._journal_domain(name)
+
+                def _announce(self, name):
+                    self.events.publish("config", domain=name, event="tuned")
+
+                def domain_tune(self, name):
+                    self._persist(name)
+                    self._announce(name)
+
+                def domain_tune_quietly(self, name):
+                    self._persist(name)
+                """
+            )
+        )
+        assert any("domain_tune_quietly journals" in p for p in problems)
+        assert not any("domain_tune journals" in p for p in problems)
+
+    def test_private_helpers_are_not_bound(self, lint, monkeypatch):
+        # helpers are building blocks; the contract binds the public
+        # surface that assembles the full mutation
+        monkeypatch.setattr(lint, "EXEMPT", {})
+        problems = lint.lint(
+            _source(
+                """
+                def _journal_quietly(self, name):
+                    self._journal_domain(name)
+                """
+            )
+        )
+        assert problems == []
+
+
+class TestExemptHygiene:
+    def test_unknown_exempt_method(self, lint, monkeypatch):
+        monkeypatch.setattr(lint, "EXEMPT", {"domain_frobnicate": "typo"})
+        problems = lint.lint()
+        assert any(
+            "EXEMPT names unknown method 'domain_frobnicate'" in p
+            for p in problems
+        )
+
+    def test_exempt_entry_that_never_journals_is_stale(self, lint, monkeypatch):
+        # domain_suspend is runtime-only and never journals; exempting
+        # it from a journal-coupled rule is dead weight
+        monkeypatch.setattr(lint, "EXEMPT", {"domain_suspend": "pointless"})
+        problems = lint.lint()
+        assert any(
+            "'domain_suspend' never reaches a journal write" in p
+            for p in problems
+        )

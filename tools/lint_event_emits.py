@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Lint: every journaling ``StatefulDriver`` procedure publishes an event.
+
+The event-driven control plane's coherence contract is publish-on-
+mutate: remote clients cache reads (``list_domains``, ``domain_state``,
+``get_xml_desc``) and rely on pushed bus records to invalidate those
+entries, so a mutating procedure that journals a change without
+publishing leaves every subscribed client serving stale data until its
+next reconnect.  That contract decays silently — a new driver method
+that calls ``self._journal_domain(...)`` but never touches
+``self.events`` passes every functional test that doesn't also poll a
+cache — so this script fails CI when:
+
+* a public ``StatefulDriver`` method that (transitively, through
+  ``self.`` helper calls) reaches a ``self._journal*`` write cannot
+  (transitively) reach ``self.events.emit`` or ``self.events.publish``
+  — unless listed in ``EXEMPT`` with a reason;
+* ``EXEMPT`` names a method the class does not define (stale entry), or
+  an entry whose method no longer journals (the exemption is dead
+  weight and should be removed).
+
+Usage::
+
+    python tools/lint_event_emits.py
+"""
+
+import ast
+import inspect
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+import repro.drivers.stateful as stateful_module  # noqa: E402
+from repro.drivers.stateful import StatefulDriver  # noqa: E402
+
+#: ``self.events`` methods that put a record in front of subscribers —
+#: ``emit`` (legacy lifecycle callbacks; the bus mirrors it) and
+#: ``publish`` (typed bus records)
+EVENT_CALLS = {"emit", "publish"}
+
+#: methods allowed to journal without publishing, with the reason why
+EXEMPT = {
+    # restart recovery rebuilds bookkeeping from the journal; replaying
+    # the mutations as fresh events would double-deliver every record a
+    # subscriber already saw before the crash
+    "recover_state": "recovery replays the journal, not the events",
+}
+
+
+def _attribute_chain(node):
+    """``self.events.publish`` -> ("self", "events", "publish"); None if
+    the chain is not rooted in a plain name (e.g. rooted in a call)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+class _MethodScan(ast.NodeVisitor):
+    """One pass over a method body: self-calls, journal writes, emits."""
+
+    def __init__(self, name):
+        self.name = name
+        self.self_calls = set()
+        self.journals = False
+        self.emits = False
+
+    def visit_Call(self, node):
+        chain = _attribute_chain(node.func)
+        if chain is not None and chain[0] == "self":
+            if len(chain) == 2:
+                self.self_calls.add(chain[1])
+                if chain[1].startswith("_journal"):
+                    self.journals = True
+            elif len(chain) == 3 and chain[1] == "events" and chain[2] in EVENT_CALLS:
+                self.emits = True
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node):  # nested defs share the namespace
+        self.generic_visit(node)
+
+
+def scan_class(tree):
+    """Per-method scan of the ``StatefulDriver`` class body."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "StatefulDriver":
+            class_node = node
+            break
+    else:
+        raise SystemExit("StatefulDriver class not found in stateful.py")
+    scans = {}
+    for item in class_node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        scan = _MethodScan(item.name)
+        scan.visit(item)
+        scans[item.name] = scan
+    return scans
+
+
+def close_over_calls(scans, attribute):
+    """Transitive closure of a boolean per-method flag along self-calls."""
+    closed = {name: getattr(scan, attribute) for name, scan in scans.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name, scan in scans.items():
+            if closed[name]:
+                continue
+            if any(closed.get(callee, False) for callee in scan.self_calls):
+                closed[name] = True
+                changed = True
+    return closed
+
+
+def lint(source=None):
+    if source is None:
+        source = inspect.getsource(stateful_module)
+    scans = scan_class(ast.parse(source))
+    journals = close_over_calls(scans, "journals")
+    emits = close_over_calls(scans, "emits")
+
+    problems = []
+    for name in sorted(EXEMPT):
+        if name not in scans:
+            problems.append(f"EXEMPT names unknown method {name!r}")
+            continue
+        if not callable(getattr(StatefulDriver, name, None)):
+            problems.append(f"EXEMPT entry {name!r} is not a StatefulDriver method")
+        if not journals[name]:
+            problems.append(
+                f"EXEMPT entry {name!r} never reaches a journal write — stale"
+            )
+    for name in sorted(scans):
+        if name in EXEMPT:
+            continue
+        # the publish-on-mutate contract binds the public procedure
+        # surface; private helpers are building blocks whose callers
+        # publish once the full mutation is assembled
+        if name.startswith("_"):
+            continue
+        if journals[name] and not emits[name]:
+            problems.append(
+                f"{name} journals driver state but never reaches "
+                f"self.events.emit/publish (subscribed clients keep "
+                f"serving stale cached reads)"
+            )
+    return problems
+
+
+def main(argv=None):
+    failures = 0
+    for why in lint():
+        print(f"stateful driver: {why}", file=sys.stderr)
+        failures += 1
+    if failures:
+        print(f"lint_event_emits: {failures} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
