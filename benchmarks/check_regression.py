@@ -157,6 +157,28 @@ def collect_r3():
     }
 
 
+def collect_f1():
+    """Fleet drain figures (makespan, round distribution, post-copy).
+
+    Every number is a function of the modelled migration physics and the
+    orchestrator's wave schedule; drift means the drain planner, the
+    auto-converge/post-copy model, or the placement accounting changed."""
+    import bench_f1_fleet_drain as f1
+
+    figures = f1.collect()
+    return {
+        "f1.drain.migrated": float(figures["migrated"]),
+        "f1.drain.waves": float(figures["waves"]),
+        "f1.drain.makespan_s": figures["makespan_s"],
+        "f1.drain.serial_s": figures["serial_s"],
+        "f1.drain.speedup": figures["speedup"],
+        "f1.drain.rounds_p50": float(figures["rounds_p50"]),
+        "f1.drain.rounds_max": float(figures["rounds_max"]),
+        "f1.drain.postcopy": float(figures["postcopy"]),
+        "f1.drain.rpc_per_guest": figures["rpc_per_guest"],
+    }
+
+
 def collect_wall_informational():
     """Real management-layer CPU cost per cycle — reported, not gated."""
     import bench_e3_lifecycle_overhead as e3
@@ -223,6 +245,7 @@ def main(argv=None):
     current.update(collect_c1())
     current.update(collect_r2())
     current.update(collect_r3())
+    current.update(collect_f1())
     info = {} if args.skip_wall else collect_wall_informational()
 
     if args.output:

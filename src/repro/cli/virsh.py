@@ -187,17 +187,105 @@ def cmd_migrate(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -
     else:
         dest = repro.open_connection(args.desturi)
         try:
-            moved = domain.migrate(dest, live=not args.offline)
+            moved = domain.migrate(
+                dest,
+                live=not args.offline,
+                auto_converge=args.auto_converge,
+                post_copy=args.postcopy,
+            )
             stats = moved.last_migration_stats
         finally:
             dest.close()
+    mode = " via post-copy" if stats.get("post_copy") else ""
     print(
-        f"Domain {args.domain} migrated to {args.desturi} "
+        f"Domain {args.domain} migrated to {args.desturi}{mode} "
         f"(total {stats['total_time_s']:.3f}s, "
         f"downtime {stats['downtime_s'] * 1000:.1f}ms, "
         f"{stats['rounds']} rounds)",
         file=out,
     )
+    return 0
+
+
+# -- fleet commands ----------------------------------------------------------
+
+
+def _open_fleet(args: argparse.Namespace):
+    from repro.fleet import FleetManager
+
+    return FleetManager(args.hosts)
+
+
+def cmd_fleet_status(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
+    with _open_fleet(args) as fleet:
+        fleet.health_check()
+        rows = []
+        for row in fleet.fleet_status():
+            if row["healthy"]:
+                rows.append((
+                    row["hostname"], "yes", row["domains"],
+                    format_size(row["memory_kib"] * 1024),
+                    format_size(row["free_memory_kib"] * 1024), row["uri"],
+                ))
+            else:
+                rows.append((row["hostname"], "no", "-", "-", "-", row["uri"]))
+        _print_table(
+            out, ("Host", "Healthy", "Domains", "Memory", "Free", "URI"), rows
+        )
+    return 0
+
+
+def cmd_fleet_drain(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
+    from repro.fleet import FleetOrchestrator
+
+    with _open_fleet(args) as fleet:
+        orchestrator = FleetOrchestrator(
+            fleet,
+            strategy=args.strategy,
+            max_parallel=args.max_parallel,
+            link_bandwidth_mib_s=args.bandwidth,
+        )
+        report = orchestrator.drain_host(args.host)
+        rows = [
+            (
+                o.name,
+                o.dest if o.ok else "-",
+                "ok" if o.ok else f"FAILED: {o.error}",
+                f"{o.total_time_s:.3f}s",
+                o.rounds,
+                "post-copy" if o.post_copy else "pre-copy",
+            )
+            for o in report.outcomes
+        ]
+        _print_table(out, ("Domain", "Destination", "Result", "Time", "Rounds", "Mode"), rows)
+        for name in report.unplaced:
+            print(f"unplaced: {name} (no destination has room)", file=out)
+        print(
+            f"Drained {report.migrated}/{len(report.outcomes)} domains off "
+            f"{args.host} in {report.waves} waves "
+            f"(makespan {report.makespan_s:.1f}s modelled, "
+            f"{report.postcopy_count} via post-copy)",
+            file=out,
+        )
+    return 0 if not report.failed else 1
+
+
+def cmd_fleet_rebalance(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
+    from repro.fleet import FleetOrchestrator
+
+    with _open_fleet(args) as fleet:
+        orchestrator = FleetOrchestrator(fleet, strategy=args.strategy)
+        report = orchestrator.rebalance(
+            max_moves=args.max_moves, threshold=args.threshold
+        )
+        for move in report.moves:
+            status = "ok" if move.ok else f"FAILED: {move.error}"
+            print(f"{move.name}: {move.source} -> {move.dest} ({status})", file=out)
+        print(
+            f"Rebalanced with {len(report.moves)} moves "
+            f"(spread {report.imbalance_before:.2f} -> {report.imbalance_after:.2f})",
+            file=out,
+        )
     return 0
 
 
@@ -538,6 +626,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("desturi")
     p.add_argument("--offline", action="store_true")
     p.add_argument("--p2p", action="store_true", help="peer-to-peer mode")
+    p.add_argument("--auto-converge", action="store_true",
+                   help="throttle the guest when copy rounds stall")
+    p.add_argument("--postcopy", action="store_true",
+                   help="switch to post-copy instead of blowing the downtime budget")
+
+    def add_fleet(name: str, fn: CommandFn, help_text: str) -> argparse.ArgumentParser:
+        p = add(name, fn, help_text)
+        p.add_argument("--hosts", nargs="+", required=True, metavar="URI",
+                       help="daemon URIs making up the fleet")
+        return p
+
+    add_fleet("fleet-status", cmd_fleet_status, "health and capacity of every fleet host")
+    p = add_fleet("fleet-drain", cmd_fleet_drain, "live-migrate every guest off a host")
+    p.add_argument("host")
+    p.add_argument("--strategy", default="balanced")
+    p.add_argument("--max-parallel", type=int, default=4)
+    p.add_argument("--bandwidth", type=float, default=1024.0,
+                   metavar="MIB_S", help="maintenance link bandwidth shared per wave")
+    p = add_fleet("fleet-rebalance", cmd_fleet_rebalance,
+                  "migrate guests off overloaded hosts toward the fleet mean")
+    p.add_argument("--strategy", default="balanced")
+    p.add_argument("--max-moves", type=int, default=8)
+    p.add_argument("--threshold", type=float, default=0.10)
     p = add("snapshot-create-as", cmd_snapshot_create, "create a named snapshot")
     p.add_argument("domain")
     p.add_argument("name")

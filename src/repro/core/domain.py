@@ -36,6 +36,11 @@ class Domain:
         self._conn = connection
         self._name = name
         self._uuid = uuid
+        #: transfer statistics of the migration that produced this handle
+        #: (total_time_s, downtime_s, rounds, converged, transferred_bytes,
+        #: and post_copy/throttle details); None for handles not born from
+        #: a migration.  Set by :func:`repro.migration.manager.migrate_domain`.
+        self.last_migration_stats: Optional[Dict[str, Any]] = None
 
     # -- identity ---------------------------------------------------------
 
@@ -278,6 +283,8 @@ class Domain:
         live: bool = True,
         max_downtime_s: float = 0.3,
         bandwidth_mib_s: Optional[float] = None,
+        auto_converge: bool = False,
+        post_copy: bool = False,
     ) -> "Domain":
         """Migrate this domain to another connection's host.
 
@@ -285,6 +292,11 @@ class Domain:
         migration: the client orchestrates begin/prepare/perform/finish
         across the two connections, as libvirt does for peer pairs that
         cannot talk to each other directly.
+
+        ``auto_converge`` throttles the guest's vCPUs when copy rounds
+        stall; ``post_copy`` switches modes instead of blowing the
+        downtime budget when pre-copy cannot converge (the
+        VIR_MIGRATE_AUTO_CONVERGE / VIR_MIGRATE_POSTCOPY flags).
         """
         from repro.migration.manager import migrate_domain
 
@@ -294,6 +306,8 @@ class Domain:
             live=live,
             max_downtime_s=max_downtime_s,
             bandwidth_mib_s=bandwidth_mib_s,
+            auto_converge=auto_converge,
+            post_copy=post_copy,
         )
 
     def migrate_to_uri(

@@ -1454,6 +1454,8 @@ class StatefulDriver(Driver):
                 dirty_rate_bytes_s=runtime.dirty_rate_mib_s * MIB,
                 bandwidth_bytes_s=bandwidth_mib_s * MIB,
                 max_downtime_s=max_downtime,
+                auto_converge=bool(params.get("auto_converge")),
+                post_copy=bool(params.get("post_copy")),
             )
         else:
             # offline migration: pause first, stop-and-copy everything
@@ -1463,7 +1465,11 @@ class StatefulDriver(Driver):
                 bandwidth_bytes_s=bandwidth_mib_s * MIB,
                 max_downtime_s=memory_bytes / (bandwidth_mib_s * MIB) + 1.0,
             )
-        if params.get("strict_convergence") and not result.converged:
+        if (
+            params.get("strict_convergence")
+            and not result.converged
+            and not result.post_copy  # post-copy completed the migration
+        ):
             raise MigrationError(
                 f"migration of {name!r} did not converge "
                 f"(dirty rate {runtime.dirty_rate_mib_s} MiB/s vs "
@@ -1486,7 +1492,7 @@ class StatefulDriver(Driver):
             "migration",
             domain=name,
             event="performed",
-            detail="live" if live else "offline",
+            detail="post-copy" if result.post_copy else ("live" if live else "offline"),
             rounds=result.rounds,
         )
         self._journal_domain(name)
@@ -1496,6 +1502,9 @@ class StatefulDriver(Driver):
             "rounds": result.rounds,
             "converged": result.converged,
             "transferred_bytes": result.transferred_bytes,
+            "post_copy": result.post_copy,
+            "postcopy_time_s": result.postcopy_time_s,
+            "throttle_pct": result.throttle_pct,
         }
 
     def migrate_finish(self, cookie: Dict[str, Any], stats: Dict[str, Any]) -> Dict[str, Any]:

@@ -1,0 +1,375 @@
+"""Placement-aware mass operations over a fleet of daemons.
+
+Three verbs every fleet operator needs, built from the primitives the
+earlier layers already provide — live migration (pre-copy with
+auto-converge and post-copy fallback), placement strategies, the
+crash-safe restart path — composed, not reimplemented:
+
+* :meth:`FleetOrchestrator.drain_host` — evacuate a host for
+  maintenance: plan destinations for every running guest in one batch
+  (acting on the *partial* plan when the fleet cannot absorb them all),
+  then live-migrate in bounded-concurrency waves that share the
+  maintenance link's bandwidth.
+* :meth:`FleetOrchestrator.rebalance` — shave the most-loaded hosts
+  down toward the fleet mean with a bounded number of migrations.
+* :meth:`FleetOrchestrator.rolling_restart` — restart daemons one at a
+  time, verifying after each that the crash-safe journal brought every
+  guest back before touching the next host.
+
+Concurrency is *modelled*: migrations execute serially on the shared
+virtual clock, but each wave's transfers share the link (per-migration
+bandwidth = link / wave size) and the wave's wall-clock is its slowest
+member, so the reported makespan is what a real bounded-parallel drain
+would cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.connection import Connection
+from repro.errors import VirtError
+from repro.placement.strategies import HostView, PlacementError, strategy as lookup_strategy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fleet.manager import FleetManager
+
+
+@dataclass
+class MigrationOutcome:
+    """One guest's fate during a mass operation."""
+
+    name: str
+    memory_kib: int
+    source: str
+    dest: "Optional[str]"
+    wave: int = 0
+    ok: bool = False
+    error: "Optional[str]" = None
+    total_time_s: float = 0.0
+    downtime_s: float = 0.0
+    rounds: int = 0
+    converged: bool = False
+    post_copy: bool = False
+
+
+@dataclass
+class DrainReport:
+    """What a drain did: per-guest outcomes plus the modelled schedule."""
+
+    host: str
+    outcomes: List[MigrationOutcome] = field(default_factory=list)
+    #: guests no destination could absorb (left running on the host)
+    unplaced: List[str] = field(default_factory=list)
+    waves: int = 0
+    #: modelled wall-clock: Σ over waves of the wave's slowest migration
+    makespan_s: float = 0.0
+
+    @property
+    def migrated(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    @property
+    def postcopy_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok and o.post_copy)
+
+    def rounds_distribution(self) -> Dict[int, int]:
+        """How many migrations needed N copy rounds — the convergence
+        picture of the whole drain at a glance."""
+        dist: Dict[int, int] = {}
+        for outcome in self.outcomes:
+            if outcome.ok:
+                dist[outcome.rounds] = dist.get(outcome.rounds, 0) + 1
+        return dict(sorted(dist.items()))
+
+
+@dataclass
+class RebalanceReport:
+    moves: List[MigrationOutcome] = field(default_factory=list)
+    imbalance_before: float = 0.0
+    imbalance_after: float = 0.0
+
+
+@dataclass
+class RestartReport:
+    """One host's pass through a rolling restart."""
+
+    host: str
+    guests_before: List[str] = field(default_factory=list)
+    guests_after: List[str] = field(default_factory=list)
+    ok: bool = False
+    error: "Optional[str]" = None
+
+    @property
+    def lost(self) -> List[str]:
+        return sorted(set(self.guests_before) - set(self.guests_after))
+
+
+class FleetOrchestrator:
+    """Mass operations over the hosts a :class:`FleetManager` manages."""
+
+    def __init__(
+        self,
+        fleet: "FleetManager",
+        strategy: str = "balanced",
+        max_parallel: int = 4,
+        link_bandwidth_mib_s: float = 1024.0,
+        max_downtime_s: float = 0.3,
+        auto_converge: bool = True,
+        post_copy: bool = True,
+    ) -> None:
+        if max_parallel < 1:
+            raise PlacementError("max_parallel must be >= 1")
+        self.fleet = fleet
+        self.strategy = lookup_strategy(strategy)
+        self.max_parallel = max_parallel
+        self.link_bandwidth_mib_s = link_bandwidth_mib_s
+        self.max_downtime_s = max_downtime_s
+        self.auto_converge = auto_converge
+        self.post_copy = post_copy
+
+    # -- planning ----------------------------------------------------------
+
+    def _destinations(self, exclude: Sequence[str]) -> Dict[str, Connection]:
+        excluded = set(exclude)
+        return {
+            hostname: self.fleet.connection(hostname)
+            for hostname, healthy in self.fleet.health_check().items()
+            if healthy and hostname not in excluded
+        }
+
+    def plan_drain(
+        self, guests: "List[Any]", destinations: Dict[str, Connection]
+    ) -> "tuple[List[tuple[Any, int, str]], List[str]]":
+        """Pick a destination for every guest.
+
+        Returns ``(plan, unplaced)`` where the plan rows are
+        ``(guest, memory_kib, dest_hostname)`` — everything the wave
+        loop needs without further RPCs, so a host dying mid-drain only
+        fails migrations, never the planner's bookkeeping.
+
+        One batch ``place_all`` call plans the whole evacuation with
+        each placement accounted against the next.  When the fleet
+        cannot absorb everything the strategy's partial plan is kept,
+        and the remaining (smaller — guests are sorted largest-first)
+        requests are retried one by one against the residual capacity
+        before anything is declared unplaced.
+        """
+        sized = sorted(
+            ((g, g.info().memory_kib) for g in guests),
+            key=lambda pair: pair[1],
+            reverse=True,
+        )
+        conns = list(destinations.values())
+        names = {id(conn): hostname for hostname, conn in destinations.items()}
+        requests = [memory_kib for _, memory_kib in sized]
+        try:
+            chosen = self.strategy.place_all(conns, requests)
+            return [
+                (guest, memory_kib, names[id(conn)])
+                for (guest, memory_kib), conn in zip(sized, chosen)
+            ], []
+        except PlacementError as exc:
+            plan = [
+                (guest, memory_kib, names[id(conn)])
+                for (guest, memory_kib), conn in zip(sized[: exc.index], exc.partial)
+            ]
+            # rebuild the residual-capacity view the partial plan implies
+            views = [HostView(conn) for conn in conns]
+            by_conn = {id(v.connection): v for v in views}
+            for (_, memory_kib), conn in zip(sized[: exc.index], exc.partial):
+                by_conn[id(conn)].commit(memory_kib)
+            unplaced: List[str] = []
+            for guest, memory_kib in sized[exc.index :]:
+                try:
+                    view = self.strategy.choose(views, memory_kib)
+                except PlacementError:
+                    unplaced.append(guest.name)
+                    continue
+                view.commit(memory_kib)
+                plan.append((guest, memory_kib, names[id(view.connection)]))
+            return plan, unplaced
+
+    # -- drain -------------------------------------------------------------
+
+    def drain_host(self, hostname: str) -> DrainReport:
+        """Live-migrate every running guest off ``hostname``.
+
+        Migrations run in waves of at most ``max_parallel``; the wave
+        shares ``link_bandwidth_mib_s`` equally and the modelled
+        makespan charges each wave its slowest member.
+        """
+        report = DrainReport(host=hostname)
+        source = self.fleet.connection(hostname)
+        guests = source.list_domains(active=True)
+        if not guests:
+            return report
+        destinations = self._destinations(exclude=[hostname])
+        if not destinations:
+            report.unplaced = sorted(g.name for g in guests)
+            return report
+        plan, report.unplaced = self.plan_drain(guests, destinations)
+
+        for wave_index in range(0, len(plan), self.max_parallel):
+            wave = plan[wave_index : wave_index + self.max_parallel]
+            share_mib_s = self.link_bandwidth_mib_s / len(wave)
+            wave_time = 0.0
+            for guest, memory_kib, dest_hostname in wave:
+                outcome = MigrationOutcome(
+                    name=guest.name,
+                    memory_kib=memory_kib,
+                    source=hostname,
+                    dest=dest_hostname,
+                    wave=report.waves,
+                )
+                report.outcomes.append(outcome)
+                try:
+                    moved = guest.migrate(
+                        destinations[dest_hostname],
+                        live=True,
+                        max_downtime_s=self.max_downtime_s,
+                        bandwidth_mib_s=share_mib_s,
+                        auto_converge=self.auto_converge,
+                        post_copy=self.post_copy,
+                    )
+                except VirtError as exc:
+                    outcome.error = f"{type(exc).__name__}: {exc}"
+                    continue
+                stats = moved.last_migration_stats or {}
+                outcome.ok = True
+                outcome.total_time_s = stats.get("total_time_s", 0.0)
+                outcome.downtime_s = stats.get("downtime_s", 0.0)
+                outcome.rounds = stats.get("rounds", 0)
+                outcome.converged = stats.get("converged", False)
+                outcome.post_copy = stats.get("post_copy", False)
+                wave_time = max(wave_time, outcome.total_time_s)
+            report.waves += 1
+            report.makespan_s += wave_time
+        return report
+
+    # -- rebalance ---------------------------------------------------------
+
+    @staticmethod
+    def _imbalance(views: Sequence[HostView]) -> float:
+        """Spread between the most- and least-loaded host (used fraction)."""
+        if not views:
+            return 0.0
+        fractions = [v.used_fraction for v in views]
+        return max(fractions) - min(fractions)
+
+    def rebalance(
+        self, max_moves: int = 8, threshold: float = 0.10
+    ) -> RebalanceReport:
+        """Migrate guests off hosts loaded more than ``threshold`` above
+        the fleet mean, to wherever the strategy prefers, until every
+        donor is back inside the band or ``max_moves`` is spent."""
+        report = RebalanceReport()
+        connections = {
+            hostname: self.fleet.connection(hostname)
+            for hostname, healthy in self.fleet.health_check().items()
+            if healthy
+        }
+        if len(connections) < 2:
+            return report
+        views = {h: HostView(c) for h, c in connections.items()}
+        report.imbalance_before = self._imbalance(list(views.values()))
+
+        moves = 0
+        while moves < max_moves:
+            mean = sum(v.used_fraction for v in views.values()) / len(views)
+            donors = sorted(
+                (v for v in views.values() if v.used_fraction > mean + threshold),
+                key=lambda v: v.used_fraction,
+                reverse=True,
+            )
+            if not donors:
+                break
+            donor = donors[0]
+            donor_conn = connections[donor.hostname]
+            guests = sorted(
+                donor_conn.list_domains(active=True),
+                key=lambda g: g.info().memory_kib,
+            )
+            receivers = [v for v in views.values() if v.hostname != donor.hostname]
+            moved_one = False
+            for guest in guests:
+                memory_kib = guest.info().memory_kib
+                try:
+                    target = self.strategy.choose(receivers, memory_kib)
+                except PlacementError:
+                    continue
+                # pointless shuffle guard: the move must narrow the gap
+                if target.used_fraction >= donor.used_fraction:
+                    continue
+                outcome = MigrationOutcome(
+                    name=guest.name,
+                    memory_kib=memory_kib,
+                    source=donor.hostname,
+                    dest=target.hostname,
+                )
+                report.moves.append(outcome)
+                moves += 1
+                try:
+                    moved = guest.migrate(
+                        connections[target.hostname],
+                        live=True,
+                        max_downtime_s=self.max_downtime_s,
+                        bandwidth_mib_s=self.link_bandwidth_mib_s,
+                        auto_converge=self.auto_converge,
+                        post_copy=self.post_copy,
+                    )
+                except VirtError as exc:
+                    outcome.error = f"{type(exc).__name__}: {exc}"
+                    break
+                stats = moved.last_migration_stats or {}
+                outcome.ok = True
+                outcome.total_time_s = stats.get("total_time_s", 0.0)
+                outcome.downtime_s = stats.get("downtime_s", 0.0)
+                outcome.rounds = stats.get("rounds", 0)
+                outcome.converged = stats.get("converged", False)
+                outcome.post_copy = stats.get("post_copy", False)
+                target.commit(memory_kib)
+                donor.free_kib += memory_kib
+                donor.guests -= 1
+                moved_one = True
+                break
+            if not moved_one:
+                break
+        report.imbalance_after = self._imbalance(list(views.values()))
+        return report
+
+    # -- rolling restart ---------------------------------------------------
+
+    def rolling_restart(
+        self,
+        restart_fn: "Callable[[str], None]",
+        hosts: "Optional[Sequence[str]]" = None,
+    ) -> List[RestartReport]:
+        """Restart each host's daemon in turn via ``restart_fn(hostname)``
+        (which must bounce the daemon out of band — the crash harness's
+        ``restart``, a process manager...), re-dial it, and verify the
+        journal recovery brought every guest back.  The roll stops at
+        the first host that loses a guest, leaving the rest untouched.
+        """
+        reports: List[RestartReport] = []
+        for hostname in hosts if hosts is not None else self.fleet.hostnames():
+            report = RestartReport(host=hostname)
+            reports.append(report)
+            try:
+                before = self.fleet.connection(hostname).list_domains()
+                report.guests_before = sorted(d.name for d in before)
+                restart_fn(hostname)
+                after = self.fleet.reopen(hostname).list_domains()
+                report.guests_after = sorted(d.name for d in after)
+            except VirtError as exc:
+                report.error = f"{type(exc).__name__}: {exc}"
+                break
+            report.ok = not report.lost
+            if not report.ok:
+                break
+        return reports

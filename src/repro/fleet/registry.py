@@ -1,0 +1,232 @@
+"""The fleet-wide domain registry: name/uuid → home daemon, sharded.
+
+Scanning every daemon on every "where does web-42 live?" question is
+O(hosts) per lookup and hammers the wire.  The registry instead keeps
+one *shard* per host — a name→record snapshot of that daemon's domain
+list — and keeps it honest with the event bus rather than with polling:
+each shard subscribes to lifecycle/config/migration records from its
+daemon and marks itself **stale** the moment anything changes.  A stale
+shard is only re-fetched when a lookup actually needs it (lazy,
+invalidation-driven coherence — the same discipline as the PR-7 client
+read cache, lifted to fleet scope).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.errors import NoDomainError, VirtError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.domain import Domain
+    from repro.fleet.manager import FleetManager
+
+#: event kinds that can move, create, or destroy a domain — anything
+#: else (device hotplug, snapshots, jobs) leaves *where it lives* alone
+INVALIDATING_KINDS = ("lifecycle", "config", "migration")
+
+
+class _Shard:
+    """One host's slice of the registry: its domain snapshot + staleness."""
+
+    __slots__ = ("hostname", "by_name", "by_uuid", "stale", "sub_id", "refreshes")
+
+    def __init__(self, hostname: str) -> None:
+        self.hostname = hostname
+        self.by_name: Dict[str, Dict[str, Any]] = {}
+        self.by_uuid: Dict[str, str] = {}
+        #: True until first refresh, and again after any invalidating event
+        self.stale = True
+        self.sub_id: "Optional[int]" = None
+        self.refreshes = 0
+
+
+class FleetRegistry:
+    """Sharded name/uuid → home-daemon index over a :class:`FleetManager`.
+
+    Lookups hit the in-memory shards; only shards invalidated by an
+    event since their last refresh go back to the wire, and only when a
+    lookup misses.  ``locate``/``locate_by_uuid`` answer the placement
+    question ("which host?"); ``lookup`` returns a live
+    :class:`~repro.core.domain.Domain` handle on the home connection.
+    """
+
+    def __init__(self, fleet: "FleetManager") -> None:
+        self._fleet = fleet
+        self._shards: Dict[str, _Shard] = {}
+        self._lock = threading.RLock()
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+        self.refreshes = 0
+        self.invalidations = 0
+
+    # -- shard lifecycle ---------------------------------------------------
+
+    def attach(self, hostname: str) -> None:
+        """Start tracking one host: create its shard and arm the event
+        subscription that keeps it honest."""
+        with self._lock:
+            if hostname in self._shards:
+                return
+            self._shards[hostname] = _Shard(hostname)
+        self.rearm(hostname)
+
+    def detach(self, hostname: str) -> None:
+        with self._lock:
+            self._shards.pop(hostname, None)
+
+    def rearm(self, hostname: str) -> None:
+        """(Re-)subscribe the shard's invalidation handler — needed after
+        the fleet re-dials a host, since subscriptions die with the
+        connection."""
+        with self._lock:
+            shard = self._shards.get(hostname)
+        if shard is None:
+            return
+        try:
+            connection = self._fleet.connection(hostname)
+            shard.sub_id = connection.subscribe_events(
+                lambda record, host=hostname: self._invalidate(host),
+                kinds=INVALIDATING_KINDS,
+            )
+        except VirtError:
+            # host unreachable right now: leave the shard stale; the next
+            # successful reopen rearms it
+            shard.sub_id = None
+        shard.stale = True
+
+    def _invalidate(self, hostname: str) -> None:
+        with self._lock:
+            shard = self._shards.get(hostname)
+            if shard is not None and not shard.stale:
+                shard.stale = True
+                self.invalidations += 1
+
+    def invalidate(self, hostname: "Optional[str]" = None) -> None:
+        """Manually mark one shard (or all) stale."""
+        with self._lock:
+            shards = (
+                [self._shards[hostname]]
+                if hostname is not None
+                else list(self._shards.values())
+            )
+        for shard in shards:
+            shard.stale = True
+
+    # -- refresh -----------------------------------------------------------
+
+    def _refresh(self, shard: _Shard) -> None:
+        try:
+            connection = self._fleet.connection(shard.hostname)
+            active = connection.list_domains(active=True)
+            inactive = connection.list_domains(active=False)
+        except VirtError:
+            # unreachable host: keep the last snapshot, stay stale
+            return
+        by_name: Dict[str, Dict[str, Any]] = {}
+        by_uuid: Dict[str, str] = {}
+        for dom, is_active in [(d, True) for d in active] + [(d, False) for d in inactive]:
+            record = {
+                "name": dom.name,
+                "uuid": dom.uuid,
+                "hostname": shard.hostname,
+                "active": is_active,
+            }
+            by_name[dom.name] = record
+            if record["uuid"]:
+                by_uuid[record["uuid"]] = dom.name
+        with self._lock:
+            shard.by_name = by_name
+            shard.by_uuid = by_uuid
+            shard.stale = False
+            shard.refreshes += 1
+            self.refreshes += 1
+
+    def _find(self, predicate) -> "Optional[Dict[str, Any]]":
+        """Two passes: fresh shards first (pure memory), then refresh the
+        stale ones one at a time until something matches.
+
+        A *running* instance always wins: after a migration the source
+        host still carries the guest's persistent config as an inactive
+        domain, and "where does it live" must answer with the host
+        actually running it.  An inactive-only match is remembered and
+        returned only when no shard reports the domain active.
+        """
+        with self._lock:
+            shards = list(self._shards.values())
+        inactive_match: "Optional[Dict[str, Any]]" = None
+        for shard in shards:
+            if not shard.stale:
+                record = predicate(shard)
+                if record is not None:
+                    if record.get("active"):
+                        return record
+                    inactive_match = inactive_match or record
+        for shard in shards:
+            if shard.stale:
+                self._refresh(shard)
+                record = predicate(shard)
+                if record is not None:
+                    if record.get("active"):
+                        return record
+                    inactive_match = inactive_match or record
+        return inactive_match
+
+    # -- lookups -----------------------------------------------------------
+
+    def locate(self, name: str) -> str:
+        """The hostname of the daemon where ``name`` lives."""
+        return self._locate_record(lambda shard: shard.by_name.get(name), name)[
+            "hostname"
+        ]
+
+    def locate_by_uuid(self, uuid: str) -> str:
+        def by_uuid(shard: _Shard) -> "Optional[Dict[str, Any]]":
+            name = shard.by_uuid.get(uuid)
+            return shard.by_name.get(name) if name is not None else None
+
+        return self._locate_record(by_uuid, uuid)["hostname"]
+
+    def lookup(self, name: str) -> "Domain":
+        """A live handle to ``name`` on its home connection."""
+        record = self._locate_record(lambda shard: shard.by_name.get(name), name)
+        return self._fleet.connection(record["hostname"]).lookup_domain(name)
+
+    def _locate_record(self, predicate, key: str) -> Dict[str, Any]:
+        self.lookups += 1
+        record = self._find(predicate)
+        if record is None:
+            self.misses += 1
+            raise NoDomainError(f"no domain {key!r} on any of the fleet's hosts")
+        self.hits += 1
+        return record
+
+    # -- views -------------------------------------------------------------
+
+    def domains(self) -> List[Dict[str, Any]]:
+        """Every known domain record fleet-wide (refreshing stale shards)."""
+        with self._lock:
+            shards = list(self._shards.values())
+        for shard in shards:
+            if shard.stale:
+                self._refresh(shard)
+        records: List[Dict[str, Any]] = []
+        for shard in shards:
+            records.extend(shard.by_name.values())
+        return sorted(records, key=lambda r: (r["hostname"], r["name"]))
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            shards = list(self._shards.values())
+        return {
+            "shards": len(shards),
+            "stale_shards": sum(1 for s in shards if s.stale),
+            "entries": sum(len(s.by_name) for s in shards),
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "refreshes": self.refreshes,
+            "invalidations": self.invalidations,
+        }

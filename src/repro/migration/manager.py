@@ -4,6 +4,11 @@ The client drives libvirt's classic begin → prepare → perform →
 finish → confirm handshake between the source and destination drivers.
 On any failure after prepare, the destination's half-built guest is
 torn down and the source is resumed — the domain never disappears.
+
+Rollback is best-effort by design: a teardown step that itself fails
+(the destination daemon just crashed, say) is logged and suppressed so
+the caller always sees the *original* failure, wrapped in
+:class:`~repro.errors.MigrationError` with the root cause chained.
 """
 
 from __future__ import annotations
@@ -11,10 +16,14 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import InvalidArgumentError, MigrationError, VirtError
+from repro.util.virtlog import LOG_ERROR, Logger
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.connection import Connection
     from repro.core.domain import Domain
+
+#: module logger for rollback teardown failures (always-on, error level)
+_log = Logger(level=LOG_ERROR)
 
 
 def migrate_domain(
@@ -24,6 +33,8 @@ def migrate_domain(
     max_downtime_s: float = 0.3,
     bandwidth_mib_s: "Optional[float]" = None,
     strict_convergence: bool = False,
+    auto_converge: bool = False,
+    post_copy: bool = False,
 ) -> "Domain":
     """Migrate ``domain`` to ``dest``; returns the destination handle."""
     from repro.core.domain import Domain
@@ -41,11 +52,31 @@ def migrate_domain(
         "max_downtime_s": max_downtime_s,
         "bandwidth_mib_s": bandwidth_mib_s,
         "strict_convergence": strict_convergence,
+        "auto_converge": auto_converge,
+        "post_copy": post_copy,
     }
     result, stats = run_handshake(source._driver, dest._driver, domain.name, params)
     new_domain = Domain(dest, result["name"], result.get("uuid"))
-    new_domain.last_migration_stats = stats  # type: ignore[attr-defined]
+    new_domain.last_migration_stats = stats
     return new_domain
+
+
+def _teardown(step: str, name: str, fn, *args, **kwargs) -> None:
+    """Run one best-effort rollback step.
+
+    A rollback exists to restore the pre-migration world after the real
+    failure; if the cleanup itself fails (a dead destination daemon is
+    the common case) that secondary error must never mask the original
+    one — log it and move on.
+    """
+    try:
+        fn(*args, **kwargs)
+    except VirtError as exc:
+        _log.error(
+            "migration",
+            f"rollback of {name!r}: {step} failed ({type(exc).__name__}: {exc}); "
+            "suppressed in favour of the original error",
+        )
 
 
 def run_handshake(source_driver, dest_driver, name: str, params: dict):
@@ -83,18 +114,27 @@ def run_handshake(source_driver, dest_driver, name: str, params: dict):
     try:
         stats = timed("perform", source_driver.migrate_perform, name, cookie, params)
     except VirtError as exc:
-        # roll back: drop the destination shell, resume the source
-        try:
-            dest_driver.migrate_finish(cookie, {"failed": True})
-        finally:
-            source_driver.migrate_confirm(name, cancelled=True)
+        # roll back: drop the destination shell, resume the source.
+        # Both steps are best-effort — the caller must see the
+        # perform-phase cause, never a secondary teardown error.
+        _teardown(
+            "destination finish(failed)", name,
+            dest_driver.migrate_finish, cookie, {"failed": True},
+        )
+        _teardown(
+            "source confirm(cancelled)", name,
+            source_driver.migrate_confirm, name, cancelled=True,
+        )
         raise MigrationError(f"migration of {name!r} failed: {exc}") from exc
     try:
         result = timed("finish", dest_driver.migrate_finish, cookie, stats)
     except VirtError as exc:
         # destination failed to activate: resume the source, never lose
-        # the guest
-        source_driver.migrate_confirm(name, cancelled=True)
+        # the guest — and never let the resume mask the activation error
+        _teardown(
+            "source confirm(cancelled)", name,
+            source_driver.migrate_confirm, name, cancelled=True,
+        )
         raise MigrationError(
             f"destination failed to activate {name!r}: {exc}"
         ) from exc

@@ -13,6 +13,21 @@ Convergence depends on the ratio r = dirty_rate / bandwidth:
   gives up and falls back to stop-and-copy of the full remaining set,
   blowing through the downtime target (the non-convergence cliff the
   migration figure shows).
+
+Two escape hatches model what QEMU does about the cliff:
+
+* **auto-converge** (``auto_converge=True``) — when a copy round fails
+  to shrink the dirty set, the guest's vCPUs are progressively
+  throttled (20%, then +10% per stalled round, capped at 99%), cutting
+  the modelled dirty rate until the rounds converge again.  The price
+  is guest slowdown, recorded as ``throttle_pct``.
+* **post-copy** (``post_copy=True``) — if the rounds still refuse to
+  converge by ``max_rounds``, switch modes instead of blowing the
+  budget: pause only long enough to move the device state, resume the
+  guest on the destination, and stream the remaining pages while it
+  runs there.  Downtime stays tiny and bounded; the remaining memory
+  transfers exactly once (``postcopy_time_s``), because a page already
+  moved can no longer be dirtied on the source.
 """
 
 from __future__ import annotations
@@ -23,6 +38,19 @@ from typing import List
 from repro.errors import InvalidArgumentError
 
 MIB = 1024 * 1024
+
+#: device/CPU state moved during a post-copy switchover pause
+POSTCOPY_DEVICE_STATE_BYTES = 4 * MIB
+
+#: auto-converge throttle schedule (QEMU defaults): initial pct, step, cap
+THROTTLE_INITIAL = 20
+THROTTLE_STEP = 10
+THROTTLE_CAP = 99
+
+#: a copy round counts as *stalled* unless it shrinks the dirty set
+#: below this fraction of the previous round — merely-epsilon progress
+#: (r barely under 1) would otherwise never finish within the budget
+THROTTLE_PROGRESS = 0.95
 
 
 @dataclass(frozen=True)
@@ -35,6 +63,12 @@ class PrecopyResult:
     transferred_bytes: int
     converged: bool
     round_bytes: "tuple[int, ...]"
+    #: True when the run fell back to post-copy after pre-copy stalled
+    post_copy: bool = False
+    #: seconds the guest ran *on the destination* while pages streamed in
+    postcopy_time_s: float = 0.0
+    #: the deepest auto-converge vCPU throttle applied (0 = never throttled)
+    throttle_pct: int = 0
 
     @property
     def transferred_mib(self) -> float:
@@ -47,12 +81,15 @@ def run_precopy(
     bandwidth_bytes_s: float,
     max_downtime_s: float = 0.3,
     max_rounds: int = 30,
+    auto_converge: bool = False,
+    post_copy: bool = False,
 ) -> PrecopyResult:
     """Model one pre-copy migration; returns the timing breakdown.
 
     Parameters mirror the knobs libvirt exposes: the guest memory size,
-    its dirty-page rate, the migration link bandwidth, and the maximum
-    tolerable downtime.
+    its dirty-page rate, the migration link bandwidth, the maximum
+    tolerable downtime, and the VIR_MIGRATE_AUTO_CONVERGE /
+    VIR_MIGRATE_POSTCOPY flags.
     """
     if memory_bytes <= 0:
         raise InvalidArgumentError("memory size must be positive")
@@ -71,6 +108,8 @@ def run_precopy(
     transferred = 0
     round_bytes: List[int] = []
     converged = True
+    throttle = 0
+    effective_dirty_rate = dirty_rate_bytes_s
 
     rounds = 0
     while True:
@@ -79,15 +118,50 @@ def run_precopy(
             break  # small enough: stop-and-copy this remainder
         if rounds > max_rounds:
             converged = False
-            break  # give up; force stop-and-copy of whatever remains
+            break  # give up; post-copy if allowed, else forced stop-and-copy
         send_time = to_send / bandwidth_bytes_s
         total_time += send_time
         transferred += int(to_send)
         round_bytes.append(int(to_send))
         # pages dirtied while this round was in flight (cannot exceed RAM)
-        to_send = min(float(memory_bytes), dirty_rate_bytes_s * send_time)
+        next_send = min(float(memory_bytes), effective_dirty_rate * send_time)
         if dirty_rate_bytes_s == 0:
-            to_send = 0.0
+            next_send = 0.0
+        if (
+            auto_converge
+            and throttle < THROTTLE_CAP
+            and next_send >= to_send * THROTTLE_PROGRESS
+        ):
+            # the round stalled: throttle the guest's vCPUs so the next
+            # round dirties less (the modelled CPU slowdown)
+            throttle = (
+                THROTTLE_INITIAL
+                if throttle == 0
+                else min(THROTTLE_CAP, throttle + THROTTLE_STEP)
+            )
+            effective_dirty_rate = dirty_rate_bytes_s * (1.0 - throttle / 100.0)
+            next_send = min(float(memory_bytes), effective_dirty_rate * send_time)
+        to_send = next_send
+
+    if not converged and post_copy:
+        # switch modes: pause only for the device state, resume on the
+        # destination, stream the rest while the guest runs there
+        downtime = POSTCOPY_DEVICE_STATE_BYTES / bandwidth_bytes_s
+        postcopy_time = to_send / bandwidth_bytes_s
+        total_time += downtime + postcopy_time
+        transferred += POSTCOPY_DEVICE_STATE_BYTES + int(to_send)
+        round_bytes.append(int(to_send))
+        return PrecopyResult(
+            rounds=rounds,
+            total_time_s=total_time,
+            downtime_s=downtime,
+            transferred_bytes=transferred,
+            converged=False,
+            round_bytes=tuple(round_bytes),
+            post_copy=True,
+            postcopy_time_s=postcopy_time,
+            throttle_pct=throttle,
+        )
 
     # final stop-and-copy round: the guest is paused for this
     downtime = to_send / bandwidth_bytes_s
@@ -102,4 +176,5 @@ def run_precopy(
         transferred_bytes=transferred,
         converged=converged,
         round_bytes=tuple(round_bytes),
+        throttle_pct=throttle,
     )

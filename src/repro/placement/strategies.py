@@ -15,7 +15,27 @@ from repro.errors import VirtError
 
 
 class PlacementError(VirtError):
-    """No host can satisfy the request."""
+    """No host can satisfy the request.
+
+    When raised from a batch plan (:meth:`PlacementStrategy.place_all`)
+    the error carries what *did* fit, so a fleet operation can act on
+    the partial plan instead of restarting from scratch:
+
+    * ``index`` — position of the first request that could not be
+      placed (None for single-request failures);
+    * ``partial`` — the connections chosen for requests ``0..index-1``,
+      in request order.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        index: "Optional[int]" = None,
+        partial: "Optional[List[Connection]]" = None,
+    ) -> None:
+        super().__init__(message)
+        self.index = index
+        self.partial = list(partial) if partial is not None else []
 
 
 class HostView:
@@ -59,11 +79,25 @@ class PlacementStrategy:
     def place_all(
         self, connections: Sequence[Connection], requests_kib: Sequence[int]
     ) -> List[Connection]:
-        """Plan a whole batch, accounting each placement against the next."""
+        """Plan a whole batch, accounting each placement against the next.
+
+        If request *i* cannot fit anywhere, the raised
+        :class:`PlacementError` reports ``index=i`` and carries the
+        already-planned prefix in ``partial`` — callers draining a host
+        can migrate what fits rather than throwing the plan away.
+        """
         hosts = [HostView(conn) for conn in connections]
-        placements = []
-        for memory_kib in requests_kib:
-            view = self.choose(hosts, memory_kib)
+        placements: List[Connection] = []
+        for index, memory_kib in enumerate(requests_kib):
+            try:
+                view = self.choose(hosts, memory_kib)
+            except PlacementError as exc:
+                raise PlacementError(
+                    f"request {index} of {len(requests_kib)} cannot be placed: "
+                    f"{exc} ({len(placements)} earlier placements still valid)",
+                    index=index,
+                    partial=placements,
+                ) from exc
             view.commit(memory_kib)
             placements.append(view.connection)
         return placements

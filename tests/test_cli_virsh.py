@@ -244,3 +244,61 @@ class TestDomstats:
         code = main(["domstats", "ghost"], out=io.StringIO())
         assert code == 1
         assert "ghost" in capsys.readouterr().err
+
+
+class TestFleetCli:
+    @pytest.fixture()
+    def fleet_hosts(self, tmp_path):
+        from repro.daemon import Libvirtd
+
+        daemons = [Libvirtd(hostname=f"cli-fl-{i}") for i in range(3)]
+        uris = []
+        for index, daemon in enumerate(daemons):
+            daemon.listen("tcp")
+            uris.append(f"qemu+tcp://{daemon.hostname}/system")
+        src = uris[0]
+        for name in ("flv1", "flv2", "flv3"):
+            run("-c", src, "define", write_domain_xml(tmp_path, name, domain_type="kvm"))
+            run("-c", src, "start", name)
+        yield uris
+        for daemon in daemons:
+            daemon.shutdown()
+
+    def test_fleet_status(self, fleet_hosts):
+        code, output = run("fleet-status", "--hosts", *fleet_hosts)
+        assert code == 0
+        for index in range(3):
+            assert f"cli-fl-{index}" in output
+        assert output.count("yes") == 3
+        assert "Domains" in output and "Free" in output
+
+    def test_fleet_drain(self, fleet_hosts):
+        code, output = run(
+            "fleet-drain", "cli-fl-0", "--hosts", *fleet_hosts, "--max-parallel", "2"
+        )
+        assert code == 0
+        assert "Drained 3/3 domains off cli-fl-0 in 2 waves" in output
+        for name in ("flv1", "flv2", "flv3"):
+            assert name in output
+        # the source really is empty afterwards
+        _, listing = run("-c", fleet_hosts[0], "list")
+        assert "flv1" not in listing
+
+    def test_fleet_rebalance(self, fleet_hosts):
+        code, output = run(
+            "fleet-rebalance", "--hosts", *fleet_hosts, "--threshold", "0.01"
+        )
+        assert code == 0
+        assert "Rebalanced with" in output
+        assert "cli-fl-0 ->" in output
+
+    def test_migrate_postcopy_flag(self, fleet_hosts, tmp_path):
+        from repro.daemon.registry import lookup_daemon
+
+        daemon = lookup_daemon("cli-fl-0")
+        daemon.drivers["qemu"].backend._get("flv1").dirty_rate_mib_s = 1e9
+        code, output = run(
+            "-c", fleet_hosts[0], "migrate", "flv1", fleet_hosts[1], "--postcopy"
+        )
+        assert code == 0
+        assert "via post-copy" in output

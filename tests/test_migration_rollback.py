@@ -1,0 +1,272 @@
+"""Migration failure handling: rollback paths, error-cause preservation,
+and the auto-converge / post-copy escape hatches.
+
+The contract under test: whatever fails and however badly the cleanup
+itself goes, (a) the caller always sees the *original* error with its
+root cause chained, never a secondary teardown error, (b) the source
+guest keeps running, and (c) no half-built shell survives on the
+destination.
+"""
+
+import pytest
+
+from repro.core.connection import Connection
+from repro.core.states import DomainState
+from repro.core.uri import ConnectionURI
+from repro.drivers.qemu import QemuDriver
+from repro.errors import MigrationError, OperationFailedError
+from repro.hypervisors.host import SimHost
+from repro.hypervisors.qemu_backend import QemuBackend
+from repro.migration.manager import migrate_domain
+from repro.migration.precopy import (
+    POSTCOPY_DEVICE_STATE_BYTES,
+    THROTTLE_INITIAL,
+    run_precopy,
+)
+from repro.util.clock import VirtualClock
+from repro.xmlconfig.domain import DomainConfig
+
+GiB_KIB = 1024 * 1024
+MIB = 1024 * 1024
+
+
+def qemu_pair():
+    clock = VirtualClock()
+    src_backend = QemuBackend(host=SimHost(hostname="src", clock=clock), clock=clock)
+    dst_backend = QemuBackend(host=SimHost(hostname="dst", clock=clock), clock=clock)
+    src = Connection(QemuDriver(src_backend), ConnectionURI.parse("qemu:///src"))
+    dst = Connection(QemuDriver(dst_backend), ConnectionURI.parse("qemu:///dst"))
+    return src, dst, clock
+
+
+def running_guest(conn, name="mover", memory_gib=1):
+    config = DomainConfig(
+        name=name, domain_type="kvm", memory_kib=memory_gib * GiB_KIB, vcpus=1
+    )
+    return conn.define_domain(config).start()
+
+
+def make_stubborn(conn, name="mover"):
+    """Dirty pages far faster than any link can drain them."""
+    conn._driver.backend._get(name).dirty_rate_mib_s = 1e9
+
+
+def spy_confirm(conn, calls):
+    original = conn._driver.migrate_confirm
+
+    def recording(name, cancelled):
+        calls.append((name, cancelled))
+        return original(name, cancelled)
+
+    conn._driver.migrate_confirm = recording
+
+
+class TestPerformFailureRollback:
+    def _fail_perform(self, src, dst, **kwargs):
+        dom = running_guest(src)
+        make_stubborn(src)
+        with pytest.raises(MigrationError) as info:
+            migrate_domain(dom, dst, strict_convergence=True, **kwargs)
+        return dom, info.value
+
+    def test_rollback_restores_both_sides(self):
+        src, dst, _ = qemu_pair()
+        confirms = []
+        spy_confirm(src, confirms)
+        dom, error = self._fail_perform(src, dst)
+        # source guest untouched, destination shell removed
+        assert dom.state() == DomainState.RUNNING
+        assert dst.num_of_domains() == 0 and dst.list_domains() == []
+        # confirm(cancelled=True) always ran
+        assert confirms == [("mover", True)]
+        # the caller sees the perform-phase cause, chained
+        assert "did not converge" in str(error.__cause__)
+
+    def test_finish_teardown_failure_does_not_mask_original(self):
+        src, dst, _ = qemu_pair()
+        confirms = []
+        spy_confirm(src, confirms)
+
+        def dead_finish(cookie, stats):
+            raise OperationFailedError("destination daemon just died")
+
+        dst._driver.migrate_finish = dead_finish
+        dom, error = self._fail_perform(src, dst)
+        assert "did not converge" in str(error.__cause__)
+        assert "just died" not in str(error)
+        # a failed destination teardown must not skip the source rollback
+        assert confirms == [("mover", True)]
+        assert dom.state() == DomainState.RUNNING
+
+    def test_total_teardown_failure_still_raises_original(self):
+        src, dst, _ = qemu_pair()
+
+        def dead(*args, **kwargs):
+            raise OperationFailedError("unreachable")
+
+        dst._driver.migrate_finish = dead
+        src._driver.migrate_confirm = dead
+        dom, error = self._fail_perform(src, dst)
+        assert isinstance(error.__cause__, MigrationError)
+        assert "did not converge" in str(error.__cause__)
+        # the guest never left the source hypervisor
+        assert src._driver.backend.guest_state("mover").value == "running"
+
+
+class TestFinishFailureRollback:
+    def test_source_resumes_when_destination_cannot_activate(self):
+        src, dst, _ = qemu_pair()
+        confirms = []
+        spy_confirm(src, confirms)
+        dom = running_guest(src)
+
+        def broken_finish(cookie, stats):
+            raise OperationFailedError("incoming side lost its disks")
+
+        dst._driver.migrate_finish = broken_finish
+        with pytest.raises(MigrationError) as info:
+            migrate_domain(dom, dst)
+        assert "failed to activate" in str(info.value)
+        assert "lost its disks" in str(info.value.__cause__)
+        assert confirms == [("mover", True)]
+        # perform paused the source for the final round; the cancelled
+        # confirm must have resumed it
+        assert dom.state() == DomainState.RUNNING
+
+    def test_confirm_failure_preserves_activation_error(self):
+        src, dst, _ = qemu_pair()
+        dom = running_guest(src)
+
+        def broken_finish(cookie, stats):
+            raise OperationFailedError("activation failed")
+
+        def broken_confirm(name, cancelled):
+            raise OperationFailedError("source daemon crashed too")
+
+        dst._driver.migrate_finish = broken_finish
+        src._driver.migrate_confirm = broken_confirm
+        with pytest.raises(MigrationError) as info:
+            migrate_domain(dom, dst)
+        assert "activation failed" in str(info.value.__cause__)
+        assert "crashed too" not in str(info.value)
+        # the hypervisor still runs the guest even though the daemon's
+        # confirm step never happened (it is paused from the final round)
+        assert src._driver.backend.has_guest("mover")
+
+
+class TestAutoConverge:
+    def test_throttling_rescues_a_nonconvergent_migration(self):
+        plain = run_precopy(
+            memory_bytes=GiB_KIB * 1024,
+            dirty_rate_bytes_s=200 * MIB,
+            bandwidth_bytes_s=100 * MIB,
+        )
+        assert not plain.converged
+        throttled = run_precopy(
+            memory_bytes=GiB_KIB * 1024,
+            dirty_rate_bytes_s=200 * MIB,
+            bandwidth_bytes_s=100 * MIB,
+            auto_converge=True,
+        )
+        assert throttled.converged
+        assert throttled.throttle_pct >= THROTTLE_INITIAL
+        assert throttled.downtime_s <= 0.3
+
+    def test_throttle_never_engages_when_converging(self):
+        result = run_precopy(
+            memory_bytes=GiB_KIB * 1024,
+            dirty_rate_bytes_s=50 * MIB,
+            bandwidth_bytes_s=100 * MIB,
+            auto_converge=True,
+        )
+        assert result.converged and result.throttle_pct == 0
+
+    def test_throttle_escalates_for_hotter_guests(self):
+        # r = 10: convergence needs the effective rate under the link,
+        # i.e. a throttle above 90%
+        result = run_precopy(
+            memory_bytes=GiB_KIB * 1024,
+            dirty_rate_bytes_s=1000 * MIB,
+            bandwidth_bytes_s=100 * MIB,
+            auto_converge=True,
+        )
+        assert result.converged and result.throttle_pct >= 90
+
+    def test_driver_reports_throttle_in_stats(self):
+        src, dst, _ = qemu_pair()
+        dom = running_guest(src)
+        src._driver.backend._get("mover").dirty_rate_mib_s = 2048.0
+        moved = dom.migrate(dst, auto_converge=True)
+        stats = moved.last_migration_stats
+        assert stats is not None and stats["converged"]
+        assert stats["throttle_pct"] >= THROTTLE_INITIAL
+
+
+class TestPostCopy:
+    def test_postcopy_bounds_downtime_when_precopy_stalls(self):
+        memory = GiB_KIB * 1024
+        forced = run_precopy(
+            memory_bytes=memory,
+            dirty_rate_bytes_s=10_000 * MIB,
+            bandwidth_bytes_s=100 * MIB,
+        )
+        assert not forced.converged
+        assert forced.downtime_s > 0.3  # the blown budget post-copy avoids
+        switched = run_precopy(
+            memory_bytes=memory,
+            dirty_rate_bytes_s=10_000 * MIB,
+            bandwidth_bytes_s=100 * MIB,
+            post_copy=True,
+        )
+        assert switched.post_copy and not switched.converged
+        assert switched.downtime_s == POSTCOPY_DEVICE_STATE_BYTES / (100 * MIB)
+        assert switched.downtime_s <= 0.3
+        assert switched.postcopy_time_s > 0
+        # the remaining pages moved exactly once, plus the device state
+        assert switched.transferred_bytes == (
+            forced.transferred_bytes + POSTCOPY_DEVICE_STATE_BYTES
+        )
+
+    def test_converging_migration_never_switches(self):
+        result = run_precopy(
+            memory_bytes=GiB_KIB * 1024,
+            dirty_rate_bytes_s=50 * MIB,
+            bandwidth_bytes_s=100 * MIB,
+            post_copy=True,
+        )
+        assert result.converged and not result.post_copy
+        assert result.postcopy_time_s == 0.0
+
+    def test_postcopy_backstops_auto_converge(self):
+        # even the 99% throttle cannot tame this guest; the combined
+        # flags fall through to post-copy with the cap recorded
+        result = run_precopy(
+            memory_bytes=GiB_KIB * 1024,
+            dirty_rate_bytes_s=1e6 * MIB,
+            bandwidth_bytes_s=100 * MIB,
+            auto_converge=True,
+            post_copy=True,
+        )
+        assert result.post_copy and result.throttle_pct == 99
+
+    def test_driver_completes_stubborn_guest_via_postcopy(self):
+        src, dst, _ = qemu_pair()
+        dom = running_guest(src)
+        make_stubborn(src)
+        moved = dom.migrate(dst, post_copy=True)
+        assert moved.state() == DomainState.RUNNING
+        stats = moved.last_migration_stats
+        assert stats is not None and stats["post_copy"]
+        assert not stats["converged"]
+        assert stats["postcopy_time_s"] > 0
+        # strict convergence accepts a post-copy completion
+        assert src.num_of_domains() == 0
+
+    def test_plain_migration_records_no_postcopy(self):
+        src, dst, _ = qemu_pair()
+        dom = running_guest(src)
+        moved = dom.migrate(dst)
+        stats = moved.last_migration_stats
+        assert stats is not None
+        assert stats["converged"] and not stats["post_copy"]
+        assert stats["throttle_pct"] == 0

@@ -76,6 +76,25 @@ class TestStrategies:
         )
         assert placements[0] is self.small
 
+    def test_place_all_failure_reports_index_and_partial_plan(self):
+        # small (~7.5 free after pad: ~3.5) and big (~31.5 free) cannot
+        # absorb a fourth 10-GiB guest: the error must say which request
+        # broke and keep the prefix that did fit
+        requests = [10 * GiB_KIB] * 4
+        with pytest.raises(PlacementError) as info:
+            BalancedPlacement().place_all([self.small, self.big], requests)
+        error = info.value
+        assert "request 3 of 4" in str(error)
+        assert error.index == 3
+        assert error.partial == [self.big, self.big, self.big]
+        # the root no-fit error stays chained for diagnostics
+        assert "no host can fit" in str(error.__cause__)
+
+    def test_place_all_single_failure_keeps_empty_partial(self):
+        with pytest.raises(PlacementError) as info:
+            FirstFitPlacement().place_all([self.small], [100 * GiB_KIB])
+        assert info.value.index == 0 and info.value.partial == []
+
     def test_strategy_lookup(self):
         assert strategy("first-fit").name == "first-fit"
         with pytest.raises(PlacementError):
