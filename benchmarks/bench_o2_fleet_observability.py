@@ -1,0 +1,228 @@
+"""O2 — fleet observability: scrape + federate 100 hosts under drain.
+
+The observability-plane claim made quantitative: one scraper pulls
+every daemon's Prometheus page, relabels it with ``host=``, and merges
+the fleet into a single exposition blob — while a drain is stitched
+into one cross-host trace and every daemon's flight recorder keeps its
+black-box ring.  All of that must stay cheap relative to the managed
+work, and every count must be a deterministic function of the model.
+
+Figures:
+
+* federation size — hosts scraped, merged families and samples (exact
+  functions of which procedures ran, so they gate in
+  ``check_regression``);
+* the stitched drain trace — span count and distinct hosts for the
+  single ``fleet.drain`` trace id (client + source + destinations);
+* health — minimum fleet-wide health score right after the drain
+  (everything fresh and connected, so near 1.0);
+* fleet rollups — migrations counted by the orchestrator's own
+  instruments;
+* flight recorder — records captured on the drained host, plus the
+  amortised real cost of one ring append (gated as a pass/fail bit
+  against a generous ceiling, not as a raw wall number);
+* scrape+federate real wall clock for the 100-host sweep (same
+  treatment: a pass/fail ceiling bit).
+"""
+
+import time
+
+from repro.bench.tables import emit, format_table
+from repro.observability.metrics import MetricsRegistry
+from repro.daemon.libvirtd import Libvirtd
+from repro.drivers.qemu import QemuDriver
+from repro.fleet import FleetManager, FleetOrchestrator
+from repro.hypervisors.host import SimHost
+from repro.hypervisors.qemu_backend import QemuBackend
+from repro.observability.fleet import FleetScraper, collect_fleet_spans
+from repro.observability.flightrec import FlightRecorder
+from repro.observability.tracing import Tracer
+from repro.util.clock import VirtualClock
+from repro.xmlconfig.domain import DomainConfig
+
+N_HOSTS = 100
+DOMAINS_PER_HOST = 10  # 1,000 fleet-wide; the bench measures the plane
+GUEST_MIB = 256
+HOST_GIB = 64
+DRAIN_PARALLEL = 4
+LINK_MIB_S = 1024.0
+
+# real-wall ceilings, deliberately generous: the gate is "the plane is
+# cheap", not a brittle microbenchmark
+FEDERATE_WALL_CEILING_S = 30.0
+APPEND_COST_CEILING_US = 50.0
+APPEND_SAMPLE = 20_000
+
+GiB_KIB = 1024 * 1024
+MiB_KIB = 1024
+
+
+def _guest_xml(host_index, guest_index):
+    return DomainConfig(
+        name=f"o2g{host_index:03d}-{guest_index:03d}",
+        domain_type="kvm",
+        memory_kib=GUEST_MIB * MiB_KIB,
+        vcpus=1,
+    ).to_xml()
+
+
+def build_fleet():
+    """100 daemons, 10 running guests each, one observed fleet over them.
+
+    The fleet connections share one client-side metrics registry and
+    tracer, so the drain below is stitched into a single trace and the
+    orchestrator's fleet_* instruments land in one place."""
+    clock = VirtualClock()
+    metrics = MetricsRegistry(now=clock.now)
+    tracer = Tracer(clock.now, metrics=metrics)
+    daemons = []
+    for host_index in range(N_HOSTS):
+        hostname = f"o2-{host_index:03d}"
+        host = SimHost(
+            hostname=hostname, cpus=64, memory_kib=HOST_GIB * GiB_KIB, clock=clock
+        )
+        qemu = QemuDriver(QemuBackend(host=host, clock=clock))
+        daemon = Libvirtd(
+            hostname=hostname,
+            drivers={"qemu": qemu, "kvm": qemu},
+            clock=clock,
+            use_pool=False,
+        )
+        daemon.listen("tcp")
+        for guest_index in range(DOMAINS_PER_HOST):
+            qemu.domain_define_xml(_guest_xml(host_index, guest_index))
+            qemu.domain_create(f"o2g{host_index:03d}-{guest_index:03d}")
+        daemons.append(daemon)
+    fleet = FleetManager(
+        [f"qemu+tcp://{d.hostname}/system" for d in daemons],
+        metrics=metrics,
+        tracer=tracer,
+    )
+    return clock, metrics, tracer, daemons, fleet
+
+
+def _counter_by_label(metrics, name, label):
+    """Read back one of the client-side fleet counters, keyed by a label."""
+    family = metrics._families.get(name)
+    if family is None:
+        return {}
+    return {labels.get(label): child.value for labels, child in family.samples()}
+
+
+def _append_cost_us(clock):
+    """Amortised real cost of one flight-recorder ring append."""
+    recorder = FlightRecorder(clock.now, capacity=256)
+    start = time.perf_counter()
+    for index in range(APPEND_SAMPLE):
+        recorder.record("bench", index=index)
+    return (time.perf_counter() - start) / APPEND_SAMPLE * 1e6
+
+
+def collect():
+    clock, metrics, tracer, daemons, fleet = build_fleet()
+    try:
+        hostnames = [d.hostname for d in daemons]
+        orchestrator = FleetOrchestrator(
+            fleet,
+            max_parallel=DRAIN_PARALLEL,
+            link_bandwidth_mib_s=LINK_MIB_S,
+        )
+        report = orchestrator.drain_host("o2-000")
+        assert report.migrated == DOMAINS_PER_HOST, (
+            f"drain left {report.failed} failed / {len(report.unplaced)} unplaced"
+        )
+
+        # the whole drain is one client-side trace rooted at fleet.drain
+        drain_roots = [
+            s for s in tracer.export() if s["name"] == "fleet.drain"
+        ]
+        assert len(drain_roots) == 1
+        trace_id = drain_roots[0]["trace_id"]
+        spans = collect_fleet_spans(
+            trace_id, hostnames=hostnames, local_tracer=tracer
+        )
+        span_hosts = {
+            (s.get("attributes") or {}).get("host") for s in spans
+        } - {None}
+
+        # scrape + federate every daemon's page, timed for the ceiling bit
+        scraper = FleetScraper(fleet)
+        wall_start = time.perf_counter()
+        scrapes = scraper.scrape()
+        federated = scraper.federate(rescrape=False)
+        federate_wall_s = time.perf_counter() - wall_start
+        scraped_ok = sum(1 for s in scrapes.values() if s.ok)
+        families = sum(1 for line in federated.splitlines() if line.startswith("# TYPE"))
+        samples = sum(
+            1 for line in federated.splitlines() if line and not line.startswith("#")
+        )
+
+        scores = scraper.health_scores(rescrape=False)
+        min_health = min(s.score for s in scores.values())
+
+        migrations = _counter_by_label(metrics, "fleet_migrations_total", "outcome")
+        recorder = daemons[0].flight_recorder
+        append_cost_us = _append_cost_us(clock)
+
+        return {
+            "hosts": N_HOSTS,
+            "domains": N_HOSTS * DOMAINS_PER_HOST,
+            "migrated": report.migrated,
+            "migrations_ok": migrations.get("ok", 0.0),
+            "trace_spans": len(spans),
+            "trace_hosts": len(span_hosts),
+            "scraped_ok": scraped_ok,
+            "federated_families": families,
+            "federated_samples": samples,
+            "min_health": min_health,
+            "flightrec_records": recorder.records_total,
+            "federate_wall_s": federate_wall_s,
+            "federate_wall_ok": 1.0 if federate_wall_s < FEDERATE_WALL_CEILING_S else 0.0,
+            "append_cost_us": append_cost_us,
+            "append_cost_ok": 1.0 if append_cost_us < APPEND_COST_CEILING_US else 0.0,
+        }
+    finally:
+        fleet.close()
+        for daemon in daemons:
+            daemon.shutdown()
+
+
+def render(figures):
+    return format_table(
+        f"O2: observability plane over {figures['hosts']} hosts "
+        f"({figures['domains']} domains) during a drain",
+        ["figure", "value"],
+        [
+            ["guests migrated (drain)", figures["migrated"]],
+            ["stitched trace spans", figures["trace_spans"]],
+            ["hosts in stitched trace", figures["trace_hosts"]],
+            ["hosts scraped ok", f"{figures['scraped_ok']}/{figures['hosts']}"],
+            ["federated families", figures["federated_families"]],
+            ["federated samples", figures["federated_samples"]],
+            ["min health score", f"{figures['min_health']:.3f}"],
+            ["flight records (drained host)", figures["flightrec_records"]],
+            ["scrape+federate wall", f"{figures['federate_wall_s'] * 1e3:.0f}ms"],
+            ["ring append cost", f"{figures['append_cost_us']:.2f}us"],
+        ],
+    )
+
+
+def test_o2_fleet_observability(benchmark):
+    figures = benchmark.pedantic(collect, rounds=1, iterations=1)
+    emit("o2_fleet_observability", render(figures))
+
+    # every host answered its scrape and the blob carries all of them
+    assert figures["scraped_ok"] == N_HOSTS
+    assert figures["federated_samples"] > figures["hosts"]
+    # the drain is one stitched trace spanning client + source + dests
+    assert figures["trace_hosts"] >= 2
+    assert figures["trace_spans"] > figures["migrated"]
+    # orchestrator counted every migration it performed
+    assert figures["migrations_ok"] == figures["migrated"]
+    # a freshly-scraped idle-ish fleet is healthy
+    assert figures["min_health"] > 0.8
+    # the black box saw the drained host's dispatches
+    assert figures["flightrec_records"] > 0
+    # real-cost ceilings: the plane stays cheap
+    assert figures["federate_wall_ok"] == 1.0
+    assert figures["append_cost_ok"] == 1.0

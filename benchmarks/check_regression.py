@@ -179,6 +179,32 @@ def collect_f1():
     }
 
 
+def collect_o2():
+    """Fleet observability figures (federation, stitching, black box).
+
+    The counts are exact functions of which procedures the drain runs
+    and which instruments each daemon registers; drift means the
+    exposition pages, the trace propagation, or the recorder's capture
+    points changed.  The two real-wall costs gate as pass/fail ceiling
+    bits, not raw seconds."""
+    import bench_o2_fleet_observability as o2
+
+    figures = o2.collect()
+    return {
+        "o2.fleet.migrated": float(figures["migrated"]),
+        "o2.fleet.migrations_ok": float(figures["migrations_ok"]),
+        "o2.trace.spans": float(figures["trace_spans"]),
+        "o2.trace.hosts": float(figures["trace_hosts"]),
+        "o2.federation.scraped_ok": float(figures["scraped_ok"]),
+        "o2.federation.families": float(figures["federated_families"]),
+        "o2.federation.samples": float(figures["federated_samples"]),
+        "o2.health.min_score": figures["min_health"],
+        "o2.flightrec.records": float(figures["flightrec_records"]),
+        "o2.federate_wall_ok": figures["federate_wall_ok"],
+        "o2.append_cost_ok": figures["append_cost_ok"],
+    }
+
+
 def collect_wall_informational():
     """Real management-layer CPU cost per cycle — reported, not gated."""
     import bench_e3_lifecycle_overhead as e3
@@ -246,6 +272,7 @@ def main(argv=None):
     current.update(collect_r2())
     current.update(collect_r3())
     current.update(collect_f1())
+    current.update(collect_o2())
     info = {} if args.skip_wall else collect_wall_informational()
 
     if args.output:

@@ -126,6 +126,11 @@ class AdminConnection:
         self._check_open()
         return self._client.call("admin.trace_get", {"trace_id": trace_id})
 
+    def flight_dump(self) -> Dict[str, Any]:
+        """``flight-dump``: the daemon's flight-recorder ring + stats."""
+        self._check_open()
+        return self._client.call("admin.flight_dump")
+
     # -- lifecycle -----------------------------------------------------------
 
     def daemon_shutdown(self, graceful: bool = True) -> Dict[str, str]:

@@ -270,6 +270,64 @@ def cmd_fleet_drain(conn: repro.Connection, args: argparse.Namespace, out: TextI
     return 0 if not report.failed else 1
 
 
+def cmd_fleet_stats(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
+    """Fleet-wide observability rollup: health scores, federated metric
+    aggregates, and per-procedure latency SLO compliance."""
+    from repro.observability.fleet import FleetScraper
+
+    with _open_fleet(args) as fleet:
+        scraper = FleetScraper(fleet)
+        scores = scraper.health_scores(rescrape=True)
+        rollup = scraper.rollups(rescrape=False)
+        _print_table(
+            out,
+            ("Host", "Score", "Healthy", "Freshness", "Connectivity", "Saturation"),
+            [
+                (
+                    hostname,
+                    f"{score.score:.2f}",
+                    "yes" if score.healthy else "NO",
+                    f"{score.components.get('freshness', 0.0):.2f}",
+                    f"{score.components.get('connectivity', 0.0):.2f}",
+                    f"{score.components.get('saturation', 0.0):.2f}",
+                )
+                for hostname, score in sorted(scores.items())
+            ],
+        )
+        print(
+            f"Fleet: {rollup['scraped']}/{rollup['hosts']} hosts scraped, "
+            f"memory utilization {rollup['utilization'] * 100:.1f}%",
+            file=out,
+        )
+        if args.slo:
+            rows = scraper.slo_report(rescrape=False)
+            _print_table(
+                out,
+                ("Procedure", "Calls", "Target", "Compliance", "Burn", "p99", "Met"),
+                [
+                    (
+                        r["procedure"],
+                        f"{r['calls']:.0f}",
+                        f"{r['target_s'] * 1000:.0f}ms",
+                        f"{r['compliance'] * 100:.2f}%",
+                        f"{r['burn_rate']:.2f}",
+                        f"{r['p99_s'] * 1000:.2f}ms",
+                        "yes" if r["met"] else "NO",
+                    )
+                    for r in rows
+                ],
+            )
+        if args.metric:
+            for name in args.metric:
+                agg = rollup["metrics"].get(name)
+                if agg is None:
+                    print(f"{name}: no samples fleet-wide", file=out)
+                    continue
+                parts = ", ".join(f"{k}={v:.6g}" for k, v in sorted(agg.items()))
+                print(f"{name}: {parts}", file=out)
+    return 0
+
+
 def cmd_fleet_rebalance(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
     from repro.fleet import FleetOrchestrator
 
@@ -644,6 +702,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-parallel", type=int, default=4)
     p.add_argument("--bandwidth", type=float, default=1024.0,
                    metavar="MIB_S", help="maintenance link bandwidth shared per wave")
+    p = add_fleet("fleet-stats", cmd_fleet_stats,
+                  "fleet-wide health scores, metric rollups and SLO compliance")
+    p.add_argument("--slo", action="store_true",
+                   help="show per-procedure latency SLO compliance")
+    p.add_argument("--metric", action="append", metavar="NAME",
+                   help="print the fleet-wide rollup of one metric family")
     p = add_fleet("fleet-rebalance", cmd_fleet_rebalance,
                   "migrate guests off overloaded hosts toward the fleet mean")
     p.add_argument("--strategy", default="balanced")

@@ -224,6 +224,66 @@ def cmd_trace_get(conn, args, out: TextIO) -> int:
     return 0
 
 
+def cmd_flight_dump(conn, args, out: TextIO) -> int:
+    dump = conn.flight_dump()
+    if args.json:
+        json.dump(dump, out, indent=2)
+        out.write("\n")
+        return 0
+    print(
+        f"Flight recorder: {len(dump['records'])}/{dump['capacity']} records "
+        f"(lifetime {dump['records_total']}, recovered {dump['recovered_records']}, "
+        f"incarnation {dump['incarnation']}, "
+        f"{'persistent' if dump['persistent'] else 'memory-only'})",
+        file=out,
+    )
+    for record in dump["records"]:
+        extra = " ".join(
+            f"{k}={v}" for k, v in sorted(record.items())
+            if k not in ("t", "kind", "life")
+        )
+        print(f" {record['t']:>12.6f} [{record['life']}] {record['kind']:<10} {extra}", file=out)
+    return 0
+
+
+def cmd_fleet_trace_get(conn, args, out: TextIO) -> int:
+    """Stitch one trace together from every named daemon's span buffer.
+
+    The primary connection (``-c``) contributes too, so the span the
+    client opened and the dispatch spans the daemons adopted from it
+    render as one tree.
+    """
+    from repro.observability.fleet import collect_fleet_spans
+
+    spans = collect_fleet_spans(args.trace_id, hostnames=args.hosts or [])
+    local = []
+    try:
+        local = conn.trace_get(args.trace_id)
+    except VirtError:
+        pass  # the -c daemon has no spans for this trace; fine
+    if local:
+        spans = collect_fleet_spans(
+            args.trace_id, hostnames=args.hosts or [], extra_spans=local
+        )
+    if not spans:
+        print(f"error: no spans found for trace {args.trace_id}", file=sys.stderr)
+        return 1
+    if args.json:
+        json.dump(spans, out, indent=2)
+        out.write("\n")
+        return 0
+    hosts = sorted(
+        {s.get("attributes", {}).get("host") for s in spans} - {None}
+    )
+    print(
+        f"Trace {args.trace_id}: {len(spans)} spans across "
+        f"{len(hosts)} hosts ({', '.join(hosts)})",
+        file=out,
+    )
+    print(render_trace_tree(spans), file=out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pyvirt-admin", description="daemon administration client"
@@ -268,6 +328,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="emit JSON rows")
     p = add("trace-get", cmd_trace_get, "show one trace as a span tree")
     p.add_argument("trace_id", type=int)
+    p.add_argument("--json", action="store_true", help="emit raw span dicts as JSON")
+    p = add("flight-dump", cmd_flight_dump, "dump the daemon's flight recorder")
+    p.add_argument("--json", action="store_true", help="emit the raw dump as JSON")
+    p = add("fleet-trace-get", cmd_fleet_trace_get,
+            "stitch one trace from many daemons' span buffers")
+    p.add_argument("trace_id", type=int)
+    p.add_argument("--hosts", nargs="+", metavar="HOST", default=[],
+                   help="daemon hostnames to collect spans from")
     p.add_argument("--json", action="store_true", help="emit raw span dicts as JSON")
     p = add("daemon-shutdown", cmd_daemon_shutdown, "ask the daemon to exit")
     p.add_argument(

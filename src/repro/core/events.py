@@ -219,6 +219,12 @@ class EventBus(EventBroker):
         self.dropped = 0
         #: bounded log of published records, for introspection and tests
         self.record_history: List[Dict[str, Any]] = []
+        #: synchronous observer fed every published record.  Unlike a
+        #: subscription it has no queue, can't pause, never drops, and
+        #: does not count in ``subscription_count`` — the slot the
+        #: daemon's flight recorder rides without perturbing the
+        #: per-client subscription bookkeeping it is meant to observe
+        self.tap: "Optional[Callable[[Dict[str, Any]], None]]" = None
 
     def attach_observability(
         self,
@@ -321,6 +327,8 @@ class EventBus(EventBroker):
             if len(self.record_history) > self._history_limit:
                 del self.record_history[: -self._history_limit]
             subs = [s for s in self._subs.values() if s.wants(kind)]
+        if self.tap is not None:
+            self.tap(dict(record))
         metrics = self._metrics()
         if metrics is not None:
             metrics.counter(

@@ -162,6 +162,9 @@ def register_admin_handlers(rpc: RPCServer, daemon: "Libvirtd") -> None:
             raise InvalidArgumentError("trace_get requires a trace_id")
         return daemon.trace_get(body["trace_id"])
 
+    def h_flight_dump(conn: ServerConnection, body: Any) -> Dict[str, Any]:
+        return daemon.flight_dump()
+
     def h_daemon_shutdown(conn: ServerConnection, body: Any) -> Dict[str, str]:
         mode = (body or {}).get("mode", "graceful")
         if mode not in ("graceful", "crash"):
@@ -193,3 +196,4 @@ def register_admin_handlers(rpc: RPCServer, daemon: "Libvirtd") -> None:
     rpc.register("admin.dmn_log_info", h_log_info, priority=True)
     rpc.register("admin.dmn_log_define", h_log_define, priority=True)
     rpc.register("admin.daemon_shutdown", h_daemon_shutdown, priority=True)
+    rpc.register("admin.flight_dump", h_flight_dump, priority=True)

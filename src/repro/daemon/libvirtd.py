@@ -27,6 +27,7 @@ from repro.errors import (
 )
 from repro.faults.crash import CrashPoint
 from repro.observability.export import log_metrics, render_prometheus
+from repro.observability.flightrec import FlightRecorder, interrupted_dispatches
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import Tracer
 from repro.rpc.protocol import (
@@ -64,6 +65,9 @@ class Libvirtd:
         #: the daemon-wide instrument panel, stamped in modelled time
         self.metrics = MetricsRegistry(now=self.clock.now)
         self.tracer = Tracer(self.clock.now, metrics=self.metrics)
+        #: the black box: last-N control-plane facts, crash-durable once
+        #: a state_dir attaches a StateDir to it (``flight-dump``)
+        self.flight_recorder = FlightRecorder(self.clock.now)
         self._m_driver_ops = self.metrics.histogram(
             "driver_op_seconds",
             "Modelled latency of driver operations, by backend and procedure",
@@ -84,6 +88,11 @@ class Libvirtd:
             events = getattr(driver, "events", None)
             if events is not None and hasattr(events, "attach_observability"):
                 events.attach_observability(logger=lambda: self.logger)
+            # the flight recorder shadows the event bus through the tap
+            # slot: every published record leaves a black-box line, but
+            # client subscription accounting stays untouched
+            if events is not None and hasattr(events, "tap"):
+                events.tap = self._record_bus_event
         self.pool = WorkerPool(
             min_workers=min_workers,
             max_workers=max_workers,
@@ -128,6 +137,7 @@ class Libvirtd:
         if state_dir is not None:
             self._attach_persistence(state_dir)
         self.rpc.on_ping = self._on_keepalive_ping
+        self.rpc.recorder = self.flight_recorder
         self._register_handlers()
         if register:
             register_daemon(hostname, self)
@@ -140,6 +150,17 @@ class Libvirtd:
                 for r in self._clients.values()
                 if not r.conn.closed and r.server == server
             )
+        )
+
+    def _record_bus_event(self, record: Dict[str, Any]) -> None:
+        """Event-bus subscriber feeding the flight recorder: every record
+        the bus delivers leaves one line in the crash-surviving tail."""
+        self.flight_recorder.record(
+            "event",
+            seq=record.get("seq"),
+            event_kind=record.get("kind"),
+            domain=record.get("domain"),
+            event=record.get("event"),
         )
 
     def _on_keepalive_ping(self, conn: ServerConnection) -> None:
@@ -199,11 +220,52 @@ class Libvirtd:
 
         from repro.state import StateDir, StateJournal
 
+        # the flight recorder recovers first: a previous incarnation's
+        # tail names the dispatches its death interrupted, and those
+        # spans must be closed before this incarnation starts tracing
+        self.flight_recorder.statedir = StateDir(os.path.join(root, "flightrec"))
+        tail = self.flight_recorder.recover()
+        interrupted = 0
+        for begun in interrupted_dispatches(tail):
+            if begun.get("span_id") is None:
+                continue
+            self.tracer.record_interrupted(
+                "rpc.dispatch",
+                span_id=begun["span_id"],
+                trace_id=begun.get("trace_id") or begun["span_id"],
+                parent_id=begun.get("parent_id"),
+                start=begun.get("start", begun.get("t", 0.0)),
+                procedure=begun.get("procedure"),
+                serial=begun.get("serial"),
+            )
+            interrupted += 1
+        if tail or interrupted:
+            self.flight_recorder.record(
+                "recovery", recovered=len(tail), interrupted_spans=interrupted
+            )
+            self.recovery["flightrec"] = {
+                "records": len(tail),
+                "interrupted_spans": interrupted,
+            }
+
+        journal_lag = self.metrics.gauge(
+            "journal_tail_records",
+            "Journal records appended since the last snapshot checkpoint",
+            ("driver",),
+        )
         for driver in self._unique_drivers():
             if not hasattr(driver, "attach_state"):
                 continue
             journal = StateJournal(
                 StateDir(os.path.join(root, driver.name)), clock=self.clock
+            )
+            journal.on_append = (
+                lambda kind, key, lsn, name=driver.name: self.flight_recorder.record(
+                    "journal", driver=name, record_kind=kind, key=key, lsn=lsn
+                )
+            )
+            journal_lag.labels(driver=driver.name).set_function(
+                lambda j=journal: float(j.tail_records)
             )
             driver.attach_state(journal)
             stats = driver.recover_state()
@@ -234,6 +296,11 @@ class Libvirtd:
     def _maybe_crash(self, point: CrashPoint, procedure: str) -> None:
         plan = self.crash_plan
         if plan is not None and plan.decide(point, procedure, self.clock.now()):
+            # last words first: the hit reaches the durable tail before
+            # the process dies, so the dump names its own killer
+            self.flight_recorder.record(
+                "crash", point=point.value, procedure=procedure
+            )
             self.crash()
             raise DaemonCrashError(
                 f"daemon crashed at {point.value} during {procedure}"
@@ -668,6 +735,10 @@ class Libvirtd:
         """The Prometheus exposition page for this daemon's registry."""
         return render_prometheus(self.metrics)
 
+    def flight_dump(self) -> Dict[str, Any]:
+        """The flight recorder's current ring plus its lifetime stats."""
+        return self.flight_recorder.dump()
+
     def enable_stats_logging(
         self, interval: float, priority: int = LOG_INFO
     ) -> int:
@@ -734,6 +805,10 @@ class Libvirtd:
             flush = getattr(driver, "flush_state", None)
             if flush is not None:
                 flush()
+        # the flight recorder's last graceful word, then compact the ring
+        # to disk so the next incarnation recovers a clean tail
+        self.flight_recorder.record("shutdown", hostname=self.hostname)
+        self.flight_recorder.flush()
         for record in records:
             self._cleanup_client(record, clean=True)
             record.conn.close()
@@ -793,6 +868,11 @@ class Libvirtd:
                 except DaemonCrashError:
                     # kill point 2 fired inside a journal write: the
                     # driver already tore the record, now the process dies
+                    self.flight_recorder.record(
+                        "crash",
+                        point=CrashPoint.MID_JOURNAL.value,
+                        procedure=procedure,
+                    )
                     self.crash()
                     raise
             self._m_driver_ops.labels(driver=label, procedure=procedure).observe(

@@ -81,20 +81,46 @@ class FleetManager:
         uris: "Optional[List[str]]" = None,
         auto_reopen: bool = True,
         log_level: int = LOG_ERROR,
+        metrics: "Optional[Any]" = None,
+        tracer: "Optional[Any]" = None,
     ) -> None:
         self._hosts: Dict[str, HostEntry] = {}
         self._lock = threading.RLock()
         self.auto_reopen = auto_reopen
         self.logger = Logger(level=log_level)
         self._registry: "Optional[Any]" = None
+        #: shared observability plumbed into every remote connection this
+        #: manager dials: one registry/tracer sees the whole fleet's
+        #: client-side RPC traffic (the substrate for trace stitching)
+        self.metrics = metrics
+        self.tracer = tracer
+        #: optional verdict hook (hostname -> bool) ANDed into
+        #: :meth:`health_check` — the scraper's health scorer installs here
+        self.health_scorer: "Optional[Any]" = None
         for uri in uris or ():
             self.add_host(uri)
 
     # -- membership --------------------------------------------------------
 
+    def _open(self, uri: str) -> Connection:
+        """Dial one URI, threading the fleet's shared metrics registry
+        and tracer into the remote driver when there is a transport."""
+        if self.metrics is None and self.tracer is None:
+            return open_connection(uri)
+        from repro.core.uri import ConnectionURI
+        from repro.drivers.remote import RemoteDriver
+
+        parsed = ConnectionURI.parse(uri)
+        if not parsed.transport:
+            return open_connection(uri)
+        return Connection(
+            RemoteDriver(parsed, metrics=self.metrics, tracer=self.tracer),
+            parsed,
+        )
+
     def add_host(self, uri: str) -> str:
         """Dial ``uri`` and add the daemon to the fleet; returns its hostname."""
-        connection = open_connection(uri)
+        connection = self._open(uri)
         try:
             hostname = connection.hostname()
         except VirtError:
@@ -144,6 +170,10 @@ class FleetManager:
             raise FleetError(f"fleet does not manage a daemon named {hostname!r}")
         return entry
 
+    def entry(self, hostname: str) -> HostEntry:
+        """The health record for one host (public, read-mostly view)."""
+        return self._entry(hostname)
+
     def connection(self, hostname: str) -> Connection:
         """The pooled connection to one host, re-dialled if it died."""
         entry = self._entry(hostname)
@@ -170,7 +200,7 @@ class FleetManager:
             entry.connection.close()
         except VirtError:
             pass
-        connection = open_connection(entry.uri)
+        connection = self._open(entry.uri)
         reported = connection.hostname()
         if reported != hostname:
             connection.close()
@@ -210,6 +240,17 @@ class FleetManager:
                 try:
                     self.reopen(hostname)
                     ok = self._probe(entry)
+                except VirtError as exc:
+                    entry.last_error = f"{type(exc).__name__}: {exc}"
+                    ok = False
+            if ok and self.health_scorer is not None:
+                # the wire answers, but the scorer looks deeper (scrape
+                # freshness, saturation, journal lag): a failing score
+                # marks the host unhealthy so placement avoids it
+                try:
+                    ok = bool(self.health_scorer(hostname))
+                    if not ok:
+                        entry.last_error = "health score below threshold"
                 except VirtError as exc:
                     entry.last_error = f"{type(exc).__name__}: {exc}"
                     ok = False

@@ -25,6 +25,7 @@ would cost.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
@@ -122,6 +123,8 @@ class FleetOrchestrator:
         max_downtime_s: float = 0.3,
         auto_converge: bool = True,
         post_copy: bool = True,
+        metrics: "Optional[Any]" = None,
+        tracer: "Optional[Any]" = None,
     ) -> None:
         if max_parallel < 1:
             raise PlacementError("max_parallel must be >= 1")
@@ -132,6 +135,37 @@ class FleetOrchestrator:
         self.max_downtime_s = max_downtime_s
         self.auto_converge = auto_converge
         self.post_copy = post_copy
+        # observability rides the fleet's shared instruments by default,
+        # so orchestrator spans land in the same trace as the RPC spans
+        # the fleet's remote drivers emit
+        self.tracer = tracer if tracer is not None else getattr(fleet, "tracer", None)
+        self.metrics = metrics if metrics is not None else getattr(fleet, "metrics", None)
+        if self.metrics is not None:
+            self._m_drain = self.metrics.histogram(
+                "fleet_drain_seconds",
+                "Modelled makespan of one host drain",
+            )
+            self._m_migrations = self.metrics.counter(
+                "fleet_migrations_total",
+                "Guests the orchestrator tried to move, by outcome",
+                ("outcome",),
+            )
+            self._m_waves = self.metrics.counter(
+                "fleet_waves_total",
+                "Bounded-concurrency migration waves executed",
+            )
+        else:
+            self._m_drain = self._m_migrations = self._m_waves = None
+
+    def _span(self, name: str, **attributes: Any) -> Any:
+        """A tracer span when the orchestrator has a tracer, else a no-op."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, **attributes)
+
+    def _count_migration(self, outcome: str) -> None:
+        if self._m_migrations is not None:
+            self._m_migrations.labels(outcome=outcome).inc()
 
     # -- planning ----------------------------------------------------------
 
@@ -205,51 +239,71 @@ class FleetOrchestrator:
         makespan charges each wave its slowest member.
         """
         report = DrainReport(host=hostname)
-        source = self.fleet.connection(hostname)
-        guests = source.list_domains(active=True)
-        if not guests:
-            return report
-        destinations = self._destinations(exclude=[hostname])
-        if not destinations:
-            report.unplaced = sorted(g.name for g in guests)
-            return report
-        plan, report.unplaced = self.plan_drain(guests, destinations)
+        with self._span("fleet.drain", host=hostname):
+            source = self.fleet.connection(hostname)
+            guests = source.list_domains(active=True)
+            if not guests:
+                return report
+            destinations = self._destinations(exclude=[hostname])
+            if not destinations:
+                report.unplaced = sorted(g.name for g in guests)
+                for name in report.unplaced:
+                    self._count_migration("unplaced")
+                return report
+            plan, report.unplaced = self.plan_drain(guests, destinations)
+            for _ in report.unplaced:
+                self._count_migration("unplaced")
 
-        for wave_index in range(0, len(plan), self.max_parallel):
-            wave = plan[wave_index : wave_index + self.max_parallel]
-            share_mib_s = self.link_bandwidth_mib_s / len(wave)
-            wave_time = 0.0
-            for guest, memory_kib, dest_hostname in wave:
-                outcome = MigrationOutcome(
-                    name=guest.name,
-                    memory_kib=memory_kib,
-                    source=hostname,
-                    dest=dest_hostname,
-                    wave=report.waves,
-                )
-                report.outcomes.append(outcome)
-                try:
-                    moved = guest.migrate(
-                        destinations[dest_hostname],
-                        live=True,
-                        max_downtime_s=self.max_downtime_s,
-                        bandwidth_mib_s=share_mib_s,
-                        auto_converge=self.auto_converge,
-                        post_copy=self.post_copy,
-                    )
-                except VirtError as exc:
-                    outcome.error = f"{type(exc).__name__}: {exc}"
-                    continue
-                stats = moved.last_migration_stats or {}
-                outcome.ok = True
-                outcome.total_time_s = stats.get("total_time_s", 0.0)
-                outcome.downtime_s = stats.get("downtime_s", 0.0)
-                outcome.rounds = stats.get("rounds", 0)
-                outcome.converged = stats.get("converged", False)
-                outcome.post_copy = stats.get("post_copy", False)
-                wave_time = max(wave_time, outcome.total_time_s)
-            report.waves += 1
-            report.makespan_s += wave_time
+            for wave_index in range(0, len(plan), self.max_parallel):
+                wave = plan[wave_index : wave_index + self.max_parallel]
+                share_mib_s = self.link_bandwidth_mib_s / len(wave)
+                wave_time = 0.0
+                with self._span(
+                    "drain.wave", wave=report.waves, guests=len(wave)
+                ):
+                    for guest, memory_kib, dest_hostname in wave:
+                        outcome = MigrationOutcome(
+                            name=guest.name,
+                            memory_kib=memory_kib,
+                            source=hostname,
+                            dest=dest_hostname,
+                            wave=report.waves,
+                        )
+                        report.outcomes.append(outcome)
+                        try:
+                            with self._span(
+                                "fleet.migrate",
+                                guest=guest.name,
+                                source=hostname,
+                                dest=dest_hostname,
+                            ):
+                                moved = guest.migrate(
+                                    destinations[dest_hostname],
+                                    live=True,
+                                    max_downtime_s=self.max_downtime_s,
+                                    bandwidth_mib_s=share_mib_s,
+                                    auto_converge=self.auto_converge,
+                                    post_copy=self.post_copy,
+                                )
+                        except VirtError as exc:
+                            outcome.error = f"{type(exc).__name__}: {exc}"
+                            self._count_migration("failed")
+                            continue
+                        stats = moved.last_migration_stats or {}
+                        outcome.ok = True
+                        outcome.total_time_s = stats.get("total_time_s", 0.0)
+                        outcome.downtime_s = stats.get("downtime_s", 0.0)
+                        outcome.rounds = stats.get("rounds", 0)
+                        outcome.converged = stats.get("converged", False)
+                        outcome.post_copy = stats.get("post_copy", False)
+                        wave_time = max(wave_time, outcome.total_time_s)
+                        self._count_migration("ok")
+                report.waves += 1
+                report.makespan_s += wave_time
+                if self._m_waves is not None:
+                    self._m_waves.inc()
+            if self._m_drain is not None:
+                self._m_drain.observe(report.makespan_s)
         return report
 
     # -- rebalance ---------------------------------------------------------
@@ -269,13 +323,20 @@ class FleetOrchestrator:
         the fleet mean, to wherever the strategy prefers, until every
         donor is back inside the band or ``max_moves`` is spent."""
         report = RebalanceReport()
+        with self._span("fleet.rebalance", max_moves=max_moves):
+            self._rebalance(report, max_moves, threshold)
+        return report
+
+    def _rebalance(
+        self, report: RebalanceReport, max_moves: int, threshold: float
+    ) -> None:
         connections = {
             hostname: self.fleet.connection(hostname)
             for hostname, healthy in self.fleet.health_check().items()
             if healthy
         }
         if len(connections) < 2:
-            return report
+            return
         views = {h: HostView(c) for h, c in connections.items()}
         report.imbalance_before = self._imbalance(list(views.values()))
 
@@ -315,16 +376,23 @@ class FleetOrchestrator:
                 report.moves.append(outcome)
                 moves += 1
                 try:
-                    moved = guest.migrate(
-                        connections[target.hostname],
-                        live=True,
-                        max_downtime_s=self.max_downtime_s,
-                        bandwidth_mib_s=self.link_bandwidth_mib_s,
-                        auto_converge=self.auto_converge,
-                        post_copy=self.post_copy,
-                    )
+                    with self._span(
+                        "fleet.migrate",
+                        guest=guest.name,
+                        source=donor.hostname,
+                        dest=target.hostname,
+                    ):
+                        moved = guest.migrate(
+                            connections[target.hostname],
+                            live=True,
+                            max_downtime_s=self.max_downtime_s,
+                            bandwidth_mib_s=self.link_bandwidth_mib_s,
+                            auto_converge=self.auto_converge,
+                            post_copy=self.post_copy,
+                        )
                 except VirtError as exc:
                     outcome.error = f"{type(exc).__name__}: {exc}"
+                    self._count_migration("failed")
                     break
                 stats = moved.last_migration_stats or {}
                 outcome.ok = True
@@ -333,6 +401,7 @@ class FleetOrchestrator:
                 outcome.rounds = stats.get("rounds", 0)
                 outcome.converged = stats.get("converged", False)
                 outcome.post_copy = stats.get("post_copy", False)
+                self._count_migration("ok")
                 target.commit(memory_kib)
                 donor.free_kib += memory_kib
                 donor.guests -= 1
@@ -341,7 +410,6 @@ class FleetOrchestrator:
             if not moved_one:
                 break
         report.imbalance_after = self._imbalance(list(views.values()))
-        return report
 
     # -- rolling restart ---------------------------------------------------
 
@@ -357,19 +425,29 @@ class FleetOrchestrator:
         the first host that loses a guest, leaving the rest untouched.
         """
         reports: List[RestartReport] = []
+        with self._span("fleet.rolling_restart"):
+            self._rolling_restart(restart_fn, hosts, reports)
+        return reports
+
+    def _rolling_restart(
+        self,
+        restart_fn: "Callable[[str], None]",
+        hosts: "Optional[Sequence[str]]",
+        reports: List[RestartReport],
+    ) -> None:
         for hostname in hosts if hosts is not None else self.fleet.hostnames():
             report = RestartReport(host=hostname)
             reports.append(report)
             try:
-                before = self.fleet.connection(hostname).list_domains()
-                report.guests_before = sorted(d.name for d in before)
-                restart_fn(hostname)
-                after = self.fleet.reopen(hostname).list_domains()
-                report.guests_after = sorted(d.name for d in after)
+                with self._span("restart.host", host=hostname):
+                    before = self.fleet.connection(hostname).list_domains()
+                    report.guests_before = sorted(d.name for d in before)
+                    restart_fn(hostname)
+                    after = self.fleet.reopen(hostname).list_domains()
+                    report.guests_after = sorted(d.name for d in after)
             except VirtError as exc:
                 report.error = f"{type(exc).__name__}: {exc}"
                 break
             report.ok = not report.lost
             if not report.ok:
                 break
-        return reports

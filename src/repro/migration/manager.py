@@ -13,6 +13,7 @@ the caller always sees the *original* failure, wrapped in
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import InvalidArgumentError, MigrationError, VirtError
@@ -87,9 +88,13 @@ def run_handshake(source_driver, dest_driver, name: str, params: dict):
     destination it dialled itself).
 
     When the source driver carries a metrics registry, each phase's
-    modelled duration lands in ``migration_phase_seconds{phase=...}``.
+    modelled duration lands in ``migration_phase_seconds{phase=...}``;
+    when it carries a tracer, every phase runs inside a
+    ``migration.<phase>`` span, so a traced drain shows the handshake's
+    anatomy nested under the guest's ``fleet.migrate`` span.
     """
     registry = getattr(source_driver, "metrics", None)
+    tracer = getattr(source_driver, "tracer", None)
     phases = (
         registry.histogram(
             "migration_phase_seconds",
@@ -101,13 +106,19 @@ def run_handshake(source_driver, dest_driver, name: str, params: dict):
     )
 
     def timed(phase, fn, *args, **kwargs):
-        if phases is None:
-            return fn(*args, **kwargs)
-        started = registry.now()
-        try:
-            return fn(*args, **kwargs)
-        finally:
-            phases.labels(phase=phase).observe(registry.now() - started)
+        scope = (
+            tracer.span(f"migration.{phase}", guest=name)
+            if tracer is not None
+            else nullcontext()
+        )
+        with scope:
+            if phases is None:
+                return fn(*args, **kwargs)
+            started = registry.now()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                phases.labels(phase=phase).observe(registry.now() - started)
 
     description = timed("begin", source_driver.migrate_begin, name)
     cookie = timed("prepare", dest_driver.migrate_prepare, description)

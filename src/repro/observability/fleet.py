@@ -1,0 +1,517 @@
+"""Fleet-wide observability: federation, health scoring, trace stitching.
+
+PR 2 gave every daemon a ``/metrics`` page and PR 4 gave every call a
+trace, but at fleet scale (100 daemons) the operator's questions are
+cross-host: *is the fleet healthy, where is the latency budget going,
+and what exactly did that drain do?*  This module answers them on the
+client side, riding the :class:`~repro.fleet.manager.FleetManager`
+pool — the daemons are unmodified, which is the paper's non-intrusive
+thesis applied to monitoring.
+
+Three pieces:
+
+* :class:`FleetScraper` — pulls every daemon's Prometheus text page,
+  relabels each sample with ``host=<hostname>`` and merges the pages
+  into one federated blob (``federate``); computes fleet rollups
+  (sum/max across hosts, merged-histogram p99, capacity-weighted
+  utilization — ``rollups``) and per-procedure latency SLOs
+  (target/compliance/burn-rate — ``slo_report``).
+* **Health scoring** — ``health_scores`` folds scrape freshness,
+  connection health, in-flight-window saturation, journal lag, and
+  event-queue drops into one 0..1 score per host (weights in
+  ``HEALTH_WEIGHTS``); ``install`` plugs the scorer into
+  ``FleetManager.health_check`` so drain/rebalance placement prefers
+  healthy destinations.
+* **Trace stitching** — :func:`collect_fleet_spans` merges one trace's
+  spans from the client-side tracer and every daemon's collector (the
+  PR-4 global span-id space makes the union collision-free), so one
+  drain renders as one tree: ``fleet.drain → drain.wave → fleet.migrate
+  → {src,dst}: rpc.dispatch``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
+
+from repro.errors import VirtError
+from repro.observability.export import (
+    ParsedMetric,
+    _format_labels,
+    _format_value,
+    parse_prometheus,
+    render_trace_tree,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fleet.manager import FleetManager
+    from repro.observability.tracing import Tracer
+
+#: health-score component weights (must sum to 1.0)
+HEALTH_WEIGHTS: Dict[str, float] = {
+    "freshness": 0.30,
+    "connectivity": 0.25,
+    "saturation": 0.20,
+    "journal": 0.15,
+    "events": 0.10,
+}
+
+#: normalization knobs for the score components
+DEFAULT_MAX_AGE_S = 60.0  # a scrape older than this is stale
+DEFAULT_INFLIGHT_WINDOW = 5  # the PR-3 per-connection in-flight window
+JOURNAL_LAG_LIMIT = 256.0  # tail records at which the journal score hits 0
+EVENT_DROP_LIMIT = 100.0  # dropped bus records at which the event score hits 0
+
+#: SLO defaults: fraction of dispatches that must finish under target
+DEFAULT_SLO_GOAL = 0.99
+DEFAULT_SLO_TARGET_S = 0.5
+
+
+def _lookup_daemon(hostname: str):
+    # imported lazily: repro.daemon pulls in the whole daemon stack,
+    # which itself imports repro.observability submodules
+    from repro.daemon.registry import lookup_daemon
+
+    return lookup_daemon(hostname)
+
+
+@dataclass
+class HostScrape:
+    """One host's most recent scrape attempt."""
+
+    hostname: str
+    ok: bool = False
+    text: str = ""
+    parsed: Dict[str, ParsedMetric] = field(default_factory=dict)
+    at: float = 0.0
+    error: "Optional[str]" = None
+
+
+@dataclass
+class HealthScore:
+    """One host's composite health: 0 (dead) .. 1 (perfect)."""
+
+    hostname: str
+    score: float = 0.0
+    healthy: bool = False
+    components: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hostname": self.hostname,
+            "score": round(self.score, 4),
+            "healthy": self.healthy,
+            "components": {k: round(v, 4) for k, v in self.components.items()},
+        }
+
+
+def relabel(parsed: Dict[str, ParsedMetric], host: str) -> Dict[str, ParsedMetric]:
+    """A copy of a parsed page with ``host=<host>`` stamped on every
+    sample — the federation relabeling rule.  An existing ``host``
+    label is overwritten: the fleet's view of identity (the hostname
+    the daemon answered ``add_host`` with) wins over self-reporting."""
+    out: Dict[str, ParsedMetric] = {}
+    for name, metric in parsed.items():
+        copy = ParsedMetric(name)
+        copy.type = metric.type
+        copy.help = metric.help
+        for sample_name, labels, value in metric.samples:
+            relabelled = dict(labels)
+            relabelled["host"] = host
+            copy.samples.append((sample_name, relabelled, value))
+        out[name] = copy
+    return out
+
+
+def merge_pages(pages: Dict[str, Dict[str, ParsedMetric]]) -> str:
+    """Render per-host parsed pages as one federated exposition blob.
+
+    Every sample is relabelled with its host first, so series that are
+    duplicates across hosts (same name, same labels) stay distinct in
+    the merged page.  HELP/TYPE metadata comes from the first host that
+    declared it (they are identical across a homogeneous fleet).
+    """
+    merged: Dict[str, ParsedMetric] = {}
+    for host in sorted(pages):
+        for name, metric in relabel(pages[host], host).items():
+            target = merged.get(name)
+            if target is None:
+                target = merged[name] = ParsedMetric(name)
+            if target.type is None:
+                target.type = metric.type
+            if target.help is None:
+                target.help = metric.help
+            target.samples.extend(metric.samples)
+    lines: List[str] = []
+    for name in sorted(merged):
+        metric = merged[name]
+        if metric.help:
+            lines.append(f"# HELP {name} {metric.help}")
+        if metric.type:
+            lines.append(f"# TYPE {name} {metric.type}")
+        for sample_name, labels, value in metric.samples:
+            lines.append(
+                f"{sample_name}{_format_labels(labels)} {_format_value(value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _merged_histogram(
+    pages: Iterable[Dict[str, ParsedMetric]],
+    name: str,
+    label: "Optional[str]" = None,
+) -> Dict[str, Dict[float, float]]:
+    """Cross-host cumulative buckets for one histogram family,
+    grouped by ``label`` (or lumped under ``""`` when None)."""
+    grouped: Dict[str, Dict[float, float]] = {}
+    for page in pages:
+        metric = page.get(name)
+        if metric is None:
+            continue
+        for sample_name, labels, value in metric.samples:
+            if not sample_name.endswith("_bucket") or "le" not in labels:
+                continue
+            key = labels.get(label, "") if label else ""
+            bounds = grouped.setdefault(key, {})
+            le = math.inf if labels["le"] == "+Inf" else float(labels["le"])
+            bounds[le] = bounds.get(le, 0.0) + value
+    return grouped
+
+
+def quantile_from_buckets(bounds: Dict[float, float], q: float) -> float:
+    """The smallest bucket bound covering quantile ``q`` of a merged
+    cumulative-bucket vector (Prometheus-style upper-bound estimate)."""
+    if not bounds:
+        return 0.0
+    total = bounds.get(math.inf, max(bounds.values()))
+    if total <= 0:
+        return 0.0
+    for le in sorted(bounds):
+        if bounds[le] >= q * total:
+            return le
+    return math.inf
+
+
+class FleetScraper:
+    """Scrape, federate, roll up, and health-score a whole fleet.
+
+    Rides the fleet pool for membership and per-host connection health;
+    the metrics themselves come from each daemon's exposition page (the
+    same text ``pyvirt-admin metrics`` serves), parsed with the PR-2
+    parser.  All timestamps are the daemons' virtual clock.
+    """
+
+    def __init__(
+        self,
+        fleet: "FleetManager",
+        max_age_s: float = DEFAULT_MAX_AGE_S,
+        inflight_window: int = DEFAULT_INFLIGHT_WINDOW,
+        slo_targets: "Optional[Dict[str, float]]" = None,
+        slo_default_target_s: float = DEFAULT_SLO_TARGET_S,
+        slo_goal: float = DEFAULT_SLO_GOAL,
+        healthy_threshold: float = 0.5,
+    ) -> None:
+        self.fleet = fleet
+        self.max_age_s = max_age_s
+        self.inflight_window = inflight_window
+        self.slo_targets = dict(slo_targets or {})
+        self.slo_default_target_s = slo_default_target_s
+        if not 0.0 < slo_goal < 1.0:
+            raise ValueError("slo_goal must be in (0, 1)")
+        self.slo_goal = slo_goal
+        self.healthy_threshold = healthy_threshold
+        #: hostname → most recent scrape (kept across cycles so
+        #: freshness decays instead of vanishing)
+        self.last: Dict[str, HostScrape] = {}
+        self._now = None
+        metrics = getattr(fleet, "metrics", None)
+        self._m_scrapes = (
+            metrics.counter(
+                "fleet_scrapes_total",
+                "Per-host scrape attempts by outcome",
+                ("outcome",),
+            )
+            if metrics is not None
+            else None
+        )
+
+    # -- scraping ----------------------------------------------------------
+
+    def now(self) -> float:
+        return self._now() if self._now is not None else 0.0
+
+    def scrape_host(self, hostname: str) -> HostScrape:
+        """Pull one daemon's exposition page and parse it."""
+        scrape = HostScrape(hostname=hostname)
+        try:
+            daemon = _lookup_daemon(hostname)
+            text = daemon.metrics_text()
+            # first contact late-binds the scraper to the fleet's clock
+            if self._now is None:
+                self._now = daemon.clock.now
+            scrape.at = self.now()
+            scrape.parsed = parse_prometheus(text)
+            scrape.text = text
+            scrape.ok = True
+        except VirtError as exc:
+            scrape.at = self.now()
+            scrape.error = f"{type(exc).__name__}: {exc}"
+        if self._m_scrapes is not None:
+            self._m_scrapes.labels(outcome="ok" if scrape.ok else "error").inc()
+        self.last[hostname] = scrape
+        return scrape
+
+    def scrape(self) -> Dict[str, HostScrape]:
+        """One scrape cycle over every fleet member."""
+        tracer = getattr(self.fleet, "tracer", None)
+        if tracer is not None:
+            with tracer.span("fleet.scrape", hosts=len(self.fleet)):
+                return {h: self.scrape_host(h) for h in self.fleet.hostnames()}
+        return {h: self.scrape_host(h) for h in self.fleet.hostnames()}
+
+    def _pages(self) -> Dict[str, Dict[str, ParsedMetric]]:
+        return {h: s.parsed for h, s in self.last.items() if s.ok}
+
+    # -- federation --------------------------------------------------------
+
+    def federate(self, rescrape: bool = True) -> str:
+        """The fleet's ``/metrics`` page: every host's samples,
+        relabelled with ``host=`` and merged."""
+        if rescrape or not self.last:
+            self.scrape()
+        return merge_pages(self._pages())
+
+    # -- rollups -----------------------------------------------------------
+
+    def rollups(self, rescrape: bool = False) -> Dict[str, Any]:
+        """Fleet-level aggregates: per-family sum/max across hosts,
+        merged p99 for histograms, and capacity-weighted utilization."""
+        if rescrape or not self.last:
+            self.scrape()
+        pages = self._pages()
+        metrics: Dict[str, Dict[str, float]] = {}
+        for page in pages.values():
+            for name, metric in page.items():
+                if metric.type == "histogram":
+                    continue
+                for sample_name, _labels, value in metric.samples:
+                    if sample_name != name or math.isnan(value):
+                        continue
+                    agg = metrics.setdefault(
+                        name, {"sum": 0.0, "max": -math.inf}
+                    )
+                    agg["sum"] += value
+                    agg["max"] = max(agg["max"], value)
+        for name in {
+            n for page in pages.values()
+            for n, m in page.items() if m.type == "histogram"
+        }:
+            merged = _merged_histogram(pages.values(), name)
+            bounds = merged.get("", {})
+            metrics[name] = {
+                "count": bounds.get(math.inf, 0.0),
+                "p99": quantile_from_buckets(bounds, 0.99),
+            }
+        # capacity-weighted utilization from the pool's capacity rows
+        total_kib = used_kib = 0.0
+        for row in self.fleet.fleet_status():
+            if row.get("healthy") and "memory_kib" in row:
+                total_kib += row["memory_kib"]
+                used_kib += row["memory_kib"] - row["free_memory_kib"]
+        return {
+            "hosts": len(self.fleet),
+            "scraped": len(pages),
+            "utilization": used_kib / total_kib if total_kib else 0.0,
+            "metrics": metrics,
+        }
+
+    # -- SLOs --------------------------------------------------------------
+
+    def slo_report(self, rescrape: bool = False) -> List[Dict[str, Any]]:
+        """Per-procedure latency SLOs from the fleet-merged
+        ``rpc_server_dispatch_seconds`` histogram.
+
+        Compliance is the fraction of dispatches at or under the
+        target (conservatively read from the largest bucket bound not
+        above it); the burn rate is the error budget spend —
+        ``(1 - compliance) / (1 - goal)``, so 1.0 means burning exactly
+        the budget and anything above it means the SLO will not hold.
+        """
+        if rescrape or not self.last:
+            self.scrape()
+        pages = self._pages()
+        by_procedure = _merged_histogram(
+            pages.values(), "rpc_server_dispatch_seconds", label="procedure"
+        )
+        rows: List[Dict[str, Any]] = []
+        for procedure in sorted(by_procedure):
+            bounds = by_procedure[procedure]
+            total = bounds.get(math.inf, max(bounds.values(), default=0.0))
+            if total <= 0:
+                continue
+            target = self.slo_targets.get(procedure, self.slo_default_target_s)
+            eligible = [le for le in bounds if le <= target]
+            compliant = bounds[max(eligible)] if eligible else 0.0
+            compliance = compliant / total
+            burn = (1.0 - compliance) / (1.0 - self.slo_goal)
+            rows.append({
+                "procedure": procedure,
+                "target_s": target,
+                "calls": total,
+                "compliance": compliance,
+                "burn_rate": burn,
+                "p99_s": quantile_from_buckets(bounds, 0.99),
+                "met": compliance >= self.slo_goal,
+            })
+        return rows
+
+    # -- health scoring ----------------------------------------------------
+
+    def _page_value(
+        self,
+        page: "Optional[Dict[str, ParsedMetric]]",
+        name: str,
+        **want_labels: str,
+    ) -> "Optional[float]":
+        if page is None or name not in page:
+            return None
+        total: "Optional[float]" = None
+        for sample_name, labels, value in page[name].samples:
+            if sample_name != name or math.isnan(value):
+                continue
+            if any(labels.get(k) != v for k, v in want_labels.items()):
+                continue
+            total = value if total is None else total + value
+        return total
+
+    def score_host(self, hostname: str, rescrape: bool = True) -> HealthScore:
+        """Score one host from its latest scrape + pool entry state."""
+        if rescrape or hostname not in self.last:
+            self.scrape_host(hostname)
+        scrape = self.last.get(hostname)
+        page = scrape.parsed if scrape is not None and scrape.ok else None
+        entry = self.fleet.entry(hostname)
+
+        components: Dict[str, float] = {}
+        fresh = (
+            scrape is not None
+            and scrape.ok
+            and self.now() - scrape.at <= self.max_age_s
+        )
+        components["freshness"] = 1.0 if fresh else 0.0
+        if entry.healthy and not entry.connection.closed:
+            failure_ratio = entry.failures / entry.probes if entry.probes else 0.0
+            components["connectivity"] = max(0.0, 1.0 - failure_ratio)
+        else:
+            components["connectivity"] = 0.0
+        inflight = self._page_value(
+            page, "rpc_server_inflight_calls", server="libvirtd"
+        )
+        components["saturation"] = (
+            max(0.0, 1.0 - inflight / self.inflight_window)
+            if inflight is not None and self.inflight_window > 0
+            else (1.0 if page is not None else 0.0)
+        )
+        lag = self._page_value(page, "journal_tail_records")
+        components["journal"] = (
+            max(0.0, 1.0 - lag / JOURNAL_LAG_LIMIT)
+            if lag is not None
+            else (1.0 if page is not None else 0.0)
+        )
+        drops = self._page_value(page, "events_dropped_total")
+        components["events"] = (
+            max(0.0, 1.0 - drops / EVENT_DROP_LIMIT)
+            if drops is not None
+            else (1.0 if page is not None else 0.0)
+        )
+        score = sum(HEALTH_WEIGHTS[k] * components[k] for k in HEALTH_WEIGHTS)
+        return HealthScore(
+            hostname=hostname,
+            score=score,
+            healthy=score >= self.healthy_threshold,
+            components=components,
+        )
+
+    def health_scores(self, rescrape: bool = True) -> Dict[str, HealthScore]:
+        if rescrape:
+            self.scrape()
+        return {
+            hostname: self.score_host(hostname, rescrape=False)
+            for hostname in self.fleet.hostnames()
+        }
+
+    def install(self) -> None:
+        """Plug this scorer into the fleet's health checks: from now on
+        ``FleetManager.health_check`` (and therefore the orchestrator's
+        destination set) also requires the composite score to clear the
+        threshold, not just the probe to answer."""
+        self.fleet.health_scorer = (
+            lambda hostname: self.score_host(hostname).healthy
+        )
+
+
+# -- trace stitching -------------------------------------------------------
+
+
+def collect_fleet_spans(
+    trace_id: int,
+    hostnames: "Iterable[str]" = (),
+    local_tracer: "Optional[Tracer]" = None,
+    extra_spans: "Optional[Iterable[Dict[str, Any]]]" = None,
+) -> List[Dict[str, Any]]:
+    """Merge one trace's spans from every collector that saw a piece.
+
+    ``local_tracer`` contributes the client side (``fleet.drain``,
+    ``rpc.call``...); each hostname's daemon contributes its dispatch
+    spans; ``extra_spans`` lets callers feed spans fetched out of band
+    (e.g. over admin connections).  The PR-4 process-global span-id
+    space makes the union safe: equal ids are the same span, so
+    duplicates collapse instead of colliding.  Daemon spans are tagged
+    with ``host=<hostname>`` so the stitched tree shows which side of a
+    migration each dispatch ran on.
+    """
+    spans: Dict[int, Dict[str, Any]] = {}
+    if local_tracer is not None:
+        for span in local_tracer.spans(trace_id=trace_id, include_open=True):
+            spans[span.span_id] = span.to_dict()
+    for hostname in hostnames:
+        try:
+            exported = _lookup_daemon(hostname).trace_get(trace_id)
+        except VirtError:
+            continue  # daemon gone, or it never saw this trace
+        for span in exported:
+            if span["span_id"] in spans:
+                continue
+            span = dict(span)
+            attributes = dict(span.get("attributes") or {})
+            attributes.setdefault("host", hostname)
+            span["attributes"] = attributes
+            spans[span["span_id"]] = span
+    for span in extra_spans or ():
+        spans.setdefault(span["span_id"], dict(span))
+    out = list(spans.values())
+    out.sort(key=lambda s: (s["start"], s["span_id"]))
+    return out
+
+
+def render_fleet_trace(spans: List[Dict[str, Any]]) -> str:
+    """Render stitched spans as one tree (daemon-side spans whose
+    parents live in another collector root correctly — the renderer
+    treats unknown parents as roots)."""
+    return render_trace_tree(spans)
+
+
+__all__ = [
+    "DEFAULT_SLO_GOAL",
+    "DEFAULT_SLO_TARGET_S",
+    "FleetScraper",
+    "HEALTH_WEIGHTS",
+    "HealthScore",
+    "HostScrape",
+    "collect_fleet_spans",
+    "merge_pages",
+    "quantile_from_buckets",
+    "relabel",
+    "render_fleet_trace",
+]

@@ -336,6 +336,44 @@ class Tracer:
         if self.metrics is not None:
             self._m_span_seconds.labels(name=span.name).observe(span.end - span.start)
 
+    def record_interrupted(
+        self,
+        name: str,
+        span_id: int,
+        trace_id: int,
+        start: float,
+        parent_id: "Optional[int]" = None,
+        **attributes: Any,
+    ) -> Span:
+        """Materialize a span another incarnation opened but never
+        finished — a dispatch the daemon died inside, reconstructed
+        from the flight-recorder tail on restart recovery.
+
+        The span keeps its original identity (ids minted by the dead
+        process stay valid: the id space is process-global and the
+        counter only moves forward), ends *now*, and is marked
+        ``status=interrupted`` so the stitched trace shows where the
+        crash cut it short instead of dangling forever.
+        """
+        span = Span(
+            name,
+            span_id,
+            trace_id=trace_id,
+            start=start,
+            parent_id=parent_id,
+            attributes=attributes,
+        )
+        span.attributes["status"] = "interrupted"
+        span.error = "interrupted: daemon died before the dispatch finished"
+        span.end = self._now()
+        with self._lock:
+            self.spans_started += 1
+            self.spans_failed += 1
+            self._finished.append(span)
+        if self.metrics is not None:
+            self._m_span_seconds.labels(name=span.name).observe(span.end - span.start)
+        return span
+
     # -- context propagation -----------------------------------------------
 
     def current_context(self) -> "Optional[SpanContext]":

@@ -161,6 +161,7 @@ PROCEDURES: Dict[str, int] = {
     "admin.trace_list": 115,
     "admin.trace_get": 116,
     "admin.daemon_shutdown": 117,
+    "admin.flight_dump": 118,
 }
 
 _NUMBER_TO_NAME = {number: name for name, number in PROCEDURES.items()}

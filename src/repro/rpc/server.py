@@ -121,6 +121,11 @@ class RPCServer:
         self.pings_answered = 0
         #: optional hook fired on every keepalive PING (activity tracking)
         self.on_ping: "Optional[Callable[[ServerConnection], None]]" = None
+        #: optional flight recorder: every dispatch records its frame
+        #: header on entry (``rpc.begin``) and outcome on exit
+        #: (``rpc.end``) — a begin with no end is a dispatch a crash
+        #: cut short (see repro.observability.flightrec)
+        self.recorder: "Optional[Any]" = None
         self.metrics = metrics
         self.tracer = tracer
         #: label value distinguishing server objects sharing one registry
@@ -369,6 +374,17 @@ class RPCServer:
                 span.set_attribute(
                     "queue_wait", conn.channel.clock.now() - job.started
                 )
+            if self.recorder is not None:
+                self.recorder.record(
+                    "rpc.begin",
+                    server=self.name,
+                    procedure=job.label,
+                    serial=message.serial,
+                    start=job.started,
+                    span_id=span.span_id if span is not None else None,
+                    trace_id=span.trace_id if span is not None else None,
+                    parent_id=span.parent_id if span is not None else None,
+                )
             failure: "Optional[VirtError]" = None
             result: Any = None
             try:
@@ -405,6 +421,14 @@ class RPCServer:
             if self.metrics is not None:
                 self._m_latency.labels(server=self.name, procedure=job.label).observe(
                     conn.channel.clock.now() - job.started
+                )
+            if self.recorder is not None:
+                self.recorder.record(
+                    "rpc.end",
+                    server=self.name,
+                    procedure=job.label,
+                    serial=message.serial,
+                    status="ok" if failure is None else "error",
                 )
         return reply
 

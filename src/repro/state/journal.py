@@ -63,6 +63,9 @@ class StateJournal:
         self.statedir = statedir
         self.clock = clock
         self.checkpoint_every = checkpoint_every
+        #: optional observer called as ``on_append(kind, key, lsn)`` after
+        #: every durable append — the daemon's flight recorder rides this
+        self.on_append: "Optional[Any]" = None
         #: folded last-writer-wins state: (kind, key) -> data
         self._kv: Dict[Tuple[str, str], Any] = {}
         self.lsn = 0
@@ -121,6 +124,8 @@ class StateJournal:
         self.appends += 1
         if self.clock is not None:
             self.clock.sleep(APPEND_COST_S)
+        if self.on_append is not None:
+            self.on_append(kind, key, self.lsn)
 
     def append_torn(self, kind: str, key: str, data: Any) -> int:
         """Write a deliberately torn record: the crash-injection hook.

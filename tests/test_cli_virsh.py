@@ -284,6 +284,27 @@ class TestFleetCli:
         _, listing = run("-c", fleet_hosts[0], "list")
         assert "flv1" not in listing
 
+    def test_fleet_stats(self, fleet_hosts):
+        code, output = run("fleet-stats", "--hosts", *fleet_hosts)
+        assert code == 0
+        for index in range(3):
+            assert f"cli-fl-{index}" in output
+        assert "Score" in output and "Freshness" in output
+        assert "3/3 hosts scraped" in output
+        assert "memory utilization" in output
+
+    def test_fleet_stats_slo_and_metric(self, fleet_hosts):
+        code, output = run(
+            "fleet-stats", "--hosts", *fleet_hosts, "--slo",
+            "--metric", "rpc_server_calls_total",
+            "--metric", "no_such_family",
+        )
+        assert code == 0
+        assert "Procedure" in output and "Compliance" in output
+        assert "connect.get_hostname" in output
+        assert "rpc_server_calls_total: " in output and "sum=" in output
+        assert "no_such_family: no samples fleet-wide" in output
+
     def test_fleet_rebalance(self, fleet_hosts):
         code, output = run(
             "fleet-rebalance", "--hosts", *fleet_hosts, "--threshold", "0.01"

@@ -1,6 +1,7 @@
 """Tests for the pyvirt-admin CLI (repro.cli.virt_admin)."""
 
 import io
+import json
 
 import pytest
 
@@ -110,6 +111,50 @@ class TestLoggingCommands:
             out=io.StringIO(),
         )
         assert code == 1
+
+
+class TestFlightDump:
+    def test_flight_dump_shows_rpc_records(self, daemon):
+        conn = repro.open_connection("qemu+tcp://clinode/system")
+        conn.list_domains()
+        conn.close()
+        code, output = run("flight-dump")
+        assert code == 0
+        assert "Flight recorder:" in output
+        assert "memory-only" in output  # no state dir on this daemon
+        assert "rpc.begin" in output and "rpc.end" in output
+        assert "procedure=connect.list_domains" in output
+
+    def test_flight_dump_json(self, daemon):
+        conn = repro.open_connection("qemu+tcp://clinode/system")
+        conn.list_domains()
+        conn.close()
+        code, output = run("flight-dump", "--json")
+        assert code == 0
+        dump = json.loads(output)
+        assert dump["capacity"] == daemon.flight_recorder.capacity
+        assert any(r["kind"] == "rpc.begin" for r in dump["records"])
+
+
+class TestFleetTraceGet:
+    def test_stitches_spans_from_named_hosts(self, daemon):
+        conn = repro.open_connection("qemu+tcp://clinode/system")
+        conn.list_domains()
+        conn.close()
+        trace_id = daemon.trace_list(1)[0]["trace_id"]
+        code, output = run("fleet-trace-get", str(trace_id), "--hosts", "clinode")
+        assert code == 0
+        assert f"Trace {trace_id}:" in output
+        assert "1 hosts (clinode)" in output
+        assert "rpc.dispatch" in output
+
+    def test_unknown_trace_errors(self, daemon, capsys):
+        code = main(
+            ["-c", "clinode", "fleet-trace-get", "999999", "--hosts", "clinode"],
+            out=io.StringIO(),
+        )
+        assert code == 1
+        assert "no spans found" in capsys.readouterr().err
 
 
 class TestConnectionErrors:

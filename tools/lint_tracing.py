@@ -12,6 +12,13 @@ fails CI when anything outside ``tracing.py``:
 * builds its own ``threading.local()`` span bookkeeping inside
   ``repro/observability``.
 
+It also enforces span *coverage* on the fleet control plane: every
+public ``FleetOrchestrator`` operation and every migration handshake
+phase must run inside a span (``.span(`` / ``self._span(``), so a
+drained guest always yields a complete stitched trace.  An orchestrator
+verb added without a span is exactly the kind of observability hole
+this repo's fleet-trace tests exist to prevent.
+
 Usage::
 
     python tools/lint_tracing.py [root ...]   # default: src tests benchmarks
@@ -52,6 +59,60 @@ def lint_file(path):
     return problems
 
 
+#: files whose named functions must open a span in their body
+_ORCHESTRATOR = os.path.join("fleet", "orchestrator.py")
+_MIGRATION = os.path.join("migration", "manager.py")
+#: a span is opened by ``tracer.span(...)`` or the ``self._span(...)`` helper
+_SPAN_OPEN = re.compile(r"\._?span\s*\(")
+_MIGRATION_PHASES = ("begin", "prepare", "perform", "finish", "confirm")
+
+
+def _public_methods(source, class_name):
+    """(name, body) for each method defined under ``class class_name``."""
+    match = re.search(rf"^class {class_name}\b", source, re.MULTILINE)
+    if match is None:
+        return []
+    offset = match.start()
+    source = source[offset:]
+    methods = []
+    matches = list(re.finditer(r"^    def (\w+)\s*\(", source, re.MULTILINE))
+    for i, match in enumerate(matches):
+        end = matches[i + 1].start() if i + 1 < len(matches) else len(source)
+        methods.append((match.group(1), source[match.start() : end]))
+    return methods
+
+
+def lint_span_coverage(path):
+    """Require a span around fleet orchestration and migration phases."""
+    problems = []
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    if path.endswith(_ORCHESTRATOR):
+        for name, body in _public_methods(source, "FleetOrchestrator"):
+            if name.startswith("_") or name in ("plan_drain",):
+                continue  # planning is pure bookkeeping, no I/O to trace
+            if not _SPAN_OPEN.search(body):
+                lineno = source[: source.index(f"def {name}")].count("\n") + 1
+                problems.append(
+                    (lineno, f"FleetOrchestrator.{name} must run inside a span")
+                )
+    if path.endswith(_MIGRATION):
+        match = re.search(r"^def run_handshake\b.*?(?=^def |\Z)", source,
+                          re.MULTILINE | re.DOTALL)
+        if match is None or not _SPAN_OPEN.search(match.group(0)):
+            problems.append(
+                (1, "run_handshake must open a span around each phase")
+            )
+        else:
+            body = match.group(0)
+            for phase in _MIGRATION_PHASES:
+                if f'"{phase}"' not in body and f"'{phase}'" not in body:
+                    problems.append(
+                        (1, f"migration phase {phase!r} missing from run_handshake")
+                    )
+    return problems
+
+
 def main(argv=None):
     roots = (argv or sys.argv[1:]) or [os.path.join(REPO, r) for r in DEFAULT_ROOTS]
     failures = 0
@@ -63,7 +124,7 @@ def main(argv=None):
                 path = os.path.join(dirpath, filename)
                 if path.endswith(ALLOWED):
                     continue
-                for lineno, why in lint_file(path):
+                for lineno, why in lint_file(path) + lint_span_coverage(path):
                     rel = os.path.relpath(path, REPO)
                     print(f"{rel}:{lineno}: {why}", file=sys.stderr)
                     failures += 1
