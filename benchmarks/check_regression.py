@@ -205,6 +205,29 @@ def collect_o2():
     }
 
 
+def collect_s1():
+    """Stream bulk-data plane figures (round trips, flatness, teardown).
+
+    Round-trip counts are exact functions of the chunking and the
+    stream grammar; the flatness and modelled seconds follow from the
+    transport latency model.  ``zero_copy_ok`` and ``sever_clean`` gate
+    as pass/fail bits — a drop to 0 means the decode path started
+    copying chunk bodies or a severed stream dangled."""
+    import bench_s1_stream_throughput as s1
+
+    figures = s1.collect()
+    return {
+        "s1.stream.proc_round_trips": float(figures["proc_round_trips"]),
+        "s1.stream.stream_round_trips": float(figures["stream_round_trips"]),
+        "s1.stream.round_trip_ratio": figures["round_trip_ratio"],
+        "s1.stream.proc_s": figures["proc_seconds"],
+        "s1.stream.stream_s": figures["stream_seconds"],
+        "s1.stream.per_chunk_flatness": figures["per_chunk_flatness"],
+        "s1.xdr.zero_copy_ok": figures["zero_copy_ok"],
+        "s1.stream.sever_clean": figures["sever_clean"],
+    }
+
+
 def collect_wall_informational():
     """Real management-layer CPU cost per cycle — reported, not gated."""
     import bench_e3_lifecycle_overhead as e3
@@ -273,6 +296,7 @@ def main(argv=None):
     current.update(collect_r3())
     current.update(collect_f1())
     current.update(collect_o2())
+    current.update(collect_s1())
     info = {} if args.skip_wall else collect_wall_informational()
 
     if args.output:

@@ -424,6 +424,25 @@ def cmd_checkpoint_dumpxml(conn: repro.Connection, args: argparse.Namespace, out
 
 def cmd_backup_begin(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
     domain = conn.lookup_domain(args.domain)
+    if args.pull:
+        # pull mode: the dirty blocks come to us over a stream instead
+        # of being pushed into a pool volume by the daemon
+        result = domain.backup_pull(incremental=args.incremental)
+        blocks = sum(len(b) for b in result["disks"].values())
+        mode = "incremental" if result.get("incremental") else "full"
+        print(
+            f"Backup pulled ({mode}): {blocks} blocks, "
+            f"{result['total_bytes']} bytes from {len(result['disks'])} disk(s)",
+            file=out,
+        )
+        if args.file:
+            with open(args.file, "wb") as handle:
+                handle.write(result["data"])
+            print(f"Payload written to {args.file}", file=out)
+        return 0
+    if not args.pool:
+        print("error: backup-begin requires --pool (or --pull)", file=sys.stderr)
+        return 1
     job = domain.backup_begin(
         args.pool,
         incremental=args.incremental,
@@ -617,6 +636,56 @@ def cmd_vol_delete(conn: repro.Connection, args: argparse.Namespace, out: TextIO
     return 0
 
 
+def cmd_vol_upload(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
+    """``virsh vol-upload``: stream a local file into a volume."""
+    if args.file == "-":
+        data = sys.stdin.buffer.read()
+    else:
+        with open(args.file, "rb") as handle:
+            data = handle.read()
+    volume = conn.lookup_storage_pool(args.pool).lookup_volume(args.name)
+    info = volume.upload(data, offset=args.offset)
+    print(
+        f"Vol {args.name}: uploaded {len(data)} bytes at offset {args.offset} "
+        f"(allocation now {format_size(info.allocation_bytes)})",
+        file=out,
+    )
+    return 0
+
+
+def cmd_vol_download(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
+    """``virsh vol-download``: stream a volume into a local file."""
+    volume = conn.lookup_storage_pool(args.pool).lookup_volume(args.name)
+    data = volume.download(offset=args.offset, length=args.length)
+    if args.file == "-":
+        sys.stdout.buffer.write(data)
+    else:
+        with open(args.file, "wb") as handle:
+            handle.write(data)
+    print(f"Vol {args.name}: downloaded {len(data)} bytes to {args.file}", file=out)
+    return 0
+
+
+def cmd_console(conn: repro.Connection, args: argparse.Namespace, out: TextIO) -> int:
+    """``virsh console`` (non-interactive): print the banner, optionally
+    send one line and print what the guest echoes back."""
+    console = conn.lookup_domain(args.domain).open_console()
+    try:
+        banner = console.recv()
+        if banner:
+            out.write(banner.decode("utf-8", "replace"))
+        if args.send is not None:
+            console.send(args.send.encode("utf-8") + b"\n")
+            while True:
+                chunk = console.recv()
+                if not chunk:
+                    break
+                out.write(chunk.decode("utf-8", "replace"))
+    finally:
+        console.close()
+    return 0
+
+
 # -- argument parsing ----------------------------------------------------------
 
 CommandFn = Callable[[repro.Connection, argparse.Namespace, TextIO], int]
@@ -735,11 +804,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name")
     p = add("backup-begin", cmd_backup_begin, "start a domain backup job")
     p.add_argument("domain")
-    p.add_argument("--pool", required=True, help="storage pool receiving the backup volume")
+    p.add_argument("--pool", help="storage pool receiving the backup volume (push mode)")
     p.add_argument("--incremental", metavar="CHECKPOINT", help="copy only blocks dirtied since this checkpoint")
     p.add_argument("--checkpoint", metavar="NAME", help="also create a checkpoint as the backup starts")
     p.add_argument("--volume", help="name for the backup volume")
     p.add_argument("--bandwidth", type=float, help="transfer bandwidth cap in MiB/s")
+    p.add_argument("--pull", action="store_true",
+                   help="pull the dirty blocks over a stream instead of pushing to a pool")
+    p.add_argument("--file", help="with --pull, write the block payload to this file")
     add("domjobabort", cmd_domjobabort, "abort the active domain job").add_argument("domain")
     p = add("event", cmd_event, "wait for and print pushed event records")
     p.add_argument("--domain", default=None, help="only events for this domain")
@@ -782,6 +854,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = add("vol-delete", cmd_vol_delete, "delete a volume")
     p.add_argument("pool")
     p.add_argument("name")
+    p = add("vol-upload", cmd_vol_upload, "stream a local file into a volume")
+    p.add_argument("pool")
+    p.add_argument("name")
+    p.add_argument("file", help="local file to read ('-' for stdin)")
+    p.add_argument("--offset", type=int, default=0, help="write offset in bytes")
+    p = add("vol-download", cmd_vol_download, "stream a volume into a local file")
+    p.add_argument("pool")
+    p.add_argument("name")
+    p.add_argument("file", help="local file to write ('-' for stdout)")
+    p.add_argument("--offset", type=int, default=0, help="read offset in bytes")
+    p.add_argument("--length", type=int, default=None, help="bytes to read (default: to end)")
+    p = add("console", cmd_console, "connect to the domain console (non-interactive)")
+    p.add_argument("domain")
+    p.add_argument("--send", metavar="TEXT", default=None,
+                   help="send one line and print the guest's echo")
     return parser
 
 

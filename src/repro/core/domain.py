@@ -275,6 +275,35 @@ class Domain:
             options["bandwidth_mib_s"] = float(bandwidth_mib_s)
         return self._conn._driver.backup_begin(self._name, options)
 
+    def backup_pull(
+        self,
+        incremental: Optional[str] = None,
+        disks: Optional[List[str]] = None,
+    ) -> Dict[str, Any]:
+        """Pull-mode backup: read the dirty blocks directly.
+
+        Unlike :meth:`backup_begin` (push mode, daemon writes into a
+        pool volume), pull mode hands the block payload to the caller
+        NBD-style: remotely it rides a virStream.  ``incremental`` names
+        a checkpoint so only blocks dirtied since it are read.  Returns
+        a manifest (``disks`` → sorted dirty block lists, block size)
+        plus ``data``, the concatenated block payload.
+        """
+        options: Dict[str, Any] = {}
+        if incremental is not None:
+            options["incremental"] = incremental
+        if disks is not None:
+            options["disks"] = list(disks)
+        return self._conn._driver.backup_begin_pull(self._name, options)
+
+    def open_console(self) -> Any:
+        """``virDomainOpenConsole``: attach to the guest's console.
+
+        Returns a console object with ``send``/``recv``/``close`` —
+        a local PTY stand-in or, remotely, a bidirectional virStream.
+        """
+        return self._conn._driver.domain_open_console(self._name)
+
     # -- migration ------------------------------------------------------------------------
 
     def migrate(

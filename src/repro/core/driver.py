@@ -37,6 +37,7 @@ FEATURES = (
     "snapshots",
     "checkpoints",
     "backup",
+    "bulk_streams",  # stream-backed vol upload/download + console
     "migration",
     "networks",
     "storage",
@@ -82,7 +83,12 @@ FEATURE_METHODS: Dict[str, Tuple[str, ...]] = {
         "checkpoint_delete",
         "checkpoint_get_xml_desc",
     ),
-    "backup": ("backup_begin", "domain_abort_job"),
+    "backup": ("backup_begin", "backup_begin_pull", "domain_abort_job"),
+    "bulk_streams": (
+        "storage_vol_upload",
+        "storage_vol_download",
+        "domain_open_console",
+    ),
     "migration": (
         "migrate_begin",
         "migrate_prepare",
@@ -314,9 +320,20 @@ class Driver:
         """Start a full or incremental backup as a background job."""
         raise self._unsupported("backup_begin")
 
+    def backup_begin_pull(self, name: str, options: Dict[str, Any]) -> Dict[str, Any]:
+        """Pull-mode backup: return the dirty-block manifest and the
+        block contents so the *client* drives extraction (NBD-style),
+        instead of the daemon writing a target file."""
+        raise self._unsupported("backup_begin_pull")
+
     def domain_abort_job(self, name: str) -> Dict[str, Any]:
         """Cancel the domain's active background job."""
         raise self._unsupported("domain_abort_job")
+
+    def domain_open_console(self, name: str) -> Any:
+        """Attach to the domain's serial console; returns an object
+        with ``send``/``recv``/``close``."""
+        raise self._unsupported("domain_open_console")
 
     # -- migration ----------------------------------------------------------------
 
@@ -424,6 +441,24 @@ class Driver:
 
     def storage_vol_get_info(self, pool: str, volume: str) -> Dict[str, Any]:
         raise self._unsupported("storage_vol_get_info")
+
+    def storage_vol_upload(
+        self,
+        pool: str,
+        volume: str,
+        data: "bytes | bytearray | memoryview",
+        offset: int = 0,
+    ) -> Dict[str, Any]:
+        """Write ``data`` into a volume at ``offset``; returns the
+        refreshed volume info."""
+        raise self._unsupported("storage_vol_upload")
+
+    def storage_vol_download(
+        self, pool: str, volume: str, offset: int = 0, length: "Optional[int]" = None
+    ) -> bytes:
+        """Read ``length`` bytes (default: to end of capacity) from a
+        volume starting at ``offset``."""
+        raise self._unsupported("storage_vol_download")
 
 
 # -- driver registry ---------------------------------------------------------

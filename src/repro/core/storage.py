@@ -62,6 +62,28 @@ class Volume:
     def delete(self) -> None:
         self._pool._conn._driver.storage_vol_delete(self._pool.name, self._name)
 
+    def upload(self, data: bytes, offset: int = 0) -> VolumeInfo:
+        """``virStorageVolUpload``: write ``data`` at ``offset``.
+
+        Remotely the payload travels over a virStream (chunked STREAM
+        frames under credit-based flow control), not a procedure call.
+        """
+        raw = self._pool._conn._driver.storage_vol_upload(
+            self._pool.name, self._name, data, offset
+        )
+        return VolumeInfo(
+            capacity_bytes=raw["capacity_bytes"],
+            allocation_bytes=raw["allocation_bytes"],
+            volume_format=raw["format"],
+            path=raw["path"],
+        )
+
+    def download(self, offset: int = 0, length: Optional[int] = None) -> bytes:
+        """``virStorageVolDownload``: read ``length`` bytes from ``offset``."""
+        return self._pool._conn._driver.storage_vol_download(
+            self._pool.name, self._name, offset, length
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Volume({self._name!r} in pool {self._pool.name!r})"
 

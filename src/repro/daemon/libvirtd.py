@@ -330,6 +330,9 @@ class Libvirtd:
                 record.conn.channel.sever()
             except VirtError:
                 pass
+            # streams die with the process: nothing may dangle, and an
+            # upload that never reached its commit leaves no trace
+            self.rpc.abort_connection_streams(record.conn, "daemon crashed")
         for listener in listeners:
             listener.close_all()
         for timer_id in timers:
@@ -541,6 +544,12 @@ class Libvirtd:
                     except VirtError:
                         pass
         record.owned_jobs.clear()
+        # open streams never survive their connection: abort them so a
+        # half-sent upload is discarded, not committed
+        self.rpc.abort_connection_streams(
+            record.conn,
+            "client disconnected" if clean else "client connection lost",
+        )
         with self._lock:
             self._clients.pop(record.id, None)
             self._by_conn.pop(record.conn, None)
@@ -996,6 +1005,154 @@ class Libvirtd:
 
         return handler
 
+    # -- stream-backed procedures -------------------------------------------
+    #
+    # Each opening CALL validates its arguments through a ``_wrap``-ed
+    # driver call (so crash points, spans and the driver-op metric apply),
+    # then attaches a ``ServerStream`` to move the bulk payload outside
+    # the procedure-call path.  Uploads stage chunks and commit through
+    # the driver in ONE journaled call at finish time: a crash or abort
+    # mid-stream therefore leaves the volume untouched.
+
+    def _h_vol_upload(self) -> Callable[[ServerConnection, Any], Any]:
+        validate = self._wrap(
+            lambda d, b: d.storage_vol_get_info(b["pool"], b["volume"])
+        )
+        validate.procedure = "storage.vol_upload"
+        commit = self._wrap(
+            lambda d, b: d.storage_vol_upload(
+                b["pool"], b["volume"], b["data"], b["offset"]
+            )
+        )
+        commit.procedure = "storage.vol_upload"
+
+        def handler(conn: ServerConnection, body: Any) -> Any:
+            body = body or {}
+            pool, volume = body["pool"], body["volume"]
+            offset = int(body.get("offset") or 0)
+            info = validate(conn, {"pool": pool, "volume": volume})
+            stream = self.rpc.open_stream()
+            staging = bytearray()
+
+            def on_finish() -> Any:
+                # single journaled mutation: MID_JOURNAL crash here tears
+                # the journal record and recovery discards the upload
+                return commit(
+                    conn,
+                    {
+                        "pool": pool,
+                        "volume": volume,
+                        "data": bytes(staging),
+                        "offset": offset,
+                    },
+                )
+
+            stream.set_sink(staging.extend, on_finish=on_finish)
+            return {
+                "pool": pool,
+                "volume": volume,
+                "offset": offset,
+                "capacity_bytes": info["capacity_bytes"],
+            }
+
+        return handler
+
+    def _h_vol_download(self) -> Callable[[ServerConnection, Any], Any]:
+        fetch = self._wrap(
+            lambda d, b: d.storage_vol_download(
+                b["pool"], b["volume"], b["offset"], b["length"]
+            )
+        )
+        fetch.procedure = "storage.vol_download"
+
+        def handler(conn: ServerConnection, body: Any) -> Any:
+            body = body or {}
+            pool, volume = body["pool"], body["volume"]
+            offset = int(body.get("offset") or 0)
+            length = body.get("length")
+            data = fetch(
+                conn,
+                {"pool": pool, "volume": volume, "offset": offset, "length": length},
+            )
+            stream = self.rpc.open_stream()
+            view = memoryview(data)
+            cursor = [0]
+
+            def read(max_bytes: int) -> Any:
+                if cursor[0] >= len(view):
+                    return None
+                chunk = view[cursor[0] : cursor[0] + max_bytes]
+                cursor[0] += len(chunk)
+                return chunk
+
+            stream.set_source(read, result={"length": len(data)})
+            return {"pool": pool, "volume": volume, "length": len(data)}
+
+        return handler
+
+    def _h_open_console(self) -> Callable[[ServerConnection, Any], Any]:
+        attach = self._wrap(lambda d, b: d.domain_open_console(b["name"]))
+        attach.procedure = "domain.open_console"
+
+        def handler(conn: ServerConnection, body: Any) -> Any:
+            body = body or {}
+            name = body["name"]
+            console = attach(conn, {"name": name})
+            stream = self.rpc.open_stream()
+
+            def flush_output() -> None:
+                while stream.state == "open":
+                    out = console.recv()
+                    if not out:
+                        break
+                    stream.send(out)
+
+            def on_data(chunk: Any) -> None:
+                console.send(bytes(chunk))
+                flush_output()
+
+            def on_finish() -> Any:
+                console.close()
+                return {"domain": name}
+
+            def on_abort(reason: Any) -> None:
+                console.close()
+
+            stream.set_sink(on_data, on_finish=on_finish, on_abort=on_abort)
+            # the guest banner is waiting before the client types anything
+            flush_output()
+            return {"domain": name}
+
+        return handler
+
+    def _h_backup_begin_pull(self) -> Callable[[ServerConnection, Any], Any]:
+        begin = self._wrap(
+            lambda d, b: d.backup_begin_pull(b["name"], b.get("options") or {})
+        )
+        begin.procedure = "domain.backup_begin_pull"
+
+        def handler(conn: ServerConnection, body: Any) -> Any:
+            body = body or {}
+            result = begin(conn, body)
+            # the block payload travels on the stream; the manifest
+            # (disks -> dirty block lists) is the opening reply
+            data = bytes(result.pop("data", b"") or b"")
+            stream = self.rpc.open_stream()
+            view = memoryview(data)
+            cursor = [0]
+
+            def read(max_bytes: int) -> Any:
+                if cursor[0] >= len(view):
+                    return None
+                chunk = view[cursor[0] : cursor[0] + max_bytes]
+                cursor[0] += len(chunk)
+                return chunk
+
+            stream.set_source(read, result={"total_bytes": len(data)})
+            return result
+
+        return handler
+
     def _register_handlers(self) -> None:
         def r(name: str, handler: Any, priority: bool = False) -> None:
             # stamp wrapped handlers with their procedure name so the
@@ -1092,3 +1249,9 @@ class Libvirtd:
         r("storage.vol_delete", w(lambda d, b: d.storage_vol_delete(b["pool"], b["volume"])))
         r("storage.vol_list", w(lambda d, b: d.storage_vol_list(b["pool"])), priority=True)
         r("storage.vol_get_info", w(lambda d, b: d.storage_vol_get_info(b["pool"], b["volume"])), priority=True)
+        # stream-backed bulk-data procedures (never retried, never pooled
+        # past the opening CALL: STREAM frames dispatch inline)
+        r("storage.vol_upload", self._h_vol_upload())
+        r("storage.vol_download", self._h_vol_download())
+        r("domain.open_console", self._h_open_console())
+        r("domain.backup_begin_pull", self._h_backup_begin_pull())

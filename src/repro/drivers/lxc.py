@@ -42,6 +42,7 @@ class LxcDriver(StatefulDriver):
             "checkpoint_delete",
             "checkpoint_get_xml_desc",
             "backup_begin",
+            "backup_begin_pull",
             "domain_abort_job",
         }
     )
@@ -138,6 +139,9 @@ class LxcDriver(StatefulDriver):
 
     def backup_begin(self, name: str, options: "Optional[Dict[str, Any]]" = None) -> Dict[str, Any]:
         raise self._unsupported("backup jobs")
+
+    def backup_begin_pull(self, name: str, options: "Optional[Dict[str, Any]]" = None) -> Dict[str, Any]:
+        raise self._unsupported("backup jobs (containers have no dirty bitmaps)")
 
     def domain_abort_job(self, name: str) -> Dict[str, Any]:
         raise self._unsupported("backup jobs")

@@ -34,6 +34,7 @@ from repro.rpc.protocol import (
     EVENT_DOMAIN_LIFECYCLE,
 )
 from repro.rpc.retry import CircuitBreaker, RetryPolicy, is_idempotent
+from repro.stream import StreamConsole
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.observability.metrics import MetricsRegistry
@@ -597,6 +598,21 @@ class RemoteDriver(Driver):
             "domain.backup_begin", {"name": name, "options": dict(options or {})}
         )
 
+    def backup_begin_pull(self, name: str, options: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        # stream-backed (never retried): the manifest arrives as the
+        # opening reply, the block payload rides STREAM frames
+        stream = self.client.open_stream(
+            "domain.backup_begin_pull",
+            {"name": name, "options": dict(options or {})},
+        )
+        result = dict(stream.info or {})
+        result["data"] = stream.drain()
+        return result
+
+    def domain_open_console(self, name: str) -> Any:
+        stream = self.client.open_stream("domain.open_console", {"name": name})
+        return StreamConsole(stream)
+
     # -- migration -------------------------------------------------------------------------
 
     def migrate_begin(self, name: str) -> Dict[str, Any]:
@@ -762,3 +778,23 @@ class RemoteDriver(Driver):
 
     def storage_vol_get_info(self, pool: str, volume: str) -> Dict[str, Any]:
         return self._call("storage.vol_get_info", {"pool": pool, "volume": volume})
+
+    def storage_vol_upload(self, pool: str, volume: str, data: Any, offset: int = 0) -> Dict[str, Any]:
+        stream = self.client.open_stream(
+            "storage.vol_upload",
+            {"pool": pool, "volume": volume, "offset": int(offset)},
+        )
+        try:
+            stream.send(data)
+        except VirtError:
+            if stream.state == "open":
+                stream.abort("upload failed client-side")
+            raise
+        return stream.finish()
+
+    def storage_vol_download(self, pool: str, volume: str, offset: int = 0, length: "Optional[int]" = None) -> bytes:
+        stream = self.client.open_stream(
+            "storage.vol_download",
+            {"pool": pool, "volume": volume, "offset": int(offset), "length": length},
+        )
+        return stream.drain()

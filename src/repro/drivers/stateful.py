@@ -11,6 +11,7 @@ else, which is exactly how libvirt keeps its drivers small.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.checkpoint import CheckpointTree, JobEngine
@@ -51,6 +52,42 @@ from repro.xmlconfig.storage import StoragePoolConfig, VolumeConfig
 
 MIB = 1024 * 1024
 VERSION = (1, 0, 0)
+
+
+class LocalConsole:
+    """In-process endpoint for a domain's serial console.
+
+    The modelled guest prints a connect banner and echoes whatever it
+    is sent — enough to exercise the bidirectional data path.  The
+    remote driver wraps the same duck API
+    (``send``/``recv``/``close``/``closed``) around a stream, so
+    ``virsh console`` behaves identically on both paths.
+    """
+
+    def __init__(self, domain: str) -> None:
+        self.domain = domain
+        self.closed = False
+        self._outbuf: "deque[bytes]" = deque()
+        self._outbuf.append(
+            f"Connected to domain {domain}\r\nEscape character is ^]\r\n".encode()
+        )
+
+    def send(self, data: "str | bytes") -> None:
+        if self.closed:
+            raise InvalidOperationError(
+                f"console for domain {self.domain!r} is closed"
+            )
+        payload = data.encode("utf-8") if isinstance(data, str) else bytes(data)
+        if payload:
+            self._outbuf.append(payload)
+
+    def recv(self) -> bytes:
+        if self._outbuf:
+            return self._outbuf.popleft()
+        return b""
+
+    def close(self) -> None:
+        self.closed = True
 
 
 class _DomainRecord:
@@ -550,6 +587,7 @@ class StatefulDriver(Driver):
             "snapshots",
             "checkpoints",
             "backup",
+            "bulk_streams",
             "migration",
             "networks",
             "storage",
@@ -1384,6 +1422,79 @@ class StatefulDriver(Driver):
                 pass
         self._journal_pool(pool)
 
+    def backup_begin_pull(
+        self, name: str, options: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Pull-mode backup: the dirty-block manifest plus the blocks'
+        contents, for the *client* to extract NBD-style.
+
+        Unlike :meth:`backup_begin` — which copies into a daemon-side
+        target volume as a background job — pull mode is read-only on
+        the daemon: ``incremental`` (a checkpoint name) selects blocks
+        dirtied since that checkpoint (frozen bitmaps merged with the
+        live one, as PR-5's incremental push does); without it every
+        allocated block ships.  Over the remote driver the ``data``
+        field travels as a stream.
+        """
+        self._count_call()
+        options = dict(options or {})
+        record = self._record(name)
+        state = self._domain_state(name)
+        if state not in (DomainState.RUNNING, DomainState.PAUSED):
+            raise InvalidOperationError(
+                f"cannot back up domain {name!r}: domain is "
+                f"{DomainState(state).name.lower()}"
+            )
+        images = self.backend.images
+        disks = self._domain_disk_paths(record)
+        if not disks:
+            raise InvalidOperationError(f"domain {name!r} has no disks to back up")
+        incremental = options.get("incremental") or None
+        manifest: Dict[str, List[int]] = {}
+        if incremental:
+            since = record.checkpoints.blocks_since(incremental, disks)
+            for path in disks:
+                blocks = set(since.get(path, set()))
+                blocks.update(images.dirty_blocks(path))
+                manifest[path] = sorted(blocks)
+        else:
+            for path in disks:
+                allocated = images.lookup(path).allocation_bytes
+                manifest[path] = list(range(-(-allocated // images.block_size)))
+        chunks: List[bytes] = []
+        for path in disks:
+            for block in manifest[path]:
+                chunks.append(
+                    images.read_bytes(
+                        path, block * images.block_size, images.block_size
+                    )
+                )
+        data = b"".join(chunks)
+        self.events.publish(
+            "job",
+            domain=name,
+            event="backup-pull",
+            detail="incremental" if incremental else "full",
+        )
+        return {
+            "domain": name,
+            "block_size": images.block_size,
+            "disks": manifest,
+            "total_bytes": len(data),
+            "incremental": incremental or "",
+            "data": data,
+        }
+
+    def domain_open_console(self, name: str) -> LocalConsole:
+        self._count_call()
+        state = self._domain_state(name)
+        if state not in (DomainState.RUNNING, DomainState.PAUSED):
+            raise InvalidOperationError(
+                f"cannot open console: domain {name!r} is "
+                f"{DomainState(state).name.lower()}"
+            )
+        return LocalConsole(name)
+
     def domain_abort_job(self, name: str) -> Dict[str, Any]:
         self._count_call()
         self._record(name)
@@ -1869,6 +1980,54 @@ class StatefulDriver(Driver):
             "format": config.volume_format,
             "path": path,
         }
+
+    def storage_vol_upload(
+        self,
+        pool: str,
+        volume: str,
+        data: "bytes | bytearray | memoryview",
+        offset: int = 0,
+    ) -> Dict[str, Any]:
+        """Commit uploaded bytes into a volume (``virStorageVolUpload``).
+
+        This is the *commit* half of a streamed upload: the daemon
+        stages chunks while the stream runs and applies them in this
+        single call at finish, so a crash mid-stream leaves the volume
+        untouched and a crash mid-commit tears the journal record —
+        either way recovery never sees a half-written volume.
+        """
+        self._count_call()
+        pool_config = self._get_pool(pool)
+        with self._lock:
+            if volume not in self._pool_volumes[pool]:
+                raise NoStorageVolumeError(f"no volume {volume!r} in pool {pool!r}")
+        path = f"{pool_config.target_path}/{volume}"
+        if not self.backend.images.exists(path):
+            raise NoStorageVolumeError(f"volume image {path!r} not found")
+        written = self.backend.images.write_bytes(path, offset, data)
+        self.events.publish(
+            "storage",
+            event="vol-uploaded",
+            detail=f"{pool}/{volume}",
+            bytes=written,
+        )
+        self._journal_pool(pool)
+        return self.storage_vol_get_info(pool, volume)
+
+    def storage_vol_download(
+        self, pool: str, volume: str, offset: int = 0, length: Optional[int] = None
+    ) -> bytes:
+        """Read volume content back (``virStorageVolDownload``).
+
+        Read-only: ``length`` defaults to the allocated extent past
+        ``offset`` (not capacity — a thin volume downloads only what
+        was ever written, like sparse-file aware tooling).
+        """
+        self._count_call()
+        info = self.storage_vol_get_info(pool, volume)
+        if length is None:
+            length = max(0, info["allocation_bytes"] - offset)
+        return self.backend.images.read_bytes(info["path"], offset, length)
 
 
 def from_run_state_str(state: str) -> DomainState:

@@ -65,6 +65,9 @@ class ImageStore:
         #: per-image dirty-block bitmap: block indices written since the
         #: last ``reset_dirty`` (i.e. since the most recent checkpoint)
         self._dirty: Dict[str, Set[int]] = {}
+        #: per-image byte contents, grown lazily by ``write_bytes`` —
+        #: only images touched by the bulk-data plane carry any
+        self._content: Dict[str, bytearray] = {}
         #: per-image write cursor — ``write()`` has no offset, so writes
         #: advance a cursor and wrap modulo capacity, like a log device
         self._cursor: Dict[str, int] = {}
@@ -121,6 +124,7 @@ class ImageStore:
             del self._images[path]
             self._dirty.pop(path, None)
             self._cursor.pop(path, None)
+            self._content.pop(path, None)
 
     def clone(self, source_path: str, dest_path: str, shallow: bool = True) -> DiskImage:
         """Copy an image: shallow = new COW overlay, deep = full copy."""
@@ -208,6 +212,70 @@ class ImageStore:
 
     def _num_blocks(self, image: DiskImage) -> int:
         return max(1, -(-image.capacity_bytes // self.block_size))
+
+    def write_bytes(
+        self, path: str, offset: int, data: "bytes | bytearray | memoryview"
+    ) -> int:
+        """Write actual bytes at ``offset`` (the vol-upload data path).
+
+        Unlike :meth:`write` — which only *models* allocation growth —
+        this stores content, so a later :meth:`read_bytes` returns what
+        was written.  The span's blocks are marked dirty at offset
+        granularity (no cursor), allocation grows to cover the written
+        extent, and writes past capacity are refused.
+        """
+        if offset < 0:
+            raise InvalidArgumentError("write offset must be non-negative")
+        with self._lock:
+            image = self._images.get(path)
+            if image is None:
+                raise NoStorageVolumeError(f"image {path!r} not found")
+            end = offset + len(data)
+            if end > image.capacity_bytes:
+                raise InvalidOperationError(
+                    f"write of {len(data)} bytes at offset {offset} exceeds "
+                    f"capacity {image.capacity_bytes} of {path!r}"
+                )
+            new_alloc = max(image.allocation_bytes, end)
+            growth = new_alloc - image.allocation_bytes
+            if growth > 0 and self._allocated_locked() + growth > self.capacity_bytes:
+                raise InvalidOperationError("image store full")
+            content = self._content.setdefault(path, bytearray())
+            if len(content) < end:
+                content.extend(b"\x00" * (end - len(content)))
+            content[offset:end] = data
+            image.allocation_bytes = new_alloc
+            if len(data):
+                blocks = self._dirty.setdefault(path, set())
+                total = self._num_blocks(image)
+                first = offset // self.block_size
+                last = (end - 1) // self.block_size
+                for block in range(first, last + 1):
+                    blocks.add(block % total)
+        return len(data)
+
+    def read_bytes(self, path: str, offset: int = 0, length: "Optional[int]" = None) -> bytes:
+        """Read stored content (the vol-download data path).
+
+        Extents never written read back as zeroes, like a sparse file;
+        ``length`` defaults to the rest of the image's capacity.
+        """
+        if offset < 0:
+            raise InvalidArgumentError("read offset must be non-negative")
+        with self._lock:
+            image = self._images.get(path)
+            if image is None:
+                raise NoStorageVolumeError(f"image {path!r} not found")
+            if length is None:
+                length = max(0, image.capacity_bytes - offset)
+            if length < 0:
+                raise InvalidArgumentError("read length must be non-negative")
+            end = min(offset + length, image.capacity_bytes)
+            if end <= offset:
+                return b""
+            content = self._content.get(path, b"")
+            stored = bytes(content[offset:end])
+            return stored + b"\x00" * ((end - offset) - len(stored))
 
     def set_allocation(self, path: str, allocation_bytes: int) -> None:
         """Force an image's allocation (snapshot revert / backup finish)."""

@@ -25,6 +25,16 @@ connection at once (``call_async`` starts a call without blocking, and
 the returned handle's ``result()`` collects it).  Deadline and
 keepalive semantics are unchanged: a reply that can never arrive
 charges exactly the remaining wait on the caller's own clock.
+
+Bulk data additions:
+
+* ``open_stream(procedure, ...)`` issues a stream-carrying CALL and
+  returns a :class:`~repro.stream.core.ClientStream` correlated by the
+  call's serial; STREAM frames are demultiplexed off both the inline
+  and pushed delivery paths.  Streams are torn down — never left
+  dangling — on keepalive death, desync, and ``close``.
+* ``call_many([...])`` coalesces several small CALL frames into one
+  transport write (one per-message latency charge for the whole batch).
 """
 
 from __future__ import annotations
@@ -45,14 +55,17 @@ from repro.errors import (
 )
 from repro.rpc.protocol import (
     KEEPALIVE_PONG,
+    STREAM_PROCEDURES,
     MessageType,
     ReplyStatus,
     RPCMessage,
     is_keepalive,
     make_ping,
+    peek_message_type,
     procedure_number,
 )
 from repro.rpc.transport import Channel
+from repro.stream.core import ClientStream
 from repro.util.eventloop import EventLoop
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -168,6 +181,8 @@ class RPCClient:
         self._serials = itertools.count(1)
         self._event_handlers: Dict[int, Callable[[Any], None]] = {}
         self._pending: Dict[int, _PendingCall] = {}
+        #: open streams keyed by their opening call's serial
+        self._streams: Dict[int, ClientStream] = {}
         self._lock = threading.Lock()
         self.calls_made = 0
         self.timeouts = 0
@@ -341,6 +356,7 @@ class RPCClient:
         if self.metrics is not None:
             self._m_deaths.inc()
         self._channel.abandon()
+        self._abort_all_streams(reason)
         if self._ka_timer is not None and self.eventloop is not None:
             self.eventloop.cancel(self._ka_timer)
             self._ka_timer = None
@@ -375,10 +391,160 @@ class RPCClient:
         """
         return PendingReply(self, self._start_call(procedure, body, timeout))
 
-    def _start_call(
-        self, procedure: str, body: Any, timeout: "Optional[float]"
-    ) -> _PendingCall:
-        """Send the CALL frame and register the pending entry."""
+    def call_many(
+        self,
+        calls: "list[tuple[str, Any]]",
+        timeout: "Optional[float]" = None,
+    ) -> "list[Any]":
+        """Issue several calls as one coalesced transport write.
+
+        ``calls`` is a list of ``(procedure, body)`` pairs.  The whole
+        batch pays the per-message transport latency once instead of
+        once per call — the win for many small calls (bulk status
+        polls, fleet sweeps).  Replies are still correlated per serial,
+        results are returned in input order, and the first failure is
+        re-raised after every reply has been collected.
+        """
+        if not calls:
+            return []
+        entries = []
+        frames = []
+        for procedure, body in calls:
+            entry, frame = self._prepare_call(procedure, body, timeout)
+            entries.append(entry)
+            frames.append(frame)
+        try:
+            outcomes = self._channel.send_batch(
+                frames,
+                wait_bound=entries[0].wait_bound,
+                tokens=[entry.serial for entry in entries],
+            )
+        except BaseException as exc:
+            for entry in entries:
+                self._forget(entry)
+                self._finish_span(entry, error=repr(exc))
+            raise
+        for entry, (kind, raw) in zip(entries, outcomes):
+            if kind == "reply":
+                self._forget(entry)
+                if raw is None:
+                    self._desynchronize(f"no reply to {entry.procedure}")
+                entry.resolve("reply", raw=raw)
+            # "pending" resolves via _on_reply_frame; "lost" was already
+            # resolved through the reply-lost handler
+        results: "list[Any]" = []
+        first_failure: "Optional[BaseException]" = None
+        for entry in entries:
+            try:
+                results.append(self._finish_call(entry))
+            except BaseException as exc:  # collect every reply regardless
+                results.append(None)
+                if first_failure is None:
+                    first_failure = exc
+        if first_failure is not None:
+            raise first_failure
+        return results
+
+    # -- streams -----------------------------------------------------------
+
+    def open_stream(
+        self, procedure: str, body: Any = None, timeout: "Optional[float]" = None
+    ) -> ClientStream:
+        """Issue a stream-carrying CALL and return its client stream.
+
+        The stream is registered *before* the CALL goes out: a server
+        that starts pushing chunks while still dispatching the opening
+        call (every download does) finds the buffer already in place.
+        The opening reply's body lands on ``stream.info``.
+
+        Stream procedures are deliberately absent from the idempotent
+        retry allowlist — replaying an upload after a lost reply would
+        duplicate bytes — so unlike :meth:`call` this path never
+        retries.
+        """
+        if procedure not in STREAM_PROCEDURES:
+            raise InvalidArgumentError(
+                f"procedure {procedure!r} does not carry a stream"
+            )
+        with self._lock:
+            serial = next(self._serials)
+        stream = ClientStream(self, procedure, procedure_number(procedure), serial)
+        with self._lock:
+            self._streams[serial] = stream
+        try:
+            entry = self._start_call(procedure, body, timeout, serial=serial)
+            stream.info = self._finish_call(entry)
+        except BaseException as exc:
+            self._forget_stream(serial)
+            if stream.state == "open":
+                stream.state = "aborted"
+                stream.error = (
+                    exc
+                    if isinstance(exc, VirtError)
+                    else RPCError(f"stream open failed: {exc}")
+                )
+            raise
+        if stream.state == "aborted":
+            raise stream.error
+        return stream
+
+    def _send_stream_frame(self, frame: bytes) -> bool:
+        """Push one STREAM frame; True when it reached the server."""
+        if self._dead_reason is not None:
+            raise ConnectionClosedError(
+                f"connection declared dead: {self._dead_reason}"
+            )
+        return self._channel.send_oneway(frame)
+
+    def _stream_link_ok(self) -> bool:
+        return not (
+            self._channel.closed
+            or self._channel.severed
+            or self._dead_reason is not None
+        )
+
+    def _forget_stream(self, serial: int) -> None:
+        with self._lock:
+            self._streams.pop(serial, None)
+
+    @property
+    def streams_open(self) -> int:
+        with self._lock:
+            return len(self._streams)
+
+    def _abort_all_streams(self, reason: str) -> None:
+        """Teardown every open stream (link died): nothing may dangle."""
+        with self._lock:
+            streams = list(self._streams.values())
+            self._streams.clear()
+        for stream in streams:
+            stream._local_abort(reason)
+
+    def _on_stream_frame(self, data: bytes) -> None:
+        try:
+            message = RPCMessage.unpack(memoryview(data))
+        except RPCError:
+            # a corrupted stream frame leaves a hole in the byte
+            # stream; the stalled stream aborts at the next recv/finish
+            return
+        with self._lock:
+            stream = self._streams.get(message.serial)
+        if stream is not None:
+            stream._on_frame(message)
+
+    def _prepare_call(
+        self,
+        procedure: str,
+        body: Any,
+        timeout: "Optional[float]",
+        serial: "Optional[int]" = None,
+    ) -> "tuple[_PendingCall, bytes]":
+        """Build the CALL frame and register the pending entry.
+
+        Shared by the single-call path, the batched path
+        (:meth:`call_many`) and the stream-opening path
+        (:meth:`open_stream`, which pre-allocates the serial so the
+        stream can be registered before the frame goes out)."""
         if self._dead_reason is not None:
             raise KeepaliveTimeoutError(f"connection declared dead: {self._dead_reason}")
         if self._channel.closed:
@@ -389,7 +555,8 @@ class RPCClient:
         if timeout is not None and timeout <= 0:
             raise InvalidArgumentError("call timeout must be positive")
         with self._lock:
-            serial = next(self._serials)
+            if serial is None:
+                serial = next(self._serials)
             self.calls_made += 1
         if self.metrics is not None:
             self._m_calls.labels(procedure=procedure).inc()
@@ -421,9 +588,20 @@ class RPCClient:
         entry.span = span
         with self._lock:
             self._pending[serial] = entry
+        return entry, request.pack()
+
+    def _start_call(
+        self,
+        procedure: str,
+        body: Any,
+        timeout: "Optional[float]",
+        serial: "Optional[int]" = None,
+    ) -> _PendingCall:
+        """Send the CALL frame and register the pending entry."""
+        entry, frame = self._prepare_call(procedure, body, timeout, serial=serial)
         try:
             inline, pending = self._channel.send_request(
-                request.pack(), wait_bound=wait_bound, token=serial
+                frame, wait_bound=entry.wait_bound, token=entry.serial
             )
         except TransportStalledError as exc:
             self._forget(entry)
@@ -540,6 +718,9 @@ class RPCClient:
 
     def _on_reply_frame(self, data: bytes) -> None:
         """Channel delivery of a deferred REPLY frame (worker thread)."""
+        if peek_message_type(data) == MessageType.STREAM:
+            self._on_stream_frame(data)
+            return
         try:
             message = RPCMessage.unpack(data)
         except RPCError as exc:
@@ -585,6 +766,7 @@ class RPCClient:
         self._channel.abandon()
         for entry in entries:
             entry.resolve("desync", reason=reason)
+        self._abort_all_streams(reason)
 
     def _desynchronize(self, why: str) -> None:
         """The reply stream can no longer be trusted: close the channel
@@ -606,6 +788,9 @@ class RPCClient:
             self._event_handlers.pop(event_id, None)
 
     def _on_event_frame(self, data: bytes) -> None:
+        if peek_message_type(data) == MessageType.STREAM:
+            self._on_stream_frame(data)
+            return
         try:
             message = RPCMessage.unpack(data)
         except RPCError:
@@ -619,4 +804,5 @@ class RPCClient:
 
     def close(self) -> None:
         self.disable_keepalive()
+        self._abort_all_streams("connection closed")
         self._channel.close()

@@ -6,9 +6,9 @@ A wire message is::
     uint32 program
     uint32 version
     uint32 procedure
-    uint32 type          (CALL / REPLY / EVENT)
+    uint32 type          (CALL / REPLY / EVENT / STREAM)
     uint32 serial        (matches replies to calls)
-    uint32 status        (OK / ERROR; meaningful on replies)
+    uint32 status        (OK / ERROR / CONTINUE; replies and streams)
     <XDR value body>
     [<XDR trace-context map>]    optional, appended after the body
 
@@ -52,11 +52,16 @@ class MessageType(enum.IntEnum):
     CALL = 0
     REPLY = 1
     EVENT = 2
+    #: bulk-data frame belonging to a stream opened by an earlier CALL
+    #: (libvirt's ``VIR_NET_STREAM``); correlated by (procedure, serial)
+    STREAM = 3
 
 
 class ReplyStatus(enum.IntEnum):
     OK = 0
     ERROR = 1
+    #: stream frame carrying data or flow-control (``VIR_NET_CONTINUE``)
+    CONTINUE = 2
 
 
 #: stable procedure numbers — append-only, never renumber
@@ -142,6 +147,11 @@ PROCEDURES: Dict[str, int] = {
     "domain.has_managed_save": 79,
     "connect.event_subscribe": 80,
     "connect.event_unsubscribe": 81,
+    # -- stream-carrying procedures (each CALL opens a virStream)
+    "storage.vol_upload": 82,
+    "storage.vol_download": 83,
+    "domain.open_console": 84,
+    "domain.backup_begin_pull": 85,
     # -- administration interface (separate 'admin' server in the daemon)
     "admin.connect_open": 100,
     "admin.srv_list": 101,
@@ -165,6 +175,19 @@ PROCEDURES: Dict[str, int] = {
 }
 
 _NUMBER_TO_NAME = {number: name for name, number in PROCEDURES.items()}
+
+#: procedures whose CALL opens a virStream on the same serial.  Data
+#: frames ride the connection outside request/response correlation, so
+#: these can NEVER sit on the idempotent-retry allowlist: re-issuing an
+#: upload after a lost reply would append the bytes twice.
+STREAM_PROCEDURES = frozenset(
+    {
+        "storage.vol_upload",
+        "storage.vol_download",
+        "domain.open_console",
+        "domain.backup_begin_pull",
+    }
+)
 
 #: the server-push event procedure numbers
 EVENT_DOMAIN_LIFECYCLE = 1000
@@ -295,6 +318,21 @@ def make_pong(serial: int) -> RPCMessage:
 
 def is_keepalive(message: RPCMessage) -> bool:
     return message.program == PROGRAM_KEEPALIVE
+
+
+def peek_message_type(data: "bytes | memoryview") -> "Optional[MessageType]":
+    """Read the type word of a packed frame without unpacking the body.
+
+    Demultiplexers use this to route STREAM frames off the hot
+    reply/event paths before paying for a full decode.  Returns
+    ``None`` for frames too short or with an unknown type value.
+    """
+    if len(data) < HEADER_BYTES:
+        return None
+    try:
+        return MessageType(int.from_bytes(bytes(data[16:20]), "big"))
+    except ValueError:
+        return None
 
 
 def split_frames(buffer: bytes) -> "Tuple[list, bytes]":

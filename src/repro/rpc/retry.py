@@ -19,6 +19,7 @@ import threading
 from typing import Callable, FrozenSet, Optional
 
 from repro.errors import InvalidArgumentError
+from repro.rpc.protocol import STREAM_PROCEDURES
 
 #: procedures safe to re-issue after a transport failure
 IDEMPOTENT_PROCEDURES: FrozenSet[str] = frozenset(
@@ -61,6 +62,17 @@ IDEMPOTENT_PROCEDURES: FrozenSet[str] = frozenset(
         "storage.vol_get_info",
     }
 )
+
+
+# Stream-opening procedures must never be retried: a "lost" reply may
+# mean the stream is half-open server-side, and re-issuing the CALL
+# would attach a second stream to a payload already partially moved.
+_STREAM_OVERLAP = IDEMPOTENT_PROCEDURES & STREAM_PROCEDURES
+if _STREAM_OVERLAP:  # pragma: no cover - import-time invariant
+    raise AssertionError(
+        "stream procedures may not be marked idempotent: "
+        f"{sorted(_STREAM_OVERLAP)}"
+    )
 
 
 def is_idempotent(procedure: str) -> bool:

@@ -15,6 +15,15 @@ beyond the window queue (up to a bound) and are rejected past that,
 providing backpressure instead of unbounded memory growth.  Without a
 pool, dispatch stays fully synchronous (handler runs inline, reply is
 the return value).
+
+Bulk data: STREAM frames are peeked off the dispatch entry *before*
+full unpack and routed straight to their
+:class:`~repro.stream.core.ServerStream` (never through the pool — like
+libvirt, stream traffic bypasses procedure dispatch once the opening
+call set the stream up).  Handlers create streams with
+:meth:`RPCServer.open_stream` during the opening CALL's dispatch;
+connection teardown aborts every stream the connection owned so a
+disconnect or daemon crash never leaves one dangling.
 """
 
 from __future__ import annotations
@@ -34,10 +43,12 @@ from repro.rpc.protocol import (
     RPCMessage,
     is_keepalive,
     make_pong,
+    peek_message_type,
     procedure_name,
     procedure_number,
 )
 from repro.rpc.transport import ASYNC_REPLY, ServerConnection
+from repro.stream.core import DEFAULT_WINDOW, ServerStream
 from repro.util.threadpool import WorkerPool
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
@@ -112,6 +123,13 @@ class RPCServer:
         self._windows: "weakref.WeakKeyDictionary[ServerConnection, _InflightWindow]" = (
             weakref.WeakKeyDictionary()
         )
+        #: open streams per connection, keyed by opening-call serial
+        self._streams: "weakref.WeakKeyDictionary[ServerConnection, Dict[int, ServerStream]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        #: (conn, message) of the CALL being dispatched on this thread,
+        #: so a handler can call :meth:`open_stream` with no arguments
+        self._dispatch_ctx = threading.local()
         self.max_client_requests = max_client_requests
         self.max_queued_requests = max_queued_requests
         self.calls_served = 0
@@ -157,6 +175,17 @@ class RPCServer:
                 ("server",),
             )
             inflight.labels(server=name).set_function(self.inflight_calls)
+            self._m_stream_bytes = metrics.counter(
+                "stream_bytes_total",
+                "Bulk bytes moved over streams by direction (daemon view)",
+                ("server", "direction"),
+            )
+            stream_active = metrics.gauge(
+                "stream_active",
+                "Streams currently open on the daemon",
+                ("server",),
+            )
+            stream_active.labels(server=name).set_function(self.active_streams)
 
     def _procedure_label(self, number: int) -> str:
         try:
@@ -241,7 +270,14 @@ class RPCServer:
         :data:`~repro.rpc.transport.ASYNC_REPLY` when the reply will be
         delivered through :meth:`ServerConnection.send_reply` once a
         worker finishes the job.
+
+        STREAM frames never enter the pool: they are routed straight to
+        the stream object the opening call registered, keeping data
+        chunks ordered relative to each other and to the flow-control
+        grants they answer.
         """
+        if peek_message_type(data) == MessageType.STREAM:
+            return self._handle_stream_frame(conn, data)
         try:
             message = RPCMessage.unpack(data)
         except VirtError as exc:
@@ -387,6 +423,8 @@ class RPCServer:
                 )
             failure: "Optional[VirtError]" = None
             result: Any = None
+            self._dispatch_ctx.conn = conn
+            self._dispatch_ctx.message = message
             try:
                 result = job.handler(conn, message.body)
             except DaemonCrashError:
@@ -398,6 +436,9 @@ class RPCServer:
                 failure = exc
             except Exception as exc:  # noqa: BLE001 - internal errors cross the wire too
                 failure = VirtError(f"internal error: {exc}")
+            finally:
+                self._dispatch_ctx.conn = None
+                self._dispatch_ctx.message = None
             if span is not None:
                 span.set_attribute("status", "ok" if failure is None else "error")
                 if failure is not None:
@@ -470,6 +511,122 @@ class RPCServer:
         """Push an EVENT frame to one connected client."""
         message = RPCMessage(event_id, MessageType.EVENT, 0, ReplyStatus.OK, body)
         conn.push(message.pack())
+
+    # -- streams -----------------------------------------------------------
+
+    def open_stream(
+        self,
+        conn: "Optional[ServerConnection]" = None,
+        message: "Optional[RPCMessage]" = None,
+        window: int = DEFAULT_WINDOW,
+    ) -> ServerStream:
+        """Create the daemon half of a stream for the CALL being
+        dispatched on this thread (both arguments default from the
+        dispatch context, so handlers just call ``server.open_stream()``).
+
+        The stream registers under its opening serial before the
+        handler returns, so chunks the client fires right behind the
+        CALL find it; the opening reply itself still travels the normal
+        REPLY path.
+        """
+        if conn is None:
+            conn = getattr(self._dispatch_ctx, "conn", None)
+        if message is None:
+            message = getattr(self._dispatch_ctx, "message", None)
+        if conn is None or message is None:
+            raise RPCError("open_stream called outside a CALL dispatch")
+        label = self._procedure_label(message.procedure)
+        stream = ServerStream(
+            self, conn, message.procedure, message.serial, label, window=window
+        )
+        with self._lock:
+            streams = self._streams.get(conn)
+            if streams is None:
+                streams = {}
+                self._streams[conn] = streams
+            streams[message.serial] = stream
+        if self.tracer is not None:
+            # detached: the transfer outlives the opening call's dispatch
+            stream.span = self.tracer.start_span(
+                "stream.transfer",
+                server=self.name,
+                procedure=label,
+                serial=message.serial,
+            )
+        if self.recorder is not None:
+            self.recorder.record(
+                "stream.open",
+                server=self.name,
+                procedure=label,
+                serial=message.serial,
+            )
+        return stream
+
+    def _handle_stream_frame(self, conn: ServerConnection, data: bytes) -> None:
+        # memoryview: chunk bodies decode as sub-views of the frame
+        # buffer — no per-chunk copy on the receive path
+        try:
+            message = RPCMessage.unpack(memoryview(data))
+        except VirtError:
+            return None  # corrupt stream frame: the stream stalls out
+        with self._lock:
+            streams = self._streams.get(conn)
+            stream = streams.get(message.serial) if streams else None
+        if stream is None:
+            return None  # late frame for an already torn-down stream
+        stream.handle_frame(message)
+        return None
+
+    def active_streams(self) -> int:
+        """Streams currently open across all connections."""
+        with self._lock:
+            return sum(len(streams) for streams in self._streams.values())
+
+    def connection_streams(self, conn: ServerConnection) -> "list[ServerStream]":
+        with self._lock:
+            return list((self._streams.get(conn) or {}).values())
+
+    def abort_connection_streams(self, conn: ServerConnection, reason: str) -> int:
+        """Tear down every stream a dying connection owns (no wire
+        traffic — the link is already gone).  Returns how many died."""
+        streams = self.connection_streams(conn)
+        for stream in streams:
+            stream.local_abort(reason)
+        return len(streams)
+
+    def _count_stream_bytes(self, direction: str, amount: int) -> None:
+        if self.metrics is not None:
+            self._m_stream_bytes.labels(server=self.name, direction=direction).inc(
+                amount
+            )
+
+    def _stream_closed(self, stream: ServerStream, outcome: str) -> None:
+        """Bookkeeping for any stream teardown (finish and abort)."""
+        with self._lock:
+            streams = self._streams.get(stream._conn)
+            if streams is not None:
+                streams.pop(stream.serial, None)
+        if self.recorder is not None:
+            fields = {
+                "server": self.name,
+                "procedure": stream.label,
+                "serial": stream.serial,
+                "bytes_in": stream.bytes_in,
+                "bytes_out": stream.bytes_out,
+            }
+            if stream.error is not None:
+                fields["error"] = stream.error
+            self.recorder.record(
+                "stream.finish" if outcome == "finish" else "stream.abort",
+                **fields,
+            )
+        if stream.span is not None and self.tracer is not None:
+            stream.span.set_attribute("bytes_in", stream.bytes_in)
+            stream.span.set_attribute("bytes_out", stream.bytes_out)
+            stream.span.set_attribute(
+                "status", "ok" if outcome == "finish" else "error"
+            )
+            self.tracer.finish_span(stream.span, error=stream.error)
 
 
 def _validate_window(max_client_requests: int, max_queued_requests: int) -> None:

@@ -378,6 +378,141 @@ class Channel:
             self.bytes_received += len(reply)
         return reply, False
 
+    def send_oneway(self, data: bytes) -> bool:
+        """Deliver one frame that expects no correlated reply.
+
+        Stream data/control frames travel this way: they are never
+        registered in the in-flight table and never wait.  Returns True
+        when the frame reached the server, False when the link silently
+        ate it (sever, drop, blackhole) — exactly how bytes written to a
+        half-dead socket behave.  A cleanly closed channel still raises.
+        """
+        if self.closed:
+            raise ConnectionClosedError(f"{self.spec.name} channel is closed")
+        with self._lock:
+            frame_index = self.frames_sent
+            self.frames_sent += 1
+        plan = self._faults
+        extra_delay = 0.0
+        if plan is not None:
+            from repro.faults.plan import FaultKind
+
+            decision = plan.decide("send", frame_index, self.clock.now())
+            if decision.kind is not None:
+                self._record_fault(decision.kind.value)
+            if decision.kind is FaultKind.SEVER:
+                self.sever()
+            elif decision.kind is FaultKind.DROP:
+                self._record_lost_frame()
+                return False
+            elif decision.kind is FaultKind.DELAY:
+                extra_delay = decision.delay
+            elif decision.kind is FaultKind.CORRUPT:
+                data = plan.corrupt_bytes(data)
+        if self.severed or (plan is not None and plan.blackholed):
+            self._record_lost_frame()
+            return False
+        if self._server_conn.closed:
+            self.closed = True
+            raise ConnectionClosedError("server closed the connection")
+        self.clock.sleep(self.spec.message_latency(len(data)) + extra_delay)
+        with self._lock:
+            self.bytes_sent += len(data)
+        self._server_conn.handle(data, frame_index=None)
+        return True
+
+    def send_batch(
+        self,
+        frames: "list[bytes]",
+        wait_bound: "Optional[float]" = None,
+        tokens: "Optional[list]" = None,
+    ) -> "list[Tuple[str, Optional[bytes]]]":
+        """Deliver several frames in one coalesced transport write.
+
+        This is the RPC batching path: the whole batch pays the
+        per-message transport latency *once* (plus bandwidth on the
+        total bytes), instead of once per frame — the coalescing win
+        for many small calls.  Returns one ``(status, reply)`` pair per
+        input frame: ``("reply", bytes)`` answered inline,
+        ``("pending", None)`` deferred to the pool, ``("lost", None)``
+        eaten by a fault (the reply-lost handler was already told).
+        Send-direction fault decisions apply per frame.
+        """
+        if self.closed:
+            raise ConnectionClosedError(f"{self.spec.name} channel is closed")
+        toks = list(tokens) if tokens is not None else [None] * len(frames)
+        if len(toks) != len(frames):
+            raise InvalidArgumentError("send_batch needs one token per frame")
+        with self._lock:
+            indexed = []
+            for data, token in zip(frames, toks):
+                indexed.append([self.frames_sent, data, token])
+                self.frames_sent += 1
+        results: "Dict[int, Tuple[str, Optional[bytes]]]" = {}
+
+        def lose(frame_index: int, token: Any) -> None:
+            results[frame_index] = ("lost", None)
+            self._record_lost_frame()
+            if self._reply_lost_handler is not None:
+                self._reply_lost_handler(token, "lost")
+
+        plan = self._faults
+        deliverable = []
+        for item in indexed:
+            frame_index, data, token = item
+            if plan is not None:
+                from repro.faults.plan import FaultKind
+
+                decision = plan.decide("send", frame_index, self.clock.now())
+                if decision.kind is not None:
+                    self._record_fault(decision.kind.value)
+                if decision.kind is FaultKind.SEVER:
+                    self.sever()
+                elif decision.kind is FaultKind.DROP:
+                    lose(frame_index, token)
+                    continue
+                elif decision.kind is FaultKind.DELAY:
+                    self.clock.sleep(decision.delay)
+                elif decision.kind is FaultKind.CORRUPT:
+                    item[1] = plan.corrupt_bytes(data)
+            if self.severed or (plan is not None and plan.blackholed):
+                lose(frame_index, token)
+                continue
+            deliverable.append(item)
+        if deliverable:
+            if self._server_conn.closed:
+                self.closed = True
+                raise ConnectionClosedError("server closed the connection")
+            total = sum(len(data) for _fi, data, _tok in deliverable)
+            # the whole batch crosses the wire as one write
+            self.clock.sleep(self.spec.message_latency(total))
+            with self._lock:
+                self.bytes_sent += total
+                for frame_index, _data, token in deliverable:
+                    self._inflight[frame_index] = token
+            inline_total = 0
+            for frame_index, data, _token in deliverable:
+                try:
+                    reply = self._server_conn.handle(data, frame_index=frame_index)
+                except BaseException:
+                    with self._lock:
+                        for fi, _d, _t in deliverable:
+                            self._inflight.pop(fi, None)
+                    raise
+                if reply is ASYNC_REPLY:
+                    results[frame_index] = ("pending", None)
+                    continue
+                with self._lock:
+                    self._inflight.pop(frame_index, None)
+                results[frame_index] = ("reply", reply)
+                inline_total += len(reply) if reply is not None else 0
+            if inline_total:
+                # the inline replies come back as one coalesced read too
+                self.clock.sleep(self.spec.message_latency(inline_total))
+                with self._lock:
+                    self.bytes_received += inline_total
+        return [results[frame_index] for frame_index, _data, _token in indexed]
+
     def set_reply_handler(self, handler: Callable[[bytes], None]) -> None:
         """Install the sink for asynchronously delivered REPLY frames."""
         self._reply_handler = handler

@@ -6,6 +6,12 @@ opaques — and, on top of them, a tagged *value* codec (a discriminated
 union in XDR terms) that can carry the JSON-like structures the RPC
 layer passes around: None, bools, integers, doubles, strings, bytes,
 lists, string-keyed maps, and typed-parameter lists.
+
+Zero-copy opaque path: the encoder accepts ``memoryview``/``bytearray``
+payloads and keeps them *by reference* until the final join, and a
+decoder constructed over a ``memoryview`` hands opaques back as
+sub-views of the caller's buffer.  Stream frames use both directions so
+bulk chunks are never copied per frame just to cross the codec.
 """
 
 from __future__ import annotations
@@ -38,7 +44,9 @@ class XdrEncoder:
     """Append-only XDR stream writer."""
 
     def __init__(self) -> None:
-        self._parts: List[bytes] = []
+        # may hold memoryview/bytearray entries (zero-copy opaque path);
+        # bytes.join accepts any buffer object at materialization time
+        self._parts: "List[bytes | bytearray | memoryview]" = []
 
     def data(self) -> bytes:
         return b"".join(self._parts)
@@ -79,8 +87,13 @@ class XdrEncoder:
         self._parts.append(struct.pack(">d", value))
         return self
 
-    def pack_opaque(self, value: bytes) -> "XdrEncoder":
-        """Variable-length opaque: uint32 length + data + pad to 4."""
+    def pack_opaque(self, value: "bytes | bytearray | memoryview") -> "XdrEncoder":
+        """Variable-length opaque: uint32 length + data + pad to 4.
+
+        Buffer-typed payloads (``memoryview``, ``bytearray``) are held
+        by reference — the bytes are only touched once, at the final
+        :meth:`data` join, never copied per pack call.
+        """
         if len(value) > MAX_OPAQUE:
             raise RPCError(f"opaque too large: {len(value)} bytes")
         self.pack_uint(len(value))
@@ -107,7 +120,9 @@ class XdrEncoder:
 class XdrDecoder:
     """Sequential XDR stream reader; raises :class:`RPCError` on underrun."""
 
-    def __init__(self, data: bytes) -> None:
+    def __init__(self, data: "bytes | memoryview") -> None:
+        # a memoryview input makes every _take a zero-copy sub-view of
+        # the caller's buffer (the stream receive path relies on this)
         self._data = data
         self._pos = 0
 
@@ -176,7 +191,7 @@ class XdrDecoder:
     def unpack_string(self) -> str:
         raw = self.unpack_opaque()
         try:
-            return raw.decode("utf-8")
+            return bytes(raw).decode("utf-8")
         except UnicodeDecodeError as exc:
             raise RPCError(f"invalid UTF-8 in XDR string: {exc}") from exc
 
@@ -207,7 +222,7 @@ def _encode_into(enc: XdrEncoder, value: Any) -> None:
     elif isinstance(value, str):
         enc.pack_uint(_TAG_STRING)
         enc.pack_string(value)
-    elif isinstance(value, bytes):
+    elif isinstance(value, (bytes, bytearray, memoryview)):
         enc.pack_uint(_TAG_BYTES)
         enc.pack_opaque(value)
     elif isinstance(value, TypedParamList):

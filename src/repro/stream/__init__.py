@@ -1,0 +1,22 @@
+"""virStream bulk-data plane: client/server stream objects.
+
+See :mod:`repro.stream.core` for the frame grammar and flow control.
+"""
+
+from repro.stream.core import (
+    DEFAULT_CHUNK,
+    DEFAULT_WINDOW,
+    ClientStream,
+    ServerStream,
+    StreamConsole,
+    stream_frame,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK",
+    "DEFAULT_WINDOW",
+    "ClientStream",
+    "ServerStream",
+    "StreamConsole",
+    "stream_frame",
+]

@@ -323,3 +323,104 @@ class TestFleetCli:
         )
         assert code == 0
         assert "via post-copy" in output
+
+
+class TestStreamCli:
+    """vol-upload / vol-download / console / backup-begin --pull all ride
+    the STREAM frame plane through the remote daemon."""
+
+    @pytest.fixture()
+    def stream_env(self, tmp_path):
+        from repro.daemon import Libvirtd
+
+        with Libvirtd(hostname="clistream") as daemon:
+            daemon.listen("tcp")
+            uri = "qemu+tcp://clistream/system"
+            pool_xml = tmp_path / "pool.xml"
+            pool_xml.write_text(
+                StoragePoolConfig(name="sp", capacity_bytes=10 * 1024**3).to_xml()
+            )
+            assert run("-c", uri, "pool-define", str(pool_xml))[0] == 0
+            assert run("-c", uri, "pool-start", "sp")[0] == 0
+            assert run("-c", uri, "vol-create-as", "sp", "v1.qcow2", "1GiB")[0] == 0
+            yield uri, daemon
+
+    def test_vol_upload_and_download_roundtrip(self, stream_env, tmp_path):
+        uri, _ = stream_env
+        src = tmp_path / "payload.img"
+        src.write_bytes(bytes(range(256)) * 1024)  # 256 KiB
+        code, output = run("-c", uri, "vol-upload", "sp", "v1.qcow2", str(src))
+        assert code == 0
+        assert "uploaded 262144 bytes at offset 0" in output
+        dst = tmp_path / "fetched.img"
+        code, output = run(
+            "-c", uri, "vol-download", "sp", "v1.qcow2", str(dst),
+            "--length", "262144",
+        )
+        assert code == 0
+        assert "downloaded 262144 bytes" in output
+        assert dst.read_bytes() == src.read_bytes()
+
+    def test_vol_upload_offset(self, stream_env, tmp_path):
+        uri, _ = stream_env
+        src = tmp_path / "tail.img"
+        src.write_bytes(b"tail-data")
+        code, output = run(
+            "-c", uri, "vol-upload", "sp", "v1.qcow2", str(src), "--offset", "4096"
+        )
+        assert code == 0
+        dst = tmp_path / "head.img"
+        run("-c", uri, "vol-download", "sp", "v1.qcow2", str(dst), "--length", "4105")
+        fetched = dst.read_bytes()
+        assert fetched[:4096] == b"\x00" * 4096
+        assert fetched[4096:] == b"tail-data"
+
+    def test_console_banner_and_echo(self, stream_env, tmp_path):
+        uri, _ = stream_env
+        xml = write_domain_xml(tmp_path, "con1", domain_type="kvm")
+        run("-c", uri, "define", xml)
+        run("-c", uri, "start", "con1")
+        code, output = run("-c", uri, "console", "con1")
+        assert code == 0
+        assert "Connected to domain con1" in output
+        code, output = run("-c", uri, "console", "con1", "--send", "uptime")
+        assert code == 0
+        assert "uptime" in output
+
+    def test_backup_begin_pull(self, stream_env, tmp_path):
+        from repro.xmlconfig.domain import DiskDevice
+
+        uri, daemon = stream_env
+        xml = tmp_path / "bk1.xml"
+        xml.write_text(
+            DomainConfig(
+                name="bk1",
+                domain_type="kvm",
+                memory_kib=GiB_KIB,
+                disks=[DiskDevice("/img/bk1.qcow2", "vda", capacity_bytes=1024**3)],
+            ).to_xml()
+        )
+        xml = str(xml)
+        run("-c", uri, "define", xml)
+        run("-c", uri, "start", "bk1")
+        code, output = run("-c", uri, "backup-begin", "bk1", "--pull")
+        assert code == 0
+        assert "Backup pulled (full):" in output
+        payload = tmp_path / "backup.bin"
+        code, output = run(
+            "-c", uri, "backup-begin", "bk1", "--pull", "--file", str(payload)
+        )
+        assert code == 0
+        assert f"Payload written to {payload}" in output
+        assert payload.exists()
+        # no stream left behind on the daemon
+        assert daemon.rpc.active_streams() == 0
+
+    def test_backup_begin_requires_pool_or_pull(self, stream_env, tmp_path, capsys):
+        uri, _ = stream_env
+        xml = write_domain_xml(tmp_path, "bk2", domain_type="kvm")
+        run("-c", uri, "define", xml)
+        run("-c", uri, "start", "bk2")
+        code = main(["-c", uri, "backup-begin", "bk2"], out=io.StringIO())
+        assert code == 1
+        assert "requires --pool (or --pull)" in capsys.readouterr().err

@@ -126,3 +126,87 @@ class TestFraming:
         data = RPCMessage(1, MessageType.CALL, 1).pack()
         # body is encode_value(None) == 4 bytes
         assert len(data) == HEADER_BYTES + 4
+
+
+class TestFramingBoundaries:
+    """Edge geometry: frames at the size cap, torn headers, and STREAM
+    frames threaded between out-of-order replies."""
+
+    def test_frame_exactly_at_max_message(self):
+        from repro.rpc.protocol import MAX_MESSAGE, peek_message_type
+        from repro.stream import stream_frame
+
+        probe = stream_frame(1, 1, ReplyStatus.CONTINUE, b"")
+        overhead = len(probe)
+        frame = stream_frame(1, 1, ReplyStatus.CONTINUE, b"\xaa" * (MAX_MESSAGE - overhead))
+        assert len(frame) == MAX_MESSAGE
+        frames, rest = split_frames(frame)
+        assert frames == [frame]
+        assert rest == b""
+        message = RPCMessage.unpack(memoryview(frame))
+        assert peek_message_type(frame) == MessageType.STREAM
+        assert len(message.body) == MAX_MESSAGE - overhead
+
+    def test_frame_one_byte_over_the_cap_rejected(self):
+        from repro.rpc.protocol import MAX_MESSAGE
+        from repro.stream import stream_frame
+
+        overhead = len(stream_frame(1, 1, ReplyStatus.CONTINUE, b""))
+        with pytest.raises(RPCError, match="too large"):
+            stream_frame(1, 1, ReplyStatus.CONTINUE, b"\xaa" * (MAX_MESSAGE - overhead + 1))
+
+    def test_split_rejects_length_word_over_the_cap(self):
+        from repro.rpc.protocol import MAX_MESSAGE
+
+        header = (MAX_MESSAGE + 1).to_bytes(4, "big") + b"\x00" * 24
+        with pytest.raises(RPCError, match="insane frame length"):
+            split_frames(header)
+
+    def test_truncated_header_is_buffered_not_parsed(self):
+        frame = RPCMessage(1, MessageType.CALL, 1, body="x").pack()
+        for cut in range(1, HEADER_BYTES):
+            frames, rest = split_frames(frame[:cut])
+            assert frames == []
+            assert rest == frame[:cut]
+
+    def test_unpack_rejects_truncated_header(self):
+        frame = RPCMessage(1, MessageType.CALL, 1, body="x").pack()
+        with pytest.raises(RPCError, match="short message"):
+            RPCMessage.unpack(frame[: HEADER_BYTES - 1])
+
+    def test_peek_returns_none_on_short_or_garbage_input(self):
+        from repro.rpc.protocol import peek_message_type
+
+        assert peek_message_type(b"\x00" * (HEADER_BYTES - 1)) is None
+        garbage = bytearray(RPCMessage(1, MessageType.CALL, 1).pack())
+        garbage[16:20] = (99).to_bytes(4, "big")
+        assert peek_message_type(bytes(garbage)) is None
+
+    def test_stream_frame_interleaved_between_out_of_order_replies(self):
+        from repro.rpc.protocol import peek_message_type
+        from repro.stream import stream_frame
+
+        reply2 = RPCMessage(
+            1, MessageType.REPLY, 2, ReplyStatus.OK, body="second"
+        ).pack()
+        chunk = stream_frame(5, 1, ReplyStatus.CONTINUE, b"stream bytes")
+        reply1 = RPCMessage(
+            1, MessageType.REPLY, 1, ReplyStatus.OK, body="first"
+        ).pack()
+        wire = reply2 + chunk + reply1
+        # tear at an arbitrary boundary inside the stream frame
+        frames, rest = split_frames(wire[: len(reply2) + 10])
+        assert frames == [reply2]
+        frames2, rest2 = split_frames(rest + wire[len(reply2) + 10 :])
+        assert frames2 == [chunk, reply1]
+        assert rest2 == b""
+        types = [peek_message_type(f) for f in (reply2, chunk, reply1)]
+        assert types == [MessageType.REPLY, MessageType.STREAM, MessageType.REPLY]
+        # the demux routes on (type, serial): serial survives the peek path
+        decoded = [RPCMessage.unpack(f) for f in frames + frames2]
+        assert [(m.mtype, m.serial) for m in decoded] == [
+            (MessageType.REPLY, 2),
+            (MessageType.STREAM, 1),
+            (MessageType.REPLY, 1),
+        ]
+        assert bytes(decoded[1].body) == b"stream bytes"
